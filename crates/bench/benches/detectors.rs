@@ -1,0 +1,36 @@
+//! Wall-clock comparison of the detector families on standard workloads
+//! (complements the operation-count tables of the harness — see
+//! EXPERIMENTS.md E3/E6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wcp_bench::workloads;
+use wcp_detect::{
+    CentralizedChecker, Detector, DirectDependenceDetector, MultiTokenDetector, TokenDetector,
+};
+
+fn bench_detectors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("detectors");
+    group.sample_size(20);
+    for &(n, m) in &[(8usize, 40usize), (16, 40)] {
+        let computation = workloads::detectable(n, m, 7);
+        let wcp = workloads::scope(n);
+        let annotated = computation.annotate();
+        let detectors: Vec<Box<dyn Detector>> = vec![
+            Box::new(CentralizedChecker::new()),
+            Box::new(TokenDetector::new()),
+            Box::new(MultiTokenDetector::new(4)),
+            Box::new(DirectDependenceDetector::new()),
+        ];
+        for d in &detectors {
+            group.bench_with_input(
+                BenchmarkId::new(d.name(), format!("n{n}_m{m}")),
+                &annotated,
+                |b, annotated| b.iter(|| d.detect(annotated, &wcp)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_detectors);
+criterion_main!(benches);

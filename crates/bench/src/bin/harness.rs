@@ -1,0 +1,44 @@
+//! Experiment harness: regenerates the paper's quantitative claims.
+//!
+//! ```sh
+//! cargo run -p wcp-bench --release --bin harness -- all
+//! cargo run -p wcp-bench --release --bin harness -- e3 e7
+//! ```
+//!
+//! Output is markdown; EXPERIMENTS.md records a captured run.
+
+use std::process::ExitCode;
+
+use wcp_bench::{all_experiments, run_experiment, Experiment};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "-h" || a == "--help") {
+        eprintln!("usage: harness <all | e2 e3 e4 e5 e6 e7 e8 e9 e10 ...>");
+        return ExitCode::from(2);
+    }
+
+    let experiments: Vec<Experiment> = if args.iter().any(|a| a == "all") {
+        all_experiments()
+    } else {
+        let mut list = Vec::new();
+        for a in &args {
+            match Experiment::parse(a) {
+                Some(e) => list.push(e),
+                None => {
+                    eprintln!("unknown experiment id: {a}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        list
+    };
+
+    for e in experiments {
+        eprintln!("running {e:?}…");
+        for table in run_experiment(e) {
+            println!("{table}");
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,28 @@
+//! Experiment harness for the reproduction: workload builders, a tiny
+//! markdown table type, and one module per experiment family.
+//!
+//! Every quantitative claim of the paper maps to one experiment here (the
+//! index lives in DESIGN.md §4); the `harness` binary regenerates the
+//! tables recorded in EXPERIMENTS.md:
+//!
+//! | id | claim |
+//! |----|-------|
+//! | E2 | the token algorithm detects the first cut (agreement sweep) |
+//! | E3 | token: `O(n²m)` total work, `O(nm)` per process; checker concentrates both |
+//! | E4 | multi-token: `g` tokens shrink the critical path |
+//! | E5 | Table 1: direct-dependence state mirrors the token state |
+//! | E6 | direct dependence: `O(Nm)` totals, `O(m)` per process |
+//! | E7 | crossover: vc-token `O(n²m)` vs dd `O(Nm)` as `n` grows toward `N` |
+//! | E8 | parallel red chain reduces detection latency |
+//! | E9 | Theorem 5.1: ≥ `nm − n` forced deletions |
+//! | E10 | lattice baseline blows up exponentially |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+pub mod workloads;
+
+pub use experiments::{all_experiments, run_experiment, Experiment};
+pub use table::Table;

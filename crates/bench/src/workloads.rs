@@ -1,0 +1,171 @@
+//! Standard workloads used across experiments: detectable runs (a planted
+//! satisfying cut late in the trace, so the algorithms traverse most of the
+//! computation) with moderate predicate noise.
+
+use wcp_trace::generate::{generate, GeneratorConfig, Topology};
+use wcp_trace::{Computation, Wcp};
+
+/// A detectable workload: `n_total` processes × `m` events, noise
+/// predicates at 20%, a satisfying cut planted at 80% of the run.
+pub fn detectable(n_total: usize, m: usize, seed: u64) -> Computation {
+    generate(
+        &GeneratorConfig::new(n_total, m)
+            .with_seed(seed)
+            .with_predicate_density(0.2)
+            .with_plant(0.8),
+    )
+    .computation
+}
+
+/// An undetectable workload: sparse predicate noise, no planted cut is
+/// guaranteed (used where worst-case full traversal is wanted, predicates
+/// almost never align).
+pub fn noisy(n_total: usize, m: usize, seed: u64) -> Computation {
+    generate(
+        &GeneratorConfig::new(n_total, m)
+            .with_seed(seed)
+            .with_predicate_density(0.15),
+    )
+    .computation
+}
+
+/// A client-server workload (2 servers), detectable.
+pub fn client_server(n_total: usize, m: usize, seed: u64) -> Computation {
+    generate(
+        &GeneratorConfig::new(n_total, m)
+            .with_seed(seed)
+            .with_topology(Topology::ClientServer {
+                servers: 2.min(n_total.saturating_sub(1)).max(1),
+            })
+            .with_predicate_density(0.2)
+            .with_plant(0.8),
+    )
+    .computation
+}
+
+/// Predicate over the first `n` processes.
+pub fn scope(n: usize) -> Wcp {
+    Wcp::over_first(n)
+}
+
+/// A clustered staircase: `clusters` independent staircases of
+/// `per_cluster` processes each, with **no** cross-cluster messages. A
+/// single token must eliminate every cluster's chain serially, while the
+/// Section 3.5 multi-token variant with `g = clusters` works on all chains
+/// concurrently — the workload §3.5's parallelism is designed for.
+pub fn clustered_staircase(clusters: usize, per_cluster: usize, rounds: usize) -> Computation {
+    use wcp_clocks::ProcessId;
+    assert!(per_cluster >= 2, "each cluster needs at least two processes");
+    let n = clusters * per_cluster;
+    let mut b = wcp_trace::ComputationBuilder::new(n);
+    for cl in 0..clusters {
+        let base = cl * per_cluster;
+        let mut current = 0usize;
+        for _ in 0..rounds * per_cluster {
+            let next = (current + 1) % per_cluster;
+            let holder = ProcessId::new((base + current) as u32);
+            b.mark_true(holder);
+            let m = b.send(holder, ProcessId::new((base + next) as u32));
+            b.receive(ProcessId::new((base + next) as u32), m);
+            current = next;
+        }
+    }
+    for i in 0..n {
+        b.mark_true(ProcessId::new(i as u32));
+    }
+    b.build().expect("clustered staircase is valid")
+}
+
+/// Fully independent processes (every send is left undelivered, so no
+/// causality crosses processes) with the predicate true only in the final
+/// interval of each: the global-state lattice has exactly `(m+1)^N`
+/// states and breadth-first search must visit essentially all of them —
+/// the worst case for the Cooper–Marzullo baseline.
+pub fn independent(n_total: usize, m: usize, seed: u64) -> Computation {
+    let g = generate(
+        &GeneratorConfig::new(n_total, m)
+            .with_seed(seed)
+            .with_send_fraction(1.0) // sends only — never received
+            .with_predicate_density(0.0)
+            .with_plant(1.0),
+    );
+    g.computation
+}
+
+/// The worst-case "staircase" computation: a virtual token circulates a
+/// ring for `rounds` rounds; each holder's predicate is true while holding
+/// it, so every true state is causally ordered after the previous one and
+/// the detection algorithms must eliminate them *one at a time* (the
+/// adversarial schedule behind Theorem 5.1). A final all-true barrier of
+/// pairwise-concurrent intervals makes the run detectable at the very end.
+///
+/// Each process performs `2·rounds` communication events (`m = 2·rounds`),
+/// and there are `rounds·n + n` candidate states in total, so the token
+/// algorithm performs `Θ(n²·m)` work and the direct-dependence algorithm
+/// `Θ(N·m)` — the paper's bounds, met exactly.
+pub fn staircase(n: usize, rounds: usize) -> Computation {
+    use wcp_clocks::ProcessId;
+    assert!(n >= 2, "staircase needs at least two processes");
+    let mut b = wcp_trace::ComputationBuilder::new(n);
+    let mut current = 0usize;
+    for _ in 0..rounds * n {
+        let next = (current + 1) % n;
+        let holder = ProcessId::new(current as u32);
+        b.mark_true(holder); // predicate true while holding the ring token
+        let m = b.send(holder, ProcessId::new(next as u32));
+        b.receive(ProcessId::new(next as u32), m);
+        current = next;
+    }
+    // Final barrier: every process's last interval is true and pairwise
+    // concurrent with the others (no messages follow).
+    for i in 0..n {
+        b.mark_true(ProcessId::new(i as u32));
+    }
+    b.build().expect("staircase construction is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcp_detect::{Detector, TokenDetector};
+
+    #[test]
+    fn detectable_workloads_detect() {
+        for seed in 0..5 {
+            let c = detectable(6, 10, seed);
+            let r = TokenDetector::new().detect(&c.annotate(), &scope(6));
+            assert!(r.detection.is_detected(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn workload_shapes() {
+        let c = client_server(5, 8, 1);
+        assert_eq!(c.process_count(), 5);
+        assert_eq!(c.max_events_per_process(), 8);
+        assert!(noisy(4, 6, 0).validate().is_ok());
+    }
+
+    #[test]
+    fn staircase_detects_only_the_final_barrier() {
+        let c = staircase(4, 5);
+        assert!(c.validate().is_ok());
+        assert_eq!(c.max_events_per_process(), 10); // 2·rounds
+        let a = c.annotate();
+        let wcp = scope(4);
+        let cut = a.first_satisfying_cut(&wcp).expect("barrier is satisfying");
+        // The cut is at (or next to) each process's final interval.
+        for (i, &k) in cut.as_slice().iter().enumerate() {
+            let p = wcp_clocks::ProcessId::new(i as u32);
+            assert!(
+                k >= a.interval_count(p) - 1,
+                "P{i} cut at {k} of {}",
+                a.interval_count(p)
+            );
+        }
+        let r = TokenDetector::new().detect(&a, &wcp);
+        // Nearly every candidate must have been consumed: the staircase
+        // forces one-at-a-time elimination.
+        assert!(r.metrics.candidates_consumed >= 5 * 4);
+    }
+}

@@ -1,0 +1,481 @@
+//! The CLI commands. Each is a pure function from parsed arguments to the
+//! stdout text, so the suite below tests the full surface without spawning
+//! processes.
+
+use std::fs;
+
+use wcp_clocks::ProcessId;
+use wcp_detect::lower_bound::run_optimal_algorithm;
+use wcp_detect::{
+    CentralizedChecker, ChannelPredicate, ChannelTerm, Detection, DetectionReport, Detector,
+    DirectDependenceDetector, Gcp, GcpChecker, LatticeDetector, MultiTokenDetector, TokenDetector,
+};
+use wcp_trace::channel::ChannelId;
+use wcp_trace::generate::{generate as generate_workload, GeneratorConfig, Topology};
+use wcp_trace::lattice::LatticeExplorer;
+use wcp_trace::render::{self, DiagramOptions};
+use wcp_trace::{Computation, Wcp};
+
+use crate::args::Args;
+use crate::CliError;
+
+fn load(path: &str) -> Result<Computation, CliError> {
+    let data = fs::read_to_string(path)
+        .map_err(|e| CliError::runtime(format!("cannot read {path}: {e}")))?;
+    let computation: Computation = serde_json::from_str(&data)?;
+    computation
+        .validate()
+        .map_err(|e| CliError::runtime(format!("{path} is not a valid computation: {e}")))?;
+    Ok(computation)
+}
+
+fn parse_scope(args: &Args, computation: &Computation) -> Result<Wcp, CliError> {
+    match args.get("scope") {
+        None => Ok(Wcp::over_all(computation)),
+        Some(spec) => {
+            let mut ids = Vec::new();
+            for part in spec.split(',') {
+                let idx: u32 = part
+                    .trim()
+                    .parse()
+                    .map_err(|_| CliError::usage(format!("--scope: bad process id `{part}`")))?;
+                if idx as usize >= computation.process_count() {
+                    return Err(CliError::usage(format!(
+                        "--scope: process {idx} out of range (N = {})",
+                        computation.process_count()
+                    )));
+                }
+                ids.push(ProcessId::new(idx));
+            }
+            if ids.is_empty() {
+                return Err(CliError::usage("--scope: empty"));
+            }
+            Ok(Wcp::over(ids))
+        }
+    }
+}
+
+/// `wcp generate` — write a seeded random workload to a JSON file.
+pub fn generate_cmd(args: &Args) -> Result<String, CliError> {
+    let processes: usize = args.require("processes")?;
+    let events: usize = args.require("events")?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    let density: f64 = args.get_or("density", 0.1)?;
+    let out: String = args.require("o")?;
+
+    let mut cfg = GeneratorConfig::new(processes, events)
+        .with_seed(seed)
+        .with_predicate_density(density);
+    if let Some(f) = args.get("plant") {
+        let f: f64 = f
+            .parse()
+            .map_err(|_| CliError::usage("--plant: expected a fraction"))?;
+        cfg = cfg.with_plant(f);
+    }
+    if let Some(topo) = args.get("topology") {
+        cfg = cfg.with_topology(parse_topology(topo)?);
+    }
+    let generated = generate_workload(&cfg);
+    fs::write(&out, serde_json::to_string_pretty(&generated.computation)?)?;
+    let mut msg = format!("wrote {out}: {}", generated.computation.stats());
+    if let Some(cut) = generated.planted {
+        msg.push_str(&format!("\nplanted satisfying cut at {cut}"));
+    }
+    Ok(msg)
+}
+
+fn parse_topology(spec: &str) -> Result<Topology, CliError> {
+    if spec == "uniform" {
+        return Ok(Topology::Uniform);
+    }
+    if spec == "ring" {
+        return Ok(Topology::Ring);
+    }
+    if let Some(k) = spec.strip_prefix("cs:") {
+        let servers = k
+            .parse()
+            .map_err(|_| CliError::usage("--topology cs:K needs a count"))?;
+        return Ok(Topology::ClientServer { servers });
+    }
+    if let Some(k) = spec.strip_prefix("nb:") {
+        let degree = k
+            .parse()
+            .map_err(|_| CliError::usage("--topology nb:K needs a degree"))?;
+        return Ok(Topology::Neighbors { degree });
+    }
+    Err(CliError::usage(format!("unknown topology `{spec}`")))
+}
+
+/// `wcp info` — validate and summarize a trace file.
+pub fn info(raw: &[String]) -> Result<String, CliError> {
+    let args = Args::parse(raw)?;
+    let path = args.require_positional(0, "FILE")?;
+    let computation = load(path)?;
+    let stats = computation.stats();
+    let mut out = format!("{path}: valid\n{stats}\n");
+    let annotated = computation.annotate();
+    for (p, _) in computation.iter() {
+        out.push_str(&format!(
+            "  {p}: {} events, {} true intervals\n",
+            computation.process(p).event_count(),
+            annotated.true_intervals(p).len()
+        ));
+    }
+    Ok(out)
+}
+
+/// `wcp generate` entry point.
+pub fn generate(raw: &[String]) -> Result<String, CliError> {
+    generate_cmd(&Args::parse(raw)?)
+}
+
+fn parse_detector(spec: &str) -> Result<Box<dyn Detector>, CliError> {
+    Ok(match spec {
+        "token" => Box::new(TokenDetector::new()),
+        "checker" => Box::new(CentralizedChecker::new()),
+        "direct" => Box::new(DirectDependenceDetector::new()),
+        "lattice" => Box::new(LatticeDetector::new()),
+        other => {
+            if let Some(g) = other.strip_prefix("multi:") {
+                let groups: usize = g
+                    .parse()
+                    .map_err(|_| CliError::usage("--algorithm multi:G needs a group count"))?;
+                Box::new(MultiTokenDetector::new(groups))
+            } else {
+                return Err(CliError::usage(format!(
+                    "unknown algorithm `{other}` (token|checker|direct|lattice|multi:G)"
+                )));
+            }
+        }
+    })
+}
+
+fn describe(report: &DetectionReport, json: bool) -> Result<String, CliError> {
+    if json {
+        return Ok(serde_json::to_string_pretty(report)?);
+    }
+    let mut out = String::new();
+    match &report.detection {
+        Detection::Detected { cut } => out.push_str(&format!("DETECTED at cut {cut}\n")),
+        Detection::Undetected => {
+            out.push_str("UNDETECTED: the predicate never held on a consistent cut\n")
+        }
+    }
+    out.push_str(&format!("cost: {}\n", report.metrics));
+    Ok(out)
+}
+
+/// `wcp detect` — run a WCP detector on a trace file.
+pub fn detect(raw: &[String]) -> Result<String, CliError> {
+    let args = Args::parse(raw)?;
+    let path = args.require_positional(0, "FILE")?;
+    let computation = load(path)?;
+    let wcp = parse_scope(&args, &computation)?;
+    let detector = parse_detector(args.get("algorithm").unwrap_or("token"))?;
+
+    let annotated = computation.annotate();
+    let report = detector.detect(&annotated, &wcp);
+    let mut out = format!("algorithm: {}\npredicate: {wcp}\n", detector.name());
+    out.push_str(&describe(&report, args.switch("json"))?);
+    if let Some(slice_path) = args.get("slice") {
+        if let Detection::Detected { cut } = &report.detection {
+            // Scope-only cuts (zero entries elsewhere) are completed to the
+            // least consistent extension before slicing.
+            let full = if cut.is_complete() {
+                cut.clone()
+            } else {
+                let states: Vec<_> = wcp
+                    .scope()
+                    .iter()
+                    .map(|&p| wcp_clocks::StateId::new(p, cut.get(p).expect("scope entry")))
+                    .collect();
+                annotated
+                    .least_consistent_extension(&states)
+                    .ok_or_else(|| CliError::runtime("no consistent extension for the cut"))?
+            };
+            let sliced = computation.truncate_at(&full);
+            fs::write(slice_path, serde_json::to_string_pretty(&sliced)?)?;
+            out.push_str(&format!(
+                "sliced trace (prefix at {full}) written to {slice_path}\n"
+            ));
+        } else {
+            out.push_str("no detection: nothing to slice\n");
+        }
+    }
+    if args.switch("diagram") {
+        let options = match &report.detection {
+            Detection::Detected { cut } => DiagramOptions::with_cut(cut.clone()),
+            Detection::Undetected => DiagramOptions {
+                cut: None,
+                show_predicates: true,
+            },
+        };
+        out.push('\n');
+        out.push_str(&render::ascii(&computation, &options));
+    }
+    Ok(out)
+}
+
+fn parse_channel_term(spec: &str) -> Result<ChannelTerm, CliError> {
+    let usage = || {
+        CliError::usage(format!(
+            "--channel: `{spec}` (want FROM-TO:empty|atmost:K|atleast:K)"
+        ))
+    };
+    let (endpoints, predicate) = spec.split_once(':').ok_or_else(usage)?;
+    let (from, to) = endpoints.split_once('-').ok_or_else(usage)?;
+    let from: u32 = from.parse().map_err(|_| usage())?;
+    let to: u32 = to.parse().map_err(|_| usage())?;
+    let predicate = match predicate {
+        "empty" => ChannelPredicate::Empty,
+        other => {
+            if let Some(k) = other.strip_prefix("atmost:") {
+                ChannelPredicate::AtMost(k.parse().map_err(|_| usage())?)
+            } else if let Some(k) = other.strip_prefix("atleast:") {
+                ChannelPredicate::AtLeast(k.parse().map_err(|_| usage())?)
+            } else {
+                return Err(usage());
+            }
+        }
+    };
+    Ok(ChannelTerm {
+        channel: ChannelId::new(ProcessId::new(from), ProcessId::new(to)),
+        predicate,
+    })
+}
+
+/// `wcp gcp` — detect a generalized conjunctive predicate with channel
+/// terms.
+pub fn gcp(raw: &[String]) -> Result<String, CliError> {
+    let args = Args::parse(raw)?;
+    let path = args.require_positional(0, "FILE")?;
+    let computation = load(path)?;
+    let wcp = parse_scope(&args, &computation)?;
+    let mut terms = Vec::new();
+    for spec in args.get_all("channel") {
+        terms.push(parse_channel_term(spec)?);
+    }
+    for term in &terms {
+        if !wcp.contains(term.channel.from) || !wcp.contains(term.channel.to) {
+            return Err(CliError::usage(format!(
+                "--channel {}: endpoints must be inside the scope",
+                term.channel
+            )));
+        }
+    }
+    let gcp = Gcp::new(wcp, terms);
+    let annotated = computation.annotate();
+    let report = GcpChecker::new().detect(&annotated, &gcp);
+    let mut out = format!("predicate: {gcp}\n");
+    out.push_str(&describe(&report, args.switch("json"))?);
+    Ok(out)
+}
+
+/// `wcp render` — print a space-time diagram (text or Graphviz DOT).
+pub fn render(raw: &[String]) -> Result<String, CliError> {
+    let args = Args::parse(raw)?;
+    let path = args.require_positional(0, "FILE")?;
+    let computation = load(path)?;
+    let options = DiagramOptions {
+        cut: None,
+        show_predicates: true,
+    };
+    if args.switch("dot") {
+        Ok(render::dot(&computation, &options))
+    } else {
+        Ok(render::ascii(&computation, &options))
+    }
+}
+
+/// `wcp lattice` — explore the global-state lattice of a trace.
+pub fn lattice(raw: &[String]) -> Result<String, CliError> {
+    let args = Args::parse(raw)?;
+    let path = args.require_positional(0, "FILE")?;
+    let computation = load(path)?;
+    let wcp = parse_scope(&args, &computation)?;
+    let max_states: usize = args.get_or("max-states", 1_000_000)?;
+    let explorer = LatticeExplorer::new(&computation);
+    let mut out = String::new();
+    match explorer.count_states(max_states) {
+        Ok(count) => out.push_str(&format!("consistent global states: {count}\n")),
+        Err(e) => out.push_str(&format!("consistent global states: {e}\n")),
+    }
+    match explorer.first_satisfying_counted(&wcp, max_states) {
+        Ok((Some(cut), visited)) => out.push_str(&format!(
+            "first cut satisfying {wcp}: {cut} (after visiting {visited} states)\n"
+        )),
+        Ok((None, visited)) => out.push_str(&format!(
+            "no consistent cut satisfies {wcp} (visited {visited} states)\n"
+        )),
+        Err(e) => out.push_str(&format!("search truncated: {e}\n")),
+    }
+    Ok(out)
+}
+
+/// `wcp bound` — run the Theorem 5.1 adversary game.
+pub fn bound(raw: &[String]) -> Result<String, CliError> {
+    let args = Args::parse(raw)?;
+    let n: usize = args.require("n")?;
+    let m: u64 = args.require("m")?;
+    if n < 2 || m < 1 {
+        return Err(CliError::usage("bound needs --n ≥ 2 and --m ≥ 1"));
+    }
+    let stats = run_optimal_algorithm(n, m);
+    Ok(format!(
+        "adversary game n={n} m={m}: forced {} deletions in {} comparison rounds (bound nm−n = {})",
+        stats.deletions, stats.comparisons, stats.bound
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(tokens: &[&str]) -> Vec<String> {
+        tokens.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn tmpfile(name: &str) -> String {
+        let dir = std::env::temp_dir().join("wcp-cli-tests");
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    fn generated_trace(name: &str) -> String {
+        let path = tmpfile(name);
+        let out = generate(&argv(&[
+            "--processes",
+            "4",
+            "--events",
+            "8",
+            "--seed",
+            "5",
+            "--plant",
+            "0.7",
+            "-o",
+            &path,
+        ]))
+        .unwrap();
+        assert!(out.contains("wrote"));
+        assert!(out.contains("planted"));
+        path
+    }
+
+    #[test]
+    fn generate_info_roundtrip() {
+        let path = generated_trace("roundtrip.json");
+        let out = info(&argv(&[&path])).unwrap();
+        assert!(out.contains("valid"));
+        assert!(out.contains("N=4"));
+        assert!(out.contains("P3:"));
+    }
+
+    #[test]
+    fn detect_all_algorithms_agree() {
+        let path = generated_trace("detect.json");
+        let mut cuts = Vec::new();
+        for alg in ["token", "checker", "direct", "lattice", "multi:2"] {
+            let out = detect(&argv(&[&path, "--algorithm", alg])).unwrap();
+            assert!(out.contains("DETECTED"), "{alg}: {out}");
+            let cut_line = out
+                .lines()
+                .find(|l| l.contains("DETECTED"))
+                .unwrap()
+                .to_string();
+            cuts.push((alg, cut_line));
+        }
+        // token / checker / multi report identical scope cuts.
+        assert_eq!(cuts[0].1, cuts[1].1);
+        assert_eq!(cuts[0].1, cuts[4].1);
+    }
+
+    #[test]
+    fn detect_with_diagram_and_json() {
+        let path = generated_trace("diagram.json");
+        let out = detect(&argv(&[&path, "--diagram"])).unwrap();
+        assert!(out.contains('┊'), "diagram with cut markers: {out}");
+        let out = detect(&argv(&[&path, "--json"])).unwrap();
+        assert!(out.contains("\"detection\""));
+    }
+
+    #[test]
+    fn detect_scope_subset() {
+        let path = generated_trace("scope.json");
+        let out = detect(&argv(&[&path, "--scope", "0,2"])).unwrap();
+        assert!(out.contains("l(P0)"));
+        assert!(out.contains("l(P2)"));
+        assert!(!out.contains("l(P1)"));
+    }
+
+    #[test]
+    fn gcp_command_runs() {
+        let path = generated_trace("gcp.json");
+        let out = gcp(&argv(&[&path, "--channel", "0-1:atmost:99"])).unwrap();
+        assert!(out.contains("≤99"));
+        assert!(out.contains("DETECTED"));
+    }
+
+    #[test]
+    fn render_text_and_dot() {
+        let path = generated_trace("render.json");
+        let text = render(&argv(&[&path])).unwrap();
+        assert!(text.contains("P0"));
+        let dot = render(&argv(&[&path, "--dot"])).unwrap();
+        assert!(dot.starts_with("digraph"));
+    }
+
+    #[test]
+    fn detect_slice_writes_prefix() {
+        let path = generated_trace("slice_src.json");
+        let out_path = tmpfile("slice_out.json");
+        let out = detect(&argv(&[&path, "--scope", "0,1", "--slice", &out_path])).unwrap();
+        assert!(out.contains("sliced trace"), "{out}");
+        // The slice is a valid computation that still detects the same cut.
+        let sliced = load(&out_path).unwrap();
+        let full = load(&path).unwrap();
+        assert!(sliced.total_events() <= full.total_events());
+        let wcp = parse_scope(
+            &Args::parse(&argv(&["--scope", "0,1"])).unwrap(),
+            &sliced,
+        )
+        .unwrap();
+        let before = wcp_detect::TokenDetector::new()
+            .detect(&full.annotate(), &wcp)
+            .detection;
+        let after = wcp_detect::TokenDetector::new()
+            .detect(&sliced.annotate(), &wcp)
+            .detection;
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn lattice_command_counts_and_searches() {
+        let path = generated_trace("lattice.json");
+        let out = lattice(&argv(&[&path])).unwrap();
+        assert!(out.contains("consistent global states:"));
+        assert!(out.contains("first cut satisfying"));
+        // Tiny budget triggers truncation reporting, not failure.
+        let out = lattice(&argv(&[&path, "--max-states", "2"])).unwrap();
+        assert!(out.contains("budget of 2"));
+    }
+
+    #[test]
+    fn bound_reports_theorem() {
+        let out = bound(&argv(&["--n", "4", "--m", "10"])).unwrap();
+        assert!(out.contains("bound nm−n = 36"));
+        assert!(bound(&argv(&["--n", "1", "--m", "5"])).is_err());
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(info(&argv(&["/nonexistent/file.json"])).is_err());
+        assert!(detect(&argv(&[])).is_err());
+        let path = generated_trace("errors.json");
+        assert!(detect(&argv(&[&path, "--algorithm", "bogus"])).is_err());
+        assert!(detect(&argv(&[&path, "--scope", "9"])).is_err());
+        assert!(gcp(&argv(&[&path, "--channel", "nonsense"])).is_err());
+        assert!(parse_topology("weird").is_err());
+        assert!(parse_topology("cs:2").is_ok());
+        assert!(parse_topology("nb:1").is_ok());
+    }
+}

@@ -1,0 +1,17 @@
+//! The `wcp` binary: see [`wcp_cli::USAGE`].
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match wcp_cli::run(&argv) {
+        Ok(output) => {
+            println!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("wcp: {e}");
+            ExitCode::from(e.code)
+        }
+    }
+}

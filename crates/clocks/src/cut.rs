@@ -1,0 +1,229 @@
+//! Global cuts: one interval index per process.
+
+use std::fmt;
+use std::ops::Index;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{ProcessId, StateId};
+
+/// A global cut: for each process, the index of one local state (interval).
+///
+/// This is the paper's `G` vector. Entries are 1-based interval indices;
+/// `0` means "no state selected yet for this process" (the initial value of
+/// the candidate cut in both detection algorithms).
+///
+/// A cut is only a *candidate*; whether it is consistent (all states pairwise
+/// concurrent) is a property checked against a computation's clocks — see
+/// `wcp_trace::AnnotatedComputation::is_consistent`.
+///
+/// # Example
+///
+/// ```rust
+/// use wcp_clocks::{Cut, ProcessId};
+///
+/// let mut cut = Cut::new(3);
+/// assert!(!cut.is_complete());
+/// cut.set(ProcessId::new(0), 2);
+/// cut.set(ProcessId::new(1), 1);
+/// cut.set(ProcessId::new(2), 4);
+/// assert!(cut.is_complete());
+/// assert_eq!(cut.to_string(), "⟨2,1,4⟩");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Cut {
+    states: Vec<u64>,
+}
+
+impl Cut {
+    /// Creates the empty cut (`∀i: G[i] = 0`) over `n` processes.
+    pub fn new(n: usize) -> Self {
+        Cut {
+            states: vec![0; n],
+        }
+    }
+
+    /// Creates a cut from explicit per-process interval indices.
+    pub fn from_indices(states: Vec<u64>) -> Self {
+        Cut { states }
+    }
+
+    /// Number of processes the cut ranges over.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Returns `true` if the cut ranges over zero processes.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Returns the interval index selected for `p` (`0` = none).
+    pub fn get(&self, p: ProcessId) -> Option<u64> {
+        self.states.get(p.index()).copied()
+    }
+
+    /// Selects interval `index` for process `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn set(&mut self, p: ProcessId, index: u64) {
+        self.states[p.index()] = index;
+    }
+
+    /// `true` iff every process has a state selected (`∀i: G[i] ≥ 1`).
+    pub fn is_complete(&self) -> bool {
+        self.states.iter().all(|&s| s >= 1)
+    }
+
+    /// Iterates over the selected states as [`StateId`]s (including `index 0`
+    /// placeholders).
+    pub fn iter(&self) -> impl Iterator<Item = StateId> + '_ {
+        self.states
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| StateId::new(ProcessId::new(i as u32), k))
+    }
+
+    /// Read-only view of the raw indices.
+    pub fn as_slice(&self) -> &[u64] {
+        &self.states
+    }
+
+    /// Componentwise `≤` — cut `self` is no later than `other` on every
+    /// process. The first satisfying cut is the unique minimum under this
+    /// order (Theorems 3.2 / 4.3).
+    pub fn le(&self, other: &Cut) -> bool {
+        assert_eq!(self.states.len(), other.states.len());
+        self.states.iter().zip(&other.states).all(|(a, b)| a <= b)
+    }
+
+    /// Componentwise minimum of two cuts.
+    pub fn meet(&self, other: &Cut) -> Cut {
+        assert_eq!(self.states.len(), other.states.len());
+        Cut {
+            states: self
+                .states
+                .iter()
+                .zip(&other.states)
+                .map(|(a, b)| *a.min(b))
+                .collect(),
+        }
+    }
+
+    /// Componentwise maximum of two cuts.
+    pub fn join(&self, other: &Cut) -> Cut {
+        assert_eq!(self.states.len(), other.states.len());
+        Cut {
+            states: self
+                .states
+                .iter()
+                .zip(&other.states)
+                .map(|(a, b)| *a.max(b))
+                .collect(),
+        }
+    }
+
+    /// Total number of local states at or before this cut (Σ `G[i]`); a useful
+    /// progress measure for the detection algorithms.
+    pub fn weight(&self) -> u64 {
+        self.states.iter().sum()
+    }
+}
+
+impl Index<ProcessId> for Cut {
+    type Output = u64;
+
+    fn index(&self, p: ProcessId) -> &u64 {
+        &self.states[p.index()]
+    }
+}
+
+impl fmt::Display for Cut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, s) in self.states.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{s}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+impl FromIterator<u64> for Cut {
+    fn from_iter<T: IntoIterator<Item = u64>>(iter: T) -> Self {
+        Cut {
+            states: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cut(v: &[u64]) -> Cut {
+        Cut::from_indices(v.to_vec())
+    }
+
+    #[test]
+    fn new_is_empty_cut() {
+        let c = Cut::new(3);
+        assert_eq!(c.as_slice(), &[0, 0, 0]);
+        assert!(!c.is_complete());
+        assert_eq!(c.weight(), 0);
+    }
+
+    #[test]
+    fn set_get_index() {
+        let mut c = Cut::new(2);
+        c.set(ProcessId::new(1), 5);
+        assert_eq!(c.get(ProcessId::new(1)), Some(5));
+        assert_eq!(c[ProcessId::new(1)], 5);
+        assert_eq!(c.get(ProcessId::new(2)), None);
+    }
+
+    #[test]
+    fn complete_requires_all_nonzero() {
+        assert!(cut(&[1, 1]).is_complete());
+        assert!(!cut(&[1, 0]).is_complete());
+    }
+
+    #[test]
+    fn le_meet_join() {
+        let a = cut(&[1, 3]);
+        let b = cut(&[2, 2]);
+        assert!(!a.le(&b) && !b.le(&a));
+        assert_eq!(a.meet(&b), cut(&[1, 2]));
+        assert_eq!(a.join(&b), cut(&[2, 3]));
+        assert!(a.meet(&b).le(&a));
+        assert!(a.le(&a.join(&b)));
+    }
+
+    #[test]
+    fn weight_sums_indices() {
+        assert_eq!(cut(&[2, 1, 4]).weight(), 7);
+    }
+
+    #[test]
+    fn iter_yields_state_ids() {
+        let ids: Vec<_> = cut(&[2, 0]).iter().collect();
+        assert_eq!(ids[0], StateId::new(ProcessId::new(0), 2));
+        assert_eq!(ids[1], StateId::new(ProcessId::new(1), 0));
+    }
+
+    #[test]
+    fn display_uses_angle_brackets() {
+        assert_eq!(cut(&[2, 1]).to_string(), "⟨2,1⟩");
+    }
+
+    #[test]
+    fn from_iterator() {
+        let c: Cut = [1u64, 2, 3].into_iter().collect();
+        assert_eq!(c.as_slice(), &[1, 2, 3]);
+    }
+}

@@ -1,0 +1,191 @@
+//! Direct-dependence records (Section 4.1 of the paper).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ProcessId;
+
+/// A single direct dependence: "all successive states on the recording
+/// process depend on state `clock` of process `on`".
+///
+/// Recorded by an application process when it receives a message from
+/// process `on` tagged with scalar clock value `clock`; it means the sender's
+/// states with index `≤ clock` happened before every subsequent local state.
+///
+/// # Example
+///
+/// ```rust
+/// use wcp_clocks::{Dependence, ProcessId};
+///
+/// let d = Dependence::new(ProcessId::new(2), 5);
+/// assert_eq!(d.to_string(), "(P2, 5)");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Dependence {
+    /// The process the dependence points at (the message sender).
+    pub on: ProcessId,
+    /// The sender's scalar clock value when the message was sent.
+    pub clock: u64,
+}
+
+impl Dependence {
+    /// Creates a dependence on state `(on, clock)`.
+    pub const fn new(on: ProcessId, clock: u64) -> Self {
+        Dependence { on, clock }
+    }
+}
+
+impl fmt::Display for Dependence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.on, self.clock)
+    }
+}
+
+/// The linked list of direct dependences an application process accumulates
+/// between local snapshots (Section 4.1).
+///
+/// The list is appended to as messages are received and drained into a local
+/// snapshot when a candidate state is reached ("The dependence list is
+/// reinitialized to be empty after generating the local snapshot").
+///
+/// # Example
+///
+/// ```rust
+/// use wcp_clocks::{Dependence, DependenceList, ProcessId};
+///
+/// let mut list = DependenceList::new();
+/// list.record(Dependence::new(ProcessId::new(0), 2));
+/// list.record(Dependence::new(ProcessId::new(1), 7));
+/// let snapshot_deps = list.drain();
+/// assert_eq!(snapshot_deps.len(), 2);
+/// assert!(list.is_empty());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct DependenceList {
+    entries: Vec<Dependence>,
+}
+
+impl DependenceList {
+    /// Creates an empty dependence list.
+    pub fn new() -> Self {
+        DependenceList::default()
+    }
+
+    /// Records one dependence (a message receipt).
+    pub fn record(&mut self, dep: Dependence) {
+        self.entries.push(dep);
+    }
+
+    /// Number of recorded dependences.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no dependences are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Takes all recorded dependences, leaving the list empty (the snapshot
+    /// rule of Section 4.1).
+    pub fn drain(&mut self) -> Vec<Dependence> {
+        std::mem::take(&mut self.entries)
+    }
+
+    /// Iterates over the recorded dependences in receipt order.
+    pub fn iter(&self) -> impl Iterator<Item = &Dependence> {
+        self.entries.iter()
+    }
+
+    /// Read-only view of the entries.
+    pub fn as_slice(&self) -> &[Dependence] {
+        &self.entries
+    }
+
+    /// Size of this list in bytes when transmitted: a dependence is "a pair
+    /// of integers" (Section 4.4); we use two `u64`s.
+    pub fn wire_size(&self) -> usize {
+        self.entries.len() * 16
+    }
+}
+
+impl Extend<Dependence> for DependenceList {
+    fn extend<T: IntoIterator<Item = Dependence>>(&mut self, iter: T) {
+        self.entries.extend(iter);
+    }
+}
+
+impl FromIterator<Dependence> for DependenceList {
+    fn from_iter<T: IntoIterator<Item = Dependence>>(iter: T) -> Self {
+        DependenceList {
+            entries: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl IntoIterator for DependenceList {
+    type Item = Dependence;
+    type IntoIter = std::vec::IntoIter<Dependence>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dep(p: u32, k: u64) -> Dependence {
+        Dependence::new(ProcessId::new(p), k)
+    }
+
+    #[test]
+    fn record_and_drain_resets() {
+        let mut list = DependenceList::new();
+        assert!(list.is_empty());
+        list.record(dep(0, 1));
+        list.record(dep(1, 3));
+        assert_eq!(list.len(), 2);
+        let drained = list.drain();
+        assert_eq!(drained, vec![dep(0, 1), dep(1, 3)]);
+        assert!(list.is_empty());
+    }
+
+    #[test]
+    fn preserves_receipt_order() {
+        let list: DependenceList = [dep(2, 9), dep(0, 1), dep(2, 10)].into_iter().collect();
+        let order: Vec<_> = list.iter().copied().collect();
+        assert_eq!(order, vec![dep(2, 9), dep(0, 1), dep(2, 10)]);
+    }
+
+    #[test]
+    fn extend_appends() {
+        let mut list = DependenceList::new();
+        list.extend([dep(0, 1)]);
+        list.extend([dep(1, 2), dep(2, 3)]);
+        assert_eq!(list.len(), 3);
+        assert_eq!(list.as_slice()[2], dep(2, 3));
+    }
+
+    #[test]
+    fn wire_size_is_sixteen_bytes_per_entry() {
+        let list: DependenceList = [dep(0, 1), dep(1, 2)].into_iter().collect();
+        assert_eq!(list.wire_size(), 32);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(dep(3, 4).to_string(), "(P3, 4)");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let list: DependenceList = [dep(0, 1)].into_iter().collect();
+        let json = serde_json::to_string(&list).unwrap();
+        let back: DependenceList = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, list);
+    }
+}

@@ -1,0 +1,161 @@
+//! Process and state identifiers.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a process in a distributed computation.
+///
+/// Processes are numbered densely from `0` to `N - 1`. The paper writes
+/// `P_1 … P_N`; we use zero-based indices so a `ProcessId` can directly
+/// index Rust vectors.
+///
+/// # Example
+///
+/// ```rust
+/// use wcp_clocks::ProcessId;
+///
+/// let p = ProcessId::new(3);
+/// assert_eq!(p.index(), 3);
+/// assert_eq!(p.to_string(), "P3");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct ProcessId(u32);
+
+impl ProcessId {
+    /// Creates a process identifier from a zero-based index.
+    pub const fn new(index: u32) -> Self {
+        ProcessId(index)
+    }
+
+    /// Returns the zero-based index of this process.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` value.
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+
+    /// Iterates over the first `n` process identifiers, `P0 … P(n-1)`.
+    ///
+    /// ```rust
+    /// use wcp_clocks::ProcessId;
+    /// let ids: Vec<_> = ProcessId::all(3).collect();
+    /// assert_eq!(ids, vec![ProcessId::new(0), ProcessId::new(1), ProcessId::new(2)]);
+    /// ```
+    pub fn all(n: usize) -> impl Iterator<Item = ProcessId> + Clone {
+        (0..n as u32).map(ProcessId)
+    }
+}
+
+impl From<u32> for ProcessId {
+    fn from(v: u32) -> Self {
+        ProcessId(v)
+    }
+}
+
+impl From<ProcessId> for u32 {
+    fn from(p: ProcessId) -> Self {
+        p.0
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// Identifier of a local state (communication interval) of one process.
+///
+/// Following Figure 2 of the paper, a process's local clock component is
+/// incremented only at send and receive events, so the observable "states"
+/// are the intervals between communication events. Interval indices are
+/// **1-based**: the k-th state of process `P_i` is written `(i, k)` in the
+/// paper, and index `0` is reserved for "no state" (the initial value of the
+/// candidate cut `G`).
+///
+/// # Example
+///
+/// ```rust
+/// use wcp_clocks::{ProcessId, StateId};
+///
+/// let s = StateId::new(ProcessId::new(1), 4);
+/// assert_eq!(s.to_string(), "(P1, 4)");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct StateId {
+    /// The process this state belongs to.
+    pub process: ProcessId,
+    /// One-based interval index within the process (`0` = no state).
+    pub index: u64,
+}
+
+impl StateId {
+    /// Creates a state identifier for the `index`-th interval of `process`.
+    pub const fn new(process: ProcessId, index: u64) -> Self {
+        StateId { process, index }
+    }
+}
+
+impl fmt::Display for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.process, self.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_id_roundtrip() {
+        let p = ProcessId::new(7);
+        assert_eq!(u32::from(p), 7);
+        assert_eq!(ProcessId::from(7u32), p);
+        assert_eq!(p.index(), 7);
+    }
+
+    #[test]
+    fn process_id_ordering_matches_index() {
+        assert!(ProcessId::new(1) < ProcessId::new(2));
+        assert_eq!(ProcessId::default(), ProcessId::new(0));
+    }
+
+    #[test]
+    fn all_yields_dense_range() {
+        assert_eq!(ProcessId::all(0).count(), 0);
+        let v: Vec<_> = ProcessId::all(4).collect();
+        assert_eq!(v.len(), 4);
+        assert_eq!(v[3].index(), 3);
+    }
+
+    #[test]
+    fn state_id_display() {
+        let s = StateId::new(ProcessId::new(2), 9);
+        assert_eq!(format!("{s}"), "(P2, 9)");
+    }
+
+    #[test]
+    fn state_id_ordering_is_lexicographic() {
+        let a = StateId::new(ProcessId::new(0), 5);
+        let b = StateId::new(ProcessId::new(1), 1);
+        let c = StateId::new(ProcessId::new(1), 2);
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = StateId::new(ProcessId::new(3), 11);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: StateId = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+        // ProcessId serializes transparently as a bare integer.
+        assert_eq!(serde_json::to_string(&ProcessId::new(3)).unwrap(), "3");
+    }
+}

@@ -1,0 +1,103 @@
+//! Scalar logical clock for the direct-dependence algorithm (Section 4.1).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The per-process logical counter of the direct-dependence algorithm.
+///
+/// Section 4.1 of the paper: "Each application process uses a logical counter
+/// to uniquely identify candidate states. The counter is incremented on each
+/// send or receive performed by the application process. The counter is
+/// attached to each message sent between application processes."
+///
+/// Unlike a Lamport clock, the counter is *not* merged on receive — it only
+/// counts local communication events, so its value equals the 1-based index
+/// of the current communication interval (mirroring `vclock[i]` of the
+/// vector-clock algorithm; see Table 1 of the paper).
+///
+/// # Example
+///
+/// ```rust
+/// use wcp_clocks::ScalarClock;
+///
+/// let mut c = ScalarClock::new();
+/// assert_eq!(c.value(), 1); // first interval
+/// let tag = c.value();      // attached to an outgoing message
+/// c.tick();                 // advance past the send
+/// assert_eq!(c.value(), 2);
+/// assert_eq!(tag, 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct ScalarClock(u64);
+
+impl ScalarClock {
+    /// Creates a clock at the first interval (value `1`).
+    pub const fn new() -> Self {
+        ScalarClock(1)
+    }
+
+    /// Creates a clock with an explicit value (`0` = before any state).
+    pub const fn from_value(value: u64) -> Self {
+        ScalarClock(value)
+    }
+
+    /// Current interval index.
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Advances the clock past a send or receive event.
+    pub fn tick(&mut self) {
+        self.0 += 1;
+    }
+}
+
+impl Default for ScalarClock {
+    fn default() -> Self {
+        ScalarClock::new()
+    }
+}
+
+impl fmt::Display for ScalarClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<ScalarClock> for u64 {
+    fn from(c: ScalarClock) -> Self {
+        c.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_one() {
+        assert_eq!(ScalarClock::new().value(), 1);
+        assert_eq!(ScalarClock::default(), ScalarClock::new());
+    }
+
+    #[test]
+    fn tick_increments() {
+        let mut c = ScalarClock::new();
+        c.tick();
+        c.tick();
+        assert_eq!(c.value(), 3);
+        assert_eq!(u64::from(c), 3);
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(ScalarClock::from_value(2) < ScalarClock::from_value(5));
+    }
+
+    #[test]
+    fn display_is_bare_number() {
+        assert_eq!(ScalarClock::from_value(9).to_string(), "9");
+    }
+}

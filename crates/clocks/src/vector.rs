@@ -1,0 +1,395 @@
+//! Fidge/Mattern vector clocks.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::Index;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ProcessId;
+
+/// Causal relationship between two vector timestamps.
+///
+/// Returned by [`VectorClock::causal_order`]. `Before`/`After` correspond to
+/// Lamport's happened-before relation `→`; `Concurrent` is the paper's `‖`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CausalOrder {
+    /// The two timestamps are identical.
+    Equal,
+    /// `self → other`: self causally precedes other.
+    Before,
+    /// `other → self`: self causally follows other.
+    After,
+    /// Neither precedes the other (`self ‖ other`).
+    Concurrent,
+}
+
+/// A vector clock over a fixed set of processes.
+///
+/// Property 1 of Section 3.1 of the paper: for states `α`, `β` with vector
+/// clocks `α.v`, `β.v`, we have `α → β` iff `α.v < β.v` (componentwise `≤`
+/// with at least one strict inequality). Property 2: for a vector `v` taken
+/// on process `P_i` and any `j ≠ i`, state `(j, v[j]) → (i, v[i])`.
+///
+/// The clock follows the Figure 2 protocol: `v[i]` starts at `1` on its
+/// owning process (see [`VectorClock::init_process`]), messages carry the
+/// sender's clock, and `v[i]` is incremented *after* each send and after
+/// each receive-merge, so `v[i]` equals the 1-based index of the current
+/// communication interval.
+///
+/// # Example
+///
+/// ```rust
+/// use wcp_clocks::{ProcessId, VectorClock, CausalOrder};
+///
+/// let p = ProcessId::new(0);
+/// let mut v = VectorClock::new(3);
+/// v.init_process(p);
+/// assert_eq!(v[p], 1);
+/// v.tick(p);
+/// assert_eq!(v[p], 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct VectorClock {
+    components: Vec<u64>,
+}
+
+impl VectorClock {
+    /// Creates an all-zero vector clock over `n` processes.
+    ///
+    /// An all-zero clock represents "before any state"; call
+    /// [`init_process`](Self::init_process) on the owning process before use
+    /// as a live clock.
+    pub fn new(n: usize) -> Self {
+        VectorClock {
+            components: vec![0; n],
+        }
+    }
+
+    /// Creates a vector clock from raw components.
+    pub fn from_components(components: Vec<u64>) -> Self {
+        VectorClock { components }
+    }
+
+    /// Sets the owning process's component to `1` (Figure 2 initialization:
+    /// `vclock[i] = 1`, all others `0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `owner` is out of range for this clock's width.
+    pub fn init_process(&mut self, owner: ProcessId) {
+        self.components[owner.index()] = 1;
+    }
+
+    /// Number of processes this clock ranges over.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Returns `true` if the clock ranges over zero processes.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Returns the component for `p`, or `None` if out of range.
+    pub fn get(&self, p: ProcessId) -> Option<u64> {
+        self.components.get(p.index()).copied()
+    }
+
+    /// Sets the component for `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn set(&mut self, p: ProcessId, value: u64) {
+        self.components[p.index()] = value;
+    }
+
+    /// Increments the component owned by `p` (performed after each send or
+    /// receive in Figure 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn tick(&mut self, p: ProcessId) {
+        self.components[p.index()] += 1;
+    }
+
+    /// Componentwise maximum with `other` (the receive rule of Figure 2:
+    /// `∀j: vclock[j] := max(vclock[j], msg.vclock[j])`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two clocks have different widths.
+    pub fn merge(&mut self, other: &VectorClock) {
+        assert_eq!(
+            self.components.len(),
+            other.components.len(),
+            "cannot merge vector clocks of different widths"
+        );
+        for (a, b) in self.components.iter_mut().zip(&other.components) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Returns the least upper bound (componentwise max) of two clocks.
+    pub fn join(&self, other: &VectorClock) -> VectorClock {
+        let mut out = self.clone();
+        out.merge(other);
+        out
+    }
+
+    /// Returns the greatest lower bound (componentwise min) of two clocks.
+    pub fn meet(&self, other: &VectorClock) -> VectorClock {
+        assert_eq!(self.components.len(), other.components.len());
+        VectorClock {
+            components: self
+                .components
+                .iter()
+                .zip(&other.components)
+                .map(|(a, b)| *a.min(b))
+                .collect(),
+        }
+    }
+
+    /// Determines the causal relationship between two timestamps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn causal_order(&self, other: &VectorClock) -> CausalOrder {
+        assert_eq!(
+            self.components.len(),
+            other.components.len(),
+            "cannot compare vector clocks of different widths"
+        );
+        let mut less = false;
+        let mut greater = false;
+        for (a, b) in self.components.iter().zip(&other.components) {
+            match a.cmp(b) {
+                Ordering::Less => less = true,
+                Ordering::Greater => greater = true,
+                Ordering::Equal => {}
+            }
+            if less && greater {
+                return CausalOrder::Concurrent;
+            }
+        }
+        match (less, greater) {
+            (false, false) => CausalOrder::Equal,
+            (true, false) => CausalOrder::Before,
+            (false, true) => CausalOrder::After,
+            (true, true) => CausalOrder::Concurrent,
+        }
+    }
+
+    /// `true` iff `self → other` in the happened-before order.
+    pub fn happened_before(&self, other: &VectorClock) -> bool {
+        self.causal_order(other) == CausalOrder::Before
+    }
+
+    /// `true` iff the two timestamps are concurrent (`self ‖ other`).
+    pub fn concurrent(&self, other: &VectorClock) -> bool {
+        self.causal_order(other) == CausalOrder::Concurrent
+    }
+
+    /// Componentwise `≤` (reflexive happened-before).
+    pub fn le(&self, other: &VectorClock) -> bool {
+        matches!(
+            self.causal_order(other),
+            CausalOrder::Equal | CausalOrder::Before
+        )
+    }
+
+    /// Iterates over `(ProcessId, component)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ProcessId, u64)> + '_ {
+        self.components
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (ProcessId::new(i as u32), c))
+    }
+
+    /// Read-only view of the raw components.
+    pub fn as_slice(&self) -> &[u64] {
+        &self.components
+    }
+
+    /// Consumes the clock and returns the raw components.
+    pub fn into_components(self) -> Vec<u64> {
+        self.components
+    }
+
+    /// Size of this clock in bytes when transmitted (one `u64` per
+    /// component). Used by the metrics layer to account message bits.
+    pub fn wire_size(&self) -> usize {
+        self.components.len() * 8
+    }
+}
+
+impl Index<ProcessId> for VectorClock {
+    type Output = u64;
+
+    fn index(&self, p: ProcessId) -> &u64 {
+        &self.components[p.index()]
+    }
+}
+
+impl PartialOrd for VectorClock {
+    /// Partial order induced by happened-before: `a < b` iff `a → b`.
+    /// Returns `None` for concurrent timestamps.
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        match self.causal_order(other) {
+            CausalOrder::Equal => Some(Ordering::Equal),
+            CausalOrder::Before => Some(Ordering::Less),
+            CausalOrder::After => Some(Ordering::Greater),
+            CausalOrder::Concurrent => None,
+        }
+    }
+}
+
+impl fmt::Display for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, c) in self.components.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl FromIterator<u64> for VectorClock {
+    fn from_iter<T: IntoIterator<Item = u64>>(iter: T) -> Self {
+        VectorClock {
+            components: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vc(components: &[u64]) -> VectorClock {
+        VectorClock::from_components(components.to_vec())
+    }
+
+    #[test]
+    fn new_is_all_zero() {
+        let v = VectorClock::new(4);
+        assert_eq!(v.as_slice(), &[0, 0, 0, 0]);
+        assert_eq!(v.len(), 4);
+        assert!(!v.is_empty());
+        assert!(VectorClock::new(0).is_empty());
+    }
+
+    #[test]
+    fn init_and_tick_follow_figure2() {
+        let p = ProcessId::new(1);
+        let mut v = VectorClock::new(3);
+        v.init_process(p);
+        assert_eq!(v.as_slice(), &[0, 1, 0]);
+        v.tick(p);
+        v.tick(p);
+        assert_eq!(v[p], 3);
+    }
+
+    #[test]
+    fn merge_is_componentwise_max() {
+        let mut a = vc(&[3, 0, 5]);
+        a.merge(&vc(&[1, 4, 5]));
+        assert_eq!(a.as_slice(), &[3, 4, 5]);
+    }
+
+    #[test]
+    fn join_meet_lattice_identities() {
+        let a = vc(&[3, 0, 5]);
+        let b = vc(&[1, 4, 5]);
+        assert_eq!(a.join(&b).as_slice(), &[3, 4, 5]);
+        assert_eq!(a.meet(&b).as_slice(), &[1, 0, 5]);
+        // absorption: a ⊓ (a ⊔ b) = a
+        assert_eq!(a.meet(&a.join(&b)), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "different widths")]
+    fn merge_width_mismatch_panics() {
+        let mut a = VectorClock::new(2);
+        a.merge(&VectorClock::new(3));
+    }
+
+    #[test]
+    fn causal_order_cases() {
+        assert_eq!(vc(&[1, 2]).causal_order(&vc(&[1, 2])), CausalOrder::Equal);
+        assert_eq!(vc(&[1, 2]).causal_order(&vc(&[1, 3])), CausalOrder::Before);
+        assert_eq!(vc(&[1, 3]).causal_order(&vc(&[1, 2])), CausalOrder::After);
+        assert_eq!(
+            vc(&[1, 3]).causal_order(&vc(&[2, 2])),
+            CausalOrder::Concurrent
+        );
+    }
+
+    #[test]
+    fn happened_before_is_strict() {
+        let a = vc(&[1, 2]);
+        assert!(!a.happened_before(&a));
+        assert!(a.le(&a));
+        assert!(a.happened_before(&vc(&[2, 2])));
+    }
+
+    #[test]
+    fn partial_ord_matches_causal_order() {
+        assert!(vc(&[1, 1]) < vc(&[1, 2]));
+        assert!(vc(&[1, 2]) > vc(&[1, 1]));
+        assert_eq!(vc(&[1, 2]).partial_cmp(&vc(&[2, 1])), None);
+    }
+
+    #[test]
+    fn message_exchange_creates_causality() {
+        let p0 = ProcessId::new(0);
+        let p1 = ProcessId::new(1);
+        let mut a = VectorClock::new(2);
+        let mut b = VectorClock::new(2);
+        a.init_process(p0);
+        b.init_process(p1);
+        assert!(a.concurrent(&b));
+
+        let msg = a.clone();
+        a.tick(p0);
+        b.merge(&msg);
+        b.tick(p1);
+        assert!(msg.happened_before(&b));
+        // Property 2: (0, b[0]) is the send interval, and it precedes (1, b[1]).
+        assert_eq!(b[p0], 1);
+        assert_eq!(b[p1], 2);
+    }
+
+    #[test]
+    fn display_and_from_iter() {
+        let v: VectorClock = [1u64, 0, 7].into_iter().collect();
+        assert_eq!(v.to_string(), "[1,0,7]");
+    }
+
+    #[test]
+    fn wire_size_is_eight_bytes_per_component() {
+        assert_eq!(VectorClock::new(5).wire_size(), 40);
+    }
+
+    #[test]
+    fn get_out_of_range_is_none() {
+        let v = VectorClock::new(2);
+        assert_eq!(v.get(ProcessId::new(2)), None);
+        assert_eq!(v.get(ProcessId::new(1)), Some(0));
+    }
+
+    #[test]
+    fn serde_is_transparent_array() {
+        let v = vc(&[1, 2, 3]);
+        assert_eq!(serde_json::to_string(&v).unwrap(), "[1,2,3]");
+        let back: VectorClock = serde_json::from_str("[1,2,3]").unwrap();
+        assert_eq!(back, v);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for the logical-clock substrate.
+
+use proptest::prelude::*;
+use wcp_clocks::{CausalOrder, Cut, ProcessId, VectorClock};
+
+fn arb_clock(width: usize, max: u64) -> impl Strategy<Value = VectorClock> {
+    proptest::collection::vec(0..=max, width).prop_map(VectorClock::from_components)
+}
+
+fn arb_cut(width: usize, max: u64) -> impl Strategy<Value = Cut> {
+    proptest::collection::vec(0..=max, width).prop_map(Cut::from_indices)
+}
+
+proptest! {
+    /// causal_order is antisymmetric: Before in one direction iff After in
+    /// the other, Concurrent/Equal are symmetric.
+    #[test]
+    fn causal_order_antisymmetry(a in arb_clock(4, 8), b in arb_clock(4, 8)) {
+        let ab = a.causal_order(&b);
+        let ba = b.causal_order(&a);
+        let expected = match ab {
+            CausalOrder::Before => CausalOrder::After,
+            CausalOrder::After => CausalOrder::Before,
+            other => other,
+        };
+        prop_assert_eq!(ba, expected);
+    }
+
+    /// happened-before is transitive.
+    #[test]
+    fn happened_before_transitive(
+        a in arb_clock(3, 6),
+        b in arb_clock(3, 6),
+        c in arb_clock(3, 6),
+    ) {
+        if a.happened_before(&b) && b.happened_before(&c) {
+            prop_assert!(a.happened_before(&c));
+        }
+    }
+
+    /// happened-before is irreflexive.
+    #[test]
+    fn happened_before_irreflexive(a in arb_clock(5, 10)) {
+        prop_assert!(!a.happened_before(&a));
+        prop_assert_eq!(a.causal_order(&a), CausalOrder::Equal);
+    }
+
+    /// join is the least upper bound: an upper bound, and below any other
+    /// upper bound.
+    #[test]
+    fn join_is_lub(a in arb_clock(4, 8), b in arb_clock(4, 8), c in arb_clock(4, 8)) {
+        let j = a.join(&b);
+        prop_assert!(a.le(&j));
+        prop_assert!(b.le(&j));
+        if a.le(&c) && b.le(&c) {
+            prop_assert!(j.le(&c));
+        }
+    }
+
+    /// meet is the greatest lower bound.
+    #[test]
+    fn meet_is_glb(a in arb_clock(4, 8), b in arb_clock(4, 8), c in arb_clock(4, 8)) {
+        let m = a.meet(&b);
+        prop_assert!(m.le(&a));
+        prop_assert!(m.le(&b));
+        if c.le(&a) && c.le(&b) {
+            prop_assert!(c.le(&m));
+        }
+    }
+
+    /// join/meet are commutative and associative.
+    #[test]
+    fn lattice_algebra(a in arb_clock(3, 8), b in arb_clock(3, 8), c in arb_clock(3, 8)) {
+        prop_assert_eq!(a.join(&b), b.join(&a));
+        prop_assert_eq!(a.meet(&b), b.meet(&a));
+        prop_assert_eq!(a.join(&b).join(&c), a.join(&b.join(&c)));
+        prop_assert_eq!(a.meet(&b).meet(&c), a.meet(&b.meet(&c)));
+    }
+
+    /// merge makes the receiver dominate the message clock.
+    #[test]
+    fn merge_dominates(a in arb_clock(4, 8), b in arb_clock(4, 8)) {
+        let mut merged = a.clone();
+        merged.merge(&b);
+        prop_assert!(a.le(&merged));
+        prop_assert!(b.le(&merged));
+    }
+
+    /// Cut meet/join keep the componentwise order.
+    #[test]
+    fn cut_lattice(a in arb_cut(4, 10), b in arb_cut(4, 10)) {
+        let m = a.meet(&b);
+        let j = a.join(&b);
+        prop_assert!(m.le(&a) && m.le(&b));
+        prop_assert!(a.le(&j) && b.le(&j));
+        prop_assert_eq!(m.weight() + j.weight(), a.weight() + b.weight());
+    }
+
+    /// A ticked clock strictly follows the original.
+    #[test]
+    fn tick_advances(a in arb_clock(4, 8), p in 0u32..4) {
+        let mut t = a.clone();
+        t.tick(ProcessId::new(p));
+        prop_assert!(a.happened_before(&t));
+    }
+}

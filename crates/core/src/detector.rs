@@ -1,0 +1,122 @@
+//! The unified detector interface.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use wcp_clocks::Cut;
+use wcp_trace::{AnnotatedComputation, Wcp};
+
+use crate::metrics::DetectionMetrics;
+
+/// Outcome of a detection run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Detection {
+    /// The WCP became true; `cut` is the first consistent cut satisfying it.
+    ///
+    /// For scope-only algorithms (Section 3 family) the cut has nonzero
+    /// entries only for the predicate's scope processes; for the
+    /// direct-dependence algorithm (Section 4) every entry is filled. The
+    /// scope projections always agree.
+    Detected {
+        /// The detected cut.
+        cut: Cut,
+    },
+    /// The predicate never held on a consistent cut of this run.
+    Undetected,
+}
+
+impl Detection {
+    /// The detected cut, if any.
+    pub fn cut(&self) -> Option<&Cut> {
+        match self {
+            Detection::Detected { cut } => Some(cut),
+            Detection::Undetected => None,
+        }
+    }
+
+    /// `true` iff the predicate was detected.
+    pub fn is_detected(&self) -> bool {
+        matches!(self, Detection::Detected { .. })
+    }
+}
+
+impl fmt::Display for Detection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Detection::Detected { cut } => write!(f, "detected at {cut}"),
+            Detection::Undetected => write!(f, "undetected"),
+        }
+    }
+}
+
+/// A detection outcome together with its cost accounting.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DetectionReport {
+    /// What was detected.
+    pub detection: Detection,
+    /// What it cost.
+    pub metrics: DetectionMetrics,
+}
+
+impl fmt::Display for DetectionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]", self.detection, self.metrics)
+    }
+}
+
+/// A WCP detection algorithm.
+///
+/// All detectors in this crate find the *first* satisfying cut (Theorems
+/// 3.2 and 4.3 of the paper), so any two detectors agree on the scope
+/// projection of their results — a property the integration tests check
+/// exhaustively.
+pub trait Detector {
+    /// Short identifier used in experiment tables (e.g. `"token"`).
+    fn name(&self) -> &str;
+
+    /// Runs detection of `wcp` over the annotated computation.
+    fn detect(&self, annotated: &AnnotatedComputation<'_>, wcp: &Wcp) -> DetectionReport;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detection_accessors() {
+        let d = Detection::Detected {
+            cut: Cut::from_indices(vec![1, 2]),
+        };
+        assert!(d.is_detected());
+        assert_eq!(d.cut().unwrap().as_slice(), &[1, 2]);
+        assert!(!Detection::Undetected.is_detected());
+        assert_eq!(Detection::Undetected.cut(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        let d = Detection::Detected {
+            cut: Cut::from_indices(vec![1, 2]),
+        };
+        assert_eq!(d.to_string(), "detected at ⟨1,2⟩");
+        assert_eq!(Detection::Undetected.to_string(), "undetected");
+        let r = DetectionReport {
+            detection: Detection::Undetected,
+            metrics: DetectionMetrics::new(1),
+        };
+        assert!(r.to_string().starts_with("undetected ["));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let r = DetectionReport {
+            detection: Detection::Detected {
+                cut: Cut::from_indices(vec![3]),
+            },
+            metrics: DetectionMetrics::new(2),
+        };
+        let json = serde_json::to_string(&r).unwrap();
+        let back: DetectionReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

@@ -1,0 +1,385 @@
+//! The Section 5 lower bound: any comparison-based online WCP detector
+//! needs `Ω(nm)` steps.
+//!
+//! The paper models an online detector as an algorithm over `n` queues of
+//! `m` local states each, restricted to two step types:
+//!
+//! - **S1** — compare all queue heads in parallel (the algorithm learns the
+//!   full pairwise order of the current heads),
+//! - **S2** — delete the heads of any set of queues.
+//!
+//! A head may only be deleted if the algorithm has *proof* it cannot belong
+//! to a size-`n` antichain — i.e. the last comparison showed it smaller
+//! than some other head; otherwise the adversary could complete the poset
+//! so that the deleted head was part of the answer, making the algorithm
+//! unsound. [`AdversaryGame`] enforces exactly this rule.
+//!
+//! The adversary of Theorem 5.1 answers every S1 with "all heads concurrent
+//! except one, which is smaller than exactly one other", always electing
+//! the *longest* remaining queue as the smaller side. This lets the
+//! algorithm delete only one state per round, and when the first queue
+//! empties every other queue has at most one element left — so at least
+//! `nm − n` states were deleted sequentially. [`run_optimal_algorithm`]
+//! plays the best possible algorithm against this adversary and returns the
+//! forced step count; the E9 experiment sweeps `n × m` and checks the bound.
+
+use std::fmt;
+
+/// Pairwise order of two queue heads as revealed by an S1 step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeadOrder {
+    /// Head `a` precedes head `b`.
+    Less,
+    /// Head `b` precedes head `a`.
+    Greater,
+    /// Heads are concurrent.
+    Concurrent,
+}
+
+/// The full result of an S1 comparison step.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    n: usize,
+    /// The adversary's current "smaller" pair `(a, b)`: head `a` < head
+    /// `b`; everything else concurrent. `None` once some queue is empty.
+    smaller: Option<(usize, usize)>,
+}
+
+impl Comparison {
+    /// Order between heads `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is out of range or `a == b`.
+    pub fn order(&self, a: usize, b: usize) -> HeadOrder {
+        assert!(a < self.n && b < self.n && a != b, "bad head pair");
+        match self.smaller {
+            Some((x, y)) if (x, y) == (a, b) => HeadOrder::Less,
+            Some((x, y)) if (x, y) == (b, a) => HeadOrder::Greater,
+            _ => HeadOrder::Concurrent,
+        }
+    }
+
+    /// The queues whose heads are provably deletable (smaller than some
+    /// other head) — under this adversary, at most one.
+    pub fn deletable(&self) -> Vec<usize> {
+        self.smaller.map(|(a, _)| vec![a]).unwrap_or_default()
+    }
+}
+
+/// Why an S2 step was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuleViolation {
+    /// Deleting a head the last comparison did not prove smaller than
+    /// another head — the adversary can make that head part of a size-`n`
+    /// antichain, so the deletion is unsound.
+    UnjustifiedDeletion {
+        /// The offending queue.
+        queue: usize,
+    },
+    /// Deleting from an already-empty queue.
+    EmptyQueue {
+        /// The offending queue.
+        queue: usize,
+    },
+    /// An S2 was issued before any S1 revealed an order.
+    NoComparisonYet,
+}
+
+impl fmt::Display for RuleViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuleViolation::UnjustifiedDeletion { queue } => {
+                write!(f, "deletion of queue {queue}'s head is not justified")
+            }
+            RuleViolation::EmptyQueue { queue } => write!(f, "queue {queue} is empty"),
+            RuleViolation::NoComparisonYet => write!(f, "no comparison has been made"),
+        }
+    }
+}
+
+impl std::error::Error for RuleViolation {}
+
+/// The Theorem 5.1 adversary: `n` queues of `m` states.
+#[derive(Debug, Clone)]
+pub struct AdversaryGame {
+    remaining: Vec<u64>,
+    smaller: Option<(usize, usize)>,
+    compared: bool,
+    s1_steps: u64,
+    deletions: u64,
+}
+
+impl AdversaryGame {
+    /// Starts a game over `n ≥ 2` queues of `m ≥ 1` states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `m < 1` (with fewer the bound is trivial).
+    pub fn new(n: usize, m: u64) -> Self {
+        assert!(n >= 2, "need at least two queues");
+        assert!(m >= 1, "need at least one state per queue");
+        AdversaryGame {
+            remaining: vec![m; n],
+            smaller: None,
+            compared: false,
+            s1_steps: 0,
+            deletions: 0,
+        }
+    }
+
+    /// Number of S1 steps taken.
+    pub fn s1_steps(&self) -> u64 {
+        self.s1_steps
+    }
+
+    /// Number of states deleted so far.
+    pub fn deletions(&self) -> u64 {
+        self.deletions
+    }
+
+    /// Remaining states per queue.
+    pub fn remaining(&self) -> &[u64] {
+        &self.remaining
+    }
+
+    /// `true` once some queue has emptied — the algorithm may now answer
+    /// "no antichain of size n remains reachable".
+    pub fn finished(&self) -> bool {
+        self.remaining.contains(&0)
+    }
+
+    /// S1: compare all heads. The adversary (re)elects its "smaller" pair:
+    /// the head of the longest remaining queue is smaller than the head of
+    /// the most recently advanced queue (or an arbitrary one initially).
+    pub fn compare_heads(&mut self) -> Comparison {
+        self.s1_steps += 1;
+        self.compared = true;
+        if self.finished() {
+            self.smaller = None;
+        } else if self.smaller.is_none() {
+            // First comparison: longest queue's head is smaller than some
+            // other queue's head.
+            let a = self.longest_queue(usize::MAX);
+            let b = (a + 1) % self.remaining.len();
+            self.smaller = Some((a, b));
+        }
+        Comparison {
+            n: self.remaining.len(),
+            smaller: self.smaller,
+        }
+    }
+
+    /// S2: delete the heads of `queues`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuleViolation`] if any deletion is not justified by the
+    /// last comparison; no deletion is performed in that case.
+    pub fn delete_heads(&mut self, queues: &[usize]) -> Result<(), RuleViolation> {
+        if !self.compared {
+            return Err(RuleViolation::NoComparisonYet);
+        }
+        for &q in queues {
+            if self.remaining.get(q).copied().unwrap_or(0) == 0 {
+                return Err(RuleViolation::EmptyQueue { queue: q });
+            }
+            if self.smaller.map(|(a, _)| a) != Some(q) {
+                return Err(RuleViolation::UnjustifiedDeletion { queue: q });
+            }
+        }
+        for &q in queues {
+            self.remaining[q] -= 1;
+            self.deletions += 1;
+            // Re-elect: the longest remaining queue's head becomes smaller
+            // than the head of the just-advanced queue.
+            if self.remaining.iter().all(|&r| r > 0) {
+                let j = self.longest_queue(q);
+                self.smaller = Some((j, q));
+            } else {
+                self.smaller = None;
+            }
+        }
+        Ok(())
+    }
+
+    /// Longest queue, excluding `except` (pass `usize::MAX` for none).
+    fn longest_queue(&self, except: usize) -> usize {
+        self.remaining
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != except)
+            .max_by_key(|&(_, &r)| r)
+            .map(|(i, _)| i)
+            .expect("n ≥ 2 queues")
+    }
+}
+
+/// Outcome of playing the optimal algorithm against the adversary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GameStats {
+    /// S1 comparison steps used.
+    pub comparisons: u64,
+    /// States deleted before a queue emptied.
+    pub deletions: u64,
+    /// Theorem 5.1's bound for this instance: `nm − n`.
+    pub bound: u64,
+}
+
+/// Plays the best possible comparison-based algorithm (delete everything
+/// deletable after each comparison) against the Theorem 5.1 adversary and
+/// returns the forced cost.
+///
+/// The returned stats always satisfy `deletions ≥ bound`.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `m < 1`.
+pub fn run_optimal_algorithm(n: usize, m: u64) -> GameStats {
+    let mut game = AdversaryGame::new(n, m);
+    while !game.finished() {
+        let cmp = game.compare_heads();
+        let deletable = cmp.deletable();
+        assert!(
+            !deletable.is_empty(),
+            "adversary must always justify one deletion while queues are non-empty"
+        );
+        game.delete_heads(&deletable)
+            .expect("deletable heads are justified");
+    }
+    let bound = (n as u64) * m - n as u64;
+    let stats = GameStats {
+        comparisons: game.s1_steps(),
+        deletions: game.deletions(),
+        bound,
+    };
+    assert!(
+        stats.deletions >= bound,
+        "adversary failed to force the bound: {} < {}",
+        stats.deletions,
+        bound
+    );
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adversary_forces_at_least_nm_minus_n() {
+        for n in [2usize, 3, 5, 8, 16] {
+            for m in [1u64, 2, 5, 20, 100] {
+                let stats = run_optimal_algorithm(n, m);
+                assert!(
+                    stats.deletions >= stats.bound,
+                    "n={n} m={m}: {} < {}",
+                    stats.deletions,
+                    stats.bound
+                );
+                // And the adversary is tight to within n: the algorithm
+                // never needs more than nm deletions total.
+                assert!(stats.deletions <= n as u64 * m);
+                // One deletion per comparison round.
+                assert_eq!(stats.comparisons, stats.deletions);
+            }
+        }
+    }
+
+    #[test]
+    fn exactly_one_deletable_head_per_round() {
+        let mut game = AdversaryGame::new(4, 3);
+        let cmp = game.compare_heads();
+        assert_eq!(cmp.deletable().len(), 1);
+        let (a, b) = {
+            let d = cmp.deletable()[0];
+            // find its counterpart
+            let b = (0..4).find(|&x| x != d && cmp.order(d, x) == HeadOrder::Less);
+            (d, b.unwrap())
+        };
+        assert_eq!(cmp.order(a, b), HeadOrder::Less);
+        assert_eq!(cmp.order(b, a), HeadOrder::Greater);
+        // All other pairs concurrent.
+        for x in 0..4 {
+            for y in 0..4 {
+                if x != y && (x, y) != (a, b) && (x, y) != (b, a) {
+                    assert_eq!(cmp.order(x, y), HeadOrder::Concurrent);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unjustified_deletion_is_rejected() {
+        let mut game = AdversaryGame::new(3, 2);
+        let cmp = game.compare_heads();
+        let deletable = cmp.deletable()[0];
+        let not_deletable = (0..3).find(|&q| q != deletable).unwrap();
+        assert_eq!(
+            game.delete_heads(&[not_deletable]),
+            Err(RuleViolation::UnjustifiedDeletion {
+                queue: not_deletable
+            })
+        );
+        // The justified one succeeds.
+        assert_eq!(game.delete_heads(&[deletable]), Ok(()));
+        assert_eq!(game.deletions(), 1);
+    }
+
+    #[test]
+    fn deletion_before_comparison_is_rejected() {
+        let mut game = AdversaryGame::new(2, 2);
+        assert_eq!(game.delete_heads(&[0]), Err(RuleViolation::NoComparisonYet));
+    }
+
+    #[test]
+    fn game_finishes_when_a_queue_empties() {
+        let stats = run_optimal_algorithm(2, 1);
+        // 2 queues × 1 state: bound = 0; one deletion empties a queue.
+        assert_eq!(stats.bound, 0);
+        assert_eq!(stats.deletions, 1);
+    }
+
+    #[test]
+    fn when_finished_all_other_queues_hold_at_most_one() {
+        for (n, m) in [(3usize, 4u64), (5, 7), (4, 2)] {
+            let mut game = AdversaryGame::new(n, m);
+            while !game.finished() {
+                let cmp = game.compare_heads();
+                game.delete_heads(&cmp.deletable()).unwrap();
+            }
+            let survivors: Vec<u64> = game
+                .remaining()
+                .iter()
+                .copied()
+                .filter(|&r| r > 0)
+                .collect();
+            assert!(
+                survivors.iter().all(|&r| r <= 1),
+                "n={n} m={m}: {survivors:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_queue_deletion_is_rejected() {
+        let mut game = AdversaryGame::new(2, 1);
+        let cmp = game.compare_heads();
+        game.delete_heads(&cmp.deletable()).unwrap();
+        assert!(game.finished());
+        let cmp = game.compare_heads();
+        assert!(cmp.deletable().is_empty());
+        let err = game.delete_heads(&[0]).unwrap_err();
+        assert!(matches!(
+            err,
+            RuleViolation::EmptyQueue { .. } | RuleViolation::UnjustifiedDeletion { .. }
+        ));
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two queues")]
+    fn single_queue_panics() {
+        AdversaryGame::new(1, 5);
+    }
+}

@@ -1,0 +1,137 @@
+//! Cost accounting shared by all detectors.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Operation counts of one detection run, in the units the paper's analyses
+/// use (Sections 3.4 and 4.4).
+///
+/// *Work* is counted in **component operations**: handling one candidate or
+/// one token examination in the vector-clock algorithms costs `n` (one
+/// operation per vector entry); handling one dependence in the
+/// direct-dependence algorithm costs `O(1)`. *Bytes* are the wire sizes of
+/// the protocol messages (vectors are 8 bytes per component, dependences 16
+/// bytes, colors 1 byte per entry).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DetectionMetrics {
+    /// Work units per participating process (monitor). For the centralized
+    /// checker this has a single entry: the checker itself.
+    pub per_process_work: Vec<u64>,
+    /// Number of token transfers between monitors (0 for checker/lattice).
+    pub token_hops: u64,
+    /// Control messages among monitors: token sends, polls, poll replies,
+    /// leader traffic.
+    pub control_messages: u64,
+    /// Bytes of control messages.
+    pub control_bytes: u64,
+    /// Local snapshots sent by application processes to monitors.
+    pub snapshot_messages: u64,
+    /// Bytes of local snapshots.
+    pub snapshot_bytes: u64,
+    /// Largest number of snapshots buffered at any one process at any time —
+    /// the paper's space measure (`O(nm)` per monitor for the token
+    /// algorithm vs `O(n²m)` at the centralized checker).
+    pub max_buffered_snapshots: u64,
+    /// Candidate states consumed (local states eliminated or accepted);
+    /// bounded by the total number of snapshots.
+    pub candidates_consumed: u64,
+    /// For the lattice baseline: number of global states visited.
+    pub lattice_states_visited: u64,
+    /// Critical-path length in work units when independent participants run
+    /// concurrently (equals [`total_work`](Self::total_work) for the
+    /// single-token and checker algorithms, which have no concurrency; the
+    /// multi-token variant §3.5 and the parallel red chain §4.5 shrink it).
+    pub parallel_time: u64,
+}
+
+impl DetectionMetrics {
+    /// Creates zeroed metrics over `participants` processes.
+    pub fn new(participants: usize) -> Self {
+        DetectionMetrics {
+            per_process_work: vec![0; participants],
+            ..DetectionMetrics::default()
+        }
+    }
+
+    /// Total work over all processes.
+    pub fn total_work(&self) -> u64 {
+        self.per_process_work.iter().sum()
+    }
+
+    /// Largest per-process work — the load-balance figure the paper's
+    /// distributed algorithms improve over the centralized checker.
+    pub fn max_process_work(&self) -> u64 {
+        self.per_process_work.iter().copied().max().unwrap_or(0)
+    }
+
+    /// All messages: control plus snapshots.
+    pub fn total_messages(&self) -> u64 {
+        self.control_messages + self.snapshot_messages
+    }
+
+    /// All bytes: control plus snapshots.
+    pub fn total_bytes(&self) -> u64 {
+        self.control_bytes + self.snapshot_bytes
+    }
+
+    /// Adds `units` of work to process `index`.
+    pub fn add_work(&mut self, index: usize, units: u64) {
+        self.per_process_work[index] += units;
+    }
+
+    /// Marks this run as having no concurrency: the critical path equals the
+    /// total work. Called by the strictly sequential detectors.
+    pub fn finish_sequential(&mut self) {
+        self.parallel_time = self.total_work();
+    }
+}
+
+impl fmt::Display for DetectionMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "work={} (max/process {}) hops={} ctrl={}msg/{}B snap={}msg/{}B buf={}",
+            self.total_work(),
+            self.max_process_work(),
+            self.token_hops,
+            self.control_messages,
+            self.control_bytes,
+            self.snapshot_messages,
+            self.snapshot_bytes,
+            self.max_buffered_snapshots
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_aggregate() {
+        let mut m = DetectionMetrics::new(3);
+        m.add_work(0, 5);
+        m.add_work(2, 9);
+        m.control_messages = 2;
+        m.snapshot_messages = 4;
+        m.control_bytes = 10;
+        m.snapshot_bytes = 20;
+        assert_eq!(m.total_work(), 14);
+        assert_eq!(m.max_process_work(), 9);
+        assert_eq!(m.total_messages(), 6);
+        assert_eq!(m.total_bytes(), 30);
+    }
+
+    #[test]
+    fn empty_metrics_are_zero() {
+        let m = DetectionMetrics::new(0);
+        assert_eq!(m.total_work(), 0);
+        assert_eq!(m.max_process_work(), 0);
+    }
+
+    #[test]
+    fn display_mentions_work() {
+        assert!(DetectionMetrics::new(1).to_string().contains("work=0"));
+    }
+}

@@ -1,0 +1,208 @@
+//! The centralized checker baseline (Garg & Waldecker, reference \[7\] of
+//! the paper).
+//!
+//! Every application process sends its Figure 2 snapshots to a single
+//! checker process, which repeatedly compares the heads of the `n` candidate
+//! queues and eliminates any head that happened before another head. The
+//! paper's critique (Section 1): this concentrates `O(n²m)` time **and**
+//! `O(n²m)` space on one process — the distributed algorithms exist to
+//! spread that cost.
+
+use wcp_clocks::Cut;
+use wcp_trace::{AnnotatedComputation, Wcp};
+
+use crate::detector::{Detection, DetectionReport, Detector};
+use crate::metrics::DetectionMetrics;
+use crate::snapshot::vc_snapshot_queues;
+
+/// Offline emulation of the centralized checker.
+///
+/// Implements [`Detector`]; metrics attribute all work to a single
+/// participant (the checker), and `max_buffered_snapshots` counts every
+/// snapshot of every process, reflecting the checker's central buffer.
+#[derive(Debug, Clone, Default)]
+pub struct CentralizedChecker;
+
+impl CentralizedChecker {
+    /// Creates the checker baseline.
+    pub fn new() -> Self {
+        CentralizedChecker
+    }
+}
+
+impl Detector for CentralizedChecker {
+    fn name(&self) -> &str {
+        "checker"
+    }
+
+    /// Runs the checker to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the predicate scope is empty.
+    fn detect(&self, annotated: &AnnotatedComputation<'_>, wcp: &Wcp) -> DetectionReport {
+        let n = wcp.n();
+        assert!(n >= 1, "WCP scope must name at least one process");
+        let queues = vc_snapshot_queues(annotated, wcp);
+
+        // Metrics: one participant (the checker). Every snapshot is a
+        // message to the checker, and all of them may be buffered there.
+        let mut metrics = DetectionMetrics::new(1);
+        metrics.snapshot_messages = queues.iter().map(|q| q.len() as u64).sum();
+        metrics.snapshot_bytes = queues
+            .iter()
+            .flatten()
+            .map(|s| s.wire_size() as u64)
+            .sum();
+        metrics.max_buffered_snapshots = metrics.snapshot_messages;
+
+        let mut heads = vec![0usize; n];
+        for (i, q) in queues.iter().enumerate() {
+            if q.is_empty() {
+                metrics.finish_sequential();
+                return DetectionReport {
+                    detection: Detection::Undetected,
+                    metrics,
+                };
+            }
+            metrics.candidates_consumed += 1;
+            let _ = i;
+        }
+
+        // Worklist of positions whose head changed and must be re-compared.
+        let mut work: Vec<usize> = (0..n).collect();
+        while let Some(i) = work.pop() {
+            // Compare head i against every other head; eliminate the
+            // causally earlier side of each ordered pair. One pass is O(n)
+            // — the paper's unit of work per elimination.
+            metrics.add_work(0, n as u64);
+            let mut advanced = None;
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                let hi = &queues[i][heads[i]];
+                let hj = &queues[j][heads[j]];
+                // (i, hi) → (j, hj) iff hj's clock knows interval hi on i.
+                if hj.clock.as_slice()[i] >= hi.interval {
+                    advanced = Some(i);
+                    break;
+                }
+                if hi.clock.as_slice()[j] >= hj.interval {
+                    advanced = Some(j);
+                    break;
+                }
+            }
+            match advanced {
+                None => {} // head i concurrent with all others
+                Some(x) => {
+                    heads[x] += 1;
+                    metrics.candidates_consumed += 1;
+                    if heads[x] >= queues[x].len() {
+                        metrics.finish_sequential();
+                        return DetectionReport {
+                            detection: Detection::Undetected,
+                            metrics,
+                        };
+                    }
+                    // Re-examine both the advanced position and, if it was
+                    // the peer, the current one.
+                    if !work.contains(&x) {
+                        work.push(x);
+                    }
+                    if x != i && !work.contains(&i) {
+                        work.push(i);
+                    }
+                }
+            }
+        }
+
+        let mut cut = Cut::new(annotated.process_count());
+        for (i, &p) in wcp.scope().iter().enumerate() {
+            cut.set(p, queues[i][heads[i]].interval);
+        }
+        metrics.finish_sequential();
+        DetectionReport {
+            detection: Detection::Detected { cut },
+            metrics,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TokenDetector;
+    use wcp_clocks::ProcessId;
+    use wcp_trace::generate::{generate, GeneratorConfig};
+    use wcp_trace::ComputationBuilder;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn detects_trivial_initial_cut() {
+        let mut b = ComputationBuilder::new(2);
+        b.mark_true(p(0));
+        b.mark_true(p(1));
+        let c = b.build().unwrap();
+        let r = CentralizedChecker::new().detect(&c.annotate(), &Wcp::over_first(2));
+        assert_eq!(r.detection.cut().unwrap().as_slice(), &[1, 1]);
+    }
+
+    #[test]
+    fn undetected_when_queue_empty() {
+        let mut b = ComputationBuilder::new(2);
+        b.mark_true(p(0));
+        let c = b.build().unwrap();
+        let r = CentralizedChecker::new().detect(&c.annotate(), &Wcp::over_first(2));
+        assert_eq!(r.detection, Detection::Undetected);
+    }
+
+    #[test]
+    fn eliminates_ordered_heads() {
+        // True at (0,1) and (1,2) with (0,1) → (1,2); then true again at
+        // (0,2): cut ⟨2,2⟩.
+        let mut b = ComputationBuilder::new(2);
+        b.mark_true(p(0));
+        let m = b.send(p(0), p(1));
+        b.mark_true(p(0)); // (0,2)
+        b.receive(p(1), m);
+        b.mark_true(p(1)); // (1,2)
+        let c = b.build().unwrap();
+        let r = CentralizedChecker::new().detect(&c.annotate(), &Wcp::over_first(2));
+        assert_eq!(r.detection.cut().unwrap().as_slice(), &[2, 2]);
+        assert_eq!(r.metrics.candidates_consumed, 3);
+    }
+
+    #[test]
+    fn agrees_with_token_detector_on_random_runs() {
+        for seed in 0..40 {
+            let cfg = GeneratorConfig::new(6, 10)
+                .with_seed(seed)
+                .with_predicate_density(0.3);
+            let g = generate(&cfg);
+            let a = g.computation.annotate();
+            let wcp = Wcp::over_first(5);
+            let checker = CentralizedChecker::new().detect(&a, &wcp);
+            let token = TokenDetector::new().detect(&a, &wcp);
+            assert_eq!(checker.detection, token.detection, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn all_work_is_on_the_checker() {
+        let cfg = GeneratorConfig::new(4, 10).with_seed(2).with_plant(0.7);
+        let g = generate(&cfg);
+        let r = CentralizedChecker::new().detect(&g.computation.annotate(), &Wcp::over_first(4));
+        assert_eq!(r.metrics.per_process_work.len(), 1);
+        assert_eq!(r.metrics.total_work(), r.metrics.max_process_work());
+        assert_eq!(r.metrics.token_hops, 0);
+        // The checker buffers *all* snapshots.
+        assert_eq!(
+            r.metrics.max_buffered_snapshots,
+            r.metrics.snapshot_messages
+        );
+    }
+}

@@ -1,0 +1,124 @@
+//! The Cooper–Marzullo lattice-search baseline (paper reference \[3\]).
+//!
+//! Detects *any* global predicate by enumerating the lattice of consistent
+//! global states. For conjunctive predicates it is exponentially more
+//! expensive than the paper's algorithms — which is exactly what experiment
+//! E7's baseline column shows — but its total generality makes it the
+//! independent ground truth of the test suite.
+
+use wcp_trace::lattice::LatticeExplorer;
+use wcp_trace::{AnnotatedComputation, Wcp};
+
+use crate::detector::{Detection, DetectionReport, Detector};
+use crate::metrics::DetectionMetrics;
+
+/// Lattice-search detector with a state budget.
+#[derive(Debug, Clone)]
+pub struct LatticeDetector {
+    max_states: usize,
+}
+
+impl LatticeDetector {
+    /// Detector with a default budget of one million global states.
+    pub fn new() -> Self {
+        LatticeDetector {
+            max_states: 1_000_000,
+        }
+    }
+
+    /// Sets the exploration budget.
+    pub fn with_max_states(mut self, max_states: usize) -> Self {
+        self.max_states = max_states;
+        self
+    }
+}
+
+impl Default for LatticeDetector {
+    fn default() -> Self {
+        LatticeDetector::new()
+    }
+}
+
+impl Detector for LatticeDetector {
+    fn name(&self) -> &str {
+        "lattice"
+    }
+
+    /// Runs breadth-first lattice search.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lattice exceeds the configured state budget — this
+    /// detector is a test/benchmark baseline, not a production path, and a
+    /// truncated search cannot soundly report `Undetected`.
+    fn detect(&self, annotated: &AnnotatedComputation<'_>, wcp: &Wcp) -> DetectionReport {
+        let computation = annotated.computation();
+        let explorer = LatticeExplorer::new(computation);
+        let mut metrics = DetectionMetrics::new(1);
+        // Count exactly the states BFS visits to answer: all states at
+        // levels up to the detected cut, or the whole lattice if undetected.
+        let (detection, visited) = match explorer.first_satisfying_counted(wcp, self.max_states) {
+            Ok((Some(cut), visited)) => (Detection::Detected { cut }, visited),
+            Ok((None, visited)) => (Detection::Undetected, visited),
+            Err(e) => panic!("lattice baseline exceeded its budget: {e}"),
+        };
+        metrics.lattice_states_visited = visited as u64;
+        metrics.add_work(0, metrics.lattice_states_visited);
+        metrics.finish_sequential();
+        DetectionReport { detection, metrics }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DirectDependenceDetector, TokenDetector};
+    use wcp_trace::generate::{generate, GeneratorConfig};
+
+    #[test]
+    fn all_three_families_agree() {
+        for seed in 0..25 {
+            let cfg = GeneratorConfig::new(4, 8)
+                .with_seed(seed)
+                .with_predicate_density(0.25);
+            let g = generate(&cfg);
+            let a = g.computation.annotate();
+            let wcp = Wcp::over_first(3);
+            let lattice = LatticeDetector::new().detect(&a, &wcp);
+            let token = TokenDetector::new().detect(&a, &wcp);
+            let direct = DirectDependenceDetector::new().detect(&a, &wcp);
+            assert_eq!(
+                lattice.detection.is_detected(),
+                token.detection.is_detected(),
+                "seed {seed}"
+            );
+            if let (Some(l), Some(t), Some(d)) = (
+                lattice.detection.cut(),
+                token.detection.cut(),
+                direct.detection.cut(),
+            ) {
+                assert_eq!(wcp.project(l), wcp.project(t), "seed {seed}");
+                assert_eq!(wcp.project(l), wcp.project(d), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn records_states_visited() {
+        let g = generate(&GeneratorConfig::new(3, 4).with_seed(1));
+        let a = g.computation.annotate();
+        let r = LatticeDetector::new().detect(&a, &Wcp::over_first(3));
+        assert!(r.metrics.lattice_states_visited >= 1);
+        assert_eq!(r.metrics.total_work(), r.metrics.lattice_states_visited);
+    }
+
+    #[test]
+    #[should_panic(expected = "budget")]
+    fn panics_when_budget_exceeded() {
+        let g = generate(&GeneratorConfig::new(5, 10).with_seed(0).with_send_fraction(1.0));
+        let a = g.computation.annotate();
+        LatticeDetector::new()
+            .with_max_states(10)
+            .detect(&a, &Wcp::over_first(5));
+    }
+}

@@ -1,0 +1,18 @@
+//! Exact sequential emulations of the paper's protocols.
+//!
+//! These detectors execute the same state machines as the online actors in
+//! [`crate::online`], but drive them directly from precomputed snapshot
+//! queues instead of simulated messages. They exist because the paper's
+//! claims are *operation counts* — total work, per-process work, message
+//! and bit counts, buffer sizes — and a sequential emulation can count those
+//! exactly and cheaply, independent of any network timing model.
+//!
+//! Every offline detector finds the same cut as its online counterpart
+//! (checked by the integration tests).
+
+pub mod checker;
+pub mod direct;
+pub mod hierarchical;
+pub mod lattice;
+pub mod multi_token;
+pub mod token;

@@ -1,0 +1,344 @@
+//! The multi-token parallel variant (paper Section 3.5).
+//!
+//! The scope's monitors are partitioned into `g` groups, each running the
+//! single-token algorithm among its own members. When a group has no red
+//! members left, its token returns to a leader; once the leader holds all
+//! `g` tokens it merges them into one candidate cut, applies the Figure 3
+//! elimination rule *across* groups, and sends tokens back into every group
+//! that acquired a red member. All-green at a merge means detection.
+//!
+//! The paper leaves the leader's cross-group consistency check unspecified;
+//! following DESIGN.md §3, each token additionally carries the candidate
+//! vector clocks of its group members, which is exactly the information the
+//! Figure 3 `for` loop uses.
+//!
+//! The emulation also computes [`DetectionMetrics::parallel_time`]: groups
+//! work concurrently between merges, so the critical path per round is the
+//! maximum group work in that round, plus the leader's merge work.
+
+use wcp_clocks::{Cut, VectorClock};
+use wcp_trace::{AnnotatedComputation, Wcp};
+
+use crate::detector::{Detection, DetectionReport, Detector};
+use crate::metrics::DetectionMetrics;
+use crate::offline::token::Color;
+use crate::snapshot::vc_snapshot_queues;
+
+/// A Section 3.5 group token: full-scope `G`/colour vectors plus the
+/// candidate clocks of this group's members.
+#[derive(Debug, Clone)]
+struct GroupToken {
+    g: Vec<u64>,
+    color: Vec<Color>,
+    /// Candidate clocks, populated only at this group's member positions.
+    candidates: Vec<Option<VectorClock>>,
+}
+
+impl GroupToken {
+    fn new(n: usize) -> Self {
+        GroupToken {
+            g: vec![0; n],
+            color: vec![Color::Red; n],
+            candidates: vec![None; n],
+        }
+    }
+
+    /// Wire size: `G` + colours (9 bytes/entry) plus the carried candidate
+    /// vectors (8 bytes/component).
+    fn wire_size(&self) -> usize {
+        self.g.len() * 9
+            + self
+                .candidates
+                .iter()
+                .flatten()
+                .map(VectorClock::wire_size)
+                .sum::<usize>()
+    }
+}
+
+/// Offline emulation of the multi-token algorithm.
+///
+/// With `groups == 1` this degenerates to the single-token algorithm (plus
+/// one leader round-trip) and detects the identical cut.
+#[derive(Debug, Clone)]
+pub struct MultiTokenDetector {
+    groups: usize,
+}
+
+impl MultiTokenDetector {
+    /// Detector with `groups` tokens (clamped to `1..=n` at run time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups == 0`.
+    pub fn new(groups: usize) -> Self {
+        assert!(groups >= 1, "need at least one group");
+        MultiTokenDetector { groups }
+    }
+
+    /// Number of groups configured.
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+}
+
+impl Detector for MultiTokenDetector {
+    fn name(&self) -> &str {
+        "multi-token"
+    }
+
+    /// Runs the grouped protocol to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the predicate scope is empty.
+    fn detect(&self, annotated: &AnnotatedComputation<'_>, wcp: &Wcp) -> DetectionReport {
+        let n = wcp.n();
+        assert!(n >= 1, "WCP scope must name at least one process");
+        let g_count = self.groups.min(n);
+        let queues = vc_snapshot_queues(annotated, wcp);
+
+        // Participants: n monitors + 1 leader (index n).
+        let leader = n;
+        let mut metrics = DetectionMetrics::new(n + 1);
+        metrics.snapshot_messages = queues.iter().map(|q| q.len() as u64).sum();
+        metrics.snapshot_bytes = queues
+            .iter()
+            .flatten()
+            .map(|s| s.wire_size() as u64)
+            .sum();
+        metrics.max_buffered_snapshots =
+            queues.iter().map(|q| q.len() as u64).max().unwrap_or(0);
+
+        // Contiguous balanced partition: member i belongs to group i·g/n.
+        let group_of = |i: usize| i * g_count / n;
+        let members: Vec<Vec<usize>> = (0..g_count)
+            .map(|gi| (0..n).filter(|&i| group_of(i) == gi).collect())
+            .collect();
+
+        let mut heads = vec![0usize; n];
+        let mut tokens: Vec<GroupToken> = (0..g_count).map(|_| GroupToken::new(n)).collect();
+        // Groups whose token is currently circulating (not at the leader).
+        let mut active: Vec<bool> = vec![true; g_count];
+        let mut parallel_time = 0u64;
+
+        loop {
+            // ---- Phase A: groups drain their red members concurrently. ----
+            let mut round_max = 0u64;
+            for gi in 0..g_count {
+                if !active[gi] {
+                    continue;
+                }
+                let mut group_work = 0u64;
+                let token = &mut tokens[gi];
+                // Walk the token among this group's red members.
+                while let Some(&at) = members[gi]
+                    .iter()
+                    .find(|&&i| token.color[i] == Color::Red)
+                {
+                    // Figure 3 `while` loop at member `at`.
+                    let candidate = loop {
+                        let Some(snapshot) = queues[at].get(heads[at]) else {
+                            metrics.parallel_time = parallel_time + group_work;
+                            return DetectionReport {
+                                detection: Detection::Undetected,
+                                metrics,
+                            };
+                        };
+                        heads[at] += 1;
+                        metrics.candidates_consumed += 1;
+                        metrics.add_work(at, n as u64);
+                        group_work += n as u64;
+                        if snapshot.interval > token.g[at] {
+                            token.g[at] = snapshot.interval;
+                            token.color[at] = Color::Green;
+                            break snapshot;
+                        }
+                    };
+                    token.candidates[at] = Some(candidate.clock.clone());
+                    // Figure 3 `for` loop — updates entries across all of
+                    // the scope; red members of *other* groups are
+                    // reconciled at the next merge.
+                    metrics.add_work(at, n as u64);
+                    group_work += n as u64;
+                    for j in 0..n {
+                        if j == at {
+                            continue;
+                        }
+                        let seen = candidate.clock.as_slice()[j];
+                        if seen >= token.g[j] && seen > 0 {
+                            token.g[j] = seen;
+                            token.color[j] = Color::Red;
+                        }
+                    }
+                    // Token hop to the next red member, if any.
+                    if members[gi].iter().any(|&i| token.color[i] == Color::Red) {
+                        metrics.token_hops += 1;
+                        metrics.control_messages += 1;
+                        metrics.control_bytes += token.wire_size() as u64;
+                    }
+                }
+                // Group finished: token returns to the leader.
+                metrics.control_messages += 1;
+                metrics.control_bytes += tokens[gi].wire_size() as u64;
+                active[gi] = false;
+                round_max = round_max.max(group_work);
+            }
+            parallel_time += round_max;
+
+            // ---- Phase B: leader merge. ----
+            let mut g_merged = vec![0u64; n];
+            let mut color = vec![Color::Red; n];
+            let mut candidates: Vec<Option<VectorClock>> = vec![None; n];
+            for i in 0..n {
+                let owner = &tokens[group_of(i)];
+                for t in &tokens {
+                    g_merged[i] = g_merged[i].max(t.g[i]);
+                }
+                candidates[i] = owner.candidates[i].clone();
+                color[i] = if owner.color[i] == Color::Green && owner.g[i] == g_merged[i] {
+                    Color::Green
+                } else {
+                    Color::Red
+                };
+            }
+            // Cross-group Figure 3 elimination: a green candidate that
+            // "knows" interval ≥ G[i] of process i eliminates (i, G[i]).
+            metrics.add_work(leader, (n * n) as u64);
+            parallel_time += (n * n) as u64;
+            for j in 0..n {
+                if color[j] != Color::Green {
+                    continue;
+                }
+                let cand = candidates[j].as_ref().expect("green ⇒ candidate");
+                for i in 0..n {
+                    if i == j {
+                        continue;
+                    }
+                    let seen = cand.as_slice()[i];
+                    if seen >= g_merged[i] && seen > 0 {
+                        g_merged[i] = seen;
+                        color[i] = Color::Red;
+                    }
+                }
+            }
+
+            if color.iter().all(|&c| c == Color::Green) {
+                let mut cut = Cut::new(annotated.process_count());
+                for (i, &p) in wcp.scope().iter().enumerate() {
+                    cut.set(p, g_merged[i]);
+                }
+                metrics.parallel_time = parallel_time;
+                return DetectionReport {
+                    detection: Detection::Detected { cut },
+                    metrics,
+                };
+            }
+
+            // Redistribute: every group containing a red member gets a
+            // token carrying the merged state.
+            for gi in 0..g_count {
+                tokens[gi].g = g_merged.clone();
+                tokens[gi].color = color.clone();
+                tokens[gi].candidates = candidates.clone();
+                if members[gi].iter().any(|&i| color[i] == Color::Red) {
+                    active[gi] = true;
+                    metrics.control_messages += 1;
+                    metrics.control_bytes += tokens[gi].wire_size() as u64;
+                }
+            }
+            debug_assert!(active.iter().any(|&a| a), "red member must be in some group");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TokenDetector;
+    use wcp_trace::generate::{generate, GeneratorConfig};
+
+    #[test]
+    fn one_group_equals_single_token() {
+        for seed in 0..20 {
+            let cfg = GeneratorConfig::new(5, 10)
+                .with_seed(seed)
+                .with_predicate_density(0.3);
+            let g = generate(&cfg);
+            let a = g.computation.annotate();
+            let wcp = Wcp::over_first(5);
+            let single = TokenDetector::new().detect(&a, &wcp);
+            let multi = MultiTokenDetector::new(1).detect(&a, &wcp);
+            assert_eq!(single.detection, multi.detection, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn all_group_counts_agree() {
+        for seed in 0..20 {
+            let cfg = GeneratorConfig::new(6, 12)
+                .with_seed(seed)
+                .with_predicate_density(0.25);
+            let g = generate(&cfg);
+            let a = g.computation.annotate();
+            let wcp = Wcp::over_first(6);
+            let reference = TokenDetector::new().detect(&a, &wcp).detection;
+            for groups in [2usize, 3, 6, 9] {
+                let multi = MultiTokenDetector::new(groups).detect(&a, &wcp);
+                assert_eq!(multi.detection, reference, "seed {seed} groups {groups}");
+            }
+        }
+    }
+
+    #[test]
+    fn more_groups_never_increase_critical_path_much() {
+        // Statistical sanity: with a planted cut and dense predicates, the
+        // 4-group critical path should beat the 1-group one on most seeds.
+        let mut wins = 0;
+        let total = 20;
+        for seed in 0..total {
+            let cfg = GeneratorConfig::new(8, 15)
+                .with_seed(seed)
+                .with_predicate_density(0.3)
+                .with_plant(0.8);
+            let g = generate(&cfg);
+            let a = g.computation.annotate();
+            let wcp = Wcp::over_first(8);
+            let t1 = MultiTokenDetector::new(1).detect(&a, &wcp).metrics.parallel_time;
+            let t4 = MultiTokenDetector::new(4).detect(&a, &wcp).metrics.parallel_time;
+            if t4 <= t1 {
+                wins += 1;
+            }
+        }
+        assert!(wins * 2 > total, "4 groups beat 1 group only {wins}/{total} times");
+    }
+
+    #[test]
+    fn groups_accessor_and_clamping() {
+        let d = MultiTokenDetector::new(64);
+        assert_eq!(d.groups(), 64);
+        // More groups than scope processes still works (clamped).
+        let g = generate(&GeneratorConfig::new(3, 6).with_seed(1).with_plant(0.5));
+        let a = g.computation.annotate();
+        let r = d.detect(&a, &Wcp::over_first(3));
+        assert!(r.detection.is_detected());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one group")]
+    fn zero_groups_panics() {
+        MultiTokenDetector::new(0);
+    }
+
+    #[test]
+    fn undetected_propagates() {
+        let g = generate(
+            &GeneratorConfig::new(4, 8)
+                .with_seed(2)
+                .with_predicate_density(0.0),
+        );
+        let a = g.computation.annotate();
+        let r = MultiTokenDetector::new(2).detect(&a, &Wcp::over_first(4));
+        assert_eq!(r.detection, Detection::Undetected);
+    }
+}

@@ -1,0 +1,462 @@
+//! The single-token vector-clock algorithm (paper Section 3, Figures 2–3).
+//!
+//! A unique token carries the candidate cut `G[1..n]` and a colour vector.
+//! `color[i] = red` means state `(i, G[i])` (and all its predecessors) can
+//! never satisfy the WCP; `green` means no selected state is known to follow
+//! it. The token travels only to red monitors; a visit consumes candidate
+//! snapshots until one survives (Figure 3's `while` loop), then eliminates
+//! any other selected state that happened before the new candidate (the
+//! `for` loop). All-green means the cut is consistent — detection.
+
+use wcp_clocks::{Cut, StateId, VectorClock};
+use wcp_trace::{AnnotatedComputation, Wcp};
+
+use crate::detector::{Detection, DetectionReport, Detector};
+use crate::metrics::DetectionMetrics;
+use crate::snapshot::{vc_snapshot_queues, VcSnapshot};
+
+/// Colour of a candidate state, as in Figure 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Color {
+    /// The state is eliminated; the token must visit this monitor.
+    Red,
+    /// No selected state is known to causally follow this one.
+    Green,
+}
+
+/// The token of the single-token algorithm: the candidate cut and colours.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Candidate cut: `G[i]` is the selected interval of scope process `i`
+    /// (`0` = none yet).
+    pub g: Vec<u64>,
+    /// Colours of the candidate states.
+    pub color: Vec<Color>,
+}
+
+impl Token {
+    /// A fresh token over `n` scope processes (`∀i: G[i] = 0`, all red).
+    pub fn new(n: usize) -> Self {
+        Token {
+            g: vec![0; n],
+            color: vec![Color::Red; n],
+        }
+    }
+
+    /// Wire size: `G` (8 bytes/entry) plus colours (1 byte/entry).
+    pub fn wire_size(&self) -> usize {
+        self.g.len() * 9
+    }
+
+    /// Index of the first red entry at or cyclically after `from`.
+    pub fn next_red(&self, from: usize) -> Option<usize> {
+        let n = self.color.len();
+        (0..n)
+            .map(|d| (from + d) % n)
+            .find(|&j| self.color[j] == Color::Red)
+    }
+
+    /// `true` iff every colour is green (detection condition).
+    pub fn all_green(&self) -> bool {
+        self.color.iter().all(|&c| c == Color::Green)
+    }
+}
+
+/// Which red monitor receives the token next. Figure 3 only says "send
+/// token to M_j" for *some* red `j`; the choice affects token hops but not
+/// the detected cut (experiment E11 measures the difference).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NextRedStrategy {
+    /// First red position cyclically after the current monitor (default).
+    #[default]
+    Cyclic,
+    /// Always the lowest-indexed red position.
+    LowestIndex,
+    /// The red position with the smallest candidate index `G[j]` — the
+    /// monitor that is "most behind".
+    MostBehind,
+}
+
+impl NextRedStrategy {
+    /// Picks the next red position, given the current position.
+    pub(crate) fn pick(&self, token: &Token, at: usize) -> Option<usize> {
+        match self {
+            NextRedStrategy::Cyclic => token.next_red((at + 1) % token.color.len()),
+            NextRedStrategy::LowestIndex => token.next_red(0),
+            NextRedStrategy::MostBehind => (0..token.color.len())
+                .filter(|&j| token.color[j] == Color::Red)
+                .min_by_key(|&j| token.g[j]),
+        }
+    }
+}
+
+/// Offline emulation of the Figure 3 monitor protocol.
+///
+/// See the [crate docs](crate) for a usage example; complexity is the
+/// paper's `O(n²m)` total work with `O(nm)` work and space per monitor.
+#[derive(Debug, Clone)]
+pub struct TokenDetector {
+    start: usize,
+    check_invariants: bool,
+    strategy: NextRedStrategy,
+}
+
+impl TokenDetector {
+    /// Detector with the token starting at scope position 0.
+    pub fn new() -> Self {
+        TokenDetector {
+            start: 0,
+            check_invariants: false,
+            strategy: NextRedStrategy::Cyclic,
+        }
+    }
+
+    /// Starts the token at a different scope position (the paper: "the
+    /// token can start on any process").
+    pub fn with_start(mut self, start: usize) -> Self {
+        self.start = start;
+        self
+    }
+
+    /// Verifies Lemma 3.1 (parts 1–3) after every token visit. Used by the
+    /// test suite; expensive.
+    pub fn with_invariant_checks(mut self) -> Self {
+        self.check_invariants = true;
+        self
+    }
+
+    /// Chooses how the next red monitor is selected (E11 ablation).
+    pub fn with_strategy(mut self, strategy: NextRedStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+}
+
+impl Default for TokenDetector {
+    fn default() -> Self {
+        TokenDetector::new()
+    }
+}
+
+impl Detector for TokenDetector {
+    fn name(&self) -> &str {
+        "token"
+    }
+
+    /// Runs the single-token protocol to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the predicate scope is empty or names processes outside
+    /// the computation.
+    fn detect(&self, annotated: &AnnotatedComputation<'_>, wcp: &Wcp) -> DetectionReport {
+        let n = wcp.n();
+        assert!(n >= 1, "WCP scope must name at least one process");
+        let queues = vc_snapshot_queues(annotated, wcp);
+
+        let mut metrics = DetectionMetrics::new(n);
+        metrics.snapshot_messages = queues.iter().map(|q| q.len() as u64).sum();
+        metrics.snapshot_bytes = queues
+            .iter()
+            .flatten()
+            .map(|s| s.wire_size() as u64)
+            .sum();
+        metrics.max_buffered_snapshots =
+            queues.iter().map(|q| q.len() as u64).max().unwrap_or(0);
+
+        let mut token = Token::new(n);
+        let mut heads = vec![0usize; n]; // per-monitor queue position
+        let mut at = self.start % n;
+
+        loop {
+            debug_assert_eq!(token.color[at], Color::Red, "token sent to a green monitor");
+            // Figure 3 `while` loop: consume candidates until one survives.
+            let candidate: &VcSnapshot = loop {
+                let Some(snapshot) = queues[at].get(heads[at]) else {
+                    // Monitor would block forever waiting for a candidate.
+                    metrics.finish_sequential();
+                    return DetectionReport {
+                        detection: Detection::Undetected,
+                        metrics,
+                    };
+                };
+                heads[at] += 1;
+                metrics.candidates_consumed += 1;
+                metrics.add_work(at, n as u64); // receive + examine an n-vector
+                if snapshot.interval > token.g[at] {
+                    token.g[at] = snapshot.interval;
+                    token.color[at] = Color::Green;
+                    break snapshot;
+                }
+            };
+
+            // Figure 3 `for` loop: eliminate states preceding the new
+            // candidate.
+            metrics.add_work(at, n as u64);
+            for j in 0..n {
+                if j == at {
+                    continue;
+                }
+                let seen = candidate.clock.as_slice()[j];
+                if seen >= token.g[j] && seen > 0 {
+                    token.g[j] = seen;
+                    token.color[j] = Color::Red;
+                }
+            }
+
+            if self.check_invariants {
+                check_lemma_3_1(annotated, wcp, &token);
+            }
+
+            if token.all_green() {
+                let mut cut = Cut::new(annotated.process_count());
+                for (i, &p) in wcp.scope().iter().enumerate() {
+                    cut.set(p, token.g[i]);
+                }
+                metrics.finish_sequential();
+                return DetectionReport {
+                    detection: Detection::Detected { cut },
+                    metrics,
+                };
+            }
+
+            let next = self
+                .strategy
+                .pick(&token, at)
+                .expect("not all green ⇒ some red");
+            metrics.token_hops += 1;
+            metrics.control_messages += 1;
+            metrics.control_bytes += token.wire_size() as u64;
+            at = next;
+        }
+    }
+}
+
+/// Asserts Lemma 3.1 of the paper on the current token state.
+fn check_lemma_3_1(annotated: &AnnotatedComputation<'_>, wcp: &Wcp, token: &Token) {
+    let scope = wcp.scope();
+    let state = |i: usize| StateId::new(scope[i], token.g[i]);
+    for i in 0..scope.len() {
+        if token.g[i] == 0 {
+            continue;
+        }
+        match token.color[i] {
+            Color::Red => {
+                // Part 1: a red non-zero state happened before some
+                // selected state.
+                let witnessed = (0..scope.len()).any(|j| {
+                    j != i && token.g[j] > 0 && annotated.happened_before(state(i), state(j))
+                });
+                assert!(
+                    witnessed,
+                    "Lemma 3.1(1) violated: red {} precedes no candidate",
+                    state(i)
+                );
+            }
+            Color::Green => {
+                // Part 2: a green state precedes no selected state.
+                for j in 0..scope.len() {
+                    if j == i || token.g[j] == 0 {
+                        continue;
+                    }
+                    assert!(
+                        !annotated.happened_before(state(i), state(j)),
+                        "Lemma 3.1(2) violated: green {} precedes {}",
+                        state(i),
+                        state(j)
+                    );
+                }
+            }
+        }
+    }
+    // Part 3: greens are pairwise concurrent (follows from part 2, but
+    // check both directions explicitly).
+    for i in 0..scope.len() {
+        for j in i + 1..scope.len() {
+            if token.color[i] == Color::Green && token.color[j] == Color::Green {
+                assert!(
+                    annotated.concurrent(state(i), state(j)),
+                    "Lemma 3.1(3) violated: greens {} and {} not concurrent",
+                    state(i),
+                    state(j)
+                );
+            }
+        }
+    }
+}
+
+/// Suppress a false "unused" warning: `VectorClock` appears in pub types.
+const _: fn(&VectorClock) -> usize = VectorClock::wire_size;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcp_clocks::ProcessId;
+    use wcp_trace::generate::{generate, GeneratorConfig};
+    use wcp_trace::ComputationBuilder;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn detector() -> TokenDetector {
+        TokenDetector::new().with_invariant_checks()
+    }
+
+    #[test]
+    fn token_new_matches_figure3_init() {
+        let t = Token::new(3);
+        assert_eq!(t.g, vec![0, 0, 0]);
+        assert!(t.color.iter().all(|&c| c == Color::Red));
+        assert!(!t.all_green());
+        assert_eq!(t.next_red(1), Some(1));
+        assert_eq!(t.wire_size(), 27);
+    }
+
+    #[test]
+    fn next_red_wraps() {
+        let mut t = Token::new(3);
+        t.color[1] = Color::Green;
+        t.color[2] = Color::Green;
+        assert_eq!(t.next_red(1), Some(0));
+        t.color[0] = Color::Green;
+        assert_eq!(t.next_red(0), None);
+        assert!(t.all_green());
+    }
+
+    #[test]
+    fn detects_concurrent_true_states() {
+        let mut b = ComputationBuilder::new(2);
+        let m = b.send(p(0), p(1));
+        b.mark_true(p(0)); // (0,2)
+        b.receive(p(1), m);
+        b.mark_true(p(1)); // (1,2)
+        let c = b.build().unwrap();
+        let report = detector().detect(&c.annotate(), &Wcp::over_first(2));
+        assert_eq!(
+            report.detection.cut().unwrap().as_slice(),
+            &[2, 2],
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn reports_undetected_when_no_consistent_cut() {
+        // (0,1) → (1,2): only true states are causally ordered.
+        let mut b = ComputationBuilder::new(2);
+        b.mark_true(p(0));
+        let m = b.send(p(0), p(1));
+        b.receive(p(1), m);
+        b.mark_true(p(1));
+        let c = b.build().unwrap();
+        let report = detector().detect(&c.annotate(), &Wcp::over_first(2));
+        assert_eq!(report.detection, Detection::Undetected);
+        // Both snapshots were generated, and some were consumed.
+        assert_eq!(report.metrics.snapshot_messages, 2);
+        assert!(report.metrics.candidates_consumed >= 1);
+    }
+
+    #[test]
+    fn undetected_when_one_predicate_never_true() {
+        let mut b = ComputationBuilder::new(2);
+        b.mark_true(p(0));
+        let c = b.build().unwrap();
+        let report = detector().detect(&c.annotate(), &Wcp::over_first(2));
+        assert_eq!(report.detection, Detection::Undetected);
+    }
+
+    #[test]
+    fn agrees_with_ground_truth_on_random_runs() {
+        for seed in 0..40 {
+            let cfg = GeneratorConfig::new(5, 12)
+                .with_seed(seed)
+                .with_predicate_density(0.25);
+            let g = generate(&cfg);
+            let a = g.computation.annotate();
+            let wcp = Wcp::over_first(4);
+            let expected = a.first_satisfying_cut(&wcp);
+            let report = detector().detect(&a, &wcp);
+            assert_eq!(
+                report.detection.cut().cloned(),
+                expected,
+                "seed {seed}: {report}"
+            );
+        }
+    }
+
+    #[test]
+    fn start_position_does_not_change_result() {
+        let cfg = GeneratorConfig::new(4, 10).with_seed(3).with_plant(0.6);
+        let g = generate(&cfg);
+        let a = g.computation.annotate();
+        let wcp = Wcp::over_all(&g.computation);
+        let r0 = detector().detect(&a, &wcp);
+        for start in 1..4 {
+            let r = detector().with_start(start).detect(&a, &wcp);
+            assert_eq!(r.detection, r0.detection, "start {start}");
+        }
+    }
+
+    #[test]
+    fn token_hops_bounded_by_candidates() {
+        // Paper §3.4: the token is sent at most mn times; every hop follows
+        // at least one elimination.
+        let cfg = GeneratorConfig::new(5, 20)
+            .with_seed(11)
+            .with_predicate_density(0.3)
+            .with_plant(0.9);
+        let g = generate(&cfg);
+        let a = g.computation.annotate();
+        let report = detector().detect(&a, &Wcp::over_all(&g.computation));
+        assert!(report.metrics.token_hops <= report.metrics.candidates_consumed);
+        assert!(report.metrics.candidates_consumed <= report.metrics.snapshot_messages);
+    }
+
+    #[test]
+    fn work_is_n_per_candidate_plus_n_per_visit() {
+        let mut b = ComputationBuilder::new(2);
+        b.mark_true(p(0));
+        b.mark_true(p(1));
+        let c = b.build().unwrap();
+        let report = detector().detect(&c.annotate(), &Wcp::over_first(2));
+        // Visits: P0 consumes 1 candidate (2+2 work), P1 consumes 1 (2+2).
+        assert_eq!(report.metrics.total_work(), 8);
+        assert_eq!(report.metrics.per_process_work, vec![4, 4]);
+        assert_eq!(report.metrics.token_hops, 1);
+        assert_eq!(
+            report.detection.cut().unwrap().as_slice(),
+            &[1, 1],
+            "trivial cut"
+        );
+    }
+
+    #[test]
+    fn strategies_agree_on_the_cut() {
+        use crate::NextRedStrategy;
+        for seed in 0..15 {
+            let cfg = GeneratorConfig::new(6, 12)
+                .with_seed(seed)
+                .with_predicate_density(0.3);
+            let g = generate(&cfg);
+            let a = g.computation.annotate();
+            let wcp = Wcp::over_first(6);
+            let reference = detector().detect(&a, &wcp).detection;
+            for strategy in [
+                NextRedStrategy::Cyclic,
+                NextRedStrategy::LowestIndex,
+                NextRedStrategy::MostBehind,
+            ] {
+                let r = detector().with_strategy(strategy).detect(&a, &wcp);
+                assert_eq!(r.detection, reference, "seed {seed} {strategy:?}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one process")]
+    fn empty_scope_panics() {
+        let c = ComputationBuilder::new(1).build().unwrap();
+        let a = c.annotate();
+        TokenDetector::new().detect(&a, &Wcp::over([]));
+    }
+}

@@ -1,0 +1,254 @@
+//! The centralized checker as an online actor — the Garg–Waldecker
+//! baseline (\[7\]) running as a real process, for like-for-like online
+//! comparisons with the token algorithms.
+//!
+//! Every scope process streams its Figure 2 snapshots to the single checker
+//! over FIFO channels; the checker repeatedly eliminates any queue head
+//! that happened before another head. All its cost — `O(n²m)` work and
+//! `O(nm)` buffered snapshots — lands on one actor, which is exactly the
+//! imbalance the paper's distributed algorithms remove.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use wcp_clocks::{Cut, ProcessId};
+use wcp_sim::{Actor, ActorId, Context, SimConfig, Simulation};
+use wcp_trace::{Computation, Wcp};
+
+use crate::detector::{Detection, DetectionReport};
+use crate::metrics::DetectionMetrics;
+use crate::online::app::{AppProcess, ClockMode};
+use crate::online::harness::OnlineReport;
+use crate::online::messages::DetectMsg;
+use crate::online::vc_monitor::{OnlineDetection, OnlineStats, SharedOutcome, SharedStats};
+use crate::snapshot::VcSnapshot;
+
+/// The checker actor: buffers every scope process's snapshots and runs the
+/// head-elimination loop incrementally as they arrive.
+#[derive(Debug)]
+pub struct CheckerProcess {
+    n: usize,
+    /// Application actor id → scope position.
+    position_of: Vec<Option<usize>>,
+    queues: Vec<VecDeque<VcSnapshot>>,
+    eot: Vec<bool>,
+    done: bool,
+    result: SharedOutcome,
+    stats: SharedStats,
+}
+
+impl CheckerProcess {
+    /// Builds the checker for `n` scope positions; `position_of[actor]`
+    /// maps an application actor index to its scope position.
+    pub fn new(
+        n: usize,
+        position_of: Vec<Option<usize>>,
+        result: SharedOutcome,
+        stats: SharedStats,
+    ) -> Self {
+        CheckerProcess {
+            n,
+            position_of,
+            queues: (0..n).map(|_| VecDeque::new()).collect(),
+            eot: vec![false; n],
+            done: false,
+            result,
+            stats,
+        }
+    }
+
+    fn try_check(&mut self, ctx: &mut dyn Context<DetectMsg>) {
+        if self.done {
+            return;
+        }
+        loop {
+            // A full candidate set is required before any comparison.
+            for i in 0..self.n {
+                if self.queues[i].is_empty() {
+                    if self.eot[i] {
+                        self.done = true;
+                        *self.result.lock() = Some(OnlineDetection::Undetected);
+                        ctx.stop();
+                    }
+                    return; // wait for more snapshots
+                }
+            }
+            // One elimination pass: compare every ordered pair of heads.
+            ctx.add_work(self.n as u64);
+            let mut eliminated = None;
+            'pairs: for i in 0..self.n {
+                for j in 0..self.n {
+                    if i == j {
+                        continue;
+                    }
+                    let hi = self.queues[i].front().expect("nonempty");
+                    let hj = self.queues[j].front().expect("nonempty");
+                    if hj.clock.as_slice()[i] >= hi.interval {
+                        eliminated = Some(i); // (i, hi) → (j, hj)
+                        break 'pairs;
+                    }
+                }
+            }
+            match eliminated {
+                Some(i) => {
+                    self.queues[i].pop_front();
+                }
+                None => {
+                    let g = self
+                        .queues
+                        .iter()
+                        .map(|q| q.front().expect("nonempty").interval)
+                        .collect();
+                    self.done = true;
+                    *self.result.lock() = Some(OnlineDetection::Detected(g));
+                    ctx.stop();
+                    return;
+                }
+            }
+        }
+    }
+}
+
+impl Actor<DetectMsg> for CheckerProcess {
+    fn on_message(&mut self, ctx: &mut dyn Context<DetectMsg>, from: ActorId, msg: DetectMsg) {
+        let pos = self.position_of[from.index()].expect("snapshot from non-scope process");
+        match msg {
+            DetectMsg::VcSnapshot(s) => {
+                self.queues[pos].push_back(s);
+                let buffered: u64 = self.queues.iter().map(|q| q.len() as u64).sum();
+                {
+                    let mut stats = self.stats.lock();
+                    stats.max_buffered = stats.max_buffered.max(buffered);
+                }
+                self.try_check(ctx);
+            }
+            DetectMsg::EndOfTrace => {
+                self.eot[pos] = true;
+                self.try_check(ctx);
+            }
+            other => unreachable!("checker: unexpected {other:?}"),
+        }
+    }
+}
+
+/// Runs the centralized checker online.
+///
+/// # Panics
+///
+/// Panics if the scope is empty or the computation is invalid.
+pub fn run_checker(computation: &Computation, wcp: &Wcp, sim_config: SimConfig) -> OnlineReport {
+    let n_total = computation.process_count();
+    let n = wcp.n();
+    assert!(n >= 1, "WCP scope must name at least one process");
+
+    let apps: Vec<ActorId> = (0..n_total as u32).map(ActorId::new).collect();
+    let checker = ActorId::new(n_total as u32);
+
+    let mut config = sim_config;
+    for &p in wcp.scope() {
+        config = config.with_fifo_channel(apps[p.index()], checker);
+    }
+
+    let result: SharedOutcome = Arc::new(Mutex::new(None));
+    let stats: SharedStats = Arc::new(Mutex::new(OnlineStats::default()));
+    let mut sim = Simulation::new(config);
+    for p in ProcessId::all(n_total) {
+        let monitor = wcp.position(p).map(|_| checker);
+        sim.add_actor(Box::new(AppProcess::new(
+            computation,
+            wcp,
+            p,
+            ClockMode::Vector,
+            apps.clone(),
+            monitor,
+        )));
+    }
+    let position_of: Vec<Option<usize>> = (0..n_total)
+        .map(|i| wcp.position(ProcessId::new(i as u32)))
+        .collect();
+    sim.add_actor(Box::new(CheckerProcess::new(
+        n,
+        position_of,
+        result.clone(),
+        stats.clone(),
+    )));
+
+    let outcome = sim.run();
+    let verdict = result.lock().take();
+    let detection = match verdict {
+        Some(OnlineDetection::Detected(g)) => {
+            let mut cut = Cut::new(n_total);
+            for (pos, &p) in wcp.scope().iter().enumerate() {
+                cut.set(p, g[pos]);
+            }
+            Detection::Detected { cut }
+        }
+        Some(OnlineDetection::Undetected) => Detection::Undetected,
+        None => panic!("simulation quiesced without a verdict (protocol stalled)"),
+    };
+
+    let mut metrics = DetectionMetrics::new(1);
+    let sim_metrics = sim.metrics();
+    let c = sim_metrics.actor(checker);
+    metrics.per_process_work[0] = c.work;
+    let st = stats.lock();
+    metrics.max_buffered_snapshots = st.max_buffered;
+    metrics.parallel_time = outcome.time.0;
+    metrics.snapshot_messages = c.received;
+    OnlineReport {
+        report: DetectionReport { detection, metrics },
+        outcome,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::online::harness::run_vc_token;
+    use crate::{CentralizedChecker, Detector};
+    use wcp_trace::generate::{generate, GeneratorConfig};
+
+    #[test]
+    fn online_checker_matches_offline_checker() {
+        for seed in 0..20 {
+            let cfg = GeneratorConfig::new(5, 10)
+                .with_seed(seed)
+                .with_predicate_density(0.3);
+            let g = generate(&cfg);
+            let a = g.computation.annotate();
+            let wcp = Wcp::over_first(4);
+            let offline = CentralizedChecker::new().detect(&a, &wcp);
+            let online = run_checker(&g.computation, &wcp, SimConfig::seeded(seed));
+            assert_eq!(online.report.detection, offline.detection, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn online_checker_matches_online_token() {
+        for seed in 0..10 {
+            let cfg = GeneratorConfig::new(5, 8)
+                .with_seed(seed)
+                .with_predicate_density(0.25)
+                .with_plant(0.6);
+            let g = generate(&cfg);
+            let wcp = Wcp::over_first(5);
+            let checker = run_checker(&g.computation, &wcp, SimConfig::seeded(1));
+            let token = run_vc_token(&g.computation, &wcp, SimConfig::seeded(1));
+            assert_eq!(checker.report.detection, token.report.detection, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn checker_buffers_grow_with_the_run() {
+        let cfg = GeneratorConfig::new(6, 20)
+            .with_seed(3)
+            .with_predicate_density(0.4);
+        let g = generate(&cfg);
+        let wcp = Wcp::over_first(6);
+        let online = run_checker(&g.computation, &wcp, SimConfig::seeded(0));
+        // The checker is a single participant carrying all the work.
+        assert_eq!(online.report.metrics.per_process_work.len(), 1);
+        assert!(online.report.metrics.max_buffered_snapshots >= 1);
+    }
+}

@@ -1,0 +1,535 @@
+//! The Figures 4–5 monitor actor (direct-dependence algorithm), including
+//! the Section 4.5 parallel red-chain variant.
+//!
+//! Each monitor owns its share of the distributed token state (Table 1):
+//! its candidate clock `G`, its colour, and its `next_red` chain pointer.
+//! The token itself is empty. The token holder collects candidates until
+//! one survives `G`, polls the source of every collected dependence
+//! (sequentially — one outstanding poll, so chain insertions are atomic),
+//! then forwards the token to the head of the remaining chain.
+//!
+//! **Parallel variant (§4.5).** When enabled, every red monitor performs
+//! the collect-and-poll phase *proactively*, without waiting for the token;
+//! it stays red (and on the chain) until the token arrives, at which point
+//! its staged candidate is either accepted instantly or — if later polls
+//! invalidated it — the search resumes. One deviation from a naive reading
+//! of Figure 5 is needed for chain integrity: a token holder that is mid
+//! visit defers replying to incoming polls until its visit completes
+//! (indistinguishable from network latency), so a holder is never
+//! re-reddened while splicing the chain.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use wcp_clocks::{Dependence, ProcessId};
+use wcp_sim::{Actor, ActorId, Context};
+
+use crate::online::messages::DetectMsg;
+use crate::online::vc_monitor::{OnlineDetection, SharedOutcome, SharedStats};
+use crate::snapshot::DdSnapshot;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Color {
+    Red,
+    Green,
+}
+
+#[derive(Debug)]
+enum Phase {
+    /// Not searching: waiting for the token (red) or done (green).
+    Idle,
+    /// Figure 4 repeat-until: consuming candidates, gathering dependences.
+    Collecting { deps: Vec<Dependence> },
+    /// Polling the collected dependences one at a time.
+    Polling {
+        deps: Vec<Dependence>,
+        idx: usize,
+        /// Set when an incoming poll eliminated the accepted candidate
+        /// while its dependences were still being polled (parallel mode
+        /// only — a holder defers polls, so its candidate cannot die).
+        candidate_dead: bool,
+    },
+}
+
+/// Shared instrumentation board: each monitor's current `G`, read by the
+/// detecting monitor to assemble the final cut (the cut *is* distributed;
+/// this is observation, not communication — see DESIGN.md §3).
+pub type GBoard = Arc<Mutex<Vec<u64>>>;
+
+/// A Figure 4–5 monitor.
+#[derive(Debug)]
+pub struct DdMonitor {
+    pid: ProcessId,
+    /// Monitor actors indexed by `ProcessId`.
+    monitors: Vec<ActorId>,
+    parallel: bool,
+
+    queue: VecDeque<DdSnapshot>,
+    eot: bool,
+    color: Color,
+    g: u64,
+    next_red: Option<ProcessId>,
+    phase: Phase,
+    holds_token: bool,
+    /// Parallel mode: a proactively found candidate is staged (its clock is
+    /// already in `g`; invalidated by any poll with `clock ≥ g`).
+    staged: bool,
+    /// Polls deferred while this monitor is a mid-visit green holder.
+    deferred_polls: VecDeque<(ActorId, u64, Option<ProcessId>)>,
+    /// Latched once a verdict is published: late deliveries (the stop
+    /// signal is asynchronous on the threaded runtime) are ignored.
+    done: bool,
+
+    g_board: GBoard,
+    result: SharedOutcome,
+    stats: SharedStats,
+}
+
+impl DdMonitor {
+    /// Builds the monitor for process `pid` of `n_total`. Process 0 starts
+    /// with the token; the initial red chain is `P0 → P1 → … → P(N−1)`.
+    pub fn new(
+        pid: ProcessId,
+        n_total: usize,
+        monitors: Vec<ActorId>,
+        parallel: bool,
+        g_board: GBoard,
+        result: SharedOutcome,
+        stats: SharedStats,
+    ) -> Self {
+        let next = pid.index() + 1;
+        DdMonitor {
+            pid,
+            monitors,
+            parallel,
+            queue: VecDeque::new(),
+            eot: false,
+            color: Color::Red,
+            g: 0,
+            next_red: (next < n_total).then(|| ProcessId::new(next as u32)),
+            phase: Phase::Idle,
+            holds_token: pid.index() == 0,
+            staged: false,
+            deferred_polls: VecDeque::new(),
+            done: false,
+            g_board,
+            result,
+            stats,
+        }
+    }
+
+    fn publish_g(&self) {
+        self.g_board.lock()[self.pid.index()] = self.g;
+    }
+
+    /// Entry point whenever the situation may allow progress.
+    fn progress(&mut self, ctx: &mut dyn Context<DetectMsg>) {
+        if self.done {
+            return;
+        }
+        match self.phase {
+            Phase::Idle => {
+                if self.holds_token {
+                    if self.staged {
+                        // Proactive candidate survived: accept instantly.
+                        self.staged = false;
+                        self.color = Color::Green;
+                        self.finish_visit(ctx);
+                    } else {
+                        self.phase = Phase::Collecting { deps: Vec::new() };
+                        self.try_collect(ctx);
+                    }
+                } else if self.parallel
+                    && self.color == Color::Red
+                    && !self.staged
+                    && !self.queue.is_empty()
+                {
+                    // §4.5: search proactively while red.
+                    self.phase = Phase::Collecting { deps: Vec::new() };
+                    self.try_collect(ctx);
+                }
+            }
+            Phase::Collecting { .. } => self.try_collect(ctx),
+            Phase::Polling { .. } => {} // waiting for a poll reply
+        }
+    }
+
+    /// Figure 4 repeat-until loop.
+    fn try_collect(&mut self, ctx: &mut dyn Context<DetectMsg>) {
+        let Phase::Collecting { deps } = &mut self.phase else {
+            return;
+        };
+        loop {
+            let Some(snapshot) = self.queue.pop_front() else {
+                if self.eot && self.holds_token {
+                    self.done = true;
+                    *self.result.lock() = Some(OnlineDetection::Undetected);
+                    ctx.stop();
+                }
+                // Proactive searcher out of candidates: fall back to idle
+                // so the token-arrival path restarts the search; collected
+                // deps are preserved? No — restart is from scratch, so we
+                // must not lose eliminations: deps collected so far belong
+                // to discarded candidates and must still be polled when the
+                // token arrives. Keep collecting state.
+                return;
+            };
+            ctx.add_work(1 + snapshot.deps.len() as u64);
+            deps.extend(snapshot.deps.iter().copied());
+            if snapshot.clock > self.g {
+                let deps = std::mem::take(deps);
+                self.g = snapshot.clock;
+                self.publish_g();
+                if self.holds_token {
+                    self.color = Color::Green;
+                }
+                self.phase = Phase::Polling {
+                    deps,
+                    idx: 0,
+                    candidate_dead: false,
+                };
+                self.advance_polls(ctx);
+                return;
+            }
+        }
+    }
+
+    /// Sends the next poll, or completes the visit when all are answered.
+    fn advance_polls(&mut self, ctx: &mut dyn Context<DetectMsg>) {
+        let Phase::Polling { deps, idx, candidate_dead } = &self.phase else {
+            return;
+        };
+        if let Some(dep) = deps.get(*idx) {
+            debug_assert_ne!(dep.on, self.pid, "self-dependence is impossible");
+            ctx.add_work(1);
+            ctx.send(
+                self.monitors[dep.on.index()],
+                DetectMsg::Poll {
+                    clock: dep.clock,
+                    next_red: self.next_red,
+                },
+            );
+            return; // await the reply
+        }
+        let candidate_dead = *candidate_dead;
+        self.phase = Phase::Idle;
+        if self.holds_token {
+            // The token may have arrived mid-poll (proactive search that
+            // was overtaken): if the candidate survived, accept it now;
+            // otherwise resume searching.
+            if candidate_dead {
+                self.phase = Phase::Collecting { deps: Vec::new() };
+                self.try_collect(ctx);
+            } else {
+                self.color = Color::Green;
+                self.finish_visit(ctx);
+            }
+        } else {
+            // Proactive completion: stage unless a poll already killed the
+            // candidate.
+            self.staged = !candidate_dead;
+        }
+    }
+
+    /// Token holder concludes its visit: detect, or pass the token on.
+    fn finish_visit(&mut self, ctx: &mut dyn Context<DetectMsg>) {
+        debug_assert!(self.holds_token);
+        debug_assert_eq!(self.color, Color::Green);
+        match self.next_red {
+            None => {
+                self.done = true;
+                let cut = self.g_board.lock().clone();
+                *self.result.lock() = Some(OnlineDetection::Detected(cut));
+                ctx.stop();
+            }
+            Some(next) => {
+                self.holds_token = false;
+                self.stats.lock().token_hops += 1;
+                ctx.send(self.monitors[next.index()], DetectMsg::DdToken);
+                // Now off the chain; answer the polls deferred mid-visit.
+                while let Some((from, clock, next_red)) = self.deferred_polls.pop_front() {
+                    self.handle_poll(ctx, from, clock, next_red);
+                }
+            }
+        }
+    }
+
+    /// Figure 5.
+    fn handle_poll(
+        &mut self,
+        ctx: &mut dyn Context<DetectMsg>,
+        from: ActorId,
+        clock: u64,
+        poll_next_red: Option<ProcessId>,
+    ) {
+        if self.done {
+            // Verdict already published: answer so the poller is not left
+            // waiting if the stop signal reaches it late.
+            ctx.send(from, DetectMsg::PollReply { became_red: false });
+            return;
+        }
+        // A mid-visit green holder must not be re-reddened while splicing
+        // the chain; defer (the reply is simply delayed).
+        if self.holds_token && self.color == Color::Green {
+            self.deferred_polls.push_back((from, clock, poll_next_red));
+            return;
+        }
+        ctx.add_work(1);
+        let old = self.color;
+        if clock >= self.g {
+            self.color = Color::Red;
+            self.g = clock;
+            self.publish_g();
+            self.staged = false;
+            if let Phase::Polling { candidate_dead, .. } = &mut self.phase {
+                *candidate_dead = true;
+            }
+        }
+        let became_red = self.color == Color::Red && old == Color::Green;
+        if became_red {
+            self.next_red = poll_next_red;
+        }
+        ctx.send(from, DetectMsg::PollReply { became_red });
+        if became_red {
+            // §4.5: a newly red monitor may start searching immediately.
+            self.progress(ctx);
+        }
+    }
+
+    fn handle_poll_reply(&mut self, ctx: &mut dyn Context<DetectMsg>, became_red: bool) {
+        if self.done {
+            return;
+        }
+        let Phase::Polling { deps, idx, .. } = &mut self.phase else {
+            unreachable!("{}: poll reply outside polling phase", self.pid);
+        };
+        let target = deps[*idx].on;
+        *idx += 1;
+        if became_red {
+            self.next_red = Some(target);
+        }
+        self.advance_polls(ctx);
+    }
+}
+
+impl Actor<DetectMsg> for DdMonitor {
+    fn on_start(&mut self, ctx: &mut dyn Context<DetectMsg>) {
+        self.progress(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut dyn Context<DetectMsg>, from: ActorId, msg: DetectMsg) {
+        match msg {
+            DetectMsg::DdSnapshot(s) => {
+                self.queue.push_back(s);
+                {
+                    let mut stats = self.stats.lock();
+                    stats.max_buffered = stats.max_buffered.max(self.queue.len() as u64);
+                }
+                self.progress(ctx);
+            }
+            DetectMsg::EndOfTrace => {
+                self.eot = true;
+                self.progress(ctx);
+            }
+            DetectMsg::DdToken => {
+                if self.done {
+                    return;
+                }
+                debug_assert!(!self.holds_token, "duplicate token");
+                debug_assert_eq!(self.color, Color::Red, "token sent to green monitor");
+                self.holds_token = true;
+                self.progress(ctx);
+            }
+            DetectMsg::Poll { clock, next_red } => {
+                self.handle_poll(ctx, from, clock, next_red);
+            }
+            DetectMsg::PollReply { became_red } => {
+                self.handle_poll_reply(ctx, became_red);
+            }
+            other => unreachable!("dd monitor {}: unexpected {other:?}", self.pid),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::online::testing::MockCtx;
+    use crate::online::vc_monitor::{OnlineDetection, OnlineStats};
+
+    fn monitor(pid: u32, n: usize, parallel: bool) -> (DdMonitor, SharedOutcome, GBoard) {
+        let result: SharedOutcome = Arc::new(Mutex::new(None));
+        let stats = Arc::new(Mutex::new(OnlineStats::default()));
+        let g_board: GBoard = Arc::new(Mutex::new(vec![0; n]));
+        let monitors = (0..n as u32).map(|i| ActorId::new(100 + i)).collect();
+        (
+            DdMonitor::new(
+                ProcessId::new(pid),
+                n,
+                monitors,
+                parallel,
+                g_board.clone(),
+                result.clone(),
+                stats,
+            ),
+            result,
+            g_board,
+        )
+    }
+
+    fn dd_snapshot(clock: u64, deps: Vec<(u32, u64)>) -> DetectMsg {
+        DetectMsg::DdSnapshot(DdSnapshot {
+            clock,
+            deps: deps
+                .into_iter()
+                .map(|(p, k)| Dependence::new(ProcessId::new(p), k))
+                .collect(),
+        })
+    }
+
+    #[test]
+    fn poll_reddens_green_monitor_and_adopts_tail() {
+        // Monitor 1 (no token), green after a hypothetical visit.
+        let (mut m, _result, _g) = monitor(1, 3, false);
+        m.color = Color::Green;
+        m.g = 2;
+        m.next_red = None;
+        let mut ctx = MockCtx::default();
+        m.on_message(
+            &mut ctx,
+            ActorId::new(100),
+            DetectMsg::Poll {
+                clock: 2,
+                next_red: Some(ProcessId::new(2)),
+            },
+        );
+        let sent = ctx.take_sent();
+        assert_eq!(sent.len(), 1);
+        assert!(matches!(sent[0].1, DetectMsg::PollReply { became_red: true }));
+        assert_eq!(m.color, Color::Red);
+        assert_eq!(m.g, 2);
+        assert_eq!(m.next_red, Some(ProcessId::new(2)), "adopted the poll's tail");
+    }
+
+    #[test]
+    fn poll_below_g_is_no_change() {
+        let (mut m, _result, _g) = monitor(1, 3, false);
+        m.color = Color::Green;
+        m.g = 5;
+        let mut ctx = MockCtx::default();
+        m.on_message(
+            &mut ctx,
+            ActorId::new(100),
+            DetectMsg::Poll {
+                clock: 3,
+                next_red: Some(ProcessId::new(2)),
+            },
+        );
+        let sent = ctx.take_sent();
+        assert!(matches!(sent[0].1, DetectMsg::PollReply { became_red: false }));
+        assert_eq!(m.color, Color::Green);
+        assert_eq!(m.g, 5, "g unchanged below threshold");
+    }
+
+    #[test]
+    fn poll_to_red_monitor_raises_g_without_chain_change() {
+        let (mut m, _result, _g) = monitor(2, 3, false);
+        assert_eq!(m.color, Color::Red);
+        let original_tail = m.next_red;
+        let mut ctx = MockCtx::default();
+        m.on_message(
+            &mut ctx,
+            ActorId::new(100),
+            DetectMsg::Poll {
+                clock: 7,
+                next_red: Some(ProcessId::new(0)),
+            },
+        );
+        let sent = ctx.take_sent();
+        assert!(matches!(sent[0].1, DetectMsg::PollReply { became_red: false }));
+        assert_eq!(m.g, 7, "g raised");
+        assert_eq!(m.next_red, original_tail, "already on chain: pointer kept");
+    }
+
+    #[test]
+    fn holder_collects_polls_and_passes_token() {
+        // Monitor 0 holds the token initially; chain 0→1→2.
+        let (mut m, result, _g) = monitor(0, 3, false);
+        let mut ctx = MockCtx::default();
+        m.on_start(&mut ctx);
+        assert!(ctx.take_sent().is_empty(), "waiting for candidates");
+
+        // Candidate with one dependence on P1 at clock 4.
+        m.on_message(&mut ctx, ActorId::new(0), dd_snapshot(3, vec![(1, 4)]));
+        let sent = ctx.take_sent();
+        assert_eq!(sent.len(), 1, "one poll outstanding");
+        assert_eq!(sent[0].0, ActorId::new(101));
+        assert!(matches!(sent[0].1, DetectMsg::Poll { clock: 4, .. }));
+
+        // P1 replies no_change (it was red already): polls done, token to
+        // the chain head (P1).
+        m.on_message(
+            &mut ctx,
+            ActorId::new(101),
+            DetectMsg::PollReply { became_red: false },
+        );
+        let sent = ctx.take_sent();
+        assert_eq!(sent.len(), 1);
+        assert_eq!(sent[0].0, ActorId::new(101));
+        assert!(matches!(sent[0].1, DetectMsg::DdToken));
+        assert!(result.lock().is_none());
+        assert_eq!(m.color, Color::Green);
+        assert!(!m.holds_token);
+    }
+
+    #[test]
+    fn single_monitor_detects_alone() {
+        let (mut m, result, g_board) = monitor(0, 1, false);
+        let mut ctx = MockCtx::default();
+        m.on_start(&mut ctx);
+        m.on_message(&mut ctx, ActorId::new(0), dd_snapshot(2, vec![]));
+        assert!(ctx.stopped);
+        assert_eq!(*result.lock(), Some(OnlineDetection::Detected(vec![2])));
+        assert_eq!(g_board.lock()[0], 2);
+    }
+
+    #[test]
+    fn green_holder_defers_polls_until_visit_ends() {
+        let (mut m, _result, _g) = monitor(0, 3, true);
+        let mut ctx = MockCtx::default();
+        m.on_start(&mut ctx);
+        // Accept a candidate with a dependence — holder is now GREEN and
+        // mid-poll.
+        m.on_message(&mut ctx, ActorId::new(0), dd_snapshot(2, vec![(1, 1)]));
+        ctx.take_sent(); // the poll to P1
+        assert_eq!(m.color, Color::Green);
+
+        // An incoming poll that would re-redden the holder is deferred: no
+        // reply yet.
+        m.on_message(
+            &mut ctx,
+            ActorId::new(102),
+            DetectMsg::Poll {
+                clock: 9,
+                next_red: None,
+            },
+        );
+        assert!(ctx.take_sent().is_empty(), "reply deferred mid-visit");
+
+        // Visit completes (poll reply arrives): token passes AND the
+        // deferred poll is finally answered.
+        m.on_message(
+            &mut ctx,
+            ActorId::new(101),
+            DetectMsg::PollReply { became_red: false },
+        );
+        let sent = ctx.take_sent();
+        assert_eq!(sent.len(), 2);
+        assert!(matches!(sent[0].1, DetectMsg::DdToken));
+        assert_eq!(sent[1].0, ActorId::new(102));
+        assert!(matches!(sent[1].1, DetectMsg::PollReply { became_red: true }));
+        assert_eq!(m.color, Color::Red, "re-reddened after the visit");
+        assert_eq!(m.g, 9);
+    }
+}

@@ -1,0 +1,152 @@
+//! Wire messages exchanged by the online detection actors.
+
+use wcp_clocks::{ProcessId, VectorClock};
+use wcp_sim::WireSize;
+use wcp_trace::MsgId;
+
+use crate::offline::token::Token;
+use crate::snapshot::{DdSnapshot, VcSnapshot};
+
+/// Clock information attached to an application message (Figure 2 attaches
+/// a vector; Section 4.1 attaches a scalar).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClockTag {
+    /// Scope-projected vector clock (vector-clock algorithm).
+    Vector(VectorClock),
+    /// Scalar logical clock (direct-dependence algorithm).
+    Scalar(u64),
+}
+
+impl ClockTag {
+    /// Bytes this tag adds to an application message.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            ClockTag::Vector(v) => v.wire_size(),
+            ClockTag::Scalar(_) => 8,
+        }
+    }
+}
+
+/// Every message of the online detection protocols.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DetectMsg {
+    /// Application payload (app → app), carrying its clock tag.
+    App {
+        /// Trace-level message identity (used to match the scripted
+        /// receive).
+        msg: MsgId,
+        /// Attached clock information.
+        tag: ClockTag,
+    },
+    /// Figure 2 local snapshot (app → monitor, FIFO).
+    VcSnapshot(VcSnapshot),
+    /// Section 4.1 local snapshot (app → monitor, FIFO).
+    DdSnapshot(DdSnapshot),
+    /// The application process finished its script (app → monitor, FIFO).
+    /// Additive to the paper — see DESIGN.md §3 "Termination".
+    EndOfTrace,
+    /// The Figure 3 token (monitor → monitor).
+    VcToken(Token),
+    /// The empty Section 4 token (monitor → monitor).
+    DdToken,
+    /// A Figure 5 poll: the dependence clock and the poller's chain tail.
+    Poll {
+        /// Dependence clock value `k`.
+        clock: u64,
+        /// The poller's `next_red` at send time.
+        next_red: Option<ProcessId>,
+    },
+    /// Reply to a poll ("became red" / "no change" — one bit).
+    PollReply {
+        /// Whether the target turned red and joined the chain.
+        became_red: bool,
+    },
+    /// A Section 3.5 group token (monitor ↔ monitor within a group, and
+    /// group ↔ leader).
+    GroupToken(GroupTokenMsg),
+}
+
+/// The token of the multi-token algorithm: the full-scope candidate cut and
+/// colours, plus the candidate clocks of this group's members (the extra
+/// information the leader needs for its cross-group consistency check; see
+/// DESIGN.md §3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupTokenMsg {
+    /// Which group this token belongs to.
+    pub group: usize,
+    /// Candidate cut over the whole scope.
+    pub g: Vec<u64>,
+    /// Colours over the whole scope.
+    pub color: Vec<crate::offline::token::Color>,
+    /// Candidate vector clocks, populated at this group's member positions.
+    pub candidates: Vec<Option<VectorClock>>,
+}
+
+impl GroupTokenMsg {
+    /// A fresh all-red token for `group` over `n` scope processes.
+    pub fn new(group: usize, n: usize) -> Self {
+        GroupTokenMsg {
+            group,
+            g: vec![0; n],
+            color: vec![crate::offline::token::Color::Red; n],
+            candidates: vec![None; n],
+        }
+    }
+
+    /// Wire size: group id + `G`/colour entries + carried candidates.
+    pub fn wire_size(&self) -> usize {
+        8 + self.g.len() * 9
+            + self
+                .candidates
+                .iter()
+                .flatten()
+                .map(VectorClock::wire_size)
+                .sum::<usize>()
+    }
+}
+
+impl WireSize for DetectMsg {
+    fn wire_size(&self) -> usize {
+        match self {
+            DetectMsg::App { tag, .. } => 8 + tag.wire_size(),
+            DetectMsg::VcSnapshot(s) => s.wire_size(),
+            DetectMsg::DdSnapshot(s) => s.wire_size(),
+            DetectMsg::EndOfTrace => 1,
+            DetectMsg::VcToken(t) => t.wire_size(),
+            DetectMsg::DdToken => 1,
+            DetectMsg::Poll { .. } => 16,
+            DetectMsg::PollReply { .. } => 1,
+            DetectMsg::GroupToken(t) => t.wire_size(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_sizes_match_paper_accounting() {
+        assert_eq!(DetectMsg::DdToken.wire_size(), 1, "the token is empty");
+        assert_eq!(
+            DetectMsg::Poll {
+                clock: 3,
+                next_red: None
+            }
+            .wire_size(),
+            16,
+            "polls are two integers"
+        );
+        assert_eq!(DetectMsg::PollReply { became_red: true }.wire_size(), 1);
+        let vc = DetectMsg::App {
+            msg: MsgId::new(0),
+            tag: ClockTag::Vector(VectorClock::new(4)),
+        };
+        assert_eq!(vc.wire_size(), 8 + 32);
+        let sc = DetectMsg::App {
+            msg: MsgId::new(0),
+            tag: ClockTag::Scalar(7),
+        };
+        assert_eq!(sc.wire_size(), 16);
+    }
+}

@@ -1,0 +1,37 @@
+//! Test support: a mock [`Context`] for driving monitor actors directly.
+
+#![cfg(test)]
+
+use wcp_sim::{ActorId, Context};
+
+use crate::online::messages::DetectMsg;
+
+/// Captures everything a handler does.
+#[derive(Debug, Default)]
+pub(crate) struct MockCtx {
+    pub sent: Vec<(ActorId, DetectMsg)>,
+    pub work: u64,
+    pub stopped: bool,
+}
+
+impl Context<DetectMsg> for MockCtx {
+    fn me(&self) -> ActorId {
+        ActorId::new(999)
+    }
+    fn send(&mut self, to: ActorId, msg: DetectMsg) {
+        self.sent.push((to, msg));
+    }
+    fn add_work(&mut self, units: u64) {
+        self.work += units;
+    }
+    fn stop(&mut self) {
+        self.stopped = true;
+    }
+}
+
+impl MockCtx {
+    /// Drains and returns the captured sends.
+    pub fn take_sent(&mut self) -> Vec<(ActorId, DetectMsg)> {
+        std::mem::take(&mut self.sent)
+    }
+}

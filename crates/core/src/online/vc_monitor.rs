@@ -1,0 +1,308 @@
+//! The Figure 3 monitor actor (single-token vector-clock algorithm).
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use wcp_sim::{Actor, ActorId, Context};
+
+use crate::offline::token::{Color, Token};
+use crate::online::messages::DetectMsg;
+use crate::snapshot::VcSnapshot;
+
+/// Result cell shared between monitor actors and the harness.
+///
+/// The contained vector is the detected `G` (scope-position indexed);
+/// `None` inside `Some` is impossible — `Some(None)` is represented by
+/// [`OnlineDetection::Undetected`].
+pub type SharedOutcome = Arc<Mutex<Option<OnlineDetection>>>;
+
+/// What the online monitors concluded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OnlineDetection {
+    /// First satisfying cut found; entries indexed per algorithm (scope
+    /// positions for the vector-clock family, all processes for the
+    /// direct-dependence family).
+    Detected(Vec<u64>),
+    /// Some local predicate can never again hold consistently.
+    Undetected,
+}
+
+/// Protocol-level counters the simulator cannot attribute by itself.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OnlineStats {
+    /// Token transfers between monitors.
+    pub token_hops: u64,
+    /// Largest snapshot queue observed at any monitor (the paper's
+    /// per-process space measure).
+    pub max_buffered: u64,
+}
+
+/// Shared instrumentation cell for [`OnlineStats`].
+pub type SharedStats = Arc<Mutex<OnlineStats>>;
+
+/// A Figure 3 monitor: buffers its application process's snapshots and,
+/// while holding the token, advances the candidate cut.
+#[derive(Debug)]
+pub struct VcMonitor {
+    /// This monitor's scope position (the paper's `i`).
+    pos: usize,
+    n: usize,
+    /// Monitor actors by scope position.
+    monitors: Vec<ActorId>,
+    queue: VecDeque<VcSnapshot>,
+    eot: bool,
+    token: Option<Token>,
+    starts_with_token: bool,
+    /// Latched once a verdict is published: late deliveries (the stop
+    /// signal is asynchronous on the threaded runtime) are ignored.
+    done: bool,
+    result: SharedOutcome,
+    stats: SharedStats,
+}
+
+impl VcMonitor {
+    /// Builds monitor `pos` of `n`; `monitors` maps scope positions to
+    /// actor ids. The monitor with `starts_with_token` creates the initial
+    /// all-red token.
+    pub fn new(
+        pos: usize,
+        n: usize,
+        monitors: Vec<ActorId>,
+        starts_with_token: bool,
+        result: SharedOutcome,
+        stats: SharedStats,
+    ) -> Self {
+        VcMonitor {
+            pos,
+            n,
+            monitors,
+            queue: VecDeque::new(),
+            eot: false,
+            token: None,
+            starts_with_token,
+            done: false,
+            result,
+            stats,
+        }
+    }
+
+    /// Figure 3 body; re-entered whenever the token or new candidates
+    /// arrive. Blocking `receive candidate` is modeled by returning and
+    /// resuming on the next snapshot delivery.
+    fn try_advance(&mut self, ctx: &mut dyn Context<DetectMsg>) {
+        if self.done {
+            return;
+        }
+        let Some(token) = &mut self.token else { return };
+        debug_assert_eq!(
+            token.color[self.pos],
+            Color::Red,
+            "token held while green"
+        );
+
+        // `while (color[i] = red) do receive candidate …`
+        let candidate = loop {
+            let Some(snapshot) = self.queue.pop_front() else {
+                if self.eot {
+                    // No further candidate can ever arrive: the predicate
+                    // cannot hold at this process again.
+                    self.done = true;
+                    *self.result.lock() = Some(OnlineDetection::Undetected);
+                    ctx.stop();
+                }
+                return; // wait for more snapshots
+            };
+            ctx.add_work(self.n as u64);
+            if snapshot.interval > token.g[self.pos] {
+                token.g[self.pos] = snapshot.interval;
+                token.color[self.pos] = Color::Green;
+                break snapshot;
+            }
+        };
+
+        // `for j ≠ i …` eliminate states preceding the new candidate.
+        ctx.add_work(self.n as u64);
+        for j in 0..self.n {
+            if j == self.pos {
+                continue;
+            }
+            let seen = candidate.clock.as_slice()[j];
+            if seen >= token.g[j] && seen > 0 {
+                token.g[j] = seen;
+                token.color[j] = Color::Red;
+            }
+        }
+
+        if token.all_green() {
+            self.done = true;
+            *self.result.lock() = Some(OnlineDetection::Detected(token.g.clone()));
+            ctx.stop();
+            return;
+        }
+        let next = token
+            .next_red((self.pos + 1) % self.n)
+            .expect("not all green ⇒ some red");
+        let token = self.token.take().expect("token present");
+        self.stats.lock().token_hops += 1;
+        ctx.send(self.monitors[next], DetectMsg::VcToken(token));
+    }
+}
+
+impl Actor<DetectMsg> for VcMonitor {
+    fn on_start(&mut self, ctx: &mut dyn Context<DetectMsg>) {
+        if self.starts_with_token {
+            self.token = Some(Token::new(self.n));
+            self.try_advance(ctx);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut dyn Context<DetectMsg>, _from: ActorId, msg: DetectMsg) {
+        match msg {
+            DetectMsg::VcSnapshot(s) => {
+                self.queue.push_back(s);
+                {
+                    let mut stats = self.stats.lock();
+                    stats.max_buffered = stats.max_buffered.max(self.queue.len() as u64);
+                }
+                self.try_advance(ctx);
+            }
+            DetectMsg::EndOfTrace => {
+                self.eot = true;
+                self.try_advance(ctx);
+            }
+            DetectMsg::VcToken(t) => {
+                if self.done {
+                    return;
+                }
+                debug_assert!(self.token.is_none(), "duplicate token");
+                self.token = Some(t);
+                self.try_advance(ctx);
+            }
+            other => unreachable!("vc monitor {}: unexpected {other:?}", self.pos),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::online::testing::MockCtx;
+    use wcp_clocks::VectorClock;
+
+    #[test]
+    fn online_detection_variants_compare() {
+        assert_ne!(
+            OnlineDetection::Detected(vec![1]),
+            OnlineDetection::Undetected
+        );
+        assert_eq!(
+            OnlineDetection::Detected(vec![1, 2]),
+            OnlineDetection::Detected(vec![1, 2])
+        );
+    }
+
+    fn monitor(pos: usize, with_token: bool) -> (VcMonitor, SharedOutcome) {
+        let result: SharedOutcome = Arc::new(Mutex::new(None));
+        let stats: SharedStats = Arc::new(Mutex::new(OnlineStats::default()));
+        let monitors = vec![ActorId::new(10), ActorId::new(11)];
+        (
+            VcMonitor::new(pos, 2, monitors, with_token, result.clone(), stats),
+            result,
+        )
+    }
+
+    fn snapshot(interval: u64, clock: Vec<u64>) -> DetectMsg {
+        DetectMsg::VcSnapshot(VcSnapshot {
+            interval,
+            clock: VectorClock::from_components(clock),
+        })
+    }
+
+    #[test]
+    fn token_holder_waits_for_candidates() {
+        let (mut m, result) = monitor(0, true);
+        let mut ctx = MockCtx::default();
+        m.on_start(&mut ctx); // creates the token, finds no candidates
+        assert!(ctx.take_sent().is_empty(), "must block, not forward");
+        assert!(result.lock().is_none());
+
+        // A concurrent candidate arrives: accept, but P1 is still red →
+        // token moves to monitor 1.
+        m.on_message(&mut ctx, ActorId::new(0), snapshot(1, vec![1, 0]));
+        let sent = ctx.take_sent();
+        assert_eq!(sent.len(), 1);
+        assert_eq!(sent[0].0, ActorId::new(11));
+        assert!(matches!(sent[0].1, DetectMsg::VcToken(_)));
+    }
+
+    #[test]
+    fn eot_with_token_and_empty_queue_is_undetected() {
+        let (mut m, result) = monitor(0, true);
+        let mut ctx = MockCtx::default();
+        m.on_start(&mut ctx);
+        m.on_message(&mut ctx, ActorId::new(0), DetectMsg::EndOfTrace);
+        assert!(ctx.stopped);
+        assert_eq!(*result.lock(), Some(OnlineDetection::Undetected));
+    }
+
+    #[test]
+    fn stale_candidates_are_consumed_silently() {
+        let (mut m, _result) = monitor(1, false);
+        let mut ctx = MockCtx::default();
+        // Token arrives claiming G[1] = 2 already: a snapshot at interval 1
+        // is stale and must be eaten without going green.
+        let mut token = Token::new(2);
+        token.g = vec![0, 2];
+        m.on_message(&mut ctx, ActorId::new(10), DetectMsg::VcToken(token));
+        m.on_message(&mut ctx, ActorId::new(1), snapshot(1, vec![0, 1]));
+        assert!(ctx.take_sent().is_empty(), "stale candidate kept the token");
+        // A fresh candidate at interval 3 (concurrent) completes detection
+        // for this 2-process scope only if P0 is green; here P0 is red with
+        // G[0]=0 → token forwarded to monitor 0.
+        m.on_message(&mut ctx, ActorId::new(1), snapshot(3, vec![0, 3]));
+        let sent = ctx.take_sent();
+        assert_eq!(sent.len(), 1);
+        assert_eq!(sent[0].0, ActorId::new(10));
+    }
+
+    #[test]
+    fn detection_when_all_green() {
+        let (mut m, result) = monitor(1, false);
+        let mut ctx = MockCtx::default();
+        // Token with P0 already green at G[0]=1.
+        let mut token = Token::new(2);
+        token.g = vec![1, 0];
+        token.color[0] = Color::Green;
+        m.on_message(&mut ctx, ActorId::new(1), snapshot(1, vec![0, 1]));
+        m.on_message(&mut ctx, ActorId::new(10), DetectMsg::VcToken(token));
+        assert!(ctx.stopped);
+        assert_eq!(*result.lock(), Some(OnlineDetection::Detected(vec![1, 1])));
+    }
+
+    #[test]
+    fn candidate_that_knows_peer_re_reddens_it() {
+        let (mut m, result) = monitor(1, false);
+        let mut ctx = MockCtx::default();
+        let mut token = Token::new(2);
+        token.g = vec![1, 0];
+        token.color[0] = Color::Green;
+        // Candidate knows P0's interval 1 → (P0,1) happened before it:
+        // P0 must be re-reddened and the token sent back.
+        m.on_message(&mut ctx, ActorId::new(1), snapshot(2, vec![1, 2]));
+        m.on_message(&mut ctx, ActorId::new(10), DetectMsg::VcToken(token));
+        assert!(!ctx.stopped);
+        assert!(result.lock().is_none());
+        let sent = ctx.take_sent();
+        assert_eq!(sent.len(), 1);
+        assert_eq!(sent[0].0, ActorId::new(10), "token returns to monitor 0");
+        match &sent[0].1 {
+            DetectMsg::VcToken(t) => {
+                assert_eq!(t.g, vec![1, 2]);
+                assert_eq!(t.color[0], Color::Red);
+                assert_eq!(t.color[1], Color::Green);
+            }
+            other => panic!("expected token, got {other:?}"),
+        }
+    }
+}

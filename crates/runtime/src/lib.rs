@@ -1,0 +1,382 @@
+//! Threaded actor runtime: the same [`Actor`]s that run on
+//! the deterministic simulator run here on real OS threads connected by
+//! crossbeam channels.
+//!
+//! The paper's algorithms are asynchronous message-passing protocols; the
+//! simulator demonstrates their behaviour reproducibly, while this runtime
+//! demonstrates that nothing in the implementation depends on a simulated
+//! global order — every monitor and application process genuinely runs
+//! concurrently. Channels are unbounded and per-sender FIFO (crossbeam
+//! preserves a single producer's order), which satisfies the paper's only
+//! ordering requirement: FIFO application→monitor links.
+//!
+//! A run ends when an actor calls [`Context::stop`]
+//! (detection reached a verdict) or when the system *quiesces* — no
+//! messages in flight and no handler running — which is detected with an
+//! in-flight counter.
+//!
+//! # Example
+//!
+//! ```rust
+//! use wcp_runtime::{Runtime, StopCause};
+//! use wcp_sim::{Actor, ActorId, Context, WireSize};
+//!
+//! #[derive(Clone)]
+//! struct Ping(u32);
+//! impl WireSize for Ping {
+//!     fn wire_size(&self) -> usize { 4 }
+//! }
+//!
+//! struct Echo { peer: Option<ActorId> }
+//! impl Actor<Ping> for Echo {
+//!     fn on_start(&mut self, ctx: &mut dyn Context<Ping>) {
+//!         if let Some(peer) = self.peer {
+//!             ctx.send(peer, Ping(8));
+//!         }
+//!     }
+//!     fn on_message(&mut self, ctx: &mut dyn Context<Ping>, from: ActorId, msg: Ping) {
+//!         if msg.0 == 0 { ctx.stop() } else { ctx.send(from, Ping(msg.0 - 1)) }
+//!     }
+//! }
+//!
+//! let mut rt = Runtime::new();
+//! let a = rt.add_actor(Box::new(Echo { peer: None }));
+//! let _b = rt.add_actor(Box::new(Echo { peer: Some(a) }));
+//! let outcome = rt.run();
+//! assert_eq!(outcome.cause, StopCause::Stopped);
+//! assert_eq!(outcome.metrics.total_sent(), 9); // Ping(8) down to Ping(0)
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use wcp_sim::{Actor, ActorId, Context, SimMetrics, WireSize};
+
+/// Why the runtime stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopCause {
+    /// An actor called `stop` (e.g. detection reached a verdict).
+    Stopped,
+    /// No messages in flight and no handler running.
+    Quiesced,
+}
+
+/// Result of [`Runtime::run`].
+#[derive(Debug, Clone)]
+pub struct RuntimeOutcome {
+    /// Why the run ended.
+    pub cause: StopCause,
+    /// Per-actor counters (same shape as the simulator's).
+    pub metrics: SimMetrics,
+    /// Total messages delivered.
+    pub delivered: u64,
+}
+
+enum ThreadMsg<M> {
+    Deliver { from: ActorId, msg: M },
+    Shutdown,
+}
+
+/// Shared state between all actor threads.
+struct Shared<M> {
+    senders: Vec<Sender<ThreadMsg<M>>>,
+    /// Undelivered messages + running handlers + pending `on_start`s.
+    in_flight: AtomicI64,
+    stop_flag: AtomicBool,
+    metrics: Mutex<SimMetrics>,
+    delivered: AtomicI64,
+}
+
+impl<M> Shared<M> {
+    fn initiate_shutdown(&self, cause_stop: bool) {
+        if cause_stop {
+            self.stop_flag.store(true, Ordering::SeqCst);
+        }
+        for s in &self.senders {
+            // A closed channel just means that thread already exited.
+            let _ = s.send(ThreadMsg::Shutdown);
+        }
+    }
+}
+
+/// The per-thread context handed to actor handlers.
+struct ThreadCtx<M> {
+    me: ActorId,
+    shared: Arc<Shared<M>>,
+}
+
+impl<M: WireSize> Context<M> for ThreadCtx<M> {
+    fn me(&self) -> ActorId {
+        self.me
+    }
+
+    fn send(&mut self, to: ActorId, msg: M) {
+        assert!(
+            to.index() < self.shared.senders.len(),
+            "message addressed to unregistered actor {to}"
+        );
+        self.shared
+            .metrics
+            .lock()
+            .record_send(self.me, msg.wire_size() as u64);
+        self.shared.in_flight.fetch_add(1, Ordering::SeqCst);
+        let _ = self.shared.senders[to.index()].send(ThreadMsg::Deliver { from: self.me, msg });
+    }
+
+    fn add_work(&mut self, units: u64) {
+        self.shared.metrics.lock().record_work(self.me, units);
+    }
+
+    fn stop(&mut self) {
+        self.shared.initiate_shutdown(true);
+    }
+}
+
+/// A collection of actors, each run on its own OS thread.
+pub struct Runtime<M> {
+    actors: Vec<Box<dyn Actor<M>>>,
+}
+
+impl<M> Default for Runtime<M> {
+    fn default() -> Self {
+        Runtime { actors: Vec::new() }
+    }
+}
+
+impl<M: WireSize + Send + 'static> Runtime<M> {
+    /// Creates an empty runtime.
+    pub fn new() -> Self {
+        Runtime::default()
+    }
+
+    /// Registers an actor, returning its id (ids are compatible with the
+    /// simulator's: dense, in registration order).
+    pub fn add_actor(&mut self, actor: Box<dyn Actor<M>>) -> ActorId {
+        let id = ActorId::new(self.actors.len() as u32);
+        self.actors.push(actor);
+        id
+    }
+
+    /// Number of registered actors.
+    pub fn actor_count(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// Spawns one thread per actor, runs to a verdict or quiescence, joins
+    /// all threads, and reports.
+    pub fn run(self) -> RuntimeOutcome {
+        let count = self.actors.len();
+        let mut senders: Vec<Sender<ThreadMsg<M>>> = Vec::with_capacity(count);
+        let mut receivers: Vec<Receiver<ThreadMsg<M>>> = Vec::with_capacity(count);
+        for _ in 0..count {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let shared = Arc::new(Shared {
+            senders,
+            // One virtual in-flight item per pending on_start.
+            in_flight: AtomicI64::new(count as i64),
+            stop_flag: AtomicBool::new(false),
+            metrics: Mutex::new(SimMetrics::new(count)),
+            delivered: AtomicI64::new(0),
+        });
+
+        let mut handles = Vec::with_capacity(count);
+        for (i, (mut actor, rx)) in self
+            .actors
+            .into_iter()
+            .zip(receivers)
+            .enumerate()
+        {
+            let shared = Arc::clone(&shared);
+            handles.push(std::thread::spawn(move || {
+                let me = ActorId::new(i as u32);
+                let mut ctx = ThreadCtx {
+                    me,
+                    shared: Arc::clone(&shared),
+                };
+                actor.on_start(&mut ctx);
+                if shared.in_flight.fetch_sub(1, Ordering::SeqCst) == 1 {
+                    shared.initiate_shutdown(false);
+                }
+                while let Ok(msg) = rx.recv() {
+                    match msg {
+                        ThreadMsg::Shutdown => break,
+                        ThreadMsg::Deliver { from, msg } => {
+                            shared.metrics.lock().record_receive(me);
+                            shared.delivered.fetch_add(1, Ordering::SeqCst);
+                            actor.on_message(&mut ctx, from, msg);
+                            if shared.in_flight.fetch_sub(1, Ordering::SeqCst) == 1 {
+                                shared.initiate_shutdown(false);
+                            }
+                        }
+                    }
+                }
+            }));
+        }
+
+        for h in handles {
+            h.join().expect("actor thread panicked");
+        }
+
+        let cause = if shared.stop_flag.load(Ordering::SeqCst) {
+            StopCause::Stopped
+        } else {
+            StopCause::Quiesced
+        };
+        let metrics = shared.metrics.lock().clone();
+        let delivered = shared.delivered.load(Ordering::SeqCst) as u64;
+        RuntimeOutcome {
+            cause,
+            metrics,
+            delivered,
+        }
+    }
+}
+
+impl<M> std::fmt::Debug for Runtime<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("actors", &self.actors.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[derive(Clone)]
+    struct Num(u64);
+    impl WireSize for Num {
+        fn wire_size(&self) -> usize {
+            8
+        }
+    }
+
+    /// Forwards a counter around a ring `rounds` times, then stops.
+    struct Ring {
+        next: ActorId,
+        kick_off: bool,
+        limit: u64,
+        seen: Arc<AtomicU64>,
+    }
+    impl Actor<Num> for Ring {
+        fn on_start(&mut self, ctx: &mut dyn Context<Num>) {
+            if self.kick_off {
+                ctx.send(self.next, Num(0));
+            }
+        }
+        fn on_message(&mut self, ctx: &mut dyn Context<Num>, _from: ActorId, msg: Num) {
+            self.seen.fetch_add(1, Ordering::SeqCst);
+            ctx.add_work(1);
+            if msg.0 >= self.limit {
+                ctx.stop();
+            } else {
+                ctx.send(self.next, Num(msg.0 + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn ring_runs_to_stop() {
+        let seen = Arc::new(AtomicU64::new(0));
+        let mut rt = Runtime::new();
+        let n = 5u32;
+        for i in 0..n {
+            rt.add_actor(Box::new(Ring {
+                next: ActorId::new((i + 1) % n),
+                kick_off: i == 0,
+                limit: 50,
+                seen: seen.clone(),
+            }));
+        }
+        let outcome = rt.run();
+        assert_eq!(outcome.cause, StopCause::Stopped);
+        assert_eq!(outcome.delivered, 51);
+        assert_eq!(seen.load(Ordering::SeqCst), 51);
+        assert_eq!(outcome.metrics.total_work(), 51);
+    }
+
+    #[test]
+    fn quiesces_when_no_messages() {
+        struct Silent;
+        impl Actor<Num> for Silent {
+            fn on_message(&mut self, _: &mut dyn Context<Num>, _: ActorId, _: Num) {}
+        }
+        let mut rt = Runtime::new();
+        rt.add_actor(Box::new(Silent));
+        rt.add_actor(Box::new(Silent));
+        let outcome = rt.run();
+        assert_eq!(outcome.cause, StopCause::Quiesced);
+        assert_eq!(outcome.delivered, 0);
+    }
+
+    #[test]
+    fn quiesces_after_finite_exchange() {
+        struct Burst {
+            to: Option<ActorId>,
+        }
+        impl Actor<Num> for Burst {
+            fn on_start(&mut self, ctx: &mut dyn Context<Num>) {
+                if let Some(to) = self.to {
+                    for i in 0..20 {
+                        ctx.send(to, Num(i));
+                    }
+                }
+            }
+            fn on_message(&mut self, _: &mut dyn Context<Num>, _: ActorId, _: Num) {}
+        }
+        let mut rt = Runtime::new();
+        let sink = rt.add_actor(Box::new(Burst { to: None }));
+        rt.add_actor(Box::new(Burst { to: Some(sink) }));
+        let outcome = rt.run();
+        assert_eq!(outcome.cause, StopCause::Quiesced);
+        assert_eq!(outcome.delivered, 20);
+        assert_eq!(outcome.metrics.total_sent(), 20);
+        assert_eq!(outcome.metrics.total_bytes(), 160);
+    }
+
+    #[test]
+    fn per_sender_order_is_preserved() {
+        struct Checker {
+            expected: u64,
+            ok: Arc<AtomicU64>,
+        }
+        impl Actor<Num> for Checker {
+            fn on_message(&mut self, _: &mut dyn Context<Num>, _: ActorId, msg: Num) {
+                if msg.0 == self.expected {
+                    self.expected += 1;
+                    self.ok.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+        }
+        struct Sender100 {
+            to: ActorId,
+        }
+        impl Actor<Num> for Sender100 {
+            fn on_start(&mut self, ctx: &mut dyn Context<Num>) {
+                for i in 0..100 {
+                    ctx.send(self.to, Num(i));
+                }
+            }
+            fn on_message(&mut self, _: &mut dyn Context<Num>, _: ActorId, _: Num) {}
+        }
+        let ok = Arc::new(AtomicU64::new(0));
+        let mut rt = Runtime::new();
+        let chk = rt.add_actor(Box::new(Checker {
+            expected: 0,
+            ok: ok.clone(),
+        }));
+        rt.add_actor(Box::new(Sender100 { to: chk }));
+        rt.run();
+        assert_eq!(ok.load(Ordering::SeqCst), 100, "FIFO violated");
+    }
+}

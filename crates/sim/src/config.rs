@@ -1,0 +1,123 @@
+//! Simulation configuration.
+
+use crate::actor::ActorId;
+
+/// Message latency model for the simulated network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LatencyModel {
+    /// Every message takes exactly `ticks` time units.
+    Fixed {
+        /// Delivery delay in time units (may be 0).
+        ticks: u64,
+    },
+    /// Latency drawn uniformly from `min..=max` per message; with a non-FIFO
+    /// channel this reorders messages, exercising the paper's "no FIFO
+    /// assumption" (Section 2).
+    Uniform {
+        /// Minimum delay.
+        min: u64,
+        /// Maximum delay (inclusive).
+        max: u64,
+    },
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel::Uniform { min: 1, max: 10 }
+    }
+}
+
+/// Configuration of a [`Simulation`](crate::Simulation).
+#[derive(Debug, Clone, PartialEq)]
+#[derive(Default)]
+pub struct SimConfig {
+    /// Latency model for all channels.
+    pub latency: LatencyModel,
+    /// Whether channels preserve order by default. The paper requires FIFO
+    /// only between an application process and its monitor; the default is
+    /// non-FIFO, matching the paper's weakest assumption.
+    pub fifo_by_default: bool,
+    /// Channels forced FIFO regardless of the default (e.g. application →
+    /// monitor links).
+    pub fifo_channels: Vec<(ActorId, ActorId)>,
+    /// RNG seed for latency draws.
+    pub seed: u64,
+    /// Safety valve: abort after this many deliveries (0 = unlimited).
+    pub max_deliveries: u64,
+}
+
+
+impl SimConfig {
+    /// Config with a specific seed and defaults otherwise.
+    pub fn seeded(seed: u64) -> Self {
+        SimConfig {
+            seed,
+            ..SimConfig::default()
+        }
+    }
+
+    /// Sets the latency model.
+    pub fn with_latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Makes every channel FIFO.
+    pub fn with_fifo_default(mut self, fifo: bool) -> Self {
+        self.fifo_by_default = fifo;
+        self
+    }
+
+    /// Forces the `from → to` channel to be FIFO.
+    pub fn with_fifo_channel(mut self, from: ActorId, to: ActorId) -> Self {
+        self.fifo_channels.push((from, to));
+        self
+    }
+
+    /// Sets the delivery safety valve.
+    pub fn with_max_deliveries(mut self, max: u64) -> Self {
+        self.max_deliveries = max;
+        self
+    }
+
+    /// Whether the `from → to` channel preserves order.
+    pub fn is_fifo(&self, from: ActorId, to: ActorId) -> bool {
+        self.fifo_by_default || self.fifo_channels.contains(&(from, to))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_non_fifo_uniform() {
+        let c = SimConfig::default();
+        assert!(!c.fifo_by_default);
+        assert_eq!(c.latency, LatencyModel::Uniform { min: 1, max: 10 });
+        assert!(!c.is_fifo(ActorId::new(0), ActorId::new(1)));
+    }
+
+    #[test]
+    fn fifo_channel_overrides() {
+        let c = SimConfig::default().with_fifo_channel(ActorId::new(0), ActorId::new(1));
+        assert!(c.is_fifo(ActorId::new(0), ActorId::new(1)));
+        assert!(!c.is_fifo(ActorId::new(1), ActorId::new(0)));
+    }
+
+    #[test]
+    fn fifo_default_covers_all_channels() {
+        let c = SimConfig::default().with_fifo_default(true);
+        assert!(c.is_fifo(ActorId::new(3), ActorId::new(4)));
+    }
+
+    #[test]
+    fn builder_chains() {
+        let c = SimConfig::seeded(9)
+            .with_latency(LatencyModel::Fixed { ticks: 2 })
+            .with_max_deliveries(100);
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.latency, LatencyModel::Fixed { ticks: 2 });
+        assert_eq!(c.max_deliveries, 100);
+    }
+}

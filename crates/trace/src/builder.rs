@@ -1,0 +1,202 @@
+//! Fluent construction of computations.
+
+use wcp_clocks::ProcessId;
+
+use crate::computation::{Computation, ComputationError, ProcessTrace};
+use crate::event::{Event, MsgId};
+
+/// Builds a [`Computation`] by scripting events in program order.
+///
+/// Message identifiers are assigned automatically by [`send`](Self::send);
+/// pass the returned [`MsgId`] to [`receive`](Self::receive) on the
+/// destination process. Predicate flags default to `false` and are raised
+/// for the *current* interval of a process with
+/// [`mark_true`](Self::mark_true).
+///
+/// # Example
+///
+/// ```rust
+/// use wcp_clocks::ProcessId;
+/// use wcp_trace::ComputationBuilder;
+///
+/// let p0 = ProcessId::new(0);
+/// let p1 = ProcessId::new(1);
+/// let mut b = ComputationBuilder::new(2);
+/// let m = b.send(p0, p1);
+/// b.receive(p1, m);
+/// b.mark_true(p1); // predicate true in P1's interval 2 (after the receive)
+/// let c = b.build()?;
+/// assert_eq!(c.total_messages(), 1);
+/// # Ok::<(), wcp_trace::ComputationError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ComputationBuilder {
+    traces: Vec<ProcessTrace>,
+    next_msg: u64,
+}
+
+impl ComputationBuilder {
+    /// Starts a computation over `n` processes, each with a single interval
+    /// and all predicate flags false.
+    pub fn new(n: usize) -> Self {
+        ComputationBuilder {
+            traces: (0..n).map(|_| ProcessTrace::new()).collect(),
+            next_msg: 0,
+        }
+    }
+
+    /// Number of processes.
+    pub fn process_count(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Appends a send event on `from` addressed to `to`, returning the
+    /// message identifier to pass to [`receive`](Self::receive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is out of range (an out-of-range `to` or
+    /// `from == to` is reported by [`build`](Self::build) instead, so the
+    /// error paths of [`Computation::validate`] stay reachable in tests).
+    pub fn send(&mut self, from: ProcessId, to: ProcessId) -> MsgId {
+        let msg = MsgId::new(self.next_msg);
+        self.next_msg += 1;
+        let trace = &mut self.traces[from.index()];
+        trace.events.push(Event::Send { to, msg });
+        trace.pred.push(false);
+        msg
+    }
+
+    /// Appends a receive event on `at` consuming message `msg`.
+    ///
+    /// The originating process is looked up from the recorded send; if the
+    /// message has not been sent yet (or was addressed elsewhere), the
+    /// problem is reported by [`build`](Self::build).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is out of range.
+    pub fn receive(&mut self, at: ProcessId, msg: MsgId) {
+        let from = self
+            .traces
+            .iter()
+            .enumerate()
+            .find_map(|(i, t)| {
+                t.events.iter().find_map(|e| match *e {
+                    Event::Send { msg: m, .. } if m == msg => Some(ProcessId::new(i as u32)),
+                    _ => None,
+                })
+            })
+            .unwrap_or_default();
+        let trace = &mut self.traces[at.index()];
+        trace.events.push(Event::Receive { from, msg });
+        trace.pred.push(false);
+    }
+
+    /// Marks the local predicate true in the *current* (latest) interval of
+    /// process `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn mark_true(&mut self, p: ProcessId) {
+        let trace = &mut self.traces[p.index()];
+        *trace.pred.last_mut().expect("trace has at least one interval") = true;
+    }
+
+    /// Sets the predicate flag of a specific 1-based interval of `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` or `interval` is out of range, or `interval` is `0`.
+    pub fn set_pred(&mut self, p: ProcessId, interval: u64, value: bool) {
+        assert!(interval >= 1, "interval indices are 1-based");
+        self.traces[p.index()].pred[(interval - 1) as usize] = value;
+    }
+
+    /// Current (latest) 1-based interval index of process `p`.
+    pub fn current_interval(&self, p: ProcessId) -> u64 {
+        self.traces[p.index()].interval_count() as u64
+    }
+
+    /// Finishes the computation, validating it.
+    ///
+    /// # Errors
+    ///
+    /// Returns any [`ComputationError`] a hand-scripted sequence can produce
+    /// (e.g. receiving a never-sent message, or a send/receive cycle).
+    pub fn build(self) -> Result<Computation, ComputationError> {
+        let c = Computation::from_traces(self.traces);
+        c.validate()?;
+        Ok(c)
+    }
+
+    /// Finishes the computation without validating (for tests that need to
+    /// construct malformed traces).
+    pub fn build_unchecked(self) -> Computation {
+        Computation::from_traces(self.traces)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn msg_ids_are_sequential() {
+        let mut b = ComputationBuilder::new(3);
+        assert_eq!(b.send(p(0), p(1)), MsgId::new(0));
+        assert_eq!(b.send(p(1), p(2)), MsgId::new(1));
+        assert_eq!(b.process_count(), 3);
+    }
+
+    #[test]
+    fn receive_resolves_sender() {
+        let mut b = ComputationBuilder::new(2);
+        let m = b.send(p(0), p(1));
+        b.receive(p(1), m);
+        let c = b.build().unwrap();
+        assert_eq!(
+            c.process(p(1)).events[0],
+            Event::Receive {
+                from: p(0),
+                msg: m
+            }
+        );
+    }
+
+    #[test]
+    fn mark_true_applies_to_current_interval() {
+        let mut b = ComputationBuilder::new(2);
+        b.mark_true(p(0)); // interval 1
+        let m = b.send(p(0), p(1)); // interval 2 begins on P0
+        b.mark_true(p(0)); // interval 2
+        b.receive(p(1), m);
+        let c = b.build().unwrap();
+        assert!(c.process(p(0)).pred_at(1));
+        assert!(c.process(p(0)).pred_at(2));
+        assert!(!c.process(p(1)).pred_at(1));
+    }
+
+    #[test]
+    fn set_pred_and_current_interval() {
+        let mut b = ComputationBuilder::new(1);
+        assert_eq!(b.current_interval(p(0)), 1);
+        b.set_pred(p(0), 1, true);
+        let c = b.build().unwrap();
+        assert!(c.process(p(0)).pred_at(1));
+    }
+
+    #[test]
+    fn building_cycle_fails() {
+        // Receive recorded before its send exists resolves `from` to default
+        // and fails validation.
+        let mut b = ComputationBuilder::new(2);
+        b.receive(p(1), MsgId::new(40));
+        assert!(b.build().is_err());
+    }
+}

@@ -1,0 +1,612 @@
+//! The computation model and its structural validation.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use wcp_clocks::{Cut, ProcessId, StateId};
+
+use crate::annotate::AnnotatedComputation;
+use crate::event::{Event, MsgId};
+use crate::stats::ComputationStats;
+
+/// The recorded execution of one process: its communication events and the
+/// predicate flag for each interval between them.
+///
+/// A process with `E` events has `E + 1` intervals, numbered `1ꓸꓸE+1`
+/// (interval `k` precedes event `k`; interval `E + 1` follows the last
+/// event). `pred[k - 1]` records whether the local predicate was true at
+/// some point during interval `k`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct ProcessTrace {
+    /// Communication events, in program order.
+    pub events: Vec<Event>,
+    /// Per-interval predicate flags; `pred.len() == events.len() + 1`.
+    pub pred: Vec<bool>,
+}
+
+impl ProcessTrace {
+    /// Creates an event-free trace (one interval) with the predicate false.
+    pub fn new() -> Self {
+        ProcessTrace {
+            events: Vec::new(),
+            pred: vec![false],
+        }
+    }
+
+    /// Number of communication events.
+    pub fn event_count(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Number of intervals (`events + 1`).
+    pub fn interval_count(&self) -> usize {
+        self.events.len() + 1
+    }
+
+    /// Predicate flag for 1-based interval `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is `0` or exceeds [`interval_count`](Self::interval_count).
+    pub fn pred_at(&self, k: u64) -> bool {
+        assert!(k >= 1, "interval indices are 1-based");
+        self.pred[(k - 1) as usize]
+    }
+}
+
+/// A single run of a distributed program: one [`ProcessTrace`] per process.
+///
+/// Construct with [`ComputationBuilder`](crate::ComputationBuilder), the
+/// generators in [`generate`](crate::generate), or deserialize from JSON;
+/// then call [`validate`](Self::validate) (builders and generators always
+/// emit valid computations — validation exists for hand-made and
+/// deserialized data).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Computation {
+    processes: Vec<ProcessTrace>,
+}
+
+/// Ways a hand-built or deserialized [`Computation`] can be malformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ComputationError {
+    /// A process's `pred` vector does not have `events + 1` entries.
+    PredLengthMismatch {
+        /// Offending process.
+        process: ProcessId,
+        /// Number of events recorded.
+        events: usize,
+        /// Number of predicate flags recorded.
+        pred_len: usize,
+    },
+    /// A send or receive names a process outside the computation.
+    PeerOutOfRange {
+        /// Process whose trace contains the event.
+        process: ProcessId,
+        /// The out-of-range peer.
+        peer: ProcessId,
+    },
+    /// A process sends a message to itself.
+    SelfMessage {
+        /// Offending process.
+        process: ProcessId,
+        /// Offending message.
+        msg: MsgId,
+    },
+    /// Two sends carry the same message identifier.
+    DuplicateSend(MsgId),
+    /// Two receives consume the same message identifier.
+    DuplicateReceive(MsgId),
+    /// A receive references a message no process sends.
+    ReceiveWithoutSend(MsgId),
+    /// A receive's `from` or location disagrees with the matching send.
+    MismatchedEndpoints {
+        /// Offending message.
+        msg: MsgId,
+        /// What the send declared: `(sender, destination)`.
+        send: (ProcessId, ProcessId),
+        /// What the receive declared: `(claimed sender, receiver)`.
+        receive: (ProcessId, ProcessId),
+    },
+    /// The event sequences admit no valid interleaving (a message is
+    /// received "before" it could have been sent).
+    CausalCycle {
+        /// Per-process count of events that could not be scheduled.
+        stuck_events: usize,
+    },
+}
+
+impl fmt::Display for ComputationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ComputationError::PredLengthMismatch {
+                process,
+                events,
+                pred_len,
+            } => write!(
+                f,
+                "process {process} has {events} events but {pred_len} predicate flags (want events + 1)"
+            ),
+            ComputationError::PeerOutOfRange { process, peer } => {
+                write!(f, "event on {process} names out-of-range peer {peer}")
+            }
+            ComputationError::SelfMessage { process, msg } => {
+                write!(f, "process {process} sends message {msg} to itself")
+            }
+            ComputationError::DuplicateSend(m) => write!(f, "message {m} is sent twice"),
+            ComputationError::DuplicateReceive(m) => write!(f, "message {m} is received twice"),
+            ComputationError::ReceiveWithoutSend(m) => {
+                write!(f, "message {m} is received but never sent")
+            }
+            ComputationError::MismatchedEndpoints { msg, send, receive } => write!(
+                f,
+                "message {msg} endpoints disagree: sent {}→{} but received {}→{}",
+                send.0, send.1, receive.0, receive.1
+            ),
+            ComputationError::CausalCycle { stuck_events } => write!(
+                f,
+                "event sequences admit no valid interleaving ({stuck_events} events unschedulable)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ComputationError {}
+
+impl Computation {
+    /// Creates a computation from per-process traces.
+    ///
+    /// The result is not checked; call [`validate`](Self::validate) if the
+    /// traces come from an untrusted source.
+    pub fn from_traces(processes: Vec<ProcessTrace>) -> Self {
+        Computation { processes }
+    }
+
+    /// Number of processes (`N` in the paper).
+    pub fn process_count(&self) -> usize {
+        self.processes.len()
+    }
+
+    /// The trace of process `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn process(&self, p: ProcessId) -> &ProcessTrace {
+        &self.processes[p.index()]
+    }
+
+    /// Iterates over `(ProcessId, &ProcessTrace)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ProcessId, &ProcessTrace)> {
+        self.processes
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (ProcessId::new(i as u32), t))
+    }
+
+    /// Read-only view of all process traces.
+    pub fn traces(&self) -> &[ProcessTrace] {
+        &self.processes
+    }
+
+    /// The paper's `m`: the maximum number of messages sent or received by
+    /// any single process.
+    pub fn max_events_per_process(&self) -> usize {
+        self.processes
+            .iter()
+            .map(|t| t.event_count())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total number of communication events across all processes.
+    pub fn total_events(&self) -> usize {
+        self.processes.iter().map(|t| t.event_count()).sum()
+    }
+
+    /// Total number of messages (sends) in the computation.
+    pub fn total_messages(&self) -> usize {
+        self.processes
+            .iter()
+            .flat_map(|t| &t.events)
+            .filter(|e| e.is_send())
+            .count()
+    }
+
+    /// Predicate flag of local state `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` names a process or interval out of range, or has
+    /// index `0`.
+    pub fn pred_at(&self, s: StateId) -> bool {
+        self.process(s.process).pred_at(s.index)
+    }
+
+    /// Computes per-interval clocks and dependences for this computation.
+    ///
+    /// This is the entry point for all happened-before queries; see
+    /// [`AnnotatedComputation`].
+    pub fn annotate(&self) -> AnnotatedComputation<'_> {
+        AnnotatedComputation::new(self)
+    }
+
+    /// Summary statistics (event counts, message counts, predicate density).
+    pub fn stats(&self) -> ComputationStats {
+        ComputationStats::of(self)
+    }
+
+    /// Slices the computation to the prefix at or below `cut`: process `i`
+    /// keeps its first `cut[i]` intervals (events `1 ..= cut[i]−1`).
+    ///
+    /// If `cut` is a **consistent** cut, the prefix is a valid computation
+    /// (no received message can cross a consistent cut backwards) that
+    /// still contains every state of the cut — the standard way to shrink
+    /// a trace to a detected violation for debugging.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cut is incomplete or out of range for this
+    /// computation.
+    pub fn truncate_at(&self, cut: &Cut) -> Computation {
+        assert_eq!(cut.len(), self.process_count(), "cut width mismatch");
+        let traces = self
+            .iter()
+            .map(|(p, trace)| {
+                let k = cut.get(p).expect("cut covers every process");
+                assert!(
+                    k >= 1 && (k as usize) <= trace.interval_count(),
+                    "cut entry {k} out of range for {p}"
+                );
+                ProcessTrace {
+                    events: trace.events[..(k - 1) as usize].to_vec(),
+                    pred: trace.pred[..k as usize].to_vec(),
+                }
+            })
+            .collect();
+        Computation::from_traces(traces)
+    }
+
+    /// Checks structural well-formedness.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first problem found: predicate-flag length mismatches,
+    /// out-of-range or self-directed messages, duplicate or orphaned message
+    /// identifiers, endpoint mismatches between a send and its receive, or
+    /// event sequences that admit no valid interleaving.
+    pub fn validate(&self) -> Result<(), ComputationError> {
+        let n = self.processes.len();
+
+        // Per-process shape and peer ranges.
+        for (p, trace) in self.iter() {
+            if trace.pred.len() != trace.events.len() + 1 {
+                return Err(ComputationError::PredLengthMismatch {
+                    process: p,
+                    events: trace.events.len(),
+                    pred_len: trace.pred.len(),
+                });
+            }
+            for ev in &trace.events {
+                let peer = ev.peer();
+                if peer.index() >= n {
+                    return Err(ComputationError::PeerOutOfRange { process: p, peer });
+                }
+                if let Event::Send { to, msg } = *ev {
+                    if to == p {
+                        return Err(ComputationError::SelfMessage { process: p, msg });
+                    }
+                }
+            }
+        }
+
+        // Message matching.
+        let mut sends: HashMap<MsgId, (ProcessId, ProcessId)> = HashMap::new();
+        let mut receives: HashMap<MsgId, (ProcessId, ProcessId)> = HashMap::new();
+        for (p, trace) in self.iter() {
+            for ev in &trace.events {
+                match *ev {
+                    Event::Send { to, msg } => {
+                        if sends.insert(msg, (p, to)).is_some() {
+                            return Err(ComputationError::DuplicateSend(msg));
+                        }
+                    }
+                    Event::Receive { from, msg } => {
+                        if receives.insert(msg, (from, p)).is_some() {
+                            return Err(ComputationError::DuplicateReceive(msg));
+                        }
+                    }
+                }
+            }
+        }
+        for (&msg, &(claimed_from, receiver)) in &receives {
+            match sends.get(&msg) {
+                None => return Err(ComputationError::ReceiveWithoutSend(msg)),
+                Some(&(sender, dest)) => {
+                    if sender != claimed_from || dest != receiver {
+                        return Err(ComputationError::MismatchedEndpoints {
+                            msg,
+                            send: (sender, dest),
+                            receive: (claimed_from, receiver),
+                        });
+                    }
+                }
+            }
+        }
+
+        // Realizability: greedy replay. Sends are always enabled; a receive
+        // is enabled once its message has been sent. Since enabling is
+        // monotone, the greedy schedule succeeds iff some schedule does.
+        let mut next = vec![0usize; n];
+        let mut sent: std::collections::HashSet<MsgId> = std::collections::HashSet::new();
+        let total = self.total_events();
+        let mut done = 0usize;
+        loop {
+            let mut progressed = false;
+            for (i, trace) in self.processes.iter().enumerate() {
+                while next[i] < trace.events.len() {
+                    match trace.events[next[i]] {
+                        Event::Send { msg, .. } => {
+                            sent.insert(msg);
+                        }
+                        Event::Receive { msg, .. } => {
+                            if !sent.contains(&msg) {
+                                break;
+                            }
+                        }
+                    }
+                    next[i] += 1;
+                    done += 1;
+                    progressed = true;
+                }
+            }
+            if done == total {
+                return Ok(());
+            }
+            if !progressed {
+                return Err(ComputationError::CausalCycle {
+                    stuck_events: total - done,
+                });
+            }
+        }
+    }
+}
+
+impl fmt::Display for Computation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "computation over {} processes:", self.processes.len())?;
+        for (p, trace) in self.iter() {
+            write!(f, "  {p}:")?;
+            for (k, ev) in trace.events.iter().enumerate() {
+                let flag = if trace.pred[k] { "*" } else { "" };
+                write!(f, " [{}{flag}] {ev}", k + 1)?;
+            }
+            let last = trace.pred.len();
+            let flag = if trace.pred[last - 1] { "*" } else { "" };
+            writeln!(f, " [{last}{flag}]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ComputationBuilder;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn empty_trace_has_one_interval() {
+        let t = ProcessTrace::new();
+        assert_eq!(t.interval_count(), 1);
+        assert!(!t.pred_at(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn pred_at_zero_panics() {
+        ProcessTrace::new().pred_at(0);
+    }
+
+    #[test]
+    fn valid_two_process_exchange() {
+        let mut b = ComputationBuilder::new(2);
+        let m = b.send(p(0), p(1));
+        b.receive(p(1), m);
+        let c = b.build().unwrap();
+        assert_eq!(c.process_count(), 2);
+        assert_eq!(c.total_messages(), 1);
+        assert_eq!(c.total_events(), 2);
+        assert_eq!(c.max_events_per_process(), 1);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn detects_pred_length_mismatch() {
+        let mut t = ProcessTrace::new();
+        t.pred.clear(); // now 0 flags for 0 events (want 1)
+        let c = Computation::from_traces(vec![t]);
+        assert!(matches!(
+            c.validate(),
+            Err(ComputationError::PredLengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_peer_out_of_range() {
+        let mut t = ProcessTrace::new();
+        t.events.push(Event::Send {
+            to: p(5),
+            msg: MsgId::new(0),
+        });
+        t.pred.push(false);
+        let c = Computation::from_traces(vec![t]);
+        assert!(matches!(
+            c.validate(),
+            Err(ComputationError::PeerOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_self_message() {
+        let mut t = ProcessTrace::new();
+        t.events.push(Event::Send {
+            to: p(0),
+            msg: MsgId::new(0),
+        });
+        t.pred.push(false);
+        let c = Computation::from_traces(vec![t]);
+        assert!(matches!(
+            c.validate(),
+            Err(ComputationError::SelfMessage { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_duplicate_send() {
+        let mk = |to| Event::Send {
+            to,
+            msg: MsgId::new(0),
+        };
+        let mut t0 = ProcessTrace::new();
+        t0.events.extend([mk(p(1)), mk(p(1))]);
+        t0.pred.extend([false, false]);
+        let c = Computation::from_traces(vec![t0, ProcessTrace::new()]);
+        assert_eq!(c.validate(), Err(ComputationError::DuplicateSend(MsgId::new(0))));
+    }
+
+    #[test]
+    fn detects_receive_without_send() {
+        let mut t = ProcessTrace::new();
+        t.events.push(Event::Receive {
+            from: p(1),
+            msg: MsgId::new(9),
+        });
+        t.pred.push(false);
+        let c = Computation::from_traces(vec![t, ProcessTrace::new()]);
+        assert_eq!(
+            c.validate(),
+            Err(ComputationError::ReceiveWithoutSend(MsgId::new(9)))
+        );
+    }
+
+    #[test]
+    fn detects_mismatched_endpoints() {
+        let mut t0 = ProcessTrace::new();
+        t0.events.push(Event::Send {
+            to: p(1),
+            msg: MsgId::new(0),
+        });
+        t0.pred.push(false);
+        let mut t2 = ProcessTrace::new();
+        // P2 claims to receive m0 although it was addressed to P1.
+        t2.events.push(Event::Receive {
+            from: p(0),
+            msg: MsgId::new(0),
+        });
+        t2.pred.push(false);
+        let c = Computation::from_traces(vec![t0, ProcessTrace::new(), t2]);
+        assert!(matches!(
+            c.validate(),
+            Err(ComputationError::MismatchedEndpoints { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_causal_cycle() {
+        // P0: recv(m1) then send(m0);  P1: recv(m0) then send(m1).
+        let mut t0 = ProcessTrace::new();
+        t0.events.push(Event::Receive {
+            from: p(1),
+            msg: MsgId::new(1),
+        });
+        t0.events.push(Event::Send {
+            to: p(1),
+            msg: MsgId::new(0),
+        });
+        t0.pred.extend([false, false]);
+        let mut t1 = ProcessTrace::new();
+        t1.events.push(Event::Receive {
+            from: p(0),
+            msg: MsgId::new(0),
+        });
+        t1.events.push(Event::Send {
+            to: p(0),
+            msg: MsgId::new(1),
+        });
+        t1.pred.extend([false, false]);
+        let c = Computation::from_traces(vec![t0, t1]);
+        assert_eq!(
+            c.validate(),
+            Err(ComputationError::CausalCycle { stuck_events: 4 })
+        );
+    }
+
+    #[test]
+    fn unreceived_messages_are_legal() {
+        let mut b = ComputationBuilder::new(2);
+        b.send(p(0), p(1)); // never received
+        let c = b.build().unwrap();
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn display_shows_events_and_flags() {
+        let mut b = ComputationBuilder::new(2);
+        b.mark_true(p(0));
+        let m = b.send(p(0), p(1));
+        b.receive(p(1), m);
+        let c = b.build().unwrap();
+        let s = c.to_string();
+        assert!(s.contains("P0"));
+        assert!(s.contains("send(m0)→P1"));
+        assert!(s.contains("[1*]"));
+    }
+
+    #[test]
+    fn truncate_at_consistent_cut_preserves_detection() {
+        // P0 sends m0 after its true interval; P1 receives and is true.
+        let mut b = ComputationBuilder::new(2);
+        let m = b.send(p(0), p(1));
+        b.mark_true(p(0)); // (0,2)
+        b.receive(p(1), m);
+        b.mark_true(p(1)); // (1,2)
+        b.send(p(0), p(1)); // extra tail activity, never received
+        let c = b.build().unwrap();
+        let cut = Cut::from_indices(vec![2, 2]);
+        assert!(c.annotate().is_consistent(&cut));
+        let sliced = c.truncate_at(&cut);
+        assert!(sliced.validate().is_ok());
+        assert_eq!(sliced.process(p(0)).event_count(), 1, "tail send dropped");
+        assert_eq!(sliced.process(p(1)).event_count(), 1);
+        // The detection result is unchanged on the slice.
+        let a = sliced.annotate();
+        assert_eq!(
+            a.first_satisfying_cut(&crate::Wcp::over_first(2)),
+            Some(cut)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn truncate_rejects_incomplete_cut() {
+        let c = ComputationBuilder::new(2).build().unwrap();
+        c.truncate_at(&Cut::from_indices(vec![0, 1]));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut b = ComputationBuilder::new(2);
+        let m = b.send(p(0), p(1));
+        b.receive(p(1), m);
+        b.mark_true(p(1));
+        let c = b.build().unwrap();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: Computation = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+        assert!(back.validate().is_ok());
+    }
+}

@@ -1,0 +1,140 @@
+//! Communication events.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use wcp_clocks::ProcessId;
+
+/// Globally unique identifier of an application message within one
+/// computation.
+///
+/// # Example
+///
+/// ```rust
+/// use wcp_trace::MsgId;
+/// let m = MsgId::new(4);
+/// assert_eq!(m.to_string(), "m4");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct MsgId(u64);
+
+impl MsgId {
+    /// Creates a message identifier from a raw index.
+    pub const fn new(id: u64) -> Self {
+        MsgId(id)
+    }
+
+    /// Returns the raw index.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for MsgId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// One communication event in a process's execution.
+///
+/// Internal events are not represented: following Figure 2 of the paper,
+/// clocks advance only at communication events, so internal activity is
+/// folded into the per-interval predicate flags of
+/// [`ProcessTrace`](crate::ProcessTrace).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Event {
+    /// Send message `msg` to process `to`.
+    Send {
+        /// Destination process.
+        to: ProcessId,
+        /// Message identifier (unique within the computation).
+        msg: MsgId,
+    },
+    /// Receive message `msg`, which was sent by process `from`.
+    Receive {
+        /// Originating process (redundant with the matching `Send`; checked
+        /// by [`Computation::validate`](crate::Computation::validate)).
+        from: ProcessId,
+        /// Message identifier.
+        msg: MsgId,
+    },
+}
+
+impl Event {
+    /// Returns the message identifier this event carries.
+    pub fn msg(&self) -> MsgId {
+        match *self {
+            Event::Send { msg, .. } | Event::Receive { msg, .. } => msg,
+        }
+    }
+
+    /// `true` iff this is a send event.
+    pub fn is_send(&self) -> bool {
+        matches!(self, Event::Send { .. })
+    }
+
+    /// `true` iff this is a receive event.
+    pub fn is_receive(&self) -> bool {
+        matches!(self, Event::Receive { .. })
+    }
+
+    /// The remote peer of this event (destination of a send, source of a
+    /// receive).
+    pub fn peer(&self) -> ProcessId {
+        match *self {
+            Event::Send { to, .. } => to,
+            Event::Receive { from, .. } => from,
+        }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::Send { to, msg } => write!(f, "send({msg})→{to}"),
+            Event::Receive { from, msg } => write!(f, "recv({msg})←{from}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn msg_id_display_and_order() {
+        assert_eq!(MsgId::new(3).to_string(), "m3");
+        assert!(MsgId::new(1) < MsgId::new(2));
+        assert_eq!(MsgId::new(5).as_u64(), 5);
+    }
+
+    #[test]
+    fn event_accessors() {
+        let s = Event::Send {
+            to: ProcessId::new(1),
+            msg: MsgId::new(0),
+        };
+        let r = Event::Receive {
+            from: ProcessId::new(0),
+            msg: MsgId::new(0),
+        };
+        assert!(s.is_send() && !s.is_receive());
+        assert!(r.is_receive() && !r.is_send());
+        assert_eq!(s.msg(), r.msg());
+        assert_eq!(s.peer(), ProcessId::new(1));
+        assert_eq!(r.peer(), ProcessId::new(0));
+    }
+
+    #[test]
+    fn event_display() {
+        let s = Event::Send {
+            to: ProcessId::new(1),
+            msg: MsgId::new(2),
+        };
+        assert_eq!(s.to_string(), "send(m2)→P1");
+    }
+}

@@ -1,0 +1,136 @@
+//! Summary statistics of a computation.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::computation::Computation;
+
+/// Aggregate statistics of a [`Computation`], used by the experiment harness
+/// to describe workloads.
+///
+/// # Example
+///
+/// ```rust
+/// use wcp_clocks::ProcessId;
+/// use wcp_trace::ComputationBuilder;
+///
+/// let mut b = ComputationBuilder::new(2);
+/// let m = b.send(ProcessId::new(0), ProcessId::new(1));
+/// b.receive(ProcessId::new(1), m);
+/// b.mark_true(ProcessId::new(1));
+/// let stats = b.build().unwrap().stats();
+/// assert_eq!(stats.processes, 2);
+/// assert_eq!(stats.messages, 1);
+/// assert_eq!(stats.true_intervals, 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ComputationStats {
+    /// Number of processes (`N`).
+    pub processes: usize,
+    /// Total messages sent.
+    pub messages: usize,
+    /// Messages sent but never received.
+    pub undelivered: usize,
+    /// Maximum events on any one process (the paper's `m`).
+    pub max_events_per_process: usize,
+    /// Total communication events.
+    pub total_events: usize,
+    /// Total intervals across all processes.
+    pub total_intervals: usize,
+    /// Intervals whose predicate flag is true.
+    pub true_intervals: usize,
+    /// Fraction of intervals whose predicate flag is true.
+    pub predicate_density: f64,
+}
+
+impl ComputationStats {
+    /// Computes statistics for `computation`.
+    pub fn of(computation: &Computation) -> Self {
+        let processes = computation.process_count();
+        let messages = computation.total_messages();
+        let receives: usize = computation
+            .traces()
+            .iter()
+            .flat_map(|t| &t.events)
+            .filter(|e| e.is_receive())
+            .count();
+        let total_events = computation.total_events();
+        let total_intervals: usize = computation
+            .traces()
+            .iter()
+            .map(|t| t.interval_count())
+            .sum();
+        let true_intervals: usize = computation
+            .traces()
+            .iter()
+            .flat_map(|t| &t.pred)
+            .filter(|&&f| f)
+            .count();
+        ComputationStats {
+            processes,
+            messages,
+            undelivered: messages - receives,
+            max_events_per_process: computation.max_events_per_process(),
+            total_events,
+            total_intervals,
+            true_intervals,
+            predicate_density: if total_intervals == 0 {
+                0.0
+            } else {
+                true_intervals as f64 / total_intervals as f64
+            },
+        }
+    }
+}
+
+impl fmt::Display for ComputationStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "N={} msgs={} (undelivered {}) m={} events={} intervals={} true={} ({:.1}%)",
+            self.processes,
+            self.messages,
+            self.undelivered,
+            self.max_events_per_process,
+            self.total_events,
+            self.total_intervals,
+            self.true_intervals,
+            self.predicate_density * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    
+    use crate::ComputationBuilder;
+    use wcp_clocks::ProcessId;
+
+    #[test]
+    fn counts_undelivered() {
+        let mut b = ComputationBuilder::new(2);
+        b.send(ProcessId::new(0), ProcessId::new(1));
+        let m = b.send(ProcessId::new(0), ProcessId::new(1));
+        b.receive(ProcessId::new(1), m);
+        let s = b.build().unwrap().stats();
+        assert_eq!(s.messages, 2);
+        assert_eq!(s.undelivered, 1);
+        assert_eq!(s.max_events_per_process, 2);
+        assert_eq!(s.total_intervals, 5);
+    }
+
+    #[test]
+    fn density_of_empty_computation_is_zero_free() {
+        let s = ComputationBuilder::new(1).build().unwrap().stats();
+        assert_eq!(s.true_intervals, 0);
+        assert_eq!(s.predicate_density, 0.0);
+        assert_eq!(s.total_intervals, 1);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = ComputationBuilder::new(1).build().unwrap().stats();
+        assert!(s.to_string().contains("N=1"));
+    }
+}

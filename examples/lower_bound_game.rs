@@ -1,0 +1,65 @@
+//! The Section 5 lower bound, played out: an optimal comparison-based
+//! detector against the Theorem 5.1 adversary. Watch the adversary permit
+//! exactly one deletion per round until a queue runs dry — forcing the
+//! `Ω(nm)` cost no algorithm in this model can avoid.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --example lower_bound_game
+//! ```
+
+use wcp::detect::lower_bound::{AdversaryGame, RuleViolation};
+
+fn main() {
+    let (n, m) = (4usize, 3u64);
+    println!("queues: {n} × {m} states; Theorem 5.1 bound: nm − n = {}\n", n as u64 * m - n as u64);
+
+    let mut game = AdversaryGame::new(n, m);
+
+    // First, demonstrate the soundness rule: deleting a head the last
+    // comparison did not condemn is rejected — the adversary could
+    // complete the poset to make it part of a size-n antichain.
+    let cmp = game.compare_heads();
+    let deletable = cmp.deletable()[0];
+    let illegal = (0..n).find(|&q| q != deletable).unwrap();
+    match game.delete_heads(&[illegal]) {
+        Err(RuleViolation::UnjustifiedDeletion { queue }) => {
+            println!("deleting queue {queue}'s head without proof: REJECTED (unsound)\n");
+        }
+        other => unreachable!("{other:?}"),
+    }
+
+    // Now play optimally.
+    let mut round = 0u64;
+    loop {
+        let cmp = game.compare_heads();
+        let deletable = cmp.deletable();
+        if deletable.is_empty() {
+            break;
+        }
+        round += 1;
+        println!(
+            "round {round:>2}: remaining {:?} — adversary condemns the head of queue {}",
+            game.remaining(),
+            deletable[0]
+        );
+        game.delete_heads(&deletable).expect("justified");
+        if game.finished() {
+            break;
+        }
+    }
+
+    println!(
+        "\na queue is empty after {} deletions in {} comparison rounds",
+        game.deletions(),
+        game.s1_steps()
+    );
+    println!("final queue lengths: {:?}", game.remaining());
+    let bound = n as u64 * m - n as u64;
+    assert!(game.deletions() >= bound);
+    println!(
+        "forced cost {} ≥ bound {bound}: every comparison-based online detector pays Ω(nm)",
+        game.deletions()
+    );
+}

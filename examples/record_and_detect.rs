@@ -1,0 +1,174 @@
+//! The full adoption loop: write a distributed application as plain
+//! actors, run it on the simulator while **recording** its computation,
+//! then ask global questions about that exact run:
+//!
+//! 1. "Were both workers ever overloaded at the same (consistent) time?" —
+//!    a plain WCP;
+//! 2. "When did the system terminate (everyone idle, no work in flight)?"
+//!    — a GCP with channel terms.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --example record_and_detect
+//! ```
+
+use wcp::clocks::ProcessId;
+use wcp::detect::{ChannelPredicate, ChannelTerm, Detector, Gcp, GcpChecker, TokenDetector};
+use wcp::record::{Application, Recorder};
+use wcp::sim::{ActorId, Context, SimConfig, WireSize};
+use wcp::trace::Wcp;
+
+#[derive(Clone)]
+enum Msg {
+    /// A job, with a number of follow-up jobs it spawns.
+    Job { spawns: u8 },
+    /// Worker tells the balancer it finished one job.
+    Done,
+}
+
+impl WireSize for Msg {
+    fn wire_size(&self) -> usize {
+        2
+    }
+}
+
+/// Round-robin load balancer: seeds the system with jobs and forwards
+/// completions until all work is accounted for.
+struct Balancer {
+    workers: Vec<ActorId>,
+    seed_jobs: u8,
+    outstanding: u32,
+    next: usize,
+}
+
+impl Application<Msg> for Balancer {
+    fn on_start(&mut self, ctx: &mut dyn Context<Msg>) {
+        for i in 0..self.seed_jobs {
+            let w = self.workers[self.next % self.workers.len()];
+            self.next += 1;
+            let spawns = i % 3;
+            // Every job — original or spawned — reports Done once.
+            self.outstanding += 1 + spawns as u32;
+            ctx.send(w, Msg::Job { spawns });
+        }
+    }
+    fn on_message(&mut self, _ctx: &mut dyn Context<Msg>, _from: ActorId, msg: Msg) {
+        if let Msg::Done = msg {
+            self.outstanding -= 1;
+        }
+    }
+    /// The balancer is "quiet" when no dispatched job is unaccounted for.
+    fn local_predicate(&self) -> bool {
+        self.outstanding == 0
+    }
+}
+
+/// A worker: every job may spawn follow-ups sent to the *other* worker;
+/// "overloaded" after handling a spawning job.
+struct Worker {
+    peer: ActorId,
+    balancer: ActorId,
+    jobs_handled: u32,
+    overloaded: bool,
+}
+
+impl Application<Msg> for Worker {
+    fn on_message(&mut self, ctx: &mut dyn Context<Msg>, _from: ActorId, msg: Msg) {
+        if let Msg::Job { spawns } = msg {
+            self.jobs_handled += 1;
+            for _ in 0..spawns {
+                ctx.send(self.peer, Msg::Job { spawns: 0 });
+            }
+            self.overloaded = spawns > 0;
+            ctx.send(self.balancer, Msg::Done);
+        }
+    }
+    fn local_predicate(&self) -> bool {
+        self.overloaded
+    }
+}
+
+fn main() {
+    const BALANCER: ProcessId = ProcessId::new(0);
+    const W1: ProcessId = ProcessId::new(1);
+    const W2: ProcessId = ProcessId::new(2);
+
+    // ---- run & record -------------------------------------------------
+    let mut recorder = Recorder::new(SimConfig::seeded(42));
+    let balancer = recorder.add_process(Box::new(Balancer {
+        workers: vec![ActorId::new(1), ActorId::new(2)],
+        seed_jobs: 6,
+        outstanding: 0,
+        next: 0,
+    }));
+    assert_eq!(balancer, BALANCER);
+    recorder.add_process(Box::new(Worker {
+        peer: ActorId::new(2),
+        balancer: ActorId::new(0),
+        jobs_handled: 0,
+        overloaded: false,
+    }));
+    recorder.add_process(Box::new(Worker {
+        peer: ActorId::new(1),
+        balancer: ActorId::new(0),
+        jobs_handled: 0,
+        overloaded: false,
+    }));
+    let run = recorder.run();
+    println!("recorded: {}", run.computation.stats());
+
+    // ---- question 1: simultaneous overload (WCP) -----------------------
+    let annotated = run.computation.annotate();
+    let overload = Wcp::over([W1, W2]);
+    let report = TokenDetector::new().detect(&annotated, &overload);
+    match report.detection.cut() {
+        Some(cut) => println!(
+            "both workers overloaded on consistent cut {cut} (W1 interval {}, W2 interval {})",
+            cut[W1], cut[W2]
+        ),
+        None => println!("the workers were never overloaded simultaneously"),
+    }
+
+    // ---- question 2: termination (GCP with channel terms) ---------------
+    // Quiescent = balancer quiet ∧ nothing in flight on any used channel.
+    let index = wcp::trace::ChannelIndex::new(&run.computation);
+    let terms: Vec<ChannelTerm> = index
+        .channels()
+        .map(|channel| ChannelTerm {
+            channel,
+            predicate: ChannelPredicate::Empty,
+        })
+        .collect();
+    println!("channels used: {}", terms.len());
+    // For termination we only need the balancer's local predicate; the
+    // workers participate through the channel terms, so give them
+    // trivially-true local predicates by scoping all and marking workers
+    // true everywhere... simpler: predicate over the balancer only is not
+    // allowed (channel endpoints must be in scope), so use the full scope
+    // and accept the workers' own idleness semantics: not overloaded.
+    // "Terminated" here: balancer quiet ∧ workers not overloaded ∧ empty channels.
+    let mut quiet = run.computation.clone();
+    {
+        // Workers' predicate for termination is ¬overloaded: flip flags.
+        use wcp::trace::{Computation, ProcessTrace};
+        let mut traces: Vec<ProcessTrace> = quiet.traces().to_vec();
+        for w in [W1, W2] {
+            for flag in &mut traces[w.index()].pred {
+                *flag = !*flag;
+            }
+        }
+        quiet = Computation::from_traces(traces);
+    }
+    let gcp = Gcp::new(Wcp::over([BALANCER, W1, W2]), terms);
+    let quiet_annotated = quiet.annotate();
+    let term_report = GcpChecker::new().detect(&quiet_annotated, &gcp);
+    match term_report.detection.cut() {
+        Some(cut) => {
+            println!("terminated at {cut}");
+            assert_eq!(index.total_in_flight(cut), 0, "termination cut is quiescent");
+            println!("  (verified: zero messages in flight across that cut)");
+        }
+        None => println!("the run never quiesced with the balancer quiet"),
+    }
+}

@@ -1,0 +1,137 @@
+//! Distributed termination detection as a *generalized* conjunctive
+//! predicate (GCP, the paper's reference [6]): the computation has
+//! terminated exactly when, on one consistent cut,
+//!
+//! > every process is passive ∧ every channel is empty.
+//!
+//! The channel terms matter: without them, a cut where all processes are
+//! momentarily passive but a work message is still in flight would be
+//! reported as termination — a classic false positive.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --example termination_detection
+//! ```
+
+use wcp::clocks::ProcessId;
+use wcp::detect::{
+    CentralizedChecker, ChannelPredicate, ChannelTerm, Detector, Gcp, GcpChecker,
+};
+use wcp::trace::channel::ChannelId;
+use wcp::trace::{Computation, ComputationBuilder, ComputationError, Wcp};
+
+const COORD: ProcessId = ProcessId::new(0);
+const W1: ProcessId = ProcessId::new(1);
+const W2: ProcessId = ProcessId::new(2);
+
+/// A diffusing computation: the coordinator hands work to worker 1, which
+/// forwards a subtask to worker 2. Every process is passive between
+/// activities — including the treacherous moment when everyone is passive
+/// but a subtask is still in flight.
+fn diffusing_run() -> Result<Computation, ComputationError> {
+    let mut b = ComputationBuilder::new(3);
+    // Everyone starts passive.
+    b.mark_true(COORD);
+    b.mark_true(W1);
+    b.mark_true(W2);
+
+    // Coordinator dispatches work to W1 and is passive again.
+    let work = b.send(COORD, W1);
+    b.mark_true(COORD);
+
+    // W1 processes, forwards a subtask to W2, then goes passive — while
+    // the subtask is still in flight!
+    b.receive(W1, work);
+    let subtask = b.send(W1, W2);
+    b.mark_true(W1);
+
+    // W2 finally receives and processes the subtask, then goes passive.
+    b.receive(W2, subtask);
+    b.mark_true(W2);
+
+    b.build()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let run = diffusing_run()?;
+    let annotated = run.annotate();
+    let all_passive = Wcp::over_all(&run);
+
+    // Naive detector: local predicates only.
+    let naive = CentralizedChecker::new().detect(&annotated, &all_passive);
+    let naive_cut = naive.detection.cut().expect("all start passive");
+    println!("naive WCP (passivity only) reports termination at {naive_cut}");
+
+    // Sound detector: add "channel empty" terms for every used channel.
+    let terms = [
+        ChannelTerm {
+            channel: ChannelId::new(COORD, W1),
+            predicate: ChannelPredicate::Empty,
+        },
+        ChannelTerm {
+            channel: ChannelId::new(W1, W2),
+            predicate: ChannelPredicate::Empty,
+        },
+    ];
+    let gcp = Gcp::new(all_passive.clone(), terms);
+    println!("GCP: {gcp}");
+    let sound = GcpChecker::new().detect(&annotated, &gcp);
+    let sound_cut = sound.detection.cut().expect("the run does terminate");
+    println!("GCP detector reports termination at {sound_cut}");
+
+    // The initial cut ⟨1,1,1⟩ is genuinely quiescent (nothing sent yet);
+    // the interesting comparison is what happens when we exclude it by
+    // requiring the coordinator to have dispatched: scope the predicate to
+    // the post-dispatch world by marking COORD "passive" only after its
+    // send.
+    let run2;
+    {
+        // Rebuild with COORD's initial passivity removed.
+        let mut b = ComputationBuilder::new(3);
+        b.mark_true(W1);
+        b.mark_true(W2);
+        let work = b.send(COORD, W1);
+        b.mark_true(COORD);
+        b.receive(W1, work);
+        let subtask = b.send(W1, W2);
+        b.mark_true(W1);
+        b.receive(W2, subtask);
+        b.mark_true(W2);
+        run2 = b.build()?;
+    }
+    let annotated2 = run2.annotate();
+    let naive2 = CentralizedChecker::new().detect(&annotated2, &all_passive);
+    let naive2_cut = naive2.detection.cut().expect("detected");
+    let gcp2 = Gcp::new(
+        all_passive,
+        [
+            ChannelTerm {
+                channel: ChannelId::new(COORD, W1),
+                predicate: ChannelPredicate::Empty,
+            },
+            ChannelTerm {
+                channel: ChannelId::new(W1, W2),
+                predicate: ChannelPredicate::Empty,
+            },
+        ],
+    );
+    let sound2 = GcpChecker::new().detect(&annotated2, &gcp2);
+    let sound2_cut = sound2.detection.cut().expect("detected");
+
+    println!("\nafter excluding the trivial initial cut:");
+    println!("  naive WCP claims termination at {naive2_cut}");
+    println!("  GCP places termination at      {sound2_cut}");
+
+    // The naive cut has the subtask in flight — a FALSE termination.
+    let index = wcp::trace::ChannelIndex::new(&run2);
+    let in_flight_naive = index.total_in_flight(naive2_cut);
+    let in_flight_sound = index.total_in_flight(sound2_cut);
+    println!(
+        "  messages in flight: naive cut = {in_flight_naive}, GCP cut = {in_flight_sound}"
+    );
+    assert!(in_flight_naive > 0, "the naive cut must be a false positive");
+    assert_eq!(in_flight_sound, 0, "the GCP cut must be quiescent");
+    println!("\nThe channel terms eliminated the false termination report.");
+    Ok(())
+}

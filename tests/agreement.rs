@@ -1,0 +1,145 @@
+//! Cross-crate agreement suite: every detector family — offline emulations,
+//! online simulated actors, threaded actors, and the lattice ground truth —
+//! must report the same detection verdict and the same scope projection of
+//! the first satisfying cut, on randomized computations (Theorems 3.2, 4.3,
+//! 4.4 of the paper).
+
+use proptest::prelude::*;
+use wcp::detect::online::{run_direct, run_multi_token, run_vc_token};
+use wcp::detect::{
+    CentralizedChecker, Detection, Detector, DirectDependenceDetector, LatticeDetector,
+    MultiTokenDetector, TokenDetector,
+};
+use wcp::sim::{LatencyModel, SimConfig};
+use wcp::trace::generate::{generate, GeneratorConfig, Topology};
+use wcp::trace::Wcp;
+
+fn arb_config() -> impl Strategy<Value = GeneratorConfig> {
+    (
+        2usize..6,
+        2usize..10,
+        0.2f64..0.9,
+        0.05f64..0.5,
+        any::<u64>(),
+        prop_oneof![
+            Just(Topology::Uniform),
+            Just(Topology::Ring),
+            (1usize..3).prop_map(|d| Topology::Neighbors { degree: d }),
+        ],
+        proptest::option::of(0.0f64..1.0),
+    )
+        .prop_map(|(n, m, sf, pd, seed, topo, plant)| {
+            let mut cfg = GeneratorConfig::new(n, m)
+                .with_seed(seed)
+                .with_send_fraction(sf)
+                .with_predicate_density(pd)
+                .with_topology(topo);
+            if let Some(f) = plant {
+                cfg = cfg.with_plant(f);
+            }
+            cfg
+        })
+}
+
+/// Extracts the scope projection, or `None` if undetected.
+fn projected(wcp: &Wcp, detection: &Detection) -> Option<Vec<u64>> {
+    detection.cut().map(|c| wcp.project(c))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// All offline detectors agree with the ground truth, for full and
+    /// partial scopes.
+    #[test]
+    fn offline_families_agree(cfg in arb_config(), scope_n in 1usize..6) {
+        let g = generate(&cfg);
+        let annotated = g.computation.annotate();
+        let n = g.computation.process_count();
+        let wcp = Wcp::over_first(scope_n.min(n));
+
+        let truth = annotated
+            .first_satisfying_cut(&wcp)
+            .map(|c| wcp.project(&c));
+
+        let detectors: Vec<Box<dyn Detector>> = vec![
+            Box::new(CentralizedChecker::new()),
+            Box::new(TokenDetector::new().with_invariant_checks()),
+            Box::new(TokenDetector::new().with_start(wcp.n() - 1)),
+            Box::new(MultiTokenDetector::new(2)),
+            Box::new(MultiTokenDetector::new(3)),
+            Box::new(DirectDependenceDetector::new().with_invariant_checks()),
+        ];
+        for d in &detectors {
+            let report = d.detect(&annotated, &wcp);
+            prop_assert_eq!(
+                projected(&wcp, &report.detection),
+                truth.clone(),
+                "{} disagrees with ground truth",
+                d.name()
+            );
+        }
+    }
+
+    /// The lattice baseline (budgeted) agrees when it fits the budget.
+    #[test]
+    fn lattice_agrees_when_feasible(cfg in arb_config()) {
+        let g = generate(&cfg);
+        // Only explore small instances exhaustively.
+        if g.computation.process_count() > 4 || g.computation.max_events_per_process() > 6 {
+            return Ok(());
+        }
+        let annotated = g.computation.annotate();
+        let wcp = Wcp::over_all(&g.computation);
+        let truth = annotated.first_satisfying_full_cut(&wcp);
+        let lattice = LatticeDetector::new().detect(&annotated, &wcp);
+        prop_assert_eq!(lattice.detection.cut().cloned(), truth);
+    }
+
+    /// Online (simulated) runs agree with offline, under three different
+    /// network seeds and heavy jitter.
+    #[test]
+    fn online_agrees_with_offline(cfg in arb_config(), scope_n in 1usize..6, net_seed in any::<u64>()) {
+        let g = generate(&cfg);
+        let n = g.computation.process_count();
+        let wcp = Wcp::over_first(scope_n.min(n));
+        let annotated = g.computation.annotate();
+        let offline_vc = TokenDetector::new().detect(&annotated, &wcp);
+        let offline_dd = DirectDependenceDetector::new().detect(&annotated, &wcp);
+
+        let sim_cfg = SimConfig::seeded(net_seed)
+            .with_latency(LatencyModel::Uniform { min: 1, max: 25 });
+        let online_vc = run_vc_token(&g.computation, &wcp, sim_cfg.clone());
+        prop_assert_eq!(&online_vc.report.detection, &offline_vc.detection);
+
+        let online_mt = run_multi_token(&g.computation, &wcp, sim_cfg.clone(), 2);
+        prop_assert_eq!(&online_mt.report.detection, &offline_vc.detection);
+
+        for parallel in [false, true] {
+            let online_dd = run_direct(&g.computation, &wcp, sim_cfg.clone(), parallel);
+            prop_assert_eq!(&online_dd.report.detection, &offline_dd.detection);
+        }
+    }
+
+    /// The direct-dependence algorithm's full cut projects to the
+    /// vector-clock algorithm's scope cut, and is itself consistent.
+    #[test]
+    fn dd_full_cut_extends_scope_cut(cfg in arb_config(), scope_n in 1usize..6) {
+        let g = generate(&cfg);
+        let n = g.computation.process_count();
+        let wcp = Wcp::over_first(scope_n.min(n));
+        let annotated = g.computation.annotate();
+        let vc = TokenDetector::new().detect(&annotated, &wcp);
+        let dd = DirectDependenceDetector::new().detect(&annotated, &wcp);
+        match (vc.detection.cut(), dd.detection.cut()) {
+            (Some(vcut), Some(dcut)) => {
+                prop_assert_eq!(wcp.project(vcut), wcp.project(dcut));
+                prop_assert!(dcut.is_complete());
+                prop_assert!(annotated.is_consistent(dcut));
+                prop_assert!(wcp.holds_on(&g.computation, dcut));
+            }
+            (None, None) => {}
+            other => prop_assert!(false, "existence disagreement: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! End-to-end runs on real OS threads: the full stack (application actors,
+//! monitors, token/poll protocols) with genuine concurrency, repeated to
+//! shake out races, checked against the offline emulation.
+
+use wcp::detect::online::{run_direct_threaded, run_vc_token_threaded};
+use wcp::detect::{Detector, DirectDependenceDetector, TokenDetector};
+use wcp::trace::generate::{generate, GeneratorConfig, Topology};
+use wcp::trace::Wcp;
+
+#[test]
+fn threaded_vc_token_stable_across_repetitions() {
+    let cfg = GeneratorConfig::new(6, 12)
+        .with_seed(41)
+        .with_predicate_density(0.25)
+        .with_plant(0.7);
+    let g = generate(&cfg);
+    let wcp = Wcp::over_first(5);
+    let expected = TokenDetector::new()
+        .detect(&g.computation.annotate(), &wcp)
+        .detection;
+    for round in 0..20 {
+        let got = run_vc_token_threaded(&g.computation, &wcp);
+        assert_eq!(got, expected, "round {round}");
+    }
+}
+
+#[test]
+fn threaded_direct_stable_across_repetitions() {
+    let cfg = GeneratorConfig::new(5, 10)
+        .with_seed(17)
+        .with_predicate_density(0.3);
+    let g = generate(&cfg);
+    let wcp = Wcp::over_first(4);
+    let expected = DirectDependenceDetector::new()
+        .detect(&g.computation.annotate(), &wcp)
+        .detection;
+    for round in 0..20 {
+        for parallel in [false, true] {
+            let got = run_direct_threaded(&g.computation, &wcp, parallel);
+            assert_eq!(got, expected, "round {round} parallel {parallel}");
+        }
+    }
+}
+
+#[test]
+fn threaded_runs_across_topologies_and_seeds() {
+    for (i, topology) in [
+        Topology::Uniform,
+        Topology::Ring,
+        Topology::ClientServer { servers: 2 },
+        Topology::Neighbors { degree: 2 },
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        for seed in 0..4u64 {
+            let cfg = GeneratorConfig::new(6, 8)
+                .with_seed(seed * 31 + i as u64)
+                .with_topology(topology)
+                .with_predicate_density(0.3);
+            let g = generate(&cfg);
+            let wcp = Wcp::over_first(6);
+            let annotated = g.computation.annotate();
+            let vc_expected = TokenDetector::new().detect(&annotated, &wcp).detection;
+            let dd_expected = DirectDependenceDetector::new()
+                .detect(&annotated, &wcp)
+                .detection;
+            assert_eq!(
+                run_vc_token_threaded(&g.computation, &wcp),
+                vc_expected,
+                "vc {topology:?} seed {seed}"
+            );
+            assert_eq!(
+                run_direct_threaded(&g.computation, &wcp, true),
+                dd_expected,
+                "dd {topology:?} seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn threaded_undetected_terminates() {
+    // No predicate is ever true: every substrate must terminate with
+    // Undetected rather than hang.
+    let cfg = GeneratorConfig::new(4, 10)
+        .with_seed(3)
+        .with_predicate_density(0.0);
+    let g = generate(&cfg);
+    let wcp = Wcp::over_first(4);
+    assert!(!run_vc_token_threaded(&g.computation, &wcp).is_detected());
+    assert!(!run_direct_threaded(&g.computation, &wcp, false).is_detected());
+    assert!(!run_direct_threaded(&g.computation, &wcp, true).is_detected());
+}

@@ -1,0 +1,61 @@
+//! Trace persistence: computations and detection reports serialize to JSON
+//! and back without changing any verdict — the workflow of recording a run
+//! in production and analyzing it offline.
+
+use wcp::detect::{Detector, TokenDetector};
+use wcp::trace::generate::{generate, GeneratorConfig};
+use wcp::trace::{Computation, Wcp};
+
+#[test]
+fn computation_roundtrips_and_redetects_identically() {
+    for seed in 0..10 {
+        let cfg = GeneratorConfig::new(5, 12)
+            .with_seed(seed)
+            .with_predicate_density(0.3);
+        let g = generate(&cfg);
+        let json = serde_json::to_string(&g.computation).expect("serialize");
+        let back: Computation = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, g.computation);
+        assert!(back.validate().is_ok());
+
+        let wcp = Wcp::over_first(4);
+        let before = TokenDetector::new().detect(&g.computation.annotate(), &wcp);
+        let after = TokenDetector::new().detect(&back.annotate(), &wcp);
+        assert_eq!(before.detection, after.detection, "seed {seed}");
+        assert_eq!(before.metrics, after.metrics, "seed {seed}");
+    }
+}
+
+#[test]
+fn detection_report_roundtrips() {
+    let g = generate(&GeneratorConfig::new(4, 8).with_seed(1).with_plant(0.5));
+    let wcp = Wcp::over_all(&g.computation);
+    let report = TokenDetector::new().detect(&g.computation.annotate(), &wcp);
+    let json = serde_json::to_string_pretty(&report).expect("serialize");
+    let back: wcp::detect::DetectionReport = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back, report);
+}
+
+#[test]
+fn tampered_trace_fails_validation() {
+    let g = generate(&GeneratorConfig::new(3, 6).with_seed(2));
+    let json = serde_json::to_string(&g.computation).unwrap();
+    let mut value: serde_json::Value = serde_json::from_str(&json).unwrap();
+    // Orphan one receive by pointing it at a message nobody sends.
+    let mut tampered = false;
+    'outer: for process in value["processes"].as_array_mut().unwrap() {
+        for event in process["events"].as_array_mut().unwrap() {
+            if let Some(recv) = event.get_mut("Receive") {
+                recv["msg"] = serde_json::json!(9999);
+                tampered = true;
+                break 'outer;
+            }
+        }
+    }
+    assert!(tampered, "generated trace should contain a receive");
+    let parsed: Computation = serde_json::from_value(value).unwrap();
+    assert!(
+        parsed.validate().is_err(),
+        "tampering must be caught by validation"
+    );
+}
