@@ -1,86 +1,69 @@
 //! Micro-benchmarks of the substrates: vector-clock operations, trace
 //! annotation, workload generation, and lattice exploration.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use wcp_bench::timing::bench;
 use wcp_bench::workloads;
 use wcp_clocks::{ProcessId, VectorClock};
 use wcp_trace::generate::{generate, GeneratorConfig};
 use wcp_trace::lattice::LatticeExplorer;
 use wcp_trace::Wcp;
 
-fn bench_vector_clock_ops(c: &mut Criterion) {
-    let mut group = c.benchmark_group("vector_clock");
+fn bench_vector_clock_ops() {
     for n in [8usize, 64, 512] {
         let a: VectorClock = (0..n as u64).collect();
         let b: VectorClock = (0..n as u64).rev().collect();
-        group.bench_with_input(BenchmarkId::new("causal_order", n), &n, |bch, _| {
-            bch.iter(|| a.causal_order(&b))
+        bench(&format!("vector_clock/causal_order/{n}"), 30, || {
+            black_box(a.causal_order(&b));
         });
-        group.bench_with_input(BenchmarkId::new("join", n), &n, |bch, _| {
-            bch.iter(|| a.join(&b))
+        bench(&format!("vector_clock/join/{n}"), 30, || {
+            black_box(a.join(&b));
         });
-        group.bench_with_input(BenchmarkId::new("merge_tick", n), &n, |bch, _| {
-            bch.iter(|| {
-                let mut v = a.clone();
-                v.merge(&b);
-                v.tick(ProcessId::new(0));
-                v
-            })
+        bench(&format!("vector_clock/merge_tick/{n}"), 30, || {
+            let mut v = a.clone();
+            v.merge(&b);
+            v.tick(ProcessId::new(0));
+            black_box(v);
         });
     }
-    group.finish();
 }
 
-fn bench_annotation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("annotate");
-    group.sample_size(20);
+fn bench_annotation() {
     for &(n, m) in &[(8usize, 40usize), (32, 40)] {
         let computation = workloads::detectable(n, m, 7);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("n{n}_m{m}")),
-            &computation,
-            |b, c| b.iter(|| c.annotate()),
-        );
+        bench(&format!("annotate/n{n}_m{m}"), 20, || {
+            black_box(computation.annotate());
+        });
     }
-    group.finish();
 }
 
-fn bench_generation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("generate");
-    group.sample_size(20);
+fn bench_generation() {
     for &(n, m) in &[(16usize, 50usize), (64, 50)] {
         let cfg = GeneratorConfig::new(n, m).with_seed(1).with_plant(0.5);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("n{n}_m{m}")),
-            &cfg,
-            |b, cfg| b.iter(|| generate(cfg)),
-        );
+        bench(&format!("generate/n{n}_m{m}"), 20, || {
+            black_box(generate(&cfg));
+        });
     }
-    group.finish();
 }
 
-fn bench_lattice(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lattice_search");
-    group.sample_size(10);
+fn bench_lattice() {
     for n in [3usize, 4, 5] {
         let computation = workloads::detectable(n, 8, 9);
         let wcp = Wcp::over_first(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &computation, |b, c| {
-            b.iter(|| {
-                LatticeExplorer::new(c)
+        bench(&format!("lattice_search/{n}"), 10, || {
+            black_box(
+                LatticeExplorer::new(&computation)
                     .first_satisfying(&wcp, 5_000_000)
-                    .expect("within budget")
-            })
+                    .expect("within budget"),
+            );
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_vector_clock_ops,
-    bench_annotation,
-    bench_generation,
-    bench_lattice
-);
-criterion_main!(benches);
+fn main() {
+    bench_vector_clock_ops();
+    bench_annotation();
+    bench_generation();
+    bench_lattice();
+}

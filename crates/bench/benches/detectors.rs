@@ -2,15 +2,15 @@
 //! (complements the operation-count tables of the harness — see
 //! EXPERIMENTS.md E3/E6).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use wcp_bench::timing::bench;
 use wcp_bench::workloads;
 use wcp_detect::{
     CentralizedChecker, Detector, DirectDependenceDetector, MultiTokenDetector, TokenDetector,
 };
 
-fn bench_detectors(c: &mut Criterion) {
-    let mut group = c.benchmark_group("detectors");
-    group.sample_size(20);
+fn main() {
     for &(n, m) in &[(8usize, 40usize), (16, 40)] {
         let computation = workloads::detectable(n, m, 7);
         let wcp = workloads::scope(n);
@@ -22,15 +22,9 @@ fn bench_detectors(c: &mut Criterion) {
             Box::new(DirectDependenceDetector::new()),
         ];
         for d in &detectors {
-            group.bench_with_input(
-                BenchmarkId::new(d.name(), format!("n{n}_m{m}")),
-                &annotated,
-                |b, annotated| b.iter(|| d.detect(annotated, &wcp)),
-            );
+            bench(&format!("detectors/{}/n{n}_m{m}", d.name()), 20, || {
+                black_box(d.detect(&annotated, &wcp));
+            });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_detectors);
-criterion_main!(benches);

@@ -1,21 +1,15 @@
 //! Benchmarks of the Theorem 5.1 adversary game (experiment E9): the forced
 //! work grows as `n·m`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use wcp_bench::timing::bench;
 use wcp_detect::lower_bound::run_optimal_algorithm;
 
-fn bench_adversary(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lower_bound_game");
+fn main() {
     for &(n, m) in &[(8usize, 100u64), (32, 100), (32, 400), (128, 400)] {
-        group.throughput(Throughput::Elements(n as u64 * m));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("n{n}_m{m}")),
-            &(n, m),
-            |b, &(n, m)| b.iter(|| run_optimal_algorithm(n, m)),
-        );
+        bench(&format!("lower_bound_game/n{n}_m{m}"), 10, || {
+            black_box(run_optimal_algorithm(n, m));
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_adversary);
-criterion_main!(benches);

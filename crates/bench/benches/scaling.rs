@@ -1,81 +1,66 @@
 //! Scaling benches behind experiments E3/E6/E7: how wall-clock time grows
 //! with `n` (scope), `N` (total processes), and `m` (events per process).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use wcp_bench::timing::bench;
 use wcp_bench::workloads;
 use wcp_detect::{Detector, DirectDependenceDetector, TokenDetector};
 
 /// E3 shape: token detector across n with m fixed.
-fn bench_token_scaling_n(c: &mut Criterion) {
-    let mut group = c.benchmark_group("token_scaling_n");
-    group.sample_size(15);
+fn bench_token_scaling_n() {
     for n in [4usize, 8, 16, 32] {
         let computation = workloads::detectable(n, 30, 3);
         let wcp = workloads::scope(n);
         let annotated = computation.annotate();
-        group.throughput(Throughput::Elements((n * 30) as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &annotated, |b, a| {
-            b.iter(|| TokenDetector::new().detect(a, &wcp))
+        bench(&format!("token_scaling_n/{n}"), 15, || {
+            black_box(TokenDetector::new().detect(&annotated, &wcp));
         });
     }
-    group.finish();
 }
 
 /// E6 shape: direct-dependence detector across N.
-fn bench_direct_scaling_n(c: &mut Criterion) {
-    let mut group = c.benchmark_group("direct_scaling_n");
-    group.sample_size(15);
+fn bench_direct_scaling_n() {
     for n in [4usize, 8, 16, 32, 64] {
         let computation = workloads::detectable(n, 30, 3);
         let wcp = workloads::scope(n);
         let annotated = computation.annotate();
-        group.throughput(Throughput::Elements((n * 30) as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &annotated, |b, a| {
-            b.iter(|| DirectDependenceDetector::new().detect(a, &wcp))
+        bench(&format!("direct_scaling_n/{n}"), 15, || {
+            black_box(DirectDependenceDetector::new().detect(&annotated, &wcp));
         });
     }
-    group.finish();
 }
 
 /// E7 shape: both algorithms as the scope widens at fixed N.
-fn bench_crossover(c: &mut Criterion) {
-    let mut group = c.benchmark_group("crossover_n_of_36");
-    group.sample_size(15);
+fn bench_crossover() {
     let computation = workloads::detectable(36, 20, 13);
     let annotated = computation.annotate();
     for n in [4usize, 12, 36] {
         let wcp = workloads::scope(n);
-        group.bench_with_input(BenchmarkId::new("vc_token", n), &annotated, |b, a| {
-            b.iter(|| TokenDetector::new().detect(a, &wcp))
+        bench(&format!("crossover_n_of_36/vc_token/{n}"), 15, || {
+            black_box(TokenDetector::new().detect(&annotated, &wcp));
         });
-        group.bench_with_input(BenchmarkId::new("direct", n), &annotated, |b, a| {
-            b.iter(|| DirectDependenceDetector::new().detect(a, &wcp))
+        bench(&format!("crossover_n_of_36/direct/{n}"), 15, || {
+            black_box(DirectDependenceDetector::new().detect(&annotated, &wcp));
         });
     }
-    group.finish();
 }
 
 /// E3b shape: token detector across m with n fixed.
-fn bench_token_scaling_m(c: &mut Criterion) {
-    let mut group = c.benchmark_group("token_scaling_m");
-    group.sample_size(15);
+fn bench_token_scaling_m() {
     for m in [10usize, 40, 160] {
         let computation = workloads::detectable(8, m, 11);
         let wcp = workloads::scope(8);
         let annotated = computation.annotate();
-        group.throughput(Throughput::Elements((8 * m) as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(m), &annotated, |b, a| {
-            b.iter(|| TokenDetector::new().detect(a, &wcp))
+        bench(&format!("token_scaling_m/{m}"), 15, || {
+            black_box(TokenDetector::new().detect(&annotated, &wcp));
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_token_scaling_n,
-    bench_direct_scaling_n,
-    bench_crossover,
-    bench_token_scaling_m
-);
-criterion_main!(benches);
+fn main() {
+    bench_token_scaling_n();
+    bench_direct_scaling_n();
+    bench_crossover();
+    bench_token_scaling_m();
+}

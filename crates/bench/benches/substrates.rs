@@ -1,41 +1,37 @@
 //! Substrate comparison behind experiments E4/E8: offline emulation vs the
 //! simulated network (sequential, multi-token, parallel red chain).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use wcp_bench::timing::bench;
 use wcp_bench::workloads;
 use wcp_detect::online::{run_direct, run_multi_token, run_vc_token};
 use wcp_detect::{Detector, DirectDependenceDetector, TokenDetector};
 use wcp_sim::SimConfig;
 
-fn bench_substrates(c: &mut Criterion) {
-    let mut group = c.benchmark_group("substrates");
-    group.sample_size(10);
+fn main() {
     let computation = workloads::detectable(8, 25, 5);
     let wcp = workloads::scope(8);
     let annotated = computation.annotate();
 
-    group.bench_function("offline/token", |b| {
-        b.iter(|| TokenDetector::new().detect(&annotated, &wcp))
+    bench("substrates/offline/token", 10, || {
+        black_box(TokenDetector::new().detect(&annotated, &wcp));
     });
-    group.bench_function("offline/direct", |b| {
-        b.iter(|| DirectDependenceDetector::new().detect(&annotated, &wcp))
+    bench("substrates/offline/direct", 10, || {
+        black_box(DirectDependenceDetector::new().detect(&annotated, &wcp));
     });
-    group.bench_function("sim/token", |b| {
-        b.iter(|| run_vc_token(&computation, &wcp, SimConfig::seeded(1)))
+    bench("substrates/sim/token", 10, || {
+        black_box(run_vc_token(&computation, &wcp, SimConfig::seeded(1)));
     });
-    group.bench_function("sim/direct", |b| {
-        b.iter(|| run_direct(&computation, &wcp, SimConfig::seeded(1), false))
+    bench("substrates/sim/direct", 10, || {
+        black_box(run_direct(&computation, &wcp, SimConfig::seeded(1), false));
     });
-    group.bench_function("sim/direct_parallel", |b| {
-        b.iter(|| run_direct(&computation, &wcp, SimConfig::seeded(1), true))
+    bench("substrates/sim/direct_parallel", 10, || {
+        black_box(run_direct(&computation, &wcp, SimConfig::seeded(1), true));
     });
     for g in [2usize, 4] {
-        group.bench_with_input(BenchmarkId::new("sim/multi_token", g), &g, |b, &g| {
-            b.iter(|| run_multi_token(&computation, &wcp, SimConfig::seeded(1), g))
+        bench(&format!("substrates/sim/multi_token/{g}"), 10, || {
+            black_box(run_multi_token(&computation, &wcp, SimConfig::seeded(1), g));
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_substrates);
-criterion_main!(benches);

@@ -3,19 +3,34 @@
 //! ```sh
 //! cargo run -p wcp-bench --release --bin harness -- all
 //! cargo run -p wcp-bench --release --bin harness -- e3 e7
+//! cargo run -p wcp-bench --release --bin harness -- bench BENCH_wcp.json
 //! ```
 //!
-//! Output is markdown; EXPERIMENTS.md records a captured run.
+//! Output is markdown; EXPERIMENTS.md records a captured run. The `bench`
+//! subcommand instead writes a machine-readable perf snapshot (timings plus
+//! paper-unit cost counters for the five detector families) for diffing
+//! across PRs.
 
 use std::process::ExitCode;
 
-use wcp_bench::{all_experiments, run_experiment, Experiment};
+use wcp_bench::{all_experiments, perf, run_experiment, Experiment};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "-h" || a == "--help") {
-        eprintln!("usage: harness <all | e2 e3 e4 e5 e6 e7 e8 e9 e10 ...>");
+        eprintln!("usage: harness <all | e2 e3 e4 ... | bench [OUT.json]>");
         return ExitCode::from(2);
+    }
+
+    if args[0] == "bench" {
+        let out = args.get(1).map(String::as_str).unwrap_or("BENCH_wcp.json");
+        let snapshot = perf::snapshot(7);
+        if let Err(e) = std::fs::write(out, snapshot.pretty() + "\n") {
+            eprintln!("cannot write {out}: {e}");
+            return ExitCode::from(1);
+        }
+        eprintln!("wrote {out}");
+        return ExitCode::SUCCESS;
     }
 
     let experiments: Vec<Experiment> = if args.iter().any(|a| a == "all") {

@@ -113,7 +113,9 @@ fn e2_agreement() -> Vec<Table> {
             };
             let wcp = workloads::scope(5);
             let annotated = c.annotate();
-            let truth = annotated.first_satisfying_cut(&wcp).map(|c| wcp.project(&c));
+            let truth = annotated
+                .first_satisfying_cut(&wcp)
+                .map(|c| wcp.project(&c));
             let got = d.detect(&annotated, &wcp);
             let got_proj = got.detection.cut().map(|c| wcp.project(c));
             if got.detection.is_detected() {
@@ -167,7 +169,9 @@ fn e3_token_vs_checker() -> Vec<Table> {
             token.metrics.token_hops.to_string(),
         ]);
     }
-    by_n.note("Expected shape: both totals grow ~n²·m; token max/proc grows only ~n·m (spread → n).");
+    by_n.note(
+        "Expected shape: both totals grow ~n²·m; token max/proc grows only ~n·m (spread → n).",
+    );
 
     let mut by_m = Table::new(
         "E3b — sweep m (staircase worst case, n = 8): all quantities linear in m",
@@ -288,7 +292,15 @@ fn e5_table1_metamorphic() -> Vec<Table> {
 fn e6_direct_scaling() -> Vec<Table> {
     let mut by_n = Table::new(
         "E6a — sweep N (staircase, m = 30, n = N): totals linear in N, per-process flat",
-        &["N", "total work", "work/N", "max/proc", "msgs", "bytes", "buf"],
+        &[
+            "N",
+            "total work",
+            "work/N",
+            "max/proc",
+            "msgs",
+            "bytes",
+            "buf",
+        ],
     );
     for n in [4usize, 8, 16, 32, 64] {
         let c = workloads::staircase(n, 15); // m = 30, worst case
@@ -371,7 +383,13 @@ fn e8_parallel_chain() -> Vec<Table> {
     const SEEDS: u64 = 10;
     let mut t = Table::new(
         "E8 — parallel red chain (§4.5), mean simulated latency over 10 seeds",
-        &["N", "sequential", "parallel", "speedup", "extra polls (par/seq)"],
+        &[
+            "N",
+            "sequential",
+            "parallel",
+            "speedup",
+            "extra polls (par/seq)",
+        ],
     );
     for n in [4usize, 8, 16, 32] {
         let mut seq_lat = 0u64;
@@ -381,10 +399,14 @@ fn e8_parallel_chain() -> Vec<Table> {
         for seed in 0..SEEDS {
             let c = workloads::detectable(n, 20, seed);
             let wcp = workloads::scope(n);
-            let sim = SimConfig::seeded(seed).with_latency(LatencyModel::Uniform { min: 1, max: 10 });
+            let sim =
+                SimConfig::seeded(seed).with_latency(LatencyModel::Uniform { min: 1, max: 10 });
             let seq = run_direct(&c, &wcp, sim.clone(), false);
             let par = run_direct(&c, &wcp, sim, true);
-            assert_eq!(seq.report.detection, par.report.detection, "N {n} seed {seed}");
+            assert_eq!(
+                seq.report.detection, par.report.detection,
+                "N {n} seed {seed}"
+            );
             seq_lat += seq.outcome.time.0;
             par_lat += par.outcome.time.0;
             seq_msgs += seq.report.metrics.control_messages;
@@ -407,7 +429,14 @@ fn e8_parallel_chain() -> Vec<Table> {
 fn e9_lower_bound() -> Vec<Table> {
     let mut t = Table::new(
         "E9 — lower-bound adversary: forced sequential deletions vs the nm − n bound",
-        &["n", "m", "forced deletions", "bound nm−n", "nm", "bound met"],
+        &[
+            "n",
+            "m",
+            "forced deletions",
+            "bound nm−n",
+            "nm",
+            "bound met",
+        ],
     );
     for (n, m) in [
         (2usize, 10u64),
@@ -437,7 +466,13 @@ fn e9_lower_bound() -> Vec<Table> {
 fn e10_lattice_blowup() -> Vec<Table> {
     let mut t = Table::new(
         "E10 — lattice baseline blow-up (independent processes, m = 8, detection at the end)",
-        &["N", "lattice states visited", "(m+1)^N", "token work", "states/work"],
+        &[
+            "N",
+            "lattice states visited",
+            "(m+1)^N",
+            "token work",
+            "states/work",
+        ],
     );
     for n in [2usize, 3, 4, 5, 6] {
         let c = workloads::independent(n, 8, 9);
@@ -452,7 +487,10 @@ fn e10_lattice_blowup() -> Vec<Table> {
             lattice.metrics.lattice_states_visited.to_string(),
             9u64.pow(n as u32).to_string(),
             token.metrics.total_work().to_string(),
-            ratio(lattice.metrics.lattice_states_visited, token.metrics.total_work()),
+            ratio(
+                lattice.metrics.lattice_states_visited,
+                token.metrics.total_work(),
+            ),
         ]);
     }
     t.note("Expected shape: lattice states = (m+1)^N exactly (exponential); token work grows only polynomially; ratio explodes.");
@@ -466,7 +504,12 @@ fn e11_routing_ablation() -> Vec<Table> {
     const SEEDS: u64 = 20;
     let mut t = Table::new(
         "E11 — token-routing ablation (n = 10, m = 20; mean over 20 random runs)",
-        &["strategy", "token hops", "total work", "candidates consumed"],
+        &[
+            "strategy",
+            "token hops",
+            "total work",
+            "candidates consumed",
+        ],
     );
     for (name, strategy) in [
         ("cyclic (default)", NextRedStrategy::Cyclic),

@@ -21,7 +21,9 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod perf;
 pub mod table;
+pub mod timing;
 pub mod workloads;
 
 pub use experiments::{all_experiments, run_experiment, Experiment};

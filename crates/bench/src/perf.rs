@@ -1,0 +1,96 @@
+//! Perf snapshot: times the standard detectable workload through the five
+//! detector families and renders the measurements as JSON.
+//!
+//! The `harness bench` subcommand writes the snapshot to `BENCH_wcp.json`
+//! so successive PRs can diff detector throughput (and the paper-unit cost
+//! counters that explain any change) without re-reading benchmark logs.
+
+use wcp_detect::{
+    CentralizedChecker, Detector, DirectDependenceDetector, LatticeDetector, MultiTokenDetector,
+    TokenDetector,
+};
+use wcp_obs::json::Json;
+
+use crate::timing;
+use crate::workloads;
+
+/// The five detector families of the snapshot, in reporting order.
+pub fn detectors() -> Vec<(&'static str, Box<dyn Detector>)> {
+    vec![
+        ("token", Box::new(TokenDetector::new())),
+        ("checker", Box::new(CentralizedChecker::new())),
+        ("direct", Box::new(DirectDependenceDetector::new())),
+        ("multi:2", Box::new(MultiTokenDetector::new(2))),
+        ("lattice", Box::new(LatticeDetector::new())),
+    ]
+}
+
+/// Times every detector family on the standard detectable workload and
+/// folds timings plus paper-unit cost counters into one JSON document.
+///
+/// `samples` is the number of timed batches per detector (the batch size
+/// auto-calibrates; see [`timing::run`]).
+pub fn snapshot(samples: usize) -> Json {
+    const N: usize = 5;
+    const M: usize = 12;
+    const SEED: u64 = 7;
+    let computation = workloads::detectable(N, M, SEED);
+    let annotated = computation.annotate();
+    let wcp = workloads::scope(N);
+
+    let mut results = Vec::new();
+    for (name, detector) in detectors() {
+        let report = detector.detect(&annotated, &wcp);
+        let timing = timing::run(name, samples, || {
+            std::hint::black_box(detector.detect(&annotated, &wcp));
+        });
+        results.push(Json::obj([
+            ("name", Json::Str(name.to_string())),
+            ("median_ns", Json::UInt(timing.median_ns)),
+            ("min_ns", Json::UInt(timing.min_ns)),
+            ("samples", Json::UInt(timing.samples as u64)),
+            ("iters_per_sample", Json::UInt(timing.iters_per_sample)),
+            ("detected", Json::Bool(report.detection.is_detected())),
+            ("total_work", Json::UInt(report.metrics.total_work())),
+            (
+                "control_messages",
+                Json::UInt(report.metrics.control_messages),
+            ),
+            ("token_hops", Json::UInt(report.metrics.token_hops)),
+            ("parallel_time", Json::UInt(report.metrics.parallel_time)),
+        ]));
+    }
+    Json::obj([
+        ("schema", Json::Str("wcp-bench-snapshot/1".to_string())),
+        (
+            "workload",
+            Json::obj([
+                ("processes", Json::UInt(N as u64)),
+                ("events", Json::UInt(M as u64)),
+                ("seed", Json::UInt(SEED)),
+                ("scope", Json::UInt(N as u64)),
+            ]),
+        ),
+        ("results", Json::Arr(results)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_covers_all_five_families() {
+        let snap = snapshot(1);
+        let results = snap.get("results").unwrap().as_array().unwrap();
+        assert_eq!(results.len(), 5);
+        for r in results {
+            assert!(r.get("median_ns").unwrap().as_u64().is_some());
+            assert_eq!(r.get("detected").unwrap().as_bool(), Some(true));
+            assert!(r.get("total_work").unwrap().as_u64().unwrap() > 0);
+        }
+        // The document round-trips through the in-tree serializer.
+        let text = snap.pretty();
+        assert_eq!(Json::parse(&text).unwrap(), snap);
+    }
+}

@@ -1,0 +1,94 @@
+//! Minimal wall-clock micro-benchmark support.
+//!
+//! A std-only stand-in for an external bench harness (the repo's dependency
+//! policy keeps the tree hermetic; see DESIGN.md §6). Each case is
+//! auto-calibrated to a target sample duration, run for a fixed number of
+//! samples, and reported as the median ns/iteration — stable enough for the
+//! relative comparisons the `benches/` files make.
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock duration of one sample batch.
+const TARGET_SAMPLE: Duration = Duration::from_millis(5);
+
+/// One benchmark case's measurements.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// `group/name` label.
+    pub name: String,
+    /// Number of timed sample batches.
+    pub samples: usize,
+    /// Iterations per sample batch (calibrated).
+    pub iters_per_sample: u64,
+    /// Median nanoseconds per iteration.
+    pub median_ns: u64,
+    /// Fastest sample's nanoseconds per iteration.
+    pub min_ns: u64,
+}
+
+impl BenchResult {
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<40} {:>12} ns/iter (min {:>10}, {} samples × {} iters)",
+            self.name, self.median_ns, self.min_ns, self.samples, self.iters_per_sample
+        )
+    }
+}
+
+/// Times `f`, returning measurements without printing.
+pub fn run(name: &str, samples: usize, mut f: impl FnMut()) -> BenchResult {
+    // Calibrate: double the batch size until one batch takes long enough
+    // to time reliably.
+    let mut iters: u64 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        if start.elapsed() >= TARGET_SAMPLE || iters >= 1 << 20 {
+            break;
+        }
+        iters *= 2;
+    }
+    let samples = samples.max(1);
+    let mut per_iter: Vec<u64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            (start.elapsed().as_nanos() / u128::from(iters)) as u64
+        })
+        .collect();
+    per_iter.sort_unstable();
+    BenchResult {
+        name: name.to_string(),
+        samples,
+        iters_per_sample: iters,
+        median_ns: per_iter[samples / 2],
+        min_ns: per_iter[0],
+    }
+}
+
+/// Times `f` and prints the one-line summary to stdout.
+pub fn bench(name: &str, samples: usize, f: impl FnMut()) -> BenchResult {
+    let r = run(name, samples, f);
+    println!("{}", r.summary());
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let r = run("spin", 3, || {
+            std::hint::black_box((0..100u64).sum::<u64>());
+        });
+        assert!(r.min_ns > 0 || r.iters_per_sample > 1);
+        assert!(r.median_ns >= r.min_ns);
+        assert!(r.summary().contains("spin"));
+    }
+}

@@ -55,7 +55,10 @@ pub fn scope(n: usize) -> Wcp {
 /// concurrently — the workload §3.5's parallelism is designed for.
 pub fn clustered_staircase(clusters: usize, per_cluster: usize, rounds: usize) -> Computation {
     use wcp_clocks::ProcessId;
-    assert!(per_cluster >= 2, "each cluster needs at least two processes");
+    assert!(
+        per_cluster >= 2,
+        "each cluster needs at least two processes"
+    );
     let n = clusters * per_cluster;
     let mut b = wcp_trace::ComputationBuilder::new(n);
     for cl in 0..clusters {

@@ -25,9 +25,10 @@ impl Args {
         let mut args = Args::default();
         let mut it = raw.iter().peekable();
         while let Some(token) = it.next() {
-            if let Some(name) = token.strip_prefix("--").or_else(|| {
-                (token.starts_with('-') && token.len() == 2).then(|| &token[1..])
-            }) {
+            if let Some(name) = token
+                .strip_prefix("--")
+                .or_else(|| (token.starts_with('-') && token.len() == 2).then(|| &token[1..]))
+            {
                 if SWITCHES.contains(&name) {
                     args.switches.push(name.to_string());
                     continue;

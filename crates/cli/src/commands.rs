@@ -3,13 +3,18 @@
 //! processes.
 
 use std::fs;
+use std::sync::Arc;
 
 use wcp_clocks::ProcessId;
 use wcp_detect::lower_bound::run_optimal_algorithm;
+use wcp_detect::online::{run_direct_recorded, run_vc_token_recorded};
 use wcp_detect::{
     CentralizedChecker, ChannelPredicate, ChannelTerm, Detection, DetectionReport, Detector,
     DirectDependenceDetector, Gcp, GcpChecker, LatticeDetector, MultiTokenDetector, TokenDetector,
 };
+use wcp_obs::json::{FromJson, Json, ToJson};
+use wcp_obs::{jsonl, Recorder, RingRecorder, RunReport};
+use wcp_sim::SimConfig;
 use wcp_trace::channel::ChannelId;
 use wcp_trace::generate::{generate as generate_workload, GeneratorConfig, Topology};
 use wcp_trace::lattice::LatticeExplorer;
@@ -22,7 +27,7 @@ use crate::CliError;
 fn load(path: &str) -> Result<Computation, CliError> {
     let data = fs::read_to_string(path)
         .map_err(|e| CliError::runtime(format!("cannot read {path}: {e}")))?;
-    let computation: Computation = serde_json::from_str(&data)?;
+    let computation = Computation::from_json(&Json::parse(&data)?)?;
     computation
         .validate()
         .map_err(|e| CliError::runtime(format!("{path} is not a valid computation: {e}")))?;
@@ -76,7 +81,7 @@ pub fn generate_cmd(args: &Args) -> Result<String, CliError> {
         cfg = cfg.with_topology(parse_topology(topo)?);
     }
     let generated = generate_workload(&cfg);
-    fs::write(&out, serde_json::to_string_pretty(&generated.computation)?)?;
+    fs::write(&out, generated.computation.to_json().pretty())?;
     let mut msg = format!("wrote {out}: {}", generated.computation.stats());
     if let Some(cut) = generated.planted {
         msg.push_str(&format!("\nplanted satisfying cut at {cut}"));
@@ -150,9 +155,35 @@ fn parse_detector(spec: &str) -> Result<Box<dyn Detector>, CliError> {
     })
 }
 
+/// Like [`parse_detector`], but attaches `recorder` so the run streams
+/// [`wcp_obs::TraceEvent`]s.
+fn parse_recorded_detector(
+    spec: &str,
+    recorder: Arc<dyn Recorder>,
+) -> Result<Box<dyn Detector>, CliError> {
+    Ok(match spec {
+        "token" => Box::new(TokenDetector::new().with_recorder(recorder)),
+        "checker" => Box::new(CentralizedChecker::new().with_recorder(recorder)),
+        "direct" => Box::new(DirectDependenceDetector::new().with_recorder(recorder)),
+        "lattice" => Box::new(LatticeDetector::new().with_recorder(recorder)),
+        other => {
+            if let Some(g) = other.strip_prefix("multi:") {
+                let groups: usize = g
+                    .parse()
+                    .map_err(|_| CliError::usage("--algorithm multi:G needs a group count"))?;
+                Box::new(MultiTokenDetector::new(groups).with_recorder(recorder))
+            } else {
+                return Err(CliError::usage(format!(
+                    "unknown algorithm `{other}` (token|checker|direct|lattice|multi:G)"
+                )));
+            }
+        }
+    })
+}
+
 fn describe(report: &DetectionReport, json: bool) -> Result<String, CliError> {
     if json {
-        return Ok(serde_json::to_string_pretty(report)?);
+        return Ok(report.to_json().pretty());
     }
     let mut out = String::new();
     match &report.detection {
@@ -194,7 +225,7 @@ pub fn detect(raw: &[String]) -> Result<String, CliError> {
                     .ok_or_else(|| CliError::runtime("no consistent extension for the cut"))?
             };
             let sliced = computation.truncate_at(&full);
-            fs::write(slice_path, serde_json::to_string_pretty(&sliced)?)?;
+            fs::write(slice_path, sliced.to_json().pretty())?;
             out.push_str(&format!(
                 "sliced trace (prefix at {full}) written to {slice_path}\n"
             ));
@@ -214,6 +245,80 @@ pub fn detect(raw: &[String]) -> Result<String, CliError> {
         out.push_str(&render::ascii(&computation, &options));
     }
     Ok(out)
+}
+
+/// `wcp trace` — run an offline detector with a recorder attached and
+/// write the event stream as JSONL.
+pub fn trace(raw: &[String]) -> Result<String, CliError> {
+    let args = Args::parse(raw)?;
+    let path = args.require_positional(0, "FILE")?;
+    let computation = load(path)?;
+    let wcp = parse_scope(&args, &computation)?;
+    let events_path: String = args.require("events")?;
+    let capacity: usize = args.get_or("capacity", 1 << 20)?;
+
+    let ring = Arc::new(RingRecorder::new(capacity));
+    let detector = parse_recorded_detector(args.get("algorithm").unwrap_or("token"), ring.clone())?;
+    let annotated = computation.annotate();
+    let report = detector.detect(&annotated, &wcp);
+
+    let events = ring.events();
+    fs::write(&events_path, jsonl::to_string(&events))?;
+    let mut out = format!(
+        "algorithm: {}\npredicate: {wcp}\nwrote {} events to {events_path}",
+        detector.name(),
+        events.len()
+    );
+    if ring.dropped() > 0 {
+        out.push_str(&format!(
+            " ({} older events dropped; raise --capacity)",
+            ring.dropped()
+        ));
+    }
+    out.push('\n');
+    out.push_str(&describe(&report, args.switch("json"))?);
+    Ok(out)
+}
+
+/// `wcp stats` — run the paper's two online algorithms (Section 3 token,
+/// Section 4 direct dependence) over the simulated network with recorders
+/// attached and print their [`RunReport`]s: per-monitor token-hop counts,
+/// queue-delay histograms and the candidate-elimination timeline.
+pub fn stats(raw: &[String]) -> Result<String, CliError> {
+    let args = Args::parse(raw)?;
+    let path = args.require_positional(0, "FILE")?;
+    let computation = load(path)?;
+    let wcp = parse_scope(&args, &computation)?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    let capacity: usize = args.get_or("capacity", 1 << 20)?;
+
+    let mut out = String::new();
+    let mut section = |title: &str, run: &dyn Fn(Arc<RingRecorder>) -> u64| {
+        let ring = Arc::new(RingRecorder::new(capacity));
+        let latency = run(ring.clone());
+        out.push_str(&format!("== {title} (sim seed {seed}) ==\n"));
+        if ring.dropped() > 0 {
+            out.push_str(&format!(
+                "({} oldest events dropped; raise --capacity)\n",
+                ring.dropped()
+            ));
+        }
+        out.push_str(&RunReport::from_events(&ring.events()).render());
+        out.push_str(&format!("detection latency: {latency} ticks\n\n"));
+    };
+    section("section 3: vector-clock token algorithm", &|ring| {
+        run_vc_token_recorded(&computation, &wcp, SimConfig::seeded(seed), ring)
+            .outcome
+            .time
+            .0
+    });
+    section("section 4: direct-dependence algorithm", &|ring| {
+        run_direct_recorded(&computation, &wcp, SimConfig::seeded(seed), false, ring)
+            .outcome
+            .time
+            .0
+    });
+    Ok(out.trim_end().to_string() + "\n")
 }
 
 fn parse_channel_term(spec: &str) -> Result<ChannelTerm, CliError> {
@@ -434,11 +539,7 @@ mod tests {
         let sliced = load(&out_path).unwrap();
         let full = load(&path).unwrap();
         assert!(sliced.total_events() <= full.total_events());
-        let wcp = parse_scope(
-            &Args::parse(&argv(&["--scope", "0,1"])).unwrap(),
-            &sliced,
-        )
-        .unwrap();
+        let wcp = parse_scope(&Args::parse(&argv(&["--scope", "0,1"])).unwrap(), &sliced).unwrap();
         let before = wcp_detect::TokenDetector::new()
             .detect(&full.annotate(), &wcp)
             .detection;
@@ -457,6 +558,62 @@ mod tests {
         // Tiny budget triggers truncation reporting, not failure.
         let out = lattice(&argv(&[&path, "--max-states", "2"])).unwrap();
         assert!(out.contains("budget of 2"));
+    }
+
+    #[test]
+    fn trace_writes_replayable_jsonl() {
+        let path = generated_trace("trace_src.json");
+        let events_path = tmpfile("trace_events.jsonl");
+        let out = trace(&argv(&[&path, "--events", &events_path])).unwrap();
+        assert!(out.contains("wrote"), "{out}");
+        assert!(out.contains("DETECTED"), "{out}");
+        // The JSONL round-trips and replays to the reported metrics.
+        let text = fs::read_to_string(&events_path).unwrap();
+        let events = jsonl::read_str(&text).unwrap();
+        assert!(!events.is_empty());
+        let computation = load(&path).unwrap();
+        let wcp = Wcp::over_all(&computation);
+        let report = TokenDetector::new().detect(&computation.annotate(), &wcp);
+        assert_eq!(wcp_detect::replay_metrics(wcp.n(), &events), report.metrics);
+    }
+
+    #[test]
+    fn trace_supports_every_offline_algorithm() {
+        let path = generated_trace("trace_algos.json");
+        for alg in ["token", "checker", "direct", "lattice", "multi:2"] {
+            let events_path = tmpfile(&format!("trace_{}.jsonl", alg.replace(':', "_")));
+            let out = trace(&argv(&[
+                &path,
+                "--algorithm",
+                alg,
+                "--events",
+                &events_path,
+            ]))
+            .unwrap();
+            assert!(out.contains("wrote"), "{alg}: {out}");
+            let events = jsonl::read_str(&fs::read_to_string(&events_path).unwrap()).unwrap();
+            assert!(!events.is_empty(), "{alg}");
+        }
+        assert!(trace(&argv(&[&path])).is_err(), "--events is required");
+    }
+
+    #[test]
+    fn stats_reports_both_online_sections() {
+        let path = generated_trace("stats.json");
+        let out = stats(&argv(&[&path])).unwrap();
+        assert!(
+            out.contains("section 3: vector-clock token algorithm"),
+            "{out}"
+        );
+        assert!(
+            out.contains("section 4: direct-dependence algorithm"),
+            "{out}"
+        );
+        assert!(out.contains("token timeline"), "{out}");
+        assert!(out.contains("monitor | token_in"), "{out}");
+        assert!(out.contains("queue delay"), "{out}");
+        assert!(out.contains("detection latency:"), "{out}");
+        assert!(out.contains("DETECTED"), "{out}");
     }
 
     #[test]

@@ -65,8 +65,8 @@ impl From<std::io::Error> for CliError {
     }
 }
 
-impl From<serde_json::Error> for CliError {
-    fn from(e: serde_json::Error) -> Self {
+impl From<wcp_obs::json::JsonError> for CliError {
+    fn from(e: wcp_obs::json::JsonError) -> Self {
         CliError::runtime(format!("json error: {e}"))
     }
 }
@@ -89,6 +89,8 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "gcp" => commands::gcp(rest),
         "render" => commands::render(rest),
         "lattice" => commands::lattice(rest),
+        "trace" => commands::trace(rest),
+        "stats" => commands::stats(rest),
         "bound" => commands::bound(rest),
         "help" | "-h" | "--help" => Ok(USAGE.to_string()),
         other => Err(CliError::usage(format!(
@@ -110,5 +112,8 @@ USAGE:
   wcp gcp FILE [--scope 0,1,2] [--channel FROM-TO:empty|atmost:K|atleast:K]...
   wcp render FILE [--dot] [--scope 0,1,2]
   wcp lattice FILE [--scope 0,1,2] [--max-states K]
+  wcp trace FILE --events OUT.jsonl [--scope 0,1,2] [--algorithm ...]
+            [--capacity K] [--json]
+  wcp stats FILE [--scope 0,1,2] [--seed S] [--capacity K]
   wcp bound --n N --m M
   wcp help";

@@ -3,7 +3,7 @@
 use std::fmt;
 use std::ops::Index;
 
-use serde::{Deserialize, Serialize};
+use wcp_obs::json::{FromJson, Json, JsonError, ToJson};
 
 use crate::{ProcessId, StateId};
 
@@ -30,18 +30,33 @@ use crate::{ProcessId, StateId};
 /// assert!(cut.is_complete());
 /// assert_eq!(cut.to_string(), "⟨2,1,4⟩");
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Cut {
     states: Vec<u64>,
+}
+
+// A `Cut` travels on the wire as a bare array of interval indices.
+impl ToJson for Cut {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.states.iter().map(|&s| Json::UInt(s)).collect())
+    }
+}
+
+impl FromJson for Cut {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let states = value
+            .expect_array()?
+            .iter()
+            .map(Json::expect_u64)
+            .collect::<Result<Vec<u64>, JsonError>>()?;
+        Ok(Cut { states })
+    }
 }
 
 impl Cut {
     /// Creates the empty cut (`∀i: G[i] = 0`) over `n` processes.
     pub fn new(n: usize) -> Self {
-        Cut {
-            states: vec![0; n],
-        }
+        Cut { states: vec![0; n] }
     }
 
     /// Creates a cut from explicit per-process interval indices.

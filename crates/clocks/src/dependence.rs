@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use wcp_obs::json::{FromJson, Json, JsonError, ToJson};
 
 use crate::ProcessId;
 
@@ -21,7 +21,7 @@ use crate::ProcessId;
 /// let d = Dependence::new(ProcessId::new(2), 5);
 /// assert_eq!(d.to_string(), "(P2, 5)");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Dependence {
     /// The process the dependence points at (the message sender).
     pub on: ProcessId,
@@ -39,6 +39,21 @@ impl Dependence {
 impl fmt::Display for Dependence {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "({}, {})", self.on, self.clock)
+    }
+}
+
+impl ToJson for Dependence {
+    fn to_json(&self) -> Json {
+        Json::obj([("on", self.on.to_json()), ("clock", Json::UInt(self.clock))])
+    }
+}
+
+impl FromJson for Dependence {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(Dependence {
+            on: ProcessId::from_json(value.field("on")?)?,
+            clock: value.field("clock")?.expect_u64()?,
+        })
     }
 }
 
@@ -61,10 +76,27 @@ impl fmt::Display for Dependence {
 /// assert_eq!(snapshot_deps.len(), 2);
 /// assert!(list.is_empty());
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DependenceList {
     entries: Vec<Dependence>,
+}
+
+// A `DependenceList` travels on the wire as a bare array of dependences.
+impl ToJson for DependenceList {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.entries.iter().map(Dependence::to_json).collect())
+    }
+}
+
+impl FromJson for DependenceList {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let entries = value
+            .expect_array()?
+            .iter()
+            .map(Dependence::from_json)
+            .collect::<Result<Vec<Dependence>, JsonError>>()?;
+        Ok(DependenceList { entries })
+    }
 }
 
 impl DependenceList {
@@ -182,10 +214,11 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let list: DependenceList = [dep(0, 1)].into_iter().collect();
-        let json = serde_json::to_string(&list).unwrap();
-        let back: DependenceList = serde_json::from_str(&json).unwrap();
+        let json = list.to_json().to_string();
+        assert_eq!(json, "[{\"on\":0,\"clock\":1}]");
+        let back = DependenceList::from_json(&Json::parse(&json).unwrap()).unwrap();
         assert_eq!(back, list);
     }
 }

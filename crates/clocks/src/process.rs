@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use wcp_obs::json::{FromJson, Json, JsonError, ToJson};
 
 /// Identifier of a process in a distributed computation.
 ///
@@ -19,10 +19,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(p.index(), 3);
 /// assert_eq!(p.to_string(), "P3");
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ProcessId(u32);
 
 impl ProcessId {
@@ -71,6 +68,22 @@ impl fmt::Display for ProcessId {
     }
 }
 
+// A `ProcessId` travels on the wire as a bare integer.
+impl ToJson for ProcessId {
+    fn to_json(&self) -> Json {
+        Json::UInt(u64::from(self.0))
+    }
+}
+
+impl FromJson for ProcessId {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let raw = value.expect_u64()?;
+        u32::try_from(raw)
+            .map(ProcessId)
+            .map_err(|_| JsonError::shape(format!("ProcessId out of range: {raw}")))
+    }
+}
+
 /// Identifier of a local state (communication interval) of one process.
 ///
 /// Following Figure 2 of the paper, a process's local clock component is
@@ -88,7 +101,7 @@ impl fmt::Display for ProcessId {
 /// let s = StateId::new(ProcessId::new(1), 4);
 /// assert_eq!(s.to_string(), "(P1, 4)");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct StateId {
     /// The process this state belongs to.
     pub process: ProcessId,
@@ -106,6 +119,24 @@ impl StateId {
 impl fmt::Display for StateId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "({}, {})", self.process, self.index)
+    }
+}
+
+impl ToJson for StateId {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("process", self.process.to_json()),
+            ("index", Json::UInt(self.index)),
+        ])
+    }
+}
+
+impl FromJson for StateId {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(StateId {
+            process: ProcessId::from_json(value.field("process")?)?,
+            index: value.field("index")?.expect_u64()?,
+        })
     }
 }
 
@@ -150,12 +181,14 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let s = StateId::new(ProcessId::new(3), 11);
-        let json = serde_json::to_string(&s).unwrap();
-        let back: StateId = serde_json::from_str(&json).unwrap();
+        let json = s.to_json().to_string();
+        assert_eq!(json, "{\"process\":3,\"index\":11}");
+        let back = StateId::from_json(&Json::parse(&json).unwrap()).unwrap();
         assert_eq!(s, back);
         // ProcessId serializes transparently as a bare integer.
-        assert_eq!(serde_json::to_string(&ProcessId::new(3)).unwrap(), "3");
+        assert_eq!(ProcessId::new(3).to_json().to_string(), "3");
+        assert!(ProcessId::from_json(&Json::UInt(u64::MAX)).is_err());
     }
 }

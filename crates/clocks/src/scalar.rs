@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use wcp_obs::json::{FromJson, Json, JsonError, ToJson};
 
 /// The per-process logical counter of the direct-dependence algorithm.
 ///
@@ -28,8 +28,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(c.value(), 2);
 /// assert_eq!(tag, 1);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ScalarClock(u64);
 
 impl ScalarClock {
@@ -69,6 +68,19 @@ impl fmt::Display for ScalarClock {
 impl From<ScalarClock> for u64 {
     fn from(c: ScalarClock) -> Self {
         c.0
+    }
+}
+
+// A `ScalarClock` travels on the wire as a bare integer.
+impl ToJson for ScalarClock {
+    fn to_json(&self) -> Json {
+        Json::UInt(self.0)
+    }
+}
+
+impl FromJson for ScalarClock {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        value.expect_u64().map(ScalarClock)
     }
 }
 

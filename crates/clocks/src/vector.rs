@@ -4,7 +4,7 @@ use std::cmp::Ordering;
 use std::fmt;
 use std::ops::Index;
 
-use serde::{Deserialize, Serialize};
+use wcp_obs::json::{FromJson, Json, JsonError, ToJson};
 
 use crate::ProcessId;
 
@@ -49,10 +49,27 @@ pub enum CausalOrder {
 /// v.tick(p);
 /// assert_eq!(v[p], 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct VectorClock {
     components: Vec<u64>,
+}
+
+// A `VectorClock` travels on the wire as a bare array of components.
+impl ToJson for VectorClock {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.components.iter().map(|&c| Json::UInt(c)).collect())
+    }
+}
+
+impl FromJson for VectorClock {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let components = value
+            .expect_array()?
+            .iter()
+            .map(Json::expect_u64)
+            .collect::<Result<Vec<u64>, JsonError>>()?;
+        Ok(VectorClock { components })
+    }
 }
 
 impl VectorClock {
@@ -386,10 +403,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_is_transparent_array() {
+    fn json_is_transparent_array() {
         let v = vc(&[1, 2, 3]);
-        assert_eq!(serde_json::to_string(&v).unwrap(), "[1,2,3]");
-        let back: VectorClock = serde_json::from_str("[1,2,3]").unwrap();
+        assert_eq!(v.to_json().to_string(), "[1,2,3]");
+        let back = VectorClock::from_json(&Json::parse("[1,2,3]").unwrap()).unwrap();
         assert_eq!(back, v);
     }
 }

@@ -1,21 +1,30 @@
-//! Property-based tests for the logical-clock substrate.
+//! Randomized property tests for the logical-clock substrate.
+//!
+//! Deterministic seeded loops over `wcp_obs::rng::Rng` stand in for an
+//! external property-testing framework: each property is checked on a few
+//! hundred random inputs from a fixed seed, so failures are reproducible.
 
-use proptest::prelude::*;
 use wcp_clocks::{CausalOrder, Cut, ProcessId, VectorClock};
+use wcp_obs::rng::Rng;
 
-fn arb_clock(width: usize, max: u64) -> impl Strategy<Value = VectorClock> {
-    proptest::collection::vec(0..=max, width).prop_map(VectorClock::from_components)
+const CASES: usize = 300;
+
+fn rand_clock(rng: &mut Rng, width: usize, max: u64) -> VectorClock {
+    VectorClock::from_components((0..width).map(|_| rng.gen_range(0..=max)).collect())
 }
 
-fn arb_cut(width: usize, max: u64) -> impl Strategy<Value = Cut> {
-    proptest::collection::vec(0..=max, width).prop_map(Cut::from_indices)
+fn rand_cut(rng: &mut Rng, width: usize, max: u64) -> Cut {
+    Cut::from_indices((0..width).map(|_| rng.gen_range(0..=max)).collect())
 }
 
-proptest! {
-    /// causal_order is antisymmetric: Before in one direction iff After in
-    /// the other, Concurrent/Equal are symmetric.
-    #[test]
-    fn causal_order_antisymmetry(a in arb_clock(4, 8), b in arb_clock(4, 8)) {
+/// causal_order is antisymmetric: Before in one direction iff After in the
+/// other, Concurrent/Equal are symmetric.
+#[test]
+fn causal_order_antisymmetry() {
+    let mut rng = Rng::seed_from_u64(0xC10C0);
+    for _ in 0..CASES {
+        let a = rand_clock(&mut rng, 4, 8);
+        let b = rand_clock(&mut rng, 4, 8);
         let ab = a.causal_order(&b);
         let ba = b.causal_order(&a);
         let expected = match ab {
@@ -23,84 +32,120 @@ proptest! {
             CausalOrder::After => CausalOrder::Before,
             other => other,
         };
-        prop_assert_eq!(ba, expected);
+        assert_eq!(ba, expected, "a={a} b={b}");
     }
+}
 
-    /// happened-before is transitive.
-    #[test]
-    fn happened_before_transitive(
-        a in arb_clock(3, 6),
-        b in arb_clock(3, 6),
-        c in arb_clock(3, 6),
-    ) {
+/// happened-before is transitive.
+#[test]
+fn happened_before_transitive() {
+    let mut rng = Rng::seed_from_u64(1);
+    for _ in 0..CASES {
+        let a = rand_clock(&mut rng, 3, 6);
+        let b = rand_clock(&mut rng, 3, 6);
+        let c = rand_clock(&mut rng, 3, 6);
         if a.happened_before(&b) && b.happened_before(&c) {
-            prop_assert!(a.happened_before(&c));
+            assert!(a.happened_before(&c), "a={a} b={b} c={c}");
         }
     }
+}
 
-    /// happened-before is irreflexive.
-    #[test]
-    fn happened_before_irreflexive(a in arb_clock(5, 10)) {
-        prop_assert!(!a.happened_before(&a));
-        prop_assert_eq!(a.causal_order(&a), CausalOrder::Equal);
+/// happened-before is irreflexive.
+#[test]
+fn happened_before_irreflexive() {
+    let mut rng = Rng::seed_from_u64(2);
+    for _ in 0..CASES {
+        let a = rand_clock(&mut rng, 5, 10);
+        assert!(!a.happened_before(&a), "a={a}");
+        assert_eq!(a.causal_order(&a), CausalOrder::Equal);
     }
+}
 
-    /// join is the least upper bound: an upper bound, and below any other
-    /// upper bound.
-    #[test]
-    fn join_is_lub(a in arb_clock(4, 8), b in arb_clock(4, 8), c in arb_clock(4, 8)) {
+/// join is the least upper bound: an upper bound, and below any other upper
+/// bound.
+#[test]
+fn join_is_lub() {
+    let mut rng = Rng::seed_from_u64(3);
+    for _ in 0..CASES {
+        let a = rand_clock(&mut rng, 4, 8);
+        let b = rand_clock(&mut rng, 4, 8);
+        let c = rand_clock(&mut rng, 4, 8);
         let j = a.join(&b);
-        prop_assert!(a.le(&j));
-        prop_assert!(b.le(&j));
+        assert!(a.le(&j) && b.le(&j), "a={a} b={b}");
         if a.le(&c) && b.le(&c) {
-            prop_assert!(j.le(&c));
+            assert!(j.le(&c), "a={a} b={b} c={c}");
         }
     }
+}
 
-    /// meet is the greatest lower bound.
-    #[test]
-    fn meet_is_glb(a in arb_clock(4, 8), b in arb_clock(4, 8), c in arb_clock(4, 8)) {
+/// meet is the greatest lower bound.
+#[test]
+fn meet_is_glb() {
+    let mut rng = Rng::seed_from_u64(4);
+    for _ in 0..CASES {
+        let a = rand_clock(&mut rng, 4, 8);
+        let b = rand_clock(&mut rng, 4, 8);
+        let c = rand_clock(&mut rng, 4, 8);
         let m = a.meet(&b);
-        prop_assert!(m.le(&a));
-        prop_assert!(m.le(&b));
+        assert!(m.le(&a) && m.le(&b), "a={a} b={b}");
         if c.le(&a) && c.le(&b) {
-            prop_assert!(c.le(&m));
+            assert!(c.le(&m), "a={a} b={b} c={c}");
         }
     }
+}
 
-    /// join/meet are commutative and associative.
-    #[test]
-    fn lattice_algebra(a in arb_clock(3, 8), b in arb_clock(3, 8), c in arb_clock(3, 8)) {
-        prop_assert_eq!(a.join(&b), b.join(&a));
-        prop_assert_eq!(a.meet(&b), b.meet(&a));
-        prop_assert_eq!(a.join(&b).join(&c), a.join(&b.join(&c)));
-        prop_assert_eq!(a.meet(&b).meet(&c), a.meet(&b.meet(&c)));
+/// join/meet are commutative and associative.
+#[test]
+fn lattice_algebra() {
+    let mut rng = Rng::seed_from_u64(5);
+    for _ in 0..CASES {
+        let a = rand_clock(&mut rng, 3, 8);
+        let b = rand_clock(&mut rng, 3, 8);
+        let c = rand_clock(&mut rng, 3, 8);
+        assert_eq!(a.join(&b), b.join(&a));
+        assert_eq!(a.meet(&b), b.meet(&a));
+        assert_eq!(a.join(&b).join(&c), a.join(&b.join(&c)));
+        assert_eq!(a.meet(&b).meet(&c), a.meet(&b.meet(&c)));
     }
+}
 
-    /// merge makes the receiver dominate the message clock.
-    #[test]
-    fn merge_dominates(a in arb_clock(4, 8), b in arb_clock(4, 8)) {
+/// merge makes the receiver dominate the message clock.
+#[test]
+fn merge_dominates() {
+    let mut rng = Rng::seed_from_u64(6);
+    for _ in 0..CASES {
+        let a = rand_clock(&mut rng, 4, 8);
+        let b = rand_clock(&mut rng, 4, 8);
         let mut merged = a.clone();
         merged.merge(&b);
-        prop_assert!(a.le(&merged));
-        prop_assert!(b.le(&merged));
+        assert!(a.le(&merged) && b.le(&merged), "a={a} b={b}");
     }
+}
 
-    /// Cut meet/join keep the componentwise order.
-    #[test]
-    fn cut_lattice(a in arb_cut(4, 10), b in arb_cut(4, 10)) {
+/// Cut meet/join keep the componentwise order, and are modular in weight.
+#[test]
+fn cut_lattice() {
+    let mut rng = Rng::seed_from_u64(7);
+    for _ in 0..CASES {
+        let a = rand_cut(&mut rng, 4, 10);
+        let b = rand_cut(&mut rng, 4, 10);
         let m = a.meet(&b);
         let j = a.join(&b);
-        prop_assert!(m.le(&a) && m.le(&b));
-        prop_assert!(a.le(&j) && b.le(&j));
-        prop_assert_eq!(m.weight() + j.weight(), a.weight() + b.weight());
+        assert!(m.le(&a) && m.le(&b), "a={a} b={b}");
+        assert!(a.le(&j) && b.le(&j), "a={a} b={b}");
+        assert_eq!(m.weight() + j.weight(), a.weight() + b.weight());
     }
+}
 
-    /// A ticked clock strictly follows the original.
-    #[test]
-    fn tick_advances(a in arb_clock(4, 8), p in 0u32..4) {
+/// A ticked clock strictly follows the original.
+#[test]
+fn tick_advances() {
+    let mut rng = Rng::seed_from_u64(8);
+    for _ in 0..CASES {
+        let a = rand_clock(&mut rng, 4, 8);
+        let p = rng.gen_range(0u32..4);
         let mut t = a.clone();
         t.tick(ProcessId::new(p));
-        prop_assert!(a.happened_before(&t));
+        assert!(a.happened_before(&t), "a={a} p={p}");
     }
 }

@@ -2,14 +2,14 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 use wcp_clocks::Cut;
+use wcp_obs::json::{FromJson, Json, JsonError, ToJson};
 use wcp_trace::{AnnotatedComputation, Wcp};
 
 use crate::metrics::DetectionMetrics;
 
 /// Outcome of a detection run.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Detection {
     /// The WCP became true; `cut` is the first consistent cut satisfying it.
     ///
@@ -49,8 +49,37 @@ impl fmt::Display for Detection {
     }
 }
 
+impl ToJson for Detection {
+    fn to_json(&self) -> Json {
+        match self {
+            Detection::Detected { cut } => {
+                Json::obj([("Detected", Json::obj([("cut", cut.to_json())]))])
+            }
+            Detection::Undetected => Json::Str("Undetected".to_string()),
+        }
+    }
+}
+
+impl FromJson for Detection {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        if let Json::Str(s) = value {
+            if s == "Undetected" {
+                return Ok(Detection::Undetected);
+            }
+        }
+        match value.as_object() {
+            Some([(tag, payload)]) if tag == "Detected" => Ok(Detection::Detected {
+                cut: Cut::from_json(payload.field("cut")?)?,
+            }),
+            _ => Err(JsonError::shape(format!(
+                "expected \"Undetected\" or {{\"Detected\":…}}, got {value}"
+            ))),
+        }
+    }
+}
+
 /// A detection outcome together with its cost accounting.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DetectionReport {
     /// What was detected.
     pub detection: Detection,
@@ -61,6 +90,24 @@ pub struct DetectionReport {
 impl fmt::Display for DetectionReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{} [{}]", self.detection, self.metrics)
+    }
+}
+
+impl ToJson for DetectionReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("detection", self.detection.to_json()),
+            ("metrics", self.metrics.to_json()),
+        ])
+    }
+}
+
+impl FromJson for DetectionReport {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(DetectionReport {
+            detection: Detection::from_json(value.field("detection")?)?,
+            metrics: DetectionMetrics::from_json(value.field("metrics")?)?,
+        })
     }
 }
 
@@ -108,15 +155,27 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let r = DetectionReport {
             detection: Detection::Detected {
                 cut: Cut::from_indices(vec![3]),
             },
             metrics: DetectionMetrics::new(2),
         };
-        let json = serde_json::to_string(&r).unwrap();
-        let back: DetectionReport = serde_json::from_str(&json).unwrap();
+        let json = r.to_json().to_string();
+        assert!(
+            json.starts_with("{\"detection\":{\"Detected\":{\"cut\":[3]}}"),
+            "{json}"
+        );
+        let back = DetectionReport::from_json(&Json::parse(&json).unwrap()).unwrap();
         assert_eq!(back, r);
+        // The undetected arm serializes as a bare string, like serde's
+        // externally-tagged unit variant.
+        assert_eq!(
+            Detection::Undetected.to_json().to_string(),
+            "\"Undetected\""
+        );
+        let u = Detection::from_json(&Json::parse("\"Undetected\"").unwrap()).unwrap();
+        assert_eq!(u, Detection::Undetected);
     }
 }

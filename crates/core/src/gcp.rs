@@ -26,7 +26,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 use wcp_clocks::{Cut, StateId};
 use wcp_trace::channel::{ChannelId, ChannelIndex};
 use wcp_trace::{AnnotatedComputation, Wcp};
@@ -35,7 +34,7 @@ use crate::detector::{Detection, DetectionReport};
 use crate::metrics::DetectionMetrics;
 
 /// A linear (monotone) predicate on one channel's in-flight message count.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ChannelPredicate {
     /// No message in flight (equivalent to `AtMost(0)`).
     Empty,
@@ -85,7 +84,7 @@ impl fmt::Display for ChannelPredicate {
 }
 
 /// One channel term of a GCP.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ChannelTerm {
     /// The channel the term constrains.
     pub channel: ChannelId,
@@ -200,13 +199,9 @@ impl GcpChecker {
             metrics.candidates_consumed += 1;
         }
 
-        let position = |i: usize, heads: &[usize]| -> StateId {
-            StateId::new(scope[i], queues[i][heads[i]])
-        };
-        let advance = |i: usize,
-                           heads: &mut Vec<usize>,
-                           metrics: &mut DetectionMetrics|
-         -> bool {
+        let position =
+            |i: usize, heads: &[usize]| -> StateId { StateId::new(scope[i], queues[i][heads[i]]) };
+        let advance = |i: usize, heads: &mut Vec<usize>, metrics: &mut DetectionMetrics| -> bool {
             heads[i] += 1;
             metrics.candidates_consumed += 1;
             heads[i] < queues[i].len()
@@ -372,7 +367,10 @@ mod tests {
         b.mark_true(p(0)); // interval 2: message in flight
         let c = b.build().unwrap();
         let a = c.annotate();
-        let gcp = Gcp::new(Wcp::over_first(2), [term(0, 1, ChannelPredicate::AtLeast(1))]);
+        let gcp = Gcp::new(
+            Wcp::over_first(2),
+            [term(0, 1, ChannelPredicate::AtLeast(1))],
+        );
         let r = GcpChecker::new().detect(&a, &gcp);
         assert_eq!(r.detection.cut().unwrap().as_slice(), &[2, 1]);
     }
@@ -385,7 +383,10 @@ mod tests {
         b.mark_true(p(1));
         let c = b.build().unwrap();
         let a = c.annotate();
-        let gcp = Gcp::new(Wcp::over_first(2), [term(0, 1, ChannelPredicate::AtLeast(1))]);
+        let gcp = Gcp::new(
+            Wcp::over_first(2),
+            [term(0, 1, ChannelPredicate::AtLeast(1))],
+        );
         let r = GcpChecker::new().detect(&a, &gcp);
         assert_eq!(r.detection, Detection::Undetected);
     }
@@ -410,10 +411,7 @@ mod tests {
             );
             let via_checker = GcpChecker::new().detect(&a, &gcp);
             let via_lattice = LatticeExplorer::new(&g.computation)
-                .first_satisfying_where(
-                    |cut| gcp.holds_on(&g.computation, &index, cut),
-                    500_000,
-                )
+                .first_satisfying_where(|cut| gcp.holds_on(&g.computation, &index, cut), 500_000)
                 .expect("within budget");
             assert_eq!(
                 via_checker.detection.cut().cloned(),

@@ -61,6 +61,7 @@
 mod detector;
 pub mod gcp;
 pub mod lower_bound;
+mod meter;
 mod metrics;
 pub mod offline;
 pub mod online;
@@ -69,6 +70,7 @@ mod streaming;
 
 pub use detector::{Detection, DetectionReport, Detector};
 pub use gcp::{ChannelPredicate, ChannelTerm, Gcp, GcpChecker};
+pub use meter::replay_metrics;
 pub use metrics::DetectionMetrics;
 pub use offline::checker::CentralizedChecker;
 pub use offline::direct::DirectDependenceDetector;

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use wcp_obs::json::{FromJson, Json, JsonError, ToJson};
 
 /// Operation counts of one detection run, in the units the paper's analyses
 /// use (Sections 3.4 and 4.4).
@@ -13,7 +13,7 @@ use serde::{Deserialize, Serialize};
 /// direct-dependence algorithm costs `O(1)`. *Bytes* are the wire sizes of
 /// the protocol messages (vectors are 8 bytes per component, dependences 16
 /// bytes, colors 1 byte per entry).
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DetectionMetrics {
     /// Work units per participating process (monitor). For the centralized
     /// checker this has a single entry: the checker itself.
@@ -75,8 +75,15 @@ impl DetectionMetrics {
         self.control_bytes + self.snapshot_bytes
     }
 
-    /// Adds `units` of work to process `index`.
+    /// Adds `units` of work to process `index`, growing the table on demand.
+    ///
+    /// Growing matters for the centralized checker, which constructs its
+    /// metrics with a single entry (itself) but may be asked to attribute
+    /// work to higher indices when replaying traces recorded by wider runs.
     pub fn add_work(&mut self, index: usize, units: u64) {
+        if index >= self.per_process_work.len() {
+            self.per_process_work.resize(index + 1, 0);
+        }
         self.per_process_work[index] += units;
     }
 
@@ -91,7 +98,7 @@ impl fmt::Display for DetectionMetrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "work={} (max/process {}) hops={} ctrl={}msg/{}B snap={}msg/{}B buf={}",
+            "work={} (max/process {}) hops={} ctrl={}msg/{}B snap={}msg/{}B buf={} cand={} lattice={} ptime={}",
             self.total_work(),
             self.max_process_work(),
             self.token_hops,
@@ -99,8 +106,65 @@ impl fmt::Display for DetectionMetrics {
             self.control_bytes,
             self.snapshot_messages,
             self.snapshot_bytes,
-            self.max_buffered_snapshots
+            self.max_buffered_snapshots,
+            self.candidates_consumed,
+            self.lattice_states_visited,
+            self.parallel_time
         )
+    }
+}
+
+impl ToJson for DetectionMetrics {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "per_process_work",
+                Json::Arr(
+                    self.per_process_work
+                        .iter()
+                        .map(|&w| Json::UInt(w))
+                        .collect(),
+                ),
+            ),
+            ("token_hops", Json::UInt(self.token_hops)),
+            ("control_messages", Json::UInt(self.control_messages)),
+            ("control_bytes", Json::UInt(self.control_bytes)),
+            ("snapshot_messages", Json::UInt(self.snapshot_messages)),
+            ("snapshot_bytes", Json::UInt(self.snapshot_bytes)),
+            (
+                "max_buffered_snapshots",
+                Json::UInt(self.max_buffered_snapshots),
+            ),
+            ("candidates_consumed", Json::UInt(self.candidates_consumed)),
+            (
+                "lattice_states_visited",
+                Json::UInt(self.lattice_states_visited),
+            ),
+            ("parallel_time", Json::UInt(self.parallel_time)),
+        ])
+    }
+}
+
+impl FromJson for DetectionMetrics {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let per_process_work = value
+            .field("per_process_work")?
+            .expect_array()?
+            .iter()
+            .map(Json::expect_u64)
+            .collect::<Result<Vec<u64>, JsonError>>()?;
+        Ok(DetectionMetrics {
+            per_process_work,
+            token_hops: value.field("token_hops")?.expect_u64()?,
+            control_messages: value.field("control_messages")?.expect_u64()?,
+            control_bytes: value.field("control_bytes")?.expect_u64()?,
+            snapshot_messages: value.field("snapshot_messages")?.expect_u64()?,
+            snapshot_bytes: value.field("snapshot_bytes")?.expect_u64()?,
+            max_buffered_snapshots: value.field("max_buffered_snapshots")?.expect_u64()?,
+            candidates_consumed: value.field("candidates_consumed")?.expect_u64()?,
+            lattice_states_visited: value.field("lattice_states_visited")?.expect_u64()?,
+            parallel_time: value.field("parallel_time")?.expect_u64()?,
+        })
     }
 }
 
@@ -131,7 +195,50 @@ mod tests {
     }
 
     #[test]
+    fn add_work_grows_on_demand() {
+        // The centralized checker starts with one entry; attributing work to
+        // a later index must widen the table, not panic.
+        let mut m = DetectionMetrics::new(1);
+        m.add_work(0, 3);
+        m.add_work(4, 7);
+        assert_eq!(m.per_process_work, vec![3, 0, 0, 0, 7]);
+        assert_eq!(m.total_work(), 10);
+        // Growing from empty works too.
+        let mut z = DetectionMetrics::new(0);
+        z.add_work(2, 1);
+        assert_eq!(z.per_process_work, vec![0, 0, 1]);
+    }
+
+    #[test]
     fn display_mentions_work() {
         assert!(DetectionMetrics::new(1).to_string().contains("work=0"));
+    }
+
+    #[test]
+    fn display_includes_every_counter() {
+        // Regression: candidates_consumed, lattice_states_visited, and
+        // parallel_time used to be omitted from the rendered form.
+        let mut m = DetectionMetrics::new(2);
+        m.add_work(0, 4);
+        m.candidates_consumed = 11;
+        m.lattice_states_visited = 13;
+        m.finish_sequential();
+        let s = m.to_string();
+        assert!(s.contains("cand=11"), "{s}");
+        assert!(s.contains("lattice=13"), "{s}");
+        assert!(s.contains("ptime=4"), "{s}");
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut m = DetectionMetrics::new(2);
+        m.add_work(1, 6);
+        m.token_hops = 3;
+        m.candidates_consumed = 2;
+        m.parallel_time = 6;
+        let json = m.to_json().to_string();
+        assert!(json.starts_with("{\"per_process_work\":[0,6]"), "{json}");
+        let back = DetectionMetrics::from_json(&Json::parse(&json).unwrap()).unwrap();
+        assert_eq!(back, m);
     }
 }

@@ -8,11 +8,15 @@
 //! `O(n²m)` space on one process — the distributed algorithms exist to
 //! spread that cost.
 
+use std::fmt;
+use std::sync::Arc;
+
 use wcp_clocks::Cut;
+use wcp_obs::{NullRecorder, Recorder};
 use wcp_trace::{AnnotatedComputation, Wcp};
 
 use crate::detector::{Detection, DetectionReport, Detector};
-use crate::metrics::DetectionMetrics;
+use crate::meter::Meter;
 use crate::snapshot::vc_snapshot_queues;
 
 /// Offline emulation of the centralized checker.
@@ -20,13 +24,36 @@ use crate::snapshot::vc_snapshot_queues;
 /// Implements [`Detector`]; metrics attribute all work to a single
 /// participant (the checker), and `max_buffered_snapshots` counts every
 /// snapshot of every process, reflecting the checker's central buffer.
-#[derive(Debug, Clone, Default)]
-pub struct CentralizedChecker;
+#[derive(Clone)]
+pub struct CentralizedChecker {
+    recorder: Arc<dyn Recorder>,
+}
+
+impl fmt::Debug for CentralizedChecker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CentralizedChecker").finish_non_exhaustive()
+    }
+}
+
+impl Default for CentralizedChecker {
+    fn default() -> Self {
+        CentralizedChecker {
+            recorder: Arc::new(NullRecorder),
+        }
+    }
+}
 
 impl CentralizedChecker {
     /// Creates the checker baseline.
     pub fn new() -> Self {
-        CentralizedChecker
+        CentralizedChecker::default()
+    }
+
+    /// Streams [`wcp_obs::TraceEvent`]s of the run to `recorder`. All events
+    /// carry monitor 0 — the checker is the only participant.
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = recorder;
+        self
     }
 }
 
@@ -46,27 +73,28 @@ impl Detector for CentralizedChecker {
         let queues = vc_snapshot_queues(annotated, wcp);
 
         // Metrics: one participant (the checker). Every snapshot is a
-        // message to the checker, and all of them may be buffered there.
-        let mut metrics = DetectionMetrics::new(1);
-        metrics.snapshot_messages = queues.iter().map(|q| q.len() as u64).sum();
-        metrics.snapshot_bytes = queues
-            .iter()
-            .flatten()
-            .map(|s| s.wire_size() as u64)
-            .sum();
-        metrics.max_buffered_snapshots = metrics.snapshot_messages;
+        // message to the checker, and all of them are buffered there — the
+        // buffer depth only ever grows.
+        let mut meter = Meter::new(1, self.recorder.clone());
+        let mut depth = 0u64;
+        for q in &queues {
+            for s in q {
+                depth += 1;
+                meter.snapshot_buffered(0, depth, s.wire_size() as u64);
+            }
+        }
 
         let mut heads = vec![0usize; n];
         for (i, q) in queues.iter().enumerate() {
             if q.is_empty() {
-                metrics.finish_sequential();
+                meter.exhausted(0);
+                meter.finish_sequential();
                 return DetectionReport {
                     detection: Detection::Undetected,
-                    metrics,
+                    metrics: meter.metrics,
                 };
             }
-            metrics.candidates_consumed += 1;
-            let _ = i;
+            meter.candidate_accepted(0, i, q[0].interval, 0);
         }
 
         // Worklist of positions whose head changed and must be re-compared.
@@ -75,7 +103,7 @@ impl Detector for CentralizedChecker {
             // Compare head i against every other head; eliminate the
             // causally earlier side of each ordered pair. One pass is O(n)
             // — the paper's unit of work per elimination.
-            metrics.add_work(0, n as u64);
+            meter.work(0, n as u64);
             let mut advanced = None;
             for j in 0..n {
                 if j == i {
@@ -96,13 +124,15 @@ impl Detector for CentralizedChecker {
             match advanced {
                 None => {} // head i concurrent with all others
                 Some(x) => {
+                    let dead = queues[x][heads[x]].interval;
                     heads[x] += 1;
-                    metrics.candidates_consumed += 1;
+                    meter.candidate_eliminated(0, x, dead, 0);
                     if heads[x] >= queues[x].len() {
-                        metrics.finish_sequential();
+                        meter.exhausted(0);
+                        meter.finish_sequential();
                         return DetectionReport {
                             detection: Detection::Undetected,
-                            metrics,
+                            metrics: meter.metrics,
                         };
                     }
                     // Re-examine both the advanced position and, if it was
@@ -121,10 +151,11 @@ impl Detector for CentralizedChecker {
         for (i, &p) in wcp.scope().iter().enumerate() {
             cut.set(p, queues[i][heads[i]].interval);
         }
-        metrics.finish_sequential();
+        meter.found(0, cut.as_slice());
+        meter.finish_sequential();
         DetectionReport {
             detection: Detection::Detected { cut },
-            metrics,
+            metrics: meter.metrics,
         }
     }
 }

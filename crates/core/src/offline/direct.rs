@@ -19,11 +19,15 @@
 //! Table 1 both require `M_i.G` to hold the clock of the current candidate;
 //! we perform the assignment. See DESIGN.md §3.
 
+use std::fmt;
+use std::sync::Arc;
+
 use wcp_clocks::{Cut, ProcessId, StateId};
+use wcp_obs::{NullRecorder, Recorder};
 use wcp_trace::{AnnotatedComputation, Wcp};
 
 use crate::detector::{Detection, DetectionReport, Detector};
-use crate::metrics::DetectionMetrics;
+use crate::meter::Meter;
 use crate::snapshot::dd_snapshot_queues;
 
 /// Poll message size: "two integers" (Section 4.2) — the dependence clock
@@ -41,9 +45,18 @@ enum Color {
 }
 
 /// Offline emulation of the Figures 4–5 monitor protocol.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct DirectDependenceDetector {
     check_invariants: bool,
+    recorder: Arc<dyn Recorder>,
+}
+
+impl fmt::Debug for DirectDependenceDetector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DirectDependenceDetector")
+            .field("check_invariants", &self.check_invariants)
+            .finish_non_exhaustive()
+    }
 }
 
 impl DirectDependenceDetector {
@@ -52,6 +65,7 @@ impl DirectDependenceDetector {
     pub fn new() -> Self {
         DirectDependenceDetector {
             check_invariants: false,
+            recorder: Arc::new(NullRecorder),
         }
     }
 
@@ -59,6 +73,14 @@ impl DirectDependenceDetector {
     /// test suite; expensive.
     pub fn with_invariant_checks(mut self) -> Self {
         self.check_invariants = true;
+        self
+    }
+
+    /// Streams [`wcp_obs::TraceEvent`]s of the run to `recorder`. Monitor
+    /// ids are process indices; token movement shows up as
+    /// [`wcp_obs::TraceEvent::RedChainHop`]s.
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = recorder;
         self
     }
 }
@@ -84,15 +106,12 @@ impl Detector for DirectDependenceDetector {
         assert!(n >= 1, "computation must have at least one process");
         let queues = dd_snapshot_queues(annotated, wcp);
 
-        let mut metrics = DetectionMetrics::new(n);
-        metrics.snapshot_messages = queues.iter().map(|q| q.len() as u64).sum();
-        metrics.snapshot_bytes = queues
-            .iter()
-            .flatten()
-            .map(|s| s.wire_size() as u64)
-            .sum();
-        metrics.max_buffered_snapshots =
-            queues.iter().map(|q| q.len() as u64).max().unwrap_or(0);
+        let mut meter = Meter::new(n, self.recorder.clone());
+        for (i, q) in queues.iter().enumerate() {
+            for (pos, s) in q.iter().enumerate() {
+                meter.snapshot_buffered(i, pos as u64 + 1, s.wire_size() as u64);
+            }
+        }
 
         // Distributed token state (Table 1): per-monitor G and colour, plus
         // the red-chain pointers. Initially every monitor is red and the
@@ -103,6 +122,7 @@ impl Detector for DirectDependenceDetector {
             (0..n).map(|i| (i + 1 < n).then_some(i + 1)).collect();
         let mut heads = vec![0usize; n];
         let mut holder = 0usize;
+        meter.token_acquired(holder, None);
 
         loop {
             debug_assert_eq!(color[holder], Color::Red, "token held by a green monitor");
@@ -111,19 +131,23 @@ impl Detector for DirectDependenceDetector {
             let mut deplist = Vec::new();
             let final_clock = loop {
                 let Some(snapshot) = queues[holder].get(heads[holder]) else {
-                    metrics.finish_sequential();
+                    meter.exhausted(holder);
+                    meter.finish_sequential();
                     return DetectionReport {
                         detection: Detection::Undetected,
-                        metrics,
+                        metrics: meter.metrics,
                     };
                 };
                 heads[holder] += 1;
-                metrics.candidates_consumed += 1;
-                metrics.add_work(holder, 1 + snapshot.deps.len() as u64);
+                // Consuming a candidate costs one unit plus one per
+                // collected dependence.
+                let cost = 1 + snapshot.deps.len() as u64;
                 deplist.extend(snapshot.deps.iter().copied());
                 if snapshot.clock > g[holder] {
+                    meter.candidate_accepted(holder, holder, snapshot.clock, cost);
                     break snapshot.clock;
                 }
+                meter.candidate_eliminated(holder, holder, snapshot.clock, cost);
             };
             g[holder] = final_clock;
             color[holder] = Color::Green;
@@ -133,10 +157,8 @@ impl Detector for DirectDependenceDetector {
             for dep in &deplist {
                 let target = dep.on.index();
                 debug_assert_ne!(target, holder, "self-dependence is impossible");
-                metrics.control_messages += 2; // poll + reply
-                metrics.control_bytes += POLL_BYTES + REPLY_BYTES;
-                metrics.add_work(holder, 1);
-                metrics.add_work(target, 1);
+                meter.poll_sent(holder, target, POLL_BYTES);
+                meter.work(holder, 1);
 
                 // Figure 5 at the target.
                 let old = color[target];
@@ -144,9 +166,12 @@ impl Detector for DirectDependenceDetector {
                     color[target] = Color::Red;
                     g[target] = dep.clock;
                 }
+                meter.poll_answered(target, holder, color[target] == Color::Red, REPLY_BYTES);
+                meter.work(target, 1);
                 if color[target] == Color::Red && old == Color::Green {
                     // "became red": target adopts the holder's chain tail,
                     // holder points at the target.
+                    meter.candidate_invalidated(holder, target, g[target]);
                     next_red[target] = next_red[holder];
                     next_red[holder] = Some(target);
                 }
@@ -159,16 +184,15 @@ impl Detector for DirectDependenceDetector {
             match next_red[holder] {
                 None => {
                     let cut = Cut::from_indices(g);
-                    metrics.finish_sequential();
+                    meter.found(holder, cut.as_slice());
+                    meter.finish_sequential();
                     return DetectionReport {
                         detection: Detection::Detected { cut },
-                        metrics,
+                        metrics: meter.metrics,
                     };
                 }
                 Some(next) => {
-                    metrics.token_hops += 1;
-                    metrics.control_messages += 1;
-                    metrics.control_bytes += TOKEN_BYTES;
+                    meter.red_chain_hop(holder, next, TOKEN_BYTES);
                     holder = next;
                 }
             }
@@ -178,11 +202,7 @@ impl Detector for DirectDependenceDetector {
 
 /// `(i, k) →_d (j, l)`: same process and earlier, or a single message sent
 /// at or after state `k` on `i` is received before state `l` on `j`.
-fn directly_precedes(
-    annotated: &AnnotatedComputation<'_>,
-    a: StateId,
-    b: StateId,
-) -> bool {
+fn directly_precedes(annotated: &AnnotatedComputation<'_>, a: StateId, b: StateId) -> bool {
     if a.process == b.process {
         return a.index < b.index;
     }
@@ -207,8 +227,8 @@ fn check_lemma_4_2(
     for i in 0..n {
         if color[i] == Color::Red && g[i] != 0 {
             // Part 1: a red state directly precedes some selected state.
-            let witnessed =
-                (0..n).any(|j| j != i && g[j] > 0 && directly_precedes(annotated, state(i), state(j)));
+            let witnessed = (0..n)
+                .any(|j| j != i && g[j] > 0 && directly_precedes(annotated, state(i), state(j)));
             assert!(
                 witnessed,
                 "Lemma 4.2(1) violated: red {} directly precedes nothing",

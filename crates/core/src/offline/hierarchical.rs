@@ -20,19 +20,33 @@
 //! meet-closed, and the minimum's group projections are necessarily in the
 //! shipped sets) — the *answer* is right; the *cost* is the problem.
 
+use std::fmt;
+use std::sync::Arc;
+
 use wcp_clocks::{Cut, StateId};
+use wcp_obs::{NullRecorder, Recorder};
 use wcp_trace::{AnnotatedComputation, Wcp};
 
 use crate::detector::{Detection, DetectionReport, Detector};
-use crate::metrics::DetectionMetrics;
+use crate::meter::Meter;
 
 /// The Section 1 hierarchical checker baseline.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct HierarchicalChecker {
     groups: usize,
     /// Safety valve on enumerated states (the whole point is that this
     /// number explodes).
     max_states: usize,
+    recorder: Arc<dyn Recorder>,
+}
+
+impl fmt::Debug for HierarchicalChecker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HierarchicalChecker")
+            .field("groups", &self.groups)
+            .field("max_states", &self.max_states)
+            .finish_non_exhaustive()
+    }
 }
 
 impl HierarchicalChecker {
@@ -47,12 +61,22 @@ impl HierarchicalChecker {
         HierarchicalChecker {
             groups,
             max_states: 1_000_000,
+            recorder: Arc::new(NullRecorder),
         }
     }
 
     /// Sets the enumeration budget.
     pub fn with_max_states(mut self, max_states: usize) -> Self {
         self.max_states = max_states;
+        self
+    }
+
+    /// Streams [`wcp_obs::TraceEvent`]s of the run to `recorder`. Monitor
+    /// ids are group indices; the overall checker is monitor `groups`.
+    /// State-set shipping appears as batched
+    /// [`wcp_obs::TraceEvent::ControlSent`] events.
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = recorder;
         self
     }
 
@@ -97,7 +121,15 @@ impl HierarchicalChecker {
                 });
                 if compatible {
                     current.push(k);
-                    let ok = dfs(annotated, scope, members, depth + 1, current, tuples, budget);
+                    let ok = dfs(
+                        annotated,
+                        scope,
+                        members,
+                        depth + 1,
+                        current,
+                        tuples,
+                        budget,
+                    );
                     current.pop();
                     if !ok {
                         return false;
@@ -145,7 +177,8 @@ impl Detector for HierarchicalChecker {
             .collect();
 
         // Participants: g group checkers + 1 overall checker (index g).
-        let mut metrics = DetectionMetrics::new(g_count + 1);
+        let overall = g_count;
+        let mut meter = Meter::new(g_count + 1, self.recorder.clone());
 
         // Phase 1: group checkers enumerate and ship their state sets.
         let mut budget = self.max_states;
@@ -160,15 +193,20 @@ impl Detector for HierarchicalChecker {
                     )
                 });
             // Work: one unit per tuple entry examined; messages: the whole
-            // set travels to the overall checker.
-            metrics.add_work(gi, (tuples.len() * group.len()) as u64);
-            metrics.control_messages += tuples.len() as u64;
-            metrics.control_bytes += (tuples.len() * group.len() * 8) as u64;
+            // set travels to the overall checker (one batched event).
+            meter.work(gi, (tuples.len() * group.len()) as u64);
+            meter.control_sent(
+                gi,
+                overall,
+                tuples.len() as u64,
+                (tuples.len() * group.len() * 8) as u64,
+            );
             if tuples.is_empty() {
-                metrics.finish_sequential();
+                meter.exhausted(gi);
+                meter.finish_sequential();
                 return DetectionReport {
                     detection: Detection::Undetected,
-                    metrics,
+                    metrics: meter.metrics,
                 };
             }
             sets.push(tuples);
@@ -177,13 +215,12 @@ impl Detector for HierarchicalChecker {
         // Phase 2: the overall checker searches the product of the group
         // sets for globally consistent selections, folding their meet —
         // which is the unique first satisfying cut.
-        let overall = g_count;
         let mut best: Option<Vec<u64>> = None;
         let mut selection = vec![0usize; g_count];
         loop {
             // Check the current selection for cross-group consistency.
             let mut consistent = true;
-            metrics.add_work(overall, (n * n) as u64);
+            meter.work(overall, (n * n) as u64);
             'outer: for ga in 0..g_count {
                 for gb in 0..g_count {
                     if ga == gb {
@@ -224,12 +261,19 @@ impl Detector for HierarchicalChecker {
                             for (i, &p) in scope.iter().enumerate() {
                                 cut.set(p, g[i]);
                             }
+                            meter.found(overall, cut.as_slice());
                             Detection::Detected { cut }
                         }
-                        None => Detection::Undetected,
+                        None => {
+                            meter.exhausted(overall);
+                            Detection::Undetected
+                        }
                     };
-                    metrics.finish_sequential();
-                    return DetectionReport { detection, metrics };
+                    meter.finish_sequential();
+                    return DetectionReport {
+                        detection,
+                        metrics: meter.metrics,
+                    };
                 }
                 selection[pos] += 1;
                 if selection[pos] < sets[pos].len() {

@@ -6,16 +6,29 @@
 //! E7's baseline column shows — but its total generality makes it the
 //! independent ground truth of the test suite.
 
+use std::fmt;
+use std::sync::Arc;
+
+use wcp_obs::{NullRecorder, Recorder};
 use wcp_trace::lattice::LatticeExplorer;
 use wcp_trace::{AnnotatedComputation, Wcp};
 
 use crate::detector::{Detection, DetectionReport, Detector};
-use crate::metrics::DetectionMetrics;
+use crate::meter::Meter;
 
 /// Lattice-search detector with a state budget.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct LatticeDetector {
     max_states: usize,
+    recorder: Arc<dyn Recorder>,
+}
+
+impl fmt::Debug for LatticeDetector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LatticeDetector")
+            .field("max_states", &self.max_states)
+            .finish_non_exhaustive()
+    }
 }
 
 impl LatticeDetector {
@@ -23,12 +36,19 @@ impl LatticeDetector {
     pub fn new() -> Self {
         LatticeDetector {
             max_states: 1_000_000,
+            recorder: Arc::new(NullRecorder),
         }
     }
 
     /// Sets the exploration budget.
     pub fn with_max_states(mut self, max_states: usize) -> Self {
         self.max_states = max_states;
+        self
+    }
+
+    /// Streams [`wcp_obs::TraceEvent`]s of the run to `recorder`.
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = recorder;
         self
     }
 }
@@ -54,7 +74,7 @@ impl Detector for LatticeDetector {
     fn detect(&self, annotated: &AnnotatedComputation<'_>, wcp: &Wcp) -> DetectionReport {
         let computation = annotated.computation();
         let explorer = LatticeExplorer::new(computation);
-        let mut metrics = DetectionMetrics::new(1);
+        let mut meter = Meter::new(1, self.recorder.clone());
         // Count exactly the states BFS visits to answer: all states at
         // levels up to the detected cut, or the whole lattice if undetected.
         let (detection, visited) = match explorer.first_satisfying_counted(wcp, self.max_states) {
@@ -62,10 +82,17 @@ impl Detector for LatticeDetector {
             Ok((None, visited)) => (Detection::Undetected, visited),
             Err(e) => panic!("lattice baseline exceeded its budget: {e}"),
         };
-        metrics.lattice_states_visited = visited as u64;
-        metrics.add_work(0, metrics.lattice_states_visited);
-        metrics.finish_sequential();
-        DetectionReport { detection, metrics }
+        meter.lattice_visited(0, visited as u64);
+        meter.work(0, visited as u64);
+        match &detection {
+            Detection::Detected { cut } => meter.found(0, cut.as_slice()),
+            Detection::Undetected => meter.exhausted(0),
+        }
+        meter.finish_sequential();
+        DetectionReport {
+            detection,
+            metrics: meter.metrics,
+        }
     }
 }
 
@@ -115,7 +142,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "budget")]
     fn panics_when_budget_exceeded() {
-        let g = generate(&GeneratorConfig::new(5, 10).with_seed(0).with_send_fraction(1.0));
+        let g = generate(
+            &GeneratorConfig::new(5, 10)
+                .with_seed(0)
+                .with_send_fraction(1.0),
+        );
         let a = g.computation.annotate();
         LatticeDetector::new()
             .with_max_states(10)

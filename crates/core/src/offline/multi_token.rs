@@ -16,11 +16,15 @@
 //! work concurrently between merges, so the critical path per round is the
 //! maximum group work in that round, plus the leader's merge work.
 
+use std::fmt;
+use std::sync::Arc;
+
 use wcp_clocks::{Cut, VectorClock};
+use wcp_obs::{NullRecorder, Recorder};
 use wcp_trace::{AnnotatedComputation, Wcp};
 
 use crate::detector::{Detection, DetectionReport, Detector};
-use crate::metrics::DetectionMetrics;
+use crate::meter::Meter;
 use crate::offline::token::Color;
 use crate::snapshot::vc_snapshot_queues;
 
@@ -60,9 +64,18 @@ impl GroupToken {
 ///
 /// With `groups == 1` this degenerates to the single-token algorithm (plus
 /// one leader round-trip) and detects the identical cut.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct MultiTokenDetector {
     groups: usize,
+    recorder: Arc<dyn Recorder>,
+}
+
+impl fmt::Debug for MultiTokenDetector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MultiTokenDetector")
+            .field("groups", &self.groups)
+            .finish_non_exhaustive()
+    }
 }
 
 impl MultiTokenDetector {
@@ -73,12 +86,22 @@ impl MultiTokenDetector {
     /// Panics if `groups == 0`.
     pub fn new(groups: usize) -> Self {
         assert!(groups >= 1, "need at least one group");
-        MultiTokenDetector { groups }
+        MultiTokenDetector {
+            groups,
+            recorder: Arc::new(NullRecorder),
+        }
     }
 
     /// Number of groups configured.
     pub fn groups(&self) -> usize {
         self.groups
+    }
+
+    /// Streams [`wcp_obs::TraceEvent`]s of the run to `recorder`. Monitor
+    /// ids are scope positions; the leader is monitor `n`.
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = recorder;
+        self
     }
 }
 
@@ -100,15 +123,12 @@ impl Detector for MultiTokenDetector {
 
         // Participants: n monitors + 1 leader (index n).
         let leader = n;
-        let mut metrics = DetectionMetrics::new(n + 1);
-        metrics.snapshot_messages = queues.iter().map(|q| q.len() as u64).sum();
-        metrics.snapshot_bytes = queues
-            .iter()
-            .flatten()
-            .map(|s| s.wire_size() as u64)
-            .sum();
-        metrics.max_buffered_snapshots =
-            queues.iter().map(|q| q.len() as u64).max().unwrap_or(0);
+        let mut meter = Meter::new(n + 1, self.recorder.clone());
+        for (i, q) in queues.iter().enumerate() {
+            for (pos, s) in q.iter().enumerate() {
+                meter.snapshot_buffered(i, pos as u64 + 1, s.wire_size() as u64);
+            }
+        }
 
         // Contiguous balanced partition: member i belongs to group i·g/n.
         let group_of = |i: usize| i * g_count / n;
@@ -120,7 +140,6 @@ impl Detector for MultiTokenDetector {
         let mut tokens: Vec<GroupToken> = (0..g_count).map(|_| GroupToken::new(n)).collect();
         // Groups whose token is currently circulating (not at the leader).
         let mut active: Vec<bool> = vec![true; g_count];
-        let mut parallel_time = 0u64;
 
         loop {
             // ---- Phase A: groups drain their red members concurrently. ----
@@ -130,36 +149,37 @@ impl Detector for MultiTokenDetector {
                     continue;
                 }
                 let mut group_work = 0u64;
+                let mut last_at = members[gi][0];
                 let token = &mut tokens[gi];
                 // Walk the token among this group's red members.
-                while let Some(&at) = members[gi]
-                    .iter()
-                    .find(|&&i| token.color[i] == Color::Red)
-                {
+                while let Some(&at) = members[gi].iter().find(|&&i| token.color[i] == Color::Red) {
+                    last_at = at;
                     // Figure 3 `while` loop at member `at`.
                     let candidate = loop {
                         let Some(snapshot) = queues[at].get(heads[at]) else {
-                            metrics.parallel_time = parallel_time + group_work;
+                            // Account for the partial round before aborting.
+                            meter.parallel_advance(at, group_work);
+                            meter.exhausted(at);
                             return DetectionReport {
                                 detection: Detection::Undetected,
-                                metrics,
+                                metrics: meter.metrics,
                             };
                         };
                         heads[at] += 1;
-                        metrics.candidates_consumed += 1;
-                        metrics.add_work(at, n as u64);
                         group_work += n as u64;
                         if snapshot.interval > token.g[at] {
+                            meter.candidate_accepted(at, at, snapshot.interval, n as u64);
                             token.g[at] = snapshot.interval;
                             token.color[at] = Color::Green;
                             break snapshot;
                         }
+                        meter.candidate_eliminated(at, at, snapshot.interval, n as u64);
                     };
                     token.candidates[at] = Some(candidate.clock.clone());
                     // Figure 3 `for` loop — updates entries across all of
                     // the scope; red members of *other* groups are
                     // reconciled at the next merge.
-                    metrics.add_work(at, n as u64);
+                    meter.work(at, n as u64);
                     group_work += n as u64;
                     for j in 0..n {
                         if j == at {
@@ -168,23 +188,28 @@ impl Detector for MultiTokenDetector {
                         let seen = candidate.clock.as_slice()[j];
                         if seen >= token.g[j] && seen > 0 {
                             token.g[j] = seen;
+                            if token.color[j] == Color::Green {
+                                meter.candidate_invalidated(at, j, seen);
+                            }
                             token.color[j] = Color::Red;
                         }
                     }
                     // Token hop to the next red member, if any.
-                    if members[gi].iter().any(|&i| token.color[i] == Color::Red) {
-                        metrics.token_hops += 1;
-                        metrics.control_messages += 1;
-                        metrics.control_bytes += token.wire_size() as u64;
+                    if let Some(&next) = members[gi].iter().find(|&&i| token.color[i] == Color::Red)
+                    {
+                        meter.token_forwarded(at, next, token.wire_size() as u64);
+                        meter.token_acquired(next, Some(at));
                     }
                 }
                 // Group finished: token returns to the leader.
-                metrics.control_messages += 1;
-                metrics.control_bytes += tokens[gi].wire_size() as u64;
+                let wire = tokens[gi].wire_size() as u64;
+                meter.control_sent(last_at, leader, 1, wire);
                 active[gi] = false;
                 round_max = round_max.max(group_work);
             }
-            parallel_time += round_max;
+            // Groups ran concurrently: the round's critical path is the
+            // slowest group.
+            meter.parallel_advance(leader, round_max);
 
             // ---- Phase B: leader merge. ----
             let mut g_merged = vec![0u64; n];
@@ -204,8 +229,8 @@ impl Detector for MultiTokenDetector {
             }
             // Cross-group Figure 3 elimination: a green candidate that
             // "knows" interval ≥ G[i] of process i eliminates (i, G[i]).
-            metrics.add_work(leader, (n * n) as u64);
-            parallel_time += (n * n) as u64;
+            meter.work(leader, (n * n) as u64);
+            meter.parallel_advance(leader, (n * n) as u64);
             for j in 0..n {
                 if color[j] != Color::Green {
                     continue;
@@ -228,10 +253,10 @@ impl Detector for MultiTokenDetector {
                 for (i, &p) in wcp.scope().iter().enumerate() {
                     cut.set(p, g_merged[i]);
                 }
-                metrics.parallel_time = parallel_time;
+                meter.found(leader, cut.as_slice());
                 return DetectionReport {
                     detection: Detection::Detected { cut },
-                    metrics,
+                    metrics: meter.metrics,
                 };
             }
 
@@ -243,11 +268,13 @@ impl Detector for MultiTokenDetector {
                 tokens[gi].candidates = candidates.clone();
                 if members[gi].iter().any(|&i| color[i] == Color::Red) {
                     active[gi] = true;
-                    metrics.control_messages += 1;
-                    metrics.control_bytes += tokens[gi].wire_size() as u64;
+                    meter.control_sent(leader, members[gi][0], 1, tokens[gi].wire_size() as u64);
                 }
             }
-            debug_assert!(active.iter().any(|&a| a), "red member must be in some group");
+            debug_assert!(
+                active.iter().any(|&a| a),
+                "red member must be in some group"
+            );
         }
     }
 }
@@ -304,13 +331,22 @@ mod tests {
             let g = generate(&cfg);
             let a = g.computation.annotate();
             let wcp = Wcp::over_first(8);
-            let t1 = MultiTokenDetector::new(1).detect(&a, &wcp).metrics.parallel_time;
-            let t4 = MultiTokenDetector::new(4).detect(&a, &wcp).metrics.parallel_time;
+            let t1 = MultiTokenDetector::new(1)
+                .detect(&a, &wcp)
+                .metrics
+                .parallel_time;
+            let t4 = MultiTokenDetector::new(4)
+                .detect(&a, &wcp)
+                .metrics
+                .parallel_time;
             if t4 <= t1 {
                 wins += 1;
             }
         }
-        assert!(wins * 2 > total, "4 groups beat 1 group only {wins}/{total} times");
+        assert!(
+            wins * 2 > total,
+            "4 groups beat 1 group only {wins}/{total} times"
+        );
     }
 
     #[test]

@@ -8,11 +8,15 @@
 //! any other selected state that happened before the new candidate (the
 //! `for` loop). All-green means the cut is consistent — detection.
 
+use std::fmt;
+use std::sync::Arc;
+
 use wcp_clocks::{Cut, StateId, VectorClock};
+use wcp_obs::{NullRecorder, Recorder};
 use wcp_trace::{AnnotatedComputation, Wcp};
 
 use crate::detector::{Detection, DetectionReport, Detector};
-use crate::metrics::DetectionMetrics;
+use crate::meter::Meter;
 use crate::snapshot::{vc_snapshot_queues, VcSnapshot};
 
 /// Colour of a candidate state, as in Figure 3.
@@ -94,11 +98,22 @@ impl NextRedStrategy {
 ///
 /// See the [crate docs](crate) for a usage example; complexity is the
 /// paper's `O(n²m)` total work with `O(nm)` work and space per monitor.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct TokenDetector {
     start: usize,
     check_invariants: bool,
     strategy: NextRedStrategy,
+    recorder: Arc<dyn Recorder>,
+}
+
+impl fmt::Debug for TokenDetector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TokenDetector")
+            .field("start", &self.start)
+            .field("check_invariants", &self.check_invariants)
+            .field("strategy", &self.strategy)
+            .finish_non_exhaustive()
+    }
 }
 
 impl TokenDetector {
@@ -108,6 +123,7 @@ impl TokenDetector {
             start: 0,
             check_invariants: false,
             strategy: NextRedStrategy::Cyclic,
+            recorder: Arc::new(NullRecorder),
         }
     }
 
@@ -128,6 +144,13 @@ impl TokenDetector {
     /// Chooses how the next red monitor is selected (E11 ablation).
     pub fn with_strategy(mut self, strategy: NextRedStrategy) -> Self {
         self.strategy = strategy;
+        self
+    }
+
+    /// Streams [`wcp_obs::TraceEvent`]s of the run to `recorder`. Monitor
+    /// ids are scope positions.
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = recorder;
         self
     }
 }
@@ -154,19 +177,17 @@ impl Detector for TokenDetector {
         assert!(n >= 1, "WCP scope must name at least one process");
         let queues = vc_snapshot_queues(annotated, wcp);
 
-        let mut metrics = DetectionMetrics::new(n);
-        metrics.snapshot_messages = queues.iter().map(|q| q.len() as u64).sum();
-        metrics.snapshot_bytes = queues
-            .iter()
-            .flatten()
-            .map(|s| s.wire_size() as u64)
-            .sum();
-        metrics.max_buffered_snapshots =
-            queues.iter().map(|q| q.len() as u64).max().unwrap_or(0);
+        let mut meter = Meter::new(n, self.recorder.clone());
+        for (i, q) in queues.iter().enumerate() {
+            for (pos, s) in q.iter().enumerate() {
+                meter.snapshot_buffered(i, pos as u64 + 1, s.wire_size() as u64);
+            }
+        }
 
         let mut token = Token::new(n);
         let mut heads = vec![0usize; n]; // per-monitor queue position
         let mut at = self.start % n;
+        meter.token_acquired(at, None);
 
         loop {
             debug_assert_eq!(token.color[at], Color::Red, "token sent to a green monitor");
@@ -174,25 +195,27 @@ impl Detector for TokenDetector {
             let candidate: &VcSnapshot = loop {
                 let Some(snapshot) = queues[at].get(heads[at]) else {
                     // Monitor would block forever waiting for a candidate.
-                    metrics.finish_sequential();
+                    meter.exhausted(at);
+                    meter.finish_sequential();
                     return DetectionReport {
                         detection: Detection::Undetected,
-                        metrics,
+                        metrics: meter.metrics,
                     };
                 };
                 heads[at] += 1;
-                metrics.candidates_consumed += 1;
-                metrics.add_work(at, n as u64); // receive + examine an n-vector
+                // Consuming a candidate is receive + examine an n-vector.
                 if snapshot.interval > token.g[at] {
+                    meter.candidate_accepted(at, at, snapshot.interval, n as u64);
                     token.g[at] = snapshot.interval;
                     token.color[at] = Color::Green;
                     break snapshot;
                 }
+                meter.candidate_eliminated(at, at, snapshot.interval, n as u64);
             };
 
             // Figure 3 `for` loop: eliminate states preceding the new
             // candidate.
-            metrics.add_work(at, n as u64);
+            meter.work(at, n as u64);
             for j in 0..n {
                 if j == at {
                     continue;
@@ -200,6 +223,9 @@ impl Detector for TokenDetector {
                 let seen = candidate.clock.as_slice()[j];
                 if seen >= token.g[j] && seen > 0 {
                     token.g[j] = seen;
+                    if token.color[j] == Color::Green {
+                        meter.candidate_invalidated(at, j, seen);
+                    }
                     token.color[j] = Color::Red;
                 }
             }
@@ -213,10 +239,11 @@ impl Detector for TokenDetector {
                 for (i, &p) in wcp.scope().iter().enumerate() {
                     cut.set(p, token.g[i]);
                 }
-                metrics.finish_sequential();
+                meter.found(at, cut.as_slice());
+                meter.finish_sequential();
                 return DetectionReport {
                     detection: Detection::Detected { cut },
-                    metrics,
+                    metrics: meter.metrics,
                 };
             }
 
@@ -224,9 +251,8 @@ impl Detector for TokenDetector {
                 .strategy
                 .pick(&token, at)
                 .expect("not all green ⇒ some red");
-            metrics.token_hops += 1;
-            metrics.control_messages += 1;
-            metrics.control_bytes += token.wire_size() as u64;
+            meter.token_forwarded(at, next, token.wire_size() as u64);
+            meter.token_acquired(next, Some(at));
             at = next;
         }
     }

@@ -225,7 +225,14 @@ mod tests {
         let apps = vec![ActorId::new(0), ActorId::new(1)];
         let monitors = [ActorId::new(2), ActorId::new(3)];
         for i in 0..2u32 {
-            let actor = AppProcess::new(&c, &wcp, p(i), mode, apps.clone(), Some(monitors[i as usize]));
+            let actor = AppProcess::new(
+                &c,
+                &wcp,
+                p(i),
+                mode,
+                apps.clone(),
+                Some(monitors[i as usize]),
+            );
             sim.add_actor(Box::new(actor));
         }
         for log in &logs {

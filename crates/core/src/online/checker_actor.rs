@@ -11,7 +11,7 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use wcp_clocks::{Cut, ProcessId};
 use wcp_sim::{Actor, ActorId, Context, SimConfig, Simulation};
 use wcp_trace::{Computation, Wcp};
@@ -68,7 +68,7 @@ impl CheckerProcess {
                 if self.queues[i].is_empty() {
                     if self.eot[i] {
                         self.done = true;
-                        *self.result.lock() = Some(OnlineDetection::Undetected);
+                        *self.result.lock().unwrap() = Some(OnlineDetection::Undetected);
                         ctx.stop();
                     }
                     return; // wait for more snapshots
@@ -101,7 +101,7 @@ impl CheckerProcess {
                         .map(|q| q.front().expect("nonempty").interval)
                         .collect();
                     self.done = true;
-                    *self.result.lock() = Some(OnlineDetection::Detected(g));
+                    *self.result.lock().unwrap() = Some(OnlineDetection::Detected(g));
                     ctx.stop();
                     return;
                 }
@@ -118,7 +118,7 @@ impl Actor<DetectMsg> for CheckerProcess {
                 self.queues[pos].push_back(s);
                 let buffered: u64 = self.queues.iter().map(|q| q.len() as u64).sum();
                 {
-                    let mut stats = self.stats.lock();
+                    let mut stats = self.stats.lock().unwrap();
                     stats.max_buffered = stats.max_buffered.max(buffered);
                 }
                 self.try_check(ctx);
@@ -175,7 +175,7 @@ pub fn run_checker(computation: &Computation, wcp: &Wcp, sim_config: SimConfig) 
     )));
 
     let outcome = sim.run();
-    let verdict = result.lock().take();
+    let verdict = result.lock().unwrap().take();
     let detection = match verdict {
         Some(OnlineDetection::Detected(g)) => {
             let mut cut = Cut::new(n_total);
@@ -192,7 +192,7 @@ pub fn run_checker(computation: &Computation, wcp: &Wcp, sim_config: SimConfig) 
     let sim_metrics = sim.metrics();
     let c = sim_metrics.actor(checker);
     metrics.per_process_work[0] = c.work;
-    let st = stats.lock();
+    let st = stats.lock().unwrap();
     metrics.max_buffered_snapshots = st.max_buffered;
     metrics.parallel_time = outcome.time.0;
     metrics.snapshot_messages = c.received;
@@ -235,7 +235,10 @@ mod tests {
             let wcp = Wcp::over_first(5);
             let checker = run_checker(&g.computation, &wcp, SimConfig::seeded(1));
             let token = run_vc_token(&g.computation, &wcp, SimConfig::seeded(1));
-            assert_eq!(checker.report.detection, token.report.detection, "seed {seed}");
+            assert_eq!(
+                checker.report.detection, token.report.detection,
+                "seed {seed}"
+            );
         }
     }
 

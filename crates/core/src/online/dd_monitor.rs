@@ -19,10 +19,12 @@
 //! re-reddened while splicing the chain.
 
 use std::collections::VecDeque;
+use std::fmt;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use wcp_clocks::{Dependence, ProcessId};
+use wcp_obs::{LogicalTime, NullRecorder, Recorder, TraceEvent};
 use wcp_sim::{Actor, ActorId, Context};
 
 use crate::online::messages::DetectMsg;
@@ -58,7 +60,6 @@ enum Phase {
 pub type GBoard = Arc<Mutex<Vec<u64>>>;
 
 /// A Figure 4–5 monitor.
-#[derive(Debug)]
 pub struct DdMonitor {
     pid: ProcessId,
     /// Monitor actors indexed by `ProcessId`.
@@ -84,6 +85,19 @@ pub struct DdMonitor {
     g_board: GBoard,
     result: SharedOutcome,
     stats: SharedStats,
+    recorder: Arc<dyn Recorder>,
+}
+
+impl fmt::Debug for DdMonitor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DdMonitor")
+            .field("pid", &self.pid)
+            .field("color", &self.color)
+            .field("g", &self.g)
+            .field("holds_token", &self.holds_token)
+            .field("done", &self.done)
+            .finish_non_exhaustive()
+    }
 }
 
 impl DdMonitor {
@@ -116,11 +130,24 @@ impl DdMonitor {
             g_board,
             result,
             stats,
+            recorder: Arc::new(NullRecorder),
         }
     }
 
+    /// Streams [`TraceEvent`]s of this monitor's protocol steps to
+    /// `recorder`, stamped with the simulation tick.
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    fn emit(&self, ctx: &dyn Context<DetectMsg>, event: TraceEvent) {
+        self.recorder
+            .record(self.pid.index() as u32, LogicalTime::Tick(ctx.now()), event);
+    }
+
     fn publish_g(&self) {
-        self.g_board.lock()[self.pid.index()] = self.g;
+        self.g_board.lock().unwrap()[self.pid.index()] = self.g;
     }
 
     /// Entry point whenever the situation may allow progress.
@@ -164,7 +191,14 @@ impl DdMonitor {
             let Some(snapshot) = self.queue.pop_front() else {
                 if self.eot && self.holds_token {
                     self.done = true;
-                    *self.result.lock() = Some(OnlineDetection::Undetected);
+                    if self.recorder.is_enabled() {
+                        self.recorder.record(
+                            self.pid.index() as u32,
+                            LogicalTime::Tick(ctx.now()),
+                            TraceEvent::DetectionExhausted,
+                        );
+                    }
+                    *self.result.lock().unwrap() = Some(OnlineDetection::Undetected);
                     ctx.stop();
                 }
                 // Proactive searcher out of candidates: fall back to idle
@@ -176,6 +210,24 @@ impl DdMonitor {
                 return;
             };
             ctx.add_work(1 + snapshot.deps.len() as u64);
+            if self.recorder.is_enabled() {
+                let work = 1 + snapshot.deps.len() as u64;
+                let event = if snapshot.clock > self.g {
+                    TraceEvent::CandidateAccepted {
+                        process: self.pid.index() as u32,
+                        interval: snapshot.clock,
+                        work,
+                    }
+                } else {
+                    TraceEvent::CandidateEliminated {
+                        process: self.pid.index() as u32,
+                        interval: snapshot.clock,
+                        work,
+                    }
+                };
+                self.recorder
+                    .record(self.pid.index() as u32, LogicalTime::Tick(ctx.now()), event);
+            }
             deps.extend(snapshot.deps.iter().copied());
             if snapshot.clock > self.g {
                 let deps = std::mem::take(deps);
@@ -197,12 +249,27 @@ impl DdMonitor {
 
     /// Sends the next poll, or completes the visit when all are answered.
     fn advance_polls(&mut self, ctx: &mut dyn Context<DetectMsg>) {
-        let Phase::Polling { deps, idx, candidate_dead } = &self.phase else {
+        let Phase::Polling {
+            deps,
+            idx,
+            candidate_dead,
+        } = &self.phase
+        else {
             return;
         };
         if let Some(dep) = deps.get(*idx) {
             debug_assert_ne!(dep.on, self.pid, "self-dependence is impossible");
             ctx.add_work(1);
+            if self.recorder.is_enabled() {
+                self.recorder.record(
+                    self.pid.index() as u32,
+                    LogicalTime::Tick(ctx.now()),
+                    TraceEvent::PollSent {
+                        to: dep.on.index() as u32,
+                        bytes: 16,
+                    },
+                );
+            }
             ctx.send(
                 self.monitors[dep.on.index()],
                 DetectMsg::Poll {
@@ -239,13 +306,25 @@ impl DdMonitor {
         match self.next_red {
             None => {
                 self.done = true;
-                let cut = self.g_board.lock().clone();
-                *self.result.lock() = Some(OnlineDetection::Detected(cut));
+                let cut = self.g_board.lock().unwrap().clone();
+                if self.recorder.is_enabled() {
+                    self.emit(ctx, TraceEvent::DetectionFound { cut: cut.clone() });
+                }
+                *self.result.lock().unwrap() = Some(OnlineDetection::Detected(cut));
                 ctx.stop();
             }
             Some(next) => {
                 self.holds_token = false;
-                self.stats.lock().token_hops += 1;
+                self.stats.lock().unwrap().token_hops += 1;
+                if self.recorder.is_enabled() {
+                    self.emit(
+                        ctx,
+                        TraceEvent::RedChainHop {
+                            to: next.index() as u32,
+                            bytes: 1,
+                        },
+                    );
+                }
                 ctx.send(self.monitors[next.index()], DetectMsg::DdToken);
                 // Now off the chain; answer the polls deferred mid-visit.
                 while let Some((from, clock, next_red)) = self.deferred_polls.pop_front() {
@@ -290,6 +369,17 @@ impl DdMonitor {
         if became_red {
             self.next_red = poll_next_red;
         }
+        if self.recorder.is_enabled() {
+            let poller = self.monitors.iter().position(|&m| m == from).unwrap_or(0);
+            self.emit(
+                ctx,
+                TraceEvent::PollAnswered {
+                    to: poller as u32,
+                    alive: self.color == Color::Red,
+                    bytes: 1,
+                },
+            );
+        }
         ctx.send(from, DetectMsg::PollReply { became_red });
         if became_red {
             // §4.5: a newly red monitor may start searching immediately.
@@ -315,15 +405,27 @@ impl DdMonitor {
 
 impl Actor<DetectMsg> for DdMonitor {
     fn on_start(&mut self, ctx: &mut dyn Context<DetectMsg>) {
+        if self.holds_token && self.recorder.is_enabled() {
+            self.emit(ctx, TraceEvent::TokenAcquired { from: None });
+        }
         self.progress(ctx);
     }
 
     fn on_message(&mut self, ctx: &mut dyn Context<DetectMsg>, from: ActorId, msg: DetectMsg) {
         match msg {
             DetectMsg::DdSnapshot(s) => {
+                if self.recorder.is_enabled() {
+                    self.emit(
+                        ctx,
+                        TraceEvent::SnapshotBuffered {
+                            depth: self.queue.len() as u64 + 1,
+                            bytes: s.wire_size() as u64,
+                        },
+                    );
+                }
                 self.queue.push_back(s);
                 {
-                    let mut stats = self.stats.lock();
+                    let mut stats = self.stats.lock().unwrap();
                     stats.max_buffered = stats.max_buffered.max(self.queue.len() as u64);
                 }
                 self.progress(ctx);
@@ -339,6 +441,15 @@ impl Actor<DetectMsg> for DdMonitor {
                 debug_assert!(!self.holds_token, "duplicate token");
                 debug_assert_eq!(self.color, Color::Red, "token sent to green monitor");
                 self.holds_token = true;
+                if self.recorder.is_enabled() {
+                    let sender = self.monitors.iter().position(|&m| m == from);
+                    self.emit(
+                        ctx,
+                        TraceEvent::TokenAcquired {
+                            from: sender.map(|s| s as u32),
+                        },
+                    );
+                }
                 self.progress(ctx);
             }
             DetectMsg::Poll { clock, next_red } => {
@@ -406,10 +517,17 @@ mod tests {
         );
         let sent = ctx.take_sent();
         assert_eq!(sent.len(), 1);
-        assert!(matches!(sent[0].1, DetectMsg::PollReply { became_red: true }));
+        assert!(matches!(
+            sent[0].1,
+            DetectMsg::PollReply { became_red: true }
+        ));
         assert_eq!(m.color, Color::Red);
         assert_eq!(m.g, 2);
-        assert_eq!(m.next_red, Some(ProcessId::new(2)), "adopted the poll's tail");
+        assert_eq!(
+            m.next_red,
+            Some(ProcessId::new(2)),
+            "adopted the poll's tail"
+        );
     }
 
     #[test]
@@ -427,7 +545,10 @@ mod tests {
             },
         );
         let sent = ctx.take_sent();
-        assert!(matches!(sent[0].1, DetectMsg::PollReply { became_red: false }));
+        assert!(matches!(
+            sent[0].1,
+            DetectMsg::PollReply { became_red: false }
+        ));
         assert_eq!(m.color, Color::Green);
         assert_eq!(m.g, 5, "g unchanged below threshold");
     }
@@ -447,7 +568,10 @@ mod tests {
             },
         );
         let sent = ctx.take_sent();
-        assert!(matches!(sent[0].1, DetectMsg::PollReply { became_red: false }));
+        assert!(matches!(
+            sent[0].1,
+            DetectMsg::PollReply { became_red: false }
+        ));
         assert_eq!(m.g, 7, "g raised");
         assert_eq!(m.next_red, original_tail, "already on chain: pointer kept");
     }
@@ -478,7 +602,7 @@ mod tests {
         assert_eq!(sent.len(), 1);
         assert_eq!(sent[0].0, ActorId::new(101));
         assert!(matches!(sent[0].1, DetectMsg::DdToken));
-        assert!(result.lock().is_none());
+        assert!(result.lock().unwrap().is_none());
         assert_eq!(m.color, Color::Green);
         assert!(!m.holds_token);
     }
@@ -490,8 +614,11 @@ mod tests {
         m.on_start(&mut ctx);
         m.on_message(&mut ctx, ActorId::new(0), dd_snapshot(2, vec![]));
         assert!(ctx.stopped);
-        assert_eq!(*result.lock(), Some(OnlineDetection::Detected(vec![2])));
-        assert_eq!(g_board.lock()[0], 2);
+        assert_eq!(
+            *result.lock().unwrap(),
+            Some(OnlineDetection::Detected(vec![2]))
+        );
+        assert_eq!(g_board.lock().unwrap()[0], 2);
     }
 
     #[test]
@@ -528,7 +655,10 @@ mod tests {
         assert_eq!(sent.len(), 2);
         assert!(matches!(sent[0].1, DetectMsg::DdToken));
         assert_eq!(sent[1].0, ActorId::new(102));
-        assert!(matches!(sent[1].1, DetectMsg::PollReply { became_red: true }));
+        assert!(matches!(
+            sent[1].1,
+            DetectMsg::PollReply { became_red: true }
+        ));
         assert_eq!(m.color, Color::Red, "re-reddened after the visit");
         assert_eq!(m.g, 9);
     }

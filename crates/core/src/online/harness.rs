@@ -3,8 +3,9 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use wcp_clocks::{Cut, ProcessId};
+use wcp_obs::{NullRecorder, Recorder};
 use wcp_sim::{ActorId, SimConfig, SimOutcome, Simulation};
 use wcp_trace::{Computation, Wcp};
 
@@ -35,6 +36,23 @@ pub struct OnlineReport {
 ///
 /// Panics if the scope is empty or the computation is invalid.
 pub fn run_vc_token(computation: &Computation, wcp: &Wcp, sim_config: SimConfig) -> OnlineReport {
+    run_vc_token_recorded(computation, wcp, sim_config, Arc::new(NullRecorder))
+}
+
+/// [`run_vc_token`] with an attached [`Recorder`]: the simulator streams
+/// [`wcp_obs::TraceEvent::MessageDelivered`] hops and each monitor streams
+/// its protocol events (token moves, candidate verdicts, buffered
+/// snapshots), all stamped with simulated time.
+///
+/// # Panics
+///
+/// Panics if the scope is empty or the computation is invalid.
+pub fn run_vc_token_recorded(
+    computation: &Computation,
+    wcp: &Wcp,
+    sim_config: SimConfig,
+    recorder: Arc<dyn Recorder>,
+) -> OnlineReport {
     let n_total = computation.process_count();
     let n = wcp.n();
     assert!(n >= 1, "WCP scope must name at least one process");
@@ -53,6 +71,7 @@ pub fn run_vc_token(computation: &Computation, wcp: &Wcp, sim_config: SimConfig)
     let result = Arc::new(Mutex::new(None));
     let stats = Arc::new(Mutex::new(OnlineStats::default()));
     let mut sim = Simulation::new(config);
+    sim.set_recorder(recorder.clone());
     for p in ProcessId::all(n_total) {
         let monitor = wcp.position(p).map(|pos| monitors[pos]);
         sim.add_actor(Box::new(AppProcess::new(
@@ -65,18 +84,21 @@ pub fn run_vc_token(computation: &Computation, wcp: &Wcp, sim_config: SimConfig)
         )));
     }
     for pos in 0..n {
-        sim.add_actor(Box::new(VcMonitor::new(
-            pos,
-            n,
-            monitors.clone(),
-            pos == 0,
-            result.clone(),
-            stats.clone(),
-        )));
+        sim.add_actor(Box::new(
+            VcMonitor::new(
+                pos,
+                n,
+                monitors.clone(),
+                pos == 0,
+                result.clone(),
+                stats.clone(),
+            )
+            .with_recorder(recorder.clone()),
+        ));
     }
 
     let outcome = sim.run();
-    let detection = match result.lock().take() {
+    let detection = match result.lock().unwrap().take() {
         Some(OnlineDetection::Detected(g)) => {
             let mut cut = Cut::new(n_total);
             for (pos, &p) in wcp.scope().iter().enumerate() {
@@ -92,7 +114,7 @@ pub fn run_vc_token(computation: &Computation, wcp: &Wcp, sim_config: SimConfig)
         computation,
         &apps,
         &monitors,
-        &stats.lock(),
+        &stats.lock().unwrap(),
         &outcome,
         8 + 8 * n as u64, // MsgId + scope-width vector
     );
@@ -116,6 +138,30 @@ pub fn run_direct(
     sim_config: SimConfig,
     parallel: bool,
 ) -> OnlineReport {
+    run_direct_recorded(
+        computation,
+        wcp,
+        sim_config,
+        parallel,
+        Arc::new(NullRecorder),
+    )
+}
+
+/// [`run_direct`] with an attached [`Recorder`]: the simulator streams
+/// message-delivery hops and each monitor streams its protocol events
+/// (polls, red-chain hops, candidate verdicts), stamped with simulated
+/// time.
+///
+/// # Panics
+///
+/// Panics if the computation has no processes or is invalid.
+pub fn run_direct_recorded(
+    computation: &Computation,
+    wcp: &Wcp,
+    sim_config: SimConfig,
+    parallel: bool,
+    recorder: Arc<dyn Recorder>,
+) -> OnlineReport {
     let n_total = computation.process_count();
     assert!(n_total >= 1, "computation must have at least one process");
 
@@ -133,6 +179,7 @@ pub fn run_direct(
     let stats = Arc::new(Mutex::new(OnlineStats::default()));
     let g_board = Arc::new(Mutex::new(vec![0u64; n_total]));
     let mut sim = Simulation::new(config);
+    sim.set_recorder(recorder.clone());
     for p in ProcessId::all(n_total) {
         sim.add_actor(Box::new(AppProcess::new(
             computation,
@@ -144,19 +191,22 @@ pub fn run_direct(
         )));
     }
     for p in ProcessId::all(n_total) {
-        sim.add_actor(Box::new(DdMonitor::new(
-            p,
-            n_total,
-            monitors.clone(),
-            parallel,
-            g_board.clone(),
-            result.clone(),
-            stats.clone(),
-        )));
+        sim.add_actor(Box::new(
+            DdMonitor::new(
+                p,
+                n_total,
+                monitors.clone(),
+                parallel,
+                g_board.clone(),
+                result.clone(),
+                stats.clone(),
+            )
+            .with_recorder(recorder.clone()),
+        ));
     }
 
     let outcome = sim.run();
-    let detection = match result.lock().take() {
+    let detection = match result.lock().unwrap().take() {
         Some(OnlineDetection::Detected(g)) => Detection::Detected {
             cut: Cut::from_indices(g),
         },
@@ -168,7 +218,7 @@ pub fn run_direct(
         computation,
         &apps,
         &monitors,
-        &stats.lock(),
+        &stats.lock().unwrap(),
         &outcome,
         16, // MsgId + scalar tag
     );
@@ -211,8 +261,7 @@ fn collect_metrics(
     let script_msgs = computation.total_messages() as u64;
     let eot_count = monitors.len() as u64; // one marker per monitored process
     metrics.snapshot_messages = app_sent.saturating_sub(script_msgs + eot_count);
-    metrics.snapshot_bytes =
-        app_bytes.saturating_sub(script_msgs * app_payload_bytes + eot_count);
+    metrics.snapshot_bytes = app_bytes.saturating_sub(script_msgs * app_payload_bytes + eot_count);
     metrics.token_hops = stats.token_hops;
     metrics.max_buffered_snapshots = stats.max_buffered;
     metrics.parallel_time = outcome.time.0;
@@ -396,7 +445,13 @@ pub mod adapters {
             }
         }
         fn detect(&self, annotated: &AnnotatedComputation<'_>, wcp: &Wcp) -> DetectionReport {
-            run_direct(annotated.computation(), wcp, self.config.clone(), self.parallel).report
+            run_direct(
+                annotated.computation(),
+                wcp,
+                self.config.clone(),
+                self.parallel,
+            )
+            .report
         }
     }
 
@@ -424,7 +479,13 @@ pub mod adapters {
             "multi-token(sim)"
         }
         fn detect(&self, annotated: &AnnotatedComputation<'_>, wcp: &Wcp) -> DetectionReport {
-            run_multi_token(annotated.computation(), wcp, self.config.clone(), self.groups).report
+            run_multi_token(
+                annotated.computation(),
+                wcp,
+                self.config.clone(),
+                self.groups,
+            )
+            .report
         }
     }
 

@@ -23,8 +23,13 @@ pub mod vc_monitor;
 pub use app::{AppProcess, ClockMode};
 pub use checker_actor::run_checker;
 pub use harness::adapters::{OnlineDirectDetector, OnlineMultiTokenDetector, OnlineTokenDetector};
-pub use harness::{run_direct, run_vc_token, OnlineReport};
-pub use threaded::{run_direct_threaded, run_vc_token_threaded};
+pub use harness::{
+    run_direct, run_direct_recorded, run_vc_token, run_vc_token_recorded, OnlineReport,
+};
 pub use messages::{ClockTag, DetectMsg, GroupTokenMsg};
 pub use multi_token::run_multi_token;
+pub use threaded::{
+    run_direct_threaded, run_direct_threaded_recorded, run_vc_token_threaded,
+    run_vc_token_threaded_recorded,
+};
 pub use vc_monitor::{OnlineDetection, OnlineStats, SharedOutcome, SharedStats};

@@ -11,7 +11,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use wcp_clocks::{Cut, ProcessId};
 use wcp_sim::{Actor, ActorId, Context, SimConfig, Simulation};
 use wcp_trace::{Computation, Wcp};
@@ -54,7 +54,7 @@ impl GroupMonitor {
             let Some(snapshot) = self.queue.pop_front() else {
                 if self.eot {
                     self.done = true;
-                    *self.result.lock() = Some(OnlineDetection::Undetected);
+                    *self.result.lock().unwrap() = Some(OnlineDetection::Undetected);
                     ctx.stop();
                 }
                 return;
@@ -91,7 +91,7 @@ impl GroupMonitor {
             .map(|d| self.members[(my_rank + d) % self.members.len()])
             .find(|&p| token.color[p] == Color::Red && p != self.pos);
         let token = self.token.take().expect("token present");
-        self.stats.lock().token_hops += 1;
+        self.stats.lock().unwrap().token_hops += 1;
         match next_in_group {
             Some(p) => ctx.send(self.monitors[p], DetectMsg::GroupToken(token)),
             None => ctx.send(self.leader, DetectMsg::GroupToken(token)),
@@ -105,7 +105,7 @@ impl Actor<DetectMsg> for GroupMonitor {
             DetectMsg::VcSnapshot(s) => {
                 self.queue.push_back(s);
                 {
-                    let mut stats = self.stats.lock();
+                    let mut stats = self.stats.lock().unwrap();
                     stats.max_buffered = stats.max_buffered.max(self.queue.len() as u64);
                 }
                 self.try_advance(ctx);
@@ -187,7 +187,7 @@ impl Leader {
 
         if color.iter().all(|&c| c == Color::Green) {
             self.done = true;
-            *self.result.lock() = Some(OnlineDetection::Detected(g_merged));
+            *self.result.lock().unwrap() = Some(OnlineDetection::Detected(g_merged));
             ctx.stop();
             return;
         }
@@ -209,7 +209,10 @@ impl Leader {
                 ctx.send(self.monitors[first_red], DetectMsg::GroupToken(token));
             }
         }
-        debug_assert!(self.outstanding > 0, "red member implies a dispatched token");
+        debug_assert!(
+            self.outstanding > 0,
+            "red member implies a dispatched token"
+        );
     }
 }
 
@@ -322,7 +325,7 @@ pub fn run_multi_token(
     }));
 
     let outcome = sim.run();
-    let verdict = result.lock().take();
+    let verdict = result.lock().unwrap().take();
     let detection = match verdict {
         Some(OnlineDetection::Detected(g)) => {
             let mut cut = Cut::new(n_total);
@@ -347,7 +350,7 @@ pub fn run_multi_token(
     metrics.per_process_work[n] = l.work;
     metrics.control_messages += l.sent;
     metrics.control_bytes += l.bytes_sent;
-    let st = stats.lock();
+    let st = stats.lock().unwrap();
     metrics.token_hops = st.token_hops;
     metrics.max_buffered_snapshots = st.max_buffered;
     metrics.parallel_time = outcome.time.0;

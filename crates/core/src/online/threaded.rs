@@ -9,8 +9,9 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use wcp_clocks::{Cut, ProcessId};
+use wcp_obs::{NullRecorder, Recorder};
 use wcp_runtime::Runtime;
 use wcp_sim::ActorId;
 use wcp_trace::{Computation, Wcp};
@@ -28,6 +29,23 @@ use crate::online::vc_monitor::{OnlineDetection, OnlineStats, VcMonitor};
 /// Panics if the scope is empty, the computation is invalid, or the
 /// protocol stalls (which would be a bug, not an input error).
 pub fn run_vc_token_threaded(computation: &Computation, wcp: &Wcp) -> Detection {
+    run_vc_token_threaded_recorded(computation, wcp, Arc::new(NullRecorder))
+}
+
+/// [`run_vc_token_threaded`] with an attached [`Recorder`]. Threads have no
+/// logical clock, so events carry tick 0 — pair with
+/// [`wcp_obs::RingRecorder::with_wall_clock`] for wall-clock-nanosecond
+/// stamps instead.
+///
+/// # Panics
+///
+/// Panics if the scope is empty, the computation is invalid, or the
+/// protocol stalls.
+pub fn run_vc_token_threaded_recorded(
+    computation: &Computation,
+    wcp: &Wcp,
+    recorder: Arc<dyn Recorder>,
+) -> Detection {
     let n_total = computation.process_count();
     let n = wcp.n();
     assert!(n >= 1, "WCP scope must name at least one process");
@@ -52,18 +70,21 @@ pub fn run_vc_token_threaded(computation: &Computation, wcp: &Wcp) -> Detection 
         )));
     }
     for pos in 0..n {
-        rt.add_actor(Box::new(VcMonitor::new(
-            pos,
-            n,
-            monitors.clone(),
-            pos == 0,
-            result.clone(),
-            stats.clone(),
-        )));
+        rt.add_actor(Box::new(
+            VcMonitor::new(
+                pos,
+                n,
+                monitors.clone(),
+                pos == 0,
+                result.clone(),
+                stats.clone(),
+            )
+            .with_recorder(recorder.clone()),
+        ));
     }
     rt.run();
 
-    let verdict = result.lock().take();
+    let verdict = result.lock().unwrap().take();
     match verdict {
         Some(OnlineDetection::Detected(g)) => {
             let mut cut = Cut::new(n_total);
@@ -84,6 +105,21 @@ pub fn run_vc_token_threaded(computation: &Computation, wcp: &Wcp) -> Detection 
 ///
 /// Panics if the computation is empty or invalid, or the protocol stalls.
 pub fn run_direct_threaded(computation: &Computation, wcp: &Wcp, parallel: bool) -> Detection {
+    run_direct_threaded_recorded(computation, wcp, parallel, Arc::new(NullRecorder))
+}
+
+/// [`run_direct_threaded`] with an attached [`Recorder`] (see
+/// [`run_vc_token_threaded_recorded`] for time-stamp semantics).
+///
+/// # Panics
+///
+/// Panics if the computation is empty or invalid, or the protocol stalls.
+pub fn run_direct_threaded_recorded(
+    computation: &Computation,
+    wcp: &Wcp,
+    parallel: bool,
+    recorder: Arc<dyn Recorder>,
+) -> Detection {
     let n_total = computation.process_count();
     assert!(n_total >= 1, "computation must have at least one process");
 
@@ -107,19 +143,22 @@ pub fn run_direct_threaded(computation: &Computation, wcp: &Wcp, parallel: bool)
         )));
     }
     for p in ProcessId::all(n_total) {
-        rt.add_actor(Box::new(DdMonitor::new(
-            p,
-            n_total,
-            monitors.clone(),
-            parallel,
-            g_board.clone(),
-            result.clone(),
-            stats.clone(),
-        )));
+        rt.add_actor(Box::new(
+            DdMonitor::new(
+                p,
+                n_total,
+                monitors.clone(),
+                parallel,
+                g_board.clone(),
+                result.clone(),
+                stats.clone(),
+            )
+            .with_recorder(recorder.clone()),
+        ));
     }
     rt.run();
 
-    let verdict = result.lock().take();
+    let verdict = result.lock().unwrap().take();
     match verdict {
         Some(OnlineDetection::Detected(g)) => Detection::Detected {
             cut: Cut::from_indices(g),
@@ -151,6 +190,27 @@ mod tests {
     }
 
     #[test]
+    fn threaded_recording_stamps_wall_clock() {
+        let cfg = GeneratorConfig::new(3, 6)
+            .with_seed(4)
+            .with_predicate_density(0.4)
+            .with_plant(0.8);
+        let g = generate(&cfg);
+        let wcp = Wcp::over_first(3);
+        let ring = Arc::new(wcp_obs::RingRecorder::new(4096).with_wall_clock());
+        let verdict = run_vc_token_threaded_recorded(&g.computation, &wcp, ring.clone());
+        let offline = TokenDetector::new().detect(&g.computation.annotate(), &wcp);
+        assert_eq!(verdict, offline.detection);
+        let events = ring.events();
+        assert!(!events.is_empty());
+        assert!(events.iter().all(|e| e.wall_nanos.is_some()));
+        // Wall stamps are monotone in recording order.
+        assert!(events
+            .windows(2)
+            .all(|w| w[0].wall_nanos <= w[1].wall_nanos));
+    }
+
+    #[test]
     fn threaded_dd_matches_offline() {
         for seed in 0..10 {
             let cfg = GeneratorConfig::new(4, 8)
@@ -162,7 +222,10 @@ mod tests {
             let offline = DirectDependenceDetector::new().detect(&a, &wcp);
             for parallel in [false, true] {
                 let threaded = run_direct_threaded(&g.computation, &wcp, parallel);
-                assert_eq!(threaded, offline.detection, "seed {seed} parallel {parallel}");
+                assert_eq!(
+                    threaded, offline.detection,
+                    "seed {seed} parallel {parallel}"
+                );
             }
         }
     }

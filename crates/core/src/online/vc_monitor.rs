@@ -1,9 +1,11 @@
 //! The Figure 3 monitor actor (single-token vector-clock algorithm).
 
 use std::collections::VecDeque;
+use std::fmt;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
+use wcp_obs::{LogicalTime, NullRecorder, Recorder, TraceEvent};
 use wcp_sim::{Actor, ActorId, Context};
 
 use crate::offline::token::{Color, Token};
@@ -43,7 +45,6 @@ pub type SharedStats = Arc<Mutex<OnlineStats>>;
 
 /// A Figure 3 monitor: buffers its application process's snapshots and,
 /// while holding the token, advances the candidate cut.
-#[derive(Debug)]
 pub struct VcMonitor {
     /// This monitor's scope position (the paper's `i`).
     pos: usize,
@@ -59,6 +60,17 @@ pub struct VcMonitor {
     done: bool,
     result: SharedOutcome,
     stats: SharedStats,
+    recorder: Arc<dyn Recorder>,
+}
+
+impl fmt::Debug for VcMonitor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("VcMonitor")
+            .field("pos", &self.pos)
+            .field("n", &self.n)
+            .field("done", &self.done)
+            .finish_non_exhaustive()
+    }
 }
 
 impl VcMonitor {
@@ -84,7 +96,20 @@ impl VcMonitor {
             done: false,
             result,
             stats,
+            recorder: Arc::new(NullRecorder),
         }
+    }
+
+    /// Streams [`TraceEvent`]s of this monitor's protocol steps to
+    /// `recorder`, stamped with the simulation tick.
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    fn emit(&self, ctx: &dyn Context<DetectMsg>, event: TraceEvent) {
+        self.recorder
+            .record(self.pos as u32, LogicalTime::Tick(ctx.now()), event);
     }
 
     /// Figure 3 body; re-entered whenever the token or new candidates
@@ -95,12 +120,9 @@ impl VcMonitor {
             return;
         }
         let Some(token) = &mut self.token else { return };
-        debug_assert_eq!(
-            token.color[self.pos],
-            Color::Red,
-            "token held while green"
-        );
+        debug_assert_eq!(token.color[self.pos], Color::Red, "token held while green");
 
+        let observe = self.recorder.is_enabled();
         // `while (color[i] = red) do receive candidate …`
         let candidate = loop {
             let Some(snapshot) = self.queue.pop_front() else {
@@ -108,13 +130,38 @@ impl VcMonitor {
                     // No further candidate can ever arrive: the predicate
                     // cannot hold at this process again.
                     self.done = true;
-                    *self.result.lock() = Some(OnlineDetection::Undetected);
+                    if observe {
+                        self.recorder.record(
+                            self.pos as u32,
+                            LogicalTime::Tick(ctx.now()),
+                            TraceEvent::DetectionExhausted,
+                        );
+                    }
+                    *self.result.lock().unwrap() = Some(OnlineDetection::Undetected);
                     ctx.stop();
                 }
                 return; // wait for more snapshots
             };
             ctx.add_work(self.n as u64);
-            if snapshot.interval > token.g[self.pos] {
+            let survives = snapshot.interval > token.g[self.pos];
+            if observe {
+                let event = if survives {
+                    TraceEvent::CandidateAccepted {
+                        process: self.pos as u32,
+                        interval: snapshot.interval,
+                        work: self.n as u64,
+                    }
+                } else {
+                    TraceEvent::CandidateEliminated {
+                        process: self.pos as u32,
+                        interval: snapshot.interval,
+                        work: self.n as u64,
+                    }
+                };
+                self.recorder
+                    .record(self.pos as u32, LogicalTime::Tick(ctx.now()), event);
+            }
+            if survives {
                 token.g[self.pos] = snapshot.interval;
                 token.color[self.pos] = Color::Green;
                 break snapshot;
@@ -123,6 +170,15 @@ impl VcMonitor {
 
         // `for j ≠ i …` eliminate states preceding the new candidate.
         ctx.add_work(self.n as u64);
+        if observe {
+            self.recorder.record(
+                self.pos as u32,
+                LogicalTime::Tick(ctx.now()),
+                TraceEvent::Work {
+                    units: self.n as u64,
+                },
+            );
+        }
         for j in 0..self.n {
             if j == self.pos {
                 continue;
@@ -130,13 +186,32 @@ impl VcMonitor {
             let seen = candidate.clock.as_slice()[j];
             if seen >= token.g[j] && seen > 0 {
                 token.g[j] = seen;
+                if observe && token.color[j] == Color::Green {
+                    self.recorder.record(
+                        self.pos as u32,
+                        LogicalTime::Tick(ctx.now()),
+                        TraceEvent::CandidateInvalidated {
+                            process: j as u32,
+                            interval: seen,
+                        },
+                    );
+                }
                 token.color[j] = Color::Red;
             }
         }
 
         if token.all_green() {
             self.done = true;
-            *self.result.lock() = Some(OnlineDetection::Detected(token.g.clone()));
+            if observe {
+                self.recorder.record(
+                    self.pos as u32,
+                    LogicalTime::Tick(ctx.now()),
+                    TraceEvent::DetectionFound {
+                        cut: token.g.clone(),
+                    },
+                );
+            }
+            *self.result.lock().unwrap() = Some(OnlineDetection::Detected(token.g.clone()));
             ctx.stop();
             return;
         }
@@ -144,7 +219,17 @@ impl VcMonitor {
             .next_red((self.pos + 1) % self.n)
             .expect("not all green ⇒ some red");
         let token = self.token.take().expect("token present");
-        self.stats.lock().token_hops += 1;
+        self.stats.lock().unwrap().token_hops += 1;
+        if observe {
+            self.recorder.record(
+                self.pos as u32,
+                LogicalTime::Tick(ctx.now()),
+                TraceEvent::TokenForwarded {
+                    to: next as u32,
+                    bytes: token.wire_size() as u64,
+                },
+            );
+        }
         ctx.send(self.monitors[next], DetectMsg::VcToken(token));
     }
 }
@@ -153,16 +238,28 @@ impl Actor<DetectMsg> for VcMonitor {
     fn on_start(&mut self, ctx: &mut dyn Context<DetectMsg>) {
         if self.starts_with_token {
             self.token = Some(Token::new(self.n));
+            if self.recorder.is_enabled() {
+                self.emit(ctx, TraceEvent::TokenAcquired { from: None });
+            }
             self.try_advance(ctx);
         }
     }
 
-    fn on_message(&mut self, ctx: &mut dyn Context<DetectMsg>, _from: ActorId, msg: DetectMsg) {
+    fn on_message(&mut self, ctx: &mut dyn Context<DetectMsg>, from: ActorId, msg: DetectMsg) {
         match msg {
             DetectMsg::VcSnapshot(s) => {
+                if self.recorder.is_enabled() {
+                    self.emit(
+                        ctx,
+                        TraceEvent::SnapshotBuffered {
+                            depth: self.queue.len() as u64 + 1,
+                            bytes: s.wire_size() as u64,
+                        },
+                    );
+                }
                 self.queue.push_back(s);
                 {
-                    let mut stats = self.stats.lock();
+                    let mut stats = self.stats.lock().unwrap();
                     stats.max_buffered = stats.max_buffered.max(self.queue.len() as u64);
                 }
                 self.try_advance(ctx);
@@ -177,6 +274,15 @@ impl Actor<DetectMsg> for VcMonitor {
                 }
                 debug_assert!(self.token.is_none(), "duplicate token");
                 self.token = Some(t);
+                if self.recorder.is_enabled() {
+                    let sender = self.monitors.iter().position(|&m| m == from);
+                    self.emit(
+                        ctx,
+                        TraceEvent::TokenAcquired {
+                            from: sender.map(|s| s as u32),
+                        },
+                    );
+                }
                 self.try_advance(ctx);
             }
             other => unreachable!("vc monitor {}: unexpected {other:?}", self.pos),
@@ -225,7 +331,7 @@ mod tests {
         let mut ctx = MockCtx::default();
         m.on_start(&mut ctx); // creates the token, finds no candidates
         assert!(ctx.take_sent().is_empty(), "must block, not forward");
-        assert!(result.lock().is_none());
+        assert!(result.lock().unwrap().is_none());
 
         // A concurrent candidate arrives: accept, but P1 is still red →
         // token moves to monitor 1.
@@ -243,7 +349,7 @@ mod tests {
         m.on_start(&mut ctx);
         m.on_message(&mut ctx, ActorId::new(0), DetectMsg::EndOfTrace);
         assert!(ctx.stopped);
-        assert_eq!(*result.lock(), Some(OnlineDetection::Undetected));
+        assert_eq!(*result.lock().unwrap(), Some(OnlineDetection::Undetected));
     }
 
     #[test]
@@ -277,7 +383,10 @@ mod tests {
         m.on_message(&mut ctx, ActorId::new(1), snapshot(1, vec![0, 1]));
         m.on_message(&mut ctx, ActorId::new(10), DetectMsg::VcToken(token));
         assert!(ctx.stopped);
-        assert_eq!(*result.lock(), Some(OnlineDetection::Detected(vec![1, 1])));
+        assert_eq!(
+            *result.lock().unwrap(),
+            Some(OnlineDetection::Detected(vec![1, 1]))
+        );
     }
 
     #[test]
@@ -292,7 +401,7 @@ mod tests {
         m.on_message(&mut ctx, ActorId::new(1), snapshot(2, vec![1, 2]));
         m.on_message(&mut ctx, ActorId::new(10), DetectMsg::VcToken(token));
         assert!(!ctx.stopped);
-        assert!(result.lock().is_none());
+        assert!(result.lock().unwrap().is_none());
         let sent = ctx.take_sent();
         assert_eq!(sent.len(), 1);
         assert_eq!(sent[0].0, ActorId::new(10), "token returns to monitor 0");

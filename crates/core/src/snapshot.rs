@@ -1,14 +1,13 @@
 //! Local snapshots — the application→monitor messages of Figure 2 and
 //! Section 4.1 — and their precomputation from a trace.
 
-use serde::{Deserialize, Serialize};
 use wcp_clocks::{Dependence, ProcessId, StateId, VectorClock};
 use wcp_trace::{AnnotatedComputation, Wcp};
 
 /// A Figure 2 local snapshot: the candidate state's vector clock,
 /// **projected to the predicate's scope** (the paper's `vclock: array[1..n]`
 /// — only the `n` processes the predicate names carry clock components).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VcSnapshot {
     /// The candidate interval index on the owning process (equal to the
     /// snapshot's own clock component).
@@ -26,7 +25,7 @@ impl VcSnapshot {
 
 /// A Section 4.1 local snapshot: the candidate's scalar clock plus the
 /// direct dependences accumulated since the previous snapshot.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DdSnapshot {
     /// The candidate's scalar clock (its interval index).
     pub clock: u64,
@@ -46,10 +45,7 @@ impl DdSnapshot {
 /// per pred-true interval, in order, with scope-projected clocks.
 ///
 /// Indexed by **scope position** (not [`ProcessId`]).
-pub fn vc_snapshot_queues(
-    annotated: &AnnotatedComputation<'_>,
-    wcp: &Wcp,
-) -> Vec<Vec<VcSnapshot>> {
+pub fn vc_snapshot_queues(annotated: &AnnotatedComputation<'_>, wcp: &Wcp) -> Vec<Vec<VcSnapshot>> {
     let scope = wcp.scope();
     scope
         .iter()
@@ -71,10 +67,7 @@ pub fn vc_snapshot_queues(
 /// `N` processes participates: scope processes snapshot their pred-true
 /// intervals, non-scope processes (trivially true local predicate) snapshot
 /// every interval. Indexed by [`ProcessId`].
-pub fn dd_snapshot_queues(
-    annotated: &AnnotatedComputation<'_>,
-    wcp: &Wcp,
-) -> Vec<Vec<DdSnapshot>> {
+pub fn dd_snapshot_queues(annotated: &AnnotatedComputation<'_>, wcp: &Wcp) -> Vec<Vec<DdSnapshot>> {
     let n = annotated.process_count();
     (0..n)
         .map(|i| {

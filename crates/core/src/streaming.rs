@@ -213,8 +213,7 @@ mod tests {
     use super::*;
     use crate::snapshot::vc_snapshot_queues;
     use crate::{CentralizedChecker, Detection, Detector};
-    use rand::seq::SliceRandom;
-    use rand::SeedableRng;
+    use wcp_obs::rng::Rng;
     use wcp_trace::generate::{generate, GeneratorConfig};
     use wcp_trace::Wcp;
 
@@ -236,8 +235,8 @@ mod tests {
             .enumerate()
             .flat_map(|(i, q)| std::iter::repeat_n(i, q.len()))
             .collect();
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(interleave_seed);
-        labels.shuffle(&mut rng);
+        let mut rng = Rng::seed_from_u64(interleave_seed);
+        rng.shuffle(&mut labels);
 
         let mut checker = StreamingChecker::new(5);
         let mut next = [0usize; 5];

@@ -1,0 +1,93 @@
+//! Newline-delimited JSON encoding of event streams.
+//!
+//! One [`StampedEvent`] per line, in recording order — the format written
+//! by `wcp trace --events out.jsonl` and consumed by external analysis
+//! tooling (or [`read_str`] here).
+
+use std::io::{self, Write};
+
+use crate::event::StampedEvent;
+use crate::json::{FromJson, Json, JsonError, ToJson};
+
+/// Writes events as JSONL to `out`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `out`.
+pub fn write<W: Write>(out: &mut W, events: &[StampedEvent]) -> io::Result<()> {
+    for event in events {
+        writeln!(out, "{}", event.to_json())?;
+    }
+    Ok(())
+}
+
+/// Renders events as one JSONL string.
+pub fn to_string(events: &[StampedEvent]) -> String {
+    let mut buf = Vec::new();
+    write(&mut buf, events).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("JSON output is UTF-8")
+}
+
+/// Parses a JSONL document back into events. Blank lines are skipped.
+///
+/// # Errors
+///
+/// Returns the first malformed line's error, annotated with its line
+/// number.
+pub fn read_str(input: &str) -> Result<Vec<StampedEvent>, JsonError> {
+    let mut events = Vec::new();
+    for (lineno, line) in input.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value = Json::parse(line).map_err(|e| JsonError {
+            message: format!("line {}: {}", lineno + 1, e.message),
+            offset: e.offset,
+        })?;
+        events.push(StampedEvent::from_json(&value).map_err(|e| JsonError {
+            message: format!("line {}: {}", lineno + 1, e.message),
+            offset: 0,
+        })?);
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{LogicalTime, TraceEvent};
+
+    fn sample(n: u64) -> Vec<StampedEvent> {
+        (0..n)
+            .map(|i| StampedEvent {
+                seq: i,
+                monitor: (i % 3) as u32,
+                time: LogicalTime::Tick(i * 2),
+                wall_nanos: None,
+                event: TraceEvent::Work { units: i },
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_through_text() {
+        let events = sample(5);
+        let text = to_string(&events);
+        assert_eq!(text.lines().count(), 5);
+        assert_eq!(read_str(&text).unwrap(), events);
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let text = format!("\n{}\n\n", to_string(&sample(1)));
+        assert_eq!(read_str(&text).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn malformed_lines_name_their_line() {
+        let err = read_str("{\"seq\":0}\nnot json\n").unwrap_err();
+        assert!(err.message.contains("line 1"), "{err}");
+        let err = read_str(&format!("{}not json\n", to_string(&sample(1)))).unwrap_err();
+        assert!(err.message.contains("line 2"), "{err}");
+    }
+}

@@ -1,0 +1,388 @@
+//! Human-readable run reports: token-hop timeline and per-monitor tables.
+
+use std::fmt;
+
+use crate::event::{StampedEvent, TraceEvent};
+use crate::hist::Log2Histogram;
+
+/// Per-monitor aggregates folded from an event stream.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MonitorSummary {
+    /// Times the token arrived here.
+    pub token_acquired: u64,
+    /// Times the token was sent on from here.
+    pub token_forwarded: u64,
+    /// Candidates consumed and rejected here.
+    pub eliminated: u64,
+    /// Candidates consumed that survived.
+    pub accepted: u64,
+    /// Polls sent from here.
+    pub polls_sent: u64,
+    /// Poll replies produced here.
+    pub polls_answered: u64,
+    /// Red-chain hops leaving this process.
+    pub red_hops: u64,
+    /// Work units attributed here.
+    pub work: u64,
+    /// Deepest snapshot buffer observed here.
+    pub max_buffered: u64,
+}
+
+/// Aggregated view of one recorded run, renderable as ASCII.
+///
+/// Built by folding a [`StampedEvent`] stream; render with
+/// [`render`](RunReport::render) or `Display`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunReport {
+    /// Per-monitor summaries, indexed by monitor id.
+    pub monitors: Vec<MonitorSummary>,
+    /// Distribution of substrate message delays (queueing latency).
+    pub queue_delay: Log2Histogram,
+    /// Distribution of snapshot buffer depths at insertion.
+    pub buffer_depth: Log2Histogram,
+    /// `(time, monitor)` of each token acquisition, in stream order.
+    pub token_path: Vec<(u64, u32)>,
+    /// `(time, monitor, process, interval, accepted)` per consumed
+    /// candidate, in stream order.
+    pub eliminations: Vec<(u64, u32, u32, u64, bool)>,
+    /// The detected cut, if any.
+    pub detected_cut: Option<Vec<u64>>,
+    /// Logical time of the verdict (detection or exhaustion).
+    pub finished_at: Option<u64>,
+    /// Total events folded.
+    pub events: u64,
+}
+
+impl RunReport {
+    /// Folds an event stream into a report.
+    pub fn from_events(events: &[StampedEvent]) -> Self {
+        let mut report = RunReport::default();
+        for e in events {
+            report.events += 1;
+            let t = e.time.value();
+            // Monitor rows materialize lazily: substrate events (message
+            // deliveries are stamped with raw actor ids, not monitor
+            // positions) must not widen the per-monitor table.
+            match &e.event {
+                TraceEvent::TokenAcquired { .. } => {
+                    report.monitor_mut(e.monitor).token_acquired += 1;
+                    report.token_path.push((t, e.monitor));
+                }
+                TraceEvent::TokenForwarded { .. } => {
+                    report.monitor_mut(e.monitor).token_forwarded += 1;
+                }
+                TraceEvent::CandidateEliminated {
+                    process,
+                    interval,
+                    work,
+                } => {
+                    let m = report.monitor_mut(e.monitor);
+                    m.eliminated += 1;
+                    m.work += work;
+                    report
+                        .eliminations
+                        .push((t, e.monitor, *process, *interval, false));
+                }
+                TraceEvent::CandidateAccepted {
+                    process,
+                    interval,
+                    work,
+                } => {
+                    let m = report.monitor_mut(e.monitor);
+                    m.accepted += 1;
+                    m.work += work;
+                    report
+                        .eliminations
+                        .push((t, e.monitor, *process, *interval, true));
+                }
+                TraceEvent::CandidateInvalidated { .. } => {}
+                TraceEvent::SnapshotBuffered { depth, .. } => {
+                    let m = report.monitor_mut(e.monitor);
+                    m.max_buffered = m.max_buffered.max(*depth);
+                    report.buffer_depth.record(*depth);
+                }
+                TraceEvent::SnapshotDrained { .. } => {}
+                TraceEvent::PollSent { .. } => report.monitor_mut(e.monitor).polls_sent += 1,
+                TraceEvent::PollAnswered { .. } => {
+                    report.monitor_mut(e.monitor).polls_answered += 1;
+                }
+                TraceEvent::RedChainHop { .. } => {
+                    report.monitor_mut(e.monitor).red_hops += 1;
+                    report.token_path.push((t, e.monitor));
+                }
+                TraceEvent::ControlSent { .. } => {}
+                TraceEvent::Work { units } => report.monitor_mut(e.monitor).work += units,
+                TraceEvent::ParallelAdvance { .. } | TraceEvent::LatticeVisited { .. } => {}
+                TraceEvent::DetectionFound { cut } => {
+                    report.detected_cut = Some(cut.clone());
+                    report.finished_at = Some(t);
+                }
+                TraceEvent::DetectionExhausted => report.finished_at = Some(t),
+                TraceEvent::MessageDelivered { delay, .. } => {
+                    report.queue_delay.record(*delay);
+                }
+            }
+        }
+        report
+    }
+
+    fn monitor_mut(&mut self, monitor: u32) -> &mut MonitorSummary {
+        let index = monitor as usize;
+        if index >= self.monitors.len() {
+            self.monitors.resize(index + 1, MonitorSummary::default());
+        }
+        &mut self.monitors[index]
+    }
+
+    /// Total token movements (acquisitions plus red-chain hops).
+    pub fn token_hops(&self) -> u64 {
+        self.monitors
+            .iter()
+            .map(|m| m.token_forwarded + m.red_hops)
+            .sum()
+    }
+
+    /// The ASCII token-hop timeline: one row per monitor, time flowing
+    /// right, `●` where the token was held, `x`/`A` where candidates
+    /// died/survived, `!` at detection.
+    pub fn timeline(&self) -> String {
+        const WIDTH: usize = 64;
+        if self.monitors.is_empty() {
+            return String::from("(no events)\n");
+        }
+        let t_max = self
+            .token_path
+            .iter()
+            .map(|&(t, _)| t)
+            .chain(self.eliminations.iter().map(|&(t, ..)| t))
+            .chain(self.finished_at)
+            .max()
+            .unwrap_or(0);
+        let col = |t: u64| -> usize {
+            if t_max == 0 {
+                0
+            } else {
+                ((t as u128 * (WIDTH as u128 - 1)) / t_max as u128) as usize
+            }
+        };
+        let mut grid = vec![vec!['·'; WIDTH]; self.monitors.len()];
+        for &(t, m) in &self.token_path {
+            grid[m as usize][col(t)] = '●';
+        }
+        for &(t, m, _, _, accepted) in &self.eliminations {
+            let cell = &mut grid[m as usize][col(t)];
+            // Token markers take precedence over elimination markers only
+            // when nothing more specific landed on the cell.
+            *cell = if accepted { 'A' } else { 'x' };
+        }
+        if let (Some(t), Some(cut)) = (self.finished_at, &self.detected_cut) {
+            let _ = cut;
+            if let Some(&(_, m)) = self.token_path.last() {
+                grid[m as usize][col(t)] = '!';
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!(
+            "token timeline (t=0..{t_max}, {} hops; ●=token x=eliminated A=accepted !=detected)\n",
+            self.token_hops()
+        ));
+        for (i, row) in grid.iter().enumerate() {
+            out.push_str(&format!("  M{i:<3} "));
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The per-monitor summary table.
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            "monitor | token_in | token_out | elim | accept | polls | replies | red_hops | work | max_buf\n",
+        );
+        out.push_str(
+            "--------|----------|-----------|------|--------|-------|---------|----------|------|--------\n",
+        );
+        for (i, m) in self.monitors.iter().enumerate() {
+            out.push_str(&format!(
+                "M{i:<6} | {:>8} | {:>9} | {:>4} | {:>6} | {:>5} | {:>7} | {:>8} | {:>4} | {:>7}\n",
+                m.token_acquired,
+                m.token_forwarded,
+                m.eliminated,
+                m.accepted,
+                m.polls_sent,
+                m.polls_answered,
+                m.red_hops,
+                m.work,
+                m.max_buffered,
+            ));
+        }
+        out
+    }
+
+    /// Full rendering: timeline, table, histograms, verdict.
+    pub fn render(&self) -> String {
+        let mut out = self.timeline();
+        out.push('\n');
+        out.push_str(&self.table());
+        out.push('\n');
+        if !self.queue_delay.is_empty() {
+            out.push_str(&self.queue_delay.render("queue delay (ticks)"));
+        }
+        if !self.buffer_depth.is_empty() {
+            out.push_str(&self.buffer_depth.render("snapshot buffer depth"));
+        }
+        match (&self.detected_cut, self.finished_at) {
+            (Some(cut), at) => {
+                let cut: Vec<String> = cut.iter().map(u64::to_string).collect();
+                out.push_str(&format!(
+                    "verdict: DETECTED at ⟨{}⟩{}\n",
+                    cut.join(","),
+                    at.map(|t| format!(" (t={t})")).unwrap_or_default()
+                ));
+            }
+            (None, Some(t)) => {
+                out.push_str(&format!("verdict: UNDETECTED (exhausted at t={t})\n"));
+            }
+            (None, None) => out.push_str("verdict: (run still open)\n"),
+        }
+        out
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::LogicalTime;
+
+    fn ev(seq: u64, monitor: u32, t: u64, event: TraceEvent) -> StampedEvent {
+        StampedEvent {
+            seq,
+            monitor,
+            time: LogicalTime::Tick(t),
+            wall_nanos: None,
+            event,
+        }
+    }
+
+    fn run() -> Vec<StampedEvent> {
+        vec![
+            ev(0, 0, 0, TraceEvent::TokenAcquired { from: None }),
+            ev(
+                1,
+                0,
+                1,
+                TraceEvent::CandidateEliminated {
+                    process: 0,
+                    interval: 1,
+                    work: 2,
+                },
+            ),
+            ev(
+                2,
+                0,
+                2,
+                TraceEvent::CandidateAccepted {
+                    process: 0,
+                    interval: 2,
+                    work: 2,
+                },
+            ),
+            ev(3, 0, 3, TraceEvent::TokenForwarded { to: 1, bytes: 18 }),
+            ev(4, 1, 5, TraceEvent::TokenAcquired { from: Some(0) }),
+            ev(
+                5,
+                1,
+                5,
+                TraceEvent::SnapshotBuffered {
+                    depth: 3,
+                    bytes: 24,
+                },
+            ),
+            ev(
+                6,
+                1,
+                6,
+                TraceEvent::CandidateAccepted {
+                    process: 1,
+                    interval: 1,
+                    work: 2,
+                },
+            ),
+            ev(
+                7,
+                1,
+                7,
+                TraceEvent::MessageDelivered {
+                    from: 0,
+                    to: 1,
+                    delay: 2,
+                },
+            ),
+            ev(8, 1, 8, TraceEvent::DetectionFound { cut: vec![2, 1] }),
+        ]
+    }
+
+    #[test]
+    fn folds_per_monitor_summaries() {
+        let r = RunReport::from_events(&run());
+        assert_eq!(r.monitors.len(), 2);
+        assert_eq!(r.monitors[0].token_acquired, 1);
+        assert_eq!(r.monitors[0].token_forwarded, 1);
+        assert_eq!(r.monitors[0].eliminated, 1);
+        assert_eq!(r.monitors[0].accepted, 1);
+        assert_eq!(r.monitors[0].work, 4);
+        assert_eq!(r.monitors[1].max_buffered, 3);
+        assert_eq!(r.token_hops(), 1);
+        assert_eq!(r.detected_cut, Some(vec![2, 1]));
+        assert_eq!(r.finished_at, Some(8));
+        assert_eq!(r.queue_delay.count(), 1);
+        assert_eq!(r.events, 9);
+    }
+
+    #[test]
+    fn render_contains_timeline_table_and_verdict() {
+        let text = RunReport::from_events(&run()).render();
+        assert!(text.contains("token timeline"), "{text}");
+        assert!(text.contains("M0"), "{text}");
+        assert!(text.contains("monitor | token_in"), "{text}");
+        assert!(text.contains("DETECTED at ⟨2,1⟩"), "{text}");
+        assert!(text.contains("queue delay"), "{text}");
+        assert!(text.contains('●'), "{text}");
+        assert!(text.contains('!'), "{text}");
+    }
+
+    #[test]
+    fn undetected_run_renders_exhaustion() {
+        let events = vec![
+            ev(0, 0, 0, TraceEvent::TokenAcquired { from: None }),
+            ev(1, 0, 4, TraceEvent::DetectionExhausted),
+        ];
+        let text = RunReport::from_events(&events).render();
+        assert!(text.contains("UNDETECTED"), "{text}");
+    }
+
+    #[test]
+    fn empty_stream_is_harmless() {
+        let r = RunReport::from_events(&[]);
+        assert!(r.monitors.is_empty());
+        assert!(r.render().contains("(no events)"));
+    }
+
+    #[test]
+    fn red_chain_hops_count_as_token_movement() {
+        let events = vec![
+            ev(0, 2, 1, TraceEvent::RedChainHop { to: 3, bytes: 1 }),
+            ev(1, 3, 2, TraceEvent::RedChainHop { to: 0, bytes: 1 }),
+        ];
+        let r = RunReport::from_events(&events);
+        assert_eq!(r.token_hops(), 2);
+        assert_eq!(r.monitors.len(), 4);
+    }
+}

@@ -64,7 +64,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use wcp_clocks::ProcessId;
 use wcp_sim::{Actor, ActorId, Context, SimConfig, SimOutcome, Simulation, WireSize};
 use wcp_trace::{Computation, Event, MsgId, ProcessTrace};
@@ -154,11 +154,17 @@ impl<M> Context<M> for RecordingCtx<'_, M> {
             "recorded applications must not send to themselves"
         );
         let id = MsgId::new(self.next_msg.fetch_add(1, Ordering::Relaxed));
-        self.log.lock().push_event(Event::Send {
+        self.log.lock().unwrap().push_event(Event::Send {
             to: ProcessId::new(to.index() as u32),
             msg: id,
         });
-        self.inner.send(to, Recorded { msg: id, inner: msg });
+        self.inner.send(
+            to,
+            Recorded {
+                msg: id,
+                inner: msg,
+            },
+        );
     }
 
     fn add_work(&mut self, units: u64) {
@@ -179,9 +185,7 @@ struct RecordingActor<M, A> {
     _marker: std::marker::PhantomData<fn(M)>,
 }
 
-impl<M: WireSize + Send + 'static, A: Application<M>> Actor<Recorded<M>>
-    for RecordingActor<M, A>
-{
+impl<M: WireSize + Send + 'static, A: Application<M>> Actor<Recorded<M>> for RecordingActor<M, A> {
     fn on_start(&mut self, ctx: &mut dyn Context<Recorded<M>>) {
         let mut rctx = RecordingCtx {
             inner: ctx,
@@ -190,16 +194,14 @@ impl<M: WireSize + Send + 'static, A: Application<M>> Actor<Recorded<M>>
             next_msg: &self.next_msg,
         };
         self.app.on_start(&mut rctx);
-        self.log.lock().mark_current(self.app.local_predicate());
+        self.log
+            .lock()
+            .unwrap()
+            .mark_current(self.app.local_predicate());
     }
 
-    fn on_message(
-        &mut self,
-        ctx: &mut dyn Context<Recorded<M>>,
-        from: ActorId,
-        msg: Recorded<M>,
-    ) {
-        self.log.lock().push_event(Event::Receive {
+    fn on_message(&mut self, ctx: &mut dyn Context<Recorded<M>>, from: ActorId, msg: Recorded<M>) {
+        self.log.lock().unwrap().push_event(Event::Receive {
             from: ProcessId::new(from.index() as u32),
             msg: msg.msg,
         });
@@ -210,7 +212,10 @@ impl<M: WireSize + Send + 'static, A: Application<M>> Actor<Recorded<M>>
             next_msg: &self.next_msg,
         };
         self.app.on_message(&mut rctx, from, msg.inner);
-        self.log.lock().mark_current(self.app.local_predicate());
+        self.log
+            .lock()
+            .unwrap()
+            .mark_current(self.app.local_predicate());
     }
 }
 
@@ -277,7 +282,7 @@ impl<M: WireSize + Send + 'static> Recorder<M> {
             .logs
             .iter()
             .map(|log| {
-                let log = log.lock();
+                let log = log.lock().unwrap();
                 ProcessTrace {
                     events: log.events.clone(),
                     pred: log.pred.clone(),
@@ -412,8 +417,7 @@ mod tests {
         }));
         assert_eq!(rec.process_count(), 2);
         let run = rec.run();
-        let report =
-            TokenDetector::new().detect(&run.computation.annotate(), &Wcp::over_first(2));
+        let report = TokenDetector::new().detect(&run.computation.annotate(), &Wcp::over_first(2));
         assert!(matches!(report.detection, Detection::Detected { .. }));
     }
 

@@ -1,12 +1,12 @@
 //! Threaded actor runtime: the same [`Actor`]s that run on
 //! the deterministic simulator run here on real OS threads connected by
-//! crossbeam channels.
+//! std mpsc channels.
 //!
 //! The paper's algorithms are asynchronous message-passing protocols; the
 //! simulator demonstrates their behaviour reproducibly, while this runtime
 //! demonstrates that nothing in the implementation depends on a simulated
 //! global order — every monitor and application process genuinely runs
-//! concurrently. Channels are unbounded and per-sender FIFO (crossbeam
+//! concurrently. Channels are unbounded and per-sender FIFO (`std::sync::mpsc`
 //! preserves a single producer's order), which satisfies the paper's only
 //! ordering requirement: FIFO application→monitor links.
 //!
@@ -53,8 +53,9 @@
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Arc;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Mutex;
+
 use wcp_sim::{Actor, ActorId, Context, SimMetrics, WireSize};
 
 /// Why the runtime stopped.
@@ -123,13 +124,18 @@ impl<M: WireSize> Context<M> for ThreadCtx<M> {
         self.shared
             .metrics
             .lock()
+            .unwrap()
             .record_send(self.me, msg.wire_size() as u64);
         self.shared.in_flight.fetch_add(1, Ordering::SeqCst);
         let _ = self.shared.senders[to.index()].send(ThreadMsg::Deliver { from: self.me, msg });
     }
 
     fn add_work(&mut self, units: u64) {
-        self.shared.metrics.lock().record_work(self.me, units);
+        self.shared
+            .metrics
+            .lock()
+            .unwrap()
+            .record_work(self.me, units);
     }
 
     fn stop(&mut self) {
@@ -174,7 +180,7 @@ impl<M: WireSize + Send + 'static> Runtime<M> {
         let mut senders: Vec<Sender<ThreadMsg<M>>> = Vec::with_capacity(count);
         let mut receivers: Vec<Receiver<ThreadMsg<M>>> = Vec::with_capacity(count);
         for _ in 0..count {
-            let (tx, rx) = unbounded();
+            let (tx, rx) = channel();
             senders.push(tx);
             receivers.push(rx);
         }
@@ -188,12 +194,7 @@ impl<M: WireSize + Send + 'static> Runtime<M> {
         });
 
         let mut handles = Vec::with_capacity(count);
-        for (i, (mut actor, rx)) in self
-            .actors
-            .into_iter()
-            .zip(receivers)
-            .enumerate()
-        {
+        for (i, (mut actor, rx)) in self.actors.into_iter().zip(receivers).enumerate() {
             let shared = Arc::clone(&shared);
             handles.push(std::thread::spawn(move || {
                 let me = ActorId::new(i as u32);
@@ -209,7 +210,7 @@ impl<M: WireSize + Send + 'static> Runtime<M> {
                     match msg {
                         ThreadMsg::Shutdown => break,
                         ThreadMsg::Deliver { from, msg } => {
-                            shared.metrics.lock().record_receive(me);
+                            shared.metrics.lock().unwrap().record_receive(me);
                             shared.delivered.fetch_add(1, Ordering::SeqCst);
                             actor.on_message(&mut ctx, from, msg);
                             if shared.in_flight.fetch_sub(1, Ordering::SeqCst) == 1 {
@@ -230,7 +231,7 @@ impl<M: WireSize + Send + 'static> Runtime<M> {
         } else {
             StopCause::Quiesced
         };
-        let metrics = shared.metrics.lock().clone();
+        let metrics = shared.metrics.lock().unwrap().clone();
         let delivered = shared.delivered.load(Ordering::SeqCst) as u64;
         RuntimeOutcome {
             cause,

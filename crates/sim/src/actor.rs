@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use wcp_obs::json::{FromJson, Json, JsonError, ToJson};
 
 /// Identifier of an actor within one [`Simulation`](crate::Simulation) (or
 /// one `wcp-runtime` run).
@@ -11,10 +11,7 @@ use serde::{Deserialize, Serialize};
 /// hosts `2N` actors (`N` application processes plus `N` monitor
 /// processes); the mapping between the two id spaces is owned by the
 /// detection layer.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ActorId(u32);
 
 impl ActorId {
@@ -32,6 +29,22 @@ impl ActorId {
 impl fmt::Display for ActorId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "A{}", self.0)
+    }
+}
+
+// An `ActorId` travels on the wire as a bare integer.
+impl ToJson for ActorId {
+    fn to_json(&self) -> Json {
+        Json::UInt(u64::from(self.0))
+    }
+}
+
+impl FromJson for ActorId {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let raw = value.expect_u64()?;
+        u32::try_from(raw)
+            .map(ActorId)
+            .map_err(|_| JsonError::shape(format!("ActorId out of range: {raw}")))
     }
 }
 
@@ -64,6 +77,13 @@ pub trait Context<M> {
     /// Requests that the whole run stop after this handler returns (used
     /// when the predicate has been detected).
     fn stop(&mut self);
+
+    /// Current logical time, when the substrate has one. The discrete-event
+    /// simulator reports its tick; the threaded runtime has no global clock
+    /// and reports `0` (observability there uses wall-clock stamps instead).
+    fn now(&self) -> u64 {
+        0
+    }
 }
 
 /// A process in the paper's model: a deterministic state machine driven by

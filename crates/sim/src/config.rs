@@ -28,8 +28,7 @@ impl Default for LatencyModel {
 }
 
 /// Configuration of a [`Simulation`](crate::Simulation).
-#[derive(Debug, Clone, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct SimConfig {
     /// Latency model for all channels.
     pub latency: LatencyModel,
@@ -45,7 +44,6 @@ pub struct SimConfig {
     /// Safety valve: abort after this many deliveries (0 = unlimited).
     pub max_deliveries: u64,
 }
-
 
 impl SimConfig {
     /// Config with a specific seed and defaults otherwise.

@@ -2,12 +2,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use wcp_obs::json::{Json, ToJson};
 
 use crate::actor::ActorId;
 
 /// Counters for one actor.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ActorMetrics {
     /// Messages sent.
     pub sent: u64,
@@ -20,10 +20,27 @@ pub struct ActorMetrics {
     pub work: u64,
 }
 
+impl ToJson for ActorMetrics {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("sent", Json::UInt(self.sent)),
+            ("received", Json::UInt(self.received)),
+            ("bytes_sent", Json::UInt(self.bytes_sent)),
+            ("work", Json::UInt(self.work)),
+        ])
+    }
+}
+
 /// Metrics for a whole run.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SimMetrics {
     per_actor: Vec<ActorMetrics>,
+}
+
+impl ToJson for SimMetrics {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.per_actor.iter().map(ActorMetrics::to_json).collect())
+    }
 }
 
 impl SimMetrics {

@@ -4,10 +4,10 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use wcp_obs::rng::Rng;
+use wcp_obs::{LogicalTime, NullRecorder, Recorder, TraceEvent};
 
 use crate::actor::{Actor, ActorId, Context, WireSize};
 use crate::config::{LatencyModel, SimConfig};
@@ -49,6 +49,7 @@ pub struct SimOutcome {
 struct Delivery<M> {
     at: u64,
     seq: u64,
+    sent_at: u64,
     from: ActorId,
     to: ActorId,
     msg: M,
@@ -76,6 +77,7 @@ impl<M> Ord for Delivery<M> {
 /// Side effects collected while one handler runs.
 struct Effects<M> {
     me: ActorId,
+    now: u64,
     outbox: Vec<(ActorId, M)>,
     work: u64,
     stop: bool,
@@ -94,6 +96,9 @@ impl<M> Context<M> for Effects<M> {
     fn stop(&mut self) {
         self.stop = true;
     }
+    fn now(&self) -> u64 {
+        self.now
+    }
 }
 
 /// A deterministic discrete-event simulation of asynchronous message
@@ -104,8 +109,9 @@ pub struct Simulation<M> {
     config: SimConfig,
     actors: Vec<Box<dyn Actor<M>>>,
     queue: BinaryHeap<Delivery<M>>,
-    rng: ChaCha8Rng,
+    rng: Rng,
     metrics: SimMetrics,
+    recorder: Arc<dyn Recorder>,
     now: u64,
     seq: u64,
     delivered: u64,
@@ -118,13 +124,14 @@ pub struct Simulation<M> {
 impl<M: WireSize> Simulation<M> {
     /// Creates an empty simulation.
     pub fn new(config: SimConfig) -> Self {
-        let rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let rng = Rng::seed_from_u64(config.seed);
         Simulation {
             config,
             actors: Vec::new(),
             queue: BinaryHeap::new(),
             rng,
             metrics: SimMetrics::new(0),
+            recorder: Arc::new(NullRecorder),
             now: 0,
             seq: 0,
             delivered: 0,
@@ -146,6 +153,14 @@ impl<M: WireSize> Simulation<M> {
     /// Number of registered actors.
     pub fn actor_count(&self) -> usize {
         self.actors.len()
+    }
+
+    /// Attaches an event recorder. The simulator emits a
+    /// [`TraceEvent::MessageDelivered`] per delivery (attributed to the
+    /// receiving actor, with its queueing delay); actors may share the same
+    /// recorder to emit their own algorithm-level events.
+    pub fn set_recorder(&mut self, recorder: Arc<dyn Recorder>) {
+        self.recorder = recorder;
     }
 
     /// Injects a message from the outside (attributed to `from`), e.g. to
@@ -182,6 +197,17 @@ impl<M: WireSize> Simulation<M> {
             self.delivered += 1;
             let to = delivery.to;
             self.metrics.actor_mut(to).received += 1;
+            if self.recorder.is_enabled() {
+                self.recorder.record(
+                    to.index() as u32,
+                    LogicalTime::Tick(self.now),
+                    TraceEvent::MessageDelivered {
+                        from: delivery.from.index() as u32,
+                        to: to.index() as u32,
+                        delay: self.now - delivery.sent_at,
+                    },
+                );
+            }
             self.dispatch(to, Some((delivery.from, delivery.msg)));
             if self.stop_requested {
                 return self.outcome(StopReason::Stopped);
@@ -206,6 +232,7 @@ impl<M: WireSize> Simulation<M> {
     fn dispatch(&mut self, id: ActorId, event: Option<(ActorId, M)>) {
         let mut effects = Effects {
             me: id,
+            now: self.now,
             outbox: Vec::new(),
             work: 0,
             stop: false,
@@ -251,6 +278,7 @@ impl<M: WireSize> Simulation<M> {
         self.queue.push(Delivery {
             at,
             seq,
+            sent_at: self.now,
             from,
             to,
             msg,
@@ -335,8 +363,7 @@ mod tests {
 
     #[test]
     fn non_fifo_channel_reorders_under_jitter() {
-        let config =
-            SimConfig::seeded(3).with_latency(LatencyModel::Uniform { min: 1, max: 50 });
+        let config = SimConfig::seeded(3).with_latency(LatencyModel::Uniform { min: 1, max: 50 });
         let (_, order, _) = recorder_pair(config, 20);
         assert_eq!(order.len(), 20);
         assert_ne!(order, (0..20).collect::<Vec<_>>(), "expected reordering");
@@ -392,8 +419,7 @@ mod tests {
                 ctx.send(from, msg);
             }
         }
-        let mut sim =
-            Simulation::new(SimConfig::seeded(0).with_max_deliveries(25));
+        let mut sim = Simulation::new(SimConfig::seeded(0).with_max_deliveries(25));
         let a = sim.add_actor(Box::new(PingPong));
         let b = sim.add_actor(Box::new(PingPong));
         sim.post(a, b, Num(0));
@@ -408,6 +434,31 @@ mod tests {
         let (outcome, _, _) = recorder_pair(cfg, 3);
         // All three sent at t0, delivered at t10.
         assert_eq!(outcome.time, SimTime(10));
+    }
+
+    #[test]
+    fn recorder_sees_each_delivery_with_its_delay() {
+        use wcp_obs::RingRecorder;
+        let ring = Arc::new(RingRecorder::new(64));
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut sim =
+            Simulation::new(SimConfig::seeded(0).with_latency(LatencyModel::Fixed { ticks: 4 }));
+        sim.set_recorder(ring.clone());
+        let rec = sim.add_actor(Box::new(Recorder(log.clone())));
+        sim.add_actor(Box::new(Burst { to: rec, n: 3 }));
+        sim.run();
+        let events = ring.events();
+        assert_eq!(events.len(), 3);
+        for e in &events {
+            assert_eq!(e.monitor, rec.index() as u32);
+            assert_eq!(e.time, LogicalTime::Tick(4));
+            match e.event {
+                TraceEvent::MessageDelivered { from, to, delay } => {
+                    assert_eq!((from, to, delay), (1, 0, 4));
+                }
+                ref other => panic!("unexpected event {other:?}"),
+            }
+        }
     }
 
     #[test]

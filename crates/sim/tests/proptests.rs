@@ -1,9 +1,15 @@
-//! Property-based tests of the simulator's delivery guarantees.
+//! Randomized tests of the simulator's delivery guarantees.
+//!
+//! Deterministic seeded loops over `wcp_obs::rng::Rng` stand in for an
+//! external property-testing framework: each property is checked on dozens
+//! of random configurations from a fixed seed, so failures reproduce.
 
 use std::sync::{Arc, Mutex};
 
-use proptest::prelude::*;
+use wcp_obs::rng::Rng;
 use wcp_sim::{Actor, ActorId, Context, LatencyModel, SimConfig, Simulation, StopReason, WireSize};
+
+const CASES: usize = 64;
 
 #[derive(Clone, Debug, PartialEq)]
 struct Tagged {
@@ -73,75 +79,101 @@ fn run_sources(
     (delivered, outcome.reason)
 }
 
-fn arb_latency() -> impl Strategy<Value = LatencyModel> {
-    prop_oneof![
-        (0u64..5).prop_map(|t| LatencyModel::Fixed { ticks: t }),
-        (1u64..5, 5u64..60).prop_map(|(min, max)| LatencyModel::Uniform { min, max }),
-    ]
+fn rand_sources(rng: &mut Rng, min_count: u64, max_count: u64, max_len: usize) -> Vec<u64> {
+    let len = rng.gen_range(1..=max_len);
+    (0..len)
+        .map(|_| rng.gen_range(min_count..max_count))
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn rand_latency(rng: &mut Rng) -> LatencyModel {
+    if rng.gen_bool(0.5) {
+        LatencyModel::Fixed {
+            ticks: rng.gen_range(0u64..5),
+        }
+    } else {
+        LatencyModel::Uniform {
+            min: rng.gen_range(1u64..5),
+            max: rng.gen_range(5u64..60),
+        }
+    }
+}
 
-    /// Reliability: every sent message is delivered exactly once, whatever
-    /// the latency model or ordering mode.
-    #[test]
-    fn every_message_delivered_exactly_once(
-        sources in proptest::collection::vec(0u64..30, 1..5),
-        latency in arb_latency(),
-        fifo in any::<bool>(),
-        seed in any::<u64>(),
-    ) {
+/// Reliability: every sent message is delivered exactly once, whatever the
+/// latency model or ordering mode.
+#[test]
+fn every_message_delivered_exactly_once() {
+    let mut rng = Rng::seed_from_u64(11);
+    for _ in 0..CASES {
+        let sources = rand_sources(&mut rng, 0, 30, 4);
+        let latency = rand_latency(&mut rng);
+        let fifo = rng.gen_bool(0.5);
+        let seed = rng.next_u64();
         let total: u64 = sources.iter().sum();
         let (delivered, reason) = run_sources(&sources, latency, fifo, seed);
-        prop_assert_eq!(reason, StopReason::QueueDrained);
-        prop_assert_eq!(delivered.len() as u64, total);
+        assert_eq!(reason, StopReason::QueueDrained);
+        assert_eq!(delivered.len() as u64, total, "{sources:?} {latency:?}");
         // Exactly once: each (sender, seq) pair appears once.
         let mut seen: Vec<(u32, u64)> = delivered.iter().map(|t| (t.sender, t.seq)).collect();
         seen.sort_unstable();
         seen.dedup();
-        prop_assert_eq!(seen.len() as u64, total);
+        assert_eq!(seen.len() as u64, total);
     }
+}
 
-    /// FIFO mode preserves per-sender order even under heavy jitter.
-    #[test]
-    fn fifo_preserves_per_sender_order(
-        sources in proptest::collection::vec(1u64..30, 1..5),
-        seed in any::<u64>(),
-    ) {
-        let (delivered, _) =
-            run_sources(&sources, LatencyModel::Uniform { min: 1, max: 50 }, true, seed);
+/// FIFO mode preserves per-sender order even under heavy jitter.
+#[test]
+fn fifo_preserves_per_sender_order() {
+    let mut rng = Rng::seed_from_u64(12);
+    for _ in 0..CASES {
+        let sources = rand_sources(&mut rng, 1, 30, 4);
+        let seed = rng.next_u64();
+        let (delivered, _) = run_sources(
+            &sources,
+            LatencyModel::Uniform { min: 1, max: 50 },
+            true,
+            seed,
+        );
         for sender in 0..sources.len() as u32 {
             let seqs: Vec<u64> = delivered
                 .iter()
                 .filter(|t| t.sender == sender)
                 .map(|t| t.seq)
                 .collect();
-            prop_assert!(seqs.windows(2).all(|w| w[0] < w[1]), "sender {sender}: {seqs:?}");
+            assert!(
+                seqs.windows(2).all(|w| w[0] < w[1]),
+                "sender {sender}: {seqs:?}"
+            );
         }
     }
+}
 
-    /// Determinism: identical configurations produce identical delivery
-    /// sequences.
-    #[test]
-    fn determinism(
-        sources in proptest::collection::vec(1u64..20, 1..4),
-        latency in arb_latency(),
-        seed in any::<u64>(),
-    ) {
+/// Determinism: identical configurations produce identical delivery
+/// sequences.
+#[test]
+fn determinism() {
+    let mut rng = Rng::seed_from_u64(13);
+    for _ in 0..CASES {
+        let sources = rand_sources(&mut rng, 1, 20, 3);
+        let latency = rand_latency(&mut rng);
+        let seed = rng.next_u64();
         let a = run_sources(&sources, latency, false, seed);
         let b = run_sources(&sources, latency, false, seed);
-        prop_assert_eq!(a.0, b.0);
+        assert_eq!(a.0, b.0, "{sources:?} {latency:?} seed={seed}");
     }
+}
 
-    /// Zero-latency fixed delivery still respects causality: a message
-    /// cannot be delivered before it is sent (deliveries happen strictly
-    /// after scheduling order positions).
-    #[test]
-    fn zero_latency_is_safe(sources in proptest::collection::vec(1u64..10, 1..4), seed in any::<u64>()) {
+/// Zero-latency fixed delivery still drains cleanly: a message cannot be
+/// lost or duplicated even when everything lands on the same tick.
+#[test]
+fn zero_latency_is_safe() {
+    let mut rng = Rng::seed_from_u64(14);
+    for _ in 0..CASES {
+        let sources = rand_sources(&mut rng, 1, 10, 3);
+        let seed = rng.next_u64();
         let (delivered, reason) =
             run_sources(&sources, LatencyModel::Fixed { ticks: 0 }, false, seed);
-        prop_assert_eq!(reason, StopReason::QueueDrained);
-        prop_assert_eq!(delivered.len() as u64, sources.iter().sum::<u64>());
+        assert_eq!(reason, StopReason::QueueDrained);
+        assert_eq!(delivered.len() as u64, sources.iter().sum::<u64>());
     }
 }

@@ -286,8 +286,7 @@ impl<'a> AnnotatedComputation<'a> {
     /// extension exists.
     pub fn least_consistent_extension(&self, states: &[StateId]) -> Option<Cut> {
         let procs: Vec<ProcessId> = ProcessId::all(self.process_count()).collect();
-        let fixed: HashMap<ProcessId, u64> =
-            states.iter().map(|s| (s.process, s.index)).collect();
+        let fixed: HashMap<ProcessId, u64> = states.iter().map(|s| (s.process, s.index)).collect();
         let candidates: Vec<Vec<u64>> = procs
             .iter()
             .map(|&p| match fixed.get(&p) {
@@ -307,7 +306,10 @@ impl<'a> AnnotatedComputation<'a> {
             if c.is_empty() {
                 return None;
             }
-            debug_assert!(c.windows(2).all(|w| w[0] < w[1]), "candidates must be sorted");
+            debug_assert!(
+                c.windows(2).all(|w| w[0] < w[1]),
+                "candidates must be sorted"
+            );
             let _ = i;
         }
         loop {

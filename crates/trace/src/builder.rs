@@ -101,7 +101,10 @@ impl ComputationBuilder {
     /// Panics if `p` is out of range.
     pub fn mark_true(&mut self, p: ProcessId) {
         let trace = &mut self.traces[p.index()];
-        *trace.pred.last_mut().expect("trace has at least one interval") = true;
+        *trace
+            .pred
+            .last_mut()
+            .expect("trace has at least one interval") = true;
     }
 
     /// Sets the predicate flag of a specific 1-based interval of `p`.
@@ -162,10 +165,7 @@ mod tests {
         let c = b.build().unwrap();
         assert_eq!(
             c.process(p(1)).events[0],
-            Event::Receive {
-                from: p(0),
-                msg: m
-            }
+            Event::Receive { from: p(0), msg: m }
         );
     }
 

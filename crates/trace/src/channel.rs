@@ -9,14 +9,14 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 use wcp_clocks::{Cut, ProcessId};
+use wcp_obs::json::{Json, ToJson};
 
 use crate::computation::Computation;
 use crate::event::{Event, MsgId};
 
 /// A directed channel between two processes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ChannelId {
     /// Sending process.
     pub from: ProcessId,
@@ -37,10 +37,16 @@ impl fmt::Display for ChannelId {
     }
 }
 
+impl ToJson for ChannelId {
+    fn to_json(&self) -> Json {
+        Json::obj([("from", self.from.to_json()), ("to", self.to.to_json())])
+    }
+}
+
 /// One message's lifecycle on a channel: the 1-based send event index on
 /// the sender, and the 1-based receive event index on the receiver
 /// (`None` if never received in this run).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MessageSpan {
     /// The message.
     pub msg: MsgId,
@@ -56,8 +62,7 @@ impl MessageSpan {
     ///
     /// A process at interval `k` has executed events `1 ..= k−1`.
     pub fn in_flight(&self, sender_interval: u64, receiver_interval: u64) -> bool {
-        self.sent_at < sender_interval
-            && self.received_at.is_none_or(|r| r >= receiver_interval)
+        self.sent_at < sender_interval && self.received_at.is_none_or(|r| r >= receiver_interval)
     }
 }
 
@@ -142,10 +147,7 @@ impl ChannelIndex {
     /// exactly when the cut is quiescent (the key condition of distributed
     /// termination detection).
     pub fn total_in_flight(&self, cut: &Cut) -> usize {
-        self.spans
-            .keys()
-            .map(|&ch| self.in_flight(ch, cut))
-            .sum()
+        self.spans.keys().map(|&ch| self.in_flight(ch, cut)).sum()
     }
 
     /// Number of processes of the underlying computation.

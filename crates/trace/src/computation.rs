@@ -3,8 +3,8 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 use wcp_clocks::{Cut, ProcessId, StateId};
+use wcp_obs::json::{FromJson, Json, JsonError, ToJson};
 
 use crate::annotate::AnnotatedComputation;
 use crate::event::{Event, MsgId};
@@ -17,7 +17,7 @@ use crate::stats::ComputationStats;
 /// (interval `k` precedes event `k`; interval `E + 1` follows the last
 /// event). `pred[k - 1]` records whether the local predicate was true at
 /// some point during interval `k`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ProcessTrace {
     /// Communication events, in program order.
     pub events: Vec<Event>,
@@ -55,6 +55,42 @@ impl ProcessTrace {
     }
 }
 
+impl ToJson for ProcessTrace {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "events",
+                Json::Arr(self.events.iter().map(Event::to_json).collect()),
+            ),
+            (
+                "pred",
+                Json::Arr(self.pred.iter().map(|&b| Json::Bool(b)).collect()),
+            ),
+        ])
+    }
+}
+
+impl FromJson for ProcessTrace {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let events = value
+            .field("events")?
+            .expect_array()?
+            .iter()
+            .map(Event::from_json)
+            .collect::<Result<Vec<Event>, JsonError>>()?;
+        let pred = value
+            .field("pred")?
+            .expect_array()?
+            .iter()
+            .map(|v| {
+                v.as_bool()
+                    .ok_or_else(|| JsonError::shape(format!("expected bool, got {v}")))
+            })
+            .collect::<Result<Vec<bool>, JsonError>>()?;
+        Ok(ProcessTrace { events, pred })
+    }
+}
+
 /// A single run of a distributed program: one [`ProcessTrace`] per process.
 ///
 /// Construct with [`ComputationBuilder`](crate::ComputationBuilder), the
@@ -62,9 +98,30 @@ impl ProcessTrace {
 /// then call [`validate`](Self::validate) (builders and generators always
 /// emit valid computations — validation exists for hand-made and
 /// deserialized data).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Computation {
     processes: Vec<ProcessTrace>,
+}
+
+impl ToJson for Computation {
+    fn to_json(&self) -> Json {
+        Json::obj([(
+            "processes",
+            Json::Arr(self.processes.iter().map(ProcessTrace::to_json).collect()),
+        )])
+    }
+}
+
+impl FromJson for Computation {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let processes = value
+            .field("processes")?
+            .expect_array()?
+            .iter()
+            .map(ProcessTrace::from_json)
+            .collect::<Result<Vec<ProcessTrace>, JsonError>>()?;
+        Ok(Computation { processes })
+    }
 }
 
 /// Ways a hand-built or deserialized [`Computation`] can be malformed.
@@ -475,7 +532,10 @@ mod tests {
         t0.events.extend([mk(p(1)), mk(p(1))]);
         t0.pred.extend([false, false]);
         let c = Computation::from_traces(vec![t0, ProcessTrace::new()]);
-        assert_eq!(c.validate(), Err(ComputationError::DuplicateSend(MsgId::new(0))));
+        assert_eq!(
+            c.validate(),
+            Err(ComputationError::DuplicateSend(MsgId::new(0)))
+        );
     }
 
     #[test]
@@ -598,14 +658,16 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let mut b = ComputationBuilder::new(2);
         let m = b.send(p(0), p(1));
         b.receive(p(1), m);
         b.mark_true(p(1));
         let c = b.build().unwrap();
-        let json = serde_json::to_string(&c).unwrap();
-        let back: Computation = serde_json::from_str(&json).unwrap();
+        let json = c.to_json().to_string();
+        assert!(json.starts_with("{\"processes\":["), "{json}");
+        assert!(json.contains("{\"Send\":{\"to\":1,\"msg\":0}}"), "{json}");
+        let back = Computation::from_json(&Json::parse(&json).unwrap()).unwrap();
         assert_eq!(back, c);
         assert!(back.validate().is_ok());
     }

@@ -2,8 +2,8 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 use wcp_clocks::ProcessId;
+use wcp_obs::json::{FromJson, Json, JsonError, ToJson};
 
 /// Globally unique identifier of an application message within one
 /// computation.
@@ -15,10 +15,7 @@ use wcp_clocks::ProcessId;
 /// let m = MsgId::new(4);
 /// assert_eq!(m.to_string(), "m4");
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct MsgId(u64);
 
 impl MsgId {
@@ -39,13 +36,26 @@ impl fmt::Display for MsgId {
     }
 }
 
+// A `MsgId` travels on the wire as a bare integer.
+impl ToJson for MsgId {
+    fn to_json(&self) -> Json {
+        Json::UInt(self.0)
+    }
+}
+
+impl FromJson for MsgId {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        value.expect_u64().map(MsgId)
+    }
+}
+
 /// One communication event in a process's execution.
 ///
 /// Internal events are not represented: following Figure 2 of the paper,
 /// clocks advance only at communication events, so internal activity is
 /// folded into the per-interval predicate flags of
 /// [`ProcessTrace`](crate::ProcessTrace).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Event {
     /// Send message `msg` to process `to`.
     Send {
@@ -97,6 +107,44 @@ impl fmt::Display for Event {
         match self {
             Event::Send { to, msg } => write!(f, "send({msg})→{to}"),
             Event::Receive { from, msg } => write!(f, "recv({msg})←{from}"),
+        }
+    }
+}
+
+// Externally tagged, matching the previous serde derive:
+// `{"Send":{"to":1,"msg":0}}` / `{"Receive":{"from":0,"msg":0}}`.
+impl ToJson for Event {
+    fn to_json(&self) -> Json {
+        match *self {
+            Event::Send { to, msg } => Json::obj([(
+                "Send",
+                Json::obj([("to", to.to_json()), ("msg", msg.to_json())]),
+            )]),
+            Event::Receive { from, msg } => Json::obj([(
+                "Receive",
+                Json::obj([("from", from.to_json()), ("msg", msg.to_json())]),
+            )]),
+        }
+    }
+}
+
+impl FromJson for Event {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let pairs = value
+            .as_object()
+            .ok_or_else(|| JsonError::shape(format!("expected event object, got {value}")))?;
+        match pairs {
+            [(tag, payload)] if tag == "Send" => Ok(Event::Send {
+                to: ProcessId::from_json(payload.field("to")?)?,
+                msg: MsgId::from_json(payload.field("msg")?)?,
+            }),
+            [(tag, payload)] if tag == "Receive" => Ok(Event::Receive {
+                from: ProcessId::from_json(payload.field("from")?)?,
+                msg: MsgId::from_json(payload.field("msg")?)?,
+            }),
+            _ => Err(JsonError::shape(format!(
+                "expected Send or Receive event, got {value}"
+            ))),
         }
     }
 }

@@ -28,9 +28,8 @@
 //! assert!(generated.computation.annotate().is_consistent(&planted));
 //! ```
 
-use rand::prelude::*;
-use rand_chacha::ChaCha8Rng;
 use wcp_clocks::{Cut, ProcessId};
+use wcp_obs::rng::Rng;
 
 use crate::computation::{Computation, ProcessTrace};
 use crate::event::{Event, MsgId};
@@ -153,7 +152,7 @@ pub fn generate(config: &GeneratorConfig) -> Generated {
         return generate_phased(config, phase_len);
     }
     let n = config.processes;
-    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut rng = Rng::seed_from_u64(config.seed);
     let send_fraction = config.send_fraction.clamp(0.0, 1.0);
 
     // A single process cannot exchange messages; its trace is one interval.
@@ -255,12 +254,7 @@ fn snapshot_cut(events: &[Vec<Event>]) -> Cut {
     events.iter().map(|e| e.len() as u64 + 1).collect()
 }
 
-fn pick_target(
-    from: ProcessId,
-    n: usize,
-    topology: Topology,
-    rng: &mut ChaCha8Rng,
-) -> ProcessId {
+fn pick_target(from: ProcessId, n: usize, topology: Topology, rng: &mut Rng) -> ProcessId {
     let i = from.index();
     let to = match topology {
         Topology::Uniform => {
@@ -301,7 +295,7 @@ fn generate_phased(config: &GeneratorConfig, phase_len: usize) -> Generated {
 
     let n = config.processes;
     assert!(phase_len >= 1, "Phased requires phase_len >= 1");
-    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut rng = Rng::seed_from_u64(config.seed);
     if n < 2 {
         // No communication possible; fall back to a single-interval trace.
         let computation = ComputationBuilder::new(n).build_unchecked();
@@ -432,7 +426,9 @@ mod tests {
             assert!(Wcp::over_all(&g.computation).holds_on(&g.computation, &cut));
             // With density 0 the planted cut is the ONLY source of truth, so
             // detection must succeed.
-            assert!(a.first_satisfying_cut(&Wcp::over_all(&g.computation)).is_some());
+            assert!(a
+                .first_satisfying_cut(&Wcp::over_all(&g.computation))
+                .is_some());
         }
     }
 
@@ -553,9 +549,6 @@ mod tests {
     #[test]
     fn send_fraction_one_never_receives() {
         let g = generate(&GeneratorConfig::new(3, 10).with_send_fraction(1.0));
-        assert_eq!(
-            g.computation.total_messages(),
-            g.computation.total_events()
-        );
+        assert_eq!(g.computation.total_messages(), g.computation.total_events());
     }
 }

@@ -60,8 +60,8 @@ pub mod render;
 mod stats;
 
 pub use annotate::AnnotatedComputation;
-pub use channel::{ChannelId, ChannelIndex, MessageSpan};
 pub use builder::ComputationBuilder;
+pub use channel::{ChannelId, ChannelIndex, MessageSpan};
 pub use computation::{Computation, ComputationError, ProcessTrace};
 pub use event::{Event, MsgId};
 pub use predicate::Wcp;

@@ -2,8 +2,8 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 use wcp_clocks::{Cut, ProcessId};
+use wcp_obs::json::{FromJson, Json, JsonError, ToJson};
 
 use crate::computation::Computation;
 
@@ -27,9 +27,30 @@ use crate::computation::Computation;
 /// assert_eq!(wcp.position(ProcessId::new(2)), Some(1));
 /// assert_eq!(wcp.position(ProcessId::new(1)), None);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Wcp {
     scope: Vec<ProcessId>,
+}
+
+impl ToJson for Wcp {
+    fn to_json(&self) -> Json {
+        Json::obj([(
+            "scope",
+            Json::Arr(self.scope.iter().map(ProcessId::to_json).collect()),
+        )])
+    }
+}
+
+impl FromJson for Wcp {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let scope = value
+            .field("scope")?
+            .expect_array()?
+            .iter()
+            .map(ProcessId::from_json)
+            .collect::<Result<Vec<ProcessId>, JsonError>>()?;
+        Ok(Wcp::over(scope))
+    }
 }
 
 impl Wcp {

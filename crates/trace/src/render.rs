@@ -281,7 +281,10 @@ mod tests {
             show_predicates: true,
         };
         let s = ascii(&sample(), &opts);
-        assert!(s.contains('='), "true interval should be drawn with =:\n{s}");
+        assert!(
+            s.contains('='),
+            "true interval should be drawn with =:\n{s}"
+        );
     }
 
     #[test]

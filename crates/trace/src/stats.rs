@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use wcp_obs::json::{Json, ToJson};
 
 use crate::computation::Computation;
 
@@ -24,7 +24,7 @@ use crate::computation::Computation;
 /// assert_eq!(stats.messages, 1);
 /// assert_eq!(stats.true_intervals, 1);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ComputationStats {
     /// Number of processes (`N`).
     pub processes: usize,
@@ -84,6 +84,24 @@ impl ComputationStats {
     }
 }
 
+impl ToJson for ComputationStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("processes", Json::UInt(self.processes as u64)),
+            ("messages", Json::UInt(self.messages as u64)),
+            ("undelivered", Json::UInt(self.undelivered as u64)),
+            (
+                "max_events_per_process",
+                Json::UInt(self.max_events_per_process as u64),
+            ),
+            ("total_events", Json::UInt(self.total_events as u64)),
+            ("total_intervals", Json::UInt(self.total_intervals as u64)),
+            ("true_intervals", Json::UInt(self.true_intervals as u64)),
+            ("predicate_density", Json::Float(self.predicate_density)),
+        ])
+    }
+}
+
 impl fmt::Display for ComputationStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -103,7 +121,7 @@ impl fmt::Display for ComputationStats {
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::ComputationBuilder;
     use wcp_clocks::ProcessId;
 

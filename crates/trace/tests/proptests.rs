@@ -1,138 +1,161 @@
-//! Property-based tests for the trace substrate.
+//! Randomized property tests for the trace substrate.
 //!
 //! The key cross-checks: the vector-clock definition of consistency must
 //! agree with the lattice (message-closure) definition, and the advancing-
-//! cut ground truth must agree with exhaustive lattice search.
+//! cut ground truth must agree with exhaustive lattice search. Each
+//! property runs on dozens of random configurations drawn from a fixed
+//! seed via `wcp_obs::rng::Rng`, so failures reproduce exactly.
 
-use proptest::prelude::*;
 use wcp_clocks::{Cut, ProcessId};
+use wcp_obs::rng::Rng;
 use wcp_trace::generate::{generate, GeneratorConfig, Topology};
 use wcp_trace::lattice::LatticeExplorer;
 use wcp_trace::Wcp;
 
-fn arb_config() -> impl Strategy<Value = GeneratorConfig> {
-    (
-        2usize..5,   // processes
-        1usize..7,   // events per process
-        0.0f64..1.0, // send fraction
-        0.0f64..0.5, // predicate density
-        any::<u64>(),
-        prop_oneof![
-            Just(Topology::Uniform),
-            Just(Topology::Ring),
-            (1usize..3).prop_map(|d| Topology::Neighbors { degree: d }),
-        ],
-        proptest::option::of(0.0f64..1.0),
-    )
-        .prop_map(|(n, m, sf, pd, seed, topo, plant)| {
-            let mut cfg = GeneratorConfig::new(n, m)
-                .with_seed(seed)
-                .with_send_fraction(sf)
-                .with_predicate_density(pd)
-                .with_topology(topo);
-            if let Some(f) = plant {
-                cfg = cfg.with_plant(f);
-            }
-            cfg
-        })
+const CASES: usize = 64;
+
+fn rand_config(rng: &mut Rng) -> GeneratorConfig {
+    let n = rng.gen_range(2usize..5);
+    let m = rng.gen_range(1usize..7);
+    let topo = match rng.gen_range(0u32..3) {
+        0 => Topology::Uniform,
+        1 => Topology::Ring,
+        _ => Topology::Neighbors {
+            degree: rng.gen_range(1usize..3),
+        },
+    };
+    let mut cfg = GeneratorConfig::new(n, m)
+        .with_seed(rng.next_u64())
+        .with_send_fraction(rng.gen_f64())
+        .with_predicate_density(rng.gen_f64() * 0.5)
+        .with_topology(topo);
+    if rng.gen_bool(0.5) {
+        cfg = cfg.with_plant(rng.gen_f64());
+    }
+    cfg
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Every generated computation is structurally valid.
-    #[test]
-    fn generated_is_valid(cfg in arb_config()) {
+/// Every generated computation is structurally valid.
+#[test]
+fn generated_is_valid() {
+    let mut rng = Rng::seed_from_u64(21);
+    for _ in 0..CASES {
+        let cfg = rand_config(&mut rng);
         let g = generate(&cfg);
-        prop_assert!(g.computation.validate().is_ok());
+        assert!(g.computation.validate().is_ok(), "{cfg:?}");
     }
+}
 
-    /// Vector-clock consistency coincides with message-closure consistency
-    /// for arbitrary complete cuts.
-    #[test]
-    fn consistency_definitions_agree(cfg in arb_config(), picks in proptest::collection::vec(any::<u64>(), 8)) {
+/// Vector-clock consistency coincides with message-closure consistency for
+/// arbitrary complete cuts.
+#[test]
+fn consistency_definitions_agree() {
+    let mut rng = Rng::seed_from_u64(22);
+    for _ in 0..CASES {
+        let cfg = rand_config(&mut rng);
         let g = generate(&cfg);
         let a = g.computation.annotate();
         let ex = LatticeExplorer::new(&g.computation);
         let n = g.computation.process_count();
-        // Derive a few pseudorandom complete cuts from `picks`.
-        for chunk in picks.chunks(n) {
-            if chunk.len() < n { break; }
+        for _ in 0..2 {
+            // A pseudorandom complete cut.
             let cut: Cut = (0..n)
                 .map(|i| {
                     let span = a.interval_count(ProcessId::new(i as u32));
-                    chunk[i] % span + 1
+                    rng.next_u64() % span + 1
                 })
                 .collect();
-            prop_assert_eq!(
+            assert_eq!(
                 a.is_consistent(&cut),
                 ex.is_consistent_cut(&cut),
-                "cut {} disagrees", cut
+                "cut {cut} disagrees"
             );
         }
     }
+}
 
-    /// The advancing-cut ground truth equals exhaustive lattice search, both
-    /// for full-scope and partial-scope predicates.
-    #[test]
-    fn advancing_cut_matches_lattice(cfg in arb_config(), scope_n in 1usize..4) {
+/// The advancing-cut ground truth equals exhaustive lattice search, both
+/// for full-scope and partial-scope predicates.
+#[test]
+fn advancing_cut_matches_lattice() {
+    let mut rng = Rng::seed_from_u64(23);
+    for _ in 0..CASES {
+        let cfg = rand_config(&mut rng);
+        let scope_n = rng.gen_range(1usize..4);
         let g = generate(&cfg);
         let a = g.computation.annotate();
         let n = g.computation.process_count();
         let wcp = Wcp::over_first(scope_n.min(n));
 
         let via_clocks = a.first_satisfying_full_cut(&wcp);
-        let Ok(via_lattice) = LatticeExplorer::new(&g.computation)
-            .first_satisfying(&wcp, 200_000) else { return Ok(()); };
-        prop_assert_eq!(&via_clocks, &via_lattice);
+        let Ok(via_lattice) = LatticeExplorer::new(&g.computation).first_satisfying(&wcp, 200_000)
+        else {
+            continue;
+        };
+        assert_eq!(&via_clocks, &via_lattice);
 
         // And the scope-only cut projects identically.
         let scoped = a.first_satisfying_cut(&wcp);
-        prop_assert_eq!(scoped.is_some(), via_clocks.is_some());
+        assert_eq!(scoped.is_some(), via_clocks.is_some());
         if let (Some(s), Some(f)) = (scoped, via_clocks) {
-            prop_assert_eq!(wcp.project(&s), wcp.project(&f));
+            assert_eq!(wcp.project(&s), wcp.project(&f));
         }
     }
+}
 
-    /// A planted cut is always consistent, satisfying, and detection finds a
-    /// cut no later than it.
-    #[test]
-    fn planted_cut_guarantees_detection(cfg in arb_config()) {
-        let cfg = cfg.with_plant(0.5);
+/// A planted cut is always consistent, satisfying, and detection finds a
+/// cut no later than it.
+#[test]
+fn planted_cut_guarantees_detection() {
+    let mut rng = Rng::seed_from_u64(24);
+    for _ in 0..CASES {
+        let cfg = rand_config(&mut rng).with_plant(0.5);
         let g = generate(&cfg);
         let planted = g.planted.clone().expect("plant requested");
         let a = g.computation.annotate();
-        prop_assert!(a.is_consistent(&planted));
+        assert!(a.is_consistent(&planted));
         let wcp = Wcp::over_all(&g.computation);
-        let first = a.first_satisfying_full_cut(&wcp).expect("planted ⇒ detectable");
-        prop_assert!(first.le(&planted), "first {} ≤ planted {}", first, planted);
-        prop_assert!(wcp.holds_on(&g.computation, &first));
+        let first = a
+            .first_satisfying_full_cut(&wcp)
+            .expect("planted ⇒ detectable");
+        assert!(first.le(&planted), "first {first} ≤ planted {planted}");
+        assert!(wcp.holds_on(&g.computation, &first));
     }
+}
 
-    /// The first satisfying cut is the meet (componentwise minimum) of all
-    /// satisfying cuts (linearity of conjunctive predicates).
-    #[test]
-    fn first_cut_is_minimum_of_all(cfg in arb_config()) {
+/// The first satisfying cut is the meet (componentwise minimum) of all
+/// satisfying cuts (linearity of conjunctive predicates).
+#[test]
+fn first_cut_is_minimum_of_all() {
+    let mut rng = Rng::seed_from_u64(25);
+    for _ in 0..CASES {
+        let cfg = rand_config(&mut rng);
         let g = generate(&cfg);
         let wcp = Wcp::over_all(&g.computation);
         let ex = LatticeExplorer::new(&g.computation);
-        let Ok(all) = ex.all_satisfying(&wcp, 100_000) else { return Ok(()); };
+        let Ok(all) = ex.all_satisfying(&wcp, 100_000) else {
+            continue;
+        };
         let a = g.computation.annotate();
         let first = a.first_satisfying_full_cut(&wcp);
         match (&first, all.is_empty()) {
             (None, true) => {}
             (Some(f), false) => {
                 for cut in &all {
-                    prop_assert!(f.le(cut), "{} not ≤ {}", f, cut);
+                    assert!(f.le(cut), "{f} not ≤ {cut}");
                 }
             }
-            _ => prop_assert!(false, "lattice and clocks disagree on existence"),
+            _ => panic!("lattice and clocks disagree on existence"),
         }
     }
+}
 
-    /// Happened-before is a strict partial order on sampled states.
-    #[test]
-    fn happened_before_is_partial_order(cfg in arb_config()) {
+/// Happened-before is a strict partial order on sampled states.
+#[test]
+fn happened_before_is_partial_order() {
+    let mut rng = Rng::seed_from_u64(26);
+    for _ in 0..16 {
+        let cfg = rand_config(&mut rng);
         let g = generate(&cfg);
         let a = g.computation.annotate();
         let n = g.computation.process_count();
@@ -143,11 +166,11 @@ proptest! {
             })
             .collect();
         for &x in &states {
-            prop_assert!(!a.happened_before(x, x));
+            assert!(!a.happened_before(x, x));
             for &y in &states {
                 for &z in &states {
                     if a.happened_before(x, y) && a.happened_before(y, z) {
-                        prop_assert!(a.happened_before(x, z));
+                        assert!(a.happened_before(x, z));
                     }
                 }
             }

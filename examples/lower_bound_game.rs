@@ -13,7 +13,10 @@ use wcp::detect::lower_bound::{AdversaryGame, RuleViolation};
 
 fn main() {
     let (n, m) = (4usize, 3u64);
-    println!("queues: {n} × {m} states; Theorem 5.1 bound: nm − n = {}\n", n as u64 * m - n as u64);
+    println!(
+        "queues: {n} × {m} states; Theorem 5.1 bound: nm − n = {}\n",
+        n as u64 * m - n as u64
+    );
 
     let mut game = AdversaryGame::new(n, m);
 

@@ -62,7 +62,7 @@ fn main() {
         ddp.report.metrics.token_hops
     );
 
-    println!("\n--- real OS threads (crossbeam channels) ---");
+    println!("\n--- real OS threads (std mpsc channels) ---");
     let threaded_vc = run_vc_token_threaded(computation, &wcp);
     println!("single token : {threaded_vc}");
     let threaded_dd = run_direct_threaded(computation, &wcp, true);

@@ -52,7 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     match &report.detection {
         Detection::Detected { cut } => {
             println!("Detected! First satisfying cut: {cut}");
-            println!("  (P0 in its interval {}, P2 in its interval {})", cut[p0], cut[p2]);
+            println!(
+                "  (P0 in its interval {}, P2 in its interval {})",
+                cut[p0], cut[p2]
+            );
             assert!(annotated.is_consistent_over(cut, wcp.scope()));
         }
         Detection::Undetected => println!("The flags were never up concurrently."),

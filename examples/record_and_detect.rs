@@ -166,7 +166,11 @@ fn main() {
     match term_report.detection.cut() {
         Some(cut) => {
             println!("terminated at {cut}");
-            assert_eq!(index.total_in_flight(cut), 0, "termination cut is quiescent");
+            assert_eq!(
+                index.total_in_flight(cut),
+                0,
+                "termination cut is quiescent"
+            );
             println!("  (verified: zero messages in flight across that cut)");
         }
         None => println!("the run never quiesced with the balancer quiet"),

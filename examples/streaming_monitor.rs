@@ -69,5 +69,8 @@ fn main() {
         checker.work(),
         checker.peak_buffered()
     );
-    assert!(checker.detected().is_some(), "planted cut guarantees detection");
+    assert!(
+        checker.detected().is_some(),
+        "planted cut guarantees detection"
+    );
 }

@@ -15,9 +15,7 @@
 //! ```
 
 use wcp::clocks::ProcessId;
-use wcp::detect::{
-    CentralizedChecker, ChannelPredicate, ChannelTerm, Detector, Gcp, GcpChecker,
-};
+use wcp::detect::{CentralizedChecker, ChannelPredicate, ChannelTerm, Detector, Gcp, GcpChecker};
 use wcp::trace::channel::ChannelId;
 use wcp::trace::{Computation, ComputationBuilder, ComputationError, Wcp};
 
@@ -127,10 +125,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let index = wcp::trace::ChannelIndex::new(&run2);
     let in_flight_naive = index.total_in_flight(naive2_cut);
     let in_flight_sound = index.total_in_flight(sound2_cut);
-    println!(
-        "  messages in flight: naive cut = {in_flight_naive}, GCP cut = {in_flight_sound}"
+    println!("  messages in flight: naive cut = {in_flight_naive}, GCP cut = {in_flight_sound}");
+    assert!(
+        in_flight_naive > 0,
+        "the naive cut must be a false positive"
     );
-    assert!(in_flight_naive > 0, "the naive cut must be a false positive");
     assert_eq!(in_flight_sound, 0, "the GCP cut must be quiescent");
     println!("\nThe channel terms eliminated the false termination report.");
     Ok(())

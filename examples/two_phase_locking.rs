@@ -86,7 +86,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     "   the cut also places the lock manager at interval {} and the logger at {})",
                     cut[LOCK_MGR], cut[LOGGER]
                 );
-                assert!(annotated.is_consistent(cut), "detected cut must be consistent");
+                assert!(
+                    annotated.is_consistent(cut),
+                    "detected cut must be consistent"
+                );
             }
             Detection::Undetected => {
                 println!("  serializable: read and write locks never overlapped");

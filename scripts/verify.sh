@@ -1,0 +1,18 @@
+#!/bin/sh
+# Tier-1 verification: hermetic (offline) build, full workspace test run,
+# and formatting check. This is the command CI and every PR must keep
+# green; see ROADMAP.md.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release --offline =="
+cargo build --workspace --release --offline
+
+echo "== cargo test --workspace --offline =="
+cargo test --workspace --offline -q
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "verify: OK"

@@ -10,7 +10,9 @@
 //! - [`sim`] — the deterministic discrete-event message-passing simulator,
 //! - [`runtime`] — the threaded actor runtime,
 //! - [`detect`] — the detection algorithms themselves (the paper's
-//!   contribution) and the Section 5 lower-bound adversary.
+//!   contribution) and the Section 5 lower-bound adversary,
+//! - [`obs`] — observability: trace recorders, histograms, run reports,
+//!   and the dependency-free JSON and RNG utilities the workspace shares.
 //!
 //! # Quickstart
 //!
@@ -37,6 +39,7 @@
 
 pub use wcp_clocks as clocks;
 pub use wcp_detect as detect;
+pub use wcp_obs as obs;
 pub use wcp_record as record;
 pub use wcp_runtime as runtime;
 pub use wcp_sim as sim;

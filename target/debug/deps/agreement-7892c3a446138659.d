@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/agreement-7892c3a446138659.d: tests/agreement.rs
+
+/root/repo/target/debug/deps/agreement-7892c3a446138659: tests/agreement.rs
+
+tests/agreement.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/clocks-681854a2893e638d.d: crates/bench/benches/clocks.rs
+
+/root/repo/target/debug/deps/clocks-681854a2893e638d: crates/bench/benches/clocks.rs
+
+crates/bench/benches/clocks.rs:

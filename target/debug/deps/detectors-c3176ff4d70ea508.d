@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/detectors-c3176ff4d70ea508.d: crates/bench/benches/detectors.rs
+
+/root/repo/target/debug/deps/detectors-c3176ff4d70ea508: crates/bench/benches/detectors.rs
+
+crates/bench/benches/detectors.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gcp_termination-a1a927496bfaed6a.d: tests/gcp_termination.rs
+
+/root/repo/target/debug/deps/gcp_termination-a1a927496bfaed6a: tests/gcp_termination.rs
+
+tests/gcp_termination.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/harness-13bb4883c9b16382.d: crates/bench/src/bin/harness.rs
+
+/root/repo/target/debug/deps/harness-13bb4883c9b16382: crates/bench/src/bin/harness.rs
+
+crates/bench/src/bin/harness.rs:

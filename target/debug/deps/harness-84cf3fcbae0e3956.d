@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/harness-84cf3fcbae0e3956.d: crates/bench/src/bin/harness.rs
+
+/root/repo/target/debug/deps/harness-84cf3fcbae0e3956: crates/bench/src/bin/harness.rs
+
+crates/bench/src/bin/harness.rs:

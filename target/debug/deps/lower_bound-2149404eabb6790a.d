@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lower_bound-2149404eabb6790a.d: crates/bench/benches/lower_bound.rs
+
+/root/repo/target/debug/deps/lower_bound-2149404eabb6790a: crates/bench/benches/lower_bound.rs
+
+crates/bench/benches/lower_bound.rs:

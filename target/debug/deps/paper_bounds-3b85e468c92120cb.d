@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_bounds-3b85e468c92120cb.d: tests/paper_bounds.rs
+
+/root/repo/target/debug/deps/paper_bounds-3b85e468c92120cb: tests/paper_bounds.rs
+
+tests/paper_bounds.rs:

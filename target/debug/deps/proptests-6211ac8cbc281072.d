@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-6211ac8cbc281072.d: crates/trace/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-6211ac8cbc281072: crates/trace/tests/proptests.rs
+
+crates/trace/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-9005f5ecdc48ff62.d: crates/sim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-9005f5ecdc48ff62: crates/sim/tests/proptests.rs
+
+crates/sim/tests/proptests.rs:

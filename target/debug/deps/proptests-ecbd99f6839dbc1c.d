@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-ecbd99f6839dbc1c.d: crates/clocks/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-ecbd99f6839dbc1c: crates/clocks/tests/proptests.rs
+
+crates/clocks/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/replay-f8c71f3d822eb90b.d: tests/replay.rs
+
+/root/repo/target/debug/deps/replay-f8c71f3d822eb90b: tests/replay.rs
+
+tests/replay.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scale-a60d0206e9798dba.d: tests/scale.rs
+
+/root/repo/target/debug/deps/scale-a60d0206e9798dba: tests/scale.rs
+
+tests/scale.rs:

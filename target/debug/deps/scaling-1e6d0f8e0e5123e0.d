@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling-1e6d0f8e0e5123e0.d: crates/bench/benches/scaling.rs
+
+/root/repo/target/debug/deps/scaling-1e6d0f8e0e5123e0: crates/bench/benches/scaling.rs
+
+crates/bench/benches/scaling.rs:

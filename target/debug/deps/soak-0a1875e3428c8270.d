@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/soak-0a1875e3428c8270.d: tests/soak.rs
+
+/root/repo/target/debug/deps/soak-0a1875e3428c8270: tests/soak.rs
+
+tests/soak.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrates-1a25084a4773ccf2.d: crates/bench/benches/substrates.rs
+
+/root/repo/target/debug/deps/substrates-1a25084a4773ccf2: crates/bench/benches/substrates.rs
+
+crates/bench/benches/substrates.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/threaded_end_to_end-6df77ffaab9402f1.d: tests/threaded_end_to_end.rs
+
+/root/repo/target/debug/deps/threaded_end_to_end-6df77ffaab9402f1: tests/threaded_end_to_end.rs
+
+tests/threaded_end_to_end.rs:

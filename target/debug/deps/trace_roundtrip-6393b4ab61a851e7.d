@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_roundtrip-6393b4ab61a851e7.d: tests/trace_roundtrip.rs
+
+/root/repo/target/debug/deps/trace_roundtrip-6393b4ab61a851e7: tests/trace_roundtrip.rs
+
+tests/trace_roundtrip.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/wcp-4381cb247fc41434.d: src/lib.rs
+
+/root/repo/target/debug/deps/libwcp-4381cb247fc41434.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libwcp-4381cb247fc41434.rmeta: src/lib.rs
+
+src/lib.rs:

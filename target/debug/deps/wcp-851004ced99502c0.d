@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wcp-851004ced99502c0.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/wcp-851004ced99502c0: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

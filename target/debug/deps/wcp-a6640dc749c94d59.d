@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wcp-a6640dc749c94d59.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/wcp-a6640dc749c94d59: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

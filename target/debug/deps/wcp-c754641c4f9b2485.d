@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wcp-c754641c4f9b2485.d: src/lib.rs
+
+/root/repo/target/debug/deps/wcp-c754641c4f9b2485: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/wcp_bench-da31199f351928c8.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/perf.rs crates/bench/src/table.rs crates/bench/src/timing.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/libwcp_bench-da31199f351928c8.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/perf.rs crates/bench/src/table.rs crates/bench/src/timing.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/libwcp_bench-da31199f351928c8.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/perf.rs crates/bench/src/table.rs crates/bench/src/timing.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/perf.rs:
+crates/bench/src/table.rs:
+crates/bench/src/timing.rs:
+crates/bench/src/workloads.rs:

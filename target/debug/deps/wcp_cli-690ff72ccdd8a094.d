@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/wcp_cli-690ff72ccdd8a094.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/wcp_cli-690ff72ccdd8a094: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

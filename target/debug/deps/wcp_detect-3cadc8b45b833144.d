@@ -1,0 +1,29 @@
+/root/repo/target/debug/deps/wcp_detect-3cadc8b45b833144.d: crates/core/src/lib.rs crates/core/src/detector.rs crates/core/src/gcp.rs crates/core/src/lower_bound/mod.rs crates/core/src/meter.rs crates/core/src/metrics.rs crates/core/src/offline/mod.rs crates/core/src/offline/checker.rs crates/core/src/offline/direct.rs crates/core/src/offline/hierarchical.rs crates/core/src/offline/lattice.rs crates/core/src/offline/multi_token.rs crates/core/src/offline/token.rs crates/core/src/online/mod.rs crates/core/src/online/app.rs crates/core/src/online/checker_actor.rs crates/core/src/online/dd_monitor.rs crates/core/src/online/harness.rs crates/core/src/online/messages.rs crates/core/src/online/multi_token.rs crates/core/src/online/testing.rs crates/core/src/online/threaded.rs crates/core/src/online/vc_monitor.rs crates/core/src/snapshot.rs crates/core/src/streaming.rs
+
+/root/repo/target/debug/deps/wcp_detect-3cadc8b45b833144: crates/core/src/lib.rs crates/core/src/detector.rs crates/core/src/gcp.rs crates/core/src/lower_bound/mod.rs crates/core/src/meter.rs crates/core/src/metrics.rs crates/core/src/offline/mod.rs crates/core/src/offline/checker.rs crates/core/src/offline/direct.rs crates/core/src/offline/hierarchical.rs crates/core/src/offline/lattice.rs crates/core/src/offline/multi_token.rs crates/core/src/offline/token.rs crates/core/src/online/mod.rs crates/core/src/online/app.rs crates/core/src/online/checker_actor.rs crates/core/src/online/dd_monitor.rs crates/core/src/online/harness.rs crates/core/src/online/messages.rs crates/core/src/online/multi_token.rs crates/core/src/online/testing.rs crates/core/src/online/threaded.rs crates/core/src/online/vc_monitor.rs crates/core/src/snapshot.rs crates/core/src/streaming.rs
+
+crates/core/src/lib.rs:
+crates/core/src/detector.rs:
+crates/core/src/gcp.rs:
+crates/core/src/lower_bound/mod.rs:
+crates/core/src/meter.rs:
+crates/core/src/metrics.rs:
+crates/core/src/offline/mod.rs:
+crates/core/src/offline/checker.rs:
+crates/core/src/offline/direct.rs:
+crates/core/src/offline/hierarchical.rs:
+crates/core/src/offline/lattice.rs:
+crates/core/src/offline/multi_token.rs:
+crates/core/src/offline/token.rs:
+crates/core/src/online/mod.rs:
+crates/core/src/online/app.rs:
+crates/core/src/online/checker_actor.rs:
+crates/core/src/online/dd_monitor.rs:
+crates/core/src/online/harness.rs:
+crates/core/src/online/messages.rs:
+crates/core/src/online/multi_token.rs:
+crates/core/src/online/testing.rs:
+crates/core/src/online/threaded.rs:
+crates/core/src/online/vc_monitor.rs:
+crates/core/src/snapshot.rs:
+crates/core/src/streaming.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/wcp_obs-360fe9f78d9f5b55.d: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/hist.rs crates/obs/src/json.rs crates/obs/src/jsonl.rs crates/obs/src/recorder.rs crates/obs/src/report.rs crates/obs/src/rng.rs
+
+/root/repo/target/debug/deps/wcp_obs-360fe9f78d9f5b55: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/hist.rs crates/obs/src/json.rs crates/obs/src/jsonl.rs crates/obs/src/recorder.rs crates/obs/src/report.rs crates/obs/src/rng.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/event.rs:
+crates/obs/src/hist.rs:
+crates/obs/src/json.rs:
+crates/obs/src/jsonl.rs:
+crates/obs/src/recorder.rs:
+crates/obs/src/report.rs:
+crates/obs/src/rng.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/wcp_obs-8604f844a051b4c1.d: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/hist.rs crates/obs/src/json.rs crates/obs/src/jsonl.rs crates/obs/src/recorder.rs crates/obs/src/report.rs crates/obs/src/rng.rs
+
+/root/repo/target/debug/deps/libwcp_obs-8604f844a051b4c1.rlib: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/hist.rs crates/obs/src/json.rs crates/obs/src/jsonl.rs crates/obs/src/recorder.rs crates/obs/src/report.rs crates/obs/src/rng.rs
+
+/root/repo/target/debug/deps/libwcp_obs-8604f844a051b4c1.rmeta: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/hist.rs crates/obs/src/json.rs crates/obs/src/jsonl.rs crates/obs/src/recorder.rs crates/obs/src/report.rs crates/obs/src/rng.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/event.rs:
+crates/obs/src/hist.rs:
+crates/obs/src/json.rs:
+crates/obs/src/jsonl.rs:
+crates/obs/src/recorder.rs:
+crates/obs/src/report.rs:
+crates/obs/src/rng.rs:

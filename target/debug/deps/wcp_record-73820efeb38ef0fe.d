@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/wcp_record-73820efeb38ef0fe.d: crates/record/src/lib.rs
+
+/root/repo/target/debug/deps/libwcp_record-73820efeb38ef0fe.rlib: crates/record/src/lib.rs
+
+/root/repo/target/debug/deps/libwcp_record-73820efeb38ef0fe.rmeta: crates/record/src/lib.rs
+
+crates/record/src/lib.rs:

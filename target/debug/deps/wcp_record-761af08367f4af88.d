@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wcp_record-761af08367f4af88.d: crates/record/src/lib.rs
+
+/root/repo/target/debug/deps/wcp_record-761af08367f4af88: crates/record/src/lib.rs
+
+crates/record/src/lib.rs:

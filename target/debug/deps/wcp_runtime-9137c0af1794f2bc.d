@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/wcp_runtime-9137c0af1794f2bc.d: crates/runtime/src/lib.rs
+
+/root/repo/target/debug/deps/libwcp_runtime-9137c0af1794f2bc.rlib: crates/runtime/src/lib.rs
+
+/root/repo/target/debug/deps/libwcp_runtime-9137c0af1794f2bc.rmeta: crates/runtime/src/lib.rs
+
+crates/runtime/src/lib.rs:

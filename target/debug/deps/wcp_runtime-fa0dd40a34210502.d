@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wcp_runtime-fa0dd40a34210502.d: crates/runtime/src/lib.rs
+
+/root/repo/target/debug/deps/wcp_runtime-fa0dd40a34210502: crates/runtime/src/lib.rs
+
+crates/runtime/src/lib.rs:

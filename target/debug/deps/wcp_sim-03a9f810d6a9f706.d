@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/wcp_sim-03a9f810d6a9f706.d: crates/sim/src/lib.rs crates/sim/src/actor.rs crates/sim/src/config.rs crates/sim/src/metrics.rs crates/sim/src/simulation.rs
+
+/root/repo/target/debug/deps/libwcp_sim-03a9f810d6a9f706.rlib: crates/sim/src/lib.rs crates/sim/src/actor.rs crates/sim/src/config.rs crates/sim/src/metrics.rs crates/sim/src/simulation.rs
+
+/root/repo/target/debug/deps/libwcp_sim-03a9f810d6a9f706.rmeta: crates/sim/src/lib.rs crates/sim/src/actor.rs crates/sim/src/config.rs crates/sim/src/metrics.rs crates/sim/src/simulation.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/actor.rs:
+crates/sim/src/config.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/simulation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wcp_sim-4b9812429c26d30e.d: crates/sim/src/lib.rs crates/sim/src/actor.rs crates/sim/src/config.rs crates/sim/src/metrics.rs crates/sim/src/simulation.rs
+
+/root/repo/target/debug/deps/wcp_sim-4b9812429c26d30e: crates/sim/src/lib.rs crates/sim/src/actor.rs crates/sim/src/config.rs crates/sim/src/metrics.rs crates/sim/src/simulation.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/actor.rs:
+crates/sim/src/config.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/simulation.rs:

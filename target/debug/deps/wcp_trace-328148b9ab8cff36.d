@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/wcp_trace-328148b9ab8cff36.d: crates/trace/src/lib.rs crates/trace/src/annotate.rs crates/trace/src/builder.rs crates/trace/src/channel.rs crates/trace/src/computation.rs crates/trace/src/event.rs crates/trace/src/generate.rs crates/trace/src/lattice.rs crates/trace/src/predicate.rs crates/trace/src/render.rs crates/trace/src/stats.rs
+
+/root/repo/target/debug/deps/wcp_trace-328148b9ab8cff36: crates/trace/src/lib.rs crates/trace/src/annotate.rs crates/trace/src/builder.rs crates/trace/src/channel.rs crates/trace/src/computation.rs crates/trace/src/event.rs crates/trace/src/generate.rs crates/trace/src/lattice.rs crates/trace/src/predicate.rs crates/trace/src/render.rs crates/trace/src/stats.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/annotate.rs:
+crates/trace/src/builder.rs:
+crates/trace/src/channel.rs:
+crates/trace/src/computation.rs:
+crates/trace/src/event.rs:
+crates/trace/src/generate.rs:
+crates/trace/src/lattice.rs:
+crates/trace/src/predicate.rs:
+crates/trace/src/render.rs:
+crates/trace/src/stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/algorithm_comparison-8f19d8ee59654b03.d: examples/algorithm_comparison.rs
+
+/root/repo/target/debug/examples/algorithm_comparison-8f19d8ee59654b03: examples/algorithm_comparison.rs
+
+examples/algorithm_comparison.rs:

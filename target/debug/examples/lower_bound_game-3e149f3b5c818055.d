@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/lower_bound_game-3e149f3b5c818055.d: examples/lower_bound_game.rs
+
+/root/repo/target/debug/examples/lower_bound_game-3e149f3b5c818055: examples/lower_bound_game.rs
+
+examples/lower_bound_game.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mutual_exclusion-fed7b015d267bb88.d: examples/mutual_exclusion.rs
+
+/root/repo/target/debug/examples/mutual_exclusion-fed7b015d267bb88: examples/mutual_exclusion.rs
+
+examples/mutual_exclusion.rs:

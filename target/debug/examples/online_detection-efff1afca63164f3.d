@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/online_detection-efff1afca63164f3.d: examples/online_detection.rs
+
+/root/repo/target/debug/examples/online_detection-efff1afca63164f3: examples/online_detection.rs
+
+examples/online_detection.rs:

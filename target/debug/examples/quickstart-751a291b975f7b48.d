@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-751a291b975f7b48.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-751a291b975f7b48: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/record_and_detect-79d53a4c717c95a1.d: examples/record_and_detect.rs
+
+/root/repo/target/debug/examples/record_and_detect-79d53a4c717c95a1: examples/record_and_detect.rs
+
+examples/record_and_detect.rs:

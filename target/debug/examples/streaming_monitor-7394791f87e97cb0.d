@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/streaming_monitor-7394791f87e97cb0.d: examples/streaming_monitor.rs
+
+/root/repo/target/debug/examples/streaming_monitor-7394791f87e97cb0: examples/streaming_monitor.rs
+
+examples/streaming_monitor.rs:

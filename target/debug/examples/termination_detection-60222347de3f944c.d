@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/termination_detection-60222347de3f944c.d: examples/termination_detection.rs
+
+/root/repo/target/debug/examples/termination_detection-60222347de3f944c: examples/termination_detection.rs
+
+examples/termination_detection.rs:

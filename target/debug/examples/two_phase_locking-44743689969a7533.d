@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/two_phase_locking-44743689969a7533.d: examples/two_phase_locking.rs
+
+/root/repo/target/debug/examples/two_phase_locking-44743689969a7533: examples/two_phase_locking.rs
+
+examples/two_phase_locking.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/harness-b2698899515a6c94.d: crates/bench/src/bin/harness.rs
+
+/root/repo/target/release/deps/harness-b2698899515a6c94: crates/bench/src/bin/harness.rs
+
+crates/bench/src/bin/harness.rs:

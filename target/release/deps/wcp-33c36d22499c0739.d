@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/wcp-33c36d22499c0739.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/wcp-33c36d22499c0739: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

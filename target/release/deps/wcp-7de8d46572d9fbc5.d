@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/wcp-7de8d46572d9fbc5.d: src/lib.rs
+
+/root/repo/target/release/deps/libwcp-7de8d46572d9fbc5.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libwcp-7de8d46572d9fbc5.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/wcp_bench-6c19bb3a1f20fdab.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/perf.rs crates/bench/src/table.rs crates/bench/src/timing.rs crates/bench/src/workloads.rs
+
+/root/repo/target/release/deps/libwcp_bench-6c19bb3a1f20fdab.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/perf.rs crates/bench/src/table.rs crates/bench/src/timing.rs crates/bench/src/workloads.rs
+
+/root/repo/target/release/deps/libwcp_bench-6c19bb3a1f20fdab.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/perf.rs crates/bench/src/table.rs crates/bench/src/timing.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/perf.rs:
+crates/bench/src/table.rs:
+crates/bench/src/timing.rs:
+crates/bench/src/workloads.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/wcp_obs-1d89cf273c4950a9.d: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/hist.rs crates/obs/src/json.rs crates/obs/src/jsonl.rs crates/obs/src/recorder.rs crates/obs/src/report.rs crates/obs/src/rng.rs
+
+/root/repo/target/release/deps/libwcp_obs-1d89cf273c4950a9.rlib: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/hist.rs crates/obs/src/json.rs crates/obs/src/jsonl.rs crates/obs/src/recorder.rs crates/obs/src/report.rs crates/obs/src/rng.rs
+
+/root/repo/target/release/deps/libwcp_obs-1d89cf273c4950a9.rmeta: crates/obs/src/lib.rs crates/obs/src/event.rs crates/obs/src/hist.rs crates/obs/src/json.rs crates/obs/src/jsonl.rs crates/obs/src/recorder.rs crates/obs/src/report.rs crates/obs/src/rng.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/event.rs:
+crates/obs/src/hist.rs:
+crates/obs/src/json.rs:
+crates/obs/src/jsonl.rs:
+crates/obs/src/recorder.rs:
+crates/obs/src/report.rs:
+crates/obs/src/rng.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/wcp_record-f48f68773762e680.d: crates/record/src/lib.rs
+
+/root/repo/target/release/deps/libwcp_record-f48f68773762e680.rlib: crates/record/src/lib.rs
+
+/root/repo/target/release/deps/libwcp_record-f48f68773762e680.rmeta: crates/record/src/lib.rs
+
+crates/record/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/wcp_runtime-3c955c8ece795d5a.d: crates/runtime/src/lib.rs
+
+/root/repo/target/release/deps/libwcp_runtime-3c955c8ece795d5a.rlib: crates/runtime/src/lib.rs
+
+/root/repo/target/release/deps/libwcp_runtime-3c955c8ece795d5a.rmeta: crates/runtime/src/lib.rs
+
+crates/runtime/src/lib.rs:

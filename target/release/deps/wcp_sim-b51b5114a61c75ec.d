@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/wcp_sim-b51b5114a61c75ec.d: crates/sim/src/lib.rs crates/sim/src/actor.rs crates/sim/src/config.rs crates/sim/src/metrics.rs crates/sim/src/simulation.rs
+
+/root/repo/target/release/deps/libwcp_sim-b51b5114a61c75ec.rlib: crates/sim/src/lib.rs crates/sim/src/actor.rs crates/sim/src/config.rs crates/sim/src/metrics.rs crates/sim/src/simulation.rs
+
+/root/repo/target/release/deps/libwcp_sim-b51b5114a61c75ec.rmeta: crates/sim/src/lib.rs crates/sim/src/actor.rs crates/sim/src/config.rs crates/sim/src/metrics.rs crates/sim/src/simulation.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/actor.rs:
+crates/sim/src/config.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/simulation.rs:

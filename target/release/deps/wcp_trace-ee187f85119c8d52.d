@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/wcp_trace-ee187f85119c8d52.d: crates/trace/src/lib.rs crates/trace/src/annotate.rs crates/trace/src/builder.rs crates/trace/src/channel.rs crates/trace/src/computation.rs crates/trace/src/event.rs crates/trace/src/generate.rs crates/trace/src/lattice.rs crates/trace/src/predicate.rs crates/trace/src/render.rs crates/trace/src/stats.rs
+
+/root/repo/target/release/deps/libwcp_trace-ee187f85119c8d52.rlib: crates/trace/src/lib.rs crates/trace/src/annotate.rs crates/trace/src/builder.rs crates/trace/src/channel.rs crates/trace/src/computation.rs crates/trace/src/event.rs crates/trace/src/generate.rs crates/trace/src/lattice.rs crates/trace/src/predicate.rs crates/trace/src/render.rs crates/trace/src/stats.rs
+
+/root/repo/target/release/deps/libwcp_trace-ee187f85119c8d52.rmeta: crates/trace/src/lib.rs crates/trace/src/annotate.rs crates/trace/src/builder.rs crates/trace/src/channel.rs crates/trace/src/computation.rs crates/trace/src/event.rs crates/trace/src/generate.rs crates/trace/src/lattice.rs crates/trace/src/predicate.rs crates/trace/src/render.rs crates/trace/src/stats.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/annotate.rs:
+crates/trace/src/builder.rs:
+crates/trace/src/channel.rs:
+crates/trace/src/computation.rs:
+crates/trace/src/event.rs:
+crates/trace/src/generate.rs:
+crates/trace/src/lattice.rs:
+crates/trace/src/predicate.rs:
+crates/trace/src/render.rs:
+crates/trace/src/stats.rs:

@@ -1,35 +1,36 @@
 //! The paper's quantitative claims, checked as hard bounds on randomized
-//! runs (Sections 3.4, 4.4, 5).
+//! runs (Sections 3.4, 4.4, 5). Cases come from fixed seeds via
+//! `wcp::obs::rng::Rng`, so failures reproduce exactly.
 
-use proptest::prelude::*;
 use wcp::detect::lower_bound::run_optimal_algorithm;
-use wcp::detect::{
-    CentralizedChecker, Detector, DirectDependenceDetector, TokenDetector,
-};
+use wcp::detect::{CentralizedChecker, Detector, DirectDependenceDetector, TokenDetector};
+use wcp::obs::rng::Rng;
 use wcp::trace::generate::{generate, GeneratorConfig};
 use wcp::trace::Wcp;
 
-fn arb_cfg() -> impl Strategy<Value = GeneratorConfig> {
-    (3usize..7, 3usize..15, any::<u64>(), 0.1f64..0.6, proptest::option::of(0.2f64..1.0))
-        .prop_map(|(n, m, seed, pd, plant)| {
-            let mut cfg = GeneratorConfig::new(n, m)
-                .with_seed(seed)
-                .with_predicate_density(pd);
-            if let Some(f) = plant {
-                cfg = cfg.with_plant(f);
-            }
-            cfg
-        })
+const CASES: usize = 64;
+
+fn rand_cfg(rng: &mut Rng) -> GeneratorConfig {
+    let n = rng.gen_range(3usize..7);
+    let m = rng.gen_range(3usize..15);
+    let mut cfg = GeneratorConfig::new(n, m)
+        .with_seed(rng.next_u64())
+        .with_predicate_density(0.1 + rng.gen_f64() * 0.5);
+    if rng.gen_bool(0.5) {
+        cfg = cfg.with_plant(0.2 + rng.gen_f64() * 0.8);
+    }
+    cfg
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// §3.4: the token is sent at most `mn` times, snapshot messages are at
-    /// most `(m+1)n`, total messages ≤ 2·(m+1)·n, and token/candidate
-    /// messages are O(n) sized.
-    #[test]
-    fn vc_token_message_bounds(cfg in arb_cfg(), scope_n in 2usize..7) {
+/// §3.4: the token is sent at most `mn` times, snapshot messages are at
+/// most `(m+1)n`, total messages ≤ 2·(m+1)·n, and token/candidate messages
+/// are O(n) sized.
+#[test]
+fn vc_token_message_bounds() {
+    let mut rng = Rng::seed_from_u64(41);
+    for _ in 0..CASES {
+        let cfg = rand_cfg(&mut rng);
+        let scope_n = rng.gen_range(2usize..7);
         let g = generate(&cfg);
         let n_total = g.computation.process_count();
         let wcp = Wcp::over_first(scope_n.min(n_total));
@@ -38,20 +39,32 @@ proptest! {
         // m + 1 intervals, hence ≤ m + 1 candidate snapshots.
         let m1 = g.computation.max_events_per_process() as u64 + 1;
         let report = TokenDetector::new().detect(&g.computation.annotate(), &wcp);
-        prop_assert!(report.metrics.token_hops <= m1 * n);
-        prop_assert!(report.metrics.snapshot_messages <= m1 * n);
-        prop_assert!(report.metrics.total_messages() <= 2 * m1 * n);
+        assert!(report.metrics.token_hops <= m1 * n, "{cfg:?}");
+        assert!(report.metrics.snapshot_messages <= m1 * n, "{cfg:?}");
+        assert!(report.metrics.total_messages() <= 2 * m1 * n, "{cfg:?}");
         // Bits: token is 9n bytes, snapshots 8n bytes each.
-        prop_assert!(report.metrics.control_bytes <= report.metrics.token_hops * 9 * n);
-        prop_assert_eq!(report.metrics.snapshot_bytes, report.metrics.snapshot_messages * 8 * n);
+        assert!(
+            report.metrics.control_bytes <= report.metrics.token_hops * 9 * n,
+            "{cfg:?}"
+        );
+        assert_eq!(
+            report.metrics.snapshot_bytes,
+            report.metrics.snapshot_messages * 8 * n,
+            "{cfg:?}"
+        );
     }
+}
 
-    /// §3.4: total token work is O(n²m) — at most 2n component ops per
-    /// consumed candidate — and per-monitor work divides it by n in the
-    /// balanced case: max per-process work ≤ 2n·(own candidates), i.e.
-    /// O(nm), vs the checker's single process carrying everything.
-    #[test]
-    fn vc_token_work_bounds(cfg in arb_cfg(), scope_n in 2usize..7) {
+/// §3.4: total token work is O(n²m) — at most 2n component ops per consumed
+/// candidate — and per-monitor work divides it by n in the balanced case:
+/// max per-process work ≤ 2n·(own candidates), i.e. O(nm), vs the checker's
+/// single process carrying everything.
+#[test]
+fn vc_token_work_bounds() {
+    let mut rng = Rng::seed_from_u64(42);
+    for _ in 0..CASES {
+        let cfg = rand_cfg(&mut rng);
+        let scope_n = rng.gen_range(2usize..7);
         let g = generate(&cfg);
         let n_total = g.computation.process_count();
         let wcp = Wcp::over_first(scope_n.min(n_total));
@@ -59,42 +72,72 @@ proptest! {
         let m1 = g.computation.max_events_per_process() as u64 + 1;
         let annotated = g.computation.annotate();
         let token = TokenDetector::new().detect(&annotated, &wcp);
-        prop_assert!(token.metrics.total_work() <= 2 * n * n * m1, "O(n²m) total");
-        prop_assert!(token.metrics.max_process_work() <= 2 * n * m1, "O(nm) per process");
+        assert!(
+            token.metrics.total_work() <= 2 * n * n * m1,
+            "O(n²m) total: {cfg:?}"
+        );
+        assert!(
+            token.metrics.max_process_work() <= 2 * n * m1,
+            "O(nm) per process: {cfg:?}"
+        );
 
         // The checker buffers all snapshots centrally; the token algorithm
         // buffers at most one process's worth anywhere.
         let checker = CentralizedChecker::new().detect(&annotated, &wcp);
-        prop_assert!(token.metrics.max_buffered_snapshots <= m1);
-        prop_assert_eq!(checker.metrics.max_buffered_snapshots, checker.metrics.snapshot_messages);
-        prop_assert!(token.metrics.max_buffered_snapshots <= checker.metrics.max_buffered_snapshots);
+        assert!(token.metrics.max_buffered_snapshots <= m1, "{cfg:?}");
+        assert_eq!(
+            checker.metrics.max_buffered_snapshots, checker.metrics.snapshot_messages,
+            "{cfg:?}"
+        );
+        assert!(
+            token.metrics.max_buffered_snapshots <= checker.metrics.max_buffered_snapshots,
+            "{cfg:?}"
+        );
     }
+}
 
-    /// §4.4: direct dependence — token hops ≤ (m+1)N, poll+reply pairs
-    /// bounded by dependences (≤ receives ≤ mN), per-process work O(m),
-    /// space O(m) per process, and all control messages are O(1)-sized.
-    #[test]
-    fn dd_bounds(cfg in arb_cfg(), scope_n in 2usize..7) {
+/// §4.4: direct dependence — token hops ≤ (m+1)N, poll+reply pairs bounded
+/// by dependences (≤ receives ≤ mN), per-process work O(m), space O(m) per
+/// process, and all control messages are O(1)-sized.
+#[test]
+fn dd_bounds() {
+    let mut rng = Rng::seed_from_u64(43);
+    for _ in 0..CASES {
+        let cfg = rand_cfg(&mut rng);
+        let scope_n = rng.gen_range(2usize..7);
         let g = generate(&cfg);
         let n_total = g.computation.process_count() as u64;
-        let wcp = Wcp::over_first((scope_n).min(n_total as usize));
+        let wcp = Wcp::over_first(scope_n.min(n_total as usize));
         let m1 = g.computation.max_events_per_process() as u64 + 1;
         let report = DirectDependenceDetector::new().detect(&g.computation.annotate(), &wcp);
-        prop_assert!(report.metrics.token_hops <= m1 * n_total);
+        assert!(report.metrics.token_hops <= m1 * n_total, "{cfg:?}");
         // control = hops (1 token msg each) + 2 messages per poll; polls ≤
         // total dependences ≤ total receives ≤ mN.
-        prop_assert!(report.metrics.control_messages <= m1 * n_total + 2 * m1 * n_total);
+        assert!(
+            report.metrics.control_messages <= m1 * n_total + 2 * m1 * n_total,
+            "{cfg:?}"
+        );
         // Work per process: own candidates (≤ m+1) + own deps (≤ m) +
         // polls sent (≤ m) + polls received (≤ own sends ≤ m).
-        prop_assert!(report.metrics.max_process_work() <= 4 * m1, "O(m) per process");
-        prop_assert!(report.metrics.max_buffered_snapshots <= m1, "O(m) space per process");
+        assert!(
+            report.metrics.max_process_work() <= 4 * m1,
+            "O(m) per process: {cfg:?}"
+        );
+        assert!(
+            report.metrics.max_buffered_snapshots <= m1,
+            "O(m) space per process: {cfg:?}"
+        );
     }
+}
 
-    /// §1/§4: the headline tradeoff — on full-scope predicates (n = N) the
-    /// direct-dependence algorithm does asymptotically less total work than
-    /// the vector-clock token algorithm pays in vector operations.
-    #[test]
-    fn dd_beats_vc_on_wide_scopes(seed in any::<u64>()) {
+/// §1/§4: the headline tradeoff — on full-scope predicates (n = N) the
+/// direct-dependence algorithm does asymptotically less total work than the
+/// vector-clock token algorithm pays in vector operations.
+#[test]
+fn dd_beats_vc_on_wide_scopes() {
+    let mut rng = Rng::seed_from_u64(44);
+    for _ in 0..CASES {
+        let seed = rng.next_u64();
         let cfg = GeneratorConfig::new(10, 20)
             .with_seed(seed)
             .with_predicate_density(0.3)
@@ -104,32 +147,44 @@ proptest! {
         let wcp = Wcp::over_all(&g.computation);
         let vc = TokenDetector::new().detect(&annotated, &wcp);
         let dd = DirectDependenceDetector::new().detect(&annotated, &wcp);
-        prop_assert!(
+        assert!(
             dd.metrics.total_work() <= vc.metrics.total_work(),
-            "dd {} > vc {}",
+            "seed {seed}: dd {} > vc {}",
             dd.metrics.total_work(),
             vc.metrics.total_work()
         );
     }
+}
 
-    /// §5 / Theorem 5.1: the adversary forces ≥ nm − n deletions for every
-    /// instance size.
-    #[test]
-    fn lower_bound_holds(n in 2usize..20, m in 1u64..50) {
+/// §5 / Theorem 5.1: the adversary forces ≥ nm − n deletions for every
+/// instance size.
+#[test]
+fn lower_bound_holds() {
+    let mut rng = Rng::seed_from_u64(45);
+    for _ in 0..CASES {
+        let n = rng.gen_range(2usize..20);
+        let m = rng.gen_range(1u64..50);
         let stats = run_optimal_algorithm(n, m);
-        prop_assert!(stats.deletions >= stats.bound);
-        prop_assert!(stats.deletions <= n as u64 * m);
+        assert!(stats.deletions >= stats.bound, "n={n} m={m}");
+        assert!(stats.deletions <= n as u64 * m, "n={n} m={m}");
     }
+}
 
-    /// §5 corollary: no detector beats the bound — the token detector's
-    /// candidate consumption on a detecting run never exceeds the total
-    /// snapshot count (it cannot skip states), and the lower bound says an
-    /// adversarial run can force ~all of them.
-    #[test]
-    fn detectors_consume_at_most_all_candidates(cfg in arb_cfg()) {
+/// §5 corollary: no detector beats the bound — the token detector's
+/// candidate consumption on a detecting run never exceeds the total
+/// snapshot count (it cannot skip states), and the lower bound says an
+/// adversarial run can force ~all of them.
+#[test]
+fn detectors_consume_at_most_all_candidates() {
+    let mut rng = Rng::seed_from_u64(46);
+    for _ in 0..CASES {
+        let cfg = rand_cfg(&mut rng);
         let g = generate(&cfg);
         let wcp = Wcp::over_all(&g.computation);
         let report = TokenDetector::new().detect(&g.computation.annotate(), &wcp);
-        prop_assert!(report.metrics.candidates_consumed <= report.metrics.snapshot_messages);
+        assert!(
+            report.metrics.candidates_consumed <= report.metrics.snapshot_messages,
+            "{cfg:?}"
+        );
     }
 }

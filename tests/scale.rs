@@ -6,8 +6,10 @@
 //! quadratic-per-process behaviour would show up as a timeout.
 
 use wcp::detect::online::run_direct;
-use wcp::detect::{Detector, DirectDependenceDetector, StreamingChecker, StreamingStatus, TokenDetector};
 use wcp::detect::{vc_snapshot_queues, CentralizedChecker};
+use wcp::detect::{
+    Detector, DirectDependenceDetector, StreamingChecker, StreamingStatus, TokenDetector,
+};
 use wcp::sim::SimConfig;
 use wcp::trace::generate::{generate, GeneratorConfig};
 use wcp::trace::Wcp;
@@ -48,7 +50,10 @@ fn direct_detector_at_n100() {
     assert!(cut.is_complete());
     // §4.4 bounds at scale.
     let m1 = c.max_events_per_process() as u64 + 1;
-    assert!(report.metrics.max_process_work() <= 4 * m1, "O(m) per process");
+    assert!(
+        report.metrics.max_process_work() <= 4 * m1,
+        "O(m) per process"
+    );
     assert!(report.metrics.max_buffered_snapshots <= m1);
 }
 

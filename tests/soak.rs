@@ -53,7 +53,12 @@ fn check_config(n: usize, m: usize, seed: u64, topology: Topology, scope_n: usiz
     if online {
         let vc = run_vc_token(&g.computation, &wcp, SimConfig::seeded(seed));
         assert_eq!(vc.report.detection.cut().map(|c| wcp.project(c)), truth);
-        let dd = run_direct(&g.computation, &wcp, SimConfig::seeded(seed), seed.is_multiple_of(2));
+        let dd = run_direct(
+            &g.computation,
+            &wcp,
+            SimConfig::seeded(seed),
+            seed.is_multiple_of(2),
+        );
         assert_eq!(dd.report.detection.cut().map(|c| wcp.project(c)), truth);
     }
 }

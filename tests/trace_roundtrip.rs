@@ -3,6 +3,7 @@
 //! in production and analyzing it offline.
 
 use wcp::detect::{Detector, TokenDetector};
+use wcp::obs::json::{FromJson, Json, ToJson};
 use wcp::trace::generate::{generate, GeneratorConfig};
 use wcp::trace::{Computation, Wcp};
 
@@ -13,8 +14,8 @@ fn computation_roundtrips_and_redetects_identically() {
             .with_seed(seed)
             .with_predicate_density(0.3);
         let g = generate(&cfg);
-        let json = serde_json::to_string(&g.computation).expect("serialize");
-        let back: Computation = serde_json::from_str(&json).expect("deserialize");
+        let json = g.computation.to_json().to_string();
+        let back = Computation::from_json(&Json::parse(&json).expect("parse")).expect("decode");
         assert_eq!(back, g.computation);
         assert!(back.validate().is_ok());
 
@@ -31,29 +32,60 @@ fn detection_report_roundtrips() {
     let g = generate(&GeneratorConfig::new(4, 8).with_seed(1).with_plant(0.5));
     let wcp = Wcp::over_all(&g.computation);
     let report = TokenDetector::new().detect(&g.computation.annotate(), &wcp);
-    let json = serde_json::to_string_pretty(&report).expect("serialize");
-    let back: wcp::detect::DetectionReport = serde_json::from_str(&json).expect("deserialize");
+    let json = report.to_json().pretty();
+    let back = wcp::detect::DetectionReport::from_json(&Json::parse(&json).expect("parse"))
+        .expect("decode");
     assert_eq!(back, report);
 }
 
 #[test]
 fn tampered_trace_fails_validation() {
     let g = generate(&GeneratorConfig::new(3, 6).with_seed(2));
-    let json = serde_json::to_string(&g.computation).unwrap();
-    let mut value: serde_json::Value = serde_json::from_str(&json).unwrap();
+    let mut value = Json::parse(&g.computation.to_json().to_string()).unwrap();
     // Orphan one receive by pointing it at a message nobody sends.
     let mut tampered = false;
-    'outer: for process in value["processes"].as_array_mut().unwrap() {
-        for event in process["events"].as_array_mut().unwrap() {
-            if let Some(recv) = event.get_mut("Receive") {
-                recv["msg"] = serde_json::json!(9999);
-                tampered = true;
-                break 'outer;
+    let Json::Obj(top) = &mut value else {
+        panic!("computation should serialize as an object")
+    };
+    'outer: for (key, processes) in top {
+        assert_eq!(key, "processes");
+        let Json::Arr(processes) = processes else {
+            panic!("processes should be an array")
+        };
+        for process in processes {
+            let Json::Obj(fields) = process else {
+                panic!("process should be an object")
+            };
+            for (name, val) in fields {
+                if name != "events" {
+                    continue;
+                }
+                let Json::Arr(events) = val else {
+                    panic!("events should be an array")
+                };
+                for event in events {
+                    if let Json::Obj(tagged) = event {
+                        if let Some((_, payload)) =
+                            tagged.iter_mut().find(|(tag, _)| tag == "Receive")
+                        {
+                            let Json::Obj(recv) = payload else {
+                                panic!("Receive payload should be an object")
+                            };
+                            for (field, v) in recv {
+                                if field == "msg" {
+                                    *v = Json::UInt(9999);
+                                    tampered = true;
+                                    break 'outer;
+                                }
+                            }
+                        }
+                    }
+                }
             }
         }
     }
     assert!(tampered, "generated trace should contain a receive");
-    let parsed: Computation = serde_json::from_value(value).unwrap();
+    let parsed = Computation::from_json(&value).unwrap();
     assert!(
         parsed.validate().is_err(),
         "tampering must be caught by validation"
