@@ -1,15 +1,44 @@
 //! Substrate comparison behind experiments E4/E8: offline emulation vs the
-//! simulated network (sequential, multi-token, parallel red chain).
+//! simulated network (sequential, multi-token, parallel red chain), plus
+//! the arena-vs-alloc snapshot substrate comparison at widening scopes.
 
 use std::hint::black_box;
 
 use wcp_bench::timing::bench;
 use wcp_bench::workloads;
 use wcp_detect::online::{run_direct, run_multi_token, run_vc_token};
-use wcp_detect::{Detector, DirectDependenceDetector, TokenDetector};
+use wcp_detect::{
+    vc_snapshot_queues, Detector, DirectDependenceDetector, TokenDetector, VcSnapshotQueues,
+};
 use wcp_sim::SimConfig;
 
+/// Arena single-allocation build vs the legacy one-`Vec`-per-snapshot build
+/// of the same Section 4.1 queues, at widening scope `n`. The gap grows
+/// with `n` because the per-vec path performs one heap allocation per
+/// snapshot while the arena performs one total.
+fn arena_vs_alloc() {
+    for n in [8usize, 32, 128] {
+        let computation = workloads::detectable(n, 12, 9);
+        let wcp = workloads::scope(n);
+        let annotated = computation.annotate();
+        bench(&format!("substrates/queues/per_vec/n{n}"), 10, || {
+            black_box(vc_snapshot_queues(&annotated, &wcp));
+        });
+        bench(&format!("substrates/queues/arena/n{n}"), 10, || {
+            black_box(VcSnapshotQueues::build(&annotated, &wcp));
+        });
+        bench(
+            &format!("substrates/queues/arena_parallel/n{n}"),
+            10,
+            || {
+                black_box(VcSnapshotQueues::build_parallel(&annotated, &wcp));
+            },
+        );
+    }
+}
+
 fn main() {
+    arena_vs_alloc();
     let computation = workloads::detectable(8, 25, 5);
     let wcp = workloads::scope(8);
     let annotated = computation.annotate();

@@ -3,33 +3,53 @@
 //! ```sh
 //! cargo run -p wcp-bench --release --bin harness -- all
 //! cargo run -p wcp-bench --release --bin harness -- e3 e7
-//! cargo run -p wcp-bench --release --bin harness -- bench BENCH_wcp.json
+//! cargo run -p wcp-bench --release --bin harness -- bench BENCH_wcp.json --label arena
 //! ```
 //!
 //! Output is markdown; EXPERIMENTS.md records a captured run. The `bench`
-//! subcommand instead writes a machine-readable perf snapshot (timings plus
-//! paper-unit cost counters for the five detector families) for diffing
-//! across PRs.
+//! subcommand instead maintains a machine-readable perf trajectory (timings
+//! plus paper-unit cost counters for the detector families): each run
+//! appends a labelled entry, replacing any previous entry with the same
+//! label, so the file diffs cleanly across PRs.
 
 use std::process::ExitCode;
 
 use wcp_bench::{all_experiments, perf, run_experiment, Experiment};
+use wcp_obs::json::Json;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "-h" || a == "--help") {
-        eprintln!("usage: harness <all | e2 e3 e4 ... | bench [OUT.json]>");
+        eprintln!("usage: harness <all | e2 e3 e4 ... | bench [OUT.json] [--label LABEL]>");
         return ExitCode::from(2);
     }
 
     if args[0] == "bench" {
-        let out = args.get(1).map(String::as_str).unwrap_or("BENCH_wcp.json");
-        let snapshot = perf::snapshot(7);
-        if let Err(e) = std::fs::write(out, snapshot.pretty() + "\n") {
+        let mut out = "BENCH_wcp.json".to_string();
+        let mut label = "current".to_string();
+        let mut rest = args[1..].iter();
+        while let Some(a) = rest.next() {
+            if a == "--label" {
+                match rest.next() {
+                    Some(l) => label = l.clone(),
+                    None => {
+                        eprintln!("--label needs a value");
+                        return ExitCode::from(2);
+                    }
+                }
+            } else {
+                out = a.clone();
+            }
+        }
+        let existing = std::fs::read_to_string(&out)
+            .ok()
+            .and_then(|text| Json::parse(&text).ok());
+        let doc = perf::append_entry(existing, perf::entry(&label, 7));
+        if let Err(e) = std::fs::write(&out, doc.pretty() + "\n") {
             eprintln!("cannot write {out}: {e}");
             return ExitCode::from(1);
         }
-        eprintln!("wrote {out}");
+        eprintln!("wrote entry '{label}' to {out}");
         return ExitCode::SUCCESS;
     }
 

@@ -1,51 +1,125 @@
-//! Perf snapshot: times the standard detectable workload through the five
-//! detector families and renders the measurements as JSON.
+//! Perf trajectory: times the standard detectable workloads through the
+//! detector families and appends the measurements, as a labelled entry, to
+//! the machine-readable `BENCH_wcp.json` snapshot.
 //!
-//! The `harness bench` subcommand writes the snapshot to `BENCH_wcp.json`
-//! so successive PRs can diff detector throughput (and the paper-unit cost
-//! counters that explain any change) without re-reading benchmark logs.
+//! The `harness bench` subcommand (wrapped by `scripts/bench.sh`) writes the
+//! trajectory so successive PRs can diff detector throughput — and the
+//! paper-unit cost counters plus substrate allocation counts that explain
+//! any change — without re-reading benchmark logs. Entries are keyed by a
+//! label (`pre-arena`, `arena`, …); regenerating an entry with the same
+//! label replaces it, so the file stays reproducible.
 
 use wcp_detect::{
     CentralizedChecker, Detector, DirectDependenceDetector, LatticeDetector, MultiTokenDetector,
-    TokenDetector,
+    TokenDetector, VcSnapshotQueues,
 };
 use wcp_obs::json::Json;
 
 use crate::timing;
 use crate::workloads;
 
-/// The five detector families of the snapshot, in reporting order.
-pub fn detectors() -> Vec<(&'static str, Box<dyn Detector>)> {
+/// Schema tag of the trajectory document.
+pub const TRAJECTORY_SCHEMA: &str = "wcp-bench-trajectory/1";
+
+/// Largest scope the exponential lattice baseline is timed on.
+const LATTICE_MAX_SCOPE: usize = 8;
+
+/// One measured workload shape: `processes × events`, scope = all processes.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadSpec {
+    /// Total process count (also the predicate scope width `n`).
+    pub processes: usize,
+    /// Events per process.
+    pub events: usize,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+/// The workload shapes of the standard snapshot: the historical small shape
+/// plus a wide one where allocator traffic dominates the constant factors.
+pub fn standard_workloads() -> Vec<WorkloadSpec> {
     vec![
-        ("token", Box::new(TokenDetector::new())),
-        ("checker", Box::new(CentralizedChecker::new())),
-        ("direct", Box::new(DirectDependenceDetector::new())),
-        ("multi:2", Box::new(MultiTokenDetector::new(2))),
-        ("lattice", Box::new(LatticeDetector::new())),
+        WorkloadSpec {
+            processes: 5,
+            events: 12,
+            seed: 7,
+        },
+        WorkloadSpec {
+            processes: 32,
+            events: 36,
+            seed: 7,
+        },
     ]
 }
 
-/// Times every detector family on the standard detectable workload and
-/// folds timings plus paper-unit cost counters into one JSON document.
+/// The detector families timed on a workload with scope width `scope_n`
+/// (the exponential lattice baseline only runs on small scopes).
+pub fn detectors(scope_n: usize) -> Vec<(String, Box<dyn Detector>)> {
+    let mut families: Vec<(String, Box<dyn Detector>)> = vec![
+        ("token".into(), Box::new(TokenDetector::new())),
+        ("checker".into(), Box::new(CentralizedChecker::new())),
+        ("direct".into(), Box::new(DirectDependenceDetector::new())),
+        ("multi:2".into(), Box::new(MultiTokenDetector::new(2))),
+        ("multi:4".into(), Box::new(MultiTokenDetector::new(4))),
+        (
+            "multi:4/threads".into(),
+            Box::new(MultiTokenDetector::new(4).with_parallel()),
+        ),
+    ];
+    if scope_n <= LATTICE_MAX_SCOPE {
+        families.push(("lattice".into(), Box::new(LatticeDetector::new())));
+    }
+    families
+}
+
+/// Measures the vector-clock snapshot substrate on one workload: how long
+/// one queue build takes and how many clock heap allocations it performs.
 ///
-/// `samples` is the number of timed batches per detector (the batch size
-/// auto-calibrates; see [`timing::run`]).
-pub fn snapshot(samples: usize) -> Json {
-    const N: usize = 5;
-    const M: usize = 12;
-    const SEED: u64 = 7;
-    let computation = workloads::detectable(N, M, SEED);
+/// The arena path packs every snapshot clock into one flat buffer, so
+/// `clock_allocations` is 1 regardless of snapshot count (0 when empty).
+fn substrate_stats(
+    annotated: &wcp_trace::AnnotatedComputation<'_>,
+    wcp: &wcp_trace::Wcp,
+    samples: usize,
+) -> Json {
+    let queues = VcSnapshotQueues::build(annotated, wcp);
+    let snapshots = queues.total_snapshots() as u64;
+    let clock_allocations = queues.clock_allocations();
+    let build = timing::run("substrate/build", samples, || {
+        std::hint::black_box(VcSnapshotQueues::build(annotated, wcp));
+    });
+    Json::obj([
+        ("kind", Json::Str("arena".into())),
+        ("snapshots", Json::UInt(snapshots)),
+        ("clock_allocations", Json::UInt(clock_allocations)),
+        (
+            "allocs_per_snapshot",
+            Json::Float(if snapshots == 0 {
+                0.0
+            } else {
+                clock_allocations as f64 / snapshots as f64
+            }),
+        ),
+        ("build_median_ns", Json::UInt(build.median_ns)),
+        ("build_min_ns", Json::UInt(build.min_ns)),
+    ])
+}
+
+/// Times every detector family on one workload and renders the
+/// measurements plus paper-unit cost counters.
+fn measure_workload(spec: WorkloadSpec, samples: usize) -> Json {
+    let computation = workloads::detectable(spec.processes, spec.events, spec.seed);
     let annotated = computation.annotate();
-    let wcp = workloads::scope(N);
+    let wcp = workloads::scope(spec.processes);
 
     let mut results = Vec::new();
-    for (name, detector) in detectors() {
+    for (name, detector) in detectors(spec.processes) {
         let report = detector.detect(&annotated, &wcp);
-        let timing = timing::run(name, samples, || {
+        let timing = timing::run(&name, samples, || {
             std::hint::black_box(detector.detect(&annotated, &wcp));
         });
         results.push(Json::obj([
-            ("name", Json::Str(name.to_string())),
+            ("name", Json::Str(name)),
             ("median_ns", Json::UInt(timing.median_ns)),
             ("min_ns", Json::UInt(timing.min_ns)),
             ("samples", Json::UInt(timing.samples as u64)),
@@ -61,17 +135,50 @@ pub fn snapshot(samples: usize) -> Json {
         ]));
     }
     Json::obj([
-        ("schema", Json::Str("wcp-bench-snapshot/1".to_string())),
-        (
-            "workload",
-            Json::obj([
-                ("processes", Json::UInt(N as u64)),
-                ("events", Json::UInt(M as u64)),
-                ("seed", Json::UInt(SEED)),
-                ("scope", Json::UInt(N as u64)),
-            ]),
-        ),
+        ("processes", Json::UInt(spec.processes as u64)),
+        ("events", Json::UInt(spec.events as u64)),
+        ("seed", Json::UInt(spec.seed)),
+        ("scope", Json::UInt(spec.processes as u64)),
+        ("substrate", substrate_stats(&annotated, &wcp, samples)),
         ("results", Json::Arr(results)),
+    ])
+}
+
+/// One labelled trajectory entry: every standard workload measured through
+/// every applicable detector family.
+pub fn entry(label: &str, samples: usize) -> Json {
+    let workloads = standard_workloads()
+        .into_iter()
+        .map(|spec| measure_workload(spec, samples))
+        .collect();
+    Json::obj([
+        ("label", Json::Str(label.to_string())),
+        ("samples", Json::UInt(samples as u64)),
+        ("workloads", Json::Arr(workloads)),
+    ])
+}
+
+/// Folds `new_entry` into a trajectory document: entries with the same
+/// label are replaced (so `scripts/bench.sh` regenerates reproducibly),
+/// other entries are preserved in order. `existing` is the parsed previous
+/// file contents, if any; non-trajectory documents are discarded.
+pub fn append_entry(existing: Option<Json>, new_entry: Json) -> Json {
+    let mut entries: Vec<Json> = match existing {
+        Some(doc) if doc.get("schema").and_then(Json::as_str) == Some(TRAJECTORY_SCHEMA) => doc
+            .get("entries")
+            .and_then(|e| e.as_array().map(<[Json]>::to_vec))
+            .unwrap_or_default(),
+        _ => Vec::new(),
+    };
+    let label = new_entry
+        .get("label")
+        .and_then(Json::as_str)
+        .map(String::from);
+    entries.retain(|e| e.get("label").and_then(Json::as_str).map(String::from) != label);
+    entries.push(new_entry);
+    Json::obj([
+        ("schema", Json::Str(TRAJECTORY_SCHEMA.to_string())),
+        ("entries", Json::Arr(entries)),
     ])
 }
 
@@ -79,18 +186,71 @@ pub fn snapshot(samples: usize) -> Json {
 mod tests {
     use super::*;
 
+    /// A tiny entry (one sample, smallest workload only) for tests.
+    fn tiny_entry(label: &str) -> Json {
+        let spec = WorkloadSpec {
+            processes: 4,
+            events: 6,
+            seed: 3,
+        };
+        Json::obj([
+            ("label", Json::Str(label.to_string())),
+            ("samples", Json::UInt(1)),
+            ("workloads", Json::Arr(vec![measure_workload(spec, 1)])),
+        ])
+    }
+
     #[test]
-    fn snapshot_covers_all_five_families() {
-        let snap = snapshot(1);
-        let results = snap.get("results").unwrap().as_array().unwrap();
-        assert_eq!(results.len(), 5);
+    fn workload_measures_all_families() {
+        let spec = WorkloadSpec {
+            processes: 4,
+            events: 8,
+            seed: 7,
+        };
+        let w = measure_workload(spec, 1);
+        let results = w.get("results").unwrap().as_array().unwrap();
+        assert_eq!(results.len(), detectors(4).len());
         for r in results {
             assert!(r.get("median_ns").unwrap().as_u64().is_some());
             assert_eq!(r.get("detected").unwrap().as_bool(), Some(true));
             assert!(r.get("total_work").unwrap().as_u64().unwrap() > 0);
         }
+        let substrate = w.get("substrate").unwrap();
+        assert!(substrate.get("snapshots").unwrap().as_u64().unwrap() > 0);
         // The document round-trips through the in-tree serializer.
-        let text = snap.pretty();
-        assert_eq!(Json::parse(&text).unwrap(), snap);
+        let text = w.pretty();
+        assert_eq!(Json::parse(&text).unwrap(), w);
+    }
+
+    #[test]
+    fn lattice_excluded_on_wide_scopes() {
+        let names: Vec<String> = detectors(LATTICE_MAX_SCOPE + 1)
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
+        assert!(!names.iter().any(|n| n == "lattice"));
+        assert!(names.iter().any(|n| n == "token"));
+        let small: Vec<String> = detectors(4).into_iter().map(|(n, _)| n).collect();
+        assert!(small.iter().any(|n| n == "lattice"));
+    }
+
+    #[test]
+    fn trajectory_appends_and_replaces_by_label() {
+        let doc = append_entry(None, tiny_entry("a"));
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some(TRAJECTORY_SCHEMA)
+        );
+        assert_eq!(doc.get("entries").unwrap().as_array().unwrap().len(), 1);
+        let doc = append_entry(Some(doc), tiny_entry("b"));
+        assert_eq!(doc.get("entries").unwrap().as_array().unwrap().len(), 2);
+        // Same label replaces, preserving the other entry.
+        let doc = append_entry(Some(doc), tiny_entry("b"));
+        let entries = doc.get("entries").unwrap().as_array().unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].get("label").and_then(Json::as_str), Some("a"));
+        // A non-trajectory existing document is discarded.
+        let fresh = append_entry(Some(Json::obj([("x", Json::UInt(1))])), tiny_entry("c"));
+        assert_eq!(fresh.get("entries").unwrap().as_array().unwrap().len(), 1);
     }
 }

@@ -8,6 +8,9 @@
 //!   communication intervals ("states") of a process execution,
 //! - [`VectorClock`] — Fidge/Mattern vector clocks, used by the paper's
 //!   vector-clock token algorithm (Section 3),
+//! - [`ClockArena`] and [`ClockRow`] — flat stride-`n` storage for large
+//!   sets of same-width clocks (one allocation for a whole snapshot run
+//!   instead of one per clock), with the same comparison API,
 //! - [`ScalarClock`] and [`Dependence`] — the per-process logical counter and
 //!   direct-dependence records used by the direct-dependence algorithm
 //!   (Section 4),
@@ -39,12 +42,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 mod cut;
 mod dependence;
 mod process;
 mod scalar;
 mod vector;
 
+pub use arena::{slice_causal_order, ClockArena, ClockRow};
 pub use cut::Cut;
 pub use dependence::{Dependence, DependenceList};
 pub use process::{ProcessId, StateId};

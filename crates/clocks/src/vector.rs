@@ -176,29 +176,7 @@ impl VectorClock {
     ///
     /// Panics if the widths differ.
     pub fn causal_order(&self, other: &VectorClock) -> CausalOrder {
-        assert_eq!(
-            self.components.len(),
-            other.components.len(),
-            "cannot compare vector clocks of different widths"
-        );
-        let mut less = false;
-        let mut greater = false;
-        for (a, b) in self.components.iter().zip(&other.components) {
-            match a.cmp(b) {
-                Ordering::Less => less = true,
-                Ordering::Greater => greater = true,
-                Ordering::Equal => {}
-            }
-            if less && greater {
-                return CausalOrder::Concurrent;
-            }
-        }
-        match (less, greater) {
-            (false, false) => CausalOrder::Equal,
-            (true, false) => CausalOrder::Before,
-            (false, true) => CausalOrder::After,
-            (true, true) => CausalOrder::Concurrent,
-        }
+        crate::slice_causal_order(&self.components, &other.components)
     }
 
     /// `true` iff `self → other` in the happened-before order.

@@ -78,5 +78,8 @@ pub use offline::hierarchical::HierarchicalChecker;
 pub use offline::lattice::LatticeDetector;
 pub use offline::multi_token::MultiTokenDetector;
 pub use offline::token::{NextRedStrategy, TokenDetector};
-pub use snapshot::{dd_snapshot_queues, vc_snapshot_queues, DdSnapshot, VcSnapshot};
+pub use snapshot::{
+    dd_snapshot_queues, vc_snapshot_queues, DdSnapshot, SnapshotBuffer, VcSnapshot,
+    VcSnapshotQueues,
+};
 pub use streaming::{StreamingChecker, StreamingStatus};

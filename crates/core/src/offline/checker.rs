@@ -17,7 +17,7 @@ use wcp_trace::{AnnotatedComputation, Wcp};
 
 use crate::detector::{Detection, DetectionReport, Detector};
 use crate::meter::Meter;
-use crate::snapshot::vc_snapshot_queues;
+use crate::snapshot::VcSnapshotQueues;
 
 /// Offline emulation of the centralized checker.
 ///
@@ -70,23 +70,23 @@ impl Detector for CentralizedChecker {
     fn detect(&self, annotated: &AnnotatedComputation<'_>, wcp: &Wcp) -> DetectionReport {
         let n = wcp.n();
         assert!(n >= 1, "WCP scope must name at least one process");
-        let queues = vc_snapshot_queues(annotated, wcp);
+        let queues = VcSnapshotQueues::build(annotated, wcp);
 
         // Metrics: one participant (the checker). Every snapshot is a
         // message to the checker, and all of them are buffered there — the
         // buffer depth only ever grows.
         let mut meter = Meter::new(1, self.recorder.clone());
         let mut depth = 0u64;
-        for q in &queues {
-            for s in q {
+        for i in 0..n {
+            for pos in 0..queues.queue_len(i) {
                 depth += 1;
-                meter.snapshot_buffered(0, depth, s.wire_size() as u64);
+                meter.snapshot_buffered(0, depth, queues.clock(i, pos).wire_size() as u64);
             }
         }
 
         let mut heads = vec![0usize; n];
-        for (i, q) in queues.iter().enumerate() {
-            if q.is_empty() {
+        for i in 0..n {
+            if queues.queue_len(i) == 0 {
                 meter.exhausted(0);
                 meter.finish_sequential();
                 return DetectionReport {
@@ -94,7 +94,7 @@ impl Detector for CentralizedChecker {
                     metrics: meter.metrics,
                 };
             }
-            meter.candidate_accepted(0, i, q[0].interval, 0);
+            meter.candidate_accepted(0, i, queues.interval(i, 0), 0);
         }
 
         // Worklist of positions whose head changed and must be re-compared.
@@ -109,14 +109,14 @@ impl Detector for CentralizedChecker {
                 if j == i {
                     continue;
                 }
-                let hi = &queues[i][heads[i]];
-                let hj = &queues[j][heads[j]];
+                let hi = queues.clock(i, heads[i]);
+                let hj = queues.clock(j, heads[j]);
                 // (i, hi) → (j, hj) iff hj's clock knows interval hi on i.
-                if hj.clock.as_slice()[i] >= hi.interval {
+                if hj[i] >= hi[i] {
                     advanced = Some(i);
                     break;
                 }
-                if hi.clock.as_slice()[j] >= hj.interval {
+                if hi[j] >= hj[j] {
                     advanced = Some(j);
                     break;
                 }
@@ -124,10 +124,10 @@ impl Detector for CentralizedChecker {
             match advanced {
                 None => {} // head i concurrent with all others
                 Some(x) => {
-                    let dead = queues[x][heads[x]].interval;
+                    let dead = queues.interval(x, heads[x]);
                     heads[x] += 1;
                     meter.candidate_eliminated(0, x, dead, 0);
-                    if heads[x] >= queues[x].len() {
+                    if heads[x] >= queues.queue_len(x) {
                         meter.exhausted(0);
                         meter.finish_sequential();
                         return DetectionReport {
@@ -149,7 +149,7 @@ impl Detector for CentralizedChecker {
 
         let mut cut = Cut::new(annotated.process_count());
         for (i, &p) in wcp.scope().iter().enumerate() {
-            cut.set(p, queues[i][heads[i]].interval);
+            cut.set(p, queues.interval(i, heads[i]));
         }
         meter.found(0, cut.as_slice());
         meter.finish_sequential();

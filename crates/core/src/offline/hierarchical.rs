@@ -23,12 +23,31 @@
 use std::fmt;
 use std::sync::Arc;
 
-use wcp_clocks::{Cut, StateId};
+use wcp_clocks::Cut;
 use wcp_obs::{NullRecorder, Recorder};
 use wcp_trace::{AnnotatedComputation, Wcp};
 
 use crate::detector::{Detection, DetectionReport, Detector};
 use crate::meter::Meter;
+use crate::snapshot::VcSnapshotQueues;
+
+/// `(a, ka) → (b, kb)` for scope positions `a ≠ b`, on arena rows: `b`'s
+/// clock knows `a`'s interval `ka` (the row keeps exactly the scope
+/// components, so the projection loses nothing the check needs).
+fn row_happened_before(
+    queues: &VcSnapshotQueues,
+    a: usize,
+    ia: usize,
+    b: usize,
+    ib: usize,
+) -> bool {
+    queues.clock(b, ib)[a] >= queues.interval(a, ia)
+}
+
+/// `(a, ka) ‖ (b, kb)` for scope positions `a ≠ b`, on arena rows.
+fn row_concurrent(queues: &VcSnapshotQueues, a: usize, ia: usize, b: usize, ib: usize) -> bool {
+    !row_happened_before(queues, a, ia, b, ib) && !row_happened_before(queues, b, ib, a, ia)
+}
 
 /// The Section 1 hierarchical checker baseline.
 #[derive(Clone)]
@@ -84,24 +103,23 @@ impl HierarchicalChecker {
     ///
     /// Each tuple is the group projection of some potential global cut;
     /// this is exactly what the group checker ships to the overall checker.
+    /// Tuples carry queue positions into the shared snapshot arena (the
+    /// wire representation stays one interval — 8 bytes — per entry).
     fn group_tuples(
         &self,
-        annotated: &AnnotatedComputation<'_>,
-        wcp: &Wcp,
+        queues: &VcSnapshotQueues,
         members: &[usize],
         budget: &mut usize,
-    ) -> Option<Vec<Vec<u64>>> {
-        let scope = wcp.scope();
+    ) -> Option<Vec<Vec<usize>>> {
         let mut tuples = Vec::new();
-        let mut current: Vec<u64> = Vec::with_capacity(members.len());
+        let mut current: Vec<usize> = Vec::with_capacity(members.len());
         // DFS over the candidate product with pairwise-concurrency pruning.
         fn dfs(
-            annotated: &AnnotatedComputation<'_>,
-            scope: &[wcp_clocks::ProcessId],
+            queues: &VcSnapshotQueues,
             members: &[usize],
             depth: usize,
-            current: &mut Vec<u64>,
-            tuples: &mut Vec<Vec<u64>>,
+            current: &mut Vec<usize>,
+            tuples: &mut Vec<Vec<usize>>,
             budget: &mut usize,
         ) -> bool {
             if depth == members.len() {
@@ -112,24 +130,13 @@ impl HierarchicalChecker {
                 tuples.push(current.clone());
                 return true;
             }
-            let p = scope[members[depth]];
-            for &k in annotated.true_intervals(p) {
-                let s = StateId::new(p, k);
-                let compatible = (0..depth).all(|d| {
-                    let q = scope[members[d]];
-                    annotated.concurrent(StateId::new(q, current[d]), s)
-                });
+            let m = members[depth];
+            for i in 0..queues.queue_len(m) {
+                let compatible =
+                    (0..depth).all(|d| row_concurrent(queues, members[d], current[d], m, i));
                 if compatible {
-                    current.push(k);
-                    let ok = dfs(
-                        annotated,
-                        scope,
-                        members,
-                        depth + 1,
-                        current,
-                        tuples,
-                        budget,
-                    );
+                    current.push(i);
+                    let ok = dfs(queues, members, depth + 1, current, tuples, budget);
                     current.pop();
                     if !ok {
                         return false;
@@ -138,15 +145,7 @@ impl HierarchicalChecker {
             }
             true
         }
-        if dfs(
-            annotated,
-            scope,
-            members,
-            0,
-            &mut current,
-            &mut tuples,
-            budget,
-        ) {
+        if dfs(queues, members, 0, &mut current, &mut tuples, budget) {
             Some(tuples)
         } else {
             None
@@ -179,13 +178,14 @@ impl Detector for HierarchicalChecker {
         // Participants: g group checkers + 1 overall checker (index g).
         let overall = g_count;
         let mut meter = Meter::new(g_count + 1, self.recorder.clone());
+        let queues = VcSnapshotQueues::build(annotated, wcp);
 
         // Phase 1: group checkers enumerate and ship their state sets.
         let mut budget = self.max_states;
-        let mut sets: Vec<Vec<Vec<u64>>> = Vec::with_capacity(g_count);
+        let mut sets: Vec<Vec<Vec<usize>>> = Vec::with_capacity(g_count);
         for (gi, group) in members.iter().enumerate() {
             let tuples = self
-                .group_tuples(annotated, wcp, group, &mut budget)
+                .group_tuples(&queues, group, &mut budget)
                 .unwrap_or_else(|| {
                     panic!(
                         "hierarchical checker exceeded its enumeration budget of {} states",
@@ -228,9 +228,9 @@ impl Detector for HierarchicalChecker {
                     }
                     for (da, &ma) in members[ga].iter().enumerate() {
                         for (db, &mb) in members[gb].iter().enumerate() {
-                            let sa = StateId::new(scope[ma], sets[ga][selection[ga]][da]);
-                            let sb = StateId::new(scope[mb], sets[gb][selection[gb]][db]);
-                            if annotated.happened_before(sa, sb) {
+                            let ia = sets[ga][selection[ga]][da];
+                            let ib = sets[gb][selection[gb]][db];
+                            if row_happened_before(&queues, ma, ia, mb, ib) {
                                 consistent = false;
                                 break 'outer;
                             }
@@ -242,7 +242,7 @@ impl Detector for HierarchicalChecker {
                 let mut cut = vec![0u64; n];
                 for gi in 0..g_count {
                     for (d, &mi) in members[gi].iter().enumerate() {
-                        cut[mi] = sets[gi][selection[gi]][d];
+                        cut[mi] = queues.interval(mi, sets[gi][selection[gi]][d]);
                     }
                 }
                 best = Some(match best {

@@ -10,32 +10,47 @@
 //! The paper leaves the leader's cross-group consistency check unspecified;
 //! following DESIGN.md §3, each token additionally carries the candidate
 //! vector clocks of its group members, which is exactly the information the
-//! Figure 3 `for` loop uses.
+//! Figure 3 `for` loop uses. Candidate clocks are carried as row ids into
+//! the run's shared [`VcSnapshotQueues`] arena, so tokens never clone clock
+//! storage.
 //!
-//! The emulation also computes [`DetectionMetrics::parallel_time`]: groups
-//! work concurrently between merges, so the critical path per round is the
-//! maximum group work in that round, plus the leader's merge work.
+//! Between two leader merges the groups are *data-independent*: a group's
+//! walk reads and writes only its own token and its own members' queue
+//! heads. [`MultiTokenDetector::with_parallel`] exploits this by running
+//! each group's walk on a `std::thread::scope` thread. Each walk records
+//! its meter effects as an op log instead of touching the shared [`Meter`];
+//! the logs are then applied in group-index order — exactly the order the
+//! sequential emulation interleaves them — so the detected cut, the
+//! [`DetectionMetrics`](crate::DetectionMetrics), and the recorded event
+//! stream are bit-identical to the sequential emulation (property-tested
+//! in `tests/substrate.rs`).
+//!
+//! The emulation also computes
+//! [`DetectionMetrics::parallel_time`](crate::DetectionMetrics::parallel_time):
+//! groups work concurrently between merges, so the critical path per round
+//! is the maximum group work in that round, plus the leader's merge work.
 
 use std::fmt;
 use std::sync::Arc;
 
-use wcp_clocks::{Cut, VectorClock};
+use wcp_clocks::Cut;
 use wcp_obs::{NullRecorder, Recorder};
 use wcp_trace::{AnnotatedComputation, Wcp};
 
 use crate::detector::{Detection, DetectionReport, Detector};
 use crate::meter::Meter;
 use crate::offline::token::Color;
-use crate::snapshot::vc_snapshot_queues;
+use crate::snapshot::VcSnapshotQueues;
 
 /// A Section 3.5 group token: full-scope `G`/colour vectors plus the
-/// candidate clocks of this group's members.
+/// candidate clocks of this group's members (arena row ids).
 #[derive(Debug, Clone)]
 struct GroupToken {
     g: Vec<u64>,
     color: Vec<Color>,
-    /// Candidate clocks, populated only at this group's member positions.
-    candidates: Vec<Option<VectorClock>>,
+    /// Candidate clock rows, populated only at this group's member
+    /// positions; ids index the run's shared snapshot arena.
+    candidates: Vec<Option<usize>>,
 }
 
 impl GroupToken {
@@ -48,15 +63,154 @@ impl GroupToken {
     }
 
     /// Wire size: `G` + colours (9 bytes/entry) plus the carried candidate
-    /// vectors (8 bytes/component).
+    /// vectors (8 bytes/component — what the clock rows would occupy on the
+    /// wire, independent of the arena representation).
     fn wire_size(&self) -> usize {
-        self.g.len() * 9
-            + self
-                .candidates
-                .iter()
-                .flatten()
-                .map(VectorClock::wire_size)
-                .sum::<usize>()
+        let n = self.g.len();
+        n * 9 + self.candidates.iter().flatten().count() * n * 8
+    }
+}
+
+/// One deferred meter effect of a group walk. Applying a walk's ops in
+/// order reproduces exactly the meter calls the sequential emulation makes.
+#[derive(Debug, Clone)]
+enum GroupOp {
+    Accepted { at: usize, interval: u64 },
+    Eliminated { at: usize, interval: u64 },
+    Work { at: usize },
+    Invalidated { at: usize, j: usize, interval: u64 },
+    Forwarded { at: usize, next: usize, wire: u64 },
+}
+
+impl GroupOp {
+    fn apply(&self, meter: &mut Meter, n: usize) {
+        match *self {
+            GroupOp::Accepted { at, interval } => {
+                meter.candidate_accepted(at, at, interval, n as u64);
+            }
+            GroupOp::Eliminated { at, interval } => {
+                meter.candidate_eliminated(at, at, interval, n as u64);
+            }
+            GroupOp::Work { at } => meter.work(at, n as u64),
+            GroupOp::Invalidated { at, j, interval } => {
+                meter.candidate_invalidated(at, j, interval);
+            }
+            GroupOp::Forwarded { at, next, wire } => {
+                meter.token_forwarded(at, next, wire);
+                meter.token_acquired(next, Some(at));
+            }
+        }
+    }
+}
+
+/// Result of one group's Phase A walk.
+struct GroupOutcome {
+    /// Deferred meter effects, in the order the walk produced them.
+    ops: Vec<GroupOp>,
+    /// `(member, new head)` for every queue position the walk consumed
+    /// from — only this group's members, so updates are disjoint across
+    /// groups.
+    head_updates: Vec<(usize, usize)>,
+    /// Paper work units this walk contributed to the round's critical path.
+    group_work: u64,
+    /// Member that last held the token.
+    last_at: usize,
+    /// Wire size of the token as it returns to the leader (valid only when
+    /// `exhausted_at` is `None`).
+    wire: u64,
+    /// `Some(at)` if member `at` ran out of candidates mid-walk.
+    exhausted_at: Option<usize>,
+}
+
+/// Walks one group's token among its red members (Phase A of a round).
+///
+/// Pure with respect to shared detector state: reads the queues and the
+/// members' head positions, mutates only `token`, and defers all meter
+/// effects to the returned op log — which is what makes running walks on
+/// scoped threads indistinguishable from running them in sequence.
+fn run_group(
+    queues: &VcSnapshotQueues,
+    members: &[usize],
+    token: &mut GroupToken,
+    heads: &[usize],
+    n: usize,
+) -> GroupOutcome {
+    let mut local_heads: Vec<(usize, usize)> = members.iter().map(|&i| (i, heads[i])).collect();
+    let head_of = |local: &mut Vec<(usize, usize)>, at: usize| -> usize {
+        local.iter().position(|&(i, _)| i == at).expect("member")
+    };
+    let mut ops = Vec::new();
+    let mut group_work = 0u64;
+    let mut last_at = members[0];
+
+    while let Some(&at) = members.iter().find(|&&i| token.color[i] == Color::Red) {
+        last_at = at;
+        // Figure 3 `while` loop at member `at`.
+        let candidate_row = loop {
+            let slot = head_of(&mut local_heads, at);
+            let head = local_heads[slot].1;
+            if head >= queues.queue_len(at) {
+                return GroupOutcome {
+                    ops,
+                    head_updates: local_heads,
+                    group_work,
+                    last_at,
+                    wire: 0,
+                    exhausted_at: Some(at),
+                };
+            }
+            local_heads[slot].1 += 1;
+            group_work += n as u64;
+            let interval = queues.interval(at, head);
+            if interval > token.g[at] {
+                ops.push(GroupOp::Accepted { at, interval });
+                token.g[at] = interval;
+                token.color[at] = Color::Green;
+                break queues.row_id(at, head);
+            }
+            ops.push(GroupOp::Eliminated { at, interval });
+        };
+        token.candidates[at] = Some(candidate_row);
+        // Figure 3 `for` loop — updates entries across all of the scope;
+        // red members of *other* groups are reconciled at the next merge.
+        ops.push(GroupOp::Work { at });
+        group_work += n as u64;
+        let row = queues.arena().row(candidate_row);
+        for j in 0..n {
+            if j == at {
+                continue;
+            }
+            let seen = row[j];
+            if seen >= token.g[j] && seen > 0 {
+                token.g[j] = seen;
+                if token.color[j] == Color::Green {
+                    ops.push(GroupOp::Invalidated {
+                        at,
+                        j,
+                        interval: seen,
+                    });
+                }
+                token.color[j] = Color::Red;
+            }
+        }
+        // Token hop to the next red member, if any.
+        if let Some(&next) = members.iter().find(|&&i| token.color[i] == Color::Red) {
+            ops.push(GroupOp::Forwarded {
+                at,
+                next,
+                wire: token.wire_size() as u64,
+            });
+        }
+    }
+
+    let wire = token.wire_size() as u64;
+    GroupOutcome {
+        ops,
+        head_updates: local_heads,
+        group_work,
+        last_at,
+        wire,
+        exhausted_at: None,
     }
 }
 
@@ -67,6 +221,7 @@ impl GroupToken {
 #[derive(Clone)]
 pub struct MultiTokenDetector {
     groups: usize,
+    parallel: bool,
     recorder: Arc<dyn Recorder>,
 }
 
@@ -74,6 +229,7 @@ impl fmt::Debug for MultiTokenDetector {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("MultiTokenDetector")
             .field("groups", &self.groups)
+            .field("parallel", &self.parallel)
             .finish_non_exhaustive()
     }
 }
@@ -88,6 +244,7 @@ impl MultiTokenDetector {
         assert!(groups >= 1, "need at least one group");
         MultiTokenDetector {
             groups,
+            parallel: false,
             recorder: Arc::new(NullRecorder),
         }
     }
@@ -95,6 +252,15 @@ impl MultiTokenDetector {
     /// Number of groups configured.
     pub fn groups(&self) -> usize {
         self.groups
+    }
+
+    /// Runs group walks on `std::thread::scope` threads between leader
+    /// merges, and builds the snapshot arena with one thread per scope
+    /// process. The result — cut, metrics, and recorded events — is
+    /// bit-identical to the sequential emulation.
+    pub fn with_parallel(mut self) -> Self {
+        self.parallel = true;
+        self
     }
 
     /// Streams [`wcp_obs::TraceEvent`]s of the run to `recorder`. Monitor
@@ -119,14 +285,18 @@ impl Detector for MultiTokenDetector {
         let n = wcp.n();
         assert!(n >= 1, "WCP scope must name at least one process");
         let g_count = self.groups.min(n);
-        let queues = vc_snapshot_queues(annotated, wcp);
+        let queues = if self.parallel {
+            VcSnapshotQueues::build_parallel(annotated, wcp)
+        } else {
+            VcSnapshotQueues::build(annotated, wcp)
+        };
 
         // Participants: n monitors + 1 leader (index n).
         let leader = n;
         let mut meter = Meter::new(n + 1, self.recorder.clone());
-        for (i, q) in queues.iter().enumerate() {
-            for (pos, s) in q.iter().enumerate() {
-                meter.snapshot_buffered(i, pos as u64 + 1, s.wire_size() as u64);
+        for i in 0..n {
+            for pos in 0..queues.queue_len(i) {
+                meter.snapshot_buffered(i, pos as u64 + 1, queues.clock(i, pos).wire_size() as u64);
             }
         }
 
@@ -143,69 +313,64 @@ impl Detector for MultiTokenDetector {
 
         loop {
             // ---- Phase A: groups drain their red members concurrently. ----
+            //
+            // Walks are data-independent, so they may run on threads; op
+            // logs are applied in group-index order either way, which makes
+            // the two modes indistinguishable — including when a walk
+            // exhausts its queue: the sequential emulation never starts
+            // later groups, so their (committed-nowhere) results are simply
+            // discarded.
+            let outcomes: Vec<(usize, GroupOutcome)> = if self.parallel {
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = tokens
+                        .iter_mut()
+                        .enumerate()
+                        .filter(|(gi, _)| active[*gi])
+                        .map(|(gi, token)| {
+                            let members = &members[gi];
+                            let queues = &queues;
+                            let heads = &heads;
+                            (
+                                gi,
+                                s.spawn(move || run_group(queues, members, token, heads, n)),
+                            )
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|(gi, h)| (gi, h.join().unwrap()))
+                        .collect()
+                })
+            } else {
+                tokens
+                    .iter_mut()
+                    .enumerate()
+                    .filter(|(gi, _)| active[*gi])
+                    .map(|(gi, token)| (gi, run_group(&queues, &members[gi], token, &heads, n)))
+                    .collect()
+            };
+
             let mut round_max = 0u64;
-            for gi in 0..g_count {
-                if !active[gi] {
-                    continue;
+            for (gi, outcome) in outcomes {
+                for op in &outcome.ops {
+                    op.apply(&mut meter, n);
                 }
-                let mut group_work = 0u64;
-                let mut last_at = members[gi][0];
-                let token = &mut tokens[gi];
-                // Walk the token among this group's red members.
-                while let Some(&at) = members[gi].iter().find(|&&i| token.color[i] == Color::Red) {
-                    last_at = at;
-                    // Figure 3 `while` loop at member `at`.
-                    let candidate = loop {
-                        let Some(snapshot) = queues[at].get(heads[at]) else {
-                            // Account for the partial round before aborting.
-                            meter.parallel_advance(at, group_work);
-                            meter.exhausted(at);
-                            return DetectionReport {
-                                detection: Detection::Undetected,
-                                metrics: meter.metrics,
-                            };
-                        };
-                        heads[at] += 1;
-                        group_work += n as u64;
-                        if snapshot.interval > token.g[at] {
-                            meter.candidate_accepted(at, at, snapshot.interval, n as u64);
-                            token.g[at] = snapshot.interval;
-                            token.color[at] = Color::Green;
-                            break snapshot;
-                        }
-                        meter.candidate_eliminated(at, at, snapshot.interval, n as u64);
+                for (i, head) in outcome.head_updates {
+                    heads[i] = head;
+                }
+                if let Some(at) = outcome.exhausted_at {
+                    // Account for the partial round before aborting.
+                    meter.parallel_advance(at, outcome.group_work);
+                    meter.exhausted(at);
+                    return DetectionReport {
+                        detection: Detection::Undetected,
+                        metrics: meter.metrics,
                     };
-                    token.candidates[at] = Some(candidate.clock.clone());
-                    // Figure 3 `for` loop — updates entries across all of
-                    // the scope; red members of *other* groups are
-                    // reconciled at the next merge.
-                    meter.work(at, n as u64);
-                    group_work += n as u64;
-                    for j in 0..n {
-                        if j == at {
-                            continue;
-                        }
-                        let seen = candidate.clock.as_slice()[j];
-                        if seen >= token.g[j] && seen > 0 {
-                            token.g[j] = seen;
-                            if token.color[j] == Color::Green {
-                                meter.candidate_invalidated(at, j, seen);
-                            }
-                            token.color[j] = Color::Red;
-                        }
-                    }
-                    // Token hop to the next red member, if any.
-                    if let Some(&next) = members[gi].iter().find(|&&i| token.color[i] == Color::Red)
-                    {
-                        meter.token_forwarded(at, next, token.wire_size() as u64);
-                        meter.token_acquired(next, Some(at));
-                    }
                 }
                 // Group finished: token returns to the leader.
-                let wire = tokens[gi].wire_size() as u64;
-                meter.control_sent(last_at, leader, 1, wire);
+                meter.control_sent(outcome.last_at, leader, 1, outcome.wire);
                 active[gi] = false;
-                round_max = round_max.max(group_work);
+                round_max = round_max.max(outcome.group_work);
             }
             // Groups ran concurrently: the round's critical path is the
             // slowest group.
@@ -214,13 +379,13 @@ impl Detector for MultiTokenDetector {
             // ---- Phase B: leader merge. ----
             let mut g_merged = vec![0u64; n];
             let mut color = vec![Color::Red; n];
-            let mut candidates: Vec<Option<VectorClock>> = vec![None; n];
+            let mut candidates: Vec<Option<usize>> = vec![None; n];
             for i in 0..n {
                 let owner = &tokens[group_of(i)];
                 for t in &tokens {
                     g_merged[i] = g_merged[i].max(t.g[i]);
                 }
-                candidates[i] = owner.candidates[i].clone();
+                candidates[i] = owner.candidates[i];
                 color[i] = if owner.color[i] == Color::Green && owner.g[i] == g_merged[i] {
                     Color::Green
                 } else {
@@ -235,12 +400,14 @@ impl Detector for MultiTokenDetector {
                 if color[j] != Color::Green {
                     continue;
                 }
-                let cand = candidates[j].as_ref().expect("green ⇒ candidate");
+                let cand = queues
+                    .arena()
+                    .row(candidates[j].expect("green ⇒ candidate"));
                 for i in 0..n {
                     if i == j {
                         continue;
                     }
-                    let seen = cand.as_slice()[i];
+                    let seen = cand[i];
                     if seen >= g_merged[i] && seen > 0 {
                         g_merged[i] = seen;
                         color[i] = Color::Red;
@@ -318,6 +485,26 @@ mod tests {
     }
 
     #[test]
+    fn parallel_mode_matches_sequential_end_to_end() {
+        for seed in 0..10 {
+            let cfg = GeneratorConfig::new(6, 12)
+                .with_seed(seed)
+                .with_predicate_density(0.25);
+            let g = generate(&cfg);
+            let a = g.computation.annotate();
+            let wcp = Wcp::over_first(6);
+            for groups in [1usize, 2, 4] {
+                let seq = MultiTokenDetector::new(groups).detect(&a, &wcp);
+                let par = MultiTokenDetector::new(groups)
+                    .with_parallel()
+                    .detect(&a, &wcp);
+                assert_eq!(seq.detection, par.detection, "seed {seed} groups {groups}");
+                assert_eq!(seq.metrics, par.metrics, "seed {seed} groups {groups}");
+            }
+        }
+    }
+
+    #[test]
     fn more_groups_never_increase_critical_path_much() {
         // Statistical sanity: with a planted cut and dense predicates, the
         // 4-group critical path should beat the 1-group one on most seeds.
@@ -376,5 +563,10 @@ mod tests {
         let a = g.computation.annotate();
         let r = MultiTokenDetector::new(2).detect(&a, &Wcp::over_first(4));
         assert_eq!(r.detection, Detection::Undetected);
+        let rp = MultiTokenDetector::new(2)
+            .with_parallel()
+            .detect(&a, &Wcp::over_first(4));
+        assert_eq!(rp.detection, Detection::Undetected);
+        assert_eq!(r.metrics, rp.metrics);
     }
 }

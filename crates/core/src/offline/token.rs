@@ -11,13 +11,13 @@
 use std::fmt;
 use std::sync::Arc;
 
-use wcp_clocks::{Cut, StateId, VectorClock};
+use wcp_clocks::{ClockRow, Cut, StateId};
 use wcp_obs::{NullRecorder, Recorder};
 use wcp_trace::{AnnotatedComputation, Wcp};
 
 use crate::detector::{Detection, DetectionReport, Detector};
 use crate::meter::Meter;
-use crate::snapshot::{vc_snapshot_queues, VcSnapshot};
+use crate::snapshot::VcSnapshotQueues;
 
 /// Colour of a candidate state, as in Figure 3.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,14 +29,36 @@ pub enum Color {
 }
 
 /// The token of the single-token algorithm: the candidate cut and colours.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Colours are kept behind [`color`](Self::color)/[`set_color`](Self::set_color)
+/// so the token can maintain a red-count cache: [`all_green`](Self::all_green)
+/// is `O(1)` instead of an `O(n)` scan per hop, and
+/// [`next_red`](Self::next_red) resolves without scanning in the common
+/// cases (current position still red, or a single red left — the cached
+/// last hit).
+#[derive(Debug, Clone)]
 pub struct Token {
     /// Candidate cut: `G[i]` is the selected interval of scope process `i`
     /// (`0` = none yet).
     pub g: Vec<u64>,
     /// Colours of the candidate states.
-    pub color: Vec<Color>,
+    color: Vec<Color>,
+    /// How many entries of `color` are red.
+    red_count: usize,
+    /// Position most recently set red (valid only while that entry is
+    /// still red; checked before use).
+    last_red: usize,
 }
+
+// Equality is over the protocol state (cut + colours); the caches are
+// derived and excluded so tokens built along different paths compare equal.
+impl PartialEq for Token {
+    fn eq(&self, other: &Self) -> bool {
+        self.g == other.g && self.color == other.color
+    }
+}
+
+impl Eq for Token {}
 
 impl Token {
     /// A fresh token over `n` scope processes (`∀i: G[i] = 0`, all red).
@@ -44,6 +66,8 @@ impl Token {
         Token {
             g: vec![0; n],
             color: vec![Color::Red; n],
+            red_count: n,
+            last_red: 0,
         }
     }
 
@@ -52,17 +76,62 @@ impl Token {
         self.g.len() * 9
     }
 
+    /// The colour of position `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn color(&self, i: usize) -> Color {
+        self.color[i]
+    }
+
+    /// All colours, indexed by scope position.
+    pub fn colors(&self) -> &[Color] {
+        &self.color
+    }
+
+    /// Sets the colour of position `i`, maintaining the red-count cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn set_color(&mut self, i: usize, c: Color) {
+        match (self.color[i], c) {
+            (Color::Green, Color::Red) => {
+                self.red_count += 1;
+                self.last_red = i;
+            }
+            (Color::Red, Color::Green) => self.red_count -= 1,
+            _ => {}
+        }
+        self.color[i] = c;
+    }
+
     /// Index of the first red entry at or cyclically after `from`.
+    ///
+    /// `O(1)` when all entries are green, when `from` itself is red, or
+    /// when the only red left is the cached last hit; otherwise scans the
+    /// red-free gap.
     pub fn next_red(&self, from: usize) -> Option<usize> {
+        if self.red_count == 0 {
+            return None;
+        }
         let n = self.color.len();
-        (0..n)
+        let from = from % n;
+        if self.color[from] == Color::Red {
+            return Some(from);
+        }
+        if self.red_count == 1 && self.color[self.last_red] == Color::Red {
+            return Some(self.last_red);
+        }
+        (1..n)
             .map(|d| (from + d) % n)
             .find(|&j| self.color[j] == Color::Red)
     }
 
-    /// `true` iff every colour is green (detection condition).
+    /// `true` iff every colour is green (detection condition). `O(1)`.
     pub fn all_green(&self) -> bool {
-        self.color.iter().all(|&c| c == Color::Green)
+        self.red_count == 0
     }
 }
 
@@ -85,10 +154,10 @@ impl NextRedStrategy {
     /// Picks the next red position, given the current position.
     pub(crate) fn pick(&self, token: &Token, at: usize) -> Option<usize> {
         match self {
-            NextRedStrategy::Cyclic => token.next_red((at + 1) % token.color.len()),
+            NextRedStrategy::Cyclic => token.next_red((at + 1) % token.g.len()),
             NextRedStrategy::LowestIndex => token.next_red(0),
-            NextRedStrategy::MostBehind => (0..token.color.len())
-                .filter(|&j| token.color[j] == Color::Red)
+            NextRedStrategy::MostBehind => (0..token.g.len())
+                .filter(|&j| token.color(j) == Color::Red)
                 .min_by_key(|&j| token.g[j]),
         }
     }
@@ -175,12 +244,12 @@ impl Detector for TokenDetector {
     fn detect(&self, annotated: &AnnotatedComputation<'_>, wcp: &Wcp) -> DetectionReport {
         let n = wcp.n();
         assert!(n >= 1, "WCP scope must name at least one process");
-        let queues = vc_snapshot_queues(annotated, wcp);
+        let queues = VcSnapshotQueues::build(annotated, wcp);
 
         let mut meter = Meter::new(n, self.recorder.clone());
-        for (i, q) in queues.iter().enumerate() {
-            for (pos, s) in q.iter().enumerate() {
-                meter.snapshot_buffered(i, pos as u64 + 1, s.wire_size() as u64);
+        for i in 0..n {
+            for pos in 0..queues.queue_len(i) {
+                meter.snapshot_buffered(i, pos as u64 + 1, queues.clock(i, pos).wire_size() as u64);
             }
         }
 
@@ -190,10 +259,10 @@ impl Detector for TokenDetector {
         meter.token_acquired(at, None);
 
         loop {
-            debug_assert_eq!(token.color[at], Color::Red, "token sent to a green monitor");
+            debug_assert_eq!(token.color(at), Color::Red, "token sent to a green monitor");
             // Figure 3 `while` loop: consume candidates until one survives.
-            let candidate: &VcSnapshot = loop {
-                let Some(snapshot) = queues[at].get(heads[at]) else {
+            let candidate: ClockRow<'_> = loop {
+                if heads[at] >= queues.queue_len(at) {
                     // Monitor would block forever waiting for a candidate.
                     meter.exhausted(at);
                     meter.finish_sequential();
@@ -201,32 +270,45 @@ impl Detector for TokenDetector {
                         detection: Detection::Undetected,
                         metrics: meter.metrics,
                     };
-                };
+                }
+                let row = queues.clock(at, heads[at]);
+                let interval = row[at];
                 heads[at] += 1;
                 // Consuming a candidate is receive + examine an n-vector.
-                if snapshot.interval > token.g[at] {
-                    meter.candidate_accepted(at, at, snapshot.interval, n as u64);
-                    token.g[at] = snapshot.interval;
-                    token.color[at] = Color::Green;
-                    break snapshot;
+                if interval > token.g[at] {
+                    meter.candidate_accepted(at, at, interval, n as u64);
+                    token.g[at] = interval;
+                    token.set_color(at, Color::Green);
+                    break row;
                 }
-                meter.candidate_eliminated(at, at, snapshot.interval, n as u64);
+                meter.candidate_eliminated(at, at, interval, n as u64);
             };
 
             // Figure 3 `for` loop: eliminate states preceding the new
-            // candidate.
+            // candidate. Fast path first: one branch-light pass over the
+            // flat row against `G`; the mutating scan (colour writes,
+            // invalidation events) only runs when some selected state is
+            // actually dominated. The skip changes no metrics or events —
+            // when nothing is dominated the scan would not write either.
             meter.work(at, n as u64);
-            for j in 0..n {
-                if j == at {
-                    continue;
-                }
-                let seen = candidate.clock.as_slice()[j];
-                if seen >= token.g[j] && seen > 0 {
-                    token.g[j] = seen;
-                    if token.color[j] == Color::Green {
-                        meter.candidate_invalidated(at, j, seen);
+            let row = candidate.as_slice();
+            let mut dominated = false;
+            for (j, (&seen, &gj)) in row.iter().zip(&token.g).enumerate() {
+                dominated |= j != at && seen >= gj && seen > 0;
+            }
+            if dominated {
+                for j in 0..n {
+                    if j == at {
+                        continue;
                     }
-                    token.color[j] = Color::Red;
+                    let seen = row[j];
+                    if seen >= token.g[j] && seen > 0 {
+                        token.g[j] = seen;
+                        if token.color(j) == Color::Green {
+                            meter.candidate_invalidated(at, j, seen);
+                        }
+                        token.set_color(j, Color::Red);
+                    }
                 }
             }
 
@@ -266,7 +348,7 @@ fn check_lemma_3_1(annotated: &AnnotatedComputation<'_>, wcp: &Wcp, token: &Toke
         if token.g[i] == 0 {
             continue;
         }
-        match token.color[i] {
+        match token.color(i) {
             Color::Red => {
                 // Part 1: a red non-zero state happened before some
                 // selected state.
@@ -299,7 +381,7 @@ fn check_lemma_3_1(annotated: &AnnotatedComputation<'_>, wcp: &Wcp, token: &Toke
     // check both directions explicitly).
     for i in 0..scope.len() {
         for j in i + 1..scope.len() {
-            if token.color[i] == Color::Green && token.color[j] == Color::Green {
+            if token.color(i) == Color::Green && token.color(j) == Color::Green {
                 assert!(
                     annotated.concurrent(state(i), state(j)),
                     "Lemma 3.1(3) violated: greens {} and {} not concurrent",
@@ -310,9 +392,6 @@ fn check_lemma_3_1(annotated: &AnnotatedComputation<'_>, wcp: &Wcp, token: &Toke
         }
     }
 }
-
-/// Suppress a false "unused" warning: `VectorClock` appears in pub types.
-const _: fn(&VectorClock) -> usize = VectorClock::wire_size;
 
 #[cfg(test)]
 mod tests {
@@ -333,7 +412,7 @@ mod tests {
     fn token_new_matches_figure3_init() {
         let t = Token::new(3);
         assert_eq!(t.g, vec![0, 0, 0]);
-        assert!(t.color.iter().all(|&c| c == Color::Red));
+        assert!(t.colors().iter().all(|&c| c == Color::Red));
         assert!(!t.all_green());
         assert_eq!(t.next_red(1), Some(1));
         assert_eq!(t.wire_size(), 27);
@@ -342,12 +421,48 @@ mod tests {
     #[test]
     fn next_red_wraps() {
         let mut t = Token::new(3);
-        t.color[1] = Color::Green;
-        t.color[2] = Color::Green;
+        t.set_color(1, Color::Green);
+        t.set_color(2, Color::Green);
         assert_eq!(t.next_red(1), Some(0));
-        t.color[0] = Color::Green;
+        t.set_color(0, Color::Green);
         assert_eq!(t.next_red(0), None);
         assert!(t.all_green());
+    }
+
+    #[test]
+    fn red_count_cache_tracks_set_color() {
+        let mut t = Token::new(4);
+        // Idempotent sets don't skew the count.
+        t.set_color(0, Color::Red);
+        t.set_color(1, Color::Green);
+        t.set_color(1, Color::Green);
+        t.set_color(2, Color::Green);
+        t.set_color(3, Color::Green);
+        assert!(!t.all_green());
+        // Exactly one red left: next_red finds it from any start (the
+        // cached-last-hit fast path after a green→red flip).
+        t.set_color(0, Color::Green);
+        t.set_color(2, Color::Red);
+        for from in 0..4 {
+            assert_eq!(t.next_red(from), Some(2));
+        }
+        t.set_color(2, Color::Green);
+        assert!(t.all_green());
+        assert_eq!(t.next_red(0), None);
+    }
+
+    #[test]
+    fn token_equality_ignores_caches() {
+        // Same (g, colours) reached along different set_color paths.
+        let mut a = Token::new(3);
+        a.set_color(0, Color::Green);
+        let mut b = Token::new(3);
+        b.set_color(1, Color::Green);
+        b.set_color(2, Color::Green);
+        b.set_color(2, Color::Red);
+        b.set_color(1, Color::Red);
+        b.set_color(0, Color::Green);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -8,7 +8,6 @@
 //! `O(nm)` buffered snapshots — lands on one actor, which is exactly the
 //! imbalance the paper's distributed algorithms remove.
 
-use std::collections::VecDeque;
 use std::sync::Arc;
 
 use std::sync::Mutex;
@@ -22,7 +21,7 @@ use crate::online::app::{AppProcess, ClockMode};
 use crate::online::harness::OnlineReport;
 use crate::online::messages::DetectMsg;
 use crate::online::vc_monitor::{OnlineDetection, OnlineStats, SharedOutcome, SharedStats};
-use crate::snapshot::VcSnapshot;
+use crate::snapshot::SnapshotBuffer;
 
 /// The checker actor: buffers every scope process's snapshots and runs the
 /// head-elimination loop incrementally as they arrive.
@@ -31,7 +30,7 @@ pub struct CheckerProcess {
     n: usize,
     /// Application actor id → scope position.
     position_of: Vec<Option<usize>>,
-    queues: Vec<VecDeque<VcSnapshot>>,
+    queues: Vec<SnapshotBuffer>,
     eot: Vec<bool>,
     done: bool,
     result: SharedOutcome,
@@ -50,7 +49,7 @@ impl CheckerProcess {
         CheckerProcess {
             n,
             position_of,
-            queues: (0..n).map(|_| VecDeque::new()).collect(),
+            queues: (0..n).map(|_| SnapshotBuffer::new(n)).collect(),
             eot: vec![false; n],
             done: false,
             result,
@@ -82,9 +81,12 @@ impl CheckerProcess {
                     if i == j {
                         continue;
                     }
-                    let hi = self.queues[i].front().expect("nonempty");
-                    let hj = self.queues[j].front().expect("nonempty");
-                    if hj.clock.as_slice()[i] >= hi.interval {
+                    let qi = &self.queues[i];
+                    let qj = &self.queues[j];
+                    let hi = qi.row(qi.front().expect("nonempty"));
+                    let hj = qj.row(qj.front().expect("nonempty"));
+                    // Figure 2: hi's own component is its interval index.
+                    if hj[i] >= hi[i] {
                         eliminated = Some(i); // (i, hi) → (j, hj)
                         break 'pairs;
                     }
@@ -92,13 +94,14 @@ impl CheckerProcess {
             }
             match eliminated {
                 Some(i) => {
-                    self.queues[i].pop_front();
+                    self.queues[i].pop();
                 }
                 None => {
-                    let g = self
-                        .queues
-                        .iter()
-                        .map(|q| q.front().expect("nonempty").interval)
+                    let g = (0..self.n)
+                        .map(|i| {
+                            let q = &self.queues[i];
+                            q.row(q.front().expect("nonempty"))[i]
+                        })
                         .collect();
                     self.done = true;
                     *self.result.lock().unwrap() = Some(OnlineDetection::Detected(g));
@@ -115,7 +118,7 @@ impl Actor<DetectMsg> for CheckerProcess {
         let pos = self.position_of[from.index()].expect("snapshot from non-scope process");
         match msg {
             DetectMsg::VcSnapshot(s) => {
-                self.queues[pos].push_back(s);
+                self.queues[pos].push(&s);
                 let buffered: u64 = self.queues.iter().map(|q| q.len() as u64).sum();
                 {
                     let mut stats = self.stats.lock().unwrap();

@@ -23,7 +23,7 @@ use crate::online::app::{AppProcess, ClockMode};
 use crate::online::harness::OnlineReport;
 use crate::online::messages::{DetectMsg, GroupTokenMsg};
 use crate::online::vc_monitor::{OnlineDetection, OnlineStats, SharedOutcome, SharedStats};
-use crate::snapshot::VcSnapshot;
+use crate::snapshot::SnapshotBuffer;
 
 /// A group member: runs Figure 3 within its group on the group token.
 #[derive(Debug)]
@@ -34,7 +34,7 @@ struct GroupMonitor {
     members: Vec<usize>,
     monitors: Vec<ActorId>,
     leader: ActorId,
-    queue: std::collections::VecDeque<VcSnapshot>,
+    queue: SnapshotBuffer,
     eot: bool,
     token: Option<GroupTokenMsg>,
     done: bool,
@@ -51,7 +51,7 @@ impl GroupMonitor {
         debug_assert_eq!(token.color[self.pos], Color::Red, "token held while green");
 
         let candidate = loop {
-            let Some(snapshot) = self.queue.pop_front() else {
+            let Some(row_id) = self.queue.pop() else {
                 if self.eot {
                     self.done = true;
                     *self.result.lock().unwrap() = Some(OnlineDetection::Undetected);
@@ -60,20 +60,23 @@ impl GroupMonitor {
                 return;
             };
             ctx.add_work(self.n as u64);
-            if snapshot.interval > token.g[self.pos] {
-                token.g[self.pos] = snapshot.interval;
+            // Figure 2: the clock's own component is the interval index.
+            let interval = self.queue.row(row_id)[self.pos];
+            if interval > token.g[self.pos] {
+                token.g[self.pos] = interval;
                 token.color[self.pos] = Color::Green;
-                break snapshot;
+                break row_id;
             }
         };
-        token.candidates[self.pos] = Some(candidate.clock.clone());
+        let candidate = self.queue.row(candidate);
+        token.candidates[self.pos] = Some(candidate.to_vector_clock());
 
         ctx.add_work(self.n as u64);
         for j in 0..self.n {
             if j == self.pos {
                 continue;
             }
-            let seen = candidate.clock.as_slice()[j];
+            let seen = candidate[j];
             if seen >= token.g[j] && seen > 0 {
                 token.g[j] = seen;
                 token.color[j] = Color::Red;
@@ -103,7 +106,7 @@ impl Actor<DetectMsg> for GroupMonitor {
     fn on_message(&mut self, ctx: &mut dyn Context<DetectMsg>, _from: ActorId, msg: DetectMsg) {
         match msg {
             DetectMsg::VcSnapshot(s) => {
-                self.queue.push_back(s);
+                self.queue.push(&s);
                 {
                     let mut stats = self.stats.lock().unwrap();
                     stats.max_buffered = stats.max_buffered.max(self.queue.len() as u64);
@@ -305,7 +308,7 @@ pub fn run_multi_token(
             members: members[group_of[pos]].clone(),
             monitors: monitors.clone(),
             leader,
-            queue: std::collections::VecDeque::new(),
+            queue: SnapshotBuffer::new(n),
             eot: false,
             token: None,
             done: false,

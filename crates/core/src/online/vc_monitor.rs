@@ -1,6 +1,5 @@
 //! The Figure 3 monitor actor (single-token vector-clock algorithm).
 
-use std::collections::VecDeque;
 use std::fmt;
 use std::sync::Arc;
 
@@ -10,7 +9,7 @@ use wcp_sim::{Actor, ActorId, Context};
 
 use crate::offline::token::{Color, Token};
 use crate::online::messages::DetectMsg;
-use crate::snapshot::VcSnapshot;
+use crate::snapshot::SnapshotBuffer;
 
 /// Result cell shared between monitor actors and the harness.
 ///
@@ -51,7 +50,7 @@ pub struct VcMonitor {
     n: usize,
     /// Monitor actors by scope position.
     monitors: Vec<ActorId>,
-    queue: VecDeque<VcSnapshot>,
+    queue: SnapshotBuffer,
     eot: bool,
     token: Option<Token>,
     starts_with_token: bool,
@@ -89,7 +88,7 @@ impl VcMonitor {
             pos,
             n,
             monitors,
-            queue: VecDeque::new(),
+            queue: SnapshotBuffer::new(n),
             eot: false,
             token: None,
             starts_with_token,
@@ -120,12 +119,12 @@ impl VcMonitor {
             return;
         }
         let Some(token) = &mut self.token else { return };
-        debug_assert_eq!(token.color[self.pos], Color::Red, "token held while green");
+        debug_assert_eq!(token.color(self.pos), Color::Red, "token held while green");
 
         let observe = self.recorder.is_enabled();
         // `while (color[i] = red) do receive candidate …`
         let candidate = loop {
-            let Some(snapshot) = self.queue.pop_front() else {
+            let Some(row_id) = self.queue.pop() else {
                 if self.eot {
                     // No further candidate can ever arrive: the predicate
                     // cannot hold at this process again.
@@ -143,18 +142,19 @@ impl VcMonitor {
                 return; // wait for more snapshots
             };
             ctx.add_work(self.n as u64);
-            let survives = snapshot.interval > token.g[self.pos];
+            let interval = self.queue.row(row_id)[self.pos];
+            let survives = interval > token.g[self.pos];
             if observe {
                 let event = if survives {
                     TraceEvent::CandidateAccepted {
                         process: self.pos as u32,
-                        interval: snapshot.interval,
+                        interval,
                         work: self.n as u64,
                     }
                 } else {
                     TraceEvent::CandidateEliminated {
                         process: self.pos as u32,
-                        interval: snapshot.interval,
+                        interval,
                         work: self.n as u64,
                     }
                 };
@@ -162,9 +162,9 @@ impl VcMonitor {
                     .record(self.pos as u32, LogicalTime::Tick(ctx.now()), event);
             }
             if survives {
-                token.g[self.pos] = snapshot.interval;
-                token.color[self.pos] = Color::Green;
-                break snapshot;
+                token.g[self.pos] = interval;
+                token.set_color(self.pos, Color::Green);
+                break row_id;
             }
         };
 
@@ -179,14 +179,15 @@ impl VcMonitor {
                 },
             );
         }
+        let candidate = self.queue.row(candidate);
         for j in 0..self.n {
             if j == self.pos {
                 continue;
             }
-            let seen = candidate.clock.as_slice()[j];
+            let seen = candidate[j];
             if seen >= token.g[j] && seen > 0 {
                 token.g[j] = seen;
-                if observe && token.color[j] == Color::Green {
+                if observe && token.color(j) == Color::Green {
                     self.recorder.record(
                         self.pos as u32,
                         LogicalTime::Tick(ctx.now()),
@@ -196,7 +197,7 @@ impl VcMonitor {
                         },
                     );
                 }
-                token.color[j] = Color::Red;
+                token.set_color(j, Color::Red);
             }
         }
 
@@ -257,7 +258,7 @@ impl Actor<DetectMsg> for VcMonitor {
                         },
                     );
                 }
-                self.queue.push_back(s);
+                self.queue.push(&s);
                 {
                     let mut stats = self.stats.lock().unwrap();
                     stats.max_buffered = stats.max_buffered.max(self.queue.len() as u64);
@@ -294,6 +295,7 @@ impl Actor<DetectMsg> for VcMonitor {
 mod tests {
     use super::*;
     use crate::online::testing::MockCtx;
+    use crate::snapshot::VcSnapshot;
     use wcp_clocks::VectorClock;
 
     #[test]
@@ -379,7 +381,7 @@ mod tests {
         // Token with P0 already green at G[0]=1.
         let mut token = Token::new(2);
         token.g = vec![1, 0];
-        token.color[0] = Color::Green;
+        token.set_color(0, Color::Green);
         m.on_message(&mut ctx, ActorId::new(1), snapshot(1, vec![0, 1]));
         m.on_message(&mut ctx, ActorId::new(10), DetectMsg::VcToken(token));
         assert!(ctx.stopped);
@@ -395,7 +397,7 @@ mod tests {
         let mut ctx = MockCtx::default();
         let mut token = Token::new(2);
         token.g = vec![1, 0];
-        token.color[0] = Color::Green;
+        token.set_color(0, Color::Green);
         // Candidate knows P0's interval 1 → (P0,1) happened before it:
         // P0 must be re-reddened and the token sent back.
         m.on_message(&mut ctx, ActorId::new(1), snapshot(2, vec![1, 2]));
@@ -408,8 +410,8 @@ mod tests {
         match &sent[0].1 {
             DetectMsg::VcToken(t) => {
                 assert_eq!(t.g, vec![1, 2]);
-                assert_eq!(t.color[0], Color::Red);
-                assert_eq!(t.color[1], Color::Green);
+                assert_eq!(t.color(0), Color::Red);
+                assert_eq!(t.color(1), Color::Green);
             }
             other => panic!("expected token, got {other:?}"),
         }

@@ -1,0 +1,149 @@
+//! Property tests for the arena snapshot substrate (ISSUE 2).
+//!
+//! Two invariants hold across randomly generated computations:
+//!
+//! 1. The arena-backed [`VcSnapshotQueues`] is element-for-element equal to
+//!    the legacy per-`Vec` [`vc_snapshot_queues`] reference path — same
+//!    queue lengths, same intervals, same clock components.
+//! 2. Parallel multi-token detection (`with_parallel`, plus the parallel
+//!    arena build it uses) is bit-identical to the sequential emulation:
+//!    same [`Detection`] *and* same [`DetectionMetrics`], for every group
+//!    count.
+
+use wcp_detect::{
+    vc_snapshot_queues, Detector, MultiTokenDetector, TokenDetector, VcSnapshotQueues,
+};
+use wcp_trace::generate::{generate, GeneratorConfig};
+use wcp_trace::Wcp;
+
+/// A spread of generator shapes: narrow/wide, sparse/dense predicates,
+/// planted and unplanted cuts, heavy and light messaging.
+fn configs(seed: u64) -> Vec<GeneratorConfig> {
+    vec![
+        GeneratorConfig::new(3, 8).with_seed(seed),
+        GeneratorConfig::new(6, 12)
+            .with_seed(seed)
+            .with_predicate_density(0.3),
+        GeneratorConfig::new(8, 10)
+            .with_seed(seed)
+            .with_predicate_density(0.6)
+            .with_plant(0.7),
+        GeneratorConfig::new(5, 14)
+            .with_seed(seed)
+            .with_predicate_density(0.1)
+            .with_send_fraction(0.8),
+        GeneratorConfig::new(10, 9)
+            .with_seed(seed)
+            .with_predicate_density(0.4),
+    ]
+}
+
+#[test]
+fn arena_queues_equal_legacy_queues_across_seeds() {
+    for seed in 0..20 {
+        for (ci, cfg) in configs(seed).into_iter().enumerate() {
+            let g = generate(&cfg);
+            let annotated = g.computation.annotate();
+            let total = annotated.process_count();
+            for scope_n in [1, (total + 1) / 2, total] {
+                let wcp = Wcp::over_first(scope_n);
+                let legacy = vc_snapshot_queues(&annotated, &wcp);
+                let arena = VcSnapshotQueues::build(&annotated, &wcp);
+                assert_eq!(arena.scope_width(), scope_n);
+                assert_eq!(legacy.len(), scope_n, "seed {seed} cfg {ci}");
+                for (pos, queue) in legacy.iter().enumerate() {
+                    assert_eq!(
+                        arena.queue_len(pos),
+                        queue.len(),
+                        "seed {seed} cfg {ci} scope {scope_n} pos {pos}"
+                    );
+                    for (i, snapshot) in queue.iter().enumerate() {
+                        assert_eq!(
+                            arena.interval(pos, i),
+                            snapshot.interval,
+                            "seed {seed} cfg {ci} pos {pos} snapshot {i}"
+                        );
+                        assert_eq!(
+                            arena.clock(pos, i).as_slice(),
+                            snapshot.clock.as_slice(),
+                            "seed {seed} cfg {ci} pos {pos} snapshot {i}"
+                        );
+                        assert_eq!(arena.to_vc_snapshot(pos, i), *snapshot);
+                    }
+                }
+                // The whole substrate is one allocation (or zero when empty).
+                assert!(arena.clock_allocations() <= 1);
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_arena_build_equals_sequential_build() {
+    for seed in 0..20 {
+        for cfg in configs(seed) {
+            let g = generate(&cfg);
+            let annotated = g.computation.annotate();
+            let total = annotated.process_count();
+            for scope_n in [1, total] {
+                let wcp = Wcp::over_first(scope_n);
+                let seq = VcSnapshotQueues::build(&annotated, &wcp);
+                let par = VcSnapshotQueues::build_parallel(&annotated, &wcp);
+                assert_eq!(
+                    seq.arena().as_flat_slice(),
+                    par.arena().as_flat_slice(),
+                    "seed {seed} scope {scope_n}"
+                );
+                assert_eq!(seq.total_snapshots(), par.total_snapshots());
+                for pos in 0..scope_n {
+                    assert_eq!(seq.queue_len(pos), par.queue_len(pos));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_multi_token_is_bit_identical_to_sequential() {
+    for seed in 0..15 {
+        for (ci, cfg) in configs(seed).into_iter().enumerate() {
+            let g = generate(&cfg);
+            let annotated = g.computation.annotate();
+            let total = annotated.process_count();
+            let wcp = Wcp::over_first(total);
+            for groups in [1usize, 2, 4] {
+                let sequential = MultiTokenDetector::new(groups).detect(&annotated, &wcp);
+                let parallel = MultiTokenDetector::new(groups)
+                    .with_parallel()
+                    .detect(&annotated, &wcp);
+                assert_eq!(
+                    sequential.detection, parallel.detection,
+                    "seed {seed} cfg {ci} groups {groups}"
+                );
+                assert_eq!(
+                    sequential.metrics, parallel.metrics,
+                    "seed {seed} cfg {ci} groups {groups}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn multi_token_agrees_with_single_token_in_both_modes() {
+    for seed in 0..10 {
+        let cfg = GeneratorConfig::new(7, 12)
+            .with_seed(seed)
+            .with_predicate_density(0.35);
+        let g = generate(&cfg);
+        let annotated = g.computation.annotate();
+        let wcp = Wcp::over_first(7);
+        let token = TokenDetector::new().detect(&annotated, &wcp);
+        for groups in [2usize, 4] {
+            let parallel = MultiTokenDetector::new(groups)
+                .with_parallel()
+                .detect(&annotated, &wcp);
+            assert_eq!(parallel.detection, token.detection, "seed {seed}");
+        }
+    }
+}

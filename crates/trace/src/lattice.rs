@@ -37,7 +37,7 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 
-use wcp_clocks::{Cut, ProcessId};
+use wcp_clocks::{ClockArena, Cut, ProcessId};
 
 use crate::computation::Computation;
 use crate::event::{Event, MsgId};
@@ -267,26 +267,44 @@ impl<'a> LatticeExplorer<'a> {
 
     /// Level-order traversal of the lattice, invoking `visit` on each state;
     /// stops early if `visit` returns `true`.
+    ///
+    /// The frontier is arena-backed: pending cuts live in one flat
+    /// [`ClockArena`] and the queue holds row ids, so expanding a state
+    /// allocates only the dedup key (the `seen` set needs owned keys)
+    /// instead of a [`Cut`] per enqueued successor plus a key.
     fn bfs<F: FnMut(&Cut) -> bool>(
         &self,
         max_states: usize,
         mut visit: F,
     ) -> Result<(), LatticeTruncated> {
+        let n = self.computation.process_count();
         let start = self.initial_cut();
         let mut seen: HashSet<Vec<u64>> = HashSet::new();
-        let mut queue: VecDeque<Cut> = VecDeque::new();
+        let mut arena = ClockArena::new(n);
+        let mut queue: VecDeque<usize> = VecDeque::new();
         seen.insert(start.as_slice().to_vec());
-        queue.push_back(start);
-        while let Some(cut) = queue.pop_front() {
+        queue.push_back(arena.push(start.as_slice()));
+        // Scratch cut, re-filled from the current row before each visit.
+        let mut cut = start;
+        while let Some(id) = queue.pop_front() {
+            for (i, &v) in arena.row(id).as_slice().iter().enumerate() {
+                cut.set(ProcessId::new(i as u32), v);
+            }
             if visit(&cut) {
                 return Ok(());
             }
-            for next in self.successors(&cut) {
-                if seen.insert(next.as_slice().to_vec()) {
-                    if seen.len() > max_states {
+            for p in ProcessId::all(n) {
+                if !self.can_advance(&cut, p) {
+                    continue;
+                }
+                let mut key = arena.row(id).as_slice().to_vec();
+                key[p.index()] += 1;
+                if !seen.contains(&key) {
+                    if seen.len() >= max_states {
                         return Err(LatticeTruncated { max_states });
                     }
-                    queue.push_back(next);
+                    queue.push_back(arena.push(&key));
+                    seen.insert(key);
                 }
             }
         }

@@ -1,0 +1,21 @@
+#!/bin/sh
+# Perf trajectory capture: runs the standard workloads through every
+# detector family in release mode and appends a labelled entry to
+# BENCH_wcp.json (same label replaces, so re-runs are reproducible).
+#
+# Usage: scripts/bench.sh [LABEL] [OUT.json]
+#   LABEL     entry label (default: current)
+#   OUT.json  trajectory file (default: BENCH_wcp.json)
+#
+# This is informational tooling, NOT part of tier-1 verification
+# (scripts/verify.sh); timings are machine-dependent and must never
+# gate a build.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+label="${1:-current}"
+out="${2:-BENCH_wcp.json}"
+
+cargo run -p wcp-bench --bin harness --release --offline -q -- \
+    bench "$out" --label "$label"

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrate-201bf37679d90947.d: crates/core/tests/substrate.rs
+
+/root/repo/target/debug/deps/substrate-201bf37679d90947: crates/core/tests/substrate.rs
+
+crates/core/tests/substrate.rs:

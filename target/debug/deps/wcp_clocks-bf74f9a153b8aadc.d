@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/wcp_clocks-bf74f9a153b8aadc.d: crates/clocks/src/lib.rs crates/clocks/src/cut.rs crates/clocks/src/dependence.rs crates/clocks/src/process.rs crates/clocks/src/scalar.rs crates/clocks/src/vector.rs
+/root/repo/target/debug/deps/wcp_clocks-bf74f9a153b8aadc.d: crates/clocks/src/lib.rs crates/clocks/src/arena.rs crates/clocks/src/cut.rs crates/clocks/src/dependence.rs crates/clocks/src/process.rs crates/clocks/src/scalar.rs crates/clocks/src/vector.rs
 
-/root/repo/target/debug/deps/libwcp_clocks-bf74f9a153b8aadc.rlib: crates/clocks/src/lib.rs crates/clocks/src/cut.rs crates/clocks/src/dependence.rs crates/clocks/src/process.rs crates/clocks/src/scalar.rs crates/clocks/src/vector.rs
+/root/repo/target/debug/deps/libwcp_clocks-bf74f9a153b8aadc.rlib: crates/clocks/src/lib.rs crates/clocks/src/arena.rs crates/clocks/src/cut.rs crates/clocks/src/dependence.rs crates/clocks/src/process.rs crates/clocks/src/scalar.rs crates/clocks/src/vector.rs
 
-/root/repo/target/debug/deps/libwcp_clocks-bf74f9a153b8aadc.rmeta: crates/clocks/src/lib.rs crates/clocks/src/cut.rs crates/clocks/src/dependence.rs crates/clocks/src/process.rs crates/clocks/src/scalar.rs crates/clocks/src/vector.rs
+/root/repo/target/debug/deps/libwcp_clocks-bf74f9a153b8aadc.rmeta: crates/clocks/src/lib.rs crates/clocks/src/arena.rs crates/clocks/src/cut.rs crates/clocks/src/dependence.rs crates/clocks/src/process.rs crates/clocks/src/scalar.rs crates/clocks/src/vector.rs
 
 crates/clocks/src/lib.rs:
+crates/clocks/src/arena.rs:
 crates/clocks/src/cut.rs:
 crates/clocks/src/dependence.rs:
 crates/clocks/src/process.rs:

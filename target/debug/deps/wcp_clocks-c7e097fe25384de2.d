@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/wcp_clocks-c7e097fe25384de2.d: crates/clocks/src/lib.rs crates/clocks/src/cut.rs crates/clocks/src/dependence.rs crates/clocks/src/process.rs crates/clocks/src/scalar.rs crates/clocks/src/vector.rs
+/root/repo/target/debug/deps/wcp_clocks-c7e097fe25384de2.d: crates/clocks/src/lib.rs crates/clocks/src/arena.rs crates/clocks/src/cut.rs crates/clocks/src/dependence.rs crates/clocks/src/process.rs crates/clocks/src/scalar.rs crates/clocks/src/vector.rs
 
-/root/repo/target/debug/deps/wcp_clocks-c7e097fe25384de2: crates/clocks/src/lib.rs crates/clocks/src/cut.rs crates/clocks/src/dependence.rs crates/clocks/src/process.rs crates/clocks/src/scalar.rs crates/clocks/src/vector.rs
+/root/repo/target/debug/deps/wcp_clocks-c7e097fe25384de2: crates/clocks/src/lib.rs crates/clocks/src/arena.rs crates/clocks/src/cut.rs crates/clocks/src/dependence.rs crates/clocks/src/process.rs crates/clocks/src/scalar.rs crates/clocks/src/vector.rs
 
 crates/clocks/src/lib.rs:
+crates/clocks/src/arena.rs:
 crates/clocks/src/cut.rs:
 crates/clocks/src/dependence.rs:
 crates/clocks/src/process.rs:

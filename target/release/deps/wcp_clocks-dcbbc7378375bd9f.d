@@ -1,10 +1,11 @@
-/root/repo/target/release/deps/wcp_clocks-dcbbc7378375bd9f.d: crates/clocks/src/lib.rs crates/clocks/src/cut.rs crates/clocks/src/dependence.rs crates/clocks/src/process.rs crates/clocks/src/scalar.rs crates/clocks/src/vector.rs
+/root/repo/target/release/deps/wcp_clocks-dcbbc7378375bd9f.d: crates/clocks/src/lib.rs crates/clocks/src/arena.rs crates/clocks/src/cut.rs crates/clocks/src/dependence.rs crates/clocks/src/process.rs crates/clocks/src/scalar.rs crates/clocks/src/vector.rs
 
-/root/repo/target/release/deps/libwcp_clocks-dcbbc7378375bd9f.rlib: crates/clocks/src/lib.rs crates/clocks/src/cut.rs crates/clocks/src/dependence.rs crates/clocks/src/process.rs crates/clocks/src/scalar.rs crates/clocks/src/vector.rs
+/root/repo/target/release/deps/libwcp_clocks-dcbbc7378375bd9f.rlib: crates/clocks/src/lib.rs crates/clocks/src/arena.rs crates/clocks/src/cut.rs crates/clocks/src/dependence.rs crates/clocks/src/process.rs crates/clocks/src/scalar.rs crates/clocks/src/vector.rs
 
-/root/repo/target/release/deps/libwcp_clocks-dcbbc7378375bd9f.rmeta: crates/clocks/src/lib.rs crates/clocks/src/cut.rs crates/clocks/src/dependence.rs crates/clocks/src/process.rs crates/clocks/src/scalar.rs crates/clocks/src/vector.rs
+/root/repo/target/release/deps/libwcp_clocks-dcbbc7378375bd9f.rmeta: crates/clocks/src/lib.rs crates/clocks/src/arena.rs crates/clocks/src/cut.rs crates/clocks/src/dependence.rs crates/clocks/src/process.rs crates/clocks/src/scalar.rs crates/clocks/src/vector.rs
 
 crates/clocks/src/lib.rs:
+crates/clocks/src/arena.rs:
 crates/clocks/src/cut.rs:
 crates/clocks/src/dependence.rs:
 crates/clocks/src/process.rs:
