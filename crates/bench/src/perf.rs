@@ -9,11 +9,14 @@
 //! label (`pre-arena`, `arena`, …); regenerating an entry with the same
 //! label replaces it, so the file stays reproducible.
 
+use wcp_detect::online::run_vc_token;
 use wcp_detect::{
     CentralizedChecker, Detector, DirectDependenceDetector, LatticeDetector, MultiTokenDetector,
     TokenDetector, VcSnapshotQueues,
 };
+use wcp_net::{run_vc_token_net, NetConfig};
 use wcp_obs::json::Json;
+use wcp_sim::SimConfig;
 
 use crate::timing;
 use crate::workloads;
@@ -144,8 +147,54 @@ fn measure_workload(spec: WorkloadSpec, samples: usize) -> Json {
     ])
 }
 
+/// Shape of the net-loopback comparison workload. Kept small: every
+/// measured iteration spawns one OS thread per scope process.
+const NET_WORKLOAD: WorkloadSpec = WorkloadSpec {
+    processes: 4,
+    events: 10,
+    seed: 7,
+};
+
+/// Measures online vector-clock token detection end to end twice on the
+/// same workload: through the in-process discrete-event simulator, and
+/// over the `wcp-net` loopback transport (real peers, framed wire codec,
+/// reliability layer — everything but the socket). The delta is the cost
+/// of the wire stack itself; the loopback run's [`wcp_net::NetStats`]
+/// supplies the frame/byte traffic totals.
+fn net_loopback_stats(samples: usize) -> Json {
+    let spec = NET_WORKLOAD;
+    let computation = workloads::detectable(spec.processes, spec.events, spec.seed);
+    let wcp = workloads::scope(spec.processes);
+    let sim = run_vc_token(&computation, &wcp, SimConfig::seeded(1));
+    let net = run_vc_token_net(&computation, &wcp, NetConfig::loopback());
+    assert_eq!(
+        net.report.detection, sim.report.detection,
+        "loopback verdict diverged from the simulator's — wire stack bug"
+    );
+    let sim_t = timing::run("net/sim", samples, || {
+        std::hint::black_box(run_vc_token(&computation, &wcp, SimConfig::seeded(1)));
+    });
+    let net_t = timing::run("net/loopback", samples, || {
+        std::hint::black_box(run_vc_token_net(&computation, &wcp, NetConfig::loopback()));
+    });
+    Json::obj([
+        ("processes", Json::UInt(spec.processes as u64)),
+        ("events", Json::UInt(spec.events as u64)),
+        ("seed", Json::UInt(spec.seed)),
+        ("detected", Json::Bool(net.report.detection.is_detected())),
+        ("sim_median_ns", Json::UInt(sim_t.median_ns)),
+        ("sim_min_ns", Json::UInt(sim_t.min_ns)),
+        ("loopback_median_ns", Json::UInt(net_t.median_ns)),
+        ("loopback_min_ns", Json::UInt(net_t.min_ns)),
+        ("frames_sent", Json::UInt(net.net.frames_sent)),
+        ("bytes_sent", Json::UInt(net.net.bytes_sent)),
+        ("frames_received", Json::UInt(net.net.frames_received)),
+        ("bytes_received", Json::UInt(net.net.bytes_received)),
+    ])
+}
+
 /// One labelled trajectory entry: every standard workload measured through
-/// every applicable detector family.
+/// every applicable detector family, plus the net-loopback comparison.
 pub fn entry(label: &str, samples: usize) -> Json {
     let workloads = standard_workloads()
         .into_iter()
@@ -155,6 +204,7 @@ pub fn entry(label: &str, samples: usize) -> Json {
         ("label", Json::Str(label.to_string())),
         ("samples", Json::UInt(samples as u64)),
         ("workloads", Json::Arr(workloads)),
+        ("net_loopback", net_loopback_stats(samples)),
     ])
 }
 
@@ -232,6 +282,25 @@ mod tests {
         assert!(names.iter().any(|n| n == "token"));
         let small: Vec<String> = detectors(4).into_iter().map(|(n, _)| n).collect();
         assert!(small.iter().any(|n| n == "lattice"));
+    }
+
+    #[test]
+    fn net_loopback_stats_report_traffic_and_agree_with_sim() {
+        let stats = net_loopback_stats(1);
+        assert_eq!(stats.get("detected").unwrap().as_bool(), Some(true));
+        assert!(stats.get("frames_sent").unwrap().as_u64().unwrap() > 0);
+        assert!(stats.get("bytes_sent").unwrap().as_u64().unwrap() > 0);
+        assert!(
+            stats
+                .get("loopback_median_ns")
+                .unwrap()
+                .as_u64()
+                .unwrap()
+                .max(1)
+                > 0
+        );
+        let text = stats.pretty();
+        assert_eq!(Json::parse(&text).unwrap(), stats);
     }
 
     #[test]

@@ -3,18 +3,23 @@
 //! processes.
 
 use std::fs;
+use std::net::SocketAddr;
 use std::sync::Arc;
+use std::time::Duration;
 
 use wcp_clocks::ProcessId;
 use wcp_detect::lower_bound::run_optimal_algorithm;
-use wcp_detect::online::{run_direct_recorded, run_vc_token_recorded};
+use wcp_detect::online::{run_direct, run_direct_recorded, run_vc_token, run_vc_token_recorded};
 use wcp_detect::{
     CentralizedChecker, ChannelPredicate, ChannelTerm, Detection, DetectionReport, Detector,
     DirectDependenceDetector, Gcp, GcpChecker, LatticeDetector, MultiTokenDetector, TokenDetector,
 };
+use wcp_net::{
+    run_direct_net, run_vc_token_net, serve_vc_peer, NetConfig, NetReport, TransportKind,
+};
 use wcp_obs::json::{FromJson, Json, ToJson};
-use wcp_obs::{jsonl, Recorder, RingRecorder, RunReport};
-use wcp_sim::SimConfig;
+use wcp_obs::{jsonl, NullRecorder, Recorder, RingRecorder, RunReport};
+use wcp_sim::{FaultConfig, SimConfig};
 use wcp_trace::channel::ChannelId;
 use wcp_trace::generate::{generate as generate_workload, GeneratorConfig, Topology};
 use wcp_trace::lattice::LatticeExplorer;
@@ -417,6 +422,153 @@ pub fn lattice(raw: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
+fn parse_fault_config(args: &Args) -> Result<Option<FaultConfig>, CliError> {
+    let faults = FaultConfig::seeded(args.get_or("fault-seed", 0)?)
+        .with_drop(args.get_or("drop", 0.0)?)
+        .with_delay(args.get_or("delay", 0.0)?)
+        .with_duplicate(args.get_or("duplicate", 0.0)?)
+        .with_reorder(args.get_or("reorder", 0.0)?)
+        .with_reset(args.get_or("reset", 0.0)?);
+    for (name, p) in [
+        ("drop", faults.drop),
+        ("delay", faults.delay),
+        ("duplicate", faults.duplicate),
+        ("reorder", faults.reorder),
+        ("reset", faults.reset),
+    ] {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(CliError::usage(format!(
+                "--{name}: probability {p} outside [0, 1]"
+            )));
+        }
+    }
+    Ok((!faults.is_quiet()).then_some(faults))
+}
+
+/// `wcp net-demo` — run a detection over real transport (in-process peers
+/// over TCP localhost or loopback channels, optionally with injected
+/// faults) and cross-check the verdict against the simulator.
+pub fn net_demo(raw: &[String]) -> Result<String, CliError> {
+    let args = Args::parse(raw)?;
+    let path = args.require_positional(0, "FILE")?;
+    let computation = load(path)?;
+    let wcp = parse_scope(&args, &computation)?;
+    let algorithm = args.get("algorithm").unwrap_or("token");
+    let transport = match args.get("transport").unwrap_or("tcp") {
+        "tcp" => TransportKind::Tcp,
+        "loopback" => TransportKind::Loopback,
+        other => {
+            return Err(CliError::usage(format!(
+                "--transport: `{other}` (want tcp|loopback)"
+            )))
+        }
+    };
+    let mut config = NetConfig {
+        transport,
+        ..NetConfig::default()
+    }
+    .with_deadline(Duration::from_secs(args.get_or("deadline", 60)?));
+    if let Some(faults) = parse_fault_config(&args)? {
+        config = config.with_faults(faults);
+    }
+
+    let (net, sim): (NetReport, DetectionReport) = match algorithm {
+        "token" => (
+            run_vc_token_net(&computation, &wcp, config),
+            run_vc_token(&computation, &wcp, SimConfig::seeded(0)).report,
+        ),
+        "direct" => (
+            run_direct_net(&computation, &wcp, false, config),
+            run_direct(&computation, &wcp, SimConfig::seeded(0), false).report,
+        ),
+        other => {
+            return Err(CliError::usage(format!(
+                "--algorithm: `{other}` (want token|direct)"
+            )))
+        }
+    };
+
+    let transport_name = match transport {
+        TransportKind::Tcp => "tcp (localhost sockets)",
+        TransportKind::Loopback => "loopback (in-memory)",
+    };
+    let mut out = format!("algorithm: {algorithm} over {transport_name}\npredicate: {wcp}\n");
+    if let Some(faults) = config.faults {
+        out.push_str(&format!(
+            "faults: drop {} delay {} duplicate {} reorder {} reset {} (seed {})\n",
+            faults.drop, faults.delay, faults.duplicate, faults.reorder, faults.reset, faults.seed
+        ));
+    }
+    out.push_str(&describe(&net.report, args.switch("json"))?);
+    out.push_str(&format!("wire: {}\n", net.net));
+    if net.report.detection == sim.detection {
+        out.push_str("simulator cross-check: identical verdict\n");
+    } else {
+        return Err(CliError::runtime(format!(
+            "net verdict {:?} disagrees with simulator verdict {:?}",
+            net.report.detection, sim.detection
+        )));
+    }
+    Ok(out)
+}
+
+/// `wcp serve` — run one peer of a vector-clock token detection as a
+/// standalone process, connected to the other peers over TCP. Every peer
+/// must be started with the same trace, scope and address list.
+pub fn serve(raw: &[String]) -> Result<String, CliError> {
+    let args = Args::parse(raw)?;
+    let path = args.require_positional(0, "FILE")?;
+    let computation = load(path)?;
+    let wcp = parse_scope(&args, &computation)?;
+    let peer: usize = args.require("peer")?;
+    let addrs_raw = args
+        .get("addrs")
+        .ok_or_else(|| CliError::usage("missing --addrs HOST:PORT,HOST:PORT,..."))?;
+    let addrs = addrs_raw
+        .split(',')
+        .map(|a| {
+            a.trim()
+                .parse::<SocketAddr>()
+                .map_err(|_| CliError::usage(format!("--addrs: bad address `{a}`")))
+        })
+        .collect::<Result<Vec<_>, CliError>>()?;
+    if addrs.len() != wcp.n() {
+        return Err(CliError::usage(format!(
+            "--addrs: {} addresses for a scope of {} processes",
+            addrs.len(),
+            wcp.n()
+        )));
+    }
+    if peer >= wcp.n() {
+        return Err(CliError::usage(format!(
+            "--peer: {peer} out of range (scope has {} processes)",
+            wcp.n()
+        )));
+    }
+    let config = NetConfig::tcp().with_deadline(Duration::from_secs(args.get_or("deadline", 60)?));
+    let report = serve_vc_peer(
+        &computation,
+        &wcp,
+        peer,
+        &addrs,
+        config,
+        Arc::new(NullRecorder),
+    );
+    let mut out = format!(
+        "peer {peer}/{} listening on {}\npredicate: {wcp}\n",
+        wcp.n(),
+        addrs[peer]
+    );
+    match &report.detection {
+        Detection::Detected { cut } => out.push_str(&format!("DETECTED at cut {cut}\n")),
+        Detection::Undetected => {
+            out.push_str("UNDETECTED: the predicate never held on a consistent cut\n")
+        }
+    }
+    out.push_str(&format!("wire: {}\n", report.net));
+    Ok(out)
+}
+
 /// `wcp bound` — run the Theorem 5.1 adversary game.
 pub fn bound(raw: &[String]) -> Result<String, CliError> {
     let args = Args::parse(raw)?;
@@ -614,6 +766,116 @@ mod tests {
         assert!(out.contains("queue delay"), "{out}");
         assert!(out.contains("detection latency:"), "{out}");
         assert!(out.contains("DETECTED"), "{out}");
+    }
+
+    #[test]
+    fn net_demo_runs_over_tcp_and_loopback() {
+        let path = generated_trace("net_demo.json");
+        for transport in ["tcp", "loopback"] {
+            for algorithm in ["token", "direct"] {
+                let out = net_demo(&argv(&[
+                    &path,
+                    "--transport",
+                    transport,
+                    "--algorithm",
+                    algorithm,
+                ]))
+                .unwrap();
+                assert!(
+                    out.contains("simulator cross-check: identical verdict"),
+                    "{transport}/{algorithm}: {out}"
+                );
+                assert!(out.contains("wire:"), "{out}");
+            }
+        }
+    }
+
+    #[test]
+    fn net_demo_with_faults_still_matches_simulator() {
+        let path = generated_trace("net_demo_faults.json");
+        let out = net_demo(&argv(&[
+            &path,
+            "--transport",
+            "loopback",
+            "--delay",
+            "0.25",
+            "--duplicate",
+            "0.2",
+            "--reorder",
+            "0.2",
+            "--fault-seed",
+            "7",
+        ]))
+        .unwrap();
+        assert!(out.contains("faults:"), "{out}");
+        assert!(out.contains("identical verdict"), "{out}");
+        assert!(net_demo(&argv(&[&path, "--drop", "1.5"])).is_err());
+        assert!(net_demo(&argv(&[&path, "--transport", "carrier-pigeon"])).is_err());
+    }
+
+    #[test]
+    fn serve_peers_agree_on_the_verdict() {
+        let path = generated_trace("serve.json");
+        // Reserve three localhost ports, then release them for the peers.
+        let ports: Vec<u16> = (0..3)
+            .map(|_| {
+                std::net::TcpListener::bind("127.0.0.1:0")
+                    .unwrap()
+                    .local_addr()
+                    .unwrap()
+                    .port()
+            })
+            .collect();
+        let addrs = ports
+            .iter()
+            .map(|p| format!("127.0.0.1:{p}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        let outputs: Vec<String> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..3)
+                .map(|peer| {
+                    let path = path.clone();
+                    let addrs = addrs.clone();
+                    s.spawn(move || {
+                        serve(&argv(&[
+                            &path,
+                            "--scope",
+                            "0,1,2",
+                            "--peer",
+                            &peer.to_string(),
+                            "--addrs",
+                            &addrs,
+                        ]))
+                        .unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let verdicts: Vec<&str> = outputs
+            .iter()
+            .map(|o| {
+                o.lines()
+                    .find(|l| l.starts_with("DETECTED") || l.starts_with("UNDETECTED"))
+                    .unwrap()
+            })
+            .collect();
+        assert!(verdicts.windows(2).all(|w| w[0] == w[1]), "{verdicts:?}");
+        // The standalone run agrees with the in-process simulator too.
+        let computation = load(&path).unwrap();
+        let wcp = Wcp::over(vec![
+            ProcessId::new(0),
+            ProcessId::new(1),
+            ProcessId::new(2),
+        ]);
+        let sim = run_vc_token(&computation, &wcp, SimConfig::seeded(0));
+        let expects_detected = matches!(sim.report.detection, Detection::Detected { .. });
+        assert_eq!(
+            verdicts[0].starts_with("DETECTED"),
+            expects_detected,
+            "{verdicts:?}"
+        );
+        assert!(serve(&argv(&[&path, "--peer", "9", "--addrs", &addrs])).is_err());
     }
 
     #[test]

@@ -91,6 +91,8 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "lattice" => commands::lattice(rest),
         "trace" => commands::trace(rest),
         "stats" => commands::stats(rest),
+        "net-demo" => commands::net_demo(rest),
+        "serve" => commands::serve(rest),
         "bound" => commands::bound(rest),
         "help" | "-h" | "--help" => Ok(USAGE.to_string()),
         other => Err(CliError::usage(format!(
@@ -115,5 +117,10 @@ USAGE:
   wcp trace FILE --events OUT.jsonl [--scope 0,1,2] [--algorithm ...]
             [--capacity K] [--json]
   wcp stats FILE [--scope 0,1,2] [--seed S] [--capacity K]
+  wcp net-demo FILE [--scope 0,1,2] [--algorithm token|direct]
+               [--transport tcp|loopback] [--fault-seed S] [--drop P]
+               [--delay P] [--duplicate P] [--reorder P] [--reset P] [--json]
+  wcp serve FILE --peer I --addrs HOST:PORT,HOST:PORT,...
+            [--scope 0,1,2] [--deadline SECS]
   wcp bound --n N --m M
   wcp help";

@@ -307,6 +307,13 @@ pub fn replay_metrics(participants: usize, events: &[StampedEvent]) -> Detection
             | TraceEvent::DetectionFound { .. }
             | TraceEvent::DetectionExhausted
             | TraceEvent::MessageDelivered { .. } => {}
+            // Transport-level events count real bytes-on-the-wire (frame
+            // headers, retransmissions); the paper-unit accounting above
+            // already counted the payloads, so they fold to nothing here.
+            TraceEvent::FrameSent { .. }
+            | TraceEvent::FrameReceived { .. }
+            | TraceEvent::Retransmit { .. }
+            | TraceEvent::Reconnect { .. } => {}
         }
     }
     if !explicit_parallel {

@@ -1,0 +1,569 @@
+//! Length-prefixed binary wire codec for the online detection protocol.
+//!
+//! Every frame is laid out as
+//!
+//! ```text
+//! ┌─────────┬──────┬──────────┬──────────┬────────┬─────────┬─────────┬──────┐
+//! │ len u32 │ kind │ peer u32 │ from u32 │ to u32 │ seq u64 │ aux u64 │ body │
+//! └─────────┴──────┴──────────┴──────────┴────────┴─────────┴─────────┴──────┘
+//! ```
+//!
+//! with all integers little-endian. `len` counts every byte after the
+//! length field itself (so a reader fetches 4 bytes, then `len` more).
+//! `peer` is the sending peer (the resequencing domain of `seq`), `from`
+//! and `to` are the actor ids the detection layer addresses, and `seq` is
+//! the per-link sequence number the receiver uses to deduplicate and
+//! resequence.
+//!
+//! The `body` of a [`DetectMsg`] frame is **exactly
+//! [`WireSize::wire_size`] bytes** — the paper-unit accounting of
+//! Sections 3.4/4.4 — which is what turns `DetectionMetrics` bit counts
+//! into real bytes-on-the-wire (property-tested in
+//! `tests/codec_roundtrip.rs`). Two encodings need one redundant
+//! out-of-band value to round-trip, carried in the fixed `aux` header
+//! field (and therefore *outside* the accounted body):
+//!
+//! - `VcSnapshot` — the paper transmits only the clock (the interval index
+//!   equals the snapshot's own component); `aux` carries the interval.
+//! - `GroupToken` — `aux` is the presence bitmap of the carried candidate
+//!   clocks, which caps group tokens at 64 scope processes on the wire.
+
+use std::io::{self, Read};
+
+use wcp_clocks::{Dependence, ProcessId, VectorClock};
+use wcp_detect::offline::token::{Color, Token};
+use wcp_detect::online::{ClockTag, DetectMsg, GroupTokenMsg};
+use wcp_detect::{DdSnapshot, VcSnapshot};
+use wcp_sim::{ActorId, WireSize};
+use wcp_trace::MsgId;
+
+/// Header bytes after the length field (kind + peer + from + to + seq + aux).
+pub const HEADER_LEN: usize = 1 + 4 + 4 + 4 + 8 + 8;
+
+/// Frame kinds. `DetectMsg` payloads are < 0x80; control frames ≥ 0xF0.
+mod kind {
+    pub const APP_VECTOR: u8 = 1;
+    pub const APP_SCALAR: u8 = 2;
+    pub const VC_SNAPSHOT: u8 = 3;
+    pub const DD_SNAPSHOT: u8 = 4;
+    pub const END_OF_TRACE: u8 = 5;
+    pub const VC_TOKEN: u8 = 6;
+    pub const DD_TOKEN: u8 = 7;
+    pub const POLL: u8 = 8;
+    pub const POLL_REPLY: u8 = 9;
+    pub const GROUP_TOKEN: u8 = 10;
+    pub const VERDICT: u8 = 0xF0;
+    pub const SHUTDOWN: u8 = 0xF1;
+}
+
+/// Decoding failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ended before the layout said it would.
+    Truncated,
+    /// Unknown frame kind byte.
+    BadKind(u8),
+    /// A colour byte outside {0, 1}.
+    BadColor(u8),
+    /// The body length is inconsistent with the frame kind.
+    BadLength(usize),
+    /// A group token wider than the 64-process aux bitmap.
+    TooWide(usize),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "frame truncated"),
+            CodecError::BadKind(k) => write!(f, "unknown frame kind {k:#04x}"),
+            CodecError::BadColor(c) => write!(f, "invalid colour byte {c}"),
+            CodecError::BadLength(n) => write!(f, "body length {n} inconsistent with kind"),
+            CodecError::TooWide(n) => {
+                write!(
+                    f,
+                    "group token over {n} processes exceeds the 64-bit aux bitmap"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Frame payload: a protocol message or a control-plane marker.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// An online detection protocol message.
+    Detect(DetectMsg),
+    /// The run's verdict, broadcast by the deciding peer so standalone
+    /// peers learn the outcome: `Some(g)` is the detected candidate cut
+    /// (algorithm-indexed, as in `OnlineDetection::Detected`), `None` is
+    /// undetected.
+    Verdict(Option<Vec<u64>>),
+    /// Orderly teardown: the receiving peer drains and exits.
+    Shutdown,
+}
+
+/// One wire frame: routing header plus payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// Sending peer index (the `seq` resequencing domain).
+    pub peer: u32,
+    /// Originating actor.
+    pub from: ActorId,
+    /// Destination actor.
+    pub to: ActorId,
+    /// Per-link sequence number, assigned by the sending endpoint.
+    pub seq: u64,
+    /// The payload.
+    pub payload: Payload,
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, at: 0 }
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        let b = *self.buf.get(self.at).ok_or(CodecError::Truncated)?;
+        self.at += 1;
+        Ok(b)
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        let end = self.at + 4;
+        let bytes = self.buf.get(self.at..end).ok_or(CodecError::Truncated)?;
+        self.at = end;
+        Ok(u32::from_le_bytes(bytes.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        let end = self.at + 8;
+        let bytes = self.buf.get(self.at..end).ok_or(CodecError::Truncated)?;
+        self.at = end;
+        Ok(u64::from_le_bytes(bytes.try_into().unwrap()))
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.at
+    }
+
+    fn done(&self) -> Result<(), CodecError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(CodecError::BadLength(self.buf.len()))
+        }
+    }
+}
+
+fn color_byte(c: Color) -> u8 {
+    match c {
+        Color::Red => 0,
+        Color::Green => 1,
+    }
+}
+
+fn byte_color(b: u8) -> Result<Color, CodecError> {
+    match b {
+        0 => Ok(Color::Red),
+        1 => Ok(Color::Green),
+        other => Err(CodecError::BadColor(other)),
+    }
+}
+
+/// Encodes a [`DetectMsg`] body, returning `(kind, aux, body)`.
+///
+/// The body is exactly `msg.wire_size()` bytes; `aux` carries the
+/// out-of-band redundancy described in the module docs.
+pub fn encode_body(msg: &DetectMsg) -> (u8, u64, Vec<u8>) {
+    let mut body = Vec::with_capacity(msg.wire_size());
+    match msg {
+        DetectMsg::App { msg: id, tag } => {
+            put_u64(&mut body, id.as_u64());
+            match tag {
+                ClockTag::Vector(v) => {
+                    for &c in v.as_slice() {
+                        put_u64(&mut body, c);
+                    }
+                    (kind::APP_VECTOR, 0, body)
+                }
+                ClockTag::Scalar(s) => {
+                    put_u64(&mut body, *s);
+                    (kind::APP_SCALAR, 0, body)
+                }
+            }
+        }
+        DetectMsg::VcSnapshot(s) => {
+            for &c in s.clock.as_slice() {
+                put_u64(&mut body, c);
+            }
+            (kind::VC_SNAPSHOT, s.interval, body)
+        }
+        DetectMsg::DdSnapshot(s) => {
+            put_u64(&mut body, s.clock);
+            for d in &s.deps {
+                put_u64(&mut body, d.on.index() as u64);
+                put_u64(&mut body, d.clock);
+            }
+            (kind::DD_SNAPSHOT, 0, body)
+        }
+        DetectMsg::EndOfTrace => {
+            body.push(0);
+            (kind::END_OF_TRACE, 0, body)
+        }
+        DetectMsg::VcToken(t) => {
+            for &g in &t.g {
+                put_u64(&mut body, g);
+            }
+            for &c in t.colors() {
+                body.push(color_byte(c));
+            }
+            (kind::VC_TOKEN, 0, body)
+        }
+        DetectMsg::DdToken => {
+            body.push(0);
+            (kind::DD_TOKEN, 0, body)
+        }
+        DetectMsg::Poll { clock, next_red } => {
+            put_u64(&mut body, *clock);
+            put_u64(&mut body, next_red.map_or(u64::MAX, |p| p.index() as u64));
+            (kind::POLL, 0, body)
+        }
+        DetectMsg::PollReply { became_red } => {
+            body.push(u8::from(*became_red));
+            (kind::POLL_REPLY, 0, body)
+        }
+        DetectMsg::GroupToken(t) => {
+            assert!(
+                t.g.len() <= 64,
+                "group token over {} processes exceeds the 64-bit aux bitmap",
+                t.g.len()
+            );
+            put_u64(&mut body, t.group as u64);
+            for &g in &t.g {
+                put_u64(&mut body, g);
+            }
+            for &c in &t.color {
+                body.push(color_byte(c));
+            }
+            let mut bitmap = 0u64;
+            for (i, cand) in t.candidates.iter().enumerate() {
+                if let Some(clock) = cand {
+                    bitmap |= 1 << i;
+                    for &c in clock.as_slice() {
+                        put_u64(&mut body, c);
+                    }
+                }
+            }
+            (kind::GROUP_TOKEN, bitmap, body)
+        }
+    }
+}
+
+/// Decodes a [`DetectMsg`] body produced by [`encode_body`].
+pub fn decode_body(kind_byte: u8, aux: u64, body: &[u8]) -> Result<DetectMsg, CodecError> {
+    let mut r = Reader::new(body);
+    let msg = match kind_byte {
+        kind::APP_VECTOR => {
+            let id = MsgId::new(r.u64()?);
+            if r.remaining() % 8 != 0 {
+                return Err(CodecError::BadLength(body.len()));
+            }
+            let n = r.remaining() / 8;
+            let mut comps = Vec::with_capacity(n);
+            for _ in 0..n {
+                comps.push(r.u64()?);
+            }
+            DetectMsg::App {
+                msg: id,
+                tag: ClockTag::Vector(VectorClock::from_components(comps)),
+            }
+        }
+        kind::APP_SCALAR => DetectMsg::App {
+            msg: MsgId::new(r.u64()?),
+            tag: ClockTag::Scalar(r.u64()?),
+        },
+        kind::VC_SNAPSHOT => {
+            if body.len() % 8 != 0 {
+                return Err(CodecError::BadLength(body.len()));
+            }
+            let n = body.len() / 8;
+            let mut comps = Vec::with_capacity(n);
+            for _ in 0..n {
+                comps.push(r.u64()?);
+            }
+            DetectMsg::VcSnapshot(VcSnapshot {
+                interval: aux,
+                clock: VectorClock::from_components(comps),
+            })
+        }
+        kind::DD_SNAPSHOT => {
+            let clock = r.u64()?;
+            if r.remaining() % 16 != 0 {
+                return Err(CodecError::BadLength(body.len()));
+            }
+            let deps = (0..r.remaining() / 16)
+                .map(|_| {
+                    let on = ProcessId::new(r.u64()? as u32);
+                    Ok(Dependence::new(on, r.u64()?))
+                })
+                .collect::<Result<Vec<_>, CodecError>>()?;
+            DetectMsg::DdSnapshot(DdSnapshot { clock, deps })
+        }
+        kind::END_OF_TRACE => {
+            r.u8()?;
+            DetectMsg::EndOfTrace
+        }
+        kind::VC_TOKEN => {
+            if body.len() % 9 != 0 {
+                return Err(CodecError::BadLength(body.len()));
+            }
+            let n = body.len() / 9;
+            let mut token = Token::new(n);
+            for g in token.g.iter_mut() {
+                *g = r.u64()?;
+            }
+            for i in 0..n {
+                let c = byte_color(r.u8()?)?;
+                token.set_color(i, c);
+            }
+            DetectMsg::VcToken(token)
+        }
+        kind::DD_TOKEN => {
+            r.u8()?;
+            DetectMsg::DdToken
+        }
+        kind::POLL => {
+            let clock = r.u64()?;
+            let raw = r.u64()?;
+            DetectMsg::Poll {
+                clock,
+                next_red: (raw != u64::MAX).then(|| ProcessId::new(raw as u32)),
+            }
+        }
+        kind::POLL_REPLY => DetectMsg::PollReply {
+            became_red: r.u8()? != 0,
+        },
+        kind::GROUP_TOKEN => {
+            let group = r.u64()? as usize;
+            let k = aux.count_ones() as usize;
+            // body = 8 + 9n + 8nk with n scope processes and k carried
+            // scope-width candidate clocks.
+            let rest = r.remaining();
+            if (9 + 8 * k) == 0 || rest % (9 + 8 * k) != 0 {
+                return Err(CodecError::BadLength(body.len()));
+            }
+            let n = rest / (9 + 8 * k);
+            if n > 64 || aux.checked_shr(n as u32).map_or(false, |high| high != 0) {
+                return Err(CodecError::TooWide(n));
+            }
+            let mut t = GroupTokenMsg::new(group, n);
+            for g in t.g.iter_mut() {
+                *g = r.u64()?;
+            }
+            for c in t.color.iter_mut() {
+                *c = byte_color(r.u8()?)?;
+            }
+            for i in 0..n {
+                if aux & (1 << i) != 0 {
+                    let mut comps = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        comps.push(r.u64()?);
+                    }
+                    t.candidates[i] = Some(VectorClock::from_components(comps));
+                }
+            }
+            DetectMsg::GroupToken(t)
+        }
+        other => return Err(CodecError::BadKind(other)),
+    };
+    r.done()?;
+    Ok(msg)
+}
+
+/// Encodes a whole frame, length prefix included.
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let (kind_byte, aux, body) = match &frame.payload {
+        Payload::Detect(msg) => encode_body(msg),
+        Payload::Verdict(verdict) => {
+            let mut body = Vec::new();
+            match verdict {
+                Some(g) => {
+                    body.push(1);
+                    put_u64(&mut body, g.len() as u64);
+                    for &v in g {
+                        put_u64(&mut body, v);
+                    }
+                }
+                None => body.push(0),
+            }
+            (kind::VERDICT, 0, body)
+        }
+        Payload::Shutdown => (kind::SHUTDOWN, 0, Vec::new()),
+    };
+    let len = HEADER_LEN + body.len();
+    let mut out = Vec::with_capacity(4 + len);
+    put_u32(&mut out, len as u32);
+    out.push(kind_byte);
+    put_u32(&mut out, frame.peer);
+    put_u32(&mut out, frame.from.index() as u32);
+    put_u32(&mut out, frame.to.index() as u32);
+    put_u64(&mut out, frame.seq);
+    put_u64(&mut out, aux);
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Decodes one frame from a buffer that contains exactly one frame
+/// (length prefix included).
+pub fn decode_frame(buf: &[u8]) -> Result<Frame, CodecError> {
+    let mut r = Reader::new(buf);
+    let len = r.u32()? as usize;
+    if r.remaining() != len || len < HEADER_LEN {
+        return Err(CodecError::BadLength(len));
+    }
+    let kind_byte = r.u8()?;
+    let peer = r.u32()?;
+    let from = ActorId::new(r.u32()?);
+    let to = ActorId::new(r.u32()?);
+    let seq = r.u64()?;
+    let aux = r.u64()?;
+    let body = &buf[4 + HEADER_LEN..];
+    let payload = match kind_byte {
+        kind::VERDICT => {
+            let mut br = Reader::new(body);
+            match br.u8()? {
+                0 => Payload::Verdict(None),
+                _ => {
+                    let count = br.u64()? as usize;
+                    let mut g = Vec::with_capacity(count);
+                    for _ in 0..count {
+                        g.push(br.u64()?);
+                    }
+                    Payload::Verdict(Some(g))
+                }
+            }
+        }
+        kind::SHUTDOWN => Payload::Shutdown,
+        detect => Payload::Detect(decode_body(detect, aux, body)?),
+    };
+    Ok(Frame {
+        peer,
+        from,
+        to,
+        seq,
+        payload,
+    })
+}
+
+/// Reads one length-prefixed frame (raw bytes, prefix included) from a
+/// stream. Returns `Ok(None)` on clean end-of-stream.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut len_bytes[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    let mut buf = vec![0u8; 4 + len];
+    buf[..4].copy_from_slice(&len_bytes);
+    r.read_exact(&mut buf[4..])?;
+    Ok(Some(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(payload: Payload) -> Frame {
+        Frame {
+            peer: 3,
+            from: ActorId::new(7),
+            to: ActorId::new(11),
+            seq: 42,
+            payload,
+        }
+    }
+
+    #[test]
+    fn detect_body_length_equals_wire_size() {
+        let msg = DetectMsg::VcSnapshot(VcSnapshot {
+            interval: 5,
+            clock: VectorClock::from_components(vec![1, 2, 3]),
+        });
+        let (_, aux, body) = encode_body(&msg);
+        assert_eq!(body.len(), msg.wire_size());
+        assert_eq!(aux, 5, "interval rides in aux, outside the accounted body");
+    }
+
+    #[test]
+    fn frame_roundtrips() {
+        for payload in [
+            Payload::Detect(DetectMsg::EndOfTrace),
+            Payload::Detect(DetectMsg::DdToken),
+            Payload::Verdict(Some(vec![2, 9, 4])),
+            Payload::Verdict(None),
+            Payload::Shutdown,
+        ] {
+            let f = frame(payload);
+            let bytes = encode_frame(&f);
+            assert_eq!(decode_frame(&bytes).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn read_frame_handles_stream_and_eof() {
+        let f = frame(Payload::Detect(DetectMsg::PollReply { became_red: true }));
+        let bytes = encode_frame(&f);
+        let mut stream: Vec<u8> = Vec::new();
+        stream.extend_from_slice(&bytes);
+        stream.extend_from_slice(&bytes);
+        let mut cursor = io::Cursor::new(stream);
+        let first = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(decode_frame(&first).unwrap(), f);
+        let second = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(first, second);
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn truncated_and_bogus_frames_are_rejected() {
+        let f = frame(Payload::Detect(DetectMsg::EndOfTrace));
+        let mut bytes = encode_frame(&f);
+        bytes.pop();
+        assert!(decode_frame(&bytes).is_err());
+        let mut bad_kind = encode_frame(&f);
+        bad_kind[4] = 0x7F;
+        assert!(matches!(
+            decode_frame(&bad_kind),
+            Err(CodecError::BadKind(0x7F))
+        ));
+        let token = DetectMsg::VcToken(Token::new(2));
+        let mut bad_color = encode_frame(&frame(Payload::Detect(token)));
+        *bad_color.last_mut().unwrap() = 9;
+        assert!(matches!(
+            decode_frame(&bad_color),
+            Err(CodecError::BadColor(9))
+        ));
+    }
+}

@@ -1,0 +1,48 @@
+//! Real socket transport for the online detection protocols (DESIGN.md
+//! S22).
+//!
+//! Everything else in this workspace exchanges messages through the
+//! discrete-event simulator or an in-process threaded runtime; this crate
+//! closes the loop to actual I/O. It provides, bottom to top:
+//!
+//! - [`codec`] — a hand-rolled length-prefixed binary wire format for
+//!   every [`DetectMsg`](wcp_detect::online::DetectMsg), whose encoded
+//!   body size is exactly the message's
+//!   [`wire_size()`](wcp_sim::WireSize) — so the byte counts the paper's
+//!   analyses bound are the bytes actually on the wire;
+//! - [`transport`] — the [`Transport`](transport::Transport) trait with an
+//!   in-memory loopback and a TCP implementation over `std::net`;
+//! - [`fault`] — seeded deterministic injection of drops, delays,
+//!   duplicates, reorders and connection resets, recovered by
+//!   retransmission, reconnect-with-backoff and receiver-side dedup;
+//! - [`peer`] — the per-peer endpoint (sequence numbers, dedup,
+//!   resequencing, send-log replay) and the event loop hosting the
+//!   unmodified detection actors;
+//! - [`runner`] — end-to-end runs ([`run_vc_token_net`],
+//!   [`run_direct_net`], [`serve_vc_peer`]) reporting the same
+//!   `DetectionReport` as the simulator, plus wire-level [`NetStats`].
+//!
+//! The detection verdict is a function of the computation alone (the first
+//! consistent cut satisfying the predicate is unique), so a socket run —
+//! even under a tolerated fault schedule — must equal the simulator's
+//! verdict bit for bit; the equivalence tests pin exactly that.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod fault;
+pub mod peer;
+pub mod runner;
+pub mod stats;
+pub mod transport;
+
+pub use codec::{decode_frame, encode_frame, read_frame, CodecError, Frame, Payload};
+pub use fault::{link_seed, FaultyTransport};
+pub use peer::{Endpoint, PeerHost};
+pub use runner::{
+    run_direct_net, run_direct_net_recorded, run_vc_token_net, run_vc_token_net_recorded,
+    serve_vc_peer, NetConfig, NetReport, PeerReport, TransportKind,
+};
+pub use stats::{NetCounters, NetStats};
+pub use transport::{spawn_listener, LoopbackTransport, TcpTransport, Transport};

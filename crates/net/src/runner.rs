@@ -1,0 +1,687 @@
+//! End-to-end net runs: host the online detection actors on socket-connected
+//! peers and report the same [`DetectionReport`] the simulator produces.
+//!
+//! Peer layout mirrors the simulator harness: application actors at ids
+//! `0..N`, monitors at `N..N+n`. Peer `i` hosts monitor `i` together with
+//! its mated application process (preserving the paper's only FIFO
+//! requirement as a local queue); applications outside the predicate scope
+//! are spread round-robin over the peers. The verdict is the first
+//! consistent cut satisfying the WCP, which is a function of the
+//! computation alone — so a net run must (and the equivalence tests pin
+//! that it does) produce a `Detection` bit-identical to the simulator's,
+//! including under tolerated fault schedules.
+
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use wcp_clocks::{Cut, ProcessId};
+use wcp_detect::online::dd_monitor::DdMonitor;
+use wcp_detect::online::vc_monitor::VcMonitor;
+use wcp_detect::online::{
+    AppProcess, ClockMode, DetectMsg, OnlineDetection, OnlineStats, SharedOutcome,
+};
+use wcp_detect::{Detection, DetectionMetrics, DetectionReport};
+use wcp_obs::{NullRecorder, Recorder};
+use wcp_sim::{Actor, ActorId, FaultConfig, SimMetrics};
+use wcp_trace::{Computation, Wcp};
+
+use crate::fault::FaultyTransport;
+use crate::peer::{Endpoint, ExitLatch, PeerHost};
+use crate::stats::{NetCounters, NetStats};
+use crate::transport::{spawn_listener, LoopbackTransport, TcpTransport, Transport};
+
+/// Which substrate carries the frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportKind {
+    /// In-memory channels, no sockets.
+    #[default]
+    Loopback,
+    /// Real TCP sockets on localhost (`std::net`).
+    Tcp,
+}
+
+/// Configuration of a net run.
+#[derive(Debug, Clone, Copy)]
+pub struct NetConfig {
+    /// Frame substrate.
+    pub transport: TransportKind,
+    /// Fault schedule injected on every link (`None` = clean links).
+    pub faults: Option<FaultConfig>,
+    /// Watchdog: a peer making no progress for this long panics the run.
+    pub deadline: Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            transport: TransportKind::Loopback,
+            faults: None,
+            deadline: Duration::from_secs(60),
+        }
+    }
+}
+
+impl NetConfig {
+    /// Loopback transport, clean links.
+    pub fn loopback() -> Self {
+        NetConfig::default()
+    }
+
+    /// TCP transport, clean links.
+    pub fn tcp() -> Self {
+        NetConfig {
+            transport: TransportKind::Tcp,
+            ..NetConfig::default()
+        }
+    }
+
+    /// Injects `faults` on every link.
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Replaces the stall deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = deadline;
+        self
+    }
+}
+
+/// A [`DetectionReport`] plus transport-level statistics.
+#[derive(Debug, Clone)]
+pub struct NetReport {
+    /// Detection result and paper-unit metrics (as the simulator reports;
+    /// `parallel_time` is 0 because a socket run has no global logical
+    /// clock).
+    pub report: DetectionReport,
+    /// Wire-level counters: frames, bytes, retransmits, reconnects, dedup.
+    pub net: NetStats,
+}
+
+/// Retry budget for dialling peers that have bound but not yet accepted.
+const DIAL_RETRIES: u32 = 20;
+/// Retry budget for reconnect-and-replay recovery after a link error.
+const RECOVERY_RETRIES: u32 = 10;
+
+/// All outbound links plus the per-peer inboxes they deliver into.
+struct Fabric {
+    /// `links[i][j]` is the transport for the directed link `i → j`.
+    links: Vec<Vec<Option<Box<dyn Transport>>>>,
+    inboxes: Vec<Receiver<Vec<u8>>>,
+    /// TCP only: acceptor stop flag and join handles.
+    listeners: Option<(Arc<AtomicBool>, Vec<JoinHandle<()>>)>,
+}
+
+fn wrap_faults(
+    base: Box<dyn Transport>,
+    config: &NetConfig,
+    me: u32,
+    to: u32,
+    counters: &Arc<NetCounters>,
+    recorder: &Arc<dyn Recorder>,
+) -> Box<dyn Transport> {
+    match config.faults {
+        Some(cfg) if !cfg.is_quiet() => Box::new(FaultyTransport::new(
+            base,
+            cfg,
+            me,
+            to,
+            counters.clone(),
+            recorder.clone(),
+        )),
+        _ => base,
+    }
+}
+
+fn build_fabric(
+    n_peers: usize,
+    config: &NetConfig,
+    counters: &Arc<NetCounters>,
+    recorder: &Arc<dyn Recorder>,
+) -> Fabric {
+    match config.transport {
+        TransportKind::Loopback => {
+            let (txs, rxs): (Vec<_>, Vec<_>) = (0..n_peers).map(|_| channel()).unzip();
+            let links = (0..n_peers)
+                .map(|i| {
+                    (0..n_peers)
+                        .map(|j| {
+                            (i != j).then(|| {
+                                let base: Box<dyn Transport> =
+                                    Box::new(LoopbackTransport::new(txs[j].clone()));
+                                wrap_faults(base, config, i as u32, j as u32, counters, recorder)
+                            })
+                        })
+                        .collect()
+                })
+                .collect();
+            Fabric {
+                links,
+                inboxes: rxs,
+                listeners: None,
+            }
+        }
+        TransportKind::Tcp => {
+            // Bind every listener before anyone dials, so in-process runs
+            // never race peer startup.
+            let listeners: Vec<TcpListener> = (0..n_peers)
+                .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind localhost"))
+                .collect();
+            let addrs: Vec<SocketAddr> = listeners
+                .iter()
+                .map(|l| l.local_addr().expect("listener addr"))
+                .collect();
+            let stop = Arc::new(AtomicBool::new(false));
+            let mut rxs = Vec::new();
+            let mut handles = Vec::new();
+            for listener in listeners {
+                let (tx, rx) = channel();
+                handles.push(spawn_listener(listener, tx, stop.clone()));
+                rxs.push(rx);
+            }
+            let links = (0..n_peers)
+                .map(|i| {
+                    (0..n_peers)
+                        .map(|j| {
+                            (i != j).then(|| {
+                                let base: Box<dyn Transport> = Box::new(
+                                    TcpTransport::connect(
+                                        addrs[j],
+                                        DIAL_RETRIES,
+                                        Duration::from_millis(1),
+                                    )
+                                    .expect("dial peer"),
+                                );
+                                wrap_faults(base, config, i as u32, j as u32, counters, recorder)
+                            })
+                        })
+                        .collect()
+                })
+                .collect();
+            Fabric {
+                links,
+                inboxes: rxs,
+                listeners: Some((stop, handles)),
+            }
+        }
+    }
+}
+
+/// Spawns one thread per [`PeerHost`], joins them, and tears the TCP
+/// acceptors down.
+fn drive(hosts: Vec<PeerHost>, listeners: Option<(Arc<AtomicBool>, Vec<JoinHandle<()>>)>) {
+    std::thread::scope(|s| {
+        for host in hosts {
+            s.spawn(move || host.run());
+        }
+    });
+    if let Some((stop, handles)) = listeners {
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Translates accumulated counters into paper-unit [`DetectionMetrics`];
+/// the mirror of the simulator harness's accounting, minus the logical
+/// clock (`parallel_time` stays 0).
+fn paper_metrics(
+    metrics: &SimMetrics,
+    computation: &Computation,
+    apps: &[ActorId],
+    monitors: &[ActorId],
+    stats: &OnlineStats,
+    app_payload_bytes: u64,
+) -> DetectionMetrics {
+    let mut out = DetectionMetrics::new(monitors.len());
+    for (i, &m) in monitors.iter().enumerate() {
+        let a = metrics.actor(m);
+        out.per_process_work[i] = a.work;
+        out.control_messages += a.sent;
+        out.control_bytes += a.bytes_sent;
+    }
+    let mut app_sent = 0u64;
+    let mut app_bytes = 0u64;
+    for &a in apps {
+        let m = metrics.actor(a);
+        app_sent += m.sent;
+        app_bytes += m.bytes_sent;
+    }
+    let script_msgs = computation.total_messages() as u64;
+    let eot_count = monitors.len() as u64;
+    out.snapshot_messages = app_sent.saturating_sub(script_msgs + eot_count);
+    out.snapshot_bytes = app_bytes.saturating_sub(script_msgs * app_payload_bytes + eot_count);
+    out.token_hops = stats.token_hops;
+    out.max_buffered_snapshots = stats.max_buffered;
+    out
+}
+
+fn take_detection_vc(result: &SharedOutcome, wcp: &Wcp, n_total: usize) -> Detection {
+    match result.lock().unwrap().take() {
+        Some(OnlineDetection::Detected(g)) => {
+            let mut cut = Cut::new(n_total);
+            for (pos, &p) in wcp.scope().iter().enumerate() {
+                cut.set(p, g[pos]);
+            }
+            Detection::Detected { cut }
+        }
+        Some(OnlineDetection::Undetected) => Detection::Undetected,
+        None => panic!("net run finished without a verdict (protocol stalled)"),
+    }
+}
+
+/// Runs the Section 3 single-token algorithm over real transport: one peer
+/// per scope process, each hosting its monitor and mated application.
+///
+/// # Panics
+///
+/// Panics if the scope is empty, the computation is invalid, or the run
+/// stalls past the configured deadline.
+pub fn run_vc_token_net(computation: &Computation, wcp: &Wcp, config: NetConfig) -> NetReport {
+    run_vc_token_net_recorded(computation, wcp, config, Arc::new(NullRecorder))
+}
+
+/// [`run_vc_token_net`] with an attached [`Recorder`]: peers stream
+/// transport events (frames, bytes, retransmits, reconnects) alongside the
+/// monitors' protocol events.
+///
+/// # Panics
+///
+/// Panics if the scope is empty, the computation is invalid, or the run
+/// stalls past the configured deadline.
+pub fn run_vc_token_net_recorded(
+    computation: &Computation,
+    wcp: &Wcp,
+    config: NetConfig,
+    recorder: Arc<dyn Recorder>,
+) -> NetReport {
+    let n_total = computation.process_count();
+    let n = wcp.n();
+    assert!(n >= 1, "WCP scope must name at least one process");
+
+    let apps: Vec<ActorId> = (0..n_total as u32).map(ActorId::new).collect();
+    let monitors: Vec<ActorId> = (0..n as u32)
+        .map(|i| ActorId::new(n_total as u32 + i))
+        .collect();
+    // Peer layout: peer `pos` hosts monitor `pos` and its mated scope
+    // application; non-scope applications go round-robin.
+    let mut actor_peer = vec![0u32; n_total + n];
+    for p in ProcessId::all(n_total) {
+        actor_peer[p.index()] = match wcp.position(p) {
+            Some(pos) => pos as u32,
+            None => (p.index() % n) as u32,
+        };
+    }
+    for pos in 0..n {
+        actor_peer[monitors[pos].index()] = pos as u32;
+    }
+    let actor_peer = Arc::new(actor_peer);
+
+    let result: SharedOutcome = Arc::new(Mutex::new(None));
+    let stats = Arc::new(Mutex::new(OnlineStats::default()));
+    let metrics = Arc::new(Mutex::new(SimMetrics::new(n_total + n)));
+    let counters = NetCounters::shared();
+    let latch = ExitLatch::new(n);
+    let fabric = build_fabric(n, &config, &counters, &recorder);
+
+    let mut hosts = Vec::with_capacity(n);
+    let mut inboxes = fabric.inboxes.into_iter();
+    for (i, links) in fabric.links.into_iter().enumerate() {
+        let mut actors: Vec<(ActorId, Box<dyn Actor<DetectMsg>>)> = Vec::new();
+        for p in ProcessId::all(n_total) {
+            if actor_peer[p.index()] == i as u32 {
+                actors.push((
+                    apps[p.index()],
+                    Box::new(AppProcess::new(
+                        computation,
+                        wcp,
+                        p,
+                        ClockMode::Vector,
+                        apps.clone(),
+                        wcp.position(p).map(|pos| monitors[pos]),
+                    )),
+                ));
+            }
+        }
+        actors.push((
+            monitors[i],
+            Box::new(
+                VcMonitor::new(
+                    i,
+                    n,
+                    monitors.clone(),
+                    i == 0,
+                    result.clone(),
+                    stats.clone(),
+                )
+                .with_recorder(recorder.clone()),
+            ),
+        ));
+        hosts.push(PeerHost {
+            index: i as u32,
+            endpoint: Endpoint::new(
+                i as u32,
+                links,
+                inboxes.next().expect("inbox per peer"),
+                counters.clone(),
+                recorder.clone(),
+                RECOVERY_RETRIES,
+                Duration::from_millis(1),
+            ),
+            actors,
+            actor_peer: actor_peer.clone(),
+            metrics: metrics.clone(),
+            result: result.clone(),
+            deadline: config.deadline,
+            exit: Some(latch.clone()),
+            linger: Duration::ZERO,
+        });
+    }
+    drive(hosts, fabric.listeners);
+
+    let detection = take_detection_vc(&result, wcp, n_total);
+    let metrics = paper_metrics(
+        &metrics.lock().unwrap(),
+        computation,
+        &apps,
+        &monitors,
+        &stats.lock().unwrap(),
+        8 + 8 * n as u64,
+    );
+    NetReport {
+        report: DetectionReport { detection, metrics },
+        net: counters.snapshot(),
+    }
+}
+
+/// Runs the Section 4 direct-dependence algorithm over real transport: one
+/// peer per process, each hosting its application and monitor; `parallel`
+/// enables the Section 4.5 proactive red chain.
+///
+/// # Panics
+///
+/// Panics if the computation has no processes or the run stalls past the
+/// configured deadline.
+pub fn run_direct_net(
+    computation: &Computation,
+    wcp: &Wcp,
+    parallel: bool,
+    config: NetConfig,
+) -> NetReport {
+    run_direct_net_recorded(computation, wcp, parallel, config, Arc::new(NullRecorder))
+}
+
+/// [`run_direct_net`] with an attached [`Recorder`].
+///
+/// # Panics
+///
+/// Panics if the computation has no processes or the run stalls past the
+/// configured deadline.
+pub fn run_direct_net_recorded(
+    computation: &Computation,
+    wcp: &Wcp,
+    parallel: bool,
+    config: NetConfig,
+    recorder: Arc<dyn Recorder>,
+) -> NetReport {
+    let n_total = computation.process_count();
+    assert!(n_total >= 1, "computation must have at least one process");
+
+    let apps: Vec<ActorId> = (0..n_total as u32).map(ActorId::new).collect();
+    let monitors: Vec<ActorId> = (0..n_total as u32)
+        .map(|i| ActorId::new(n_total as u32 + i))
+        .collect();
+    let mut actor_peer = vec![0u32; 2 * n_total];
+    for p in 0..n_total {
+        actor_peer[apps[p].index()] = p as u32;
+        actor_peer[monitors[p].index()] = p as u32;
+    }
+    let actor_peer = Arc::new(actor_peer);
+
+    let result: SharedOutcome = Arc::new(Mutex::new(None));
+    let stats = Arc::new(Mutex::new(OnlineStats::default()));
+    // The direct-dependence monitors share the G board through process
+    // memory, so this runner is in-process peers only (see
+    // docs/networking.md).
+    let g_board = Arc::new(Mutex::new(vec![0u64; n_total]));
+    let metrics = Arc::new(Mutex::new(SimMetrics::new(2 * n_total)));
+    let counters = NetCounters::shared();
+    let latch = ExitLatch::new(n_total);
+    let fabric = build_fabric(n_total, &config, &counters, &recorder);
+
+    let mut hosts = Vec::with_capacity(n_total);
+    let mut inboxes = fabric.inboxes.into_iter();
+    for (i, links) in fabric.links.into_iter().enumerate() {
+        let p = ProcessId::new(i as u32);
+        let actors: Vec<(ActorId, Box<dyn Actor<DetectMsg>>)> = vec![
+            (
+                apps[i],
+                Box::new(AppProcess::new(
+                    computation,
+                    wcp,
+                    p,
+                    ClockMode::Scalar,
+                    apps.clone(),
+                    Some(monitors[i]),
+                )),
+            ),
+            (
+                monitors[i],
+                Box::new(
+                    DdMonitor::new(
+                        p,
+                        n_total,
+                        monitors.clone(),
+                        parallel,
+                        g_board.clone(),
+                        result.clone(),
+                        stats.clone(),
+                    )
+                    .with_recorder(recorder.clone()),
+                ),
+            ),
+        ];
+        hosts.push(PeerHost {
+            index: i as u32,
+            endpoint: Endpoint::new(
+                i as u32,
+                links,
+                inboxes.next().expect("inbox per peer"),
+                counters.clone(),
+                recorder.clone(),
+                RECOVERY_RETRIES,
+                Duration::from_millis(1),
+            ),
+            actors,
+            actor_peer: actor_peer.clone(),
+            metrics: metrics.clone(),
+            result: result.clone(),
+            deadline: config.deadline,
+            exit: Some(latch.clone()),
+            linger: Duration::ZERO,
+        });
+    }
+    drive(hosts, fabric.listeners);
+
+    let detection = match result.lock().unwrap().take() {
+        Some(OnlineDetection::Detected(g)) => Detection::Detected {
+            cut: Cut::from_indices(g),
+        },
+        Some(OnlineDetection::Undetected) => Detection::Undetected,
+        None => panic!("net run finished without a verdict (protocol stalled)"),
+    };
+    let metrics = paper_metrics(
+        &metrics.lock().unwrap(),
+        computation,
+        &apps,
+        &monitors,
+        &stats.lock().unwrap(),
+        16,
+    );
+    NetReport {
+        report: DetectionReport { detection, metrics },
+        net: counters.snapshot(),
+    }
+}
+
+/// Outcome of one standalone serve peer.
+#[derive(Debug, Clone)]
+pub struct PeerReport {
+    /// The run's verdict (decided locally or received in a verdict frame).
+    pub detection: Detection,
+    /// This peer's wire-level counters.
+    pub net: NetStats,
+}
+
+/// Runs peer `peer` of a vector-clock token detection as its own process,
+/// listening on `addrs[peer]` and dialling every other address — the
+/// `wcp serve` entry point, one OS process per scope position.
+///
+/// Every peer must be started with the same computation, predicate and
+/// address list; peers dial with generous retries so start order does not
+/// matter. Only the vector-clock detector serves standalone (the
+/// direct-dependence monitors share their G board through process memory).
+///
+/// # Panics
+///
+/// Panics on bad indices, undialable peers, or a stall past the deadline.
+pub fn serve_vc_peer(
+    computation: &Computation,
+    wcp: &Wcp,
+    peer: usize,
+    addrs: &[SocketAddr],
+    config: NetConfig,
+    recorder: Arc<dyn Recorder>,
+) -> PeerReport {
+    let n_total = computation.process_count();
+    let n = wcp.n();
+    assert_eq!(addrs.len(), n, "one address per scope process");
+    assert!(peer < n, "peer index out of range");
+
+    let apps: Vec<ActorId> = (0..n_total as u32).map(ActorId::new).collect();
+    let monitors: Vec<ActorId> = (0..n as u32)
+        .map(|i| ActorId::new(n_total as u32 + i))
+        .collect();
+    let mut actor_peer = vec![0u32; n_total + n];
+    for p in ProcessId::all(n_total) {
+        actor_peer[p.index()] = match wcp.position(p) {
+            Some(pos) => pos as u32,
+            None => (p.index() % n) as u32,
+        };
+    }
+    for pos in 0..n {
+        actor_peer[monitors[pos].index()] = pos as u32;
+    }
+    let actor_peer = Arc::new(actor_peer);
+
+    let counters = NetCounters::shared();
+    let listener = TcpListener::bind(addrs[peer]).expect("bind serve address");
+    let (tx, rx) = channel();
+    let stop = Arc::new(AtomicBool::new(false));
+    let acceptor = spawn_listener(listener, tx, stop.clone());
+
+    // Other peers may not have started yet: dial patiently.
+    let links: Vec<Option<Box<dyn Transport>>> = (0..n)
+        .map(|j| {
+            (j != peer).then(|| {
+                let base: Box<dyn Transport> = Box::new(
+                    TcpTransport::connect(addrs[j], 12, Duration::from_millis(5))
+                        .expect("dial peer"),
+                );
+                wrap_faults(base, &config, peer as u32, j as u32, &counters, &recorder)
+            })
+        })
+        .collect();
+
+    let result: SharedOutcome = Arc::new(Mutex::new(None));
+    let stats = Arc::new(Mutex::new(OnlineStats::default()));
+    let metrics = Arc::new(Mutex::new(SimMetrics::new(n_total + n)));
+    let mut actors: Vec<(ActorId, Box<dyn Actor<DetectMsg>>)> = Vec::new();
+    for p in ProcessId::all(n_total) {
+        if actor_peer[p.index()] == peer as u32 {
+            actors.push((
+                apps[p.index()],
+                Box::new(AppProcess::new(
+                    computation,
+                    wcp,
+                    p,
+                    ClockMode::Vector,
+                    apps.clone(),
+                    wcp.position(p).map(|pos| monitors[pos]),
+                )),
+            ));
+        }
+    }
+    actors.push((
+        monitors[peer],
+        Box::new(
+            VcMonitor::new(
+                peer,
+                n,
+                monitors.clone(),
+                peer == 0,
+                result.clone(),
+                stats.clone(),
+            )
+            .with_recorder(recorder.clone()),
+        ),
+    ));
+
+    let host = PeerHost {
+        index: peer as u32,
+        endpoint: Endpoint::new(
+            peer as u32,
+            links,
+            rx,
+            counters.clone(),
+            recorder.clone(),
+            RECOVERY_RETRIES,
+            Duration::from_millis(1),
+        ),
+        actors,
+        actor_peer,
+        metrics,
+        result: result.clone(),
+        deadline: config.deadline,
+        exit: None,
+        linger: Duration::from_millis(300),
+    };
+    host.run();
+    stop.store(true, Ordering::Relaxed);
+    let _ = acceptor.join();
+
+    PeerReport {
+        detection: take_detection_vc(&result, wcp, n_total),
+        net: counters.snapshot(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcp_detect::online::run_vc_token;
+    use wcp_sim::SimConfig;
+    use wcp_trace::generate::{generate, GeneratorConfig};
+
+    #[test]
+    fn loopback_vc_matches_simulator() {
+        let g = generate(
+            &GeneratorConfig::new(4, 8)
+                .with_seed(5)
+                .with_predicate_density(0.3)
+                .with_plant(0.7),
+        );
+        let wcp = Wcp::over_first(3);
+        let sim = run_vc_token(&g.computation, &wcp, SimConfig::seeded(1));
+        let net = run_vc_token_net(&g.computation, &wcp, NetConfig::loopback());
+        assert_eq!(net.report.detection, sim.report.detection);
+        assert!(net.net.frames_sent > 0, "token crossed the wire");
+        assert_eq!(net.net.retransmits, 0, "clean links");
+    }
+}

@@ -1,0 +1,86 @@
+//! Transport-level counters, shared across peer threads and fault
+//! workers, and their plain snapshot form.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Live atomic counters of one net run (all peers and links combined).
+#[derive(Debug, Default)]
+pub struct NetCounters {
+    /// Frames sent (first transmissions only).
+    pub frames_sent: AtomicU64,
+    /// Bytes sent in first transmissions (header + body).
+    pub bytes_sent: AtomicU64,
+    /// Frames received and accepted (post-dedup).
+    pub frames_received: AtomicU64,
+    /// Bytes received in accepted frames.
+    pub bytes_received: AtomicU64,
+    /// Frames transmitted again (fault recovery or log replay).
+    pub retransmits: AtomicU64,
+    /// Connections re-established after an error.
+    pub reconnects: AtomicU64,
+    /// Duplicate frames dropped by receivers.
+    pub duplicates_dropped: AtomicU64,
+    /// Frames that arrived ahead of a gap and were held for resequencing.
+    pub reordered: AtomicU64,
+}
+
+impl NetCounters {
+    /// A fresh shared counter block.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(NetCounters::default())
+    }
+
+    /// Plain-value snapshot.
+    pub fn snapshot(&self) -> NetStats {
+        NetStats {
+            frames_sent: self.frames_sent.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            frames_received: self.frames_received.load(Ordering::Relaxed),
+            bytes_received: self.bytes_received.load(Ordering::Relaxed),
+            retransmits: self.retransmits.load(Ordering::Relaxed),
+            reconnects: self.reconnects.load(Ordering::Relaxed),
+            duplicates_dropped: self.duplicates_dropped.load(Ordering::Relaxed),
+            reordered: self.reordered.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Snapshot of [`NetCounters`] at the end of a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Frames sent (first transmissions only).
+    pub frames_sent: u64,
+    /// Bytes sent in first transmissions (header + body).
+    pub bytes_sent: u64,
+    /// Frames received and accepted (post-dedup).
+    pub frames_received: u64,
+    /// Bytes received in accepted frames.
+    pub bytes_received: u64,
+    /// Frames transmitted again (fault recovery or log replay).
+    pub retransmits: u64,
+    /// Connections re-established after an error.
+    pub reconnects: u64,
+    /// Duplicate frames dropped by receivers.
+    pub duplicates_dropped: u64,
+    /// Frames that arrived ahead of a gap and were held for resequencing.
+    pub reordered: u64,
+}
+
+impl std::fmt::Display for NetStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} frames / {} B sent, {} frames / {} B received, \
+             {} retransmits, {} reconnects, {} dups dropped, {} reordered",
+            self.frames_sent,
+            self.bytes_sent,
+            self.frames_received,
+            self.bytes_received,
+            self.retransmits,
+            self.reconnects,
+            self.duplicates_dropped,
+            self.reordered
+        )
+    }
+}

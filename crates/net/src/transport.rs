@@ -1,0 +1,258 @@
+//! The [`Transport`] abstraction and its two implementations: an
+//! in-memory loopback and a TCP transport over `std::net`.
+//!
+//! A `Transport` value is the *outbound half of one directed link*: peer
+//! `i` holds one transport per remote peer `j`, and whatever the
+//! implementation, delivered frames surface on the destination peer's
+//! single inbox channel (fed directly by the loopback, or by a framed
+//! reader thread per accepted TCP connection).
+
+use std::io::{self, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::codec::read_frame;
+
+/// Outbound half of one directed peer-to-peer link.
+pub trait Transport: Send {
+    /// Queues one encoded frame (length prefix included) for delivery.
+    fn send(&mut self, frame: &[u8]) -> io::Result<()>;
+
+    /// Retransmits a frame during fault recovery. Defaults to [`send`]
+    /// (`Transport::send`); fault-injecting wrappers forward this straight
+    /// to the inner transport so the recovery path itself is not faulted.
+    fn resend(&mut self, frame: &[u8]) -> io::Result<()> {
+        self.send(frame)
+    }
+
+    /// Re-establishes the link after a send error (no-op for loopback).
+    fn reconnect(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+
+    /// Tears the connection down so the next send fails (fault-injection
+    /// hook; no-op where there is nothing to tear down).
+    fn inject_reset(&mut self) {}
+
+    /// Graceful close: flush and release the link.
+    fn close(&mut self) {}
+}
+
+/// In-memory loopback: frames land directly on the destination peer's
+/// inbox channel.
+///
+/// `inject_reset` marks the link broken so the *next* send fails once —
+/// this lets the endpoint's reconnect-and-replay recovery be exercised
+/// without sockets.
+#[derive(Debug)]
+pub struct LoopbackTransport {
+    tx: Sender<Vec<u8>>,
+    broken: bool,
+}
+
+impl LoopbackTransport {
+    /// A loopback link delivering into `tx`.
+    pub fn new(tx: Sender<Vec<u8>>) -> Self {
+        LoopbackTransport { tx, broken: false }
+    }
+}
+
+impl Transport for LoopbackTransport {
+    fn send(&mut self, frame: &[u8]) -> io::Result<()> {
+        if self.broken {
+            return Err(io::ErrorKind::ConnectionReset.into());
+        }
+        self.tx
+            .send(frame.to_vec())
+            .map_err(|_| io::ErrorKind::BrokenPipe.into())
+    }
+
+    fn reconnect(&mut self) -> io::Result<()> {
+        self.broken = false;
+        Ok(())
+    }
+
+    fn inject_reset(&mut self) {
+        self.broken = true;
+    }
+}
+
+/// TCP transport over `std::net`: one outbound stream per directed link,
+/// dialled with bounded exponential backoff (remote peers may start later
+/// than we do).
+#[derive(Debug)]
+pub struct TcpTransport {
+    addr: SocketAddr,
+    stream: Option<TcpStream>,
+    max_retries: u32,
+    backoff_base: Duration,
+}
+
+impl TcpTransport {
+    /// Connects to `addr`, retrying `max_retries` times with exponential
+    /// backoff starting at `backoff_base`.
+    pub fn connect(addr: SocketAddr, max_retries: u32, backoff_base: Duration) -> io::Result<Self> {
+        let stream = Self::dial(addr, max_retries, backoff_base)?;
+        Ok(TcpTransport {
+            addr,
+            stream: Some(stream),
+            max_retries,
+            backoff_base,
+        })
+    }
+
+    fn dial(addr: SocketAddr, max_retries: u32, backoff_base: Duration) -> io::Result<TcpStream> {
+        let mut attempt = 0;
+        loop {
+            match TcpStream::connect(addr) {
+                Ok(stream) => {
+                    stream.set_nodelay(true).ok();
+                    return Ok(stream);
+                }
+                Err(e) if attempt < max_retries => {
+                    std::thread::sleep(backoff_base.saturating_mul(1 << attempt.min(16)));
+                    attempt += 1;
+                    let _ = e;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&mut self, frame: &[u8]) -> io::Result<()> {
+        let stream = self
+            .stream
+            .as_mut()
+            .ok_or_else(|| io::Error::from(io::ErrorKind::NotConnected))?;
+        stream.write_all(frame)
+    }
+
+    fn reconnect(&mut self) -> io::Result<()> {
+        self.stream = None;
+        self.stream = Some(Self::dial(self.addr, self.max_retries, self.backoff_base)?);
+        Ok(())
+    }
+
+    fn inject_reset(&mut self) {
+        if let Some(stream) = self.stream.take() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+
+    fn close(&mut self) {
+        if let Some(stream) = self.stream.take() {
+            let _ = stream.shutdown(Shutdown::Write);
+        }
+    }
+}
+
+/// Accept loop for one peer's listening socket: every accepted connection
+/// gets a detached framed-reader thread that forwards raw frames to
+/// `inbox`. Returns the acceptor's join handle; set `stop` to end it.
+pub fn spawn_listener(
+    listener: TcpListener,
+    inbox: Sender<Vec<u8>>,
+    stop: Arc<AtomicBool>,
+) -> JoinHandle<()> {
+    listener
+        .set_nonblocking(true)
+        .expect("listener nonblocking");
+    std::thread::spawn(move || {
+        while !stop.load(Ordering::Relaxed) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    stream.set_nonblocking(false).ok();
+                    stream.set_nodelay(true).ok();
+                    let inbox = inbox.clone();
+                    // Reader threads are detached: they exit on EOF when the
+                    // remote closes (or errors), which graceful shutdown
+                    // guarantees.
+                    std::thread::spawn(move || read_loop(stream, &inbox));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(_) => break,
+            }
+        }
+    })
+}
+
+/// Framed read loop: forwards each length-prefixed frame to the inbox
+/// until EOF, error, or the receiving endpoint is gone.
+fn read_loop(mut stream: TcpStream, inbox: &Sender<Vec<u8>>) {
+    while let Ok(Some(frame)) = read_frame(&mut stream) {
+        if inbox.send(frame).is_err() {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{decode_frame, encode_frame, Frame, Payload};
+    use std::sync::mpsc::channel;
+    use wcp_sim::ActorId;
+
+    fn frame(seq: u64) -> Frame {
+        Frame {
+            peer: 0,
+            from: ActorId::new(0),
+            to: ActorId::new(1),
+            seq,
+            payload: Payload::Shutdown,
+        }
+    }
+
+    #[test]
+    fn loopback_delivers_and_recovers_from_reset() {
+        let (tx, rx) = channel();
+        let mut t = LoopbackTransport::new(tx);
+        t.send(&encode_frame(&frame(0))).unwrap();
+        assert_eq!(decode_frame(&rx.recv().unwrap()).unwrap(), frame(0));
+        t.inject_reset();
+        assert!(t.send(&encode_frame(&frame(1))).is_err());
+        t.reconnect().unwrap();
+        t.send(&encode_frame(&frame(1))).unwrap();
+        assert_eq!(decode_frame(&rx.recv().unwrap()).unwrap(), frame(1));
+    }
+
+    #[test]
+    fn tcp_roundtrip_through_listener() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let (tx, rx) = channel();
+        let stop = Arc::new(AtomicBool::new(false));
+        let acceptor = spawn_listener(listener, tx, stop.clone());
+
+        let mut t = TcpTransport::connect(addr, 4, Duration::from_millis(1)).unwrap();
+        for seq in 0..3 {
+            t.send(&encode_frame(&frame(seq))).unwrap();
+        }
+        for seq in 0..3 {
+            let raw = rx
+                .recv_timeout(Duration::from_secs(5))
+                .expect("frame arrives");
+            assert_eq!(decode_frame(&raw).unwrap(), frame(seq));
+        }
+
+        // Reset tears the stream; reconnect dials a fresh one.
+        t.inject_reset();
+        assert!(t.send(&encode_frame(&frame(3))).is_err());
+        t.reconnect().unwrap();
+        t.send(&encode_frame(&frame(3))).unwrap();
+        let raw = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(decode_frame(&raw).unwrap(), frame(3));
+
+        t.close();
+        stop.store(true, Ordering::Relaxed);
+        acceptor.join().unwrap();
+    }
+}

@@ -178,6 +178,40 @@ pub enum TraceEvent {
         /// Ticks between send and delivery.
         delay: u64,
     },
+    /// Transport-level (emitted by `wcp-net`): an encoded frame left this
+    /// peer. `bytes` counts the full frame including the header, so it is
+    /// real bytes-on-the-wire, not the paper-unit payload accounting.
+    FrameSent {
+        /// Destination peer index.
+        to: u32,
+        /// Frame bytes on the wire (header + body).
+        bytes: u64,
+    },
+    /// Transport-level (emitted by `wcp-net`): a frame arrived at this
+    /// peer and survived dedup.
+    FrameReceived {
+        /// Originating peer index.
+        from: u32,
+        /// Frame bytes on the wire (header + body).
+        bytes: u64,
+    },
+    /// Transport-level (emitted by `wcp-net`): a frame was transmitted
+    /// again, either after a fault-injected drop or when replaying the
+    /// send log over a fresh connection.
+    Retransmit {
+        /// Destination peer index.
+        to: u32,
+        /// Retry attempt number (1 = first retransmission).
+        attempt: u64,
+    },
+    /// Transport-level (emitted by `wcp-net`): a broken connection was
+    /// re-established after exponential backoff.
+    Reconnect {
+        /// The peer the connection leads to.
+        peer: u32,
+        /// Reconnect attempt number (1 = first redial).
+        attempt: u64,
+    },
 }
 
 impl TraceEvent {
@@ -201,6 +235,10 @@ impl TraceEvent {
             TraceEvent::DetectionFound { .. } => "DetectionFound",
             TraceEvent::DetectionExhausted => "DetectionExhausted",
             TraceEvent::MessageDelivered { .. } => "MessageDelivered",
+            TraceEvent::FrameSent { .. } => "FrameSent",
+            TraceEvent::FrameReceived { .. } => "FrameReceived",
+            TraceEvent::Retransmit { .. } => "Retransmit",
+            TraceEvent::Reconnect { .. } => "Reconnect",
         }
     }
 }
@@ -272,6 +310,18 @@ impl ToJson for TraceEvent {
                 ("to", (*to).into()),
                 ("delay", (*delay).into()),
             ]),
+            TraceEvent::FrameSent { to, bytes } => {
+                Json::obj([("to", (*to).into()), ("bytes", (*bytes).into())])
+            }
+            TraceEvent::FrameReceived { from, bytes } => {
+                Json::obj([("from", (*from).into()), ("bytes", (*bytes).into())])
+            }
+            TraceEvent::Retransmit { to, attempt } => {
+                Json::obj([("to", (*to).into()), ("attempt", (*attempt).into())])
+            }
+            TraceEvent::Reconnect { peer, attempt } => {
+                Json::obj([("peer", (*peer).into()), ("attempt", (*attempt).into())])
+            }
         };
         Json::Obj(vec![(self.kind().to_string(), payload)])
     }
@@ -353,6 +403,22 @@ impl FromJson for TraceEvent {
                 from: u32f("from")?,
                 to: u32f("to")?,
                 delay: u64f("delay")?,
+            },
+            "FrameSent" => TraceEvent::FrameSent {
+                to: u32f("to")?,
+                bytes: u64f("bytes")?,
+            },
+            "FrameReceived" => TraceEvent::FrameReceived {
+                from: u32f("from")?,
+                bytes: u64f("bytes")?,
+            },
+            "Retransmit" => TraceEvent::Retransmit {
+                to: u32f("to")?,
+                attempt: u64f("attempt")?,
+            },
+            "Reconnect" => TraceEvent::Reconnect {
+                peer: u32f("peer")?,
+                attempt: u64f("attempt")?,
             },
             other => {
                 return Err(JsonError::shape(format!("unknown event kind `{other}`")));
@@ -456,6 +522,13 @@ mod tests {
                 from: 1,
                 to: 2,
                 delay: 8,
+            },
+            TraceEvent::FrameSent { to: 2, bytes: 65 },
+            TraceEvent::FrameReceived { from: 0, bytes: 33 },
+            TraceEvent::Retransmit { to: 1, attempt: 1 },
+            TraceEvent::Reconnect {
+                peer: 3,
+                attempt: 2,
             },
         ]
     }

@@ -51,6 +51,14 @@ pub struct RunReport {
     pub finished_at: Option<u64>,
     /// Total events folded.
     pub events: u64,
+    /// Frame bytes sent on the wire (transport runs only).
+    pub net_bytes_sent: u64,
+    /// Frame bytes received from the wire (transport runs only).
+    pub net_bytes_received: u64,
+    /// Frames transmitted more than once (fault recovery).
+    pub net_retransmits: u64,
+    /// Connections re-established after a reset.
+    pub net_reconnects: u64,
 }
 
 impl RunReport {
@@ -121,6 +129,10 @@ impl RunReport {
                 TraceEvent::MessageDelivered { delay, .. } => {
                     report.queue_delay.record(*delay);
                 }
+                TraceEvent::FrameSent { bytes, .. } => report.net_bytes_sent += bytes,
+                TraceEvent::FrameReceived { bytes, .. } => report.net_bytes_received += bytes,
+                TraceEvent::Retransmit { .. } => report.net_retransmits += 1,
+                TraceEvent::Reconnect { .. } => report.net_reconnects += 1,
             }
         }
         report
@@ -231,6 +243,15 @@ impl RunReport {
         }
         if !self.buffer_depth.is_empty() {
             out.push_str(&self.buffer_depth.render("snapshot buffer depth"));
+        }
+        if self.net_bytes_sent > 0 || self.net_bytes_received > 0 {
+            out.push_str(&format!(
+                "wire: {} B sent, {} B received, {} retransmits, {} reconnects\n",
+                self.net_bytes_sent,
+                self.net_bytes_received,
+                self.net_retransmits,
+                self.net_reconnects
+            ));
         }
         match (&self.detected_cut, self.finished_at) {
             (Some(cut), at) => {

@@ -27,6 +27,118 @@ impl Default for LatencyModel {
     }
 }
 
+/// A seeded, per-link fault schedule: the shared vocabulary between the
+/// simulator's adversarial latency models and `wcp-net`'s `FaultyTransport`.
+///
+/// Each field is the probability (in `0.0..=1.0`) that the corresponding
+/// fault is injected on one frame transmission. Which frames are hit is
+/// fully determined by `seed` (each link derives its own RNG stream from
+/// it), so a fault schedule reproduces exactly across runs; *when* a
+/// delayed frame actually lands is wall-clock timing and is masked by the
+/// receiver's per-link resequencing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// RNG seed the per-link fault streams are derived from.
+    pub seed: u64,
+    /// Probability a transmission is dropped; the link layer retransmits
+    /// with exponential backoff, so a drop costs retries, not delivery.
+    pub drop: f64,
+    /// Probability a frame is transmitted twice (receiver dedups by seq).
+    pub duplicate: f64,
+    /// Probability a frame is held back `1..=max_delay_ms` milliseconds,
+    /// letting later frames overtake it.
+    pub delay: f64,
+    /// Upper bound on an injected delay, in milliseconds.
+    pub max_delay_ms: u64,
+    /// Probability a frame is swapped with the next frame on the link
+    /// (deterministic reorder, independent of wall-clock timing).
+    pub reorder: f64,
+    /// Probability the connection is torn down before a transmission; the
+    /// sender reconnects with exponential backoff and replays its log.
+    pub reset: f64,
+    /// Maximum retransmit/reconnect attempts before the link gives up.
+    pub max_retries: u32,
+    /// Base backoff, in milliseconds; attempt `k` waits `base << k`.
+    pub backoff_base_ms: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            seed: 0,
+            drop: 0.0,
+            duplicate: 0.0,
+            delay: 0.0,
+            max_delay_ms: 5,
+            reorder: 0.0,
+            reset: 0.0,
+            max_retries: 8,
+            backoff_base_ms: 1,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A fault-free schedule with a specific seed.
+    pub fn seeded(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            ..FaultConfig::default()
+        }
+    }
+
+    /// The canonical tolerated-fault schedule: delay + duplicate + reorder
+    /// (no drops or resets), which the detection protocols must mask
+    /// without changing the `Detection`.
+    pub fn delay_duplicate_reorder(seed: u64) -> Self {
+        FaultConfig {
+            delay: 0.25,
+            duplicate: 0.2,
+            reorder: 0.2,
+            ..FaultConfig::seeded(seed)
+        }
+    }
+
+    /// Sets the drop probability.
+    pub fn with_drop(mut self, p: f64) -> Self {
+        self.drop = p;
+        self
+    }
+
+    /// Sets the duplicate probability.
+    pub fn with_duplicate(mut self, p: f64) -> Self {
+        self.duplicate = p;
+        self
+    }
+
+    /// Sets the delay probability.
+    pub fn with_delay(mut self, p: f64) -> Self {
+        self.delay = p;
+        self
+    }
+
+    /// Sets the reorder probability.
+    pub fn with_reorder(mut self, p: f64) -> Self {
+        self.reorder = p;
+        self
+    }
+
+    /// Sets the connection-reset probability.
+    pub fn with_reset(mut self, p: f64) -> Self {
+        self.reset = p;
+        self
+    }
+
+    /// Whether the schedule injects any fault at all.
+    pub fn is_quiet(&self) -> bool {
+        self.drop == 0.0
+            && self.duplicate == 0.0
+            && self.delay == 0.0
+            && self.reorder == 0.0
+            && self.reset == 0.0
+    }
+}
+
 /// Configuration of a [`Simulation`](crate::Simulation).
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct SimConfig {
@@ -107,6 +219,17 @@ mod tests {
     fn fifo_default_covers_all_channels() {
         let c = SimConfig::default().with_fifo_default(true);
         assert!(c.is_fifo(ActorId::new(3), ActorId::new(4)));
+    }
+
+    #[test]
+    fn fault_config_defaults_are_quiet() {
+        let f = FaultConfig::seeded(11);
+        assert!(f.is_quiet());
+        assert_eq!(f.seed, 11);
+        let f = f.with_delay(0.5).with_duplicate(0.1);
+        assert!(!f.is_quiet());
+        assert!(FaultConfig::delay_duplicate_reorder(3).drop == 0.0);
+        assert!(!FaultConfig::delay_duplicate_reorder(3).is_quiet());
     }
 
     #[test]

@@ -55,6 +55,6 @@ mod metrics;
 mod simulation;
 
 pub use actor::{Actor, ActorId, Context, WireSize};
-pub use config::{LatencyModel, SimConfig};
+pub use config::{FaultConfig, LatencyModel, SimConfig};
 pub use metrics::{ActorMetrics, SimMetrics};
 pub use simulation::{SimOutcome, SimTime, Simulation, StopReason};

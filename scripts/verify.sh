@@ -6,6 +6,14 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+echo "== no tracked build artifacts =="
+if git ls-files -- 'target/*' | grep -q .; then
+    echo "error: build artifacts under target/ are tracked by git:" >&2
+    git ls-files -- 'target/*' | head >&2
+    echo "run: git rm -r --cached target/" >&2
+    exit 1
+fi
+
 echo "== cargo build --release --offline =="
 cargo build --workspace --release --offline
 

@@ -12,7 +12,9 @@
 //! - [`detect`] — the detection algorithms themselves (the paper's
 //!   contribution) and the Section 5 lower-bound adversary,
 //! - [`obs`] — observability: trace recorders, histograms, run reports,
-//!   and the dependency-free JSON and RNG utilities the workspace shares.
+//!   and the dependency-free JSON and RNG utilities the workspace shares,
+//! - [`net`] — real socket transport: wire codec, TCP/loopback links,
+//!   deterministic fault injection, and socket-connected detection peers.
 //!
 //! # Quickstart
 //!
@@ -39,6 +41,7 @@
 
 pub use wcp_clocks as clocks;
 pub use wcp_detect as detect;
+pub use wcp_net as net;
 pub use wcp_obs as obs;
 pub use wcp_record as record;
 pub use wcp_runtime as runtime;
