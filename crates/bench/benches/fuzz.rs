@@ -1,0 +1,30 @@
+//! Wall-clock cost of the differential conformance battery: how many fuzz
+//! cases per second a long campaign sustains, and what one full-oracle
+//! check costs. Keeps the `scripts/verify.sh` smoke campaign honest about
+//! its ~2s budget and sizes nightly long campaigns (see ROADMAP.md).
+
+use std::hint::black_box;
+
+use wcp_bench::timing::bench;
+use wcp_fuzz::{check_case, run_campaign, CampaignConfig, CheckOptions, FuzzCase};
+use wcp_obs::rng::Rng;
+
+fn main() {
+    let opts = CheckOptions {
+        include_net: false,
+        sabotage: false,
+    };
+    let mut rng = Rng::seed_from_u64(1);
+    let cases: Vec<FuzzCase> = (0..64).map(|_| FuzzCase::random(&mut rng)).collect();
+    bench("fuzz/check_case_x64", 10, || {
+        for case in &cases {
+            black_box(check_case(case, &opts));
+        }
+    });
+
+    let mut config = CampaignConfig::new(1, 100);
+    config.check.include_net = false;
+    bench("fuzz/campaign_100_cases", 5, || {
+        black_box(run_campaign(&config));
+    });
+}

@@ -223,8 +223,18 @@ pub fn detect(raw: &[String]) -> Result<String, CliError> {
                 let states: Vec<_> = wcp
                     .scope()
                     .iter()
-                    .map(|&p| wcp_clocks::StateId::new(p, cut.get(p).expect("scope entry")))
-                    .collect();
+                    .map(|&p| {
+                        cut.get(p)
+                            .filter(|&k| k >= 1)
+                            .map(|k| wcp_clocks::StateId::new(p, k))
+                            .ok_or_else(|| {
+                                CliError::runtime(format!(
+                                    "detected cut {cut} selects no state for scope process {p}; \
+                                     cannot slice"
+                                ))
+                            })
+                    })
+                    .collect::<Result<Vec<_>, CliError>>()?;
                 annotated
                     .least_consistent_extension(&states)
                     .ok_or_else(|| CliError::runtime("no consistent extension for the cut"))?
@@ -386,6 +396,9 @@ pub fn render(raw: &[String]) -> Result<String, CliError> {
     let args = Args::parse(raw)?;
     let path = args.require_positional(0, "FILE")?;
     let computation = load(path)?;
+    // `--scope` is advertised in USAGE; out-of-range ids must be a proper
+    // usage error, not silently ignored.
+    parse_scope(&args, &computation)?;
     let options = DiagramOptions {
         cut: None,
         show_predicates: true,
@@ -567,6 +580,38 @@ pub fn serve(raw: &[String]) -> Result<String, CliError> {
     }
     out.push_str(&format!("wire: {}\n", report.net));
     Ok(out)
+}
+
+/// `wcp fuzz` — seeded differential conformance campaign.
+///
+/// Draws `--cases` random cases from `--seed`, runs every detector family
+/// on each, and cross-checks verdicts and replayed metrics against the
+/// lattice oracle. Divergences exit nonzero, with repro JSON suitable for
+/// `tests/corpus/` in the error output; `--shrink` first reduces each
+/// repro to its minimal form. `--no-net` skips the (slower) real-socket
+/// loopback stacks.
+pub fn fuzz(raw: &[String]) -> Result<String, CliError> {
+    let args = Args::parse(raw)?;
+    let seed: u64 = args.get_or("seed", 1)?;
+    let cases: usize = args.get_or("cases", 50)?;
+    if cases == 0 {
+        return Err(CliError::usage("fuzz needs --cases ≥ 1"));
+    }
+    let mut config = wcp_fuzz::CampaignConfig::new(seed, cases);
+    config.shrink = args.switch("shrink");
+    config.check.include_net = !args.switch("no-net");
+    let report = wcp_fuzz::run_campaign(&config);
+    let mut out = report.summary_table();
+    if report.bugs.is_empty() {
+        out.push_str("\nall detector families agree: no divergences\n");
+        return Ok(out);
+    }
+    out.push_str("\nrepro JSON (pin under tests/corpus/ once fixed):\n");
+    for bug in &report.bugs {
+        out.push_str(&bug.repro_json().to_string_compact());
+        out.push('\n');
+    }
+    Err(CliError::runtime(out))
 }
 
 /// `wcp bound` — run the Theorem 5.1 adversary game.
@@ -886,6 +931,16 @@ mod tests {
     }
 
     #[test]
+    fn fuzz_smoke_campaign_is_clean_and_summarized() {
+        let out = fuzz(&argv(&["--seed", "1", "--cases", "8", "--no-net"])).unwrap();
+        assert!(out.contains("cases run   | 8"), "{out}");
+        assert!(out.contains("divergences | 0"), "{out}");
+        assert!(out.contains("no divergences"), "{out}");
+        assert!(fuzz(&argv(&["--cases", "0"])).is_err());
+        assert!(fuzz(&argv(&["--cases", "many"])).is_err());
+    }
+
+    #[test]
     fn errors_are_reported() {
         assert!(info(&argv(&["/nonexistent/file.json"])).is_err());
         assert!(detect(&argv(&[])).is_err());
@@ -896,5 +951,34 @@ mod tests {
         assert!(parse_topology("weird").is_err());
         assert!(parse_topology("cs:2").is_ok());
         assert!(parse_topology("nb:1").is_ok());
+    }
+
+    #[test]
+    fn out_of_scope_process_ids_are_cli_errors_not_panics() {
+        let path = generated_trace("scope_errors.json");
+        // The trace has 4 processes; id 9 must be a usage error (exit 2)
+        // with a message naming the offending id for every scoped command.
+        for result in [
+            detect(&argv(&[&path, "--scope", "0,9"])),
+            detect(&argv(&[
+                &path,
+                "--scope",
+                "9",
+                "--slice",
+                &tmpfile("never.json"),
+            ])),
+            render(&argv(&[&path, "--scope", "9"])),
+            render(&argv(&[&path, "--dot", "--scope", "0,nine"])),
+        ] {
+            let err = result.expect_err("out-of-scope id must not succeed");
+            assert_ne!(err.code, 0);
+            assert!(
+                err.message.contains("out of range") || err.message.contains("bad process id"),
+                "{}",
+                err.message
+            );
+        }
+        // A valid scope still renders.
+        assert!(render(&argv(&[&path, "--scope", "0,1"])).is_ok());
     }
 }

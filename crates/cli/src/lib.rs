@@ -92,6 +92,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "trace" => commands::trace(rest),
         "stats" => commands::stats(rest),
         "net-demo" => commands::net_demo(rest),
+        "fuzz" => commands::fuzz(rest),
         "serve" => commands::serve(rest),
         "bound" => commands::bound(rest),
         "help" | "-h" | "--help" => Ok(USAGE.to_string()),
@@ -122,5 +123,6 @@ USAGE:
                [--delay P] [--duplicate P] [--reorder P] [--reset P] [--json]
   wcp serve FILE --peer I --addrs HOST:PORT,HOST:PORT,...
             [--scope 0,1,2] [--deadline SECS]
+  wcp fuzz [--seed S] [--cases K] [--shrink] [--no-net]
   wcp bound --n N --m M
   wcp help";

@@ -20,7 +20,9 @@ use crate::metrics::DetectionMetrics;
 use crate::online::app::{AppProcess, ClockMode};
 use crate::online::harness::OnlineReport;
 use crate::online::messages::DetectMsg;
-use crate::online::vc_monitor::{OnlineDetection, OnlineStats, SharedOutcome, SharedStats};
+use crate::online::vc_monitor::{
+    MonitorStall, OnlineDetection, OnlineStats, SharedOutcome, SharedStats,
+};
 use crate::snapshot::SnapshotBuffer;
 
 /// The checker actor: buffers every scope process's snapshots and runs the
@@ -55,6 +57,20 @@ impl CheckerProcess {
             result,
             stats,
         }
+    }
+
+    fn record_stall(&self) {
+        let depths: Vec<usize> = self.queues.iter().map(|q| q.len()).collect();
+        self.stats.lock().unwrap().note_stall(
+            0,
+            MonitorStall {
+                label: "checker".to_string(),
+                queued: depths.iter().map(|&d| d as u64).sum(),
+                eot: self.eot.iter().all(|&e| e),
+                done: self.done,
+                detail: format!("queue depths={depths:?} eot={:?}", self.eot),
+            },
+        );
     }
 
     fn try_check(&mut self, ctx: &mut dyn Context<DetectMsg>) {
@@ -132,6 +148,7 @@ impl Actor<DetectMsg> for CheckerProcess {
             }
             other => unreachable!("checker: unexpected {other:?}"),
         }
+        self.record_stall();
     }
 }
 
@@ -188,7 +205,10 @@ pub fn run_checker(computation: &Computation, wcp: &Wcp, sim_config: SimConfig) 
             Detection::Detected { cut }
         }
         Some(OnlineDetection::Undetected) => Detection::Undetected,
-        None => panic!("simulation quiesced without a verdict (protocol stalled)"),
+        None => panic!(
+            "simulation quiesced without a verdict (protocol stalled)\n{}",
+            stats.lock().unwrap().stall_report()
+        ),
     };
 
     let mut metrics = DetectionMetrics::new(1);

@@ -28,7 +28,7 @@ use wcp_obs::{LogicalTime, NullRecorder, Recorder, TraceEvent};
 use wcp_sim::{Actor, ActorId, Context};
 
 use crate::online::messages::DetectMsg;
-use crate::online::vc_monitor::{OnlineDetection, SharedOutcome, SharedStats};
+use crate::online::vc_monitor::{MonitorStall, OnlineDetection, SharedOutcome, SharedStats};
 use crate::snapshot::DdSnapshot;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -148,6 +148,36 @@ impl DdMonitor {
 
     fn publish_g(&self) {
         self.g_board.lock().unwrap()[self.pid.index()] = self.g;
+    }
+
+    fn record_stall(&self) {
+        let phase = match &self.phase {
+            Phase::Idle => "idle".to_string(),
+            Phase::Collecting { deps } => format!("collecting({} deps)", deps.len()),
+            Phase::Polling {
+                deps,
+                idx,
+                candidate_dead,
+            } => format!("polling {idx}/{} dead={candidate_dead}", deps.len()),
+        };
+        self.stats.lock().unwrap().note_stall(
+            self.pid.index(),
+            MonitorStall {
+                label: format!("dd[{}]", self.pid),
+                queued: self.queue.len() as u64,
+                eot: self.eot,
+                done: self.done,
+                detail: format!(
+                    "color={:?} g={} token={} staged={} next_red={:?} deferred_polls={} {phase}",
+                    self.color,
+                    self.g,
+                    self.holds_token,
+                    self.staged,
+                    self.next_red,
+                    self.deferred_polls.len()
+                ),
+            },
+        );
     }
 
     /// Entry point whenever the situation may allow progress.
@@ -409,6 +439,7 @@ impl Actor<DetectMsg> for DdMonitor {
             self.emit(ctx, TraceEvent::TokenAcquired { from: None });
         }
         self.progress(ctx);
+        self.record_stall();
     }
 
     fn on_message(&mut self, ctx: &mut dyn Context<DetectMsg>, from: ActorId, msg: DetectMsg) {
@@ -460,6 +491,7 @@ impl Actor<DetectMsg> for DdMonitor {
             }
             other => unreachable!("dd monitor {}: unexpected {other:?}", self.pid),
         }
+        self.record_stall();
     }
 }
 

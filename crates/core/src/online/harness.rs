@@ -107,7 +107,10 @@ pub fn run_vc_token_recorded(
             Detection::Detected { cut }
         }
         Some(OnlineDetection::Undetected) => Detection::Undetected,
-        None => panic!("simulation quiesced without a verdict (protocol stalled)"),
+        None => panic!(
+            "simulation quiesced without a verdict (protocol stalled)\n{}",
+            stats.lock().unwrap().stall_report()
+        ),
     };
     let metrics = collect_metrics(
         &sim,
@@ -211,7 +214,10 @@ pub fn run_direct_recorded(
             cut: Cut::from_indices(g),
         },
         Some(OnlineDetection::Undetected) => Detection::Undetected,
-        None => panic!("simulation quiesced without a verdict (protocol stalled)"),
+        None => panic!(
+            "simulation quiesced without a verdict (protocol stalled)\n{}",
+            stats.lock().unwrap().stall_report()
+        ),
     };
     let metrics = collect_metrics(
         &sim,

@@ -22,7 +22,9 @@ use crate::offline::token::Color;
 use crate::online::app::{AppProcess, ClockMode};
 use crate::online::harness::OnlineReport;
 use crate::online::messages::{DetectMsg, GroupTokenMsg};
-use crate::online::vc_monitor::{OnlineDetection, OnlineStats, SharedOutcome, SharedStats};
+use crate::online::vc_monitor::{
+    describe_token_state, MonitorStall, OnlineDetection, OnlineStats, SharedOutcome, SharedStats,
+};
 use crate::snapshot::SnapshotBuffer;
 
 /// A group member: runs Figure 3 within its group on the group token.
@@ -43,6 +45,23 @@ struct GroupMonitor {
 }
 
 impl GroupMonitor {
+    fn record_stall(&self) {
+        let detail = match &self.token {
+            Some(t) => describe_token_state(&t.g, |i| t.color[i]),
+            None => "no token".to_string(),
+        };
+        self.stats.lock().unwrap().note_stall(
+            self.pos,
+            MonitorStall {
+                label: format!("group[{}]", self.pos),
+                queued: self.queue.len() as u64,
+                eot: self.eot,
+                done: self.done,
+                detail,
+            },
+        );
+    }
+
     fn try_advance(&mut self, ctx: &mut dyn Context<DetectMsg>) {
         if self.done {
             return;
@@ -127,6 +146,7 @@ impl Actor<DetectMsg> for GroupMonitor {
             }
             other => unreachable!("group monitor {}: unexpected {other:?}", self.pos),
         }
+        self.record_stall();
     }
 }
 
@@ -145,9 +165,29 @@ struct Leader {
     outstanding: usize,
     done: bool,
     result: SharedOutcome,
+    stats: SharedStats,
 }
 
 impl Leader {
+    fn record_stall(&self) {
+        let parked: Vec<usize> = self
+            .parked
+            .iter()
+            .enumerate()
+            .filter_map(|(gi, t)| t.as_ref().map(|_| gi))
+            .collect();
+        self.stats.lock().unwrap().note_stall(
+            self.n,
+            MonitorStall {
+                label: "leader".to_string(),
+                queued: parked.len() as u64,
+                eot: false,
+                done: self.done,
+                detail: format!("outstanding={} parked groups={parked:?}", self.outstanding),
+            },
+        );
+    }
+
     fn merge_and_redistribute(&mut self, ctx: &mut dyn Context<DetectMsg>) {
         let n = self.n;
         let g_count = self.members.len();
@@ -245,6 +285,7 @@ impl Actor<DetectMsg> for Leader {
             }
             other => unreachable!("leader: unexpected {other:?}"),
         }
+        self.record_stall();
     }
 }
 
@@ -325,6 +366,7 @@ pub fn run_multi_token(
         outstanding: 0,
         done: false,
         result: result.clone(),
+        stats: stats.clone(),
     }));
 
     let outcome = sim.run();
@@ -338,7 +380,10 @@ pub fn run_multi_token(
             Detection::Detected { cut }
         }
         Some(OnlineDetection::Undetected) => Detection::Undetected,
-        None => panic!("simulation quiesced without a verdict (protocol stalled)"),
+        None => panic!(
+            "simulation quiesced without a verdict (protocol stalled)\n{}",
+            stats.lock().unwrap().stall_report()
+        ),
     };
 
     let mut metrics = DetectionMetrics::new(n + 1);

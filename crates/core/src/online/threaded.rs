@@ -94,7 +94,10 @@ pub fn run_vc_token_threaded_recorded(
             Detection::Detected { cut }
         }
         Some(OnlineDetection::Undetected) => Detection::Undetected,
-        None => panic!("threaded run quiesced without a verdict (protocol stalled)"),
+        None => panic!(
+            "threaded run quiesced without a verdict (protocol stalled)\n{}",
+            stats.lock().unwrap().stall_report()
+        ),
     }
 }
 
@@ -164,7 +167,10 @@ pub fn run_direct_threaded_recorded(
             cut: Cut::from_indices(g),
         },
         Some(OnlineDetection::Undetected) => Detection::Undetected,
-        None => panic!("threaded run quiesced without a verdict (protocol stalled)"),
+        None => panic!(
+            "threaded run quiesced without a verdict (protocol stalled)\n{}",
+            stats.lock().unwrap().stall_report()
+        ),
     }
 }
 

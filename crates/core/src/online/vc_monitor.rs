@@ -37,6 +37,68 @@ pub struct OnlineStats {
     /// Largest snapshot queue observed at any monitor (the paper's
     /// per-process space measure).
     pub max_buffered: u64,
+    /// Last-known per-monitor protocol state, refreshed after every
+    /// delivery; read only when a run quiesces without a verdict so the
+    /// stall is diagnosable from the panic message alone.
+    pub stalls: Vec<MonitorStall>,
+}
+
+impl OnlineStats {
+    /// Records monitor `idx`'s latest protocol state, growing the table as
+    /// needed.
+    pub fn note_stall(&mut self, idx: usize, stall: MonitorStall) {
+        if self.stalls.len() <= idx {
+            self.stalls.resize(idx + 1, MonitorStall::default());
+        }
+        self.stalls[idx] = stall;
+    }
+
+    /// Formats the per-monitor stall table for a quiesced-without-verdict
+    /// panic message: one line per monitor with queue depth, end-of-trace
+    /// flag, verdict latch, and algorithm-specific token/chain state.
+    pub fn stall_report(&self) -> String {
+        if self.stalls.is_empty() {
+            return "  (no monitor state recorded)".to_string();
+        }
+        self.stalls
+            .iter()
+            .map(|s| {
+                format!(
+                    "  {}: queued={} eot={} done={} {}",
+                    s.label, s.queued, s.eot, s.done, s.detail
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+/// One monitor's last-known protocol state (see [`OnlineStats::stalls`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MonitorStall {
+    /// Monitor label, e.g. `vc[2]`, `dd[0]`, `group[1]`, `leader`.
+    pub label: String,
+    /// Snapshots buffered and not yet consumed.
+    pub queued: u64,
+    /// Whether end-of-trace has been observed.
+    pub eot: bool,
+    /// Whether a verdict was latched locally.
+    pub done: bool,
+    /// Algorithm-specific state: token location and colors, chain phase,
+    /// outstanding polls, parked group tokens, ….
+    pub detail: String,
+}
+
+/// Renders a token's candidate cut and colors (`R`/`G` per position) for a
+/// stall report.
+pub(crate) fn describe_token_state(g: &[u64], color_of: impl Fn(usize) -> Color) -> String {
+    let colors: String = (0..g.len())
+        .map(|i| match color_of(i) {
+            Color::Red => 'R',
+            Color::Green => 'G',
+        })
+        .collect();
+    format!("token held: g={g:?} colors={colors}")
 }
 
 /// Shared instrumentation cell for [`OnlineStats`].
@@ -109,6 +171,23 @@ impl VcMonitor {
     fn emit(&self, ctx: &dyn Context<DetectMsg>, event: TraceEvent) {
         self.recorder
             .record(self.pos as u32, LogicalTime::Tick(ctx.now()), event);
+    }
+
+    fn record_stall(&self) {
+        let detail = match &self.token {
+            Some(t) => describe_token_state(&t.g, |i| t.color(i)),
+            None => "no token".to_string(),
+        };
+        self.stats.lock().unwrap().note_stall(
+            self.pos,
+            MonitorStall {
+                label: format!("vc[{}]", self.pos),
+                queued: self.queue.len() as u64,
+                eot: self.eot,
+                done: self.done,
+                detail,
+            },
+        );
     }
 
     /// Figure 3 body; re-entered whenever the token or new candidates
@@ -243,6 +322,7 @@ impl Actor<DetectMsg> for VcMonitor {
                 self.emit(ctx, TraceEvent::TokenAcquired { from: None });
             }
             self.try_advance(ctx);
+            self.record_stall();
         }
     }
 
@@ -288,6 +368,7 @@ impl Actor<DetectMsg> for VcMonitor {
             }
             other => unreachable!("vc monitor {}: unexpected {other:?}", self.pos),
         }
+        self.record_stall();
     }
 }
 
@@ -325,6 +406,38 @@ mod tests {
             interval,
             clock: VectorClock::from_components(clock),
         })
+    }
+
+    #[test]
+    fn stall_report_names_every_monitor() {
+        let mut stats = OnlineStats::default();
+        assert!(stats.stall_report().contains("no monitor state"));
+        let (mut m, _result) = monitor(0, true);
+        let mut ctx = MockCtx::default();
+        m.on_start(&mut ctx);
+        m.record_stall();
+        let snapshot_stats = m.stats.lock().unwrap().clone();
+        let report = snapshot_stats.stall_report();
+        assert!(report.contains("vc[0]"), "{report}");
+        assert!(report.contains("token held"), "{report}");
+        assert!(report.contains("colors=RR"), "{report}");
+        stats.note_stall(
+            2,
+            MonitorStall {
+                label: "dd[2]".into(),
+                queued: 3,
+                eot: true,
+                done: false,
+                detail: "color=Red g=1 idle".into(),
+            },
+        );
+        let report = stats.stall_report();
+        assert!(
+            report.contains("dd[2]: queued=3 eot=true done=false"),
+            "{report}"
+        );
+        // Unreported slots render as defaults rather than panicking.
+        assert!(report.lines().count() == 3, "{report}");
     }
 
     #[test]

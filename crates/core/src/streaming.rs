@@ -145,6 +145,14 @@ impl StreamingChecker {
     /// Declares that position `pos` will produce no more snapshots (end of
     /// trace). If its queue is ever exhausted afterwards, detection is
     /// [`StreamingStatus::Impossible`].
+    ///
+    /// All close orders are well-defined: closing before any push reports
+    /// [`StreamingStatus::Impossible`] immediately (the dry closed queue
+    /// can never refill), closing a position whose buffered snapshots
+    /// detect later still detects, closing twice is idempotent, and a
+    /// verdict reached earlier is never overwritten —
+    /// [`StreamingStatus::AlreadyDetected`] wins over a subsequent close,
+    /// and `Impossible` is sticky.
     pub fn close(&mut self, pos: usize) -> StreamingStatus {
         assert!(pos < self.n, "position {pos} out of range");
         self.closed[pos] = true;
@@ -165,15 +173,21 @@ impl StreamingChecker {
             return StreamingStatus::Impossible;
         }
         loop {
-            // Need a full head set.
+            // Need a full head set. Scan *every* position before settling
+            // for Pending: a closed-and-dry queue anywhere means no cut can
+            // ever form, even if an earlier open queue is also empty.
+            let mut missing = false;
             for i in 0..self.n {
                 if self.queues[i].is_empty() {
                     if self.closed[i] {
                         self.impossible = true;
                         return StreamingStatus::Impossible;
                     }
-                    return StreamingStatus::Pending;
+                    missing = true;
                 }
+            }
+            if missing {
+                return StreamingStatus::Pending;
             }
             self.work += self.n as u64;
             let mut eliminated = None;
@@ -335,6 +349,78 @@ mod tests {
             ),
             StreamingStatus::Impossible
         );
+    }
+
+    #[test]
+    fn close_before_any_push_is_impossible() {
+        // Regression: the head-set scan used to stop at the first empty
+        // *open* queue and report Pending, hiding a later closed-and-dry
+        // position. With no pushes at all, closing any position must
+        // settle the verdict immediately.
+        let mut c = StreamingChecker::new(2);
+        assert_eq!(c.close(1), StreamingStatus::Impossible);
+        assert_eq!(c.detected(), None);
+    }
+
+    #[test]
+    fn close_on_buffered_position_still_detects() {
+        use wcp_clocks::VectorClock;
+        let mut c = StreamingChecker::new(2);
+        assert_eq!(
+            c.push(
+                0,
+                VcSnapshot {
+                    interval: 1,
+                    clock: VectorClock::from_components(vec![1, 0])
+                }
+            ),
+            StreamingStatus::Pending
+        );
+        // Closing P0 is fine while its snapshot is still buffered …
+        assert_eq!(c.close(0), StreamingStatus::Pending);
+        // … and the buffered snapshot still participates in detection.
+        let status = c.push(
+            1,
+            VcSnapshot {
+                interval: 1,
+                clock: VectorClock::from_components(vec![0, 1]),
+            },
+        );
+        assert_eq!(status, StreamingStatus::Detected(vec![1, 1]));
+    }
+
+    #[test]
+    fn double_close_is_stable() {
+        let mut c = StreamingChecker::new(2);
+        assert_eq!(c.close(0), StreamingStatus::Impossible);
+        assert_eq!(c.close(0), StreamingStatus::Impossible);
+        assert_eq!(c.close(1), StreamingStatus::Impossible);
+    }
+
+    #[test]
+    fn impossible_never_overwrites_detected() {
+        use wcp_clocks::VectorClock;
+        let mut c = StreamingChecker::new(2);
+        c.push(
+            0,
+            VcSnapshot {
+                interval: 1,
+                clock: VectorClock::from_components(vec![1, 0]),
+            },
+        );
+        let status = c.push(
+            1,
+            VcSnapshot {
+                interval: 1,
+                clock: VectorClock::from_components(vec![0, 1]),
+            },
+        );
+        assert_eq!(status, StreamingStatus::Detected(vec![1, 1]));
+        // Closing (even twice) after detection reports AlreadyDetected and
+        // leaves the verdict in place.
+        assert_eq!(c.close(0), StreamingStatus::AlreadyDetected);
+        assert_eq!(c.close(0), StreamingStatus::AlreadyDetected);
+        assert_eq!(c.detected(), Some(&[1, 1][..]));
     }
 
     #[test]

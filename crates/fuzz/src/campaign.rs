@@ -1,0 +1,163 @@
+//! Campaign driver: draw cases from a seed, check each one, shrink every
+//! divergence, and summarize — the `wcp fuzz` entry point.
+
+use std::panic;
+
+use wcp_obs::json::{Json, ToJson};
+use wcp_obs::rng::Rng;
+
+use crate::case::{corpus_entry, FuzzCase};
+use crate::oracle::{check_case, CheckOptions, Divergence};
+use crate::shrink::shrink;
+
+/// Parameters of one campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Master seed; the whole campaign is a pure function of it.
+    pub seed: u64,
+    /// Number of cases to draw and check.
+    pub cases: usize,
+    /// Shrink each diverging case to a minimal repro.
+    pub shrink: bool,
+    /// Oracle knobs (net stacks on/off, test-only sabotage).
+    pub check: CheckOptions,
+}
+
+impl CampaignConfig {
+    /// A campaign with default oracle options.
+    pub fn new(seed: u64, cases: usize) -> Self {
+        CampaignConfig {
+            seed,
+            cases,
+            shrink: false,
+            check: CheckOptions::default(),
+        }
+    }
+}
+
+/// One diverging case, with its shrunk repro when shrinking was on.
+#[derive(Debug, Clone)]
+pub struct FoundBug {
+    /// 0-based index of the case within the campaign.
+    pub index: usize,
+    /// The original diverging case.
+    pub case: FuzzCase,
+    /// Divergences of the original case, most interesting first.
+    pub divergences: Vec<Divergence>,
+    /// Minimal repro, if shrinking ran.
+    pub shrunk: Option<FuzzCase>,
+    /// Accepted shrink steps (0 when shrinking was off).
+    pub shrink_steps: usize,
+}
+
+impl FoundBug {
+    /// Self-contained corpus-ready JSON for the (shrunk, if available)
+    /// repro, with the divergence list embedded in the note.
+    pub fn repro_json(&self) -> Json {
+        let what: Vec<String> = self.divergences.iter().map(|d| d.to_string()).collect();
+        let note = format!("fuzz case #{}: {}", self.index, what.join("; "));
+        corpus_entry(self.shrunk.as_ref().unwrap_or(&self.case), &note)
+    }
+}
+
+/// Outcome of [`run_campaign`].
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// The configuration that produced this report.
+    pub seed: u64,
+    /// Cases checked.
+    pub cases_run: usize,
+    /// Diverging cases, in discovery order.
+    pub bugs: Vec<FoundBug>,
+    /// Total accepted shrink steps across all bugs.
+    pub shrink_steps: usize,
+}
+
+impl CampaignReport {
+    /// ASCII summary table in the `wcp-obs` run-report style.
+    pub fn summary_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str("metric      | value\n");
+        out.push_str("------------|------\n");
+        out.push_str(&format!("seed        | {}\n", self.seed));
+        out.push_str(&format!("cases run   | {}\n", self.cases_run));
+        out.push_str(&format!("divergences | {}\n", self.bugs.len()));
+        out.push_str(&format!("shrink steps| {}\n", self.shrink_steps));
+        for bug in &self.bugs {
+            out.push('\n');
+            out.push_str(&format!("case #{} diverged:\n", bug.index));
+            for d in &bug.divergences {
+                out.push_str(&format!("  {d}\n"));
+            }
+            if let Some(min) = &bug.shrunk {
+                out.push_str(&format!(
+                    "  shrunk in {} steps to: {}\n",
+                    bug.shrink_steps,
+                    min.to_json().to_string_compact()
+                ));
+            } else {
+                out.push_str(&format!(
+                    "  repro: {}\n",
+                    bug.case.to_json().to_string_compact()
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Runs a campaign: `cases` random cases from `seed`, each checked against
+/// the full oracle battery; divergences are (optionally) shrunk.
+///
+/// Deterministic: the same config yields the same report, bug for bug and
+/// shrink step for shrink step. The global panic hook is silenced for the
+/// duration so expected `Crash`-divergence panics don't spam stderr.
+pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
+    let prev_hook = panic::take_hook();
+    panic::set_hook(Box::new(|_| {}));
+    let report = run_campaign_inner(config);
+    panic::set_hook(prev_hook);
+    report
+}
+
+fn run_campaign_inner(config: &CampaignConfig) -> CampaignReport {
+    let mut rng = Rng::seed_from_u64(config.seed);
+    let mut bugs = Vec::new();
+    let mut shrink_steps = 0;
+    for index in 0..config.cases {
+        let case = FuzzCase::random(&mut rng);
+        let divergences = check_case(&case, &config.check);
+        if divergences.is_empty() {
+            continue;
+        }
+        let (shrunk, steps) = if config.shrink {
+            // A candidate "still fails" if it reproduces a divergence in
+            // the same detector (any kind): shrinking tracks the bug, not
+            // incidental divergences the smaller case may introduce.
+            let detectors: Vec<String> = divergences.iter().map(|d| d.detector.clone()).collect();
+            let mut still_fails = |c: &FuzzCase| {
+                check_case(c, &config.check)
+                    .iter()
+                    .any(|d| detectors.contains(&d.detector))
+            };
+            let (min, steps) = shrink(&case, &mut still_fails);
+            (Some(min), steps)
+        } else {
+            (None, 0)
+        };
+        shrink_steps += steps;
+        bugs.push(FoundBug {
+            index,
+            case,
+            divergences,
+            shrunk,
+            shrink_steps: steps,
+        });
+    }
+    CampaignReport {
+        seed: config.seed,
+        cases_run: config.cases,
+        bugs,
+        shrink_steps,
+    }
+}

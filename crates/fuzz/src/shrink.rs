@@ -1,0 +1,208 @@
+//! Deterministic shrinking: reduce a diverging [`FuzzCase`] to a minimal
+//! repro by walking a fixed-priority mutation ladder.
+//!
+//! Each rung proposes a strictly simpler candidate (fewer processes, then
+//! fewer intervals, then fewer messages, then a simpler fault schedule and
+//! channel model); a candidate is accepted only if it is still realizable
+//! **and** the caller's predicate confirms the divergence reproduces. On
+//! acceptance the ladder restarts from the top, so the result is a fixed
+//! point: no single rung can simplify it further. No randomness is
+//! involved — the same input case and predicate always shrink to the same
+//! minimal repro.
+
+use wcp_sim::LatencyModel;
+use wcp_trace::generate::Topology;
+
+use crate::case::FuzzCase;
+
+/// Upper bound on accepted mutations, far above any realistic ladder walk;
+/// guards against a pathological predicate that never stops accepting.
+const MAX_STEPS: usize = 512;
+
+/// All candidate simplifications of `c`, in fixed priority order.
+fn rungs(c: &FuzzCase) -> Vec<FuzzCase> {
+    let mut out = Vec::new();
+    let mut push = |f: &dyn Fn(&mut FuzzCase)| {
+        let mut cand = c.clone();
+        f(&mut cand);
+        if cand != *c && cand.is_realizable() {
+            out.push(cand);
+        }
+    };
+
+    // 1. Fewer processes (halve, then decrement). A topology that becomes
+    //    unrealizable at the smaller N falls back to Uniform.
+    for target in [c.gen.processes / 2, c.gen.processes.saturating_sub(1)] {
+        if target >= 1 && target < c.gen.processes {
+            push(&|cand: &mut FuzzCase| {
+                cand.gen.processes = target;
+                if !cand.is_realizable() {
+                    cand.gen.topology = Topology::Uniform;
+                }
+            });
+        }
+    }
+    // 2. Fewer intervals: halve, then decrement, events per process.
+    for target in [
+        c.gen.events_per_process / 2,
+        c.gen.events_per_process.saturating_sub(1),
+    ] {
+        if target < c.gen.events_per_process {
+            push(&|cand: &mut FuzzCase| cand.gen.events_per_process = target);
+        }
+    }
+    // 3. Narrower scope.
+    if c.scope_n > 1 {
+        push(&|cand: &mut FuzzCase| cand.scope_n -= 1);
+    }
+    // 4. Fewer messages: no sends at all.
+    if c.gen.send_fraction > 0.0 {
+        push(&|cand: &mut FuzzCase| cand.gen.send_fraction = 0.0);
+    }
+    // 5. Simpler predicate structure.
+    if c.gen.plant_at.is_some() {
+        push(&|cand: &mut FuzzCase| cand.gen.plant_at = None);
+    }
+    if c.gen.predicate_density != 1.0 {
+        push(&|cand: &mut FuzzCase| cand.gen.predicate_density = 1.0);
+    }
+    // 6. Simplest topology.
+    if c.gen.topology != Topology::Uniform {
+        push(&|cand: &mut FuzzCase| cand.gen.topology = Topology::Uniform);
+    }
+    // 7. Simpler fault schedule: zero one fault class at a time, then drop
+    //    the schedule entirely.
+    if let Some(f) = c.fault {
+        if f.reset > 0.0 {
+            push(&|cand: &mut FuzzCase| cand.fault.as_mut().unwrap().reset = 0.0);
+        }
+        if f.reorder > 0.0 {
+            push(&|cand: &mut FuzzCase| cand.fault.as_mut().unwrap().reorder = 0.0);
+        }
+        if f.delay > 0.0 {
+            push(&|cand: &mut FuzzCase| cand.fault.as_mut().unwrap().delay = 0.0);
+        }
+        if f.duplicate > 0.0 {
+            push(&|cand: &mut FuzzCase| cand.fault.as_mut().unwrap().duplicate = 0.0);
+        }
+        if f.drop > 0.0 {
+            push(&|cand: &mut FuzzCase| cand.fault.as_mut().unwrap().drop = 0.0);
+        }
+        push(&|cand: &mut FuzzCase| cand.fault = None);
+    }
+    // 8. No socket stacks.
+    if c.net {
+        push(&|cand: &mut FuzzCase| cand.net = false);
+    }
+    // 9. Deterministic single-tick channels.
+    if c.latency != (LatencyModel::Fixed { ticks: 1 }) {
+        push(&|cand: &mut FuzzCase| cand.latency = LatencyModel::Fixed { ticks: 1 });
+    }
+    // 10. One token group.
+    if c.groups > 1 {
+        push(&|cand: &mut FuzzCase| cand.groups = 1);
+    }
+    // 11. Canonical seeds.
+    if c.sim_seed != 0 {
+        push(&|cand: &mut FuzzCase| cand.sim_seed = 0);
+    }
+    if c.stream_seed != 0 {
+        push(&|cand: &mut FuzzCase| cand.stream_seed = 0);
+    }
+    if c.gen.seed != 0 {
+        push(&|cand: &mut FuzzCase| cand.gen.seed = 0);
+    }
+    out
+}
+
+/// Shrinks `case` to a fixed point under `still_fails`, which must return
+/// `true` iff the candidate still reproduces the divergence.
+///
+/// Returns the minimal repro and the number of accepted simplification
+/// steps. Deterministic: no RNG, fixed ladder order, restart-on-accept.
+pub fn shrink(
+    case: &FuzzCase,
+    still_fails: &mut dyn FnMut(&FuzzCase) -> bool,
+) -> (FuzzCase, usize) {
+    let mut current = case.clone();
+    let mut steps = 0;
+    'ladder: while steps < MAX_STEPS {
+        for candidate in rungs(&current) {
+            if still_fails(&candidate) {
+                current = candidate;
+                steps += 1;
+                continue 'ladder;
+            }
+        }
+        break;
+    }
+    (current, steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcp_obs::rng::Rng;
+    use wcp_sim::FaultConfig;
+
+    /// A predicate that accepts everything shrinks to the global minimum:
+    /// one process, zero events, no messages, no faults, no sockets.
+    #[test]
+    fn unconditional_failure_shrinks_to_global_minimum() {
+        let mut rng = Rng::seed_from_u64(17);
+        for _ in 0..20 {
+            let case = FuzzCase::random(&mut rng);
+            let (min, steps) = shrink(&case, &mut |_| true);
+            assert_eq!(min.gen.processes, 1, "{case:?}");
+            assert_eq!(min.gen.events_per_process, 0);
+            assert_eq!(min.gen.send_fraction, 0.0);
+            assert_eq!(min.scope_n, 1);
+            assert_eq!(min.gen.topology, Topology::Uniform);
+            assert_eq!(min.gen.plant_at, None);
+            assert_eq!(min.fault, None);
+            assert!(!min.net);
+            assert_eq!(min.groups, 1);
+            assert_eq!(min.latency, LatencyModel::Fixed { ticks: 1 });
+            assert_eq!((min.sim_seed, min.stream_seed, min.gen.seed), (0, 0, 0));
+            assert!(steps < MAX_STEPS);
+        }
+    }
+
+    /// Shrinking is deterministic: same case, same predicate → same repro.
+    #[test]
+    fn shrinking_is_deterministic() {
+        let mut rng = Rng::seed_from_u64(19);
+        for _ in 0..10 {
+            let case = FuzzCase::random(&mut rng);
+            // A nontrivial predicate: "fails" while at least 2 processes.
+            let (a, sa) = shrink(&case, &mut |c| c.gen.processes >= 2);
+            let (b, sb) = shrink(&case, &mut |c| c.gen.processes >= 2);
+            assert_eq!(a, b);
+            assert_eq!(sa, sb);
+        }
+    }
+
+    /// Every accepted candidate stays realizable, including fault ladders.
+    #[test]
+    fn candidates_are_always_realizable() {
+        let mut rng = Rng::seed_from_u64(23);
+        for _ in 0..50 {
+            let mut case = FuzzCase::random(&mut rng);
+            case.fault = Some(FaultConfig {
+                seed: 1,
+                drop: 0.1,
+                duplicate: 0.1,
+                delay: 0.1,
+                max_delay_ms: 2,
+                reorder: 0.1,
+                reset: 0.05,
+                max_retries: 4,
+                backoff_base_ms: 1,
+            });
+            let (_, _) = shrink(&case, &mut |c| {
+                assert!(c.is_realizable(), "unrealizable candidate {c:?}");
+                c.gen.events_per_process % 2 == 0
+            });
+        }
+    }
+}

@@ -460,6 +460,24 @@ mod tests {
     use std::sync::mpsc::channel;
     use wcp_obs::NullRecorder;
 
+    /// Polls `recv` in tight slices until a frame arrives or a generous
+    /// deadline expires. A single fixed-size `recv` window fails spuriously
+    /// when the test host is loaded and the reader thread is scheduled
+    /// late; a deadline loop gives the whole budget to the slow case while
+    /// staying fast in the common one.
+    fn recv_deadline(e: &mut Endpoint, total: Duration) -> Frame {
+        let deadline = Instant::now() + total;
+        loop {
+            if let Some(f) = e.recv(Duration::from_millis(10)) {
+                return f;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "no frame arrived within {total:?}"
+            );
+        }
+    }
+
     fn endpoint_pair() -> (Endpoint, Endpoint) {
         let (tx0, rx0) = channel();
         let (tx1, rx1) = channel();
@@ -499,7 +517,7 @@ mod tests {
             e0.send(1, a, a, Payload::Detect(DetectMsg::DdToken));
         }
         for seq in 0..3 {
-            let f = e1.recv(Duration::from_secs(1)).unwrap();
+            let f = recv_deadline(&mut e1, Duration::from_secs(10));
             assert_eq!(f.seq, seq);
             assert_eq!(f.peer, 0);
         }
@@ -534,7 +552,7 @@ mod tests {
         tx.send(mk(0)).unwrap();
         tx.send(mk(2)).unwrap();
         let seqs: Vec<u64> = (0..3)
-            .map(|_| e.recv(Duration::from_secs(1)).unwrap().seq)
+            .map(|_| recv_deadline(&mut e, Duration::from_secs(10)).seq)
             .collect();
         assert_eq!(seqs, vec![0, 1, 2], "resequenced");
         assert!(e.recv(Duration::from_millis(10)).is_none(), "dup dropped");
@@ -570,7 +588,7 @@ mod tests {
         );
         let a = ActorId::new(0);
         e0.send(1, a, a, Payload::Detect(DetectMsg::DdToken));
-        let f = e1.recv(Duration::from_secs(1)).unwrap();
+        let f = recv_deadline(&mut e1, Duration::from_secs(10));
         assert_eq!(f.seq, 0);
         let stats = counters.snapshot();
         assert!(stats.reconnects >= 1, "reconnect counted");

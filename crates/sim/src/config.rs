@@ -1,5 +1,7 @@
 //! Simulation configuration.
 
+use wcp_obs::json::{FromJson, Json, JsonError, ToJson};
+
 use crate::actor::ActorId;
 
 /// Message latency model for the simulated network.
@@ -24,6 +26,36 @@ pub enum LatencyModel {
 impl Default for LatencyModel {
     fn default() -> Self {
         LatencyModel::Uniform { min: 1, max: 10 }
+    }
+}
+
+// A `LatencyModel` travels in fuzz corpus case files as a one-key object.
+impl ToJson for LatencyModel {
+    fn to_json(&self) -> Json {
+        match *self {
+            LatencyModel::Fixed { ticks } => Json::obj([("fixed", Json::UInt(ticks))]),
+            LatencyModel::Uniform { min, max } => Json::obj([(
+                "uniform",
+                Json::obj([("min", Json::UInt(min)), ("max", Json::UInt(max))]),
+            )]),
+        }
+    }
+}
+
+impl FromJson for LatencyModel {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        match value.as_object() {
+            Some([(tag, payload)]) if tag == "fixed" => Ok(LatencyModel::Fixed {
+                ticks: payload.expect_u64()?,
+            }),
+            Some([(tag, payload)]) if tag == "uniform" => Ok(LatencyModel::Uniform {
+                min: payload.field("min")?.expect_u64()?,
+                max: payload.field("max")?.expect_u64()?,
+            }),
+            _ => Err(JsonError::shape(format!(
+                "expected {{\"fixed\":…}} or {{\"uniform\":…}}, got {value}"
+            ))),
+        }
     }
 }
 
@@ -139,6 +171,46 @@ impl FaultConfig {
     }
 }
 
+// A `FaultConfig` round-trips through JSON exactly, so a fuzz corpus case
+// replays the same deterministic fault schedule.
+impl ToJson for FaultConfig {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("seed", Json::UInt(self.seed)),
+            ("drop", Json::Float(self.drop)),
+            ("duplicate", Json::Float(self.duplicate)),
+            ("delay", Json::Float(self.delay)),
+            ("max_delay_ms", Json::UInt(self.max_delay_ms)),
+            ("reorder", Json::Float(self.reorder)),
+            ("reset", Json::Float(self.reset)),
+            ("max_retries", Json::UInt(self.max_retries as u64)),
+            ("backoff_base_ms", Json::UInt(self.backoff_base_ms)),
+        ])
+    }
+}
+
+impl FromJson for FaultConfig {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let f64_field = |name: &str| -> Result<f64, JsonError> {
+            value
+                .field(name)?
+                .as_f64()
+                .ok_or_else(|| JsonError::shape(format!("{name}: expected a number")))
+        };
+        Ok(FaultConfig {
+            seed: value.field("seed")?.expect_u64()?,
+            drop: f64_field("drop")?,
+            duplicate: f64_field("duplicate")?,
+            delay: f64_field("delay")?,
+            max_delay_ms: value.field("max_delay_ms")?.expect_u64()?,
+            reorder: f64_field("reorder")?,
+            reset: f64_field("reset")?,
+            max_retries: value.field("max_retries")?.expect_u64()? as u32,
+            backoff_base_ms: value.field("backoff_base_ms")?.expect_u64()?,
+        })
+    }
+}
+
 /// Configuration of a [`Simulation`](crate::Simulation).
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct SimConfig {
@@ -230,6 +302,27 @@ mod tests {
         assert!(!f.is_quiet());
         assert!(FaultConfig::delay_duplicate_reorder(3).drop == 0.0);
         assert!(!FaultConfig::delay_duplicate_reorder(3).is_quiet());
+    }
+
+    #[test]
+    fn latency_and_fault_json_roundtrip() {
+        for model in [
+            LatencyModel::Fixed { ticks: 0 },
+            LatencyModel::Fixed { ticks: 7 },
+            LatencyModel::Uniform { min: 1, max: 25 },
+        ] {
+            let json = model.to_json().pretty();
+            let back = LatencyModel::from_json(&Json::parse(&json).unwrap()).unwrap();
+            assert_eq!(back, model, "{json}");
+        }
+        assert!(LatencyModel::from_json(&Json::Str("fast".into())).is_err());
+
+        let faults = FaultConfig::delay_duplicate_reorder(42)
+            .with_drop(0.125)
+            .with_reset(0.0625);
+        let json = faults.to_json().pretty();
+        let back = FaultConfig::from_json(&Json::parse(&json).unwrap()).unwrap();
+        assert_eq!(back, faults, "{json}");
     }
 
     #[test]

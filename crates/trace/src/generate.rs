@@ -29,6 +29,7 @@
 //! ```
 
 use wcp_clocks::{Cut, ProcessId};
+use wcp_obs::json::{FromJson, Json, JsonError, ToJson};
 use wcp_obs::rng::Rng;
 
 use crate::computation::{Computation, ProcessTrace};
@@ -60,6 +61,49 @@ pub enum Topology {
         /// Communication steps per process between barriers (`≥ 1`).
         phase_len: usize,
     },
+}
+
+// A `Topology` travels in corpus case files as either a bare string
+// (`"uniform"`, `"ring"`) or a one-key object (`{"client_server": K}`,
+// `{"neighbors": K}`, `{"phased": K}`).
+impl ToJson for Topology {
+    fn to_json(&self) -> Json {
+        match *self {
+            Topology::Uniform => Json::Str("uniform".to_string()),
+            Topology::Ring => Json::Str("ring".to_string()),
+            Topology::ClientServer { servers } => {
+                Json::obj([("client_server", Json::UInt(servers as u64))])
+            }
+            Topology::Neighbors { degree } => Json::obj([("neighbors", Json::UInt(degree as u64))]),
+            Topology::Phased { phase_len } => Json::obj([("phased", Json::UInt(phase_len as u64))]),
+        }
+    }
+}
+
+impl FromJson for Topology {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        if let Json::Str(s) = value {
+            return match s.as_str() {
+                "uniform" => Ok(Topology::Uniform),
+                "ring" => Ok(Topology::Ring),
+                other => Err(JsonError::shape(format!("unknown topology `{other}`"))),
+            };
+        }
+        match value.as_object() {
+            Some([(tag, payload)]) => {
+                let k = payload.expect_u64()? as usize;
+                match tag.as_str() {
+                    "client_server" => Ok(Topology::ClientServer { servers: k }),
+                    "neighbors" => Ok(Topology::Neighbors { degree: k }),
+                    "phased" => Ok(Topology::Phased { phase_len: k }),
+                    other => Err(JsonError::shape(format!("unknown topology `{other}`"))),
+                }
+            }
+            _ => Err(JsonError::shape(format!(
+                "expected a topology string or one-key object, got {value}"
+            ))),
+        }
+    }
 }
 
 /// Configuration for [`generate`].
@@ -126,6 +170,57 @@ impl GeneratorConfig {
     pub fn with_plant(mut self, fraction: f64) -> Self {
         self.plant_at = Some(fraction);
         self
+    }
+}
+
+// A `GeneratorConfig` round-trips through JSON exactly (floats use the
+// shortest-roundtrip form), so a corpus case file regenerates the identical
+// computation.
+impl ToJson for GeneratorConfig {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("processes", Json::UInt(self.processes as u64)),
+            ("events", Json::UInt(self.events_per_process as u64)),
+            ("send_fraction", Json::Float(self.send_fraction)),
+            ("predicate_density", Json::Float(self.predicate_density)),
+            ("topology", self.topology.to_json()),
+            (
+                "plant_at",
+                match self.plant_at {
+                    Some(f) => Json::Float(f),
+                    None => Json::Null,
+                },
+            ),
+            ("seed", Json::UInt(self.seed)),
+        ])
+    }
+}
+
+impl FromJson for GeneratorConfig {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let f64_field = |name: &str| -> Result<f64, JsonError> {
+            value
+                .field(name)?
+                .as_f64()
+                .ok_or_else(|| JsonError::shape(format!("{name}: expected a number")))
+        };
+        let plant_at = match value.field("plant_at")? {
+            Json::Null => None,
+            other => Some(
+                other
+                    .as_f64()
+                    .ok_or_else(|| JsonError::shape("plant_at: expected a number or null"))?,
+            ),
+        };
+        Ok(GeneratorConfig {
+            processes: value.field("processes")?.expect_u64()? as usize,
+            events_per_process: value.field("events")?.expect_u64()? as usize,
+            send_fraction: f64_field("send_fraction")?,
+            predicate_density: f64_field("predicate_density")?,
+            topology: Topology::from_json(value.field("topology")?)?,
+            plant_at,
+            seed: value.field("seed")?.expect_u64()?,
+        })
     }
 }
 
@@ -550,5 +645,42 @@ mod tests {
     fn send_fraction_one_never_receives() {
         let g = generate(&GeneratorConfig::new(3, 10).with_send_fraction(1.0));
         assert_eq!(g.computation.total_messages(), g.computation.total_events());
+    }
+
+    #[test]
+    fn config_json_roundtrip_regenerates_identically() {
+        let topologies = [
+            Topology::Uniform,
+            Topology::Ring,
+            Topology::ClientServer { servers: 2 },
+            Topology::Neighbors { degree: 3 },
+            Topology::Phased { phase_len: 2 },
+        ];
+        for (i, topo) in topologies.into_iter().enumerate() {
+            let mut cfg = GeneratorConfig::new(5, 9)
+                .with_seed(0xC0FFEE + i as u64)
+                .with_send_fraction(0.1 + 0.17 * i as f64)
+                .with_predicate_density(0.05 + 0.11 * i as f64)
+                .with_topology(topo);
+            if i % 2 == 0 {
+                cfg = cfg.with_plant(0.3 + 0.13 * i as f64);
+            }
+            let json = cfg.to_json().pretty();
+            let back = GeneratorConfig::from_json(&Json::parse(&json).unwrap()).unwrap();
+            assert_eq!(back, cfg, "{json}");
+            assert_eq!(generate(&back).computation, generate(&cfg).computation);
+        }
+    }
+
+    #[test]
+    fn config_json_rejects_malformed() {
+        assert!(Topology::from_json(&Json::Str("hex".into())).is_err());
+        assert!(Topology::from_json(&Json::UInt(3)).is_err());
+        assert!(Topology::from_json(&Json::obj([("mesh", Json::UInt(1))])).is_err());
+        let mut json = GeneratorConfig::new(2, 2).to_json();
+        if let Json::Obj(pairs) = &mut json {
+            pairs.retain(|(k, _)| k != "seed");
+        }
+        assert!(GeneratorConfig::from_json(&json).is_err());
     }
 }

@@ -20,6 +20,20 @@ cargo build --workspace --release --offline
 echo "== cargo test --workspace --offline =="
 cargo test --workspace --offline -q
 
+echo "== fuzz smoke campaign (fixed seed, bounded) =="
+# Differential conformance sweep: every detector family cross-checked on
+# 50 seeded cases; exits nonzero (failing this script) on any divergence.
+./target/release/wcp fuzz --seed 1 --cases 50 --shrink
+
+echo "== fuzz corpus replay + schema drift guard =="
+# Every pinned repro in tests/corpus/ must still parse and replay clean;
+# a corpus file that no longer parses fails here, loudly.
+if [ -z "$(ls tests/corpus/*.json 2>/dev/null)" ]; then
+    echo "error: tests/corpus/ is empty — the regression corpus must stay non-empty" >&2
+    exit 1
+fi
+cargo test --offline -q --test fuzz_corpus
+
 echo "== cargo fmt --check =="
 cargo fmt --all --check
 

@@ -14,7 +14,10 @@
 //! - [`obs`] — observability: trace recorders, histograms, run reports,
 //!   and the dependency-free JSON and RNG utilities the workspace shares,
 //! - [`net`] — real socket transport: wire codec, TCP/loopback links,
-//!   deterministic fault injection, and socket-connected detection peers.
+//!   deterministic fault injection, and socket-connected detection peers,
+//! - [`fuzz`] — the differential conformance fuzzer: seeded campaigns
+//!   over every detector family, deterministic shrinking, and the
+//!   `tests/corpus/` regression format.
 //!
 //! # Quickstart
 //!
@@ -41,6 +44,7 @@
 
 pub use wcp_clocks as clocks;
 pub use wcp_detect as detect;
+pub use wcp_fuzz as fuzz;
 pub use wcp_net as net;
 pub use wcp_obs as obs;
 pub use wcp_record as record;

@@ -1,0 +1,81 @@
+//! Regression corpus replay: every case pinned under `tests/corpus/` is a
+//! shrunk repro of a bug once found by the differential fuzzer (or a
+//! degenerate shape worth guarding). Each must (a) still parse — schema
+//! drift in `FuzzCase` JSON fails loudly here — and (b) run the full
+//! detector battery without a single divergence.
+
+use std::fs;
+use std::path::PathBuf;
+
+use wcp::fuzz::{check_case, parse_corpus_entry, CheckOptions};
+use wcp::obs::json::Json;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+fn corpus_files() -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = fs::read_dir(corpus_dir())
+        .expect("tests/corpus/ must exist")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "json"))
+        .collect();
+    files.sort();
+    files
+}
+
+/// The corpus is committed non-empty: an empty corpus would silently turn
+/// this suite into a no-op.
+#[test]
+fn corpus_is_not_empty() {
+    assert!(
+        !corpus_files().is_empty(),
+        "tests/corpus/ contains no .json cases"
+    );
+}
+
+/// Schema drift guard: every corpus file parses under the current
+/// `wcp-fuzz-case-v1` schema. A failure here means a `FuzzCase` field
+/// changed shape — migrate the corpus, don't delete it.
+#[test]
+fn every_corpus_case_parses() {
+    for path in corpus_files() {
+        let text = fs::read_to_string(&path).expect("readable corpus file");
+        let json =
+            Json::parse(&text).unwrap_or_else(|e| panic!("{}: invalid JSON: {e}", path.display()));
+        let (case, note) = parse_corpus_entry(&json)
+            .unwrap_or_else(|e| panic!("{}: schema drift: {e}", path.display()));
+        assert!(
+            case.is_realizable(),
+            "{}: unrealizable case",
+            path.display()
+        );
+        assert!(
+            !note.is_empty(),
+            "{}: corpus case needs a note",
+            path.display()
+        );
+    }
+}
+
+/// Replay: every pinned repro runs the full battery divergence-free. If a
+/// fixed bug regresses, its minimal repro fails right here with the
+/// divergence report.
+#[test]
+fn every_corpus_case_replays_clean() {
+    for path in corpus_files() {
+        let text = fs::read_to_string(&path).expect("readable corpus file");
+        let (case, note) = parse_corpus_entry(&Json::parse(&text).unwrap()).unwrap();
+        let divergences = check_case(&case, &CheckOptions::default());
+        assert!(
+            divergences.is_empty(),
+            "{} regressed ({note}):\n{}",
+            path.display(),
+            divergences
+                .iter()
+                .map(|d| format!("  {d}"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}
