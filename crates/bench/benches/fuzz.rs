@@ -12,7 +12,7 @@ use wcp_obs::rng::Rng;
 fn main() {
     let opts = CheckOptions {
         include_net: false,
-        sabotage: false,
+        ..CheckOptions::default()
     };
     let mut rng = Rng::seed_from_u64(1);
     let cases: Vec<FuzzCase> = (0..64).map(|_| FuzzCase::random(&mut rng)).collect();

@@ -1,0 +1,43 @@
+//! Raw wire-stack throughput with no detector in the loop: one saturated
+//! link pumping vector-clock snapshot frames as fast as the sender can
+//! encode them. Compares the batched (coalesced-write, pooled-buffer)
+//! data path against per-frame writes on loopback, and the batched path
+//! over real TCP sockets — the numbers behind `docs/performance.md`.
+
+use std::hint::black_box;
+
+use wcp_bench::timing::bench;
+use wcp_net::{saturate_loopback, saturate_tcp};
+
+const FRAMES: u64 = 100_000;
+const SCOPE: usize = 4;
+
+fn main() {
+    bench("net/loopback_batched_100k", 5, || {
+        black_box(saturate_loopback(FRAMES, SCOPE, true));
+    });
+    bench("net/loopback_per_frame_100k", 5, || {
+        black_box(saturate_loopback(FRAMES, SCOPE, false));
+    });
+    bench("net/tcp_batched_100k", 5, || {
+        black_box(saturate_tcp(FRAMES, SCOPE));
+    });
+
+    // One instrumented run of each mode for the derived rates the timing
+    // harness cannot see: allocations per frame and frames per write.
+    for (name, report) in [
+        ("loopback_batched", saturate_loopback(FRAMES, SCOPE, true)),
+        (
+            "loopback_per_frame",
+            saturate_loopback(FRAMES, SCOPE, false),
+        ),
+        ("tcp_batched", saturate_tcp(FRAMES, SCOPE)),
+    ] {
+        println!(
+            "net/{name}: {:.0} frames/s, {:.4} allocs/frame, {:.1} frames/write",
+            report.frames_per_sec(),
+            report.allocs_per_frame(),
+            report.frames_per_flush(),
+        );
+    }
+}

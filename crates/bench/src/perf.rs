@@ -14,7 +14,7 @@ use wcp_detect::{
     CentralizedChecker, Detector, DirectDependenceDetector, LatticeDetector, MultiTokenDetector,
     TokenDetector, VcSnapshotQueues,
 };
-use wcp_net::{run_vc_token_net, NetConfig};
+use wcp_net::{run_vc_token_net, saturate_loopback, saturate_tcp, NetConfig, SaturationReport};
 use wcp_obs::json::Json;
 use wcp_sim::SimConfig;
 
@@ -193,8 +193,49 @@ fn net_loopback_stats(samples: usize) -> Json {
     ])
 }
 
+/// Frames pumped through one link per saturation measurement in a full
+/// trajectory entry.
+const SATURATION_FRAMES: u64 = 20_000;
+/// Vector-clock width of the saturation payloads.
+const SATURATION_SCOPE: usize = 4;
+
+/// Renders one [`SaturationReport`]: throughput, the steady-state
+/// allocation rate (`pool_allocs / frames`, ~0 when the pool recycles),
+/// and frames per write — the syscall-amortization proxy (1.0 in
+/// per-frame mode, `>> 1` when coalescing).
+fn saturation_json(r: &SaturationReport) -> Json {
+    Json::obj([
+        ("frames_per_sec", Json::Float(r.frames_per_sec())),
+        ("allocs_per_frame", Json::Float(r.allocs_per_frame())),
+        ("frames_per_flush", Json::Float(r.frames_per_flush())),
+        ("bytes", Json::UInt(r.bytes)),
+        ("elapsed_ns", Json::UInt(r.elapsed.as_nanos() as u64)),
+    ])
+}
+
+/// Measures the raw wire stack with no detector in the loop: `frames`
+/// vector-clock snapshot frames pumped through one saturated link — the
+/// loopback transport in batched and per-frame mode, and real TCP
+/// sockets. `batched_speedup` (loopback batched over per-frame
+/// frames/sec) is the headline number `docs/performance.md` tracks.
+fn net_saturation_stats(frames: u64) -> Json {
+    let batched = saturate_loopback(frames, SATURATION_SCOPE, true);
+    let per_frame = saturate_loopback(frames, SATURATION_SCOPE, false);
+    let tcp = saturate_tcp(frames, SATURATION_SCOPE);
+    let speedup = batched.frames_per_sec() / per_frame.frames_per_sec().max(f64::MIN_POSITIVE);
+    Json::obj([
+        ("frames", Json::UInt(frames)),
+        ("scope", Json::UInt(SATURATION_SCOPE as u64)),
+        ("loopback_batched", saturation_json(&batched)),
+        ("loopback_per_frame", saturation_json(&per_frame)),
+        ("tcp_batched", saturation_json(&tcp)),
+        ("batched_speedup", Json::Float(speedup)),
+    ])
+}
+
 /// One labelled trajectory entry: every standard workload measured through
-/// every applicable detector family, plus the net-loopback comparison.
+/// every applicable detector family, plus the net-loopback comparison and
+/// the wire-stack saturation numbers.
 pub fn entry(label: &str, samples: usize) -> Json {
     let workloads = standard_workloads()
         .into_iter()
@@ -205,6 +246,7 @@ pub fn entry(label: &str, samples: usize) -> Json {
         ("samples", Json::UInt(samples as u64)),
         ("workloads", Json::Arr(workloads)),
         ("net_loopback", net_loopback_stats(samples)),
+        ("net_saturation", net_saturation_stats(SATURATION_FRAMES)),
     ])
 }
 
@@ -298,6 +340,35 @@ mod tests {
                 .unwrap()
                 .max(1)
                 > 0
+        );
+        let text = stats.pretty();
+        assert_eq!(Json::parse(&text).unwrap(), stats);
+    }
+
+    #[test]
+    fn net_saturation_stats_cover_all_three_modes() {
+        let stats = net_saturation_stats(400);
+        for mode in ["loopback_batched", "loopback_per_frame", "tcp_batched"] {
+            let m = stats.get(mode).unwrap();
+            assert!(m.get("frames_per_sec").unwrap().as_f64().unwrap() > 0.0);
+            assert!(m.get("allocs_per_frame").unwrap().as_f64().unwrap() >= 0.0);
+        }
+        let per_frame = stats.get("loopback_per_frame").unwrap();
+        assert_eq!(
+            per_frame.get("frames_per_flush").unwrap().as_f64(),
+            Some(1.0),
+            "per-frame mode writes once per frame by construction"
+        );
+        assert!(
+            stats
+                .get("loopback_batched")
+                .unwrap()
+                .get("frames_per_flush")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+                > 1.0,
+            "batched mode must coalesce"
         );
         let text = stats.pretty();
         assert_eq!(Json::parse(&text).unwrap(), stats);

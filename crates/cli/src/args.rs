@@ -13,7 +13,7 @@ pub struct Args {
 }
 
 /// Flags that take no value.
-const SWITCHES: &[&str] = &["diagram", "json", "dot", "shrink", "no-net"];
+const SWITCHES: &[&str] = &["diagram", "json", "dot", "shrink", "no-net", "net-batch"];
 
 impl Args {
     /// Parses raw arguments.

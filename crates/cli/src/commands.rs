@@ -589,7 +589,8 @@ pub fn serve(raw: &[String]) -> Result<String, CliError> {
 /// lattice oracle. Divergences exit nonzero, with repro JSON suitable for
 /// `tests/corpus/` in the error output; `--shrink` first reduces each
 /// repro to its minimal form. `--no-net` skips the (slower) real-socket
-/// loopback stacks.
+/// loopback stacks; `--net-batch` forces coalesced writes on every net
+/// run (by default each case draws batched or per-frame at random).
 pub fn fuzz(raw: &[String]) -> Result<String, CliError> {
     let args = Args::parse(raw)?;
     let seed: u64 = args.get_or("seed", 1)?;
@@ -600,6 +601,7 @@ pub fn fuzz(raw: &[String]) -> Result<String, CliError> {
     let mut config = wcp_fuzz::CampaignConfig::new(seed, cases);
     config.shrink = args.switch("shrink");
     config.check.include_net = !args.switch("no-net");
+    config.check.force_net_batch = args.switch("net-batch");
     let report = wcp_fuzz::run_campaign(&config);
     let mut out = report.summary_table();
     if report.bugs.is_empty() {

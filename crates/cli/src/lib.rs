@@ -123,6 +123,6 @@ USAGE:
                [--delay P] [--duplicate P] [--reorder P] [--reset P] [--json]
   wcp serve FILE --peer I --addrs HOST:PORT,HOST:PORT,...
             [--scope 0,1,2] [--deadline SECS]
-  wcp fuzz [--seed S] [--cases K] [--shrink] [--no-net]
+  wcp fuzz [--seed S] [--cases K] [--shrink] [--no-net] [--net-batch]
   wcp bound --n N --m M
   wcp help";

@@ -313,7 +313,8 @@ pub fn replay_metrics(participants: usize, events: &[StampedEvent]) -> Detection
             TraceEvent::FrameSent { .. }
             | TraceEvent::FrameReceived { .. }
             | TraceEvent::Retransmit { .. }
-            | TraceEvent::Reconnect { .. } => {}
+            | TraceEvent::Reconnect { .. }
+            | TraceEvent::BatchFlushed { .. } => {}
         }
     }
     if !explicit_parallel {

@@ -312,6 +312,33 @@ impl VcMonitor {
         }
         ctx.send(self.monitors[next], DetectMsg::VcToken(token));
     }
+
+    /// Delivers a `VcSnapshot` straight from its wire body (`clock_le`: the
+    /// little-endian `u64` clock components), decoding into the arena-backed
+    /// queue without materializing an owned snapshot.
+    ///
+    /// Behaviourally identical to `on_message` with
+    /// [`DetectMsg::VcSnapshot`]: the monitor only ever reads the clock (a
+    /// snapshot's interval is its own clock component), and
+    /// `clock_le.len()` equals the snapshot's `wire_size()`.
+    pub fn on_snapshot_wire(&mut self, ctx: &mut dyn Context<DetectMsg>, clock_le: &[u8]) {
+        if self.recorder.is_enabled() {
+            self.emit(
+                ctx,
+                TraceEvent::SnapshotBuffered {
+                    depth: self.queue.len() as u64 + 1,
+                    bytes: clock_le.len() as u64,
+                },
+            );
+        }
+        self.queue.push_le_bytes(clock_le);
+        {
+            let mut stats = self.stats.lock().unwrap();
+            stats.max_buffered = stats.max_buffered.max(self.queue.len() as u64);
+        }
+        self.try_advance(ctx);
+        self.record_stall();
+    }
 }
 
 impl Actor<DetectMsg> for VcMonitor {
@@ -455,6 +482,27 @@ mod tests {
         assert_eq!(sent.len(), 1);
         assert_eq!(sent[0].0, ActorId::new(11));
         assert!(matches!(sent[0].1, DetectMsg::VcToken(_)));
+    }
+
+    #[test]
+    fn wire_snapshot_delivery_matches_owned_delivery() {
+        let (mut owned, owned_result) = monitor(0, true);
+        let (mut wire, wire_result) = monitor(0, true);
+        let mut owned_ctx = MockCtx::default();
+        let mut wire_ctx = MockCtx::default();
+        owned.on_start(&mut owned_ctx);
+        wire.on_start(&mut wire_ctx);
+        for clock in [vec![1u64, 0], vec![2, 1], vec![3, 1]] {
+            let mut le = Vec::new();
+            for &c in &clock {
+                le.extend_from_slice(&c.to_le_bytes());
+            }
+            owned.on_message(&mut owned_ctx, ActorId::new(0), snapshot(clock[0], clock));
+            wire.on_snapshot_wire(&mut wire_ctx, &le);
+            assert_eq!(wire_ctx.take_sent(), owned_ctx.take_sent());
+        }
+        assert_eq!(wire.queue.len(), owned.queue.len());
+        assert_eq!(*wire_result.lock().unwrap(), *owned_result.lock().unwrap());
     }
 
     #[test]

@@ -40,6 +40,10 @@ pub struct FuzzCase {
     pub fault: Option<FaultConfig>,
     /// Whether to run the real-socket loopback detectors (slow).
     pub net: bool,
+    /// Whether the net runs use batched (coalesced) writes or the
+    /// per-frame path — fuzzed so both wire behaviours stay equivalent.
+    /// Corpus files written before this field existed default to `true`.
+    pub net_batch: bool,
 }
 
 impl FuzzCase {
@@ -118,15 +122,23 @@ impl FuzzCase {
         } else {
             None
         };
+        let scope_n = rng.gen_range(1usize..8); // may exceed N; clamped at use
+        let sim_seed = rng.next_u64();
+        let groups = rng.gen_range(1usize..4);
+        let stream_seed = rng.next_u64();
         FuzzCase {
             gen,
-            scope_n: rng.gen_range(1usize..8), // may exceed N; clamped at use
-            sim_seed: rng.next_u64(),
+            scope_n,
+            sim_seed,
             latency,
-            groups: rng.gen_range(1usize..4),
-            stream_seed: rng.next_u64(),
+            groups,
+            stream_seed,
             fault,
             net: rng.gen_bool(0.08),
+            // Derived from entropy already drawn (no extra rng draw), so
+            // the seeded case stream is unchanged from pre-batching
+            // campaigns and existing seeds reproduce the same cases.
+            net_batch: stream_seed.count_ones() % 2 == 0,
         }
     }
 
@@ -167,6 +179,7 @@ impl ToJson for FuzzCase {
                 },
             ),
             ("net", Json::Bool(self.net)),
+            ("net_batch", Json::Bool(self.net_batch)),
         ])
     }
 }
@@ -189,6 +202,14 @@ impl FromJson for FuzzCase {
                 .field("net")?
                 .as_bool()
                 .ok_or_else(|| JsonError::shape("net: expected a bool"))?,
+            // Absent in pre-batching corpus files: those pinned the (then
+            // only) coalescing-equivalent wire behaviour, now `batch`.
+            net_batch: match value.get("net_batch") {
+                Some(v) => v
+                    .as_bool()
+                    .ok_or_else(|| JsonError::shape("net_batch: expected a bool"))?,
+                None => true,
+            },
         })
     }
 }
@@ -249,6 +270,22 @@ mod tests {
         assert!(cases.iter().any(|c| c.gen.predicate_density == 0.0));
         assert!(cases.iter().any(|c| c.fault.is_some()));
         assert!(cases.iter().any(|c| c.net));
+        assert!(cases.iter().any(|c| c.net_batch));
+        assert!(cases.iter().any(|c| !c.net_batch));
+    }
+
+    #[test]
+    fn pre_batching_corpus_files_default_to_batched_writes() {
+        let mut rng = Rng::seed_from_u64(17);
+        let mut case = FuzzCase::random(&mut rng);
+        case.net_batch = false;
+        let mut json = case.to_json();
+        // An old corpus entry simply lacks the field.
+        if let Json::Obj(pairs) = &mut json {
+            pairs.retain(|(k, _)| k != "net_batch");
+        }
+        let back = FuzzCase::from_json(&json).unwrap();
+        assert!(back.net_batch, "missing field defaults to batched");
     }
 
     #[test]

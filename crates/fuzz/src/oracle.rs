@@ -83,6 +83,9 @@ pub struct CheckOptions {
     /// Test-only: add a [`SabotagedDetector`] to the battery so the
     /// shrinker self-test has a known planted bug to reduce.
     pub sabotage: bool,
+    /// Force coalesced (batched) writes on every net run, overriding the
+    /// case's own `net_batch` draw — the `wcp fuzz --net-batch` smoke knob.
+    pub force_net_batch: bool,
 }
 
 impl Default for CheckOptions {
@@ -90,6 +93,7 @@ impl Default for CheckOptions {
         CheckOptions {
             include_net: true,
             sabotage: false,
+            force_net_batch: false,
         }
     }
 }
@@ -392,6 +396,9 @@ pub fn check_case(case: &FuzzCase, opts: &CheckOptions) -> Vec<Divergence> {
             let mut c = NetConfig::loopback().with_deadline(NET_DEADLINE);
             if let Some(f) = &case.fault {
                 c = c.with_faults(f.clone());
+            }
+            if !(case.net_batch || opts.force_net_batch) {
+                c = c.with_per_frame_writes();
             }
             c
         };

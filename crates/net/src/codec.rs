@@ -41,19 +41,35 @@ use wcp_trace::MsgId;
 pub const HEADER_LEN: usize = 1 + 4 + 4 + 4 + 8 + 8;
 
 /// Frame kinds. `DetectMsg` payloads are < 0x80; control frames ≥ 0xF0.
-mod kind {
+pub mod kind {
+    /// Application message tagged with a vector clock.
     pub const APP_VECTOR: u8 = 1;
+    /// Application message tagged with a scalar clock.
     pub const APP_SCALAR: u8 = 2;
+    /// Figure 2 local snapshot (scope-projected vector clock).
     pub const VC_SNAPSHOT: u8 = 3;
+    /// Section 4.1 local snapshot (scalar clock + direct dependences).
     pub const DD_SNAPSHOT: u8 = 4;
+    /// End-of-trace marker.
     pub const END_OF_TRACE: u8 = 5;
+    /// The Figure 3 token.
     pub const VC_TOKEN: u8 = 6;
+    /// The Section 4 red-chain token.
     pub const DD_TOKEN: u8 = 7;
+    /// A Figure 5 `visit` poll.
     pub const POLL: u8 = 8;
+    /// Answer to a poll.
     pub const POLL_REPLY: u8 = 9;
+    /// A §3.5 multi-token group token.
     pub const GROUP_TOKEN: u8 = 10;
+    /// Verdict broadcast by the deciding peer.
     pub const VERDICT: u8 = 0xF0;
+    /// Orderly teardown marker.
     pub const SHUTDOWN: u8 = 0xF1;
+    /// Cumulative acknowledgement of in-order delivery (`aux` carries the
+    /// receiver's `next_expected` cursor). Endpoint-internal: consumed
+    /// before payload decode, never logged or resequenced.
+    pub const ACK: u8 = 0xF2;
 }
 
 /// Decoding failures.
@@ -185,93 +201,111 @@ fn byte_color(b: u8) -> Result<Color, CodecError> {
     }
 }
 
+/// Presence bitmap of a group token's carried candidate clocks (the
+/// `aux` value of a `GROUP_TOKEN` frame).
+fn group_bitmap(t: &GroupTokenMsg) -> u64 {
+    assert!(
+        t.g.len() <= 64,
+        "group token over {} processes exceeds the 64-bit aux bitmap",
+        t.g.len()
+    );
+    let mut bitmap = 0u64;
+    for (i, cand) in t.candidates.iter().enumerate() {
+        if cand.is_some() {
+            bitmap |= 1 << i;
+        }
+    }
+    bitmap
+}
+
+/// `(kind, aux)` of a [`DetectMsg`], computable without encoding the body.
+fn detect_kind_aux(msg: &DetectMsg) -> (u8, u64) {
+    match msg {
+        DetectMsg::App {
+            tag: ClockTag::Vector(_),
+            ..
+        } => (kind::APP_VECTOR, 0),
+        DetectMsg::App {
+            tag: ClockTag::Scalar(_),
+            ..
+        } => (kind::APP_SCALAR, 0),
+        DetectMsg::VcSnapshot(s) => (kind::VC_SNAPSHOT, s.interval),
+        DetectMsg::DdSnapshot(_) => (kind::DD_SNAPSHOT, 0),
+        DetectMsg::EndOfTrace => (kind::END_OF_TRACE, 0),
+        DetectMsg::VcToken(_) => (kind::VC_TOKEN, 0),
+        DetectMsg::DdToken => (kind::DD_TOKEN, 0),
+        DetectMsg::Poll { .. } => (kind::POLL, 0),
+        DetectMsg::PollReply { .. } => (kind::POLL_REPLY, 0),
+        DetectMsg::GroupToken(t) => (kind::GROUP_TOKEN, group_bitmap(t)),
+    }
+}
+
+/// Appends a [`DetectMsg`] body (exactly `msg.wire_size()` bytes) to `out`.
+fn detect_body_into(msg: &DetectMsg, out: &mut Vec<u8>) {
+    match msg {
+        DetectMsg::App { msg: id, tag } => {
+            put_u64(out, id.as_u64());
+            match tag {
+                ClockTag::Vector(v) => {
+                    for &c in v.as_slice() {
+                        put_u64(out, c);
+                    }
+                }
+                ClockTag::Scalar(s) => put_u64(out, *s),
+            }
+        }
+        DetectMsg::VcSnapshot(s) => {
+            for &c in s.clock.as_slice() {
+                put_u64(out, c);
+            }
+        }
+        DetectMsg::DdSnapshot(s) => {
+            put_u64(out, s.clock);
+            for d in &s.deps {
+                put_u64(out, d.on.index() as u64);
+                put_u64(out, d.clock);
+            }
+        }
+        DetectMsg::EndOfTrace | DetectMsg::DdToken => out.push(0),
+        DetectMsg::VcToken(t) => {
+            for &g in &t.g {
+                put_u64(out, g);
+            }
+            for &c in t.colors() {
+                out.push(color_byte(c));
+            }
+        }
+        DetectMsg::Poll { clock, next_red } => {
+            put_u64(out, *clock);
+            put_u64(out, next_red.map_or(u64::MAX, |p| p.index() as u64));
+        }
+        DetectMsg::PollReply { became_red } => out.push(u8::from(*became_red)),
+        DetectMsg::GroupToken(t) => {
+            put_u64(out, t.group as u64);
+            for &g in &t.g {
+                put_u64(out, g);
+            }
+            for &c in &t.color {
+                out.push(color_byte(c));
+            }
+            for clock in t.candidates.iter().flatten() {
+                for &c in clock.as_slice() {
+                    put_u64(out, c);
+                }
+            }
+        }
+    }
+}
+
 /// Encodes a [`DetectMsg`] body, returning `(kind, aux, body)`.
 ///
 /// The body is exactly `msg.wire_size()` bytes; `aux` carries the
 /// out-of-band redundancy described in the module docs.
 pub fn encode_body(msg: &DetectMsg) -> (u8, u64, Vec<u8>) {
+    let (kind_byte, aux) = detect_kind_aux(msg);
     let mut body = Vec::with_capacity(msg.wire_size());
-    match msg {
-        DetectMsg::App { msg: id, tag } => {
-            put_u64(&mut body, id.as_u64());
-            match tag {
-                ClockTag::Vector(v) => {
-                    for &c in v.as_slice() {
-                        put_u64(&mut body, c);
-                    }
-                    (kind::APP_VECTOR, 0, body)
-                }
-                ClockTag::Scalar(s) => {
-                    put_u64(&mut body, *s);
-                    (kind::APP_SCALAR, 0, body)
-                }
-            }
-        }
-        DetectMsg::VcSnapshot(s) => {
-            for &c in s.clock.as_slice() {
-                put_u64(&mut body, c);
-            }
-            (kind::VC_SNAPSHOT, s.interval, body)
-        }
-        DetectMsg::DdSnapshot(s) => {
-            put_u64(&mut body, s.clock);
-            for d in &s.deps {
-                put_u64(&mut body, d.on.index() as u64);
-                put_u64(&mut body, d.clock);
-            }
-            (kind::DD_SNAPSHOT, 0, body)
-        }
-        DetectMsg::EndOfTrace => {
-            body.push(0);
-            (kind::END_OF_TRACE, 0, body)
-        }
-        DetectMsg::VcToken(t) => {
-            for &g in &t.g {
-                put_u64(&mut body, g);
-            }
-            for &c in t.colors() {
-                body.push(color_byte(c));
-            }
-            (kind::VC_TOKEN, 0, body)
-        }
-        DetectMsg::DdToken => {
-            body.push(0);
-            (kind::DD_TOKEN, 0, body)
-        }
-        DetectMsg::Poll { clock, next_red } => {
-            put_u64(&mut body, *clock);
-            put_u64(&mut body, next_red.map_or(u64::MAX, |p| p.index() as u64));
-            (kind::POLL, 0, body)
-        }
-        DetectMsg::PollReply { became_red } => {
-            body.push(u8::from(*became_red));
-            (kind::POLL_REPLY, 0, body)
-        }
-        DetectMsg::GroupToken(t) => {
-            assert!(
-                t.g.len() <= 64,
-                "group token over {} processes exceeds the 64-bit aux bitmap",
-                t.g.len()
-            );
-            put_u64(&mut body, t.group as u64);
-            for &g in &t.g {
-                put_u64(&mut body, g);
-            }
-            for &c in &t.color {
-                body.push(color_byte(c));
-            }
-            let mut bitmap = 0u64;
-            for (i, cand) in t.candidates.iter().enumerate() {
-                if let Some(clock) = cand {
-                    bitmap |= 1 << i;
-                    for &c in clock.as_slice() {
-                        put_u64(&mut body, c);
-                    }
-                }
-            }
-            (kind::GROUP_TOKEN, bitmap, body)
-        }
-    }
+    detect_body_into(msg, &mut body);
+    (kind_byte, aux, body)
 }
 
 /// Decodes a [`DetectMsg`] body produced by [`encode_body`].
@@ -395,55 +429,119 @@ pub fn decode_body(kind_byte: u8, aux: u64, body: &[u8]) -> Result<DetectMsg, Co
     Ok(msg)
 }
 
+/// Byte offset of a frame's body within the full frame bytes (length
+/// prefix + fixed header).
+pub const BODY_START: usize = 4 + HEADER_LEN;
+
+/// Sequence number carried by frames outside the reliability window
+/// (acknowledgements): never deduplicated, resequenced, logged, or acked.
+pub const CONTROL_SEQ: u64 = u64::MAX;
+
+/// Appends a whole encoded frame (length prefix included) to `out`,
+/// without intermediate buffers — the batched send path encodes straight
+/// into a link's outbound batch.
+pub fn encode_frame_into(frame: &Frame, out: &mut Vec<u8>) {
+    let start = out.len();
+    put_u32(out, 0); // length placeholder, patched below
+    let (kind_byte, aux) = match &frame.payload {
+        Payload::Detect(msg) => detect_kind_aux(msg),
+        Payload::Verdict(_) => (kind::VERDICT, 0),
+        Payload::Shutdown => (kind::SHUTDOWN, 0),
+    };
+    out.push(kind_byte);
+    put_u32(out, frame.peer);
+    put_u32(out, frame.from.index() as u32);
+    put_u32(out, frame.to.index() as u32);
+    put_u64(out, frame.seq);
+    put_u64(out, aux);
+    match &frame.payload {
+        Payload::Detect(msg) => detect_body_into(msg, out),
+        Payload::Verdict(verdict) => match verdict {
+            Some(g) => {
+                out.push(1);
+                put_u64(out, g.len() as u64);
+                for &v in g {
+                    put_u64(out, v);
+                }
+            }
+            None => out.push(0),
+        },
+        Payload::Shutdown => {}
+    }
+    let len = (out.len() - start - 4) as u32;
+    out[start..start + 4].copy_from_slice(&len.to_le_bytes());
+}
+
 /// Encodes a whole frame, length prefix included.
 pub fn encode_frame(frame: &Frame) -> Vec<u8> {
-    let (kind_byte, aux, body) = match &frame.payload {
-        Payload::Detect(msg) => encode_body(msg),
-        Payload::Verdict(verdict) => {
-            let mut body = Vec::new();
-            match verdict {
-                Some(g) => {
-                    body.push(1);
-                    put_u64(&mut body, g.len() as u64);
-                    for &v in g {
-                        put_u64(&mut body, v);
-                    }
-                }
-                None => body.push(0),
-            }
-            (kind::VERDICT, 0, body)
-        }
-        Payload::Shutdown => (kind::SHUTDOWN, 0, Vec::new()),
-    };
-    let len = HEADER_LEN + body.len();
-    let mut out = Vec::with_capacity(4 + len);
-    put_u32(&mut out, len as u32);
-    out.push(kind_byte);
-    put_u32(&mut out, frame.peer);
-    put_u32(&mut out, frame.from.index() as u32);
-    put_u32(&mut out, frame.to.index() as u32);
-    put_u64(&mut out, frame.seq);
-    put_u64(&mut out, aux);
-    out.extend_from_slice(&body);
+    let mut out = Vec::new();
+    encode_frame_into(frame, &mut out);
     out
 }
 
-/// Decodes one frame from a buffer that contains exactly one frame
-/// (length prefix included).
-pub fn decode_frame(buf: &[u8]) -> Result<Frame, CodecError> {
-    let mut r = Reader::new(buf);
+/// Appends a cumulative-acknowledgement frame to `out`: `next_expected`
+/// is the receiver's in-order delivery cursor for the `peer → me` link,
+/// carried in `aux` with an empty body.
+pub fn encode_ack_into(me: u32, next_expected: u64, out: &mut Vec<u8>) {
+    put_u32(out, HEADER_LEN as u32);
+    out.push(kind::ACK);
+    put_u32(out, me);
+    put_u32(out, 0); // from/to unused: acks never reach an actor
+    put_u32(out, 0);
+    put_u64(out, CONTROL_SEQ);
+    put_u64(out, next_expected);
+}
+
+/// The fixed routing header of one frame, decoded without touching the
+/// body — receivers route and resequence on this alone, deferring payload
+/// decode to delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireHeader {
+    /// Frame kind byte (see [`kind`]).
+    pub kind: u8,
+    /// Sending peer index (the `seq` resequencing domain).
+    pub peer: u32,
+    /// Originating actor.
+    pub from: ActorId,
+    /// Destination actor.
+    pub to: ActorId,
+    /// Per-link sequence number.
+    pub seq: u64,
+    /// Out-of-band auxiliary value (snapshot interval, group bitmap, or
+    /// ack cursor).
+    pub aux: u64,
+}
+
+/// Total on-wire length (length prefix included) of the frame starting at
+/// byte `at` of `buf`, if the 4-byte prefix is fully present.
+pub fn frame_len_at(buf: &[u8], at: usize) -> Option<usize> {
+    let bytes = buf.get(at..at.checked_add(4)?)?;
+    Some(4 + u32::from_le_bytes(bytes.try_into().unwrap()) as usize)
+}
+
+/// Decodes the fixed header of a buffer holding exactly one frame.
+pub fn decode_header(frame: &[u8]) -> Result<WireHeader, CodecError> {
+    let mut r = Reader::new(frame);
     let len = r.u32()? as usize;
     if r.remaining() != len || len < HEADER_LEN {
         return Err(CodecError::BadLength(len));
     }
-    let kind_byte = r.u8()?;
-    let peer = r.u32()?;
-    let from = ActorId::new(r.u32()?);
-    let to = ActorId::new(r.u32()?);
-    let seq = r.u64()?;
-    let aux = r.u64()?;
-    let body = &buf[4 + HEADER_LEN..];
-    let payload = match kind_byte {
+    Ok(WireHeader {
+        kind: r.u8()?,
+        peer: r.u32()?,
+        from: ActorId::new(r.u32()?),
+        to: ActorId::new(r.u32()?),
+        seq: r.u64()?,
+        aux: r.u64()?,
+    })
+}
+
+/// Decodes a frame body — control or detect — given its kind and aux.
+///
+/// [`kind::ACK`] frames carry no payload and are rejected here: endpoints
+/// consume them during ingest, before payload decode.
+pub fn decode_payload(kind_byte: u8, aux: u64, body: &[u8]) -> Result<Payload, CodecError> {
+    Ok(match kind_byte {
         kind::VERDICT => {
             let mut br = Reader::new(body);
             match br.u8()? {
@@ -460,12 +558,19 @@ pub fn decode_frame(buf: &[u8]) -> Result<Frame, CodecError> {
         }
         kind::SHUTDOWN => Payload::Shutdown,
         detect => Payload::Detect(decode_body(detect, aux, body)?),
-    };
+    })
+}
+
+/// Decodes one frame from a buffer that contains exactly one frame
+/// (length prefix included).
+pub fn decode_frame(buf: &[u8]) -> Result<Frame, CodecError> {
+    let h = decode_header(buf)?;
+    let payload = decode_payload(h.kind, h.aux, &buf[BODY_START..])?;
     Ok(Frame {
-        peer,
-        from,
-        to,
-        seq,
+        peer: h.peer,
+        from: h.from,
+        to: h.to,
+        seq: h.seq,
         payload,
     })
 }
@@ -544,6 +649,64 @@ mod tests {
         let second = read_frame(&mut cursor).unwrap().unwrap();
         assert_eq!(first, second);
         assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn header_decode_and_frame_len_agree_with_full_decode() {
+        let f = frame(Payload::Detect(DetectMsg::VcSnapshot(VcSnapshot {
+            interval: 9,
+            clock: VectorClock::from_components(vec![4, 9]),
+        })));
+        let bytes = encode_frame(&f);
+        assert_eq!(frame_len_at(&bytes, 0), Some(bytes.len()));
+        assert_eq!(
+            frame_len_at(&bytes, bytes.len() - 3),
+            None,
+            "partial prefix"
+        );
+        let h = decode_header(&bytes).unwrap();
+        assert_eq!(h.kind, kind::VC_SNAPSHOT);
+        assert_eq!(
+            (h.peer, h.from, h.to, h.seq, h.aux),
+            (3, f.from, f.to, 42, 9)
+        );
+        assert_eq!(
+            decode_payload(h.kind, h.aux, &bytes[BODY_START..]).unwrap(),
+            f.payload
+        );
+    }
+
+    #[test]
+    fn in_place_encoding_matches_allocating_encoding() {
+        let frames = [
+            frame(Payload::Detect(DetectMsg::VcToken(Token::new(3)))),
+            frame(Payload::Verdict(Some(vec![1, 2]))),
+            frame(Payload::Shutdown),
+        ];
+        let mut batch = Vec::new();
+        for f in &frames {
+            encode_frame_into(f, &mut batch);
+        }
+        let mut at = 0;
+        for f in &frames {
+            let len = frame_len_at(&batch, at).unwrap();
+            assert_eq!(&batch[at..at + len], encode_frame(f).as_slice());
+            at += len;
+        }
+        assert_eq!(at, batch.len());
+    }
+
+    #[test]
+    fn ack_frames_carry_the_cursor_in_aux() {
+        let mut bytes = Vec::new();
+        encode_ack_into(2, 640, &mut bytes);
+        assert_eq!(frame_len_at(&bytes, 0), Some(bytes.len()));
+        let h = decode_header(&bytes).unwrap();
+        assert_eq!(h.kind, kind::ACK);
+        assert_eq!(h.peer, 2);
+        assert_eq!(h.seq, CONTROL_SEQ);
+        assert_eq!(h.aux, 640);
+        assert!(decode_payload(h.kind, h.aux, &bytes[BODY_START..]).is_err());
     }
 
     #[test]

@@ -27,6 +27,14 @@
 //!   fails; the endpoint reconnects with exponential backoff and replays
 //!   its send log (replays bypass fault injection via
 //!   [`Transport::resend`], so recovery always converges).
+//!
+//! Batched sends keep seeded schedules unchanged: `FaultyTransport`
+//! deliberately inherits the trait's default [`Transport::send_batch`],
+//! which walks the batch's length prefixes and routes every frame through
+//! [`Transport::send`] individually — the per-link decision stream is one
+//! draw sequence per frame in send order, bit-identical whether or not
+//! the sender coalesces (pinned by
+//! `batching_consumes_the_same_fault_schedule` below).
 
 use std::io;
 use std::sync::mpsc::{channel, Sender};
@@ -211,7 +219,10 @@ impl Drop for FaultyTransport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::codec::{decode_frame, encode_frame, Frame, Payload};
+    use crate::codec::{
+        decode_frame, encode_frame, encode_frame_into, frame_len_at, Frame, Payload,
+    };
+    use crate::pool::{FramePool, PooledBuf};
     use crate::transport::LoopbackTransport;
     use std::sync::mpsc::channel as mpsc_channel;
     use wcp_obs::NullRecorder;
@@ -227,11 +238,12 @@ mod tests {
         }
     }
 
-    fn faulty(cfg: FaultConfig) -> (FaultyTransport, std::sync::mpsc::Receiver<Vec<u8>>) {
+    fn faulty(cfg: FaultConfig) -> (FaultyTransport, std::sync::mpsc::Receiver<PooledBuf>) {
         let (tx, rx) = mpsc_channel();
         let counters = NetCounters::shared();
+        let pool = FramePool::shared(counters.clone());
         let t = FaultyTransport::new(
-            Box::new(LoopbackTransport::new(tx)),
+            Box::new(LoopbackTransport::new(tx, pool)),
             cfg,
             0,
             1,
@@ -239,6 +251,20 @@ mod tests {
             Arc::new(NullRecorder),
         );
         (t, rx)
+    }
+
+    /// Every frame in every drained chunk, in arrival order.
+    fn drain_seqs(rx: &std::sync::mpsc::Receiver<PooledBuf>) -> Vec<u64> {
+        let mut seqs = Vec::new();
+        while let Ok(chunk) = rx.try_recv() {
+            let mut at = 0;
+            while at < chunk.len() {
+                let len = frame_len_at(&chunk, at).unwrap();
+                seqs.push(decode_frame(&chunk[at..at + len]).unwrap().seq);
+                at += len;
+            }
+        }
+        seqs
     }
 
     #[test]
@@ -296,6 +322,35 @@ mod tests {
         let a = order(cfg);
         let b = order(cfg);
         assert_eq!(a.len(), b.len(), "same duplicate/drop decisions");
+    }
+
+    #[test]
+    fn batching_consumes_the_same_fault_schedule() {
+        // The same frames, once per-frame and once as one coalesced batch,
+        // must draw identical per-frame fault decisions: same retransmit
+        // count, same delivered multiset (duplicates included).
+        let cfg = FaultConfig::seeded(11)
+            .with_drop(0.2)
+            .with_delay(0.2)
+            .with_duplicate(0.3)
+            .with_reorder(0.2);
+        let (mut per_frame, rx_a) = faulty(cfg);
+        for seq in 0..40 {
+            per_frame.send(&encode_frame(&frame(seq))).unwrap();
+        }
+        per_frame.close();
+        let (mut batched, rx_b) = faulty(cfg);
+        let mut batch = Vec::new();
+        for seq in 0..40 {
+            encode_frame_into(&frame(seq), &mut batch);
+        }
+        batched.send_batch(&batch).unwrap();
+        batched.close();
+        let mut a = drain_seqs(&rx_a);
+        let mut b = drain_seqs(&rx_b);
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "schedule changed under batching");
     }
 
     #[test]

@@ -33,16 +33,20 @@
 pub mod codec;
 pub mod fault;
 pub mod peer;
+pub mod pool;
 pub mod runner;
+pub mod saturation;
 pub mod stats;
 pub mod transport;
 
 pub use codec::{decode_frame, encode_frame, read_frame, CodecError, Frame, Payload};
 pub use fault::{link_seed, FaultyTransport};
-pub use peer::{Endpoint, PeerHost};
+pub use peer::{Endpoint, HostedActor, PeerHost, RawFrame};
+pub use pool::{FramePool, PooledBuf};
 pub use runner::{
     run_direct_net, run_direct_net_recorded, run_vc_token_net, run_vc_token_net_recorded,
     serve_vc_peer, NetConfig, NetReport, PeerReport, TransportKind,
 };
+pub use saturation::{saturate_loopback, saturate_tcp, SaturationReport};
 pub use stats::{NetCounters, NetStats};
 pub use transport::{spawn_listener, LoopbackTransport, TcpTransport, Transport};

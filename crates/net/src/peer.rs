@@ -19,34 +19,215 @@
 //!   deduplicates by per-link sequence number and resequences inbound
 //!   frames, which is also exactly what masks injected duplicate, delay,
 //!   and reorder faults.
+//!
+//! ## The batched data path
+//!
+//! Each link owns an outbound batch buffer: sends encode in place
+//! ([`encode_frame_into`]) and *bulk* payloads (application messages and
+//! snapshots) accumulate until [`MAX_BATCH_BYTES`] or an explicit flush,
+//! at which point the whole batch goes to the transport in one
+//! [`Transport::send_batch`] — one write per wakeup instead of one per
+//! frame. *Latency-sensitive* payloads (tokens, polls, end-of-trace,
+//! verdict, shutdown) flush their link immediately so control traffic is
+//! never stalled behind batching, and [`PeerHost`] flushes every link
+//! before blocking on the wire, so no frame sits unflushed while a peer
+//! waits. Sequencing, logging, counters, and events stay per-frame, which
+//! is what keeps the fault model and `NetStats` semantics bit-identical
+//! to the per-frame path (`NetConfig::with_per_frame_writes`).
+//!
+//! Inbound, frames arrive in pooled chunks of one or more frames; only
+//! the fixed header is decoded for dedup/resequencing ([`RawFrame`]), and
+//! payload decode is deferred to delivery — vector-clock snapshots skip
+//! `DetectMsg` entirely and deserialize straight into the monitor's
+//! arena ([`VcMonitor::on_snapshot_wire`]).
+//!
+//! Replay logs no longer grow without bound: receivers acknowledge
+//! in-order delivery every [`ACK_EVERY`] frames (advisory `ACK` frames
+//! outside the sequence space, sent via the un-faulted
+//! [`Transport::resend`] path) and senders truncate acknowledged
+//! prefixes, bounding long-running `wcp serve` sessions.
 
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::Ordering;
 use std::sync::mpsc::{Receiver, RecvTimeoutError};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use wcp_detect::online::vc_monitor::VcMonitor;
 use wcp_detect::online::{DetectMsg, OnlineDetection, SharedOutcome};
 use wcp_obs::{LogicalTime, Recorder, TraceEvent};
 use wcp_sim::{Actor, ActorId, Context, SimMetrics, WireSize};
 
-use crate::codec::{decode_frame, encode_frame, Frame, Payload};
+use crate::codec::{
+    decode_header, decode_payload, encode_ack_into, encode_frame_into, frame_len_at, kind,
+    CodecError, Frame, Payload, WireHeader, BODY_START,
+};
+use crate::pool::PooledBuf;
 use crate::stats::NetCounters;
 use crate::transport::Transport;
+
+/// Flush threshold of a link's outbound batch: bulk sends past this size
+/// go to the wire even without an explicit flush, bounding both batch
+/// latency and sender-side buffering (the backpressure knob).
+pub const MAX_BATCH_BYTES: usize = 64 * 1024;
+
+/// Receivers acknowledge after this many in-order frames per link.
+pub const ACK_EVERY: u64 = 64;
+
+/// Rolling send log of one link, for replay after a reconnect: frame
+/// bytes back-to-back in a single buffer. Acknowledged prefixes are
+/// truncated ([`FrameLog::truncate_acked`]), so the log holds only the
+/// unacknowledged window instead of every frame ever sent.
+struct FrameLog {
+    data: Vec<u8>,
+    /// Bytes of `data` preceding the first retained frame.
+    start: usize,
+    /// `(seq, len)` per retained frame, in order.
+    frames: VecDeque<(u64, usize)>,
+}
+
+impl FrameLog {
+    fn new() -> Self {
+        FrameLog {
+            data: Vec::new(),
+            start: 0,
+            frames: VecDeque::new(),
+        }
+    }
+
+    fn push(&mut self, seq: u64, frame: &[u8]) {
+        self.data.extend_from_slice(frame);
+        self.frames.push_back((seq, frame.len()));
+    }
+
+    /// Drops every frame with `seq < next_expected` (the cumulative ack
+    /// cursor), compacting the buffer once the dead prefix dominates.
+    fn truncate_acked(&mut self, next_expected: u64) {
+        while let Some(&(seq, len)) = self.frames.front() {
+            if seq >= next_expected {
+                break;
+            }
+            self.start += len;
+            self.frames.pop_front();
+        }
+        if self.start > 4096 && self.start * 2 >= self.data.len() {
+            self.data.drain(..self.start);
+            self.start = 0;
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Resends every retained frame over `transport` in order.
+    fn replay(&self, transport: &mut dyn Transport) -> std::io::Result<()> {
+        let mut at = self.start;
+        for &(_seq, len) in &self.frames {
+            transport.resend(&self.data[at..at + len])?;
+            at += len;
+        }
+        Ok(())
+    }
+}
 
 /// Outbound state of one directed link.
 struct Link {
     transport: Box<dyn Transport>,
     next_seq: u64,
-    /// Every frame ever sent, for replay after a reconnect (the receiver
+    /// Unacknowledged frames, for replay after a reconnect (the receiver
     /// drops the duplicates by sequence number).
-    log: Vec<Vec<u8>>,
+    log: FrameLog,
+    /// Encoded-but-unflushed frames, concatenated.
+    batch: Vec<u8>,
+    /// Frame count of `batch`.
+    batch_frames: u64,
 }
 
 /// Inbound resequencing state for one remote peer.
 #[derive(Default)]
 struct Inbound {
     next_expected: u64,
-    pending: BTreeMap<u64, Frame>,
+    /// The `next_expected` value last acknowledged back to the sender.
+    acked: u64,
+    pending: BTreeMap<u64, RawFrame>,
+}
+
+/// One inbound frame: routing header decoded, payload bytes still inside
+/// the pooled chunk they arrived in. Payload decode is deferred to
+/// delivery ([`RawFrame::payload`]) — or skipped entirely for snapshot
+/// frames consumed arena-direct ([`RawFrame::body`]).
+pub struct RawFrame {
+    head: WireHeader,
+    chunk: Arc<PooledBuf>,
+    /// Byte offset of the frame (length prefix included) within `chunk`.
+    at: usize,
+    /// Total frame length, prefix included.
+    len: usize,
+}
+
+impl RawFrame {
+    /// Sending peer index.
+    pub fn peer(&self) -> u32 {
+        self.head.peer
+    }
+
+    /// Originating actor.
+    pub fn from_actor(&self) -> ActorId {
+        self.head.from
+    }
+
+    /// Destination actor.
+    pub fn to_actor(&self) -> ActorId {
+        self.head.to
+    }
+
+    /// Per-link sequence number.
+    pub fn seq(&self) -> u64 {
+        self.head.seq
+    }
+
+    /// Frame kind byte (see [`kind`]).
+    pub fn kind(&self) -> u8 {
+        self.head.kind
+    }
+
+    /// The raw body bytes (after the fixed header).
+    pub fn body(&self) -> &[u8] {
+        &self.chunk[self.at + BODY_START..self.at + self.len]
+    }
+
+    /// Decodes the payload.
+    pub fn payload(&self) -> Result<Payload, CodecError> {
+        decode_payload(self.head.kind, self.head.aux, self.body())
+    }
+
+    /// Decodes the whole frame into its owned form (tests, tooling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the body bytes are corrupt.
+    pub fn to_frame(&self) -> Frame {
+        Frame {
+            peer: self.head.peer,
+            from: self.head.from,
+            to: self.head.to,
+            seq: self.head.seq,
+            payload: self.payload().expect("corrupt frame on the wire"),
+        }
+    }
+}
+
+/// `true` for payloads that must reach the wire immediately (token
+/// hand-offs, polls, verdicts, teardown); `false` for bulk traffic that
+/// may coalesce.
+fn immediate(payload: &Payload) -> bool {
+    !matches!(
+        payload,
+        Payload::Detect(DetectMsg::App { .. })
+            | Payload::Detect(DetectMsg::VcSnapshot(_))
+            | Payload::Detect(DetectMsg::DdSnapshot(_))
+    )
 }
 
 /// A peer's view of the network: outbound links to every other peer and
@@ -54,26 +235,35 @@ struct Inbound {
 pub struct Endpoint {
     me: u32,
     links: Vec<Option<Link>>,
-    inbox: Receiver<Vec<u8>>,
+    inbox: Receiver<PooledBuf>,
     inbound: Vec<Inbound>,
-    ready: VecDeque<Frame>,
+    ready: VecDeque<RawFrame>,
     counters: Arc<NetCounters>,
     recorder: Arc<dyn Recorder>,
     max_retries: u32,
     backoff_base: Duration,
+    /// When `false`, every send flushes its frame individually (the
+    /// pre-batching wire behaviour).
+    batch: bool,
+    /// Reusable encode buffer for outgoing acknowledgements.
+    ack_buf: Vec<u8>,
 }
 
 impl Endpoint {
     /// Builds the endpoint for peer `me` of `n_peers`. `links[j]` must be
-    /// `Some` for every `j != me`.
+    /// `Some` for every `j != me`. `batch` enables send coalescing;
+    /// per-frame mode is behaviourally identical on the wire, one write
+    /// per frame.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         me: u32,
         links: Vec<Option<Box<dyn Transport>>>,
-        inbox: Receiver<Vec<u8>>,
+        inbox: Receiver<PooledBuf>,
         counters: Arc<NetCounters>,
         recorder: Arc<dyn Recorder>,
         max_retries: u32,
         backoff_base: Duration,
+        batch: bool,
     ) -> Self {
         let n_peers = links.len();
         Endpoint {
@@ -84,7 +274,9 @@ impl Endpoint {
                     t.map(|transport| Link {
                         transport,
                         next_seq: 0,
-                        log: Vec::new(),
+                        log: FrameLog::new(),
+                        batch: Vec::new(),
+                        batch_frames: 0,
                     })
                 })
                 .collect(),
@@ -95,17 +287,22 @@ impl Endpoint {
             recorder,
             max_retries,
             backoff_base,
+            batch,
+            ack_buf: Vec::new(),
         }
     }
 
-    /// Sends `payload` to `to_peer`, assigning the link sequence number,
-    /// logging the frame, and recovering from connection errors by
-    /// reconnect-with-backoff plus full log replay.
+    /// Sends `payload` to `to_peer`: assigns the link sequence number,
+    /// encodes straight into the link's outbound batch, and logs the
+    /// frame. Bulk payloads ride until the next flush (or the batch cap);
+    /// control payloads — and every payload in per-frame mode — flush the
+    /// link immediately.
     ///
     /// # Panics
     ///
     /// Panics if the link stays down after `max_retries` reconnects.
     pub fn send(&mut self, to_peer: u32, from: ActorId, to: ActorId, payload: Payload) {
+        let flush_now = !self.batch || immediate(&payload);
         let link = self.links[to_peer as usize]
             .as_mut()
             .expect("send to unlinked peer");
@@ -117,31 +314,91 @@ impl Endpoint {
             payload,
         };
         link.next_seq += 1;
-        let bytes = encode_frame(&frame);
-        link.log.push(bytes.clone());
-        self.counters
-            .frames_sent
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let start = link.batch.len();
+        encode_frame_into(&frame, &mut link.batch);
+        let frame_len = (link.batch.len() - start) as u64;
+        link.log.push(frame.seq, &link.batch[start..]);
+        link.batch_frames += 1;
+        let flush = flush_now || link.batch.len() >= MAX_BATCH_BYTES;
+        self.counters.frames_sent.fetch_add(1, Ordering::Relaxed);
         self.counters
             .bytes_sent
-            .fetch_add(bytes.len() as u64, std::sync::atomic::Ordering::Relaxed);
+            .fetch_add(frame_len, Ordering::Relaxed);
         self.recorder.record(
             self.me,
             LogicalTime::Unknown,
             TraceEvent::FrameSent {
                 to: to_peer,
-                bytes: bytes.len() as u64,
+                bytes: frame_len,
             },
         );
-        if link.transport.send(&bytes).is_ok() {
+        if flush {
+            self.flush_link(to_peer);
+        }
+    }
+
+    /// Hands `to_peer`'s outbound batch to the transport in one coalesced
+    /// write (no-op when empty), recovering from connection errors by
+    /// reconnect-with-backoff plus replay of the unacknowledged log.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link stays down after `max_retries` reconnects.
+    pub fn flush_link(&mut self, to_peer: u32) {
+        let link = self.links[to_peer as usize]
+            .as_mut()
+            .expect("flush of unlinked peer");
+        if link.batch.is_empty() {
             return;
         }
-        // Connection error: reconnect with exponential backoff and replay
-        // the whole log (receiver-side dedup drops what already arrived).
+        let frames = link.batch_frames;
+        let bytes = link.batch.len() as u64;
+        let sent = link.transport.send_batch(&link.batch).is_ok();
+        link.batch.clear();
+        link.batch_frames = 0;
+        self.counters.batch_flushes.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .max_batch_bytes
+            .fetch_max(bytes, Ordering::Relaxed);
+        self.recorder.record(
+            self.me,
+            LogicalTime::Unknown,
+            TraceEvent::BatchFlushed {
+                to: to_peer,
+                frames,
+                bytes,
+            },
+        );
+        if !sent {
+            self.recover(to_peer);
+        }
+    }
+
+    /// Flushes every link with a pending batch.
+    pub fn flush_all(&mut self) {
+        for peer in 0..self.links.len() as u32 {
+            if self.links[peer as usize]
+                .as_ref()
+                .is_some_and(|l| !l.batch.is_empty())
+            {
+                self.flush_link(peer);
+            }
+        }
+    }
+
+    /// Frames currently retained in `to_peer`'s replay log (bounded by
+    /// acknowledgement truncation; exposed for tests and diagnostics).
+    pub fn replay_log_len(&self, to_peer: u32) -> usize {
+        self.links[to_peer as usize]
+            .as_ref()
+            .map_or(0, |l| l.log.len())
+    }
+
+    /// Reconnect-with-backoff plus full replay of the unacknowledged log
+    /// (receiver-side dedup drops what already arrived).
+    fn recover(&mut self, to_peer: u32) {
         for attempt in 1..=self.max_retries.max(1) {
-            self.counters
-                .reconnects
-                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.counters.reconnects.fetch_add(1, Ordering::Relaxed);
             self.recorder.record(
                 self.me,
                 LogicalTime::Unknown,
@@ -151,14 +408,17 @@ impl Endpoint {
                 },
             );
             std::thread::sleep(self.backoff_base.saturating_mul(1 << (attempt - 1).min(16)));
+            let link = self.links[to_peer as usize]
+                .as_mut()
+                .expect("recovery of unlinked peer");
             if link.transport.reconnect().is_err() {
                 continue;
             }
             let replayed = link.log.len() as u64;
-            if link.log.iter().all(|f| link.transport.resend(f).is_ok()) {
+            if link.log.replay(link.transport.as_mut()).is_ok() {
                 self.counters
                     .retransmits
-                    .fetch_add(replayed, std::sync::atomic::Ordering::Relaxed);
+                    .fetch_add(replayed, Ordering::Relaxed);
                 self.recorder.record(
                     self.me,
                     LogicalTime::Unknown,
@@ -179,7 +439,7 @@ impl Endpoint {
     /// Receives the next in-order frame, waiting up to `timeout`.
     /// Duplicates are dropped and out-of-order frames held until the gap
     /// fills; returns `None` on timeout.
-    pub fn recv(&mut self, timeout: Duration) -> Option<Frame> {
+    pub fn recv(&mut self, timeout: Duration) -> Option<RawFrame> {
         let deadline = Instant::now() + timeout;
         loop {
             if let Some(frame) = self.ready.pop_front() {
@@ -187,7 +447,7 @@ impl Endpoint {
             }
             let remaining = deadline.saturating_duration_since(Instant::now());
             match self.inbox.recv_timeout(remaining) {
-                Ok(raw) => self.ingest(&raw),
+                Ok(chunk) => self.ingest(chunk),
                 Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
                     return None;
                 }
@@ -195,43 +455,101 @@ impl Endpoint {
         }
     }
 
-    fn ingest(&mut self, raw: &[u8]) {
-        let frame = decode_frame(raw).expect("corrupt frame on the wire");
-        let st = &mut self.inbound[frame.peer as usize];
-        if frame.seq < st.next_expected || st.pending.contains_key(&frame.seq) {
+    /// Walks one inbound chunk's complete frames (transports only deliver
+    /// whole frames per chunk; partial reads are reassembled below them).
+    fn ingest(&mut self, chunk: PooledBuf) {
+        let chunk = Arc::new(chunk);
+        let mut at = 0;
+        while at < chunk.len() {
+            let len = frame_len_at(&chunk, at)
+                .filter(|len| at + len <= chunk.len())
+                .expect("corrupt frame on the wire");
+            let head = decode_header(&chunk[at..at + len]).expect("corrupt frame on the wire");
+            self.accept(RawFrame {
+                head,
+                chunk: Arc::clone(&chunk),
+                at,
+                len,
+            });
+            at += len;
+        }
+    }
+
+    /// Dedup/resequencing for one frame; acknowledgements short-circuit
+    /// into log truncation before the sequence machinery.
+    fn accept(&mut self, frame: RawFrame) {
+        let peer = frame.head.peer as usize;
+        if frame.head.kind == kind::ACK {
+            self.counters.acks_received.fetch_add(1, Ordering::Relaxed);
+            if let Some(link) = self.links.get_mut(peer).and_then(Option::as_mut) {
+                link.log.truncate_acked(frame.head.aux);
+            }
+            return;
+        }
+        let st = &mut self.inbound[peer];
+        if frame.head.seq < st.next_expected || st.pending.contains_key(&frame.head.seq) {
             self.counters
                 .duplicates_dropped
-                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                .fetch_add(1, Ordering::Relaxed);
             return;
         }
         self.counters
             .frames_received
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            .fetch_add(1, Ordering::Relaxed);
         self.counters
             .bytes_received
-            .fetch_add(raw.len() as u64, std::sync::atomic::Ordering::Relaxed);
+            .fetch_add(frame.len as u64, Ordering::Relaxed);
         self.recorder.record(
             self.me,
             LogicalTime::Unknown,
             TraceEvent::FrameReceived {
-                from: frame.peer,
-                bytes: raw.len() as u64,
+                from: frame.head.peer,
+                bytes: frame.len as u64,
             },
         );
-        if frame.seq > st.next_expected {
-            self.counters
-                .reordered
-                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        if frame.head.seq > st.next_expected {
+            self.counters.reordered.fetch_add(1, Ordering::Relaxed);
         }
-        st.pending.insert(frame.seq, frame);
-        while let Some(frame) = st.pending.remove(&st.next_expected) {
+        st.pending.insert(frame.head.seq, frame);
+        while let Some(f) = st.pending.remove(&st.next_expected) {
             st.next_expected += 1;
-            self.ready.push_back(frame);
+            self.ready.push_back(f);
+        }
+        let cursor = st.next_expected;
+        let due = cursor >= st.acked + ACK_EVERY;
+        self.counters
+            .max_ready_depth
+            .fetch_max(self.ready.len() as u64, Ordering::Relaxed);
+        if due {
+            self.send_ack(peer as u32, cursor);
         }
     }
 
-    /// Gracefully closes every outbound link (flushing fault workers).
+    /// Sends a cumulative acknowledgement for `to_peer`'s link. Advisory:
+    /// routed via [`Transport::resend`] so fault injection never draws on
+    /// it (seeded schedules are unchanged by acks), and dropped silently
+    /// on error — a lost ack only defers truncation to the next one.
+    fn send_ack(&mut self, to_peer: u32, cursor: u64) {
+        let me = self.me;
+        self.ack_buf.clear();
+        encode_ack_into(me, cursor, &mut self.ack_buf);
+        let Some(link) = self
+            .links
+            .get_mut(to_peer as usize)
+            .and_then(Option::as_mut)
+        else {
+            return;
+        };
+        if link.transport.resend(&self.ack_buf).is_ok() {
+            self.counters.acks_sent.fetch_add(1, Ordering::Relaxed);
+            self.inbound[to_peer as usize].acked = cursor;
+        }
+    }
+
+    /// Gracefully closes every outbound link, flushing pending batches
+    /// (and fault workers) first.
     pub fn close(&mut self) {
+        self.flush_all();
         for link in self.links.iter_mut().flatten() {
             link.transport.close();
         }
@@ -302,10 +620,38 @@ impl ExitLatch {
 
     /// Marks this peer arrived and waits (until `deadline`) for the rest.
     fn wait(&self, deadline: Instant) {
-        use std::sync::atomic::Ordering;
         self.arrived.fetch_add(1, Ordering::SeqCst);
         while self.arrived.load(Ordering::SeqCst) < self.total && Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+}
+
+/// An actor hosted on a peer, with a typed fast path for the vector-clock
+/// monitor: its `VC_SNAPSHOT` frames decode straight into the monitor's
+/// arena-backed queue instead of materializing a `DetectMsg`.
+pub enum HostedActor {
+    /// A Figure 3 monitor — snapshot frames take the arena-direct path.
+    Vc(VcMonitor),
+    /// Any other actor, dispatched through the generic [`Actor`] trait.
+    Dyn(Box<dyn Actor<DetectMsg>>),
+}
+
+impl HostedActor {
+    /// Hosts a vector-clock monitor with the arena-direct decode path.
+    pub fn vc(monitor: VcMonitor) -> Self {
+        HostedActor::Vc(monitor)
+    }
+
+    /// Hosts any actor through generic dispatch.
+    pub fn boxed(actor: impl Actor<DetectMsg> + 'static) -> Self {
+        HostedActor::Dyn(Box::new(actor))
+    }
+
+    fn as_actor_mut(&mut self) -> &mut dyn Actor<DetectMsg> {
+        match self {
+            HostedActor::Vc(m) => m,
+            HostedActor::Dyn(b) => &mut **b,
         }
     }
 }
@@ -318,7 +664,7 @@ pub struct PeerHost {
     /// The peer's network endpoint.
     pub endpoint: Endpoint,
     /// Hosted actors with their global actor ids, in id order.
-    pub actors: Vec<(ActorId, Box<dyn Actor<DetectMsg>>)>,
+    pub actors: Vec<(ActorId, HostedActor)>,
     /// Hosting peer of every actor, indexed by actor id.
     pub actor_peer: Arc<Vec<u32>>,
     /// Paper-unit send/work accounting (shared in-process, local when the
@@ -363,7 +709,7 @@ impl PeerHost {
                 metrics: &self.metrics,
                 stop: &mut stop,
             };
-            actor.on_start(&mut ctx);
+            actor.as_actor_mut().on_start(&mut ctx);
         }
 
         let deadline = Instant::now() + self.deadline;
@@ -384,15 +730,35 @@ impl PeerHost {
                     metrics: &self.metrics,
                     stop: &mut stop,
                 };
-                actor.on_message(&mut ctx, from, msg);
+                actor.as_actor_mut().on_message(&mut ctx, from, msg);
                 continue;
             }
+            // About to block on the wire: every coalesced frame must be
+            // on its way first, or a remote peer could wait on bytes
+            // sitting in our batch while we wait on it.
+            self.endpoint.flush_all();
             match self.endpoint.recv(POLL) {
-                Some(frame) => match frame.payload {
-                    Payload::Detect(msg) => {
-                        let slot = slot_of[frame.to.index()];
+                Some(frame) => match frame.kind() {
+                    kind::VERDICT | kind::SHUTDOWN => {
+                        match frame.payload().expect("corrupt frame on the wire") {
+                            Payload::Verdict(v) => {
+                                let mut cell = self.result.lock().unwrap();
+                                if cell.is_none() {
+                                    *cell = Some(match v {
+                                        Some(g) => OnlineDetection::Detected(g),
+                                        None => OnlineDetection::Undetected,
+                                    });
+                                }
+                            }
+                            Payload::Shutdown => break,
+                            Payload::Detect(_) => unreachable!("control kind decodes to control"),
+                        }
+                    }
+                    frame_kind => {
+                        let to = frame.to_actor();
+                        let slot = slot_of[to.index()];
                         assert!(slot != usize::MAX, "frame for actor not hosted here");
-                        self.metrics.lock().unwrap().record_receive(frame.to);
+                        self.metrics.lock().unwrap().record_receive(to);
                         let (id, actor) = &mut self.actors[slot];
                         let mut ctx = NetCtx {
                             me: *id,
@@ -403,18 +769,23 @@ impl PeerHost {
                             metrics: &self.metrics,
                             stop: &mut stop,
                         };
-                        actor.on_message(&mut ctx, frame.from, msg);
-                    }
-                    Payload::Verdict(v) => {
-                        let mut cell = self.result.lock().unwrap();
-                        if cell.is_none() {
-                            *cell = Some(match v {
-                                Some(g) => OnlineDetection::Detected(g),
-                                None => OnlineDetection::Undetected,
-                            });
+                        match actor {
+                            // Arena-direct: the snapshot clock deserializes
+                            // straight into the monitor's queue.
+                            HostedActor::Vc(monitor) if frame_kind == kind::VC_SNAPSHOT => {
+                                monitor.on_snapshot_wire(&mut ctx, frame.body());
+                            }
+                            actor => {
+                                let payload = frame.payload().expect("corrupt frame on the wire");
+                                let Payload::Detect(msg) = payload else {
+                                    unreachable!("detect kind decodes to detect payload")
+                                };
+                                actor
+                                    .as_actor_mut()
+                                    .on_message(&mut ctx, frame.from_actor(), msg);
+                            }
                         }
                     }
-                    Payload::Shutdown => break,
                 },
                 None => {
                     assert!(
@@ -428,7 +799,8 @@ impl PeerHost {
 
         if stop {
             // This peer's monitor decided: broadcast the verdict, then an
-            // orderly shutdown, to every other peer.
+            // orderly shutdown, to every other peer. (Both are immediate
+            // payloads, so each link flushes its residue here too.)
             let verdict = match self.result.lock().unwrap().clone() {
                 Some(OnlineDetection::Detected(g)) => Some(g),
                 Some(OnlineDetection::Undetected) | None => None,
@@ -443,6 +815,9 @@ impl PeerHost {
                 self.endpoint.send(peer, marker, marker, Payload::Shutdown);
             }
         }
+        // Flush any residue *before* the exit rendezvous: after the latch
+        // releases, a fast peer may drop its inbox while we still write.
+        self.endpoint.flush_all();
         // Keep the endpoint (and its inbound channel) alive until every
         // peer has stopped delivering, then tear the links down.
         match &self.exit {
@@ -456,16 +831,20 @@ impl PeerHost {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::codec::encode_frame;
+    use crate::pool::FramePool;
     use crate::transport::LoopbackTransport;
     use std::sync::mpsc::channel;
+    use wcp_detect::online::ClockTag;
     use wcp_obs::NullRecorder;
+    use wcp_trace::MsgId;
 
     /// Polls `recv` in tight slices until a frame arrives or a generous
     /// deadline expires. A single fixed-size `recv` window fails spuriously
     /// when the test host is loaded and the reader thread is scheduled
     /// late; a deadline loop gives the whole budget to the slow case while
     /// staying fast in the common one.
-    fn recv_deadline(e: &mut Endpoint, total: Duration) -> Frame {
+    fn recv_deadline(e: &mut Endpoint, total: Duration) -> RawFrame {
         let deadline = Instant::now() + total;
         loop {
             if let Some(f) = e.recv(Duration::from_millis(10)) {
@@ -482,22 +861,24 @@ mod tests {
         let (tx0, rx0) = channel();
         let (tx1, rx1) = channel();
         let counters = NetCounters::shared();
+        let pool = FramePool::shared(counters.clone());
         let e0 = Endpoint::new(
             0,
             vec![
                 None,
-                Some(Box::new(LoopbackTransport::new(tx1)) as Box<dyn Transport>),
+                Some(Box::new(LoopbackTransport::new(tx1, pool.clone())) as Box<dyn Transport>),
             ],
             rx0,
             counters.clone(),
             Arc::new(NullRecorder),
             4,
             Duration::from_millis(1),
+            true,
         );
         let e1 = Endpoint::new(
             1,
             vec![
-                Some(Box::new(LoopbackTransport::new(tx0)) as Box<dyn Transport>),
+                Some(Box::new(LoopbackTransport::new(tx0, pool)) as Box<dyn Transport>),
                 None,
             ],
             rx1,
@@ -505,6 +886,7 @@ mod tests {
             Arc::new(NullRecorder),
             4,
             Duration::from_millis(1),
+            true,
         );
         (e0, e1)
     }
@@ -518,16 +900,62 @@ mod tests {
         }
         for seq in 0..3 {
             let f = recv_deadline(&mut e1, Duration::from_secs(10));
-            assert_eq!(f.seq, seq);
-            assert_eq!(f.peer, 0);
+            assert_eq!(f.seq(), seq);
+            assert_eq!(f.peer(), 0);
         }
         assert!(e1.recv(Duration::from_millis(10)).is_none());
+    }
+
+    #[test]
+    fn bulk_sends_coalesce_until_flushed() {
+        let (mut e0, mut e1) = endpoint_pair();
+        let a = ActorId::new(0);
+        for i in 0..10 {
+            e0.send(
+                1,
+                a,
+                a,
+                Payload::Detect(DetectMsg::App {
+                    msg: MsgId::new(i),
+                    tag: ClockTag::Scalar(i),
+                }),
+            );
+        }
+        // Bulk frames ride in the batch until an explicit flush.
+        assert!(e1.recv(Duration::from_millis(20)).is_none(), "not flushed");
+        e0.flush_link(1);
+        for seq in 0..10 {
+            let f = recv_deadline(&mut e1, Duration::from_secs(10));
+            assert_eq!(f.seq(), seq);
+            assert_eq!(f.to_frame().peer, 0);
+        }
+    }
+
+    #[test]
+    fn control_payloads_flush_bulk_residue_immediately() {
+        let (mut e0, mut e1) = endpoint_pair();
+        let a = ActorId::new(0);
+        e0.send(
+            1,
+            a,
+            a,
+            Payload::Detect(DetectMsg::App {
+                msg: MsgId::new(0),
+                tag: ClockTag::Scalar(0),
+            }),
+        );
+        // A token is latency-sensitive: it (and the batched app frame
+        // before it) hits the wire without an explicit flush.
+        e0.send(1, a, a, Payload::Detect(DetectMsg::DdToken));
+        assert_eq!(recv_deadline(&mut e1, Duration::from_secs(10)).seq(), 0);
+        assert_eq!(recv_deadline(&mut e1, Duration::from_secs(10)).seq(), 1);
     }
 
     #[test]
     fn duplicates_dropped_and_gaps_resequenced() {
         let (tx, rx) = channel();
         let counters = NetCounters::shared();
+        let pool = FramePool::shared(counters.clone());
         let mut e = Endpoint::new(
             1,
             vec![None, None],
@@ -536,15 +964,18 @@ mod tests {
             Arc::new(NullRecorder),
             4,
             Duration::from_millis(1),
+            true,
         );
         let mk = |seq: u64| {
-            encode_frame(&Frame {
+            let mut chunk = pool.take();
+            chunk.extend_from_slice(&encode_frame(&Frame {
                 peer: 0,
                 from: ActorId::new(0),
                 to: ActorId::new(1),
                 seq,
                 payload: Payload::Detect(DetectMsg::DdToken),
-            })
+            }));
+            chunk
         };
         // seq 1 arrives before seq 0; seq 0 arrives twice.
         tx.send(mk(1)).unwrap();
@@ -552,13 +983,78 @@ mod tests {
         tx.send(mk(0)).unwrap();
         tx.send(mk(2)).unwrap();
         let seqs: Vec<u64> = (0..3)
-            .map(|_| recv_deadline(&mut e, Duration::from_secs(10)).seq)
+            .map(|_| recv_deadline(&mut e, Duration::from_secs(10)).seq())
             .collect();
         assert_eq!(seqs, vec![0, 1, 2], "resequenced");
         assert!(e.recv(Duration::from_millis(10)).is_none(), "dup dropped");
         let stats = counters.snapshot();
         assert_eq!(stats.duplicates_dropped, 1);
         assert_eq!(stats.reordered, 1);
+        assert!(stats.max_ready_depth >= 1, "backpressure HWM tracked");
+    }
+
+    #[test]
+    fn frames_straddling_chunk_boundaries_are_rejected_only_if_partial() {
+        // Transports deliver whole frames per chunk; several frames in one
+        // chunk (a coalesced batch) must ingest cleanly.
+        let (tx, rx) = channel();
+        let counters = NetCounters::shared();
+        let pool = FramePool::shared(counters.clone());
+        let mut e = Endpoint::new(
+            1,
+            vec![None, None],
+            rx,
+            counters,
+            Arc::new(NullRecorder),
+            4,
+            Duration::from_millis(1),
+            true,
+        );
+        let mut chunk = pool.take();
+        for seq in 0..4 {
+            encode_frame_into(
+                &Frame {
+                    peer: 0,
+                    from: ActorId::new(0),
+                    to: ActorId::new(1),
+                    seq,
+                    payload: Payload::Detect(DetectMsg::DdToken),
+                },
+                &mut chunk,
+            );
+        }
+        tx.send(chunk).unwrap();
+        for seq in 0..4 {
+            assert_eq!(recv_deadline(&mut e, Duration::from_secs(10)).seq(), seq);
+        }
+    }
+
+    #[test]
+    fn acked_prefixes_truncate_the_replay_log() {
+        let (mut e0, mut e1) = endpoint_pair();
+        let a = ActorId::new(0);
+        let total = 2 * ACK_EVERY + 2;
+        for _ in 0..total {
+            e0.send(1, a, a, Payload::Detect(DetectMsg::DdToken));
+        }
+        assert_eq!(e0.replay_log_len(1), total as usize, "all unacked so far");
+        for _ in 0..total {
+            recv_deadline(&mut e1, Duration::from_secs(10));
+        }
+        // e1 acked at 64 and 128; e0 ingests the acks on its next recv.
+        assert!(e0.recv(Duration::from_millis(50)).is_none(), "acks only");
+        assert_eq!(
+            e0.replay_log_len(1),
+            (total - 2 * ACK_EVERY) as usize,
+            "acknowledged prefix truncated"
+        );
+        let stats = {
+            // Both endpoints share one counter block in this fixture.
+            e0.counters.snapshot()
+        };
+        assert_eq!(stats.acks_sent, 2);
+        assert_eq!(stats.acks_received, 2);
+        assert_eq!(stats.duplicates_dropped, 0, "acks bypass dedup");
     }
 
     #[test]
@@ -566,7 +1062,8 @@ mod tests {
         let (tx1, rx1) = channel();
         let (_tx0, rx0) = channel();
         let counters = NetCounters::shared();
-        let mut broken = LoopbackTransport::new(tx1);
+        let pool = FramePool::shared(counters.clone());
+        let mut broken = LoopbackTransport::new(tx1, pool);
         broken.inject_reset(); // first send will fail
         let mut e0 = Endpoint::new(
             0,
@@ -576,6 +1073,7 @@ mod tests {
             Arc::new(NullRecorder),
             4,
             Duration::from_millis(1),
+            true,
         );
         let mut e1 = Endpoint::new(
             1,
@@ -585,11 +1083,12 @@ mod tests {
             Arc::new(NullRecorder),
             4,
             Duration::from_millis(1),
+            true,
         );
         let a = ActorId::new(0);
         e0.send(1, a, a, Payload::Detect(DetectMsg::DdToken));
         let f = recv_deadline(&mut e1, Duration::from_secs(10));
-        assert_eq!(f.seq, 0);
+        assert_eq!(f.seq(), 0);
         let stats = counters.snapshot();
         assert!(stats.reconnects >= 1, "reconnect counted");
         assert!(stats.retransmits >= 1, "replay counted");

@@ -1,0 +1,146 @@
+//! Reusable frame buffers — the zero-allocation substrate of the batched
+//! data path.
+//!
+//! Every chunk of bytes that crosses a thread boundary (a loopback batch,
+//! a TCP read) travels in a [`PooledBuf`] checked out of a shared
+//! [`FramePool`]. Dropping the buffer returns its backing `Vec<u8>` to the
+//! pool, so steady-state traffic recycles a small working set instead of
+//! allocating per message. The pool counts checkouts on the run's
+//! [`NetCounters`]: `pool_allocs` (free list empty, fresh allocation) vs
+//! `pool_reuses` (recycled buffer) — `pool_allocs / frames` is the
+//! saturation bench's allocations-per-frame measure.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+
+use crate::stats::NetCounters;
+
+/// Default capacity of a freshly allocated buffer: one outbound batch.
+const INITIAL_CAPACITY: usize = 64 * 1024;
+/// Buffers larger than this are dropped on return instead of retained, so
+/// one oversized batch doesn't pin memory for the rest of the run.
+const MAX_RETAINED_CAPACITY: usize = 1 << 20;
+/// Free-list cap: beyond this, returned buffers are simply freed.
+const MAX_FREE: usize = 256;
+
+/// A shared pool of reusable byte buffers (one per run / fabric).
+#[derive(Debug)]
+pub struct FramePool {
+    free: Mutex<Vec<Vec<u8>>>,
+    counters: Arc<NetCounters>,
+}
+
+impl FramePool {
+    /// A fresh pool counting checkouts on `counters`.
+    pub fn shared(counters: Arc<NetCounters>) -> Arc<Self> {
+        Arc::new(FramePool {
+            free: Mutex::new(Vec::new()),
+            counters,
+        })
+    }
+
+    /// Checks out an empty buffer, recycling a returned one when possible.
+    pub fn take(self: &Arc<Self>) -> PooledBuf {
+        let recycled = self.free.lock().unwrap().pop();
+        let buf = match recycled {
+            Some(mut b) => {
+                self.counters.pool_reuses.fetch_add(1, Ordering::Relaxed);
+                b.clear();
+                b
+            }
+            None => {
+                self.counters.pool_allocs.fetch_add(1, Ordering::Relaxed);
+                Vec::with_capacity(INITIAL_CAPACITY)
+            }
+        };
+        PooledBuf {
+            buf,
+            pool: Arc::clone(self),
+        }
+    }
+
+    fn put_back(&self, buf: Vec<u8>) {
+        if buf.capacity() > MAX_RETAINED_CAPACITY {
+            return;
+        }
+        let mut free = self.free.lock().unwrap();
+        if free.len() < MAX_FREE {
+            free.push(buf);
+        }
+    }
+}
+
+/// A byte buffer on loan from a [`FramePool`]; returns itself on drop.
+///
+/// Derefs to `Vec<u8>`, so it encodes and reads like a plain buffer.
+#[derive(Debug)]
+pub struct PooledBuf {
+    buf: Vec<u8>,
+    pool: Arc<FramePool>,
+}
+
+impl Deref for PooledBuf {
+    type Target = Vec<u8>;
+
+    fn deref(&self) -> &Vec<u8> {
+        &self.buf
+    }
+}
+
+impl DerefMut for PooledBuf {
+    fn deref_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.buf
+    }
+}
+
+impl Drop for PooledBuf {
+    fn drop(&mut self) {
+        self.pool.put_back(std::mem::take(&mut self.buf));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_are_recycled_not_reallocated() {
+        let counters = NetCounters::shared();
+        let pool = FramePool::shared(counters.clone());
+        for round in 0..100 {
+            let mut buf = pool.take();
+            buf.extend_from_slice(&[round as u8; 32]);
+            assert_eq!(buf.len(), 32);
+        } // dropped each round → returned to the pool
+        let stats = counters.snapshot();
+        assert_eq!(stats.pool_allocs, 1, "one allocation serves all rounds");
+        assert_eq!(stats.pool_reuses, 99);
+    }
+
+    #[test]
+    fn concurrent_checkouts_allocate_independently() {
+        let counters = NetCounters::shared();
+        let pool = FramePool::shared(counters.clone());
+        let a = pool.take();
+        let b = pool.take();
+        drop(a);
+        drop(b);
+        let c = pool.take();
+        drop(c);
+        let stats = counters.snapshot();
+        assert_eq!(stats.pool_allocs, 2);
+        assert_eq!(stats.pool_reuses, 1);
+    }
+
+    #[test]
+    fn oversized_buffers_are_not_retained() {
+        let counters = NetCounters::shared();
+        let pool = FramePool::shared(counters.clone());
+        {
+            let mut big = pool.take();
+            big.reserve(MAX_RETAINED_CAPACITY + 1);
+        }
+        assert!(pool.free.lock().unwrap().is_empty());
+    }
+}

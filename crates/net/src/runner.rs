@@ -21,16 +21,15 @@ use std::time::Duration;
 use wcp_clocks::{Cut, ProcessId};
 use wcp_detect::online::dd_monitor::DdMonitor;
 use wcp_detect::online::vc_monitor::VcMonitor;
-use wcp_detect::online::{
-    AppProcess, ClockMode, DetectMsg, OnlineDetection, OnlineStats, SharedOutcome,
-};
+use wcp_detect::online::{AppProcess, ClockMode, OnlineDetection, OnlineStats, SharedOutcome};
 use wcp_detect::{Detection, DetectionMetrics, DetectionReport};
 use wcp_obs::{NullRecorder, Recorder};
-use wcp_sim::{Actor, ActorId, FaultConfig, SimMetrics};
+use wcp_sim::{ActorId, FaultConfig, SimMetrics};
 use wcp_trace::{Computation, Wcp};
 
 use crate::fault::FaultyTransport;
-use crate::peer::{Endpoint, ExitLatch, PeerHost};
+use crate::peer::{Endpoint, ExitLatch, HostedActor, PeerHost};
+use crate::pool::{FramePool, PooledBuf};
 use crate::stats::{NetCounters, NetStats};
 use crate::transport::{spawn_listener, LoopbackTransport, TcpTransport, Transport};
 
@@ -53,6 +52,10 @@ pub struct NetConfig {
     pub faults: Option<FaultConfig>,
     /// Watchdog: a peer making no progress for this long panics the run.
     pub deadline: Duration,
+    /// Coalesce bulk sends into batched writes (the default). `false`
+    /// writes one frame at a time — the pre-batching wire behaviour, kept
+    /// for A/B benchmarks and equivalence pinning.
+    pub batch: bool,
 }
 
 impl Default for NetConfig {
@@ -61,6 +64,7 @@ impl Default for NetConfig {
             transport: TransportKind::Loopback,
             faults: None,
             deadline: Duration::from_secs(60),
+            batch: true,
         }
     }
 }
@@ -90,6 +94,15 @@ impl NetConfig {
         self.deadline = deadline;
         self
     }
+
+    /// Disables send coalescing: one transport write per frame, as before
+    /// the batched data path. Verdicts are identical either way (the
+    /// equivalence tests pin both); this exists for A/B measurement and
+    /// as the conservative fallback.
+    pub fn with_per_frame_writes(mut self) -> Self {
+        self.batch = false;
+        self
+    }
 }
 
 /// A [`DetectionReport`] plus transport-level statistics.
@@ -112,7 +125,7 @@ const RECOVERY_RETRIES: u32 = 10;
 struct Fabric {
     /// `links[i][j]` is the transport for the directed link `i → j`.
     links: Vec<Vec<Option<Box<dyn Transport>>>>,
-    inboxes: Vec<Receiver<Vec<u8>>>,
+    inboxes: Vec<Receiver<PooledBuf>>,
     /// TCP only: acceptor stop flag and join handles.
     listeners: Option<(Arc<AtomicBool>, Vec<JoinHandle<()>>)>,
 }
@@ -144,6 +157,9 @@ fn build_fabric(
     counters: &Arc<NetCounters>,
     recorder: &Arc<dyn Recorder>,
 ) -> Fabric {
+    // One buffer pool per fabric: every chunk crossing a thread boundary
+    // (loopback delivery, TCP reads) recycles through it.
+    let pool = FramePool::shared(counters.clone());
     match config.transport {
         TransportKind::Loopback => {
             let (txs, rxs): (Vec<_>, Vec<_>) = (0..n_peers).map(|_| channel()).unzip();
@@ -153,7 +169,7 @@ fn build_fabric(
                         .map(|j| {
                             (i != j).then(|| {
                                 let base: Box<dyn Transport> =
-                                    Box::new(LoopbackTransport::new(txs[j].clone()));
+                                    Box::new(LoopbackTransport::new(txs[j].clone(), pool.clone()));
                                 wrap_faults(base, config, i as u32, j as u32, counters, recorder)
                             })
                         })
@@ -181,7 +197,7 @@ fn build_fabric(
             let mut handles = Vec::new();
             for listener in listeners {
                 let (tx, rx) = channel();
-                handles.push(spawn_listener(listener, tx, stop.clone()));
+                handles.push(spawn_listener(listener, tx, stop.clone(), pool.clone()));
                 rxs.push(rx);
             }
             let links = (0..n_peers)
@@ -333,12 +349,12 @@ pub fn run_vc_token_net_recorded(
     let mut hosts = Vec::with_capacity(n);
     let mut inboxes = fabric.inboxes.into_iter();
     for (i, links) in fabric.links.into_iter().enumerate() {
-        let mut actors: Vec<(ActorId, Box<dyn Actor<DetectMsg>>)> = Vec::new();
+        let mut actors: Vec<(ActorId, HostedActor)> = Vec::new();
         for p in ProcessId::all(n_total) {
             if actor_peer[p.index()] == i as u32 {
                 actors.push((
                     apps[p.index()],
-                    Box::new(AppProcess::new(
+                    HostedActor::boxed(AppProcess::new(
                         computation,
                         wcp,
                         p,
@@ -351,7 +367,8 @@ pub fn run_vc_token_net_recorded(
         }
         actors.push((
             monitors[i],
-            Box::new(
+            // Typed hosting: inbound snapshots decode arena-direct.
+            HostedActor::vc(
                 VcMonitor::new(
                     i,
                     n,
@@ -373,6 +390,7 @@ pub fn run_vc_token_net_recorded(
                 recorder.clone(),
                 RECOVERY_RETRIES,
                 Duration::from_millis(1),
+                config.batch,
             ),
             actors,
             actor_peer: actor_peer.clone(),
@@ -459,10 +477,10 @@ pub fn run_direct_net_recorded(
     let mut inboxes = fabric.inboxes.into_iter();
     for (i, links) in fabric.links.into_iter().enumerate() {
         let p = ProcessId::new(i as u32);
-        let actors: Vec<(ActorId, Box<dyn Actor<DetectMsg>>)> = vec![
+        let actors: Vec<(ActorId, HostedActor)> = vec![
             (
                 apps[i],
-                Box::new(AppProcess::new(
+                HostedActor::boxed(AppProcess::new(
                     computation,
                     wcp,
                     p,
@@ -473,7 +491,7 @@ pub fn run_direct_net_recorded(
             ),
             (
                 monitors[i],
-                Box::new(
+                HostedActor::boxed(
                     DdMonitor::new(
                         p,
                         n_total,
@@ -497,6 +515,7 @@ pub fn run_direct_net_recorded(
                 recorder.clone(),
                 RECOVERY_RETRIES,
                 Duration::from_millis(1),
+                config.batch,
             ),
             actors,
             actor_peer: actor_peer.clone(),
@@ -581,10 +600,11 @@ pub fn serve_vc_peer(
     let actor_peer = Arc::new(actor_peer);
 
     let counters = NetCounters::shared();
+    let pool = FramePool::shared(counters.clone());
     let listener = TcpListener::bind(addrs[peer]).expect("bind serve address");
     let (tx, rx) = channel();
     let stop = Arc::new(AtomicBool::new(false));
-    let acceptor = spawn_listener(listener, tx, stop.clone());
+    let acceptor = spawn_listener(listener, tx, stop.clone(), pool);
 
     // Other peers may not have started yet: dial patiently.
     let links: Vec<Option<Box<dyn Transport>>> = (0..n)
@@ -602,12 +622,12 @@ pub fn serve_vc_peer(
     let result: SharedOutcome = Arc::new(Mutex::new(None));
     let stats = Arc::new(Mutex::new(OnlineStats::default()));
     let metrics = Arc::new(Mutex::new(SimMetrics::new(n_total + n)));
-    let mut actors: Vec<(ActorId, Box<dyn Actor<DetectMsg>>)> = Vec::new();
+    let mut actors: Vec<(ActorId, HostedActor)> = Vec::new();
     for p in ProcessId::all(n_total) {
         if actor_peer[p.index()] == peer as u32 {
             actors.push((
                 apps[p.index()],
-                Box::new(AppProcess::new(
+                HostedActor::boxed(AppProcess::new(
                     computation,
                     wcp,
                     p,
@@ -620,7 +640,7 @@ pub fn serve_vc_peer(
     }
     actors.push((
         monitors[peer],
-        Box::new(
+        HostedActor::vc(
             VcMonitor::new(
                 peer,
                 n,
@@ -643,6 +663,7 @@ pub fn serve_vc_peer(
             recorder.clone(),
             RECOVERY_RETRIES,
             Duration::from_millis(1),
+            config.batch,
         ),
         actors,
         actor_peer,

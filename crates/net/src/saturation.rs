@@ -1,0 +1,252 @@
+//! Saturation harness: pump a stream of snapshot frames through one
+//! directed link as fast as the transport allows, and measure the data
+//! path end to end — encode into the outbound batch, coalesced writes,
+//! pooled inbound chunks, and arena-direct decode of every snapshot body
+//! into a [`SnapshotBuffer`].
+//!
+//! This is the measured half of the batching claim: the same frame count
+//! over the same substrate, batched vs per-frame, gives the throughput
+//! ratio, and `pool_allocs / frames` gives steady-state allocations per
+//! frame (the pool recycles a fixed working set, so it tends to zero as
+//! the frame count grows). `scripts/bench.sh net-batch` records these in
+//! `BENCH_wcp.json`.
+
+use std::net::TcpListener;
+use std::sync::atomic::AtomicBool;
+use std::sync::mpsc::channel;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use wcp_clocks::VectorClock;
+use wcp_detect::online::DetectMsg;
+use wcp_detect::{SnapshotBuffer, VcSnapshot};
+use wcp_obs::NullRecorder;
+use wcp_sim::ActorId;
+
+use crate::codec::{kind, Payload};
+use crate::peer::Endpoint;
+use crate::pool::FramePool;
+use crate::stats::{NetCounters, NetStats};
+use crate::transport::{spawn_listener, LoopbackTransport, TcpTransport, Transport};
+
+/// Outcome of one saturation run.
+#[derive(Debug, Clone)]
+pub struct SaturationReport {
+    /// Snapshot frames delivered end to end.
+    pub frames: u64,
+    /// Accepted bytes on the receiving side.
+    pub bytes: u64,
+    /// Wall-clock time from first send to last delivery.
+    pub elapsed: Duration,
+    /// Wire-level counters of the run (both directions: data plus acks).
+    pub net: NetStats,
+}
+
+impl SaturationReport {
+    /// Delivered frames per second of wall-clock time.
+    pub fn frames_per_sec(&self) -> f64 {
+        self.frames as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Fresh pool allocations per delivered frame — the steady-state
+    /// allocation measure (the pool recycles, so this tends to zero).
+    pub fn allocs_per_frame(&self) -> f64 {
+        self.net.pool_allocs as f64 / self.frames.max(1) as f64
+    }
+
+    /// Frames per coalesced transport write — the syscall-amortization
+    /// proxy (1.0 means per-frame writes, higher means batching works).
+    pub fn frames_per_flush(&self) -> f64 {
+        self.frames as f64 / self.net.batch_flushes.max(1) as f64
+    }
+}
+
+/// How often the sender polls its own inbox for returning acks, keeping
+/// its replay log truncated mid-run.
+const ACK_POLL_EVERY: u64 = 4096;
+
+/// Drives `frames` snapshot frames from `sender` (peer 0) to `receiver`
+/// (peer 1) and decodes every body arena-direct.
+fn drive(
+    mut sender: Endpoint,
+    mut receiver: Endpoint,
+    frames: u64,
+    scope_n: usize,
+    counters: &Arc<NetCounters>,
+) -> SaturationReport {
+    let from = ActorId::new(0);
+    let to = ActorId::new(1);
+    let clock: Vec<u64> = (0..scope_n as u64).collect();
+    let start = Instant::now();
+    let pump = std::thread::spawn(move || {
+        for i in 0..frames {
+            sender.send(
+                1,
+                from,
+                to,
+                Payload::Detect(DetectMsg::VcSnapshot(VcSnapshot {
+                    interval: i,
+                    clock: VectorClock::from_components(clock.clone()),
+                })),
+            );
+            if i % ACK_POLL_EVERY == ACK_POLL_EVERY - 1 {
+                // Ingest returning acks so the replay log stays truncated.
+                while sender.recv(Duration::ZERO).is_some() {}
+            }
+        }
+        sender.flush_all();
+        sender
+    });
+
+    let mut buffer = SnapshotBuffer::new(scope_n);
+    let mut got = 0u64;
+    while got < frames {
+        let frame = receiver
+            .recv(Duration::from_secs(10))
+            .expect("saturation stream stalled");
+        assert_eq!(frame.kind(), kind::VC_SNAPSHOT);
+        buffer.push_le_bytes(frame.body());
+        got += 1;
+        // Consume the row the way the monitor's Figure 3 loop does.
+        buffer.pop();
+    }
+    let elapsed = start.elapsed();
+    let mut sender = pump.join().expect("sender thread");
+    // Drain any trailing acks, then tear both ends down.
+    while sender.recv(Duration::ZERO).is_some() {}
+    sender.close();
+    receiver.close();
+    let net = counters.snapshot();
+    SaturationReport {
+        frames,
+        bytes: net.bytes_received,
+        elapsed,
+        net,
+    }
+}
+
+/// Saturates one in-memory loopback link with `frames` snapshot frames of
+/// scope width `scope_n`; `batch` toggles send coalescing (the A/B knob).
+pub fn saturate_loopback(frames: u64, scope_n: usize, batch: bool) -> SaturationReport {
+    let counters = NetCounters::shared();
+    let pool = FramePool::shared(counters.clone());
+    let (tx0, rx0) = channel();
+    let (tx1, rx1) = channel();
+    let sender = Endpoint::new(
+        0,
+        vec![
+            None,
+            Some(Box::new(LoopbackTransport::new(tx1, pool.clone())) as Box<dyn Transport>),
+        ],
+        rx0,
+        counters.clone(),
+        Arc::new(NullRecorder),
+        4,
+        Duration::from_millis(1),
+        batch,
+    );
+    let receiver = Endpoint::new(
+        1,
+        vec![
+            Some(Box::new(LoopbackTransport::new(tx0, pool)) as Box<dyn Transport>),
+            None,
+        ],
+        rx1,
+        counters.clone(),
+        Arc::new(NullRecorder),
+        4,
+        Duration::from_millis(1),
+        batch,
+    );
+    drive(sender, receiver, frames, scope_n, &counters)
+}
+
+/// Saturates one real TCP link on localhost with `frames` snapshot frames
+/// of scope width `scope_n` (batched writes).
+pub fn saturate_tcp(frames: u64, scope_n: usize) -> SaturationReport {
+    let counters = NetCounters::shared();
+    let pool = FramePool::shared(counters.clone());
+    let listeners: Vec<TcpListener> = (0..2)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind localhost"))
+        .collect();
+    let addrs: Vec<_> = listeners
+        .iter()
+        .map(|l| l.local_addr().expect("listener addr"))
+        .collect();
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut inboxes = Vec::new();
+    let mut acceptors = Vec::new();
+    for listener in listeners {
+        let (tx, rx) = channel();
+        acceptors.push(spawn_listener(listener, tx, stop.clone(), pool.clone()));
+        inboxes.push(rx);
+    }
+    let mut inboxes = inboxes.into_iter();
+    let dial = |j: usize| {
+        Box::new(TcpTransport::connect(addrs[j], 8, Duration::from_millis(1)).expect("dial peer"))
+            as Box<dyn Transport>
+    };
+    let sender = Endpoint::new(
+        0,
+        vec![None, Some(dial(1))],
+        inboxes.next().expect("inbox"),
+        counters.clone(),
+        Arc::new(NullRecorder),
+        4,
+        Duration::from_millis(1),
+        true,
+    );
+    let receiver = Endpoint::new(
+        1,
+        vec![Some(dial(0)), None],
+        inboxes.next().expect("inbox"),
+        counters.clone(),
+        Arc::new(NullRecorder),
+        4,
+        Duration::from_millis(1),
+        true,
+    );
+    let report = drive(sender, receiver, frames, scope_n, &counters);
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    for a in acceptors {
+        let _ = a.join();
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loopback_saturation_delivers_every_frame_with_pooled_buffers() {
+        let report = saturate_loopback(2_000, 4, true);
+        assert_eq!(report.frames, 2_000);
+        assert!(report.net.frames_received >= 2_000);
+        assert!(
+            report.frames_per_flush() > 1.0,
+            "batching coalesced at least some frames: {:?}",
+            report.net
+        );
+        assert!(
+            report.net.pool_allocs < 200,
+            "steady state recycles buffers: {:?}",
+            report.net
+        );
+        assert!(report.net.acks_received > 0, "log truncation exercised");
+    }
+
+    #[test]
+    fn per_frame_mode_still_delivers_everything() {
+        let report = saturate_loopback(500, 4, false);
+        assert_eq!(report.frames, 500);
+        assert!((report.frames_per_flush() - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn tcp_saturation_roundtrips() {
+        let report = saturate_tcp(1_000, 4);
+        assert_eq!(report.frames, 1_000);
+        assert!(report.frames_per_flush() > 1.0);
+    }
+}

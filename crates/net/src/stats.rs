@@ -23,6 +23,21 @@ pub struct NetCounters {
     pub duplicates_dropped: AtomicU64,
     /// Frames that arrived ahead of a gap and were held for resequencing.
     pub reordered: AtomicU64,
+    /// Coalesced batch writes handed to transports.
+    pub batch_flushes: AtomicU64,
+    /// High-watermark: largest single batch flushed, in bytes.
+    pub max_batch_bytes: AtomicU64,
+    /// High-watermark: deepest in-order ready queue at any receiver (the
+    /// backpressure measure — how far a slow consumer fell behind).
+    pub max_ready_depth: AtomicU64,
+    /// Cumulative acknowledgements sent (not counted as `frames_sent`).
+    pub acks_sent: AtomicU64,
+    /// Cumulative acknowledgements received and applied to send logs.
+    pub acks_received: AtomicU64,
+    /// Fresh buffer allocations by the frame pool (free list empty).
+    pub pool_allocs: AtomicU64,
+    /// Buffer checkouts served by recycling a returned buffer.
+    pub pool_reuses: AtomicU64,
 }
 
 impl NetCounters {
@@ -42,6 +57,13 @@ impl NetCounters {
             reconnects: self.reconnects.load(Ordering::Relaxed),
             duplicates_dropped: self.duplicates_dropped.load(Ordering::Relaxed),
             reordered: self.reordered.load(Ordering::Relaxed),
+            batch_flushes: self.batch_flushes.load(Ordering::Relaxed),
+            max_batch_bytes: self.max_batch_bytes.load(Ordering::Relaxed),
+            max_ready_depth: self.max_ready_depth.load(Ordering::Relaxed),
+            acks_sent: self.acks_sent.load(Ordering::Relaxed),
+            acks_received: self.acks_received.load(Ordering::Relaxed),
+            pool_allocs: self.pool_allocs.load(Ordering::Relaxed),
+            pool_reuses: self.pool_reuses.load(Ordering::Relaxed),
         }
     }
 }
@@ -65,6 +87,20 @@ pub struct NetStats {
     pub duplicates_dropped: u64,
     /// Frames that arrived ahead of a gap and were held for resequencing.
     pub reordered: u64,
+    /// Coalesced batch writes handed to transports.
+    pub batch_flushes: u64,
+    /// High-watermark: largest single batch flushed, in bytes.
+    pub max_batch_bytes: u64,
+    /// High-watermark: deepest in-order ready queue at any receiver.
+    pub max_ready_depth: u64,
+    /// Cumulative acknowledgements sent (not counted as `frames_sent`).
+    pub acks_sent: u64,
+    /// Cumulative acknowledgements received and applied to send logs.
+    pub acks_received: u64,
+    /// Fresh buffer allocations by the frame pool (free list empty).
+    pub pool_allocs: u64,
+    /// Buffer checkouts served by recycling a returned buffer.
+    pub pool_reuses: u64,
 }
 
 impl std::fmt::Display for NetStats {
@@ -72,7 +108,9 @@ impl std::fmt::Display for NetStats {
         write!(
             f,
             "{} frames / {} B sent, {} frames / {} B received, \
-             {} retransmits, {} reconnects, {} dups dropped, {} reordered",
+             {} retransmits, {} reconnects, {} dups dropped, {} reordered, \
+             {} flushes (max {} B), ready depth ≤ {}, {} acks out / {} in, \
+             pool {} allocs / {} reuses",
             self.frames_sent,
             self.bytes_sent,
             self.frames_received,
@@ -80,7 +118,14 @@ impl std::fmt::Display for NetStats {
             self.retransmits,
             self.reconnects,
             self.duplicates_dropped,
-            self.reordered
+            self.reordered,
+            self.batch_flushes,
+            self.max_batch_bytes,
+            self.max_ready_depth,
+            self.acks_sent,
+            self.acks_received,
+            self.pool_allocs,
+            self.pool_reuses
         )
     }
 }

@@ -3,11 +3,16 @@
 //!
 //! A `Transport` value is the *outbound half of one directed link*: peer
 //! `i` holds one transport per remote peer `j`, and whatever the
-//! implementation, delivered frames surface on the destination peer's
-//! single inbox channel (fed directly by the loopback, or by a framed
-//! reader thread per accepted TCP connection).
+//! implementation, delivered bytes surface on the destination peer's
+//! single inbox channel as [`PooledBuf`] chunks of one or more complete
+//! frames (fed directly by the loopback, or by a framed reader thread per
+//! accepted TCP connection). Senders hand either single frames or
+//! coalesced batches ([`Transport::send_batch`]); the TCP transport turns
+//! a batch into one `write_all`, and the reader side keeps a persistent
+//! per-connection buffer that survives partial reads, so steady-state
+//! traffic allocates nothing per frame on either side.
 
-use std::io::{self, Write};
+use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::Sender;
@@ -15,12 +20,31 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crate::codec::read_frame;
+use crate::codec::frame_len_at;
+use crate::pool::{FramePool, PooledBuf};
 
 /// Outbound half of one directed peer-to-peer link.
 pub trait Transport: Send {
     /// Queues one encoded frame (length prefix included) for delivery.
     fn send(&mut self, frame: &[u8]) -> io::Result<()>;
+
+    /// Queues a batch of concatenated encoded frames for delivery.
+    ///
+    /// The default walks the length prefixes and sends each frame
+    /// individually — fault-injecting wrappers rely on this so their
+    /// per-frame decision streams are identical whether or not the sender
+    /// batches. Wire transports override it with one coalesced write.
+    fn send_batch(&mut self, batch: &[u8]) -> io::Result<()> {
+        let mut at = 0;
+        while at < batch.len() {
+            let len = frame_len_at(batch, at)
+                .filter(|len| at + len <= batch.len())
+                .ok_or_else(|| io::Error::from(io::ErrorKind::InvalidData))?;
+            self.send(&batch[at..at + len])?;
+            at += len;
+        }
+        Ok(())
+    }
 
     /// Retransmits a frame during fault recovery. Defaults to [`send`]
     /// (`Transport::send`); fault-injecting wrappers forward this straight
@@ -43,32 +67,49 @@ pub trait Transport: Send {
 }
 
 /// In-memory loopback: frames land directly on the destination peer's
-/// inbox channel.
+/// inbox channel, carried in pooled chunks.
 ///
 /// `inject_reset` marks the link broken so the *next* send fails once —
 /// this lets the endpoint's reconnect-and-replay recovery be exercised
 /// without sockets.
 #[derive(Debug)]
 pub struct LoopbackTransport {
-    tx: Sender<Vec<u8>>,
+    tx: Sender<PooledBuf>,
+    pool: Arc<FramePool>,
     broken: bool,
 }
 
 impl LoopbackTransport {
-    /// A loopback link delivering into `tx`.
-    pub fn new(tx: Sender<Vec<u8>>) -> Self {
-        LoopbackTransport { tx, broken: false }
+    /// A loopback link delivering into `tx`, staging chunks from `pool`.
+    pub fn new(tx: Sender<PooledBuf>, pool: Arc<FramePool>) -> Self {
+        LoopbackTransport {
+            tx,
+            pool,
+            broken: false,
+        }
+    }
+
+    fn deliver(&mut self, bytes: &[u8]) -> io::Result<()> {
+        if self.broken {
+            return Err(io::ErrorKind::ConnectionReset.into());
+        }
+        let mut chunk = self.pool.take();
+        chunk.extend_from_slice(bytes);
+        self.tx
+            .send(chunk)
+            .map_err(|_| io::ErrorKind::BrokenPipe.into())
     }
 }
 
 impl Transport for LoopbackTransport {
     fn send(&mut self, frame: &[u8]) -> io::Result<()> {
-        if self.broken {
-            return Err(io::ErrorKind::ConnectionReset.into());
-        }
-        self.tx
-            .send(frame.to_vec())
-            .map_err(|_| io::ErrorKind::BrokenPipe.into())
+        self.deliver(frame)
+    }
+
+    fn send_batch(&mut self, batch: &[u8]) -> io::Result<()> {
+        // One chunk, one channel send for the whole batch — the loopback
+        // analogue of a single coalesced syscall.
+        self.deliver(batch)
     }
 
     fn reconnect(&mut self) -> io::Result<()> {
@@ -122,15 +163,24 @@ impl TcpTransport {
             }
         }
     }
-}
 
-impl Transport for TcpTransport {
-    fn send(&mut self, frame: &[u8]) -> io::Result<()> {
+    fn write(&mut self, bytes: &[u8]) -> io::Result<()> {
         let stream = self
             .stream
             .as_mut()
             .ok_or_else(|| io::Error::from(io::ErrorKind::NotConnected))?;
-        stream.write_all(frame)
+        stream.write_all(bytes)
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&mut self, frame: &[u8]) -> io::Result<()> {
+        self.write(frame)
+    }
+
+    fn send_batch(&mut self, batch: &[u8]) -> io::Result<()> {
+        // One write_all — N frames, one syscall (modulo short writes).
+        self.write(batch)
     }
 
     fn reconnect(&mut self) -> io::Result<()> {
@@ -153,12 +203,14 @@ impl Transport for TcpTransport {
 }
 
 /// Accept loop for one peer's listening socket: every accepted connection
-/// gets a detached framed-reader thread that forwards raw frames to
-/// `inbox`. Returns the acceptor's join handle; set `stop` to end it.
+/// gets a detached framed-reader thread that forwards complete-frame
+/// chunks to `inbox`. Returns the acceptor's join handle; set `stop` to
+/// end it.
 pub fn spawn_listener(
     listener: TcpListener,
-    inbox: Sender<Vec<u8>>,
+    inbox: Sender<PooledBuf>,
     stop: Arc<AtomicBool>,
+    pool: Arc<FramePool>,
 ) -> JoinHandle<()> {
     listener
         .set_nonblocking(true)
@@ -170,10 +222,11 @@ pub fn spawn_listener(
                     stream.set_nonblocking(false).ok();
                     stream.set_nodelay(true).ok();
                     let inbox = inbox.clone();
+                    let pool = pool.clone();
                     // Reader threads are detached: they exit on EOF when the
                     // remote closes (or errors), which graceful shutdown
                     // guarantees.
-                    std::thread::spawn(move || read_loop(stream, &inbox));
+                    std::thread::spawn(move || read_loop(stream, &inbox, &pool));
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                     std::thread::sleep(Duration::from_millis(1));
@@ -184,12 +237,45 @@ pub fn spawn_listener(
     })
 }
 
-/// Framed read loop: forwards each length-prefixed frame to the inbox
-/// until EOF, error, or the receiving endpoint is gone.
-fn read_loop(mut stream: TcpStream, inbox: &Sender<Vec<u8>>) {
-    while let Ok(Some(frame)) = read_frame(&mut stream) {
-        if inbox.send(frame).is_err() {
-            break;
+/// Initial size of a connection's persistent read buffer; doubled while a
+/// single frame exceeds the remaining space.
+const READ_BUF: usize = 64 * 1024;
+
+/// Framed read loop with a persistent per-connection buffer: each wakeup
+/// reads whatever the socket has, extracts the maximal prefix of complete
+/// frames into one pooled chunk, and keeps any partial frame's bytes for
+/// the next read — no per-frame allocation, frames may straddle reads and
+/// batches arbitrarily.
+fn read_loop(mut stream: TcpStream, inbox: &Sender<PooledBuf>, pool: &Arc<FramePool>) {
+    let mut buf = vec![0u8; READ_BUF];
+    let mut filled = 0usize;
+    loop {
+        if filled == buf.len() {
+            // A single frame larger than the buffer: grow until it fits.
+            buf.resize(buf.len() * 2, 0);
+        }
+        let n = match stream.read(&mut buf[filled..]) {
+            Ok(0) => return, // EOF
+            Ok(n) => n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return,
+        };
+        filled += n;
+        let mut end = 0usize;
+        while let Some(len) = frame_len_at(&buf[..filled], end) {
+            if end + len > filled {
+                break;
+            }
+            end += len;
+        }
+        if end > 0 {
+            let mut chunk = pool.take();
+            chunk.extend_from_slice(&buf[..end]);
+            if inbox.send(chunk).is_err() {
+                return; // receiving endpoint is gone
+            }
+            buf.copy_within(end..filled, 0);
+            filled -= end;
         }
     }
 }
@@ -197,8 +283,10 @@ fn read_loop(mut stream: TcpStream, inbox: &Sender<Vec<u8>>) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::codec::{decode_frame, encode_frame, Frame, Payload};
-    use std::sync::mpsc::channel;
+    use crate::codec::{decode_frame, encode_frame, encode_frame_into, Frame, Payload};
+    use crate::stats::NetCounters;
+    use std::sync::mpsc::{channel, Receiver};
+
     use wcp_sim::ActorId;
 
     fn frame(seq: u64) -> Frame {
@@ -211,17 +299,51 @@ mod tests {
         }
     }
 
+    fn pool() -> Arc<FramePool> {
+        FramePool::shared(NetCounters::shared())
+    }
+
+    /// Collects every complete frame out of the chunked inbox.
+    fn drain_frames(rx: &Receiver<PooledBuf>, want: usize) -> Vec<Frame> {
+        let mut frames = Vec::new();
+        while frames.len() < want {
+            let chunk = rx
+                .recv_timeout(Duration::from_secs(5))
+                .expect("chunk arrives");
+            let mut at = 0;
+            while at < chunk.len() {
+                let len = frame_len_at(&chunk, at).expect("whole frames per chunk");
+                frames.push(decode_frame(&chunk[at..at + len]).unwrap());
+                at += len;
+            }
+        }
+        frames
+    }
+
     #[test]
     fn loopback_delivers_and_recovers_from_reset() {
         let (tx, rx) = channel();
-        let mut t = LoopbackTransport::new(tx);
+        let mut t = LoopbackTransport::new(tx, pool());
         t.send(&encode_frame(&frame(0))).unwrap();
-        assert_eq!(decode_frame(&rx.recv().unwrap()).unwrap(), frame(0));
+        assert_eq!(drain_frames(&rx, 1), vec![frame(0)]);
         t.inject_reset();
         assert!(t.send(&encode_frame(&frame(1))).is_err());
         t.reconnect().unwrap();
         t.send(&encode_frame(&frame(1))).unwrap();
-        assert_eq!(decode_frame(&rx.recv().unwrap()).unwrap(), frame(1));
+        assert_eq!(drain_frames(&rx, 1), vec![frame(1)]);
+    }
+
+    #[test]
+    fn loopback_batch_arrives_as_one_chunk() {
+        let (tx, rx) = channel();
+        let mut t = LoopbackTransport::new(tx, pool());
+        let mut batch = Vec::new();
+        for seq in 0..5 {
+            encode_frame_into(&frame(seq), &mut batch);
+        }
+        t.send_batch(&batch).unwrap();
+        let chunk = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(&chunk[..], batch.as_slice(), "whole batch in one chunk");
     }
 
     #[test]
@@ -230,26 +352,32 @@ mod tests {
         let addr = listener.local_addr().unwrap();
         let (tx, rx) = channel();
         let stop = Arc::new(AtomicBool::new(false));
-        let acceptor = spawn_listener(listener, tx, stop.clone());
+        let acceptor = spawn_listener(listener, tx, stop.clone(), pool());
 
         let mut t = TcpTransport::connect(addr, 4, Duration::from_millis(1)).unwrap();
         for seq in 0..3 {
             t.send(&encode_frame(&frame(seq))).unwrap();
         }
-        for seq in 0..3 {
-            let raw = rx
-                .recv_timeout(Duration::from_secs(5))
-                .expect("frame arrives");
-            assert_eq!(decode_frame(&raw).unwrap(), frame(seq));
+        assert_eq!(
+            drain_frames(&rx, 3),
+            vec![frame(0), frame(1), frame(2)],
+            "frames survive arbitrary read chunking"
+        );
+
+        // A coalesced batch decodes identically.
+        let mut batch = Vec::new();
+        for seq in 10..13 {
+            encode_frame_into(&frame(seq), &mut batch);
         }
+        t.send_batch(&batch).unwrap();
+        assert_eq!(drain_frames(&rx, 3), vec![frame(10), frame(11), frame(12)]);
 
         // Reset tears the stream; reconnect dials a fresh one.
         t.inject_reset();
         assert!(t.send(&encode_frame(&frame(3))).is_err());
         t.reconnect().unwrap();
         t.send(&encode_frame(&frame(3))).unwrap();
-        let raw = rx.recv_timeout(Duration::from_secs(5)).unwrap();
-        assert_eq!(decode_frame(&raw).unwrap(), frame(3));
+        assert_eq!(drain_frames(&rx, 1), vec![frame(3)]);
 
         t.close();
         stop.store(true, Ordering::Relaxed);

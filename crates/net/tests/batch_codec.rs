@@ -1,0 +1,247 @@
+//! Property tests for the batched wire format: a batch is *defined* as the
+//! concatenation of individually encoded frames, so any reassembly of the
+//! byte stream — split at every possible byte boundary — must decode to
+//! exactly the frame sequence the unbatched codec produces. The same holds
+//! end to end: a TCP reader fed the batch in arbitrary dribbles, and a
+//! batching endpoint versus a per-frame endpoint, all deliver identical
+//! frame sequences.
+
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::channel;
+use std::sync::Arc;
+use std::time::Duration;
+
+use wcp_clocks::VectorClock;
+use wcp_detect::online::{ClockTag, DetectMsg};
+use wcp_detect::VcSnapshot;
+use wcp_net::codec::{decode_frame, encode_frame, frame_len_at};
+use wcp_net::{
+    spawn_listener, Endpoint, Frame, FramePool, LoopbackTransport, NetCounters, Payload, Transport,
+};
+use wcp_obs::NullRecorder;
+use wcp_sim::ActorId;
+use wcp_trace::MsgId;
+
+/// A mixed bag of payloads covering every batching class: bulk app
+/// traffic, bulk snapshots, and immediate control frames.
+fn sample_frames() -> Vec<Frame> {
+    let mut frames = Vec::new();
+    let mut payloads: Vec<Payload> = Vec::new();
+    for i in 0..4u64 {
+        payloads.push(Payload::Detect(DetectMsg::App {
+            msg: MsgId::new(i),
+            tag: ClockTag::Scalar(i),
+        }));
+        payloads.push(Payload::Detect(DetectMsg::VcSnapshot(VcSnapshot {
+            interval: i,
+            clock: VectorClock::from_components(vec![i, 2 * i + 1, 7]),
+        })));
+    }
+    payloads.push(Payload::Detect(DetectMsg::DdToken));
+    payloads.push(Payload::Detect(DetectMsg::EndOfTrace));
+    payloads.push(Payload::Verdict(None));
+    payloads.push(Payload::Shutdown);
+    for (seq, payload) in payloads.into_iter().enumerate() {
+        frames.push(Frame {
+            peer: 2,
+            from: ActorId::new(5),
+            to: ActorId::new(9),
+            seq: seq as u64,
+            payload,
+        });
+    }
+    frames
+}
+
+/// The persistent-read-buffer contract, expressed via the public codec
+/// only: consume the maximal prefix of complete frames, keep the rest.
+fn drain_complete(buf: &mut Vec<u8>) -> Vec<Frame> {
+    let mut out = Vec::new();
+    let mut at = 0;
+    while let Some(len) = frame_len_at(buf, at).filter(|len| at + len <= buf.len()) {
+        out.push(decode_frame(&buf[at..at + len]).expect("complete frame decodes"));
+        at += len;
+    }
+    buf.drain(..at);
+    out
+}
+
+#[test]
+fn batch_split_at_every_byte_boundary_decodes_like_the_unbatched_codec() {
+    let frames = sample_frames();
+    let batch: Vec<u8> = frames.iter().flat_map(encode_frame).collect();
+    for split in 0..=batch.len() {
+        let mut pending = batch[..split].to_vec();
+        let mut decoded = drain_complete(&mut pending);
+        // Whatever the split holds back must be a strict prefix of one
+        // frame — never something the walker misparses.
+        assert!(
+            frame_len_at(&pending, 0).is_none_or(|len| len > pending.len()),
+            "split {split}: leftover parsed as complete"
+        );
+        pending.extend_from_slice(&batch[split..]);
+        decoded.extend(drain_complete(&mut pending));
+        assert!(pending.is_empty(), "split {split}: bytes left over");
+        assert_eq!(decoded, frames, "split {split}: decode diverged");
+    }
+}
+
+#[test]
+fn tcp_reader_fed_arbitrary_dribbles_reassembles_the_exact_frame_stream() {
+    let frames = sample_frames();
+    let batch: Vec<u8> = frames.iter().flat_map(encode_frame).collect();
+
+    let counters = NetCounters::shared();
+    let pool = FramePool::shared(counters.clone());
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = channel();
+    let handle = spawn_listener(listener, tx, stop.clone(), pool);
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.set_nodelay(true).unwrap();
+    // Irregular write sizes (1, 2, 3, ... bytes) guarantee frames straddle
+    // writes; TCP may merge them further, splitting reads anywhere.
+    let mut at = 0;
+    let mut step = 1;
+    while at < batch.len() {
+        let end = (at + step).min(batch.len());
+        stream.write_all(&batch[at..end]).unwrap();
+        stream.flush().unwrap();
+        at = end;
+        step = step % 7 + 1;
+    }
+    drop(stream);
+
+    let mut received = Vec::new();
+    while received.len() < batch.len() {
+        let chunk = rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("reader delivered all bytes");
+        // Each delivered chunk must hold only whole frames.
+        let mut copy = chunk.to_vec();
+        let in_chunk = drain_complete(&mut copy);
+        assert!(
+            !in_chunk.is_empty() && copy.is_empty(),
+            "partial frame leaked"
+        );
+        received.extend_from_slice(&chunk);
+    }
+    stop.store(true, Ordering::Relaxed);
+    handle.join().unwrap();
+
+    assert_eq!(received, batch, "byte stream mutated in flight");
+    let mut all = received;
+    assert_eq!(drain_complete(&mut all), frames);
+}
+
+/// A connected endpoint pair over loopback with its own counter block.
+fn endpoint_pair(batch: bool) -> (Endpoint, Endpoint, Arc<NetCounters>) {
+    let (tx0, rx0) = channel();
+    let (tx1, rx1) = channel();
+    let counters = NetCounters::shared();
+    let pool = FramePool::shared(counters.clone());
+    let mk = |me: u32, tx: std::sync::mpsc::Sender<wcp_net::PooledBuf>, rx| {
+        Endpoint::new(
+            me,
+            vec![
+                None,
+                Some(Box::new(LoopbackTransport::new(tx, pool.clone())) as Box<dyn Transport>),
+            ],
+            rx,
+            counters.clone(),
+            Arc::new(NullRecorder),
+            4,
+            Duration::from_millis(1),
+            batch,
+        )
+    };
+    let e0 = mk(0, tx1, rx0);
+    let e1 = mk(1, tx0, rx1);
+    (e0, e1, counters)
+}
+
+/// Drives `traffic` payloads through a fresh pair and returns the
+/// delivered `(seq, frame)` sequence plus the pair's counters.
+fn deliver_all(batch: bool) -> (Vec<Frame>, Arc<NetCounters>) {
+    let (mut sender, mut receiver, counters) = endpoint_pair(batch);
+    let a = ActorId::new(0);
+    let total = {
+        let frames = sample_frames();
+        for f in &frames {
+            sender.send(1, a, a, f.payload.clone());
+        }
+        frames.len()
+    };
+    sender.flush_all();
+    let mut got = Vec::new();
+    while got.len() < total {
+        let raw = receiver
+            .recv(Duration::from_secs(10))
+            .expect("all frames delivered");
+        got.push(raw.to_frame());
+    }
+    sender.close();
+    receiver.close();
+    (got, counters)
+}
+
+#[test]
+fn batched_and_per_frame_endpoints_deliver_identical_frame_sequences() {
+    let (batched, batched_counters) = deliver_all(true);
+    let (per_frame, per_frame_counters) = deliver_all(false);
+    assert_eq!(batched, per_frame, "wire mode changed delivered frames");
+
+    let b = batched_counters.snapshot();
+    let p = per_frame_counters.snapshot();
+    assert_eq!(b.frames_sent, p.frames_sent);
+    assert_eq!(b.bytes_sent, p.bytes_sent, "batching must not change bytes");
+    assert!(
+        b.batch_flushes < b.frames_sent,
+        "batched mode never coalesced ({} flushes / {} frames)",
+        b.batch_flushes,
+        b.frames_sent
+    );
+    assert_eq!(
+        p.batch_flushes, p.frames_sent,
+        "per-frame mode must write once per frame"
+    );
+}
+
+#[test]
+fn steady_state_traffic_recycles_pooled_buffers() {
+    let (mut sender, mut receiver, counters) = endpoint_pair(true);
+    let a = ActorId::new(0);
+    let rounds = 200u64;
+    for i in 0..rounds {
+        sender.send(
+            1,
+            a,
+            a,
+            Payload::Detect(DetectMsg::App {
+                msg: MsgId::new(i),
+                tag: ClockTag::Scalar(i),
+            }),
+        );
+        // Flush every round so buffers cycle through the pool rather than
+        // accumulating in one giant batch.
+        sender.flush_all();
+        let raw = receiver.recv(Duration::from_secs(10)).expect("delivered");
+        assert_eq!(raw.seq(), i);
+    }
+    let stats = counters.snapshot();
+    assert!(
+        stats.pool_reuses > stats.pool_allocs,
+        "pool mostly recycles in steady state (allocs {}, reuses {})",
+        stats.pool_allocs,
+        stats.pool_reuses
+    );
+    assert!(
+        stats.pool_allocs < rounds / 4,
+        "allocations should be a small working set, got {}",
+        stats.pool_allocs
+    );
+}

@@ -150,6 +150,47 @@ fn loopback_survives_drops_and_resets_via_recovery() {
 }
 
 #[test]
+fn wire_mode_never_changes_the_verdict_under_faults() {
+    // Batched (default) and per-frame writes must be indistinguishable at
+    // the verdict level, even under an injected fault schedule: the
+    // fault layer draws one decision per frame regardless of how frames
+    // are grouped into writes, so both modes consume the same schedule.
+    for seed in 0..3u64 {
+        let computation = workload(seed);
+        let wcp = Wcp::over_first(3);
+        let sim = run_vc_token(&computation, &wcp, SimConfig::seeded(1));
+        let faults = FaultConfig::delay_duplicate_reorder(seed);
+        let batched = run_vc_token_net(
+            &computation,
+            &wcp,
+            NetConfig::loopback()
+                .with_faults(faults.clone())
+                .with_deadline(deadline()),
+        );
+        let per_frame = run_vc_token_net(
+            &computation,
+            &wcp,
+            NetConfig::loopback()
+                .with_per_frame_writes()
+                .with_faults(faults)
+                .with_deadline(deadline()),
+        );
+        assert_eq!(
+            batched.report.detection, sim.report.detection,
+            "seed {seed}"
+        );
+        assert_eq!(
+            per_frame.report.detection, sim.report.detection,
+            "seed {seed}: per-frame path diverged"
+        );
+        assert!(
+            batched.net.batch_flushes < batched.net.frames_sent,
+            "seed {seed}: batched run never coalesced"
+        );
+    }
+}
+
+#[test]
 fn faulty_runs_actually_exercise_the_fault_machinery() {
     // Guard against a silently quiet schedule making the fault tests
     // vacuous: over a few seeds, the delay+duplicate+reorder schedule must

@@ -212,6 +212,16 @@ pub enum TraceEvent {
         /// Reconnect attempt number (1 = first redial).
         attempt: u64,
     },
+    /// Transport-level (emitted by `wcp-net`): a link's outbound batch was
+    /// handed to the transport in one coalesced write.
+    BatchFlushed {
+        /// Destination peer index.
+        to: u32,
+        /// Number of frames coalesced into the write.
+        frames: u64,
+        /// Total bytes of the batch (headers included).
+        bytes: u64,
+    },
 }
 
 impl TraceEvent {
@@ -239,6 +249,7 @@ impl TraceEvent {
             TraceEvent::FrameReceived { .. } => "FrameReceived",
             TraceEvent::Retransmit { .. } => "Retransmit",
             TraceEvent::Reconnect { .. } => "Reconnect",
+            TraceEvent::BatchFlushed { .. } => "BatchFlushed",
         }
     }
 }
@@ -322,6 +333,11 @@ impl ToJson for TraceEvent {
             TraceEvent::Reconnect { peer, attempt } => {
                 Json::obj([("peer", (*peer).into()), ("attempt", (*attempt).into())])
             }
+            TraceEvent::BatchFlushed { to, frames, bytes } => Json::obj([
+                ("to", (*to).into()),
+                ("frames", (*frames).into()),
+                ("bytes", (*bytes).into()),
+            ]),
         };
         Json::Obj(vec![(self.kind().to_string(), payload)])
     }
@@ -419,6 +435,11 @@ impl FromJson for TraceEvent {
             "Reconnect" => TraceEvent::Reconnect {
                 peer: u32f("peer")?,
                 attempt: u64f("attempt")?,
+            },
+            "BatchFlushed" => TraceEvent::BatchFlushed {
+                to: u32f("to")?,
+                frames: u64f("frames")?,
+                bytes: u64f("bytes")?,
             },
             other => {
                 return Err(JsonError::shape(format!("unknown event kind `{other}`")));
@@ -529,6 +550,11 @@ mod tests {
             TraceEvent::Reconnect {
                 peer: 3,
                 attempt: 2,
+            },
+            TraceEvent::BatchFlushed {
+                to: 1,
+                frames: 12,
+                bytes: 480,
             },
         ]
     }

@@ -59,6 +59,8 @@ pub struct RunReport {
     pub net_retransmits: u64,
     /// Connections re-established after a reset.
     pub net_reconnects: u64,
+    /// Coalesced batch writes handed to transports (transport runs only).
+    pub net_batch_flushes: u64,
 }
 
 impl RunReport {
@@ -133,6 +135,7 @@ impl RunReport {
                 TraceEvent::FrameReceived { bytes, .. } => report.net_bytes_received += bytes,
                 TraceEvent::Retransmit { .. } => report.net_retransmits += 1,
                 TraceEvent::Reconnect { .. } => report.net_reconnects += 1,
+                TraceEvent::BatchFlushed { .. } => report.net_batch_flushes += 1,
             }
         }
         report

@@ -7,6 +7,11 @@
 #   LABEL     entry label (default: current)
 #   OUT.json  trajectory file (default: BENCH_wcp.json)
 #
+# Each entry also records the wire-stack saturation numbers (frames/sec,
+# allocs/frame, frames/write for batched vs per-frame loopback and TCP);
+# e.g. `scripts/bench.sh net-batch` captures the batched-transport entry
+# that docs/performance.md quotes.
+#
 # This is informational tooling, NOT part of tier-1 verification
 # (scripts/verify.sh); timings are machine-dependent and must never
 # gate a build.

@@ -23,7 +23,10 @@ cargo test --workspace --offline -q
 echo "== fuzz smoke campaign (fixed seed, bounded) =="
 # Differential conformance sweep: every detector family cross-checked on
 # 50 seeded cases; exits nonzero (failing this script) on any divergence.
-./target/release/wcp fuzz --seed 1 --cases 50 --shrink
+# --net-batch forces every net case onto the batched (coalesced-write)
+# data path so the smoke run always exercises it; the nightly campaign
+# (scripts/nightly-fuzz.sh) fuzzes both wire modes.
+./target/release/wcp fuzz --seed 1 --cases 50 --shrink --net-batch
 
 echo "== fuzz corpus replay + schema drift guard =="
 # Every pinned repro in tests/corpus/ must still parse and replay clean;
