@@ -13,7 +13,16 @@ pub struct Args {
 }
 
 /// Flags that take no value.
-const SWITCHES: &[&str] = &["diagram", "json", "dot", "shrink", "no-net", "net-batch"];
+const SWITCHES: &[&str] = &[
+    "diagram",
+    "json",
+    "dot",
+    "shrink",
+    "no-net",
+    "net-batch",
+    "audit-bounds",
+    "telemetry",
+];
 
 impl Args {
     /// Parses raw arguments.

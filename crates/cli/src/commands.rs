@@ -3,7 +3,9 @@
 //! processes.
 
 use std::fs;
+use std::io::Write as _;
 use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -11,11 +13,13 @@ use wcp_clocks::ProcessId;
 use wcp_detect::lower_bound::run_optimal_algorithm;
 use wcp_detect::online::{run_direct, run_direct_recorded, run_vc_token, run_vc_token_recorded};
 use wcp_detect::{
-    CentralizedChecker, ChannelPredicate, ChannelTerm, Detection, DetectionReport, Detector,
-    DirectDependenceDetector, Gcp, GcpChecker, LatticeDetector, MultiTokenDetector, TokenDetector,
+    audit_bounds, BoundLimits, CentralizedChecker, ChannelPredicate, ChannelTerm, Detection,
+    DetectionReport, Detector, DirectDependenceDetector, Gcp, GcpChecker, LatticeDetector,
+    MultiTokenDetector, TokenDetector,
 };
 use wcp_net::{
-    run_direct_net, run_vc_token_net, serve_vc_peer, NetConfig, NetReport, TransportKind,
+    run_direct_net, run_vc_token_net, run_vc_token_net_observed, run_vc_token_net_recorded,
+    serve_vc_peer, serve_vc_peer_observed, NetConfig, NetReport, TelemetryCollector, TransportKind,
 };
 use wcp_obs::json::{FromJson, Json, ToJson};
 use wcp_obs::{jsonl, NullRecorder, Recorder, RingRecorder, RunReport};
@@ -333,6 +337,39 @@ pub fn stats(raw: &[String]) -> Result<String, CliError> {
             .time
             .0
     });
+    // Wire section: the same token run over the in-process loopback
+    // transport, surfacing the transport-layer counters the simulator has
+    // no notion of — batch coalescing, ready-queue watermark, buffer-pool
+    // reuse.
+    let net = run_vc_token_net_recorded(
+        &computation,
+        &wcp,
+        NetConfig::loopback(),
+        Arc::new(NullRecorder),
+    )
+    .net;
+    out.push_str("== wire transport (loopback, batched writes) ==\n");
+    out.push_str(&format!(
+        "frames        : {} sent ({} B) / {} received ({} B)\n",
+        net.frames_sent, net.bytes_sent, net.frames_received, net.bytes_received
+    ));
+    out.push_str(&format!(
+        "recovery      : {} retransmits, {} reconnects, {} dups dropped, {} reordered\n",
+        net.retransmits, net.reconnects, net.duplicates_dropped, net.reordered
+    ));
+    out.push_str(&format!(
+        "batch flushes : {} (max batch {} B)\n",
+        net.batch_flushes, net.max_batch_bytes
+    ));
+    out.push_str(&format!("ready depth   : ≤ {}\n", net.max_ready_depth));
+    out.push_str(&format!(
+        "buffer pool   : {} allocs / {} reuses\n",
+        net.pool_allocs, net.pool_reuses
+    ));
+    out.push_str(&format!(
+        "acks          : {} out / {} in\n",
+        net.acks_sent, net.acks_received
+    ));
     Ok(out.trim_end().to_string() + "\n")
 }
 
@@ -525,14 +562,9 @@ pub fn net_demo(raw: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
-/// `wcp serve` — run one peer of a vector-clock token detection as a
-/// standalone process, connected to the other peers over TCP. Every peer
-/// must be started with the same trace, scope and address list.
-pub fn serve(raw: &[String]) -> Result<String, CliError> {
-    let args = Args::parse(raw)?;
-    let path = args.require_positional(0, "FILE")?;
-    let computation = load(path)?;
-    let wcp = parse_scope(&args, &computation)?;
+/// Parses `--peer I --addrs HOST:PORT,...` against a scope of `n`
+/// processes (shared by `serve`, `top` and `obs-report`).
+fn parse_peer_addrs(args: &Args, n: usize) -> Result<(usize, Vec<SocketAddr>), CliError> {
     let peer: usize = args.require("peer")?;
     let addrs_raw = args
         .get("addrs")
@@ -545,28 +577,53 @@ pub fn serve(raw: &[String]) -> Result<String, CliError> {
                 .map_err(|_| CliError::usage(format!("--addrs: bad address `{a}`")))
         })
         .collect::<Result<Vec<_>, CliError>>()?;
-    if addrs.len() != wcp.n() {
+    if addrs.len() != n {
         return Err(CliError::usage(format!(
-            "--addrs: {} addresses for a scope of {} processes",
+            "--addrs: {} addresses for a scope of {n} processes",
             addrs.len(),
-            wcp.n()
         )));
     }
-    if peer >= wcp.n() {
+    if peer >= n {
         return Err(CliError::usage(format!(
-            "--peer: {peer} out of range (scope has {} processes)",
-            wcp.n()
+            "--peer: {peer} out of range (scope has {n} processes)"
         )));
     }
+    Ok((peer, addrs))
+}
+
+/// `wcp serve` — run one peer of a vector-clock token detection as a
+/// standalone process, connected to the other peers over TCP. Every peer
+/// must be started with the same trace, scope and address list. With
+/// `--telemetry` the peer also runs the sidecar telemetry channel: it
+/// streams its ring deltas to peer 0, and peer 0 (the collector) prints
+/// the merged cross-peer summary.
+pub fn serve(raw: &[String]) -> Result<String, CliError> {
+    let args = Args::parse(raw)?;
+    let path = args.require_positional(0, "FILE")?;
+    let computation = load(path)?;
+    let wcp = parse_scope(&args, &computation)?;
+    let (peer, addrs) = parse_peer_addrs(&args, wcp.n())?;
     let config = NetConfig::tcp().with_deadline(Duration::from_secs(args.get_or("deadline", 60)?));
-    let report = serve_vc_peer(
-        &computation,
-        &wcp,
-        peer,
-        &addrs,
-        config,
-        Arc::new(NullRecorder),
-    );
+    let telemetry = args.switch("telemetry").then(TelemetryCollector::shared);
+    let report = match &telemetry {
+        Some(collector) => serve_vc_peer_observed(
+            &computation,
+            &wcp,
+            peer,
+            &addrs,
+            config,
+            Arc::new(NullRecorder),
+            collector.clone(),
+        ),
+        None => serve_vc_peer(
+            &computation,
+            &wcp,
+            peer,
+            &addrs,
+            config,
+            Arc::new(NullRecorder),
+        ),
+    };
     let mut out = format!(
         "peer {peer}/{} listening on {}\npredicate: {wcp}\n",
         wcp.n(),
@@ -579,6 +636,185 @@ pub fn serve(raw: &[String]) -> Result<String, CliError> {
         }
     }
     out.push_str(&format!("wire: {}\n", report.net));
+    if let Some(collector) = telemetry {
+        out.push_str(&format!(
+            "telemetry: {} events from {} sources ({} malformed deltas)\n",
+            collector.events_collected(),
+            collector.source_stats().len(),
+            collector.malformed()
+        ));
+    }
+    Ok(out)
+}
+
+fn parse_transport(args: &Args) -> Result<(TransportKind, &'static str), CliError> {
+    match args.get("transport").unwrap_or("loopback") {
+        "tcp" => Ok((TransportKind::Tcp, "tcp (localhost sockets)")),
+        "loopback" => Ok((TransportKind::Loopback, "loopback (in-memory)")),
+        other => Err(CliError::usage(format!(
+            "--transport: `{other}` (want tcp|loopback)"
+        ))),
+    }
+}
+
+/// Spawns the observed detection for `top`/`obs-report` on a worker
+/// thread and returns `(title, join handle)`. With `--peer`/`--addrs`
+/// the run is one standalone TCP peer of a `wcp serve` session;
+/// otherwise all peers run in-process over `--transport`.
+fn spawn_observed(
+    args: &Args,
+    path: &str,
+    computation: &Computation,
+    wcp: &Wcp,
+    collector: &Arc<TelemetryCollector>,
+    done: &Arc<AtomicBool>,
+) -> Result<(String, std::thread::JoinHandle<Detection>), CliError> {
+    let deadline = Duration::from_secs(args.get_or("deadline", 60)?);
+    let computation = computation.clone();
+    let wcp = wcp.clone();
+    let collector = collector.clone();
+    let done = done.clone();
+    if args.get("peer").is_some() {
+        let (peer, addrs) = parse_peer_addrs(args, wcp.n())?;
+        let title = format!("{path} — tcp peer {peer}/{}", wcp.n());
+        let handle = std::thread::spawn(move || {
+            let report = serve_vc_peer_observed(
+                &computation,
+                &wcp,
+                peer,
+                &addrs,
+                NetConfig::tcp().with_deadline(deadline),
+                Arc::new(NullRecorder),
+                collector,
+            );
+            done.store(true, Ordering::Relaxed);
+            report.detection
+        });
+        Ok((title, handle))
+    } else {
+        let (transport, name) = parse_transport(args)?;
+        let title = format!("{path} — {name}");
+        let config = NetConfig {
+            transport,
+            ..NetConfig::default()
+        }
+        .with_deadline(deadline);
+        let handle = std::thread::spawn(move || {
+            let report = run_vc_token_net_observed(
+                &computation,
+                &wcp,
+                config,
+                Arc::new(NullRecorder),
+                collector,
+            );
+            done.store(true, Ordering::Relaxed);
+            report.report.detection
+        });
+        Ok((title, handle))
+    }
+}
+
+/// `wcp top` — live telemetry dashboard: runs a vector-clock token
+/// detection with the sidecar telemetry plane on and refreshes the
+/// collector's merged view every `--interval-ms` until the run finishes
+/// (or `--frames` refreshes, whichever is first). In-process by default
+/// (`--transport tcp|loopback`); with `--peer I --addrs ...` it joins a
+/// real `wcp serve` session as one standalone peer — run it as peer 0 to
+/// watch every peer's telemetry converge on the collector.
+pub fn top(raw: &[String]) -> Result<String, CliError> {
+    let args = Args::parse(raw)?;
+    top_with_sink(&args, &mut |frame| {
+        // ANSI clear + home so successive frames repaint in place.
+        print!("\x1b[2J\x1b[H{frame}");
+        let _ = std::io::stdout().flush();
+    })
+}
+
+/// [`top`] with the intermediate frames routed to `sink` (tests collect
+/// them instead of painting a terminal); the returned string is the final
+/// frame plus a footer.
+fn top_with_sink(args: &Args, sink: &mut dyn FnMut(&str)) -> Result<String, CliError> {
+    let path = args.require_positional(0, "FILE")?;
+    let computation = load(path)?;
+    let wcp = parse_scope(args, &computation)?;
+    let interval = Duration::from_millis(args.get_or("interval-ms", 200)?);
+    let max_frames: usize = args.get_or("frames", 100)?;
+
+    let collector = TelemetryCollector::shared();
+    let done = Arc::new(AtomicBool::new(false));
+    let (title, handle) = spawn_observed(args, path, &computation, &wcp, &collector, &done)?;
+
+    let mut frames = 0usize;
+    while frames < max_frames && !done.load(Ordering::Relaxed) {
+        std::thread::sleep(interval);
+        sink(&collector.dashboard(&title));
+        frames += 1;
+    }
+    handle
+        .join()
+        .map_err(|_| CliError::runtime("detection thread panicked (peer deadline exceeded?)"))?;
+    let mut out = collector.dashboard(&title);
+    out.push_str(&format!(
+        "{} refreshes, {} events collected, {} malformed deltas\n",
+        frames + 1,
+        collector.events_collected(),
+        collector.malformed()
+    ));
+    Ok(out)
+}
+
+/// `wcp obs-report` — run a detection with the telemetry plane on, then
+/// print the collector's causally merged global timeline as the full
+/// [`RunReport`], the per-source wire counters, and the paper-bound audit
+/// (Section 3.4 message/bit/latency limits). `--events OUT.jsonl` also
+/// exports the merged timeline for replay tooling. Same run modes as
+/// `wcp top`: in-process by default, `--peer I --addrs ...` for a real
+/// TCP serve session.
+pub fn obs_report(raw: &[String]) -> Result<String, CliError> {
+    let args = Args::parse(raw)?;
+    let path = args.require_positional(0, "FILE")?;
+    let computation = load(path)?;
+    let wcp = parse_scope(&args, &computation)?;
+
+    let collector = TelemetryCollector::shared();
+    let done = Arc::new(AtomicBool::new(false));
+    let (title, handle) = spawn_observed(&args, path, &computation, &wcp, &collector, &done)?;
+    let detection = handle
+        .join()
+        .map_err(|_| CliError::runtime("detection thread panicked (peer deadline exceeded?)"))?;
+
+    let merged = collector.merged();
+    let sources = collector.source_stats();
+    let mut out = format!("telemetry report — {title}\npredicate: {wcp}\n");
+    match &detection {
+        Detection::Detected { cut } => out.push_str(&format!("DETECTED at cut {cut}\n")),
+        Detection::Undetected => {
+            out.push_str("UNDETECTED: the predicate never held on a consistent cut\n")
+        }
+    }
+    out.push_str(&format!(
+        "merged timeline: {} events from {} sources ({} malformed deltas)\n",
+        merged.len(),
+        sources.len(),
+        collector.malformed()
+    ));
+    for (src, stats, events, deltas) in &sources {
+        out.push_str(&format!(
+            "  S{src}: {deltas} deltas, {events} events | {stats}\n"
+        ));
+    }
+    out.push('\n');
+    out.push_str(&RunReport::from_events(&merged).render());
+    out.push('\n');
+    let m1 = computation.max_events_per_process() as u64 + 1;
+    out.push_str(&audit_bounds(wcp.n(), m1, &merged, &BoundLimits::exact()).render());
+    if let Some(events_path) = args.get("events") {
+        fs::write(events_path, jsonl::to_string(&merged))?;
+        out.push_str(&format!(
+            "wrote {} merged events to {events_path}\n",
+            merged.len()
+        ));
+    }
     Ok(out)
 }
 
@@ -590,7 +826,9 @@ pub fn serve(raw: &[String]) -> Result<String, CliError> {
 /// `tests/corpus/` in the error output; `--shrink` first reduces each
 /// repro to its minimal form. `--no-net` skips the (slower) real-socket
 /// loopback stacks; `--net-batch` forces coalesced writes on every net
-/// run (by default each case draws batched or per-frame at random).
+/// run (by default each case draws batched or per-frame at random);
+/// `--audit-bounds` additionally audits every case's merged telemetry
+/// timeline against the paper's §3.4 message/bit/latency bounds.
 pub fn fuzz(raw: &[String]) -> Result<String, CliError> {
     let args = Args::parse(raw)?;
     let seed: u64 = args.get_or("seed", 1)?;
@@ -602,6 +840,7 @@ pub fn fuzz(raw: &[String]) -> Result<String, CliError> {
     config.shrink = args.switch("shrink");
     config.check.include_net = !args.switch("no-net");
     config.check.force_net_batch = args.switch("net-batch");
+    config.check.audit_bounds = args.switch("audit-bounds");
     let report = wcp_fuzz::run_campaign(&config);
     let mut out = report.summary_table();
     if report.bugs.is_empty() {
@@ -813,6 +1052,125 @@ mod tests {
         assert!(out.contains("queue delay"), "{out}");
         assert!(out.contains("detection latency:"), "{out}");
         assert!(out.contains("DETECTED"), "{out}");
+        // The wire section surfaces the transport-layer counters.
+        assert!(out.contains("wire transport"), "{out}");
+        assert!(out.contains("batch flushes"), "{out}");
+        assert!(out.contains("ready depth"), "{out}");
+        assert!(out.contains("buffer pool"), "{out}");
+    }
+
+    #[test]
+    fn top_streams_frames_and_reports_the_verdict() {
+        let path = generated_trace("top.json");
+        let args = Args::parse(&argv(&[&path, "--interval-ms", "20", "--frames", "500"])).unwrap();
+        let mut frames = Vec::new();
+        let out = top_with_sink(&args, &mut |f| frames.push(f.to_string())).unwrap();
+        // The final frame carries the merged dashboard and a settled verdict.
+        assert!(out.contains("wcp top"), "{out}");
+        assert!(out.contains("source | deltas"), "{out}");
+        assert!(out.contains("verdict: DETECTED"), "{out}");
+        assert!(out.contains("refreshes"), "{out}");
+        assert!(out.contains("malformed"), "{out}");
+        // Intermediate frames were streamed to the sink.
+        assert!(!frames.is_empty());
+        assert!(frames.iter().all(|f| f.contains("wcp top")));
+    }
+
+    #[test]
+    fn obs_report_renders_timeline_audit_and_jsonl_export() {
+        let path = generated_trace("obs_report.json");
+        let events_path = tmpfile("obs_report_events.jsonl");
+        let out = obs_report(&argv(&[&path, "--events", &events_path])).unwrap();
+        assert!(out.contains("telemetry report"), "{out}");
+        assert!(out.contains("merged timeline:"), "{out}");
+        assert!(out.contains("token timeline"), "{out}");
+        assert!(out.contains("paper-bound audit"), "{out}");
+        assert!(out.contains("token hops"), "{out}");
+        assert!(!out.contains("VIOLATED"), "{out}");
+        assert!(out.contains("DETECTED"), "{out}");
+        assert!(out.contains("wrote"), "{out}");
+        // The export replays as a JSONL event stream.
+        let events = jsonl::read_str(&fs::read_to_string(&events_path).unwrap()).unwrap();
+        assert!(!events.is_empty());
+    }
+
+    /// `wcp top` / `wcp obs-report` joined to a real TCP `wcp serve`
+    /// session: peer 0 watches (or reports) while peers 1 and 2 run
+    /// `serve --telemetry` and stream their deltas over the wire.
+    #[test]
+    fn top_and_obs_report_join_a_tcp_serve_session() {
+        for watcher in ["top", "obs-report"] {
+            let path = generated_trace(&format!("tcp_{watcher}.json"));
+            let ports: Vec<u16> = (0..3)
+                .map(|_| {
+                    std::net::TcpListener::bind("127.0.0.1:0")
+                        .unwrap()
+                        .local_addr()
+                        .unwrap()
+                        .port()
+                })
+                .collect();
+            let addrs = ports
+                .iter()
+                .map(|p| format!("127.0.0.1:{p}"))
+                .collect::<Vec<_>>()
+                .join(",");
+            let (watched, served): (String, Vec<String>) = std::thread::scope(|s| {
+                let watch = {
+                    let path = path.clone();
+                    let addrs = addrs.clone();
+                    s.spawn(move || {
+                        let base = [
+                            path.as_str(),
+                            "--scope",
+                            "0,1,2",
+                            "--peer",
+                            "0",
+                            "--addrs",
+                            &addrs,
+                        ];
+                        if watcher == "top" {
+                            let mut raw = argv(&base);
+                            raw.extend(argv(&["--interval-ms", "20", "--frames", "500"]));
+                            let args = Args::parse(&raw).unwrap();
+                            top_with_sink(&args, &mut |_| {}).unwrap()
+                        } else {
+                            obs_report(&argv(&base)).unwrap()
+                        }
+                    })
+                };
+                let peers: Vec<_> = (1..3)
+                    .map(|peer: usize| {
+                        let path = path.clone();
+                        let addrs = addrs.clone();
+                        s.spawn(move || {
+                            serve(&argv(&[
+                                &path,
+                                "--scope",
+                                "0,1,2",
+                                "--peer",
+                                &peer.to_string(),
+                                "--addrs",
+                                &addrs,
+                                "--telemetry",
+                            ]))
+                            .unwrap()
+                        })
+                    })
+                    .collect();
+                (
+                    watch.join().unwrap(),
+                    peers.into_iter().map(|h| h.join().unwrap()).collect(),
+                )
+            });
+            // Peer 0 collected telemetry from every peer in the session.
+            for src in ["S0", "S1", "S2"] {
+                assert!(watched.contains(src), "{watcher} missing {src}:\n{watched}");
+            }
+            for out in &served {
+                assert!(out.contains("telemetry:"), "{out}");
+            }
+        }
     }
 
     #[test]

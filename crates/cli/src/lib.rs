@@ -91,6 +91,8 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "lattice" => commands::lattice(rest),
         "trace" => commands::trace(rest),
         "stats" => commands::stats(rest),
+        "top" => commands::top(rest),
+        "obs-report" => commands::obs_report(rest),
         "net-demo" => commands::net_demo(rest),
         "fuzz" => commands::fuzz(rest),
         "serve" => commands::serve(rest),
@@ -118,11 +120,18 @@ USAGE:
   wcp trace FILE --events OUT.jsonl [--scope 0,1,2] [--algorithm ...]
             [--capacity K] [--json]
   wcp stats FILE [--scope 0,1,2] [--seed S] [--capacity K]
+  wcp top FILE [--scope 0,1,2] [--interval-ms MS] [--frames K]
+          [--transport tcp|loopback | --peer I --addrs HOST:PORT,...]
+          [--deadline SECS]
+  wcp obs-report FILE [--scope 0,1,2] [--events OUT.jsonl]
+             [--transport tcp|loopback | --peer I --addrs HOST:PORT,...]
+             [--deadline SECS]
   wcp net-demo FILE [--scope 0,1,2] [--algorithm token|direct]
                [--transport tcp|loopback] [--fault-seed S] [--drop P]
                [--delay P] [--duplicate P] [--reorder P] [--reset P] [--json]
   wcp serve FILE --peer I --addrs HOST:PORT,HOST:PORT,...
-            [--scope 0,1,2] [--deadline SECS]
+            [--scope 0,1,2] [--deadline SECS] [--telemetry]
   wcp fuzz [--seed S] [--cases K] [--shrink] [--no-net] [--net-batch]
+           [--audit-bounds]
   wcp bound --n N --m M
   wcp help";

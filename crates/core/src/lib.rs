@@ -58,6 +58,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 mod detector;
 pub mod gcp;
 pub mod lower_bound;
@@ -68,6 +69,7 @@ pub mod online;
 mod snapshot;
 mod streaming;
 
+pub use audit::{audit_bounds, BoundAudit, BoundLimits};
 pub use detector::{Detection, DetectionReport, Detector};
 pub use gcp::{ChannelPredicate, ChannelTerm, Gcp, GcpChecker};
 pub use meter::replay_metrics;

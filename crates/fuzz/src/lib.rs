@@ -87,6 +87,43 @@ mod tests {
         }
     }
 
+    /// The bound auditor passes on a healthy fixed-seed sweep: every
+    /// case's merged telemetry timeline stays within the §3.4 limits.
+    #[test]
+    fn bound_audit_is_clean_on_fixed_seed() {
+        let mut config = CampaignConfig::new(7, 15);
+        config.check.include_net = false;
+        config.check.audit_bounds = true;
+        let report = run_campaign(&config);
+        assert_eq!(
+            report.bugs.len(),
+            0,
+            "bound audit flagged a healthy run:\n{}",
+            report.summary_table()
+        );
+    }
+
+    /// The auditor's own self-test: with every limit sabotaged to zero,
+    /// the audit must flag (essentially) every case — an auditor that
+    /// stays silent under impossible limits is not checking anything.
+    #[test]
+    fn sabotaged_bounds_are_reported() {
+        let mut config = CampaignConfig::new(7, 10);
+        config.check.include_net = false;
+        config.check.sabotage_bounds = true;
+        let report = run_campaign(&config);
+        let bound_bugs = report
+            .bugs
+            .iter()
+            .flat_map(|b| &b.divergences)
+            .filter(|d| d.kind == DivergenceKind::Bounds)
+            .count();
+        assert!(
+            bound_bugs > 0,
+            "auditor reported nothing under zeroed limits"
+        );
+    }
+
     /// A healthy battery produces a clean campaign: no divergences on a
     /// fixed-seed sweep (net stacks off to keep unit tests fast; the
     /// integration smoke campaign in `scripts/verify.sh` covers them).

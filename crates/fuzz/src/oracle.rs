@@ -13,15 +13,17 @@ use std::panic::{self, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Duration;
 
-use wcp_detect::online::{run_checker, run_direct, run_multi_token, run_vc_token};
+use wcp_detect::online::{
+    run_checker, run_direct, run_multi_token, run_vc_token, run_vc_token_recorded,
+};
 use wcp_detect::{
-    replay_metrics, vc_snapshot_queues, CentralizedChecker, Detection, DetectionReport, Detector,
-    DirectDependenceDetector, HierarchicalChecker, LatticeDetector, MultiTokenDetector,
-    StreamingChecker, StreamingStatus, TokenDetector,
+    audit_bounds, replay_metrics, vc_snapshot_queues, BoundLimits, CentralizedChecker, Detection,
+    DetectionReport, Detector, DirectDependenceDetector, HierarchicalChecker, LatticeDetector,
+    MultiTokenDetector, StreamingChecker, StreamingStatus, TokenDetector,
 };
 use wcp_net::{run_direct_net, run_vc_token_net, NetConfig};
 use wcp_obs::rng::Rng;
-use wcp_obs::RingRecorder;
+use wcp_obs::{merge_streams, split_by_monitor, RingRecorder, StampedEvent};
 use wcp_sim::SimConfig;
 use wcp_trace::generate::generate;
 use wcp_trace::{AnnotatedComputation, Wcp};
@@ -48,6 +50,9 @@ pub enum DivergenceKind {
     /// Verdict right, but `replay_metrics` over the recorded event stream
     /// does not reconstruct the reported `DetectionMetrics`.
     Metrics,
+    /// The merged telemetry timeline exceeds a paper bound (§3.4:
+    /// `O(nm)` messages, `O(n²m)` bits, hop-bounded detection latency).
+    Bounds,
     /// The detector panicked.
     Crash,
 }
@@ -68,6 +73,7 @@ impl std::fmt::Display for Divergence {
         let kind = match self.kind {
             DivergenceKind::Verdict => "verdict",
             DivergenceKind::Metrics => "metrics",
+            DivergenceKind::Bounds => "bounds",
             DivergenceKind::Crash => "crash",
         };
         write!(f, "[{kind}] {}: {}", self.detector, self.detail)
@@ -86,6 +92,13 @@ pub struct CheckOptions {
     /// Force coalesced (batched) writes on every net run, overriding the
     /// case's own `net_batch` draw — the `wcp fuzz --net-batch` smoke knob.
     pub force_net_batch: bool,
+    /// Audit the merged telemetry timeline of a recorded online vc-token
+    /// run against the paper's §3.4 bounds (`wcp fuzz --audit-bounds`).
+    pub audit_bounds: bool,
+    /// Test-only: audit against [`BoundLimits::sabotaged`] (every limit
+    /// zero) instead of the Theorem limits, so the self-test can assert
+    /// the auditor actually reports violations.
+    pub sabotage_bounds: bool,
 }
 
 impl Default for CheckOptions {
@@ -94,6 +107,8 @@ impl Default for CheckOptions {
             include_net: true,
             sabotage: false,
             force_net_batch: false,
+            audit_bounds: false,
+            sabotage_bounds: false,
         }
     }
 }
@@ -387,6 +402,52 @@ pub fn check_case(case: &FuzzCase, opts: &CheckOptions) -> Vec<Divergence> {
                 }
             }
             Err(p) => diverge(entry.label, DivergenceKind::Crash, p),
+        }
+    }
+
+    // ---- paper-bound audit over the merged telemetry pipeline ----------
+    if opts.audit_bounds || opts.sabotage_bounds {
+        let ring = Arc::new(RingRecorder::new(RING_CAPACITY));
+        match guarded(|| {
+            run_vc_token_recorded(computation, &wcp, sim.clone(), ring.clone())
+                .report
+                .detection
+        }) {
+            Ok(detection) => {
+                let got = detection.cut().map(|c| wcp.project(c));
+                if got != truth {
+                    diverge(
+                        "audit:vc-token",
+                        DivergenceKind::Verdict,
+                        format!("expected {}, got {}", fmt_proj(&truth), fmt_proj(&got)),
+                    );
+                } else if ring.dropped() == 0 {
+                    // Exactly the collector pipeline: split the recording
+                    // into per-monitor streams (what each peer's private
+                    // ring would hold), causally merge them back, and
+                    // audit paper units over the merged timeline.
+                    let events = ring.events();
+                    let streams = split_by_monitor(&events);
+                    let borrowed: Vec<(u32, &[StampedEvent])> =
+                        streams.iter().map(|(m, s)| (*m, s.as_slice())).collect();
+                    let merged = merge_streams(&borrowed);
+                    let limits = if opts.sabotage_bounds {
+                        BoundLimits::sabotaged()
+                    } else {
+                        BoundLimits::exact()
+                    };
+                    let m1 = computation.max_events_per_process() as u64 + 1;
+                    let audit = audit_bounds(wcp.n(), m1, &merged, &limits);
+                    if !audit.ok() {
+                        diverge(
+                            "audit:bounds",
+                            DivergenceKind::Bounds,
+                            audit.violations.join("; "),
+                        );
+                    }
+                }
+            }
+            Err(p) => diverge("audit:vc-token", DivergenceKind::Crash, p),
         }
     }
 

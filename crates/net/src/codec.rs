@@ -70,6 +70,14 @@ pub mod kind {
     /// receiver's `next_expected` cursor). Endpoint-internal: consumed
     /// before payload decode, never logged or resequenced.
     pub const ACK: u8 = 0xF2;
+    /// Sidecar telemetry: ring-recorder deltas and counter snapshots,
+    /// carried outside the reliability window (`seq = CONTROL_SEQ`, `aux`
+    /// is the body length) over the un-faulted recovery path so fault
+    /// schedules stay bit-identical with telemetry on or off.
+    /// Endpoint-internal like [`ACK`]: consumed before payload decode,
+    /// never logged, acked, or resequenced, and never counted in the
+    /// paper-unit accounting.
+    pub const TELEMETRY: u8 = 0xF3;
 }
 
 /// Decoding failures.
@@ -492,6 +500,20 @@ pub fn encode_ack_into(me: u32, next_expected: u64, out: &mut Vec<u8>) {
     put_u64(out, next_expected);
 }
 
+/// Appends a sidecar telemetry frame to `out`: `body` is an opaque blob
+/// (JSONL-framed recorder deltas plus a counter snapshot), carried with
+/// `seq = CONTROL_SEQ` and its length mirrored in `aux`.
+pub fn encode_telemetry_into(me: u32, body: &[u8], out: &mut Vec<u8>) {
+    put_u32(out, (HEADER_LEN + body.len()) as u32);
+    out.push(kind::TELEMETRY);
+    put_u32(out, me);
+    put_u32(out, 0); // from/to unused: telemetry never reaches an actor
+    put_u32(out, 0);
+    put_u64(out, CONTROL_SEQ);
+    put_u64(out, body.len() as u64);
+    out.extend_from_slice(body);
+}
+
 /// The fixed routing header of one frame, decoded without touching the
 /// body — receivers route and resequence on this alone, deferring payload
 /// decode to delivery.
@@ -707,6 +729,24 @@ mod tests {
         assert_eq!(h.seq, CONTROL_SEQ);
         assert_eq!(h.aux, 640);
         assert!(decode_payload(h.kind, h.aux, &bytes[BODY_START..]).is_err());
+    }
+
+    #[test]
+    fn telemetry_frames_carry_an_opaque_body_outside_the_payload_codec() {
+        let body = br#"{"seq":0,"monitor":1,"event":"DetectionExhausted"}"#;
+        let mut bytes = Vec::new();
+        encode_telemetry_into(4, body, &mut bytes);
+        assert_eq!(frame_len_at(&bytes, 0), Some(bytes.len()));
+        let h = decode_header(&bytes).unwrap();
+        assert_eq!(h.kind, kind::TELEMETRY);
+        assert_eq!(h.peer, 4);
+        assert_eq!(h.seq, CONTROL_SEQ);
+        assert_eq!(h.aux, body.len() as u64);
+        assert_eq!(&bytes[BODY_START..], body.as_slice());
+        assert!(
+            decode_payload(h.kind, h.aux, &bytes[BODY_START..]).is_err(),
+            "telemetry is endpoint-internal, not a protocol payload"
+        );
     }
 
     #[test]

@@ -220,7 +220,7 @@ impl Drop for FaultyTransport {
 mod tests {
     use super::*;
     use crate::codec::{
-        decode_frame, encode_frame, encode_frame_into, frame_len_at, Frame, Payload,
+        decode_frame, decode_header, encode_frame, encode_frame_into, frame_len_at, Frame, Payload,
     };
     use crate::pool::{FramePool, PooledBuf};
     use crate::transport::LoopbackTransport;
@@ -351,6 +351,55 @@ mod tests {
         a.sort_unstable();
         b.sort_unstable();
         assert_eq!(a, b, "schedule changed under batching");
+    }
+
+    #[test]
+    fn telemetry_resends_consume_no_fault_schedule() {
+        // The telemetry sidecar rides `resend`, which must not advance the
+        // fault RNG: interleaving telemetry frames between faulted sends
+        // leaves the data frames' fault decisions bit-identical, and every
+        // telemetry frame arrives exactly once.
+        let cfg = FaultConfig::seeded(17)
+            .with_drop(0.2)
+            .with_delay(0.2)
+            .with_duplicate(0.3)
+            .with_reorder(0.2);
+        let (mut plain, rx_plain) = faulty(cfg);
+        for seq in 0..40 {
+            plain.send(&encode_frame(&frame(seq))).unwrap();
+        }
+        plain.close();
+        let (mut mixed, rx_mixed) = faulty(cfg);
+        let mut telemetry = Vec::new();
+        crate::codec::encode_telemetry_into(0, b"wcp-telemetry/1 delta", &mut telemetry);
+        for seq in 0..40 {
+            mixed.resend(&telemetry).unwrap();
+            mixed.send(&encode_frame(&frame(seq))).unwrap();
+        }
+        mixed.close();
+        let mut plain_seqs = drain_seqs(&rx_plain);
+        let mut data_seqs = Vec::new();
+        let mut telemetry_delivered = 0;
+        while let Ok(chunk) = rx_mixed.try_recv() {
+            let mut at = 0;
+            while at < chunk.len() {
+                let len = frame_len_at(&chunk, at).unwrap();
+                let head = decode_header(&chunk[at..at + len]).unwrap();
+                if head.kind == crate::codec::kind::TELEMETRY {
+                    telemetry_delivered += 1;
+                } else {
+                    data_seqs.push(head.seq);
+                }
+                at += len;
+            }
+        }
+        plain_seqs.sort_unstable();
+        data_seqs.sort_unstable();
+        assert_eq!(plain_seqs, data_seqs, "telemetry perturbed the schedule");
+        assert_eq!(
+            telemetry_delivered, 40,
+            "telemetry frames are never faulted"
+        );
     }
 
     #[test]

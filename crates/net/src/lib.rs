@@ -37,16 +37,23 @@ pub mod pool;
 pub mod runner;
 pub mod saturation;
 pub mod stats;
+pub mod telemetry;
 pub mod transport;
 
 pub use codec::{decode_frame, encode_frame, read_frame, CodecError, Frame, Payload};
 pub use fault::{link_seed, FaultyTransport};
-pub use peer::{Endpoint, HostedActor, PeerHost, RawFrame};
+pub use peer::{Endpoint, HostedActor, PeerHost, RawFrame, TelemetrySidecar};
 pub use pool::{FramePool, PooledBuf};
 pub use runner::{
-    run_direct_net, run_direct_net_recorded, run_vc_token_net, run_vc_token_net_recorded,
-    serve_vc_peer, NetConfig, NetReport, PeerReport, TransportKind,
+    run_direct_net, run_direct_net_recorded, run_vc_token_net, run_vc_token_net_observed,
+    run_vc_token_net_recorded, serve_vc_peer, serve_vc_peer_observed, NetConfig, NetReport,
+    PeerReport, TransportKind,
 };
-pub use saturation::{saturate_loopback, saturate_tcp, SaturationReport};
+pub use saturation::{
+    saturate_loopback, saturate_loopback_observed, saturate_tcp, SaturationReport,
+};
 pub use stats::{NetCounters, NetStats};
+pub use telemetry::{
+    decode_delta, encode_delta, SidecarFilter, TelemetryCollector, TelemetryDelta, TELEMETRY_SCHEMA,
+};
 pub use transport::{spawn_listener, LoopbackTransport, TcpTransport, Transport};

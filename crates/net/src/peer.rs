@@ -55,15 +55,16 @@ use std::time::{Duration, Instant};
 
 use wcp_detect::online::vc_monitor::VcMonitor;
 use wcp_detect::online::{DetectMsg, OnlineDetection, SharedOutcome};
-use wcp_obs::{LogicalTime, Recorder, TraceEvent};
+use wcp_obs::{LogicalTime, Recorder, RingRecorder, TraceEvent};
 use wcp_sim::{Actor, ActorId, Context, SimMetrics, WireSize};
 
 use crate::codec::{
-    decode_header, decode_payload, encode_ack_into, encode_frame_into, frame_len_at, kind,
-    CodecError, Frame, Payload, WireHeader, BODY_START,
+    decode_header, decode_payload, encode_ack_into, encode_frame_into, encode_telemetry_into,
+    frame_len_at, kind, CodecError, Frame, Payload, WireHeader, BODY_START,
 };
 use crate::pool::PooledBuf;
-use crate::stats::NetCounters;
+use crate::stats::{NetCounters, NetStats};
+use crate::telemetry::{encode_delta, TelemetryCollector};
 use crate::transport::Transport;
 
 /// Flush threshold of a link's outbound batch: bulk sends past this size
@@ -247,6 +248,8 @@ pub struct Endpoint {
     batch: bool,
     /// Reusable encode buffer for outgoing acknowledgements.
     ack_buf: Vec<u8>,
+    /// Sink for inbound sidecar telemetry frames (the collector peer).
+    collector: Option<Arc<TelemetryCollector>>,
 }
 
 impl Endpoint {
@@ -289,7 +292,24 @@ impl Endpoint {
             backoff_base,
             batch,
             ack_buf: Vec::new(),
+            collector: None,
         }
+    }
+
+    /// Attaches the sidecar telemetry sink: inbound `TELEMETRY` frames
+    /// are ingested here instead of reaching any actor.
+    pub fn set_collector(&mut self, collector: Arc<TelemetryCollector>) {
+        self.collector = Some(collector);
+    }
+
+    /// The attached telemetry sink, if any.
+    pub fn collector(&self) -> Option<&Arc<TelemetryCollector>> {
+        self.collector.as_ref()
+    }
+
+    /// Plain-value snapshot of the shared transport counters.
+    pub fn stats(&self) -> NetStats {
+        self.counters.snapshot()
     }
 
     /// Sends `payload` to `to_peer`: assigns the link sequence number,
@@ -486,6 +506,19 @@ impl Endpoint {
             }
             return;
         }
+        if frame.head.kind == kind::TELEMETRY {
+            // Sidecar telemetry is endpoint-internal like acks: consumed
+            // here, never deduplicated, resequenced, or delivered to an
+            // actor. A malformed body is dropped — telemetry must never
+            // take a detection run down.
+            self.counters
+                .telemetry_received
+                .fetch_add(1, Ordering::Relaxed);
+            if let Some(collector) = &self.collector {
+                collector.ingest(frame.body());
+            }
+            return;
+        }
         let st = &mut self.inbound[peer];
         if frame.head.seq < st.next_expected || st.pending.contains_key(&frame.head.seq) {
             self.counters
@@ -543,6 +576,30 @@ impl Endpoint {
         if link.transport.resend(&self.ack_buf).is_ok() {
             self.counters.acks_sent.fetch_add(1, Ordering::Relaxed);
             self.inbound[to_peer as usize].acked = cursor;
+        }
+    }
+
+    /// Sends one sidecar telemetry delta to `to_peer`. Advisory like an
+    /// ack: routed via [`Transport::resend`] so fault injection never
+    /// draws on it (seeded schedules are bit-identical with telemetry on
+    /// or off), outside the sequence space (never logged, acked, or
+    /// retransmitted), and dropped silently on error — a lost delta only
+    /// thins the collected timeline, never the detection.
+    pub fn send_telemetry(&mut self, to_peer: u32, body: &[u8]) {
+        let mut buf = Vec::with_capacity(BODY_START + body.len());
+        encode_telemetry_into(self.me, body, &mut buf);
+        let Some(link) = self
+            .links
+            .get_mut(to_peer as usize)
+            .and_then(Option::as_mut)
+        else {
+            return;
+        };
+        if link.transport.resend(&buf).is_ok() {
+            self.counters.telemetry_sent.fetch_add(1, Ordering::Relaxed);
+            self.counters
+                .telemetry_bytes
+                .fetch_add(body.len() as u64, Ordering::Relaxed);
         }
     }
 
@@ -605,7 +662,8 @@ const POLL: Duration = Duration::from_millis(5);
 /// A plain barrier would hang if a peer died first; this one gives up at
 /// its deadline.
 pub struct ExitLatch {
-    arrived: std::sync::atomic::AtomicUsize,
+    arrived: Mutex<usize>,
+    cond: std::sync::Condvar,
     total: usize,
 }
 
@@ -613,16 +671,28 @@ impl ExitLatch {
     /// A latch for `total` peers.
     pub fn new(total: usize) -> Arc<Self> {
         Arc::new(ExitLatch {
-            arrived: std::sync::atomic::AtomicUsize::new(0),
+            arrived: Mutex::new(0),
+            cond: std::sync::Condvar::new(),
             total,
         })
     }
 
     /// Marks this peer arrived and waits (until `deadline`) for the rest.
+    /// Condvar-based so the release propagates in microseconds — a
+    /// sleep-poll quantum here would round every run's exit up to it.
     fn wait(&self, deadline: Instant) {
-        self.arrived.fetch_add(1, Ordering::SeqCst);
-        while self.arrived.load(Ordering::SeqCst) < self.total && Instant::now() < deadline {
-            std::thread::sleep(Duration::from_millis(1));
+        let mut arrived = self.arrived.lock().unwrap();
+        *arrived += 1;
+        if *arrived >= self.total {
+            self.cond.notify_all();
+            return;
+        }
+        while *arrived < self.total {
+            let timeout = deadline.saturating_duration_since(Instant::now());
+            if timeout.is_zero() {
+                return;
+            }
+            arrived = self.cond.wait_timeout(arrived, timeout).unwrap().0;
         }
     }
 }
@@ -656,6 +726,47 @@ impl HostedActor {
     }
 }
 
+/// Ring events buffered before a mid-run telemetry flush is forced even
+/// while traffic is flowing (idle peers flush on every poll timeout).
+const TELEMETRY_FLUSH_EVENTS: usize = 256;
+
+/// One peer's half of the sidecar telemetry plane: a private ring
+/// recorder whose deltas are periodically framed as `TELEMETRY` frames
+/// and shipped to the collector peer (or ingested locally when this peer
+/// *is* the collector).
+pub struct TelemetrySidecar {
+    /// This peer's private event ring (drained, not snapshotted, so each
+    /// delta carries only what happened since the previous flush).
+    pub ring: Arc<RingRecorder>,
+    /// Peer index the deltas route to.
+    pub collector_peer: u32,
+    /// Stats shipped in the last delta, to suppress idle heartbeats.
+    last_stats: Option<NetStats>,
+    /// How long the exit drain waits for in-flight deltas after the exit
+    /// latch releases. Loopback sends are synchronous (everything flushed
+    /// before the latch is already in the inbox), so zero is lossless
+    /// there; real sockets get a small grace for the reader-thread race.
+    pub exit_grace: Duration,
+}
+
+impl TelemetrySidecar {
+    /// A sidecar draining `ring` towards `collector_peer`.
+    pub fn new(ring: Arc<RingRecorder>, collector_peer: u32) -> Self {
+        TelemetrySidecar {
+            ring,
+            collector_peer,
+            last_stats: None,
+            exit_grace: Duration::ZERO,
+        }
+    }
+
+    /// Sets the exit-drain grace window.
+    pub fn with_exit_grace(mut self, grace: Duration) -> Self {
+        self.exit_grace = grace;
+        self
+    }
+}
+
 /// One peer's share of a detection run: its hosted actors, its endpoint,
 /// and the shared outcome cell the monitors publish into.
 pub struct PeerHost {
@@ -680,9 +791,39 @@ pub struct PeerHost {
     /// How long a standalone peer keeps its sockets alive after finishing,
     /// so remote stragglers can still complete their writes.
     pub linger: Duration,
+    /// Sidecar telemetry state (`None` = telemetry off, the default).
+    pub telemetry: Option<TelemetrySidecar>,
 }
 
 impl PeerHost {
+    /// Drains the sidecar ring and ships the delta towards the collector
+    /// peer. `force` flushes even a small ring (poll timeouts, the final
+    /// flush); the steady-state path waits for
+    /// [`TELEMETRY_FLUSH_EVENTS`] so a busy peer amortizes framing cost.
+    fn flush_telemetry(&mut self, force: bool) {
+        let Some(tel) = &mut self.telemetry else {
+            return;
+        };
+        if !force && tel.ring.len() < TELEMETRY_FLUSH_EVENTS {
+            return;
+        }
+        let events = tel.ring.drain();
+        let stats = self.endpoint.stats();
+        if events.is_empty() && tel.last_stats == Some(stats) {
+            return; // nothing new: suppress the idle heartbeat
+        }
+        tel.last_stats = Some(stats);
+        if tel.collector_peer == self.index {
+            // This peer is the collector: ingest without touching the wire.
+            if let Some(collector) = self.endpoint.collector() {
+                collector.ingest_delta(self.index, stats, events);
+            }
+        } else {
+            let body = encode_delta(self.index, &stats, &events);
+            self.endpoint.send_telemetry(tel.collector_peer, &body);
+        }
+    }
+
     /// Runs the peer to verdict or shutdown and closes its links.
     ///
     /// # Panics
@@ -737,6 +878,7 @@ impl PeerHost {
             // on its way first, or a remote peer could wait on bytes
             // sitting in our batch while we wait on it.
             self.endpoint.flush_all();
+            self.flush_telemetry(false);
             match self.endpoint.recv(POLL) {
                 Some(frame) => match frame.kind() {
                     kind::VERDICT | kind::SHUTDOWN => {
@@ -788,6 +930,9 @@ impl PeerHost {
                     }
                 },
                 None => {
+                    // Idle: a poll timeout is the natural low-priority slot
+                    // for shipping whatever telemetry accumulated.
+                    self.flush_telemetry(true);
                     assert!(
                         Instant::now() < deadline,
                         "net: peer {} stalled past its deadline (protocol bug)",
@@ -818,10 +963,40 @@ impl PeerHost {
         // Flush any residue *before* the exit rendezvous: after the latch
         // releases, a fast peer may drop its inbox while we still write.
         self.endpoint.flush_all();
+        // Final telemetry delta: the collected timeline must be complete
+        // (verdict events included) once every peer has exited.
+        self.flush_telemetry(true);
         // Keep the endpoint (and its inbound channel) alive until every
-        // peer has stopped delivering, then tear the links down.
+        // peer has stopped delivering, then tear the links down. With
+        // telemetry on, keep *draining* the inbox too: the other peers'
+        // final deltas arrive exactly during this window, and the
+        // collector ingests them inside `Endpoint::accept`. (Any late
+        // data frame surfacing here is dropped unprocessed — the same
+        // fate it meets sitting in a closed channel, so accounting and
+        // verdicts are untouched.)
         match &self.exit {
+            Some(latch) if self.telemetry.is_some() => {
+                latch.wait(deadline);
+                // Deltas flushed before the latch released are queued in
+                // the inbox channel; one graced sweep ingests them into
+                // the collector. Loopback delivery is synchronous so a
+                // zero grace is lossless; sockets get a small window for
+                // the reader-thread race (telemetry stays best-effort
+                // past this point).
+                let grace = self
+                    .telemetry
+                    .as_ref()
+                    .map(|t| t.exit_grace)
+                    .unwrap_or(Duration::ZERO);
+                while self.endpoint.recv(grace).is_some() {}
+            }
             Some(latch) => latch.wait(deadline),
+            None if self.telemetry.is_some() => {
+                let until = Instant::now() + self.linger;
+                while Instant::now() < until {
+                    let _ = self.endpoint.recv(POLL);
+                }
+            }
             None => std::thread::sleep(self.linger),
         }
         self.endpoint.close();

@@ -23,14 +23,15 @@ use wcp_detect::online::dd_monitor::DdMonitor;
 use wcp_detect::online::vc_monitor::VcMonitor;
 use wcp_detect::online::{AppProcess, ClockMode, OnlineDetection, OnlineStats, SharedOutcome};
 use wcp_detect::{Detection, DetectionMetrics, DetectionReport};
-use wcp_obs::{NullRecorder, Recorder};
+use wcp_obs::{NullRecorder, Recorder, RingRecorder, TeeRecorder};
 use wcp_sim::{ActorId, FaultConfig, SimMetrics};
 use wcp_trace::{Computation, Wcp};
 
 use crate::fault::FaultyTransport;
-use crate::peer::{Endpoint, ExitLatch, HostedActor, PeerHost};
+use crate::peer::{Endpoint, ExitLatch, HostedActor, PeerHost, TelemetrySidecar};
 use crate::pool::{FramePool, PooledBuf};
 use crate::stats::{NetCounters, NetStats};
+use crate::telemetry::{SidecarFilter, TelemetryCollector};
 use crate::transport::{spawn_listener, LoopbackTransport, TcpTransport, Transport};
 
 /// Which substrate carries the frames.
@@ -56,6 +57,12 @@ pub struct NetConfig {
     /// writes one frame at a time — the pre-batching wire behaviour, kept
     /// for A/B benchmarks and equivalence pinning.
     pub batch: bool,
+    /// Run the sidecar telemetry plane: every peer tees its events into a
+    /// private ring and periodically frames the deltas to the collector
+    /// peer as `TELEMETRY` frames on the un-faulted recovery path.
+    /// Verdicts, paper metrics and fault schedules are bit-identical with
+    /// this on or off (the equivalence tests pin that).
+    pub telemetry: bool,
 }
 
 impl Default for NetConfig {
@@ -65,6 +72,7 @@ impl Default for NetConfig {
             faults: None,
             deadline: Duration::from_secs(60),
             batch: true,
+            telemetry: false,
         }
     }
 }
@@ -103,6 +111,12 @@ impl NetConfig {
         self.batch = false;
         self
     }
+
+    /// Enables the sidecar telemetry plane (see [`NetConfig::telemetry`]).
+    pub fn with_telemetry(mut self) -> Self {
+        self.telemetry = true;
+        self
+    }
 }
 
 /// A [`DetectionReport`] plus transport-level statistics.
@@ -114,12 +128,77 @@ pub struct NetReport {
     pub report: DetectionReport,
     /// Wire-level counters: frames, bytes, retransmits, reconnects, dedup.
     pub net: NetStats,
+    /// The telemetry collector, populated when [`NetConfig::telemetry`]
+    /// was on: per-source counter snapshots plus the causally merged
+    /// global event timeline.
+    pub telemetry: Option<Arc<TelemetryCollector>>,
 }
 
 /// Retry budget for dialling peers that have bound but not yet accepted.
 const DIAL_RETRIES: u32 = 20;
 /// Retry budget for reconnect-and-replay recovery after a link error.
 const RECOVERY_RETRIES: u32 = 10;
+
+/// Telemetry ring capacity per peer. Rings are drained on every flush, so
+/// this only bounds bursts between event-loop iterations.
+const TELEMETRY_RING: usize = 1 << 14;
+
+/// Per-run telemetry wiring: the shared collector plus one private ring
+/// recorder per peer. Peer 0 doubles as the collector peer — other peers
+/// frame their deltas to it, peer 0 ingests its own ring locally.
+struct TelemetryPlane {
+    collector: Arc<TelemetryCollector>,
+    rings: Vec<Arc<RingRecorder>>,
+}
+
+impl TelemetryPlane {
+    /// Builds the plane, reusing `collector` when a live watcher supplied
+    /// one (the `*_observed` entry points).
+    fn build(n_peers: usize, collector: Option<Arc<TelemetryCollector>>) -> Self {
+        TelemetryPlane {
+            collector: collector.unwrap_or_else(TelemetryCollector::shared),
+            rings: (0..n_peers)
+                .map(|_| Arc::new(RingRecorder::new(TELEMETRY_RING).with_wall_clock()))
+                .collect(),
+        }
+    }
+
+    /// The recorder peer `i`'s actors, endpoint and fault workers see:
+    /// the caller's recorder teed into the peer's private telemetry ring.
+    /// The sidecar leg sits behind [`SidecarFilter`] — per-frame wire
+    /// events reach user recorders but are never shipped (the delta's
+    /// `NetStats` snapshot already aggregates them).
+    fn recorder(&self, user: &Arc<dyn Recorder>, i: usize) -> Arc<dyn Recorder> {
+        let sidecar = Arc::new(SidecarFilter::new(self.rings[i].clone()));
+        Arc::new(TeeRecorder::new(user.clone(), sidecar))
+    }
+
+    /// The sidecar state handed to peer `i`'s host. Loopback delivery is
+    /// synchronous, so the exit drain needs no grace there; sockets get a
+    /// small window for the reader-thread race.
+    fn sidecar(&self, i: usize, transport: TransportKind) -> TelemetrySidecar {
+        let grace = match transport {
+            TransportKind::Loopback => Duration::ZERO,
+            TransportKind::Tcp => Duration::from_millis(2),
+        };
+        TelemetrySidecar::new(self.rings[i].clone(), 0).with_exit_grace(grace)
+    }
+}
+
+/// The per-peer recorders for a run: teed through the telemetry plane
+/// when one is active, the caller's recorder unchanged otherwise.
+fn peer_recorders(
+    n_peers: usize,
+    user: &Arc<dyn Recorder>,
+    plane: &Option<TelemetryPlane>,
+) -> Vec<Arc<dyn Recorder>> {
+    (0..n_peers)
+        .map(|i| match plane {
+            Some(plane) => plane.recorder(user, i),
+            None => user.clone(),
+        })
+        .collect()
+}
 
 /// All outbound links plus the per-peer inboxes they deliver into.
 struct Fabric {
@@ -155,7 +234,7 @@ fn build_fabric(
     n_peers: usize,
     config: &NetConfig,
     counters: &Arc<NetCounters>,
-    recorder: &Arc<dyn Recorder>,
+    recorders: &[Arc<dyn Recorder>],
 ) -> Fabric {
     // One buffer pool per fabric: every chunk crossing a thread boundary
     // (loopback delivery, TCP reads) recycles through it.
@@ -170,7 +249,14 @@ fn build_fabric(
                             (i != j).then(|| {
                                 let base: Box<dyn Transport> =
                                     Box::new(LoopbackTransport::new(txs[j].clone(), pool.clone()));
-                                wrap_faults(base, config, i as u32, j as u32, counters, recorder)
+                                wrap_faults(
+                                    base,
+                                    config,
+                                    i as u32,
+                                    j as u32,
+                                    counters,
+                                    &recorders[i],
+                                )
                             })
                         })
                         .collect()
@@ -213,7 +299,14 @@ fn build_fabric(
                                     )
                                     .expect("dial peer"),
                                 );
-                                wrap_faults(base, config, i as u32, j as u32, counters, recorder)
+                                wrap_faults(
+                                    base,
+                                    config,
+                                    i as u32,
+                                    j as u32,
+                                    counters,
+                                    &recorders[i],
+                                )
                             })
                         })
                         .collect()
@@ -317,6 +410,35 @@ pub fn run_vc_token_net_recorded(
     config: NetConfig,
     recorder: Arc<dyn Recorder>,
 ) -> NetReport {
+    run_vc_token_net_inner(computation, wcp, config, recorder, None)
+}
+
+/// [`run_vc_token_net_recorded`] with telemetry forced on and an external
+/// [`TelemetryCollector`], so a live watcher (`wcp top`) can sample the
+/// merged view while the run is still in flight.
+///
+/// # Panics
+///
+/// Panics if the scope is empty, the computation is invalid, or the run
+/// stalls past the configured deadline.
+pub fn run_vc_token_net_observed(
+    computation: &Computation,
+    wcp: &Wcp,
+    mut config: NetConfig,
+    recorder: Arc<dyn Recorder>,
+    collector: Arc<TelemetryCollector>,
+) -> NetReport {
+    config.telemetry = true;
+    run_vc_token_net_inner(computation, wcp, config, recorder, Some(collector))
+}
+
+fn run_vc_token_net_inner(
+    computation: &Computation,
+    wcp: &Wcp,
+    config: NetConfig,
+    recorder: Arc<dyn Recorder>,
+    collector: Option<Arc<TelemetryCollector>>,
+) -> NetReport {
     let n_total = computation.process_count();
     let n = wcp.n();
     assert!(n >= 1, "WCP scope must name at least one process");
@@ -344,7 +466,11 @@ pub fn run_vc_token_net_recorded(
     let metrics = Arc::new(Mutex::new(SimMetrics::new(n_total + n)));
     let counters = NetCounters::shared();
     let latch = ExitLatch::new(n);
-    let fabric = build_fabric(n, &config, &counters, &recorder);
+    let plane = config
+        .telemetry
+        .then(|| TelemetryPlane::build(n, collector));
+    let recorders = peer_recorders(n, &recorder, &plane);
+    let fabric = build_fabric(n, &config, &counters, &recorders);
 
     let mut hosts = Vec::with_capacity(n);
     let mut inboxes = fabric.inboxes.into_iter();
@@ -377,21 +503,25 @@ pub fn run_vc_token_net_recorded(
                     result.clone(),
                     stats.clone(),
                 )
-                .with_recorder(recorder.clone()),
+                .with_recorder(recorders[i].clone()),
             ),
         ));
+        let mut endpoint = Endpoint::new(
+            i as u32,
+            links,
+            inboxes.next().expect("inbox per peer"),
+            counters.clone(),
+            recorders[i].clone(),
+            RECOVERY_RETRIES,
+            Duration::from_millis(1),
+            config.batch,
+        );
+        if let Some(plane) = &plane {
+            endpoint.set_collector(plane.collector.clone());
+        }
         hosts.push(PeerHost {
             index: i as u32,
-            endpoint: Endpoint::new(
-                i as u32,
-                links,
-                inboxes.next().expect("inbox per peer"),
-                counters.clone(),
-                recorder.clone(),
-                RECOVERY_RETRIES,
-                Duration::from_millis(1),
-                config.batch,
-            ),
+            endpoint,
             actors,
             actor_peer: actor_peer.clone(),
             metrics: metrics.clone(),
@@ -399,6 +529,7 @@ pub fn run_vc_token_net_recorded(
             deadline: config.deadline,
             exit: Some(latch.clone()),
             linger: Duration::ZERO,
+            telemetry: plane.as_ref().map(|p| p.sidecar(i, config.transport)),
         });
     }
     drive(hosts, fabric.listeners);
@@ -415,6 +546,7 @@ pub fn run_vc_token_net_recorded(
     NetReport {
         report: DetectionReport { detection, metrics },
         net: counters.snapshot(),
+        telemetry: plane.map(|p| p.collector),
     }
 }
 
@@ -471,7 +603,11 @@ pub fn run_direct_net_recorded(
     let metrics = Arc::new(Mutex::new(SimMetrics::new(2 * n_total)));
     let counters = NetCounters::shared();
     let latch = ExitLatch::new(n_total);
-    let fabric = build_fabric(n_total, &config, &counters, &recorder);
+    let plane = config
+        .telemetry
+        .then(|| TelemetryPlane::build(n_total, None));
+    let recorders = peer_recorders(n_total, &recorder, &plane);
+    let fabric = build_fabric(n_total, &config, &counters, &recorders);
 
     let mut hosts = Vec::with_capacity(n_total);
     let mut inboxes = fabric.inboxes.into_iter();
@@ -501,22 +637,26 @@ pub fn run_direct_net_recorded(
                         result.clone(),
                         stats.clone(),
                     )
-                    .with_recorder(recorder.clone()),
+                    .with_recorder(recorders[i].clone()),
                 ),
             ),
         ];
+        let mut endpoint = Endpoint::new(
+            i as u32,
+            links,
+            inboxes.next().expect("inbox per peer"),
+            counters.clone(),
+            recorders[i].clone(),
+            RECOVERY_RETRIES,
+            Duration::from_millis(1),
+            config.batch,
+        );
+        if let Some(plane) = &plane {
+            endpoint.set_collector(plane.collector.clone());
+        }
         hosts.push(PeerHost {
             index: i as u32,
-            endpoint: Endpoint::new(
-                i as u32,
-                links,
-                inboxes.next().expect("inbox per peer"),
-                counters.clone(),
-                recorder.clone(),
-                RECOVERY_RETRIES,
-                Duration::from_millis(1),
-                config.batch,
-            ),
+            endpoint,
             actors,
             actor_peer: actor_peer.clone(),
             metrics: metrics.clone(),
@@ -524,6 +664,7 @@ pub fn run_direct_net_recorded(
             deadline: config.deadline,
             exit: Some(latch.clone()),
             linger: Duration::ZERO,
+            telemetry: plane.as_ref().map(|p| p.sidecar(i, config.transport)),
         });
     }
     drive(hosts, fabric.listeners);
@@ -546,6 +687,7 @@ pub fn run_direct_net_recorded(
     NetReport {
         report: DetectionReport { detection, metrics },
         net: counters.snapshot(),
+        telemetry: plane.map(|p| p.collector),
     }
 }
 
@@ -556,6 +698,10 @@ pub struct PeerReport {
     pub detection: Detection,
     /// This peer's wire-level counters.
     pub net: NetStats,
+    /// This peer's telemetry collector when [`NetConfig::telemetry`] was
+    /// on. Only peer 0 — the collector peer — accumulates the other
+    /// peers' deltas; the rest see just their own.
+    pub telemetry: Option<Arc<TelemetryCollector>>,
 }
 
 /// Runs peer `peer` of a vector-clock token detection as its own process,
@@ -577,6 +723,47 @@ pub fn serve_vc_peer(
     addrs: &[SocketAddr],
     config: NetConfig,
     recorder: Arc<dyn Recorder>,
+) -> PeerReport {
+    serve_vc_peer_inner(computation, wcp, peer, addrs, config, recorder, None)
+}
+
+/// [`serve_vc_peer`] with telemetry forced on and an external
+/// [`TelemetryCollector`] — on peer 0 a live watcher sees every peer's
+/// deltas arrive over TCP while the session runs.
+///
+/// # Panics
+///
+/// Panics on bad indices, undialable peers, or a stall past the deadline.
+pub fn serve_vc_peer_observed(
+    computation: &Computation,
+    wcp: &Wcp,
+    peer: usize,
+    addrs: &[SocketAddr],
+    mut config: NetConfig,
+    recorder: Arc<dyn Recorder>,
+    collector: Arc<TelemetryCollector>,
+) -> PeerReport {
+    config.telemetry = true;
+    serve_vc_peer_inner(
+        computation,
+        wcp,
+        peer,
+        addrs,
+        config,
+        recorder,
+        Some(collector),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn serve_vc_peer_inner(
+    computation: &Computation,
+    wcp: &Wcp,
+    peer: usize,
+    addrs: &[SocketAddr],
+    config: NetConfig,
+    recorder: Arc<dyn Recorder>,
+    collector: Option<Arc<TelemetryCollector>>,
 ) -> PeerReport {
     let n_total = computation.process_count();
     let n = wcp.n();
@@ -600,6 +787,14 @@ pub fn serve_vc_peer(
     let actor_peer = Arc::new(actor_peer);
 
     let counters = NetCounters::shared();
+    // A standalone peer owns exactly one ring: its own.
+    let plane = config
+        .telemetry
+        .then(|| TelemetryPlane::build(1, collector));
+    let recorder: Arc<dyn Recorder> = match &plane {
+        Some(plane) => plane.recorder(&recorder, 0),
+        None => recorder,
+    };
     let pool = FramePool::shared(counters.clone());
     let listener = TcpListener::bind(addrs[peer]).expect("bind serve address");
     let (tx, rx) = channel();
@@ -653,18 +848,22 @@ pub fn serve_vc_peer(
         ),
     ));
 
+    let mut endpoint = Endpoint::new(
+        peer as u32,
+        links,
+        rx,
+        counters.clone(),
+        recorder.clone(),
+        RECOVERY_RETRIES,
+        Duration::from_millis(1),
+        config.batch,
+    );
+    if let Some(plane) = &plane {
+        endpoint.set_collector(plane.collector.clone());
+    }
     let host = PeerHost {
         index: peer as u32,
-        endpoint: Endpoint::new(
-            peer as u32,
-            links,
-            rx,
-            counters.clone(),
-            recorder.clone(),
-            RECOVERY_RETRIES,
-            Duration::from_millis(1),
-            config.batch,
-        ),
+        endpoint,
         actors,
         actor_peer,
         metrics,
@@ -672,6 +871,8 @@ pub fn serve_vc_peer(
         deadline: config.deadline,
         exit: None,
         linger: Duration::from_millis(300),
+        // serve peers always talk over real sockets.
+        telemetry: plane.as_ref().map(|p| p.sidecar(0, TransportKind::Tcp)),
     };
     host.run();
     stop.store(true, Ordering::Relaxed);
@@ -680,6 +881,7 @@ pub fn serve_vc_peer(
     PeerReport {
         detection: take_detection_vc(&result, wcp, n_total),
         net: counters.snapshot(),
+        telemetry: plane.map(|p| p.collector),
     }
 }
 

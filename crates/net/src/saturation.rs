@@ -20,13 +20,14 @@ use std::time::{Duration, Instant};
 use wcp_clocks::VectorClock;
 use wcp_detect::online::DetectMsg;
 use wcp_detect::{SnapshotBuffer, VcSnapshot};
-use wcp_obs::NullRecorder;
+use wcp_obs::{NullRecorder, Recorder, RingRecorder};
 use wcp_sim::ActorId;
 
 use crate::codec::{kind, Payload};
 use crate::peer::Endpoint;
 use crate::pool::FramePool;
 use crate::stats::{NetCounters, NetStats};
+use crate::telemetry::{encode_delta, SidecarFilter, TelemetryCollector};
 use crate::transport::{spawn_listener, LoopbackTransport, TcpTransport, Transport};
 
 /// Outcome of one saturation run.
@@ -65,6 +66,16 @@ impl SaturationReport {
 /// its replay log truncated mid-run.
 const ACK_POLL_EVERY: u64 = 4096;
 
+/// Sidecar wiring of an observed saturation run: each endpoint records
+/// into its private ring (behind the [`SidecarFilter`] per-frame gate),
+/// and the sender ships ring deltas towards the receiver — the
+/// collector peer — on the same cadence it polls acks.
+struct SaturationTelemetry {
+    sender_ring: Arc<RingRecorder>,
+    receiver_ring: Arc<RingRecorder>,
+    collector: Arc<TelemetryCollector>,
+}
+
 /// Drives `frames` snapshot frames from `sender` (peer 0) to `receiver`
 /// (peer 1) and decodes every body arena-direct.
 fn drive(
@@ -73,12 +84,23 @@ fn drive(
     frames: u64,
     scope_n: usize,
     counters: &Arc<NetCounters>,
+    telemetry: Option<SaturationTelemetry>,
 ) -> SaturationReport {
     let from = ActorId::new(0);
     let to = ActorId::new(1);
     let clock: Vec<u64> = (0..scope_n as u64).collect();
+    let sender_ring = telemetry.as_ref().map(|t| t.sender_ring.clone());
     let start = Instant::now();
     let pump = std::thread::spawn(move || {
+        let flush_sidecar = |sender: &mut Endpoint| {
+            if let Some(ring) = &sender_ring {
+                let events = ring.drain();
+                if !events.is_empty() {
+                    let body = encode_delta(0, &sender.stats(), &events);
+                    sender.send_telemetry(1, &body);
+                }
+            }
+        };
         for i in 0..frames {
             sender.send(
                 1,
@@ -92,9 +114,11 @@ fn drive(
             if i % ACK_POLL_EVERY == ACK_POLL_EVERY - 1 {
                 // Ingest returning acks so the replay log stays truncated.
                 while sender.recv(Duration::ZERO).is_some() {}
+                flush_sidecar(&mut sender);
             }
         }
         sender.flush_all();
+        flush_sidecar(&mut sender);
         sender
     });
 
@@ -114,6 +138,14 @@ fn drive(
     let mut sender = pump.join().expect("sender thread");
     // Drain any trailing acks, then tear both ends down.
     while sender.recv(Duration::ZERO).is_some() {}
+    if let Some(tel) = &telemetry {
+        // Loopback delivery is synchronous, so the sender's final delta is
+        // already queued: one sweep ingests it, then the receiver's own
+        // ring joins the collector through the local (wire-free) path.
+        while receiver.recv(Duration::ZERO).is_some() {}
+        tel.collector
+            .ingest_delta(1, receiver.stats(), tel.receiver_ring.drain());
+    }
     sender.close();
     receiver.close();
     let net = counters.snapshot();
@@ -125,13 +157,16 @@ fn drive(
     }
 }
 
-/// Saturates one in-memory loopback link with `frames` snapshot frames of
-/// scope width `scope_n`; `batch` toggles send coalescing (the A/B knob).
-pub fn saturate_loopback(frames: u64, scope_n: usize, batch: bool) -> SaturationReport {
+/// Builds the loopback endpoint pair over one shared counter block.
+fn loopback_pair(
+    batch: bool,
+    recorders: [Arc<dyn Recorder>; 2],
+) -> (Endpoint, Endpoint, Arc<NetCounters>) {
     let counters = NetCounters::shared();
     let pool = FramePool::shared(counters.clone());
     let (tx0, rx0) = channel();
     let (tx1, rx1) = channel();
+    let [rec0, rec1] = recorders;
     let sender = Endpoint::new(
         0,
         vec![
@@ -140,7 +175,7 @@ pub fn saturate_loopback(frames: u64, scope_n: usize, batch: bool) -> Saturation
         ],
         rx0,
         counters.clone(),
-        Arc::new(NullRecorder),
+        rec0,
         4,
         Duration::from_millis(1),
         batch,
@@ -153,12 +188,58 @@ pub fn saturate_loopback(frames: u64, scope_n: usize, batch: bool) -> Saturation
         ],
         rx1,
         counters.clone(),
-        Arc::new(NullRecorder),
+        rec1,
         4,
         Duration::from_millis(1),
         batch,
     );
-    drive(sender, receiver, frames, scope_n, &counters)
+    (sender, receiver, counters)
+}
+
+/// Saturates one in-memory loopback link with `frames` snapshot frames of
+/// scope width `scope_n`; `batch` toggles send coalescing (the A/B knob).
+pub fn saturate_loopback(frames: u64, scope_n: usize, batch: bool) -> SaturationReport {
+    let (sender, receiver, counters) =
+        loopback_pair(batch, [Arc::new(NullRecorder), Arc::new(NullRecorder)]);
+    drive(sender, receiver, frames, scope_n, &counters, None)
+}
+
+/// Saturates one batched loopback link with the sidecar telemetry plane
+/// live: both endpoints record through the [`SidecarFilter`] gate into
+/// private rings, the sender ships deltas towards the receiver (the
+/// collector peer) on its ack-poll cadence, and the receiver ingests
+/// them off the accept path. The A/B against [`saturate_loopback`] is
+/// the measured marginal cost of telemetry at wire saturation —
+/// `scripts/bench.sh telemetry` records the ratio in `BENCH_wcp.json`.
+pub fn saturate_loopback_observed(
+    frames: u64,
+    scope_n: usize,
+) -> (SaturationReport, Arc<TelemetryCollector>) {
+    let sender_ring = Arc::new(RingRecorder::new(1 << 12).with_wall_clock());
+    let receiver_ring = Arc::new(RingRecorder::new(1 << 12).with_wall_clock());
+    let collector = TelemetryCollector::shared();
+    let (sender, mut receiver, counters) = loopback_pair(
+        true,
+        [
+            Arc::new(SidecarFilter::new(sender_ring.clone())),
+            Arc::new(SidecarFilter::new(receiver_ring.clone())),
+        ],
+    );
+    receiver.set_collector(collector.clone());
+    let telemetry = SaturationTelemetry {
+        sender_ring,
+        receiver_ring,
+        collector: collector.clone(),
+    };
+    let report = drive(
+        sender,
+        receiver,
+        frames,
+        scope_n,
+        &counters,
+        Some(telemetry),
+    );
+    (report, collector)
 }
 
 /// Saturates one real TCP link on localhost with `frames` snapshot frames
@@ -206,7 +287,7 @@ pub fn saturate_tcp(frames: u64, scope_n: usize) -> SaturationReport {
         Duration::from_millis(1),
         true,
     );
-    let report = drive(sender, receiver, frames, scope_n, &counters);
+    let report = drive(sender, receiver, frames, scope_n, &counters, None);
     stop.store(true, std::sync::atomic::Ordering::Relaxed);
     for a in acceptors {
         let _ = a.join();
@@ -241,6 +322,34 @@ mod tests {
         let report = saturate_loopback(500, 4, false);
         assert_eq!(report.frames, 500);
         assert!((report.frames_per_flush() - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn observed_saturation_delivers_data_and_collects_telemetry() {
+        let (report, collector) = saturate_loopback_observed(6_000, 4);
+        assert_eq!(report.frames, 6_000);
+        assert!(report.net.telemetry_sent > 0, "{:?}", report.net);
+        assert_eq!(
+            report.net.telemetry_sent, report.net.telemetry_received,
+            "loopback sidecar is lossless: {:?}",
+            report.net
+        );
+        assert_eq!(collector.malformed(), 0);
+        // Both peers surface in the collector, and the shipped stream is
+        // flush-level only: the per-frame gate kept FrameSent volume out.
+        let sources = collector.source_stats();
+        assert_eq!(sources.len(), 2);
+        let merged = collector.merged();
+        assert!(!merged.is_empty());
+        assert!(merged
+            .iter()
+            .all(|e| !matches!(e.event.kind(), "FrameSent" | "FrameReceived")));
+        assert!(
+            (merged.len() as u64) < report.frames / 10,
+            "telemetry volume stays amortized: {} events for {} frames",
+            merged.len(),
+            report.frames
+        );
     }
 
     #[test]

@@ -38,6 +38,12 @@ pub struct NetCounters {
     pub pool_allocs: AtomicU64,
     /// Buffer checkouts served by recycling a returned buffer.
     pub pool_reuses: AtomicU64,
+    /// Sidecar telemetry frames sent (not counted as `frames_sent`).
+    pub telemetry_sent: AtomicU64,
+    /// Sidecar telemetry frames received and collected.
+    pub telemetry_received: AtomicU64,
+    /// Bytes of telemetry bodies shipped (outside paper accounting).
+    pub telemetry_bytes: AtomicU64,
 }
 
 impl NetCounters {
@@ -64,6 +70,9 @@ impl NetCounters {
             acks_received: self.acks_received.load(Ordering::Relaxed),
             pool_allocs: self.pool_allocs.load(Ordering::Relaxed),
             pool_reuses: self.pool_reuses.load(Ordering::Relaxed),
+            telemetry_sent: self.telemetry_sent.load(Ordering::Relaxed),
+            telemetry_received: self.telemetry_received.load(Ordering::Relaxed),
+            telemetry_bytes: self.telemetry_bytes.load(Ordering::Relaxed),
         }
     }
 }
@@ -101,6 +110,12 @@ pub struct NetStats {
     pub pool_allocs: u64,
     /// Buffer checkouts served by recycling a returned buffer.
     pub pool_reuses: u64,
+    /// Sidecar telemetry frames sent (not counted as `frames_sent`).
+    pub telemetry_sent: u64,
+    /// Sidecar telemetry frames received and collected.
+    pub telemetry_received: u64,
+    /// Bytes of telemetry bodies shipped (outside paper accounting).
+    pub telemetry_bytes: u64,
 }
 
 impl std::fmt::Display for NetStats {
@@ -110,7 +125,7 @@ impl std::fmt::Display for NetStats {
             "{} frames / {} B sent, {} frames / {} B received, \
              {} retransmits, {} reconnects, {} dups dropped, {} reordered, \
              {} flushes (max {} B), ready depth ≤ {}, {} acks out / {} in, \
-             pool {} allocs / {} reuses",
+             pool {} allocs / {} reuses, telemetry {} out / {} in ({} B)",
             self.frames_sent,
             self.bytes_sent,
             self.frames_received,
@@ -125,7 +140,10 @@ impl std::fmt::Display for NetStats {
             self.acks_sent,
             self.acks_received,
             self.pool_allocs,
-            self.pool_reuses
+            self.pool_reuses,
+            self.telemetry_sent,
+            self.telemetry_received,
+            self.telemetry_bytes
         )
     }
 }

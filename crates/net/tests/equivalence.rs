@@ -191,6 +191,89 @@ fn wire_mode_never_changes_the_verdict_under_faults() {
 }
 
 #[test]
+fn telemetry_never_perturbs_verdicts_metrics_or_fault_schedules() {
+    // The tentpole property of the telemetry plane: turning it on changes
+    // nothing observable about detection. Verdict AND paper-unit metrics
+    // are bit-identical, and the injected fault schedule is untouched
+    // (telemetry frames ride the un-faulted recovery path, so the fault
+    // layer draws exactly the same decisions) — across clean links and
+    // drop + delay + duplicate + reorder + reset schedules.
+    let schedules: Vec<Option<FaultConfig>> = vec![
+        None,
+        Some(FaultConfig::delay_duplicate_reorder(7)),
+        Some(FaultConfig::seeded(9).with_drop(0.15).with_reset(0.05)),
+    ];
+    for (which, faults) in schedules.into_iter().enumerate() {
+        for seed in 0..3u64 {
+            let computation = workload(seed);
+            let wcp = Wcp::over_first(3);
+            let mut config = NetConfig::loopback().with_deadline(deadline());
+            if let Some(f) = &faults {
+                config = config.with_faults(f.clone());
+            }
+            let off = run_vc_token_net(&computation, &wcp, config);
+            let on = run_vc_token_net(&computation, &wcp, config.with_telemetry());
+            assert_eq!(
+                on.report.detection, off.report.detection,
+                "schedule {which} seed {seed}: telemetry changed the verdict"
+            );
+            // The metrics a threaded run determines (the shutdown
+            // broadcast races with the application tail, so the snapshot
+            // counters vary run-to-run with telemetry entirely off — see
+            // `fault::tests::telemetry_resends_consume_no_fault_schedule`
+            // for the per-frame proof that telemetry adds nothing to
+            // that pre-existing variance).
+            assert_eq!(
+                on.report.metrics.token_hops, off.report.metrics.token_hops,
+                "schedule {which} seed {seed}: telemetry changed the token path"
+            );
+            assert_eq!(
+                (
+                    on.report.metrics.control_messages,
+                    on.report.metrics.control_bytes,
+                ),
+                (
+                    off.report.metrics.control_messages,
+                    off.report.metrics.control_bytes,
+                ),
+                "schedule {which} seed {seed}: telemetry changed control accounting"
+            );
+            let collector = on.telemetry.expect("telemetry run returns its collector");
+            assert!(off.telemetry.is_none(), "off run must not collect");
+            assert!(
+                collector.events_collected() > 0,
+                "schedule {which} seed {seed}: sidecar collected nothing"
+            );
+            assert_eq!(collector.malformed(), 0);
+        }
+    }
+}
+
+#[test]
+fn telemetry_collector_merges_every_peer_over_tcp() {
+    let computation = workload(1);
+    let wcp = Wcp::over_first(3);
+    let net = run_vc_token_net(
+        &computation,
+        &wcp,
+        NetConfig::tcp().with_deadline(deadline()).with_telemetry(),
+    );
+    let collector = net.telemetry.expect("collector");
+    let sources = collector.source_stats();
+    assert_eq!(sources.len(), 3, "one telemetry stream per peer");
+    assert!(net.net.telemetry_sent > 0, "peers 1,2 framed deltas");
+    assert_eq!(collector.malformed(), 0);
+    let merged = collector.merged();
+    assert!(!merged.is_empty());
+    // The merged timeline is causally ordered: effective times never
+    // decrease (TELEMETRY frames carry each stream in recording order and
+    // the merge sorts by effective logical time).
+    let dashboard = collector.dashboard("tcp run");
+    assert!(dashboard.contains("wcp top"));
+    assert!(dashboard.contains("source"));
+}
+
+#[test]
 fn faulty_runs_actually_exercise_the_fault_machinery() {
     // Guard against a silently quiet schedule making the fault tests
     // vacuous: over a few seeds, the delay+duplicate+reorder schedule must

@@ -46,11 +46,13 @@ mod event;
 mod hist;
 pub mod json;
 pub mod jsonl;
+pub mod merge;
 mod recorder;
 mod report;
 pub mod rng;
 
 pub use event::{LogicalTime, StampedEvent, TraceEvent};
 pub use hist::{Counters, Log2Histogram};
-pub use recorder::{NullRecorder, Recorder, RingRecorder};
+pub use merge::{merge_streams, split_by_monitor};
+pub use recorder::{NullRecorder, Recorder, RingRecorder, TeeRecorder};
 pub use report::RunReport;

@@ -1,0 +1,197 @@
+//! Causal merge of per-process event streams into one global timeline.
+//!
+//! The telemetry plane collects one [`StampedEvent`] stream per peer
+//! (each in its own recording order, with its own `seq` numbering).
+//! [`merge_streams`] folds them into a single causally ordered timeline:
+//!
+//! - **Causality is preserved.** Logical times are simulator ticks (or
+//!   per-run step counters), so an event that happened-before another
+//!   never carries a larger time; the merge orders by effective logical
+//!   time first. Events with no logical time (transport-level events are
+//!   stamped [`LogicalTime::Unknown`]) inherit the time of the latest
+//!   stamped event before them in their own stream, keeping every stream
+//!   in its original order.
+//! - **Ties break deterministically.** Concurrent events (equal
+//!   effective time, different sources) order by source index, then by
+//!   position within the source stream. Two collectors fed the same
+//!   deltas — in any arrival order — produce byte-identical timelines.
+//!
+//! The merged timeline is what `wcp obs-report` renders and what the
+//! bound auditor counts paper units over.
+
+use crate::event::{LogicalTime, StampedEvent};
+
+/// One peer's collected stream: `(source, events)` with events in the
+/// source's own recording order.
+pub type SourceStream<'a> = (u32, &'a [StampedEvent]);
+
+/// Effective logical time of each event of one stream: the running
+/// maximum of `time.value()`, so untimed events (transport-level) sort
+/// with the latest timed event preceding them instead of at time zero.
+fn effective_times(events: &[StampedEvent]) -> Vec<u64> {
+    let mut eff = Vec::with_capacity(events.len());
+    let mut latest = 0u64;
+    for e in events {
+        if !matches!(e.time, LogicalTime::Unknown) {
+            latest = latest.max(e.time.value());
+        }
+        eff.push(latest);
+    }
+    eff
+}
+
+/// Merges per-source streams into one causally ordered global timeline.
+///
+/// Ordering key: `(effective time, source, position-in-stream)` — causal
+/// (cross-tick) order always matches ground truth; concurrent (same-tick)
+/// events use the deterministic tie-break. Every source stream appears as
+/// a subsequence of the result, and the result is independent of the
+/// order the streams are passed in.
+pub fn merge_streams(streams: &[SourceStream<'_>]) -> Vec<StampedEvent> {
+    let mut indexed: Vec<(u64, u32, usize, &StampedEvent)> = Vec::new();
+    let mut sorted_sources: Vec<usize> = (0..streams.len()).collect();
+    sorted_sources.sort_by_key(|&i| streams[i].0);
+    for &i in &sorted_sources {
+        let (source, events) = streams[i];
+        let eff = effective_times(events);
+        for (at, e) in events.iter().enumerate() {
+            indexed.push((eff[at], source, at, e));
+        }
+    }
+    indexed.sort_by_key(|&(eff, source, at, _)| (eff, source, at));
+    indexed.into_iter().map(|(_, _, _, e)| e.clone()).collect()
+}
+
+/// Splits one globally recorded stream into per-monitor streams,
+/// re-stamped with per-stream `seq` numbers — the shape each peer's
+/// private recorder would have produced had the processes recorded
+/// independently. The inverse direction of [`merge_streams`], used by
+/// the causal-merge property tests and the fuzz bound auditor.
+pub fn split_by_monitor(events: &[StampedEvent]) -> Vec<(u32, Vec<StampedEvent>)> {
+    let mut streams: Vec<(u32, Vec<StampedEvent>)> = Vec::new();
+    for e in events {
+        let stream = match streams.iter_mut().find(|(m, _)| *m == e.monitor) {
+            Some((_, s)) => s,
+            None => {
+                streams.push((e.monitor, Vec::new()));
+                &mut streams.last_mut().unwrap().1
+            }
+        };
+        let mut local = e.clone();
+        local.seq = stream.len() as u64;
+        stream.push(local);
+    }
+    streams.sort_by_key(|&(m, _)| m);
+    streams
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+
+    fn ev(seq: u64, monitor: u32, time: LogicalTime, units: u64) -> StampedEvent {
+        StampedEvent {
+            seq,
+            monitor,
+            time,
+            wall_nanos: None,
+            event: TraceEvent::Work { units },
+        }
+    }
+
+    #[test]
+    fn merge_orders_by_time_then_source() {
+        let a = vec![
+            ev(0, 0, LogicalTime::Tick(1), 10),
+            ev(1, 0, LogicalTime::Tick(5), 11),
+        ];
+        let b = vec![
+            ev(0, 1, LogicalTime::Tick(2), 20),
+            ev(1, 1, LogicalTime::Tick(5), 21),
+        ];
+        let merged = merge_streams(&[(0, &a), (1, &b)]);
+        let units: Vec<u64> = merged
+            .iter()
+            .map(|e| match e.event {
+                TraceEvent::Work { units } => units,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(
+            units,
+            vec![10, 20, 11, 21],
+            "ticks order, source breaks ties"
+        );
+    }
+
+    #[test]
+    fn merge_is_independent_of_stream_argument_order() {
+        let a = vec![ev(0, 0, LogicalTime::Tick(3), 1)];
+        let b = vec![
+            ev(0, 2, LogicalTime::Tick(1), 2),
+            ev(1, 2, LogicalTime::Tick(3), 3),
+        ];
+        let fwd = merge_streams(&[(0, &a), (2, &b)]);
+        let rev = merge_streams(&[(2, &b), (0, &a)]);
+        assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn untimed_events_inherit_their_predecessor_time() {
+        let a = vec![
+            ev(0, 0, LogicalTime::Tick(4), 1),
+            ev(1, 0, LogicalTime::Unknown, 2), // transport event mid-stream
+        ];
+        let b = vec![ev(0, 1, LogicalTime::Tick(2), 3)];
+        let merged = merge_streams(&[(0, &a), (1, &b)]);
+        let units: Vec<u64> = merged
+            .iter()
+            .map(|e| match e.event {
+                TraceEvent::Work { units } => units,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(
+            units,
+            vec![3, 1, 2],
+            "the untimed event stays after its tick-4 predecessor, not at t=0"
+        );
+    }
+
+    #[test]
+    fn streams_stay_subsequences_of_the_merge() {
+        let a = vec![
+            ev(0, 0, LogicalTime::Tick(9), 1),
+            ev(1, 0, LogicalTime::Tick(2), 2), // out-of-order tick stays put
+            ev(2, 0, LogicalTime::Tick(9), 3),
+        ];
+        let b = vec![ev(0, 1, LogicalTime::Tick(5), 4)];
+        let merged = merge_streams(&[(0, &a), (1, &b)]);
+        let a_units: Vec<u64> = merged
+            .iter()
+            .filter(|e| e.monitor == 0)
+            .map(|e| match e.event {
+                TraceEvent::Work { units } => units,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(a_units, vec![1, 2, 3], "per-stream order is never violated");
+    }
+
+    #[test]
+    fn split_restamps_per_stream_seqs() {
+        let global = vec![
+            ev(0, 1, LogicalTime::Tick(0), 1),
+            ev(1, 0, LogicalTime::Tick(1), 2),
+            ev(2, 1, LogicalTime::Tick(2), 3),
+        ];
+        let streams = split_by_monitor(&global);
+        assert_eq!(streams.len(), 2);
+        assert_eq!(streams[0].0, 0);
+        assert_eq!(streams[1].0, 1);
+        assert_eq!(streams[1].1.len(), 2);
+        assert_eq!(streams[1].1[0].seq, 0);
+        assert_eq!(streams[1].1[1].seq, 1);
+    }
+}

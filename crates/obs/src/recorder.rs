@@ -104,6 +104,35 @@ impl RingRecorder {
     }
 }
 
+/// A recorder that forwards every event to two sinks.
+///
+/// The telemetry plane uses this to tee a run's user-facing recorder into
+/// a per-peer ring without the instrumented code knowing: each peer
+/// records once, and both the caller's sink and the sidecar ring see the
+/// event. Enabled whenever either side is.
+pub struct TeeRecorder {
+    a: std::sync::Arc<dyn Recorder>,
+    b: std::sync::Arc<dyn Recorder>,
+}
+
+impl TeeRecorder {
+    /// Tees into both `a` and `b`, in that order.
+    pub fn new(a: std::sync::Arc<dyn Recorder>, b: std::sync::Arc<dyn Recorder>) -> Self {
+        TeeRecorder { a, b }
+    }
+}
+
+impl Recorder for TeeRecorder {
+    fn record(&self, monitor: u32, time: LogicalTime, event: TraceEvent) {
+        self.a.record(monitor, time, event.clone());
+        self.b.record(monitor, time, event);
+    }
+
+    fn is_enabled(&self) -> bool {
+        self.a.is_enabled() || self.b.is_enabled()
+    }
+}
+
 impl Recorder for RingRecorder {
     fn record(&self, monitor: u32, time: LogicalTime, event: TraceEvent) {
         let wall_nanos = self
@@ -180,6 +209,21 @@ mod tests {
         let r = RingRecorder::new(4);
         r.record(0, LogicalTime::Unknown, TraceEvent::Work { units: 1 });
         assert!(r.events()[0].wall_nanos.is_none());
+    }
+
+    #[test]
+    fn tee_feeds_both_sinks_and_is_enabled_when_either_is() {
+        use std::sync::Arc;
+        let a = Arc::new(RingRecorder::new(8));
+        let b = Arc::new(RingRecorder::new(8));
+        let tee = TeeRecorder::new(a.clone(), b.clone());
+        assert!(tee.is_enabled());
+        tee.record(2, LogicalTime::Tick(7), TraceEvent::Work { units: 9 });
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+        assert_eq!(a.events()[0].monitor, 2);
+        let null_tee = TeeRecorder::new(Arc::new(NullRecorder), Arc::new(NullRecorder));
+        assert!(!null_tee.is_enabled());
     }
 
     #[test]

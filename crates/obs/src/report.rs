@@ -61,6 +61,11 @@ pub struct RunReport {
     pub net_reconnects: u64,
     /// Coalesced batch writes handed to transports (transport runs only).
     pub net_batch_flushes: u64,
+    /// `(peer, marker)` per transport-level event in stream order:
+    /// `f` = batch flush, `R` = retransmit, `C` = reconnect. Transport
+    /// events carry no logical time, so the wire lane renders them on an
+    /// event-order axis instead of the token timeline's tick axis.
+    pub wire_marks: Vec<(u32, char)>,
 }
 
 impl RunReport {
@@ -133,9 +138,18 @@ impl RunReport {
                 }
                 TraceEvent::FrameSent { bytes, .. } => report.net_bytes_sent += bytes,
                 TraceEvent::FrameReceived { bytes, .. } => report.net_bytes_received += bytes,
-                TraceEvent::Retransmit { .. } => report.net_retransmits += 1,
-                TraceEvent::Reconnect { .. } => report.net_reconnects += 1,
-                TraceEvent::BatchFlushed { .. } => report.net_batch_flushes += 1,
+                TraceEvent::Retransmit { .. } => {
+                    report.net_retransmits += 1;
+                    report.wire_marks.push((e.monitor, 'R'));
+                }
+                TraceEvent::Reconnect { .. } => {
+                    report.net_reconnects += 1;
+                    report.wire_marks.push((e.monitor, 'C'));
+                }
+                TraceEvent::BatchFlushed { .. } => {
+                    report.net_batch_flushes += 1;
+                    report.wire_marks.push((e.monitor, 'f'));
+                }
             }
         }
         report
@@ -203,6 +217,45 @@ impl RunReport {
         ));
         for (i, row) in grid.iter().enumerate() {
             out.push_str(&format!("  M{i:<3} "));
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        out.push_str(&self.wire_lane());
+        out
+    }
+
+    /// The transport-event lane: one row per peer, event order flowing
+    /// right (transport events carry no logical time), `f` per batch
+    /// flush, `R` per retransmit, `C` per reconnect. Empty when the run
+    /// never touched a transport.
+    pub fn wire_lane(&self) -> String {
+        const WIDTH: usize = 64;
+        if self.wire_marks.is_empty() {
+            return String::new();
+        }
+        let peers = self.wire_marks.iter().map(|&(p, _)| p).max().unwrap() as usize + 1;
+        let total = self.wire_marks.len();
+        let col = |i: usize| -> usize {
+            if total <= 1 {
+                0
+            } else {
+                i * (WIDTH - 1) / (total - 1)
+            }
+        };
+        let mut grid = vec![vec!['·'; WIDTH]; peers];
+        for (i, &(peer, mark)) in self.wire_marks.iter().enumerate() {
+            let cell = &mut grid[peer as usize][col(i)];
+            // Faults outrank flushes when events share a cell.
+            if *cell == '·' || *cell == 'f' {
+                *cell = mark;
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!(
+            "wire lane ({total} events in order; f=batch flush R=retransmit C=reconnect)\n"
+        ));
+        for (i, row) in grid.iter().enumerate() {
+            out.push_str(&format!("  W{i:<3} "));
             out.extend(row.iter());
             out.push('\n');
         }
@@ -397,6 +450,57 @@ mod tests {
         let r = RunReport::from_events(&[]);
         assert!(r.monitors.is_empty());
         assert!(r.render().contains("(no events)"));
+    }
+
+    #[test]
+    fn transport_events_render_in_the_wire_lane() {
+        let mut events = run();
+        let wire = |seq, peer, event| StampedEvent {
+            seq,
+            monitor: peer,
+            time: LogicalTime::Unknown,
+            wall_nanos: None,
+            event,
+        };
+        events.push(wire(
+            9,
+            0,
+            TraceEvent::BatchFlushed {
+                to: 1,
+                frames: 4,
+                bytes: 128,
+            },
+        ));
+        events.push(wire(10, 1, TraceEvent::Retransmit { to: 0, attempt: 1 }));
+        events.push(wire(
+            11,
+            1,
+            TraceEvent::Reconnect {
+                peer: 0,
+                attempt: 1,
+            },
+        ));
+        let r = RunReport::from_events(&events);
+        assert_eq!(
+            r.wire_marks,
+            vec![(0, 'f'), (1, 'R'), (1, 'C')],
+            "stream order preserved"
+        );
+        let text = r.timeline();
+        assert!(text.contains("wire lane (3 events"), "{text}");
+        assert!(text.contains("W0"), "{text}");
+        assert!(text.contains("W1"), "{text}");
+        assert!(
+            text.contains('R') && text.contains('C') && text.contains('f'),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn runs_without_transport_events_render_no_wire_lane() {
+        let r = RunReport::from_events(&run());
+        assert!(r.wire_lane().is_empty());
+        assert!(!r.render().contains("wire lane"));
     }
 
     #[test]

@@ -34,7 +34,9 @@ trap 'rm -f "$log"' EXIT
 echo "== nightly fuzz: seed $seed, $cases cases =="
 status=0
 # No pipe to tee: POSIX sh would report tee's status, not the campaign's.
-./target/release/wcp fuzz --seed "$seed" --cases "$cases" --shrink \
+# --audit-bounds folds the paper-bound auditor into the battery: each
+# case's merged telemetry timeline must stay inside the §3.4 limits.
+./target/release/wcp fuzz --seed "$seed" --cases "$cases" --shrink --audit-bounds \
     > "$log" 2>&1 || status=$?
 cat "$log"
 

@@ -28,6 +28,13 @@ echo "== fuzz smoke campaign (fixed seed, bounded) =="
 # (scripts/nightly-fuzz.sh) fuzzes both wire modes.
 ./target/release/wcp fuzz --seed 1 --cases 50 --shrink --net-batch
 
+echo "== fuzz bound-audit smoke slice =="
+# Paper-bound auditing over the telemetry plane: every case's merged
+# timeline is checked against the §3.4 message/bit/latency bounds.
+# Smaller slice (the audit adds a recorded run per case); any bound
+# violation is a divergence and fails this script.
+./target/release/wcp fuzz --seed 2 --cases 25 --no-net --audit-bounds
+
 echo "== fuzz corpus replay + schema drift guard =="
 # Every pinned repro in tests/corpus/ must still parse and replay clean;
 # a corpus file that no longer parses fails here, loudly.

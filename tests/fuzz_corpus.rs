@@ -66,7 +66,13 @@ fn every_corpus_case_replays_clean() {
     for path in corpus_files() {
         let text = fs::read_to_string(&path).expect("readable corpus file");
         let (case, note) = parse_corpus_entry(&Json::parse(&text).unwrap()).unwrap();
-        let divergences = check_case(&case, &CheckOptions::default());
+        // Full battery plus the paper-bound auditor: pinned repros must
+        // also stay inside the §3.4 message/bit/latency bounds.
+        let opts = CheckOptions {
+            audit_bounds: true,
+            ..CheckOptions::default()
+        };
+        let divergences = check_case(&case, &opts);
         assert!(
             divergences.is_empty(),
             "{} regressed ({note}):\n{}",
