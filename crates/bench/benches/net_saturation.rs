@@ -7,10 +7,13 @@
 use std::hint::black_box;
 
 use wcp_bench::timing::bench;
-use wcp_net::{saturate_loopback, saturate_tcp};
+use wcp_net::{saturate_loopback, saturate_loopback_wire, saturate_tcp};
 
 const FRAMES: u64 = 100_000;
 const SCOPE: usize = 4;
+/// Scope widths of the wire-version comparison: v1 bodies grow linearly
+/// in the clock width, v2 delta frames stay near-constant.
+const WIRE_SCOPES: [usize; 3] = [8, 32, 128];
 
 fn main() {
     bench("net/loopback_batched_100k", 5, || {
@@ -38,6 +41,27 @@ fn main() {
             report.frames_per_sec(),
             report.allocs_per_frame(),
             report.frames_per_flush(),
+        );
+    }
+
+    // Wire v1 vs the delta-compressed v2 across clock widths: timed runs
+    // plus the per-event byte accounting the timing harness cannot see.
+    for n in WIRE_SCOPES {
+        bench(&format!("net/wire_v1_n{n}_100k"), 5, || {
+            black_box(saturate_loopback_wire(FRAMES, n, true, false));
+        });
+        bench(&format!("net/wire_v2_n{n}_100k"), 5, || {
+            black_box(saturate_loopback_wire(FRAMES, n, true, true));
+        });
+        let v1 = saturate_loopback_wire(FRAMES, n, true, false);
+        let v2 = saturate_loopback_wire(FRAMES, n, true, true);
+        println!(
+            "net/wire_n{n}: v1 {:.1} B/event, v2 {:.1} B/event ({:.2}x), \
+             {:.1}% deltas",
+            v1.bytes_per_frame(),
+            v2.bytes_per_frame(),
+            v2.bytes_per_frame() / v1.bytes_per_frame().max(f64::MIN_POSITIVE),
+            100.0 * v2.delta_hit_rate(),
         );
     }
 }

@@ -15,8 +15,8 @@ use wcp_detect::{
     TokenDetector, VcSnapshotQueues,
 };
 use wcp_net::{
-    run_vc_token_net, saturate_loopback, saturate_loopback_observed, saturate_tcp, NetConfig,
-    SaturationReport,
+    run_vc_token_net, saturate_loopback, saturate_loopback_observed, saturate_loopback_wire,
+    saturate_tcp, NetConfig, SaturationReport,
 };
 use wcp_obs::json::Json;
 use wcp_sim::SimConfig;
@@ -360,6 +360,9 @@ fn saturation_json(r: &SaturationReport) -> Json {
         ("allocs_per_frame", Json::Float(r.allocs_per_frame())),
         ("frames_per_flush", Json::Float(r.frames_per_flush())),
         ("bytes", Json::UInt(r.bytes)),
+        ("bytes_per_event", Json::Float(r.bytes_per_frame())),
+        ("delta_hit_rate", Json::Float(r.delta_hit_rate())),
+        ("v1_equiv_ratio", Json::Float(r.v1_equiv_ratio())),
         ("elapsed_ns", Json::UInt(r.elapsed.as_nanos() as u64)),
     ])
 }
@@ -384,6 +387,40 @@ fn net_saturation_stats(frames: u64) -> Json {
     ])
 }
 
+/// Scope widths for the wire-version A/B — the `n` of the paper's
+/// `O(n²m)` bit bound, where full-width v1 clock bodies grow linearly
+/// and v2 delta frames stay near-constant.
+const WIRE_V2_SCOPES: [usize; 3] = [8, 32, 128];
+
+/// Measures the wire-v2 delta compression against v1 on one saturated
+/// batched loopback link at each [`WIRE_V2_SCOPES`] width: bytes per
+/// event (one snapshot frame per event), the fraction of chained frames
+/// shipped as deltas, and the v2/v1 bytes ratio (the ≤ 0.5× acceptance
+/// number at `n = 32`).
+fn wire_v2_stats(frames: u64) -> Json {
+    let per_scope = WIRE_V2_SCOPES
+        .iter()
+        .map(|&n| {
+            let v1 = saturate_loopback_wire(frames, n, true, false);
+            let v2 = saturate_loopback_wire(frames, n, true, true);
+            let ratio = v2.bytes_per_frame() / v1.bytes_per_frame().max(f64::MIN_POSITIVE);
+            Json::obj([
+                ("scope", Json::UInt(n as u64)),
+                ("v1_bytes_per_event", Json::Float(v1.bytes_per_frame())),
+                ("v2_bytes_per_event", Json::Float(v2.bytes_per_frame())),
+                ("v2_delta_hit_rate", Json::Float(v2.delta_hit_rate())),
+                ("bytes_ratio", Json::Float(ratio)),
+                ("v1_frames_per_sec", Json::Float(v1.frames_per_sec())),
+                ("v2_frames_per_sec", Json::Float(v2.frames_per_sec())),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("frames", Json::UInt(frames)),
+        ("scopes", Json::Arr(per_scope)),
+    ])
+}
+
 /// One labelled trajectory entry: every standard workload measured through
 /// every applicable detector family, plus the net-loopback comparison and
 /// the wire-stack saturation numbers.
@@ -398,6 +435,7 @@ pub fn entry(label: &str, samples: usize) -> Json {
         ("workloads", Json::Arr(workloads)),
         ("net_loopback", net_loopback_stats(samples)),
         ("net_saturation", net_saturation_stats(SATURATION_FRAMES)),
+        ("net_wire_v2", wire_v2_stats(SATURATION_FRAMES)),
         ("telemetry_overhead", telemetry_overhead_stats(samples)),
     ])
 }
@@ -522,6 +560,30 @@ mod tests {
                 > 1.0,
             "batched mode must coalesce"
         );
+        let text = stats.pretty();
+        assert_eq!(Json::parse(&text).unwrap(), stats);
+    }
+
+    #[test]
+    fn wire_v2_halves_bytes_per_event_at_every_measured_scope() {
+        // The wire-v2 acceptance number: bytes/event on the saturated
+        // link at n = 32 must be ≤ 0.5× the v1 baseline (it holds at
+        // every measured width — v1 bodies grow with n, deltas do not).
+        let stats = wire_v2_stats(400);
+        let scopes = stats.get("scopes").unwrap().as_array().unwrap();
+        assert_eq!(scopes.len(), WIRE_V2_SCOPES.len());
+        for s in scopes {
+            let n = s.get("scope").unwrap().as_u64().unwrap();
+            let ratio = s.get("bytes_ratio").unwrap().as_f64().unwrap();
+            assert!(
+                ratio <= 0.5,
+                "scope {n}: v2 bytes/event ratio {ratio} exceeds the 0.5× bound"
+            );
+            assert!(
+                s.get("v2_delta_hit_rate").unwrap().as_f64().unwrap() > 0.8,
+                "scope {n}: chained frames should overwhelmingly be deltas"
+            );
+        }
         let text = stats.pretty();
         assert_eq!(Json::parse(&text).unwrap(), stats);
     }

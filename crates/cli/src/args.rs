@@ -20,6 +20,7 @@ const SWITCHES: &[&str] = &[
     "shrink",
     "no-net",
     "net-batch",
+    "wire-v2",
     "audit-bounds",
     "telemetry",
 ];

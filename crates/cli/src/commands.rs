@@ -370,6 +370,18 @@ pub fn stats(raw: &[String]) -> Result<String, CliError> {
         "acks          : {} out / {} in\n",
         net.acks_sent, net.acks_received
     ));
+    // Wire-v2 compression: actual bytes against what the same frames
+    // would have cost under v1 full-width clock bodies (paper units are
+    // unaffected — DetectionMetrics always counts `wire_size()`).
+    let ratio = net.bytes_sent as f64 / net.wire_bytes_v1_equiv.max(1) as f64;
+    out.push_str(&format!(
+        "wire v2       : {} B sent vs {} B v1-equiv ({:.2}× ratio)\n",
+        net.bytes_sent, net.wire_bytes_v1_equiv, ratio
+    ));
+    out.push_str(&format!(
+        "clock chains  : {} keyframes / {} deltas\n",
+        net.keyframes_sent, net.delta_frames_sent
+    ));
     Ok(out.trim_end().to_string() + "\n")
 }
 
@@ -827,8 +839,10 @@ pub fn obs_report(raw: &[String]) -> Result<String, CliError> {
 /// repro to its minimal form. `--no-net` skips the (slower) real-socket
 /// loopback stacks; `--net-batch` forces coalesced writes on every net
 /// run (by default each case draws batched or per-frame at random);
-/// `--audit-bounds` additionally audits every case's merged telemetry
-/// timeline against the paper's §3.4 message/bit/latency bounds.
+/// `--wire-v2` likewise forces the delta-compressed wire format (each
+/// case draws its wire version at random otherwise); `--audit-bounds`
+/// additionally audits every case's merged telemetry timeline against
+/// the paper's §3.4 message/bit/latency bounds.
 pub fn fuzz(raw: &[String]) -> Result<String, CliError> {
     let args = Args::parse(raw)?;
     let seed: u64 = args.get_or("seed", 1)?;
@@ -840,6 +854,7 @@ pub fn fuzz(raw: &[String]) -> Result<String, CliError> {
     config.shrink = args.switch("shrink");
     config.check.include_net = !args.switch("no-net");
     config.check.force_net_batch = args.switch("net-batch");
+    config.check.force_wire_v2 = args.switch("wire-v2");
     config.check.audit_bounds = args.switch("audit-bounds");
     let report = wcp_fuzz::run_campaign(&config);
     let mut out = report.summary_table();
@@ -1057,6 +1072,23 @@ mod tests {
         assert!(out.contains("batch flushes"), "{out}");
         assert!(out.contains("ready depth"), "{out}");
         assert!(out.contains("buffer pool"), "{out}");
+        // Including the v2 compression accounting: the default loopback
+        // run negotiates v2, so actual bytes land below the v1-equivalent.
+        assert!(out.contains("B v1-equiv"), "{out}");
+        assert!(out.contains("clock chains"), "{out}");
+        let wire_line = out
+            .lines()
+            .find(|l| l.starts_with("wire v2"))
+            .expect("wire v2 line");
+        let nums: Vec<u64> = wire_line
+            .split(|c: char| !c.is_ascii_digit())
+            .filter(|s| !s.is_empty())
+            .map(|s| s.parse().unwrap())
+            .collect();
+        assert!(
+            nums[0] < nums[1],
+            "v2 must compress below the v1-equivalent: {wire_line}"
+        );
     }
 
     #[test]

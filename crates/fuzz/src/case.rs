@@ -44,6 +44,11 @@ pub struct FuzzCase {
     /// per-frame path — fuzzed so both wire behaviours stay equivalent.
     /// Corpus files written before this field existed default to `true`.
     pub net_batch: bool,
+    /// Whether the net runs advertise the delta-compressed wire v2 —
+    /// fuzzed so both wire versions stay verdict-equivalent. Corpus files
+    /// written before this field existed default to `false` (they pinned
+    /// v1-only behaviour).
+    pub wire_v2: bool,
 }
 
 impl FuzzCase {
@@ -139,6 +144,8 @@ impl FuzzCase {
             // the seeded case stream is unchanged from pre-batching
             // campaigns and existing seeds reproduce the same cases.
             net_batch: stream_seed.count_ones() % 2 == 0,
+            // Independent bits of the same draw, for the same reason.
+            wire_v2: (stream_seed >> 32).count_ones() % 2 == 0,
         }
     }
 
@@ -180,6 +187,7 @@ impl ToJson for FuzzCase {
             ),
             ("net", Json::Bool(self.net)),
             ("net_batch", Json::Bool(self.net_batch)),
+            ("wire_v2", Json::Bool(self.wire_v2)),
         ])
     }
 }
@@ -209,6 +217,14 @@ impl FromJson for FuzzCase {
                     .as_bool()
                     .ok_or_else(|| JsonError::shape("net_batch: expected a bool"))?,
                 None => true,
+            },
+            // Absent in pre-v2 corpus files: those pinned v1-only wire
+            // behaviour, so they keep replaying on v1.
+            wire_v2: match value.get("wire_v2") {
+                Some(v) => v
+                    .as_bool()
+                    .ok_or_else(|| JsonError::shape("wire_v2: expected a bool"))?,
+                None => false,
             },
         })
     }
@@ -272,6 +288,14 @@ mod tests {
         assert!(cases.iter().any(|c| c.net));
         assert!(cases.iter().any(|c| c.net_batch));
         assert!(cases.iter().any(|c| !c.net_batch));
+        assert!(cases.iter().any(|c| c.wire_v2));
+        assert!(cases.iter().any(|c| !c.wire_v2));
+        assert!(
+            cases
+                .iter()
+                .any(|c| c.net && c.wire_v2 && c.fault.is_some()),
+            "wire-v2 net runs under faults never sampled"
+        );
     }
 
     #[test]
@@ -286,6 +310,20 @@ mod tests {
         }
         let back = FuzzCase::from_json(&json).unwrap();
         assert!(back.net_batch, "missing field defaults to batched");
+    }
+
+    #[test]
+    fn pre_v2_corpus_files_default_to_wire_v1() {
+        let mut rng = Rng::seed_from_u64(17);
+        let mut case = FuzzCase::random(&mut rng);
+        case.wire_v2 = true;
+        let mut json = case.to_json();
+        // An old corpus entry simply lacks the field.
+        if let Json::Obj(pairs) = &mut json {
+            pairs.retain(|(k, _)| k != "wire_v2");
+        }
+        let back = FuzzCase::from_json(&json).unwrap();
+        assert!(!back.wire_v2, "missing field replays on wire v1");
     }
 
     #[test]

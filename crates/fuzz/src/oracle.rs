@@ -92,6 +92,10 @@ pub struct CheckOptions {
     /// Force coalesced (batched) writes on every net run, overriding the
     /// case's own `net_batch` draw — the `wcp fuzz --net-batch` smoke knob.
     pub force_net_batch: bool,
+    /// Force the delta-compressed wire v2 on every net run, overriding
+    /// the case's own `wire_v2` draw — the `wcp fuzz --wire-v2` smoke
+    /// knob.
+    pub force_wire_v2: bool,
     /// Audit the merged telemetry timeline of a recorded online vc-token
     /// run against the paper's §3.4 bounds (`wcp fuzz --audit-bounds`).
     pub audit_bounds: bool,
@@ -107,6 +111,7 @@ impl Default for CheckOptions {
             include_net: true,
             sabotage: false,
             force_net_batch: false,
+            force_wire_v2: false,
             audit_bounds: false,
             sabotage_bounds: false,
         }
@@ -460,6 +465,9 @@ pub fn check_case(case: &FuzzCase, opts: &CheckOptions) -> Vec<Divergence> {
             }
             if !(case.net_batch || opts.force_net_batch) {
                 c = c.with_per_frame_writes();
+            }
+            if !(case.wire_v2 || opts.force_wire_v2) {
+                c = c.with_wire_v1();
             }
             c
         };

@@ -37,6 +37,8 @@ use wcp_detect::{DdSnapshot, VcSnapshot};
 use wcp_sim::{ActorId, WireSize};
 use wcp_trace::MsgId;
 
+use crate::wire2::{BitReader, BitWriter, ChainFrame, ClockChains, CLASS_APP, CLASS_SNAPSHOT};
+
 /// Header bytes after the length field (kind + peer + from + to + seq + aux).
 pub const HEADER_LEN: usize = 1 + 4 + 4 + 4 + 8 + 8;
 
@@ -62,6 +64,20 @@ pub mod kind {
     pub const POLL_REPLY: u8 = 9;
     /// A §3.5 multi-token group token.
     pub const GROUP_TOKEN: u8 = 10;
+    /// Bit offset between a v1 clock-carrying kind and its v2 variant:
+    /// every v2 kind is `v1 | V2_BIT`, so frames stay self-describing and
+    /// receivers decode both versions without negotiation state.
+    pub const V2_BIT: u8 = 0x20;
+    /// [`APP_VECTOR`] with a delta-chained, bit-packed clock (wire v2).
+    pub const APP_VECTOR_V2: u8 = APP_VECTOR | V2_BIT;
+    /// [`VC_SNAPSHOT`] with a delta-chained, bit-packed clock (wire v2).
+    pub const VC_SNAPSHOT_V2: u8 = VC_SNAPSHOT | V2_BIT;
+    /// [`VC_TOKEN`] with varint components and 1-bit colours (wire v2,
+    /// stateless).
+    pub const VC_TOKEN_V2: u8 = VC_TOKEN | V2_BIT;
+    /// [`GROUP_TOKEN`] with varint components and 1-bit colours (wire v2,
+    /// stateless).
+    pub const GROUP_TOKEN_V2: u8 = GROUP_TOKEN | V2_BIT;
     /// Verdict broadcast by the deciding peer.
     pub const VERDICT: u8 = 0xF0;
     /// Orderly teardown marker.
@@ -78,7 +94,15 @@ pub mod kind {
     /// never logged, acked, or resequenced, and never counted in the
     /// paper-unit accounting.
     pub const TELEMETRY: u8 = 0xF3;
+    /// Wire-version handshake: `aux` advertises the sender's highest
+    /// supported wire version. Sent once per link over the un-faulted
+    /// recovery path (so fault schedules stay bit-identical either way)
+    /// and re-sent after a reconnect. Endpoint-internal like [`ACK`].
+    pub const HELLO: u8 = 0xF4;
 }
+
+/// Highest wire version this build speaks (and advertises in [`kind::HELLO`]).
+pub const WIRE_VERSION: u64 = 2;
 
 /// Decoding failures.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -93,6 +117,10 @@ pub enum CodecError {
     BadLength(usize),
     /// A group token wider than the 64-process aux bitmap.
     TooWide(usize),
+    /// A delta-chained v2 frame reached a stateless decode path; only
+    /// the endpoint (which holds the per-link [`ClockChains`]) can
+    /// decode it.
+    Stateful(u8),
 }
 
 impl std::fmt::Display for CodecError {
@@ -107,6 +135,9 @@ impl std::fmt::Display for CodecError {
                     f,
                     "group token over {n} processes exceeds the 64-bit aux bitmap"
                 )
+            }
+            CodecError::Stateful(k) => {
+                write!(f, "frame kind {k:#04x} needs the link's delta-chain state")
             }
         }
     }
@@ -431,10 +462,78 @@ pub fn decode_body(kind_byte: u8, aux: u64, body: &[u8]) -> Result<DetectMsg, Co
             }
             DetectMsg::GroupToken(t)
         }
+        // Stateless v2 bodies: varint-packed, decodable without chain
+        // state (early return — they use the bit reader, not `r`).
+        kind::VC_TOKEN_V2 => return decode_vc_token_v2(body),
+        kind::GROUP_TOKEN_V2 => return decode_group_token_v2(aux, body),
+        // Delta-chained v2 bodies never decode statelessly; the endpoint
+        // decodes them at in-sequence promotion with the link's chains.
+        kind::APP_VECTOR_V2 | kind::VC_SNAPSHOT_V2 => return Err(CodecError::Stateful(kind_byte)),
         other => return Err(CodecError::BadKind(other)),
     };
     r.done()?;
     Ok(msg)
+}
+
+/// Decodes a stateless v2 token body: varint `n`, `n` varint `G`
+/// components, `n` colour bits.
+fn decode_vc_token_v2(body: &[u8]) -> Result<DetectMsg, CodecError> {
+    let mut r = BitReader::new(body);
+    let n = r.read_varint()? as usize;
+    if n > r.bits_remaining() / 9 {
+        return Err(CodecError::BadLength(n));
+    }
+    let mut token = Token::new(n);
+    for g in token.g.iter_mut() {
+        *g = r.read_varint()?;
+    }
+    for i in 0..n {
+        let c = if r.read_bit()? {
+            Color::Green
+        } else {
+            Color::Red
+        };
+        token.set_color(i, c);
+    }
+    r.expect_padding()?;
+    Ok(DetectMsg::VcToken(token))
+}
+
+/// Decodes a stateless v2 group-token body: varint group, varint `n`,
+/// `n` varint `G` components, `n` colour bits, then one varint clock per
+/// set bit of the `aux` presence bitmap (same bitmap as v1).
+fn decode_group_token_v2(aux: u64, body: &[u8]) -> Result<DetectMsg, CodecError> {
+    let mut r = BitReader::new(body);
+    let group = r.read_varint()? as usize;
+    let n = r.read_varint()? as usize;
+    if n > r.bits_remaining() / 9 {
+        return Err(CodecError::BadLength(n));
+    }
+    if n > 64 || aux.checked_shr(n as u32).map_or(false, |high| high != 0) {
+        return Err(CodecError::TooWide(n));
+    }
+    let mut t = GroupTokenMsg::new(group, n);
+    for g in t.g.iter_mut() {
+        *g = r.read_varint()?;
+    }
+    for c in t.color.iter_mut() {
+        *c = if r.read_bit()? {
+            Color::Green
+        } else {
+            Color::Red
+        };
+    }
+    for i in 0..n {
+        if aux & (1 << i) != 0 {
+            let mut comps = Vec::with_capacity(n);
+            for _ in 0..n {
+                comps.push(r.read_varint()?);
+            }
+            t.candidates[i] = Some(VectorClock::from_components(comps));
+        }
+    }
+    r.expect_padding()?;
+    Ok(DetectMsg::GroupToken(t))
 }
 
 /// Byte offset of a frame's body within the full frame bytes (length
@@ -485,6 +584,175 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
     let mut out = Vec::new();
     encode_frame_into(frame, &mut out);
     out
+}
+
+/// How [`encode_frame_into_v2`] put a frame on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireEncoding {
+    /// No v2 form for this payload — encoded exactly as v1.
+    V1,
+    /// Stateless bit-packed v2 body (tokens).
+    Packed,
+    /// Delta-chain keyframe (full clock, varint-packed).
+    Keyframe,
+    /// Delta-chain delta frame (changed bitmap + varint deltas).
+    Delta,
+}
+
+/// The v2 kind byte of a [`DetectMsg`] that has a v2 encoding. `O(1)`
+/// bodies gain nothing from bit packing and stay v1 on every link.
+fn detect_kind_v2(msg: &DetectMsg) -> Option<u8> {
+    match msg {
+        DetectMsg::App {
+            tag: ClockTag::Vector(_),
+            ..
+        } => Some(kind::APP_VECTOR_V2),
+        DetectMsg::VcSnapshot(_) => Some(kind::VC_SNAPSHOT_V2),
+        DetectMsg::VcToken(_) => Some(kind::VC_TOKEN_V2),
+        DetectMsg::GroupToken(_) => Some(kind::GROUP_TOKEN_V2),
+        _ => None,
+    }
+}
+
+/// Appends a frame encoded under wire v2 (length prefix included),
+/// advancing `chains` for delta-chained bodies. Payloads with no v2 form
+/// fall back to [`encode_frame_into`] byte for byte. The bit-packed body
+/// is written straight into `out`, so the batched send path stays
+/// allocation-free.
+pub fn encode_frame_into_v2(
+    frame: &Frame,
+    chains: &mut ClockChains,
+    out: &mut Vec<u8>,
+) -> WireEncoding {
+    let msg = match &frame.payload {
+        Payload::Detect(msg) => msg,
+        _ => {
+            encode_frame_into(frame, out);
+            return WireEncoding::V1;
+        }
+    };
+    let Some(kind2) = detect_kind_v2(msg) else {
+        encode_frame_into(frame, out);
+        return WireEncoding::V1;
+    };
+    let (_, aux) = detect_kind_aux(msg);
+    let start = out.len();
+    put_u32(out, 0); // length placeholder, patched below
+    out.push(kind2);
+    put_u32(out, frame.peer);
+    put_u32(out, frame.from.index() as u32);
+    put_u32(out, frame.to.index() as u32);
+    put_u64(out, frame.seq);
+    put_u64(out, aux);
+    let from = frame.from.index() as u32;
+    let mut w = BitWriter::new(out);
+    let encoding = match msg {
+        DetectMsg::App {
+            msg: id,
+            tag: ClockTag::Vector(v),
+        } => {
+            w.write_varint(id.as_u64());
+            match chains.encode_clock(from, CLASS_APP, v.as_slice(), &mut w) {
+                ChainFrame::Keyframe => WireEncoding::Keyframe,
+                ChainFrame::Delta => WireEncoding::Delta,
+            }
+        }
+        DetectMsg::VcSnapshot(s) => {
+            match chains.encode_clock(from, CLASS_SNAPSHOT, s.clock.as_slice(), &mut w) {
+                ChainFrame::Keyframe => WireEncoding::Keyframe,
+                ChainFrame::Delta => WireEncoding::Delta,
+            }
+        }
+        DetectMsg::VcToken(t) => {
+            w.write_varint(t.g.len() as u64);
+            for &g in &t.g {
+                w.write_varint(g);
+            }
+            for &c in t.colors() {
+                w.write_bit(c == Color::Green);
+            }
+            WireEncoding::Packed
+        }
+        DetectMsg::GroupToken(t) => {
+            w.write_varint(t.group as u64);
+            w.write_varint(t.g.len() as u64);
+            for &g in &t.g {
+                w.write_varint(g);
+            }
+            for &c in &t.color {
+                w.write_bit(c == Color::Green);
+            }
+            for clock in t.candidates.iter().flatten() {
+                for &c in clock.as_slice() {
+                    w.write_varint(c);
+                }
+            }
+            WireEncoding::Packed
+        }
+        _ => unreachable!("detect_kind_v2 gated the payload"),
+    };
+    w.finish();
+    let len = (out.len() - start - 4) as u32;
+    out[start..start + 4].copy_from_slice(&len.to_le_bytes());
+    encoding
+}
+
+/// A delta-chained v2 body reconstructed by the receiving endpoint at
+/// in-sequence promotion (the only point where the link's chain state
+/// may legally advance).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodedV2 {
+    /// `VC_SNAPSHOT_V2`: the full reconstructed clock as little-endian
+    /// bytes — exactly the v1 body layout, arena-ready for
+    /// `SnapshotBuffer::push_le_bytes`.
+    SnapshotClock(Vec<u8>),
+    /// `APP_VECTOR_V2`: the message id and reconstructed clock.
+    AppVector(MsgId, VectorClock),
+}
+
+/// Decodes a delta-chained v2 body (`APP_VECTOR_V2` / `VC_SNAPSHOT_V2`),
+/// advancing the receiver-side `chains` exactly as the sender did.
+pub fn decode_stateful_v2(
+    head: &WireHeader,
+    body: &[u8],
+    chains: &mut ClockChains,
+) -> Result<DecodedV2, CodecError> {
+    let from = head.from.index() as u32;
+    let mut r = BitReader::new(body);
+    match head.kind {
+        kind::APP_VECTOR_V2 => {
+            let id = MsgId::new(r.read_varint()?);
+            let clock = chains.decode_clock(from, CLASS_APP, &mut r)?;
+            r.expect_padding()?;
+            Ok(DecodedV2::AppVector(
+                id,
+                VectorClock::from_components(clock),
+            ))
+        }
+        kind::VC_SNAPSHOT_V2 => {
+            let clock = chains.decode_clock(from, CLASS_SNAPSHOT, &mut r)?;
+            r.expect_padding()?;
+            let mut le = Vec::with_capacity(clock.len() * 8);
+            for &c in &clock {
+                le.extend_from_slice(&c.to_le_bytes());
+            }
+            Ok(DecodedV2::SnapshotClock(le))
+        }
+        other => Err(CodecError::BadKind(other)),
+    }
+}
+
+/// Appends a wire-version handshake frame to `out`: `aux` advertises the
+/// sender's highest supported wire version, with an empty body. Carried
+/// with `seq = CONTROL_SEQ` over the un-faulted recovery path, like acks.
+pub fn encode_hello_into(me: u32, version: u64, out: &mut Vec<u8>) {
+    put_u32(out, HEADER_LEN as u32);
+    out.push(kind::HELLO);
+    put_u32(out, me);
+    put_u32(out, 0); // from/to unused: hellos never reach an actor
+    put_u32(out, 0);
+    put_u64(out, CONTROL_SEQ);
+    put_u64(out, version);
 }
 
 /// Appends a cumulative-acknowledgement frame to `out`: `next_expected`
@@ -747,6 +1015,117 @@ mod tests {
             decode_payload(h.kind, h.aux, &bytes[BODY_START..]).is_err(),
             "telemetry is endpoint-internal, not a protocol payload"
         );
+    }
+
+    #[test]
+    fn v2_tokens_roundtrip_statelessly_and_pack_tighter() {
+        let mut token = Token::new(5);
+        token.g = vec![0, 3, 120, 4000, 1];
+        token.set_color(2, Color::Green);
+        let mut group = GroupTokenMsg::new(1, 3);
+        group.g = vec![9, 0, 2];
+        group.color[1] = Color::Green;
+        group.candidates[2] = Some(VectorClock::from_components(vec![4, 5, 6]));
+        for msg in [DetectMsg::VcToken(token), DetectMsg::GroupToken(group)] {
+            let f = frame(Payload::Detect(msg.clone()));
+            let mut chains = ClockChains::new();
+            let mut v2 = Vec::new();
+            let enc = encode_frame_into_v2(&f, &mut chains, &mut v2);
+            assert_eq!(enc, WireEncoding::Packed);
+            assert_eq!(decode_frame(&v2).unwrap(), f, "stateless v2 decode");
+            assert!(v2.len() < encode_frame(&f).len(), "packs tighter than v1");
+        }
+    }
+
+    #[test]
+    fn v2_delta_chains_need_the_endpoint_and_reconstruct_v1_bodies() {
+        let snapshots = [vec![1, 2, 3], vec![1, 3, 3], vec![u64::MAX, 3, 4]];
+        let mut enc_chains = ClockChains::new();
+        let mut dec_chains = ClockChains::new();
+        for (i, clock) in snapshots.iter().enumerate() {
+            let msg = DetectMsg::VcSnapshot(VcSnapshot {
+                interval: i as u64,
+                clock: VectorClock::from_components(clock.clone()),
+            });
+            let f = frame(Payload::Detect(msg.clone()));
+            let mut v2 = Vec::new();
+            let enc = encode_frame_into_v2(&f, &mut enc_chains, &mut v2);
+            assert_eq!(
+                enc,
+                if i == 0 {
+                    WireEncoding::Keyframe
+                } else {
+                    WireEncoding::Delta
+                }
+            );
+            let h = decode_header(&v2).unwrap();
+            assert_eq!(h.kind, kind::VC_SNAPSHOT_V2);
+            assert_eq!(h.aux, i as u64, "interval still rides in aux");
+            assert!(
+                matches!(
+                    decode_payload(h.kind, h.aux, &v2[BODY_START..]),
+                    Err(CodecError::Stateful(_))
+                ),
+                "delta frames refuse stateless decode"
+            );
+            let decoded = decode_stateful_v2(&h, &v2[BODY_START..], &mut dec_chains).unwrap();
+            let (_, _, v1_body) = encode_body(&msg);
+            assert_eq!(
+                decoded,
+                DecodedV2::SnapshotClock(v1_body),
+                "reconstruction is the exact v1 (paper-unit) body"
+            );
+        }
+    }
+
+    #[test]
+    fn v2_app_vectors_roundtrip_and_scalars_fall_back_to_v1() {
+        let mut chains = ClockChains::new();
+        let mut dec_chains = ClockChains::new();
+        let vec_msg = DetectMsg::App {
+            msg: MsgId::new(77),
+            tag: ClockTag::Vector(VectorClock::from_components(vec![5, 0, 9])),
+        };
+        let f = frame(Payload::Detect(vec_msg));
+        let mut v2 = Vec::new();
+        encode_frame_into_v2(&f, &mut chains, &mut v2);
+        let h = decode_header(&v2).unwrap();
+        assert_eq!(h.kind, kind::APP_VECTOR_V2);
+        let decoded = decode_stateful_v2(&h, &v2[BODY_START..], &mut dec_chains).unwrap();
+        assert_eq!(
+            decoded,
+            DecodedV2::AppVector(MsgId::new(77), VectorClock::from_components(vec![5, 0, 9]))
+        );
+        // O(1) payloads gain nothing from bit packing: byte-identical v1.
+        for payload in [
+            Payload::Detect(DetectMsg::App {
+                msg: MsgId::new(3),
+                tag: ClockTag::Scalar(9),
+            }),
+            Payload::Detect(DetectMsg::EndOfTrace),
+            Payload::Detect(DetectMsg::DdToken),
+            Payload::Verdict(None),
+            Payload::Shutdown,
+        ] {
+            let f = frame(payload);
+            let mut v2 = Vec::new();
+            let enc = encode_frame_into_v2(&f, &mut chains, &mut v2);
+            assert_eq!(enc, WireEncoding::V1);
+            assert_eq!(v2, encode_frame(&f));
+        }
+    }
+
+    #[test]
+    fn hello_frames_advertise_the_version_in_aux() {
+        let mut bytes = Vec::new();
+        encode_hello_into(6, WIRE_VERSION, &mut bytes);
+        assert_eq!(frame_len_at(&bytes, 0), Some(bytes.len()));
+        let h = decode_header(&bytes).unwrap();
+        assert_eq!(h.kind, kind::HELLO);
+        assert_eq!(h.peer, 6);
+        assert_eq!(h.seq, CONTROL_SEQ);
+        assert_eq!(h.aux, WIRE_VERSION);
+        assert!(decode_payload(h.kind, h.aux, &bytes[BODY_START..]).is_err());
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub mod saturation;
 pub mod stats;
 pub mod telemetry;
 pub mod transport;
+pub mod wire2;
 
 pub use codec::{decode_frame, encode_frame, read_frame, CodecError, Frame, Payload};
 pub use fault::{link_seed, FaultyTransport};
@@ -50,10 +51,12 @@ pub use runner::{
     PeerReport, TransportKind,
 };
 pub use saturation::{
-    saturate_loopback, saturate_loopback_observed, saturate_tcp, SaturationReport,
+    saturate_loopback, saturate_loopback_observed, saturate_loopback_wire, saturate_tcp,
+    SaturationReport,
 };
 pub use stats::{NetCounters, NetStats};
 pub use telemetry::{
     decode_delta, encode_delta, SidecarFilter, TelemetryCollector, TelemetryDelta, TELEMETRY_SCHEMA,
 };
 pub use transport::{spawn_listener, LoopbackTransport, TcpTransport, Transport};
+pub use wire2::{BitReader, BitWriter, ClockChains};

@@ -58,14 +58,20 @@ use wcp_detect::online::{DetectMsg, OnlineDetection, SharedOutcome};
 use wcp_obs::{LogicalTime, Recorder, RingRecorder, TraceEvent};
 use wcp_sim::{Actor, ActorId, Context, SimMetrics, WireSize};
 
+use wcp_clocks::VectorClock;
+use wcp_detect::online::ClockTag;
+use wcp_detect::VcSnapshot;
+
 use crate::codec::{
-    decode_header, decode_payload, encode_ack_into, encode_frame_into, encode_telemetry_into,
-    frame_len_at, kind, CodecError, Frame, Payload, WireHeader, BODY_START,
+    decode_header, decode_payload, decode_stateful_v2, encode_ack_into, encode_frame_into,
+    encode_frame_into_v2, encode_hello_into, encode_telemetry_into, frame_len_at, kind, CodecError,
+    DecodedV2, Frame, Payload, WireEncoding, WireHeader, BODY_START, WIRE_VERSION,
 };
 use crate::pool::PooledBuf;
 use crate::stats::{NetCounters, NetStats};
 use crate::telemetry::{encode_delta, TelemetryCollector};
 use crate::transport::Transport;
+use crate::wire2::ClockChains;
 
 /// Flush threshold of a link's outbound batch: bulk sends past this size
 /// go to the wire even without an explicit flush, bounding both batch
@@ -143,6 +149,17 @@ struct Link {
     batch: Vec<u8>,
     /// Frame count of `batch`.
     batch_frames: u64,
+    /// Whether the peer's `HELLO` has arrived (either version) — once
+    /// `true` the link's wire version is settled for good.
+    hello_resolved: bool,
+    /// Negotiated: the peer advertised wire v2 *and* this endpoint
+    /// advertises it. Links start at v1 and only ever upgrade, so a
+    /// receiver can always decode what it is sent.
+    wire_v2: bool,
+    /// Sender-side delta-chain state (wire v2): the last clock shipped
+    /// per originating actor and stream class. Replay resends logged
+    /// bytes, so this never rewinds.
+    chains: ClockChains,
 }
 
 /// Inbound resequencing state for one remote peer.
@@ -152,6 +169,10 @@ struct Inbound {
     /// The `next_expected` value last acknowledged back to the sender.
     acked: u64,
     pending: BTreeMap<u64, RawFrame>,
+    /// Receiver-side delta-chain state (wire v2), advanced only at
+    /// in-sequence promotion — after dedup — so it mirrors the sender's
+    /// chains exactly under replay, duplication, and reordering.
+    chains: ClockChains,
 }
 
 /// One inbound frame: routing header decoded, payload bytes still inside
@@ -165,6 +186,10 @@ pub struct RawFrame {
     at: usize,
     /// Total frame length, prefix included.
     len: usize,
+    /// For delta-chained v2 frames: the body reconstructed at in-sequence
+    /// promotion (the chunk holds only the delta, which is meaningless
+    /// without the chain state it was promoted against).
+    decoded: Option<DecodedV2>,
 }
 
 impl RawFrame {
@@ -198,9 +223,36 @@ impl RawFrame {
         &self.chunk[self.at + BODY_START..self.at + self.len]
     }
 
+    /// The snapshot clock as little-endian component bytes — the v1 body
+    /// layout the arena-direct decode path consumes. For a v1
+    /// `VC_SNAPSHOT` frame this is the raw body; for `VC_SNAPSHOT_V2` it
+    /// is the clock reconstructed at promotion.
+    pub fn clock_le(&self) -> &[u8] {
+        match &self.decoded {
+            Some(DecodedV2::SnapshotClock(le)) => le,
+            _ => self.body(),
+        }
+    }
+
     /// Decodes the payload.
     pub fn payload(&self) -> Result<Payload, CodecError> {
-        decode_payload(self.head.kind, self.head.aux, self.body())
+        match &self.decoded {
+            Some(DecodedV2::AppVector(id, clock)) => Ok(Payload::Detect(DetectMsg::App {
+                msg: *id,
+                tag: ClockTag::Vector(clock.clone()),
+            })),
+            Some(DecodedV2::SnapshotClock(le)) => {
+                let comps = le
+                    .chunks_exact(8)
+                    .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+                    .collect();
+                Ok(Payload::Detect(DetectMsg::VcSnapshot(VcSnapshot {
+                    interval: self.head.aux,
+                    clock: VectorClock::from_components(comps),
+                })))
+            }
+            None => decode_payload(self.head.kind, self.head.aux, self.body()),
+        }
     }
 
     /// Decodes the whole frame into its owned form (tests, tooling).
@@ -246,6 +298,14 @@ pub struct Endpoint {
     /// When `false`, every send flushes its frame individually (the
     /// pre-batching wire behaviour).
     batch: bool,
+    /// Whether this endpoint advertises (and, given a consenting peer,
+    /// sends) wire v2. `false` pins every link to v1.
+    advertise_v2: bool,
+    /// Links whose peer `HELLO` has not arrived yet. While nonzero,
+    /// `send` opportunistically drains the inbox so purely-sending peers
+    /// (which may never call `recv`) still observe the handshake and
+    /// upgrade promptly.
+    hello_pending: usize,
     /// Reusable encode buffer for outgoing acknowledgements.
     ack_buf: Vec<u8>,
     /// Sink for inbound sidecar telemetry frames (the collector peer).
@@ -256,7 +316,9 @@ impl Endpoint {
     /// Builds the endpoint for peer `me` of `n_peers`. `links[j]` must be
     /// `Some` for every `j != me`. `batch` enables send coalescing;
     /// per-frame mode is behaviourally identical on the wire, one write
-    /// per frame.
+    /// per frame. `wire_v2` advertises the delta-compressed wire format;
+    /// each link upgrades only after the peer's `HELLO` consents, so
+    /// mixed-version links downgrade to v1.
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         me: u32,
@@ -267,9 +329,10 @@ impl Endpoint {
         max_retries: u32,
         backoff_base: Duration,
         batch: bool,
+        wire_v2: bool,
     ) -> Self {
         let n_peers = links.len();
-        Endpoint {
+        let mut endpoint = Endpoint {
             me,
             links: links
                 .into_iter()
@@ -280,6 +343,9 @@ impl Endpoint {
                         log: FrameLog::new(),
                         batch: Vec::new(),
                         batch_frames: 0,
+                        hello_resolved: false,
+                        wire_v2: false,
+                        chains: ClockChains::new(),
                     })
                 })
                 .collect(),
@@ -291,8 +357,33 @@ impl Endpoint {
             max_retries,
             backoff_base,
             batch,
+            advertise_v2: wire_v2,
+            hello_pending: 0,
             ack_buf: Vec::new(),
             collector: None,
+        };
+        endpoint.hello_pending = endpoint.links.iter().flatten().count();
+        for peer in 0..endpoint.links.len() as u32 {
+            endpoint.send_hello(peer);
+        }
+        endpoint
+    }
+
+    /// Advertises this endpoint's wire version on `to_peer`'s link.
+    /// Advisory like an ack: routed via [`Transport::resend`] so fault
+    /// injection never draws on it (seeded schedules are bit-identical
+    /// across wire versions), and dropped silently on error — a lost
+    /// hello just leaves the link on v1, which every receiver decodes.
+    fn send_hello(&mut self, to_peer: u32) {
+        let version = if self.advertise_v2 { WIRE_VERSION } else { 1 };
+        let mut buf = Vec::with_capacity(BODY_START);
+        encode_hello_into(self.me, version, &mut buf);
+        if let Some(link) = self
+            .links
+            .get_mut(to_peer as usize)
+            .and_then(Option::as_mut)
+        {
+            let _ = link.transport.resend(&buf);
         }
     }
 
@@ -322,6 +413,15 @@ impl Endpoint {
     ///
     /// Panics if the link stays down after `max_retries` reconnects.
     pub fn send(&mut self, to_peer: u32, from: ActorId, to: ActorId, payload: Payload) {
+        if self.hello_pending > 0 {
+            // A link is still awaiting its peer's HELLO: drain whatever
+            // already arrived so a purely-sending peer (one that never
+            // calls `recv`) still upgrades. Data frames surfaced here
+            // just land in `ready` for the next `recv`.
+            while let Ok(chunk) = self.inbox.try_recv() {
+                self.ingest(chunk);
+            }
+        }
         let flush_now = !self.batch || immediate(&payload);
         let link = self.links[to_peer as usize]
             .as_mut()
@@ -335,7 +435,12 @@ impl Endpoint {
         };
         link.next_seq += 1;
         let start = link.batch.len();
-        encode_frame_into(&frame, &mut link.batch);
+        let encoding = if link.wire_v2 {
+            encode_frame_into_v2(&frame, &mut link.chains, &mut link.batch)
+        } else {
+            encode_frame_into(&frame, &mut link.batch);
+            WireEncoding::V1
+        };
         let frame_len = (link.batch.len() - start) as u64;
         link.log.push(frame.seq, &link.batch[start..]);
         link.batch_frames += 1;
@@ -344,6 +449,27 @@ impl Endpoint {
         self.counters
             .bytes_sent
             .fetch_add(frame_len, Ordering::Relaxed);
+        // Compression accounting: what this frame would have cost under
+        // v1 (a Detect body is exactly `wire_size()` bytes there), kept
+        // on both wire versions so the ratio is meaningful per run.
+        let v1_equiv = match &frame.payload {
+            Payload::Detect(msg) => (BODY_START + msg.wire_size()) as u64,
+            _ => frame_len,
+        };
+        self.counters
+            .wire_bytes_v1_equiv
+            .fetch_add(v1_equiv, Ordering::Relaxed);
+        match encoding {
+            WireEncoding::Keyframe => {
+                self.counters.keyframes_sent.fetch_add(1, Ordering::Relaxed);
+            }
+            WireEncoding::Delta => {
+                self.counters
+                    .delta_frames_sent
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            WireEncoding::V1 | WireEncoding::Packed => {}
+        }
         self.recorder.record(
             self.me,
             LogicalTime::Unknown,
@@ -447,6 +573,10 @@ impl Endpoint {
                         attempt: attempt as u64,
                     },
                 );
+                // Re-advertise the wire version: if the original HELLO
+                // died with the old connection, the peer is still free
+                // to upgrade its own sends from here on.
+                self.send_hello(to_peer);
                 return;
             }
         }
@@ -490,6 +620,7 @@ impl Endpoint {
                 chunk: Arc::clone(&chunk),
                 at,
                 len,
+                decoded: None,
             });
             at += len;
         }
@@ -519,6 +650,19 @@ impl Endpoint {
             }
             return;
         }
+        if frame.head.kind == kind::HELLO {
+            // Wire-version handshake: endpoint-internal like acks. The
+            // first HELLO settles the link's version for good (an
+            // upgrade mid-chain would desynchronize the delta state).
+            if let Some(link) = self.links.get_mut(peer).and_then(Option::as_mut) {
+                if !link.hello_resolved {
+                    link.hello_resolved = true;
+                    link.wire_v2 = self.advertise_v2 && frame.head.aux >= WIRE_VERSION;
+                    self.hello_pending = self.hello_pending.saturating_sub(1);
+                }
+            }
+            return;
+        }
         let st = &mut self.inbound[peer];
         if frame.head.seq < st.next_expected || st.pending.contains_key(&frame.head.seq) {
             self.counters
@@ -544,8 +688,17 @@ impl Endpoint {
             self.counters.reordered.fetch_add(1, Ordering::Relaxed);
         }
         st.pending.insert(frame.head.seq, frame);
-        while let Some(f) = st.pending.remove(&st.next_expected) {
+        while let Some(mut f) = st.pending.remove(&st.next_expected) {
             st.next_expected += 1;
+            // Delta-chained v2 bodies decode here — the unique
+            // in-sequence point after dedup, so the receiver chain
+            // advances exactly once per sequence number, in step with
+            // the sender's, whatever the transport replayed or reordered.
+            if matches!(f.head.kind, kind::APP_VECTOR_V2 | kind::VC_SNAPSHOT_V2) {
+                let decoded = decode_stateful_v2(&f.head, f.body(), &mut st.chains)
+                    .expect("corrupt frame on the wire");
+                f.decoded = Some(decoded);
+            }
             self.ready.push_back(f);
         }
         let cursor = st.next_expected;
@@ -913,9 +1066,15 @@ impl PeerHost {
                         };
                         match actor {
                             // Arena-direct: the snapshot clock deserializes
-                            // straight into the monitor's queue.
-                            HostedActor::Vc(monitor) if frame_kind == kind::VC_SNAPSHOT => {
-                                monitor.on_snapshot_wire(&mut ctx, frame.body());
+                            // straight into the monitor's queue. A v2 frame
+                            // was reconstructed to the same little-endian
+                            // layout at promotion, so both versions feed
+                            // the identical bytes (and paper units) in.
+                            HostedActor::Vc(monitor)
+                                if frame_kind == kind::VC_SNAPSHOT
+                                    || frame_kind == kind::VC_SNAPSHOT_V2 =>
+                            {
+                                monitor.on_snapshot_wire(&mut ctx, frame.clock_le());
                             }
                             actor => {
                                 let payload = frame.payload().expect("corrupt frame on the wire");
@@ -1049,6 +1208,7 @@ mod tests {
             4,
             Duration::from_millis(1),
             true,
+            true,
         );
         let e1 = Endpoint::new(
             1,
@@ -1061,6 +1221,7 @@ mod tests {
             Arc::new(NullRecorder),
             4,
             Duration::from_millis(1),
+            true,
             true,
         );
         (e0, e1)
@@ -1140,6 +1301,7 @@ mod tests {
             4,
             Duration::from_millis(1),
             true,
+            true,
         );
         let mk = |seq: u64| {
             let mut chunk = pool.take();
@@ -1183,6 +1345,7 @@ mod tests {
             Arc::new(NullRecorder),
             4,
             Duration::from_millis(1),
+            true,
             true,
         );
         let mut chunk = pool.take();
@@ -1249,6 +1412,7 @@ mod tests {
             4,
             Duration::from_millis(1),
             true,
+            true,
         );
         let mut e1 = Endpoint::new(
             1,
@@ -1258,6 +1422,7 @@ mod tests {
             Arc::new(NullRecorder),
             4,
             Duration::from_millis(1),
+            true,
             true,
         );
         let a = ActorId::new(0);

@@ -44,6 +44,15 @@ pub struct NetCounters {
     pub telemetry_received: AtomicU64,
     /// Bytes of telemetry bodies shipped (outside paper accounting).
     pub telemetry_bytes: AtomicU64,
+    /// What every sent frame would have cost under wire v1 (a `Detect`
+    /// body is exactly `wire_size()` bytes there). Counted on both wire
+    /// versions, so `bytes_sent / wire_bytes_v1_equiv` is the v2
+    /// compression ratio (1.0 on a pure-v1 run).
+    pub wire_bytes_v1_equiv: AtomicU64,
+    /// Wire-v2 delta frames sent (changed bitmap + varint deltas).
+    pub delta_frames_sent: AtomicU64,
+    /// Wire-v2 full-clock keyframes sent.
+    pub keyframes_sent: AtomicU64,
 }
 
 impl NetCounters {
@@ -73,6 +82,9 @@ impl NetCounters {
             telemetry_sent: self.telemetry_sent.load(Ordering::Relaxed),
             telemetry_received: self.telemetry_received.load(Ordering::Relaxed),
             telemetry_bytes: self.telemetry_bytes.load(Ordering::Relaxed),
+            wire_bytes_v1_equiv: self.wire_bytes_v1_equiv.load(Ordering::Relaxed),
+            delta_frames_sent: self.delta_frames_sent.load(Ordering::Relaxed),
+            keyframes_sent: self.keyframes_sent.load(Ordering::Relaxed),
         }
     }
 }
@@ -116,6 +128,13 @@ pub struct NetStats {
     pub telemetry_received: u64,
     /// Bytes of telemetry bodies shipped (outside paper accounting).
     pub telemetry_bytes: u64,
+    /// What every sent frame would have cost under wire v1; see
+    /// [`NetCounters::wire_bytes_v1_equiv`].
+    pub wire_bytes_v1_equiv: u64,
+    /// Wire-v2 delta frames sent (changed bitmap + varint deltas).
+    pub delta_frames_sent: u64,
+    /// Wire-v2 full-clock keyframes sent.
+    pub keyframes_sent: u64,
 }
 
 impl std::fmt::Display for NetStats {
@@ -125,7 +144,8 @@ impl std::fmt::Display for NetStats {
             "{} frames / {} B sent, {} frames / {} B received, \
              {} retransmits, {} reconnects, {} dups dropped, {} reordered, \
              {} flushes (max {} B), ready depth ≤ {}, {} acks out / {} in, \
-             pool {} allocs / {} reuses, telemetry {} out / {} in ({} B)",
+             pool {} allocs / {} reuses, telemetry {} out / {} in ({} B), \
+             wire {} B v1-equiv ({} keyframes / {} deltas)",
             self.frames_sent,
             self.bytes_sent,
             self.frames_received,
@@ -143,7 +163,10 @@ impl std::fmt::Display for NetStats {
             self.pool_reuses,
             self.telemetry_sent,
             self.telemetry_received,
-            self.telemetry_bytes
+            self.telemetry_bytes,
+            self.wire_bytes_v1_equiv,
+            self.keyframes_sent,
+            self.delta_frames_sent
         )
     }
 }

@@ -62,6 +62,9 @@ pub fn stats_to_json(s: &NetStats) -> Json {
         ("telemetry_sent", Json::from(s.telemetry_sent)),
         ("telemetry_received", Json::from(s.telemetry_received)),
         ("telemetry_bytes", Json::from(s.telemetry_bytes)),
+        ("wire_bytes_v1_equiv", Json::from(s.wire_bytes_v1_equiv)),
+        ("delta_frames_sent", Json::from(s.delta_frames_sent)),
+        ("keyframes_sent", Json::from(s.keyframes_sent)),
     ])
 }
 
@@ -97,6 +100,9 @@ pub fn stats_from_json(v: &Json) -> Result<NetStats, JsonError> {
         telemetry_sent: field("telemetry_sent")?,
         telemetry_received: field("telemetry_received")?,
         telemetry_bytes: field("telemetry_bytes")?,
+        wire_bytes_v1_equiv: field("wire_bytes_v1_equiv")?,
+        delta_frames_sent: field("delta_frames_sent")?,
+        keyframes_sent: field("keyframes_sent")?,
     })
 }
 

@@ -14,11 +14,16 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use wcp_clocks::VectorClock;
-use wcp_detect::online::{ClockTag, DetectMsg};
+use wcp_detect::offline::token::{Color, Token};
+use wcp_detect::online::{ClockTag, DetectMsg, GroupTokenMsg};
 use wcp_detect::VcSnapshot;
-use wcp_net::codec::{decode_frame, encode_frame, frame_len_at};
+use wcp_net::codec::{
+    decode_frame, decode_header, decode_payload, decode_stateful_v2, encode_frame,
+    encode_frame_into_v2, frame_len_at, kind, DecodedV2, BODY_START,
+};
 use wcp_net::{
-    spawn_listener, Endpoint, Frame, FramePool, LoopbackTransport, NetCounters, Payload, Transport,
+    spawn_listener, ClockChains, Endpoint, Frame, FramePool, LoopbackTransport, NetCounters,
+    Payload, Transport,
 };
 use wcp_obs::NullRecorder;
 use wcp_sim::ActorId;
@@ -139,7 +144,7 @@ fn tcp_reader_fed_arbitrary_dribbles_reassembles_the_exact_frame_stream() {
 }
 
 /// A connected endpoint pair over loopback with its own counter block.
-fn endpoint_pair(batch: bool) -> (Endpoint, Endpoint, Arc<NetCounters>) {
+fn endpoint_pair(batch: bool, wire_v2: bool) -> (Endpoint, Endpoint, Arc<NetCounters>) {
     let (tx0, rx0) = channel();
     let (tx1, rx1) = channel();
     let counters = NetCounters::shared();
@@ -157,6 +162,7 @@ fn endpoint_pair(batch: bool) -> (Endpoint, Endpoint, Arc<NetCounters>) {
             4,
             Duration::from_millis(1),
             batch,
+            wire_v2,
         )
     };
     let e0 = mk(0, tx1, rx0);
@@ -167,7 +173,7 @@ fn endpoint_pair(batch: bool) -> (Endpoint, Endpoint, Arc<NetCounters>) {
 /// Drives `traffic` payloads through a fresh pair and returns the
 /// delivered `(seq, frame)` sequence plus the pair's counters.
 fn deliver_all(batch: bool) -> (Vec<Frame>, Arc<NetCounters>) {
-    let (mut sender, mut receiver, counters) = endpoint_pair(batch);
+    let (mut sender, mut receiver, counters) = endpoint_pair(batch, true);
     let a = ActorId::new(0);
     let total = {
         let frames = sample_frames();
@@ -213,7 +219,7 @@ fn batched_and_per_frame_endpoints_deliver_identical_frame_sequences() {
 
 #[test]
 fn steady_state_traffic_recycles_pooled_buffers() {
-    let (mut sender, mut receiver, counters) = endpoint_pair(true);
+    let (mut sender, mut receiver, counters) = endpoint_pair(true, true);
     let a = ActorId::new(0);
     let rounds = 200u64;
     for i in 0..rounds {
@@ -244,4 +250,237 @@ fn steady_state_traffic_recycles_pooled_buffers() {
         "allocations should be a small working set, got {}",
         stats.pool_allocs
     );
+}
+
+/// Tiny deterministic PRNG (xorshift64*) for the arbitrary-stream
+/// generators below.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+}
+
+/// An arbitrary `DetectMsg` stream mixing every wire class: delta-chained
+/// clocks (mostly small increments, occasionally wild jumps or width
+/// changes, from two distinct sending actors so per-actor chains
+/// interleave), stateless bit-packed tokens, and v1-only scalar bodies.
+fn arbitrary_stream(seed: u64, count: usize) -> Vec<Frame> {
+    let mut rng = Rng(seed | 1);
+    // Evolving clock per (actor, class) so deltas and keyframes both occur.
+    let mut clocks: std::collections::BTreeMap<(u32, u8), Vec<u64>> = Default::default();
+    let mut evolve = |rng: &mut Rng, actor: u32, class: u8| -> Vec<u64> {
+        let clock = clocks
+            .entry((actor, class))
+            .or_insert_with(|| vec![0; 3 + (actor as usize % 3)]);
+        match rng.below(10) {
+            0 => {
+                // Width change: forces a keyframe mid-chain.
+                *clock = (0..2 + rng.below(5)).map(|_| rng.below(1 << 20)).collect();
+            }
+            1 => {
+                // Wild jump, including the u64 edges (wrapping deltas).
+                let i = rng.below(clock.len() as u64) as usize;
+                clock[i] = match rng.below(3) {
+                    0 => u64::MAX,
+                    1 => 0,
+                    _ => rng.next(),
+                };
+            }
+            _ => {
+                // The common case: a few components tick forward.
+                for _ in 0..=rng.below(3) {
+                    let i = rng.below(clock.len() as u64) as usize;
+                    clock[i] = clock[i].wrapping_add(1 + rng.below(4));
+                }
+            }
+        }
+        clock.clone()
+    };
+    (0..count)
+        .map(|i| {
+            let actor = (rng.below(2) as u32) * 5; // actors 0 and 5
+            let payload = match rng.below(8) {
+                0 | 1 => Payload::Detect(DetectMsg::App {
+                    msg: MsgId::new(rng.next()),
+                    tag: ClockTag::Vector(VectorClock::from_components(evolve(&mut rng, actor, 0))),
+                }),
+                2 | 3 => Payload::Detect(DetectMsg::VcSnapshot(VcSnapshot {
+                    interval: rng.next(),
+                    clock: VectorClock::from_components(evolve(&mut rng, actor, 1)),
+                })),
+                4 => {
+                    let n = 1 + rng.below(6) as usize;
+                    let mut t = Token::new(n);
+                    for j in 0..n {
+                        t.g[j] = rng.below(1 << 30);
+                        if rng.below(2) == 0 {
+                            t.set_color(j, Color::Green);
+                        }
+                    }
+                    Payload::Detect(DetectMsg::VcToken(t))
+                }
+                5 => {
+                    let n = 1 + rng.below(5) as usize;
+                    let mut t = GroupTokenMsg::new(rng.below(4) as usize, n);
+                    for j in 0..n {
+                        t.g[j] = rng.next() >> rng.below(40);
+                        if rng.below(2) == 0 {
+                            t.color[j] = Color::Green;
+                        }
+                        if rng.below(3) == 0 {
+                            t.candidates[j] = Some(VectorClock::from_components(
+                                (0..n as u64).map(|_| rng.below(1 << 16)).collect(),
+                            ));
+                        }
+                    }
+                    Payload::Detect(DetectMsg::GroupToken(t))
+                }
+                6 => Payload::Detect(DetectMsg::App {
+                    msg: MsgId::new(rng.next()),
+                    tag: ClockTag::Scalar(rng.next()),
+                }),
+                _ => Payload::Detect(if rng.below(2) == 0 {
+                    DetectMsg::DdToken
+                } else {
+                    DetectMsg::EndOfTrace
+                }),
+            };
+            Frame {
+                peer: 0,
+                from: ActorId::new(actor),
+                to: ActorId::new(9),
+                seq: i as u64,
+                payload,
+            }
+        })
+        .collect()
+}
+
+/// Decodes one complete v2 frame (raw bytes, length prefix included),
+/// advancing the receiver-side chains for the stateful kinds.
+fn decode_v2_frame(raw: &[u8], chains: &mut ClockChains) -> Payload {
+    let head = decode_header(raw).expect("header decodes");
+    let body = &raw[BODY_START..];
+    match head.kind {
+        kind::APP_VECTOR_V2 | kind::VC_SNAPSHOT_V2 => {
+            match decode_stateful_v2(&head, body, chains).expect("stateful body decodes") {
+                DecodedV2::AppVector(id, clock) => Payload::Detect(DetectMsg::App {
+                    msg: id,
+                    tag: ClockTag::Vector(clock),
+                }),
+                DecodedV2::SnapshotClock(le) => {
+                    Payload::Detect(DetectMsg::VcSnapshot(VcSnapshot {
+                        interval: head.aux,
+                        clock: VectorClock::from_components(
+                            le.chunks_exact(8)
+                                .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+                                .collect(),
+                        ),
+                    }))
+                }
+            }
+        }
+        _ => decode_payload(head.kind, head.aux, body).expect("stateless body decodes"),
+    }
+}
+
+/// The raw-slice sibling of `drain_complete`: consume the maximal prefix
+/// of complete frames as raw byte vectors, keep the rest.
+fn drain_complete_raw(buf: &mut Vec<u8>) -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    let mut at = 0;
+    while let Some(len) = frame_len_at(buf, at).filter(|len| at + len <= buf.len()) {
+        out.push(buf[at..at + len].to_vec());
+        at += len;
+    }
+    buf.drain(..at);
+    out
+}
+
+#[test]
+fn v2_streams_decode_identically_to_v1_at_every_dribble_split() {
+    for seed in [3u64, 77, 0xDEAD_BEEF] {
+        let frames = arbitrary_stream(seed, 40);
+        // Ground truth: each frame's v1 encoding decodes back to itself.
+        let expected: Vec<Payload> = frames
+            .iter()
+            .map(|f| {
+                let decoded = decode_frame(&encode_frame(f)).expect("v1 roundtrip");
+                assert_eq!(decoded.payload, f.payload, "v1 codec diverged");
+                decoded.payload
+            })
+            .collect();
+        // The whole stream under v2, one sender chain set.
+        let mut tx_chains = ClockChains::default();
+        let mut stream = Vec::new();
+        for f in &frames {
+            encode_frame_into_v2(f, &mut tx_chains, &mut stream);
+        }
+        // Reassemble at every possible byte boundary: the split may hold
+        // back at most a strict prefix of one frame, and the stateful
+        // decode across the boundary must equal the v1 payloads exactly.
+        for split in 0..=stream.len() {
+            let mut rx_chains = ClockChains::default();
+            let mut decoded = Vec::new();
+            let mut pending = stream[..split].to_vec();
+            for raw in drain_complete_raw(&mut pending) {
+                decoded.push(decode_v2_frame(&raw, &mut rx_chains));
+            }
+            pending.extend_from_slice(&stream[split..]);
+            for raw in drain_complete_raw(&mut pending) {
+                decoded.push(decode_v2_frame(&raw, &mut rx_chains));
+            }
+            assert!(pending.is_empty(), "seed {seed} split {split}: leftovers");
+            assert_eq!(decoded, expected, "seed {seed} split {split}: diverged");
+        }
+    }
+}
+
+#[test]
+fn v2_endpoints_deliver_the_v1_frame_sequence_for_fewer_bytes() {
+    let run = |wire_v2: bool| {
+        let (mut sender, mut receiver, counters) = endpoint_pair(true, wire_v2);
+        let frames = arbitrary_stream(11, 120);
+        for f in &frames {
+            sender.send(1, f.from, f.to, f.payload.clone());
+        }
+        sender.flush_all();
+        let mut got = Vec::new();
+        while got.len() < frames.len() {
+            let raw = receiver
+                .recv(Duration::from_secs(10))
+                .expect("all frames delivered");
+            got.push(raw.to_frame());
+        }
+        sender.close();
+        receiver.close();
+        (got, counters.snapshot())
+    };
+    let (v1_frames, v1) = run(false);
+    let (v2_frames, v2) = run(true);
+    assert_eq!(v1_frames, v2_frames, "wire version changed delivery");
+    assert_eq!(v1.frames_sent, v2.frames_sent);
+    // v1-equivalent accounting is what v1 actually sent; v2 sends less.
+    assert_eq!(v1.wire_bytes_v1_equiv, v1.bytes_sent);
+    assert_eq!(v2.wire_bytes_v1_equiv, v1.bytes_sent);
+    assert!(
+        v2.bytes_sent < v1.bytes_sent,
+        "v2 did not compress: {} vs {}",
+        v2.bytes_sent,
+        v1.bytes_sent
+    );
+    assert!(v2.delta_frames_sent > 0, "no deltas on a chained stream");
+    assert!(v2.keyframes_sent > 0, "chains must start with keyframes");
+    assert_eq!(v1.delta_frames_sent + v1.keyframes_sent, 0);
 }

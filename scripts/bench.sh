@@ -8,9 +8,11 @@
 #   OUT.json  trajectory file (default: BENCH_wcp.json)
 #
 # Each entry also records the wire-stack saturation numbers (frames/sec,
-# allocs/frame, frames/write for batched vs per-frame loopback and TCP);
-# e.g. `scripts/bench.sh net-batch` captures the batched-transport entry
-# that docs/performance.md quotes.
+# allocs/frame, frames/write for batched vs per-frame loopback and TCP)
+# and the wire-version A/B (bytes/event and delta hit rate for v1 vs the
+# delta-compressed v2 at n ∈ {8, 32, 128}); e.g. `scripts/bench.sh
+# net-batch` captures the batched-transport entry and `scripts/bench.sh
+# wire-v2` the compression entry that docs/performance.md quotes.
 #
 # This is informational tooling, NOT part of tier-1 verification
 # (scripts/verify.sh); timings are machine-dependent and must never

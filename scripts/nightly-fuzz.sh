@@ -36,6 +36,9 @@ status=0
 # No pipe to tee: POSIX sh would report tee's status, not the campaign's.
 # --audit-bounds folds the paper-bound auditor into the battery: each
 # case's merged telemetry timeline must stay inside the §3.4 limits.
+# No --net-batch / --wire-v2 overrides here: each case draws its own
+# write mode and wire version, so the night covers every combination
+# (v1, delta-compressed v2, batched and per-frame) under fault schedules.
 ./target/release/wcp fuzz --seed "$seed" --cases "$cases" --shrink --audit-bounds \
     > "$log" 2>&1 || status=$?
 cat "$log"

@@ -24,9 +24,10 @@ echo "== fuzz smoke campaign (fixed seed, bounded) =="
 # Differential conformance sweep: every detector family cross-checked on
 # 50 seeded cases; exits nonzero (failing this script) on any divergence.
 # --net-batch forces every net case onto the batched (coalesced-write)
-# data path so the smoke run always exercises it; the nightly campaign
-# (scripts/nightly-fuzz.sh) fuzzes both wire modes.
-./target/release/wcp fuzz --seed 1 --cases 50 --shrink --net-batch
+# data path and --wire-v2 onto the delta-compressed wire format, so the
+# smoke run always exercises both; the nightly campaign
+# (scripts/nightly-fuzz.sh) fuzzes all wire modes and versions.
+./target/release/wcp fuzz --seed 1 --cases 50 --shrink --net-batch --wire-v2
 
 echo "== fuzz bound-audit smoke slice =="
 # Paper-bound auditing over the telemetry plane: every case's merged
