@@ -9,17 +9,20 @@
 //! label (`pre-arena`, `arena`, …); regenerating an entry with the same
 //! label replaces it, so the file stays reproducible.
 
+use wcp_clocks::{ProcessId, StateId};
 use wcp_detect::online::run_vc_token;
 use wcp_detect::{
     CentralizedChecker, Detector, DirectDependenceDetector, LatticeDetector, MultiTokenDetector,
     TokenDetector, VcSnapshotQueues,
 };
 use wcp_net::{
-    run_vc_token_net, saturate_loopback, saturate_loopback_observed, saturate_loopback_wire,
-    saturate_tcp, NetConfig, SaturationReport,
+    run_multi_net, run_vc_token_net, saturate_loopback, saturate_loopback_observed,
+    saturate_loopback_wire, saturate_tcp, NetConfig, SaturationReport,
 };
 use wcp_obs::json::Json;
+use wcp_session::{MultiEngine, PredicateId};
 use wcp_sim::SimConfig;
+use wcp_trace::Wcp;
 
 use crate::timing;
 use crate::workloads;
@@ -421,6 +424,170 @@ fn wire_v2_stats(frames: u64) -> Json {
     ])
 }
 
+/// Shape of the multi-tenant saturation workload: wide enough that the
+/// derived scopes diversify, long enough that event routing (not session
+/// setup) dominates the measured time.
+const MULTI_SAT_WORKLOAD: WorkloadSpec = WorkloadSpec {
+    processes: 16,
+    events: 40,
+    seed: 7,
+};
+/// Concurrent sessions in the multi-tenant saturation run.
+const MULTI_SAT_SESSIONS: usize = 10_000;
+/// Worker threads of the parallel-pump leg.
+const MULTI_SAT_THREADS: usize = 8;
+/// Sessions of the (slower, socket-backed) wire leg.
+const MULTI_SAT_NET_SESSIONS: usize = 64;
+
+/// `k` predicates with diverse scopes over `n` processes — the same
+/// derivation the CLI demo and the fuzz oracle use: predicate `j` spans
+/// `1 + (j mod n)` processes starting at `3·j mod n`, so singletons,
+/// strided bands and full-width scopes all appear.
+fn multi_predicates(n: usize, k: usize) -> Vec<Wcp> {
+    (0..k)
+        .map(|j| {
+            let width = 1 + (j % n);
+            Wcp::over((0..width).map(|i| ProcessId::new(((j * 3 + i) % n) as u32)))
+        })
+        .collect()
+}
+
+/// Measures the multi-tenant session layer at saturation: `sessions`
+/// concurrent predicates with diverse scopes registered on one
+/// [`MultiEngine`], the whole event stream ingested once, and the engine
+/// pumped dry — serially and with the partitioned parallel pump (which
+/// must resolve the identical verdict set). The headline numbers are
+/// detections/sec and shared-store bytes/predicate; `naive_store_bytes`
+/// is what `sessions` standalone engines would have stored (each pays
+/// the full stream), so `stored_bytes` vs it is the sharing win. A
+/// smaller socket leg ([`run_multi_net`], loopback) adds wire
+/// bytes/predicate and re-pins a sample of verdicts and metrics against
+/// the saturated engine's.
+fn multi_saturation_stats_sized(spec: WorkloadSpec, sessions: usize, net_sessions: usize) -> Json {
+    let n = spec.processes;
+    let computation = workloads::detectable(n, spec.events, spec.seed);
+    let annotated = computation.annotate();
+    let predicates = multi_predicates(n, sessions);
+
+    // One full run: register everything, stream the computation in, pump
+    // dry. Registration is setup, not detection work — the clock starts
+    // at the first ingest.
+    let run = |threads: usize| {
+        let engine = MultiEngine::new(n);
+        for (i, w) in predicates.iter().enumerate() {
+            engine
+                .register(PredicateId::new(i as u64), w)
+                .expect("saturation registration failed");
+        }
+        let t = std::time::Instant::now();
+        for p in ProcessId::all(n) {
+            for &k in annotated.true_intervals(p) {
+                engine.ingest(p, k, annotated.clock(StateId::new(p, k)).as_slice());
+            }
+            engine.close(p);
+        }
+        let resolved = if threads <= 1 {
+            engine.pump()
+        } else {
+            engine.pump_parallel(threads)
+        };
+        let elapsed = t.elapsed();
+        assert!(
+            engine.all_resolved(),
+            "saturation run left sessions unresolved"
+        );
+        (engine, resolved, elapsed)
+    };
+    let (_, mut serial_resolved, serial_elapsed) = run(1);
+    let (engine, parallel_resolved, parallel_elapsed) = run(MULTI_SAT_THREADS);
+    serial_resolved.sort_by_key(|(id, _)| *id);
+    assert_eq!(
+        serial_resolved, parallel_resolved,
+        "parallel pump diverged from the serial one"
+    );
+
+    // Socket leg: a sample of the same predicates (the derivation is
+    // independent of k, so ids line up) through the full wire stack.
+    let net = run_multi_net(
+        &computation,
+        &multi_predicates(n, net_sessions),
+        NetConfig::loopback(),
+    );
+    for outcome in &net.report.outcomes {
+        let saturated = engine
+            .report(PredicateId::new(outcome.id))
+            .expect("sampled session missing from the saturated engine");
+        assert_eq!(
+            Some(&outcome.verdict),
+            saturated.verdict.as_ref(),
+            "socket verdict diverged from the saturated engine (session {})",
+            outcome.id
+        );
+        assert_eq!(
+            outcome.metrics, saturated.metrics,
+            "socket metrics diverged from the saturated engine (session {})",
+            outcome.id
+        );
+    }
+
+    let stats = engine.stats();
+    let secs = |d: std::time::Duration| d.as_secs_f64().max(f64::MIN_POSITIVE);
+    let stored = engine.store().stored_bytes();
+    Json::obj([
+        ("sessions", Json::UInt(sessions as u64)),
+        ("processes", Json::UInt(n as u64)),
+        ("events", Json::UInt(spec.events as u64)),
+        ("seed", Json::UInt(spec.seed)),
+        (
+            "serial_elapsed_ns",
+            Json::UInt(serial_elapsed.as_nanos() as u64),
+        ),
+        (
+            "parallel_elapsed_ns",
+            Json::UInt(parallel_elapsed.as_nanos() as u64),
+        ),
+        ("parallel_threads", Json::UInt(MULTI_SAT_THREADS as u64)),
+        (
+            "parallel_speedup",
+            Json::Float(secs(serial_elapsed) / secs(parallel_elapsed)),
+        ),
+        ("detections", Json::UInt(stats.detections)),
+        (
+            "detections_per_sec",
+            Json::Float(stats.detections as f64 / secs(parallel_elapsed)),
+        ),
+        ("routed_events", Json::UInt(stats.routed_events)),
+        (
+            "routed_events_per_sec",
+            Json::Float(stats.routed_events as f64 / secs(parallel_elapsed)),
+        ),
+        ("stored_bytes", Json::UInt(stored)),
+        (
+            "stored_bytes_per_session",
+            Json::Float(stored as f64 / sessions as f64),
+        ),
+        ("naive_store_bytes", Json::UInt(stored * sessions as u64)),
+        ("net_sessions", Json::UInt(net_sessions as u64)),
+        ("net_bytes_sent", Json::UInt(net.net.bytes_sent)),
+        (
+            "net_bytes_per_session",
+            Json::Float(net.net.bytes_sent as f64 / net_sessions as f64),
+        ),
+        ("net_frames_sent", Json::UInt(net.net.frames_sent)),
+    ])
+}
+
+/// [`multi_saturation_stats_sized`] at the standard shape: 10 000
+/// concurrent predicates over a 16×40 stream, 64 of them re-run through
+/// the socket stack.
+fn multi_saturation_stats() -> Json {
+    multi_saturation_stats_sized(
+        MULTI_SAT_WORKLOAD,
+        MULTI_SAT_SESSIONS,
+        MULTI_SAT_NET_SESSIONS,
+    )
+}
+
 /// One labelled trajectory entry: every standard workload measured through
 /// every applicable detector family, plus the net-loopback comparison and
 /// the wire-stack saturation numbers.
@@ -437,6 +604,7 @@ pub fn entry(label: &str, samples: usize) -> Json {
         ("net_saturation", net_saturation_stats(SATURATION_FRAMES)),
         ("net_wire_v2", wire_v2_stats(SATURATION_FRAMES)),
         ("telemetry_overhead", telemetry_overhead_stats(samples)),
+        ("multi_saturation", multi_saturation_stats()),
     ])
 }
 
@@ -625,6 +793,37 @@ mod tests {
         );
         assert!(stats.get("run_overhead_ratio").unwrap().as_f64().unwrap() > 0.0);
         assert!(stats.get("events_collected").unwrap().as_u64().unwrap() > 0);
+        let text = stats.pretty();
+        assert_eq!(Json::parse(&text).unwrap(), stats);
+    }
+
+    #[test]
+    fn multi_saturation_stats_report_throughput_and_sharing() {
+        let spec = WorkloadSpec {
+            processes: 8,
+            events: 12,
+            seed: 7,
+        };
+        let stats = multi_saturation_stats_sized(spec, 200, 16);
+        assert_eq!(stats.get("sessions").unwrap().as_u64(), Some(200));
+        assert!(stats.get("detections").unwrap().as_u64().unwrap() > 0);
+        assert!(stats.get("detections_per_sec").unwrap().as_f64().unwrap() > 0.0);
+        assert!(stats.get("routed_events").unwrap().as_u64().unwrap() > 0);
+        let stored = stats.get("stored_bytes").unwrap().as_u64().unwrap();
+        assert!(stored > 0);
+        // The shared store is paid once; 200 standalone engines pay it 200×.
+        assert_eq!(
+            stats.get("naive_store_bytes").unwrap().as_u64(),
+            Some(stored * 200)
+        );
+        assert!(
+            stats
+                .get("net_bytes_per_session")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+                > 0.0
+        );
         let text = stats.pretty();
         assert_eq!(Json::parse(&text).unwrap(), stats);
     }

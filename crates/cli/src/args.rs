@@ -23,6 +23,7 @@ const SWITCHES: &[&str] = &[
     "wire-v2",
     "audit-bounds",
     "telemetry",
+    "multi",
 ];
 
 impl Args {

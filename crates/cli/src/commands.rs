@@ -18,11 +18,13 @@ use wcp_detect::{
     MultiTokenDetector, TokenDetector,
 };
 use wcp_net::{
-    run_direct_net, run_vc_token_net, run_vc_token_net_observed, run_vc_token_net_recorded,
-    serve_vc_peer, serve_vc_peer_observed, NetConfig, NetReport, TelemetryCollector, TransportKind,
+    run_direct_net, run_multi_net, run_vc_token_net, run_vc_token_net_observed,
+    run_vc_token_net_recorded, serve_multi_peer, serve_vc_peer, serve_vc_peer_observed, NetConfig,
+    NetReport, TelemetryCollector, TransportKind,
 };
 use wcp_obs::json::{FromJson, Json, ToJson};
 use wcp_obs::{jsonl, NullRecorder, Recorder, RingRecorder, RunReport};
+use wcp_session::{run_multi_sim, PredicateOutcome};
 use wcp_sim::{FaultConfig, SimConfig};
 use wcp_trace::channel::ChannelId;
 use wcp_trace::generate::{generate as generate_workload, GeneratorConfig, Topology};
@@ -382,6 +384,33 @@ pub fn stats(raw: &[String]) -> Result<String, CliError> {
         "clock chains  : {} keyframes / {} deltas\n",
         net.keyframes_sent, net.delta_frames_sent
     ));
+    // Multi-tenant section: the same trace served to a handful of
+    // sessions with diverse scopes through the shared session layer,
+    // surfacing the per-session counters the single-predicate runs
+    // above have no notion of.
+    let n = computation.process_count();
+    let sessions = 2 * n;
+    let multi = run_multi_net(
+        &computation,
+        &derived_predicates(n, sessions),
+        NetConfig::loopback(),
+    );
+    out.push_str(&format!(
+        "\n== multi-tenant session layer (loopback, {sessions} sessions) ==\n"
+    ));
+    out.push_str(&format!(
+        "sessions      : {} active at end of run\n",
+        multi.report.stats.sessions_active
+    ));
+    out.push_str(&format!(
+        "routing       : {} routed events, {} detections\n",
+        multi.report.stats.routed_events, multi.report.stats.detections
+    ));
+    out.push_str(&format!(
+        "shared store  : {} B of snapshots ({:.1} B/session)\n",
+        multi.report.stored_bytes,
+        multi.report.stored_bytes as f64 / sessions as f64
+    ));
     Ok(out.trim_end().to_string() + "\n")
 }
 
@@ -574,8 +603,105 @@ pub fn net_demo(raw: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
-/// Parses `--peer I --addrs HOST:PORT,...` against a scope of `n`
-/// processes (shared by `serve`, `top` and `obs-report`).
+/// `k` deterministic predicates with diverse scopes over `n` processes:
+/// predicate `j` spans `1 + (j mod n)` processes starting at
+/// `3·j mod n` — singletons, strided bands and full-width scopes all
+/// appear, so the demo exercises routing fan-out, not one shared scope.
+fn derived_predicates(n: usize, k: usize) -> Vec<Wcp> {
+    (0..k)
+        .map(|j| {
+            let width = 1 + (j % n);
+            Wcp::over((0..width).map(|i| ProcessId::new(((j * 3 + i) % n) as u32)))
+        })
+        .collect()
+}
+
+/// One row of a per-predicate verdict table.
+fn outcome_row(outcome: &PredicateOutcome) -> String {
+    let verdict = match outcome.verdict.cut() {
+        Some(cut) => format!(
+            "DETECTED at [{}]",
+            cut.iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+        None => "impossible".to_string(),
+    };
+    format!("  {:>3} | {} | {verdict}\n", outcome.id, outcome.wcp)
+}
+
+/// `wcp multi-demo` — run `--predicates K` detection sessions with
+/// diverse scopes over one shared event stream through the socket-backed
+/// multi-tenant service ([`run_multi_net`]), print the per-predicate
+/// verdict table and session counters, and cross-check every verdict and
+/// every [`DetectionMetrics`](wcp_detect::DetectionMetrics) against the
+/// simulator runner — Theorem 3.2 says transport must not matter.
+pub fn multi_demo(raw: &[String]) -> Result<String, CliError> {
+    let args = Args::parse(raw)?;
+    let path = args.require_positional(0, "FILE")?;
+    let computation = load(path)?;
+    let n = computation.process_count();
+    let k: usize = args.get_or("predicates", 8)?;
+    if k == 0 {
+        return Err(CliError::usage("multi-demo needs --predicates ≥ 1"));
+    }
+    let (transport, transport_name) = parse_transport(&args)?;
+    let mut config = NetConfig {
+        transport,
+        ..NetConfig::default()
+    }
+    .with_deadline(Duration::from_secs(args.get_or("deadline", 60)?));
+    if let Some(faults) = parse_fault_config(&args)? {
+        config = config.with_faults(faults);
+    }
+    let predicates = derived_predicates(n, k);
+    let net = run_multi_net(&computation, &predicates, config);
+    let sim = run_multi_sim(&computation, &predicates, args.get_or("seed", 0)?);
+
+    let mut out =
+        format!("multi-tenant demo over {transport_name}\nprocesses: {n}, sessions: {k}\n");
+    if let Some(faults) = config.faults {
+        out.push_str(&format!(
+            "faults: drop {} delay {} duplicate {} reorder {} reset {} (seed {})\n",
+            faults.drop, faults.delay, faults.duplicate, faults.reorder, faults.reset, faults.seed
+        ));
+    }
+    out.push_str("   id | scope | verdict\n");
+    for outcome in &net.report.outcomes {
+        out.push_str(&outcome_row(outcome));
+    }
+    let stats = &net.report.stats;
+    out.push_str(&format!(
+        "sessions: {} active, {} routed events, {} detections\n",
+        stats.sessions_active, stats.routed_events, stats.detections
+    ));
+    out.push_str(&format!(
+        "store: {} B shared snapshots ({:.1} B/session)\n",
+        net.report.stored_bytes,
+        net.report.stored_bytes as f64 / k as f64
+    ));
+    out.push_str(&format!("wire: {}\n", net.net));
+    for (socket, simulated) in net.report.outcomes.iter().zip(&sim.outcomes) {
+        if socket.verdict != simulated.verdict {
+            return Err(CliError::runtime(format!(
+                "session {}: socket verdict {:?} disagrees with simulator verdict {:?}",
+                socket.id, socket.verdict, simulated.verdict
+            )));
+        }
+        if socket.metrics != simulated.metrics {
+            return Err(CliError::runtime(format!(
+                "session {}: socket metrics diverge from the simulator's",
+                socket.id
+            )));
+        }
+    }
+    out.push_str("simulator cross-check: identical verdicts and metrics\n");
+    Ok(out)
+}
+
+/// Parses `--peer I --addrs HOST:PORT,...` against a session of `n`
+/// peers (shared by `serve`, `top` and `obs-report`).
 fn parse_peer_addrs(args: &Args, n: usize) -> Result<(usize, Vec<SocketAddr>), CliError> {
     let peer: usize = args.require("peer")?;
     let addrs_raw = args
@@ -591,13 +717,13 @@ fn parse_peer_addrs(args: &Args, n: usize) -> Result<(usize, Vec<SocketAddr>), C
         .collect::<Result<Vec<_>, CliError>>()?;
     if addrs.len() != n {
         return Err(CliError::usage(format!(
-            "--addrs: {} addresses for a scope of {n} processes",
+            "--addrs: {} addresses (this session needs {n})",
             addrs.len(),
         )));
     }
     if peer >= n {
         return Err(CliError::usage(format!(
-            "--peer: {peer} out of range (scope has {n} processes)"
+            "--peer: {peer} out of range (this session has {n} peers)"
         )));
     }
     Ok((peer, addrs))
@@ -608,9 +734,13 @@ fn parse_peer_addrs(args: &Args, n: usize) -> Result<(usize, Vec<SocketAddr>), C
 /// must be started with the same trace, scope and address list. With
 /// `--telemetry` the peer also runs the sidecar telemetry channel: it
 /// streams its ring deltas to peer 0, and peer 0 (the collector) prints
-/// the merged cross-peer summary.
+/// the merged cross-peer summary. With `--multi` the peer instead joins
+/// a multi-tenant session-layer deployment (see [`serve_multi`]).
 pub fn serve(raw: &[String]) -> Result<String, CliError> {
     let args = Args::parse(raw)?;
+    if args.switch("multi") {
+        return serve_multi(&args);
+    }
     let path = args.require_positional(0, "FILE")?;
     let computation = load(path)?;
     let wcp = parse_scope(&args, &computation)?;
@@ -656,6 +786,59 @@ pub fn serve(raw: &[String]) -> Result<String, CliError> {
             collector.malformed()
         ));
     }
+    Ok(out)
+}
+
+/// `wcp serve --multi` — one peer of a standalone multi-tenant
+/// deployment: application peers `0..N` replay the trace over TCP, peer
+/// `N` hosts the shared session-layer service serving `--predicates K`
+/// derived predicates, and peer 0 doubles as the verdict-collecting
+/// controller. `--addrs` therefore lists `N + 1` addresses (one per
+/// process, then the service peer's), and every peer must be started
+/// with the same trace, predicate count and address list.
+fn serve_multi(args: &Args) -> Result<String, CliError> {
+    let path = args.require_positional(0, "FILE")?;
+    let computation = load(path)?;
+    let n = computation.process_count();
+    let k: usize = args.get_or("predicates", 8)?;
+    if k == 0 {
+        return Err(CliError::usage("serve --multi needs --predicates ≥ 1"));
+    }
+    let (peer, addrs) = parse_peer_addrs(args, n + 1)?;
+    let config = NetConfig::tcp().with_deadline(Duration::from_secs(args.get_or("deadline", 60)?));
+    let registrations: Vec<(u64, Wcp)> = derived_predicates(n, k)
+        .into_iter()
+        .enumerate()
+        .map(|(i, w)| (i as u64, w))
+        .collect();
+    let report = serve_multi_peer(
+        &computation,
+        &registrations,
+        peer,
+        &addrs,
+        config,
+        Arc::new(NullRecorder),
+    );
+    let role = if peer == n { "service" } else { "app" };
+    let mut out = format!(
+        "peer {peer}/{} ({role}) listening on {}\nsessions: {k} over one shared {n}-process stream\n",
+        n + 1,
+        addrs[peer]
+    );
+    if !report.outcomes.is_empty() {
+        out.push_str("   id | scope | verdict\n");
+        for outcome in &report.outcomes {
+            out.push_str(&outcome_row(outcome));
+        }
+    }
+    if !report.verdicts.is_empty() {
+        let detected = report.verdicts.values().filter(|v| v.is_some()).count();
+        out.push_str(&format!(
+            "controller: {} verdicts collected ({detected} detected)\n",
+            report.verdicts.len()
+        ));
+    }
+    out.push_str(&format!("wire: {}\n", report.net));
     Ok(out)
 }
 
@@ -840,9 +1023,11 @@ pub fn obs_report(raw: &[String]) -> Result<String, CliError> {
 /// loopback stacks; `--net-batch` forces coalesced writes on every net
 /// run (by default each case draws batched or per-frame at random);
 /// `--wire-v2` likewise forces the delta-compressed wire format (each
-/// case draws its wire version at random otherwise); `--audit-bounds`
-/// additionally audits every case's merged telemetry timeline against
-/// the paper's §3.4 message/bit/latency bounds.
+/// case draws its wire version at random otherwise); `--multi` forces
+/// the socket-backed multi-tenant session leg on every case (the
+/// offline session cross-check runs on every case regardless);
+/// `--audit-bounds` additionally audits every case's merged telemetry
+/// timeline against the paper's §3.4 message/bit/latency bounds.
 pub fn fuzz(raw: &[String]) -> Result<String, CliError> {
     let args = Args::parse(raw)?;
     let seed: u64 = args.get_or("seed", 1)?;
@@ -855,6 +1040,7 @@ pub fn fuzz(raw: &[String]) -> Result<String, CliError> {
     config.check.include_net = !args.switch("no-net");
     config.check.force_net_batch = args.switch("net-batch");
     config.check.force_wire_v2 = args.switch("wire-v2");
+    config.check.force_multi = args.switch("multi");
     config.check.audit_bounds = args.switch("audit-bounds");
     let report = wcp_fuzz::run_campaign(&config);
     let mut out = report.summary_table();
@@ -1089,6 +1275,10 @@ mod tests {
             nums[0] < nums[1],
             "v2 must compress below the v1-equivalent: {wire_line}"
         );
+        // And the session-layer section surfaces per-session counters.
+        assert!(out.contains("multi-tenant session layer"), "{out}");
+        assert!(out.contains("routed events"), "{out}");
+        assert!(out.contains("shared store"), "{out}");
     }
 
     #[test]
@@ -1313,6 +1503,140 @@ mod tests {
             "{verdicts:?}"
         );
         assert!(serve(&argv(&[&path, "--peer", "9", "--addrs", &addrs])).is_err());
+    }
+
+    #[test]
+    fn multi_demo_tabulates_and_cross_checks() {
+        let path = generated_trace("multi_demo.json");
+        for transport in ["loopback", "tcp"] {
+            let out = multi_demo(&argv(&[
+                &path,
+                "--transport",
+                transport,
+                "--predicates",
+                "5",
+            ]))
+            .unwrap();
+            assert!(out.contains("sessions: 5"), "{transport}: {out}");
+            assert!(out.contains("id | scope | verdict"), "{out}");
+            // One table row per predicate, each resolved one way or the other.
+            let rows = out
+                .lines()
+                .filter(|l| l.contains("DETECTED at [") || l.contains("| impossible"))
+                .count();
+            assert_eq!(rows, 5, "{out}");
+            assert!(out.contains("routed events"), "{out}");
+            assert!(out.contains("B/session"), "{out}");
+            assert!(
+                out.contains("simulator cross-check: identical verdicts and metrics"),
+                "{out}"
+            );
+        }
+        assert!(multi_demo(&argv(&[&path, "--predicates", "0"])).is_err());
+        assert!(multi_demo(&argv(&[&path, "--transport", "smoke-signal"])).is_err());
+    }
+
+    #[test]
+    fn multi_demo_with_faults_still_matches_simulator() {
+        let path = generated_trace("multi_demo_faults.json");
+        let out = multi_demo(&argv(&[
+            &path,
+            "--transport",
+            "loopback",
+            "--predicates",
+            "6",
+            "--drop",
+            "0.15",
+            "--reorder",
+            "0.2",
+            "--fault-seed",
+            "11",
+        ]))
+        .unwrap();
+        assert!(out.contains("faults:"), "{out}");
+        assert!(out.contains("identical verdicts and metrics"), "{out}");
+    }
+
+    #[test]
+    fn serve_multi_peers_share_one_service() {
+        let path = generated_trace("serve_multi.json");
+        // 4 app peers + 1 service peer.
+        let ports: Vec<u16> = (0..5)
+            .map(|_| {
+                std::net::TcpListener::bind("127.0.0.1:0")
+                    .unwrap()
+                    .local_addr()
+                    .unwrap()
+                    .port()
+            })
+            .collect();
+        let addrs = ports
+            .iter()
+            .map(|p| format!("127.0.0.1:{p}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        let outputs: Vec<String> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..5)
+                .map(|peer| {
+                    let path = path.clone();
+                    let addrs = addrs.clone();
+                    s.spawn(move || {
+                        serve(&argv(&[
+                            &path,
+                            "--multi",
+                            "--predicates",
+                            "4",
+                            "--peer",
+                            &peer.to_string(),
+                            "--addrs",
+                            &addrs,
+                        ]))
+                        .unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // The service peer (peer 4) prints the outcome table; peer 0 the
+        // controller's collected verdicts; both agree with the offline
+        // engine on the same derived predicates.
+        assert!(outputs[4].contains("(service)"), "{}", outputs[4]);
+        assert!(
+            outputs[4].contains("id | scope | verdict"),
+            "{}",
+            outputs[4]
+        );
+        assert!(outputs[0].contains("verdicts collected"), "{}", outputs[0]);
+        let computation = load(&path).unwrap();
+        let offline = wcp_session::run_multi_offline(&computation, &derived_predicates(4, 4));
+        for outcome in &offline.outcomes {
+            assert!(
+                outputs[4].contains(&outcome_row(outcome)),
+                "session {} row missing:\n{}",
+                outcome.id,
+                outputs[4]
+            );
+        }
+        let detected = offline
+            .outcomes
+            .iter()
+            .filter(|o| o.verdict.cut().is_some())
+            .count();
+        assert!(
+            outputs[0].contains(&format!("4 verdicts collected ({detected} detected)")),
+            "{}",
+            outputs[0]
+        );
+        // Address-count mismatch (5 addrs for scope-style n) is a usage error.
+        assert!(serve(&argv(&[
+            &path,
+            "--multi",
+            "--peer",
+            "0",
+            "--addrs",
+            "127.0.0.1:1"
+        ]))
+        .is_err());
     }
 
     #[test]

@@ -94,6 +94,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "top" => commands::top(rest),
         "obs-report" => commands::obs_report(rest),
         "net-demo" => commands::net_demo(rest),
+        "multi-demo" => commands::multi_demo(rest),
         "fuzz" => commands::fuzz(rest),
         "serve" => commands::serve(rest),
         "bound" => commands::bound(rest),
@@ -129,9 +130,13 @@ USAGE:
   wcp net-demo FILE [--scope 0,1,2] [--algorithm token|direct]
                [--transport tcp|loopback] [--fault-seed S] [--drop P]
                [--delay P] [--duplicate P] [--reorder P] [--reset P] [--json]
+  wcp multi-demo FILE [--predicates K] [--transport tcp|loopback] [--seed S]
+                 [--fault-seed S] [--drop P] [--delay P] [--duplicate P]
+                 [--reorder P] [--reset P] [--deadline SECS]
   wcp serve FILE --peer I --addrs HOST:PORT,HOST:PORT,...
             [--scope 0,1,2] [--deadline SECS] [--telemetry]
+            [--multi [--predicates K]]
   wcp fuzz [--seed S] [--cases K] [--shrink] [--no-net] [--net-batch]
-           [--audit-bounds]
+           [--multi] [--audit-bounds]
   wcp bound --n N --m M
   wcp help";

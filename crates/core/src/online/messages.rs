@@ -64,6 +64,27 @@ pub enum DetectMsg {
     /// A Section 3.5 group token (monitor ↔ monitor within a group, and
     /// group ↔ leader).
     GroupToken(GroupTokenMsg),
+    /// Registers a predicate with the multi-tenant session service
+    /// (controller → service). Additive to the paper — see DESIGN.md S25.
+    MultiRegister {
+        /// Stable client-chosen predicate identity.
+        id: u64,
+        /// The predicate's scope processes.
+        scope: Vec<ProcessId>,
+    },
+    /// Unregisters a predicate (controller → service).
+    MultiUnregister {
+        /// The predicate to drop.
+        id: u64,
+    },
+    /// Final per-predicate verdict (service → controller): the detected
+    /// cut over scope positions, or `None` when no satisfying cut exists.
+    MultiVerdict {
+        /// Which predicate resolved.
+        id: u64,
+        /// `Some(g)` iff detected.
+        verdict: Option<Vec<u64>>,
+    },
 }
 
 /// The token of the multi-token algorithm: the full-scope candidate cut and
@@ -117,6 +138,11 @@ impl WireSize for DetectMsg {
             DetectMsg::Poll { .. } => 16,
             DetectMsg::PollReply { .. } => 1,
             DetectMsg::GroupToken(t) => t.wire_size(),
+            DetectMsg::MultiRegister { scope, .. } => 8 + 4 * scope.len(),
+            DetectMsg::MultiUnregister { .. } => 8,
+            DetectMsg::MultiVerdict { verdict, .. } => {
+                9 + verdict.as_ref().map_or(0, |g| 8 * g.len())
+            }
         }
     }
 }

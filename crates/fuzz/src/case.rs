@@ -49,6 +49,11 @@ pub struct FuzzCase {
     /// written before this field existed default to `false` (they pinned
     /// v1-only behaviour).
     pub wire_v2: bool,
+    /// Concurrent predicate count for the multi-tenant session engine
+    /// (`>= 1`); each is cross-checked predicate-by-predicate against the
+    /// Theorem 3.2 oracle and the alone-metrics identity. Corpus files
+    /// written before this field existed default to `1`.
+    pub multi_predicates: usize,
 }
 
 impl FuzzCase {
@@ -146,6 +151,8 @@ impl FuzzCase {
             net_batch: stream_seed.count_ones() % 2 == 0,
             // Independent bits of the same draw, for the same reason.
             wire_v2: (stream_seed >> 32).count_ones() % 2 == 0,
+            // Also entropy already drawn: 1..=8 concurrent predicates.
+            multi_predicates: 1 + ((stream_seed >> 16) % 8) as usize,
         }
     }
 
@@ -153,6 +160,9 @@ impl FuzzCase {
     /// not fire). Shrink candidates that fail this are discarded.
     pub fn is_realizable(&self) -> bool {
         if self.gen.processes == 0 || self.scope_n == 0 || self.groups == 0 {
+            return false;
+        }
+        if self.multi_predicates == 0 {
             return false;
         }
         match self.gen.topology {
@@ -188,6 +198,7 @@ impl ToJson for FuzzCase {
             ("net", Json::Bool(self.net)),
             ("net_batch", Json::Bool(self.net_batch)),
             ("wire_v2", Json::Bool(self.wire_v2)),
+            ("multi_predicates", Json::UInt(self.multi_predicates as u64)),
         ])
     }
 }
@@ -225,6 +236,12 @@ impl FromJson for FuzzCase {
                     .as_bool()
                     .ok_or_else(|| JsonError::shape("wire_v2: expected a bool"))?,
                 None => false,
+            },
+            // Absent in pre-session corpus files: those pinned the
+            // single-tenant behaviour, replayed as one session.
+            multi_predicates: match value.get("multi_predicates") {
+                Some(v) => v.expect_u64()? as usize,
+                None => 1,
             },
         })
     }
@@ -290,6 +307,8 @@ mod tests {
         assert!(cases.iter().any(|c| !c.net_batch));
         assert!(cases.iter().any(|c| c.wire_v2));
         assert!(cases.iter().any(|c| !c.wire_v2));
+        assert!(cases.iter().any(|c| c.multi_predicates == 1));
+        assert!(cases.iter().any(|c| c.multi_predicates >= 4));
         assert!(
             cases
                 .iter()
@@ -324,6 +343,23 @@ mod tests {
         }
         let back = FuzzCase::from_json(&json).unwrap();
         assert!(!back.wire_v2, "missing field replays on wire v1");
+    }
+
+    #[test]
+    fn pre_session_corpus_files_default_to_one_predicate() {
+        let mut rng = Rng::seed_from_u64(17);
+        let mut case = FuzzCase::random(&mut rng);
+        case.multi_predicates = 5;
+        let mut json = case.to_json();
+        // An old corpus entry simply lacks the field.
+        if let Json::Obj(pairs) = &mut json {
+            pairs.retain(|(k, _)| k != "multi_predicates");
+        }
+        let back = FuzzCase::from_json(&json).unwrap();
+        assert_eq!(
+            back.multi_predicates, 1,
+            "missing field replays single-tenant"
+        );
     }
 
     #[test]

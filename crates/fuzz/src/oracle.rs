@@ -13,6 +13,7 @@ use std::panic::{self, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Duration;
 
+use wcp_clocks::ProcessId;
 use wcp_detect::online::{
     run_checker, run_direct, run_multi_token, run_vc_token, run_vc_token_recorded,
 };
@@ -21,9 +22,10 @@ use wcp_detect::{
     DetectionReport, Detector, DirectDependenceDetector, HierarchicalChecker, LatticeDetector,
     MultiTokenDetector, StreamingChecker, StreamingStatus, TokenDetector,
 };
-use wcp_net::{run_direct_net, run_vc_token_net, NetConfig};
+use wcp_net::{run_direct_net, run_multi_net, run_vc_token_net, NetConfig};
 use wcp_obs::rng::Rng;
 use wcp_obs::{merge_streams, split_by_monitor, RingRecorder, StampedEvent};
+use wcp_session::{run_multi_offline, run_single_offline, SessionVerdict};
 use wcp_sim::SimConfig;
 use wcp_trace::generate::generate;
 use wcp_trace::{AnnotatedComputation, Wcp};
@@ -96,6 +98,11 @@ pub struct CheckOptions {
     /// the case's own `wire_v2` draw — the `wcp fuzz --wire-v2` smoke
     /// knob.
     pub force_wire_v2: bool,
+    /// Force the multi-tenant session cross-check to run its socket
+    /// loopback leg even when the case's `net` draw is false — the
+    /// `wcp fuzz --multi` smoke knob. (The offline engine cross-check
+    /// runs on every case regardless.)
+    pub force_multi: bool,
     /// Audit the merged telemetry timeline of a recorded online vc-token
     /// run against the paper's §3.4 bounds (`wcp fuzz --audit-bounds`).
     pub audit_bounds: bool,
@@ -112,6 +119,7 @@ impl Default for CheckOptions {
             sabotage: false,
             force_net_batch: false,
             force_wire_v2: false,
+            force_multi: false,
             audit_bounds: false,
             sabotage_bounds: false,
         }
@@ -453,6 +461,133 @@ pub fn check_case(case: &FuzzCase, opts: &CheckOptions) -> Vec<Divergence> {
                 }
             }
             Err(p) => diverge("audit:vc-token", DivergenceKind::Crash, p),
+        }
+    }
+
+    // ---- multi-tenant session engine ------------------------------------
+    // Serve `multi_predicates` predicates with diverse scopes over the
+    // shared stream and cross-check **predicate by predicate**: each
+    // verdict against the Theorem 3.2 oracle for *that* predicate, and
+    // each session's `DetectionMetrics` against a run of the same
+    // predicate alone (the bit-identity claim of DESIGN.md S25).
+    {
+        let n = computation.process_count().max(1);
+        let k = case.multi_predicates.max(1);
+        let predicates: Vec<Wcp> = (0..k)
+            .map(|j| {
+                let width = 1 + (j % n);
+                Wcp::over((0..width).map(|i| ProcessId::new(((j * 3 + i) % n) as u32)))
+            })
+            .collect();
+        let mut engine_clean = true;
+        match guarded(|| run_multi_offline(computation, &predicates)) {
+            Ok(report) => {
+                for outcome in &report.outcomes {
+                    let session_truth = annotated
+                        .first_satisfying_cut(&outcome.wcp)
+                        .map(|c| outcome.wcp.project(&c));
+                    let got = match &outcome.verdict {
+                        SessionVerdict::Detected(g) => Some(g.clone()),
+                        SessionVerdict::Impossible => None,
+                    };
+                    if got != session_truth {
+                        engine_clean = false;
+                        diverge(
+                            &format!("multi:engine#{}", outcome.id),
+                            DivergenceKind::Verdict,
+                            format!(
+                                "expected {}, got {}",
+                                fmt_proj(&session_truth),
+                                fmt_proj(&got)
+                            ),
+                        );
+                        continue;
+                    }
+                    let (alone_verdict, alone_metrics) =
+                        run_single_offline(computation, &outcome.wcp);
+                    if outcome.verdict != alone_verdict {
+                        engine_clean = false;
+                        diverge(
+                            &format!("multi:alone#{}", outcome.id),
+                            DivergenceKind::Verdict,
+                            format!("alone {alone_verdict}, multi {}", outcome.verdict),
+                        );
+                    } else if outcome.metrics != alone_metrics {
+                        engine_clean = false;
+                        diverge(
+                            &format!("multi:alone#{}", outcome.id),
+                            DivergenceKind::Metrics,
+                            format!(
+                                "multi-tenant metrics diverged from the alone baseline: \
+                                 alone {alone_metrics:?}, multi {:?}",
+                                outcome.metrics
+                            ),
+                        );
+                    }
+                }
+            }
+            Err(p) => {
+                engine_clean = false;
+                diverge("multi:engine", DivergenceKind::Crash, p);
+            }
+        }
+        // Socket leg: the same predicates through loopback peers, when
+        // the case drew net (or `--multi` forced it). Pins the wire
+        // against the engine the offline leg just vetted.
+        if engine_clean && ((case.net && opts.include_net) || opts.force_multi) {
+            let mut config = NetConfig::loopback().with_deadline(NET_DEADLINE);
+            if let Some(f) = &case.fault {
+                config = config.with_faults(f.clone());
+            }
+            if !(case.net_batch || opts.force_net_batch) {
+                config = config.with_per_frame_writes();
+            }
+            if !(case.wire_v2 || opts.force_wire_v2) {
+                config = config.with_wire_v1();
+            }
+            match guarded(|| run_multi_net(computation, &predicates, config)) {
+                Ok(net) => {
+                    for outcome in &net.report.outcomes {
+                        let session_truth = annotated
+                            .first_satisfying_cut(&outcome.wcp)
+                            .map(|c| outcome.wcp.project(&c));
+                        let got = match &outcome.verdict {
+                            SessionVerdict::Detected(g) => Some(g.clone()),
+                            SessionVerdict::Impossible => None,
+                        };
+                        if got != session_truth {
+                            diverge(
+                                &format!("multi:net#{}", outcome.id),
+                                DivergenceKind::Verdict,
+                                format!(
+                                    "expected {}, got {}",
+                                    fmt_proj(&session_truth),
+                                    fmt_proj(&got)
+                                ),
+                            );
+                        } else if net.report.wire_verdicts.get(&outcome.id)
+                            != Some(&outcome.verdict.cut().map(<[u64]>::to_vec))
+                        {
+                            diverge(
+                                &format!("multi:net#{}", outcome.id),
+                                DivergenceKind::Verdict,
+                                "controller saw a different verdict on the wire".to_string(),
+                            );
+                        } else {
+                            let (_, alone_metrics) = run_single_offline(computation, &outcome.wcp);
+                            if outcome.metrics != alone_metrics {
+                                diverge(
+                                    &format!("multi:net#{}", outcome.id),
+                                    DivergenceKind::Metrics,
+                                    "socket session metrics diverged from the alone baseline"
+                                        .to_string(),
+                                );
+                            }
+                        }
+                    }
+                }
+                Err(p) => diverge("multi:net", DivergenceKind::Crash, p),
+            }
         }
     }
 

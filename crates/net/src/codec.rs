@@ -64,6 +64,13 @@ pub mod kind {
     pub const POLL_REPLY: u8 = 9;
     /// A §3.5 multi-token group token.
     pub const GROUP_TOKEN: u8 = 10;
+    /// Registers a predicate with the multi-tenant session service
+    /// (DESIGN.md S25).
+    pub const MULTI_REGISTER: u8 = 11;
+    /// Unregisters a predicate from the session service.
+    pub const MULTI_UNREGISTER: u8 = 12;
+    /// Per-predicate verdict from the session service.
+    pub const MULTI_VERDICT: u8 = 13;
     /// Bit offset between a v1 clock-carrying kind and its v2 variant:
     /// every v2 kind is `v1 | V2_BIT`, so frames stay self-describing and
     /// receivers decode both versions without negotiation state.
@@ -276,6 +283,9 @@ fn detect_kind_aux(msg: &DetectMsg) -> (u8, u64) {
         DetectMsg::Poll { .. } => (kind::POLL, 0),
         DetectMsg::PollReply { .. } => (kind::POLL_REPLY, 0),
         DetectMsg::GroupToken(t) => (kind::GROUP_TOKEN, group_bitmap(t)),
+        DetectMsg::MultiRegister { .. } => (kind::MULTI_REGISTER, 0),
+        DetectMsg::MultiUnregister { .. } => (kind::MULTI_UNREGISTER, 0),
+        DetectMsg::MultiVerdict { .. } => (kind::MULTI_VERDICT, 0),
     }
 }
 
@@ -331,6 +341,25 @@ fn detect_body_into(msg: &DetectMsg, out: &mut Vec<u8>) {
                 for &c in clock.as_slice() {
                     put_u64(out, c);
                 }
+            }
+        }
+        DetectMsg::MultiRegister { id, scope } => {
+            put_u64(out, *id);
+            for &p in scope {
+                put_u32(out, p.index() as u32);
+            }
+        }
+        DetectMsg::MultiUnregister { id } => put_u64(out, *id),
+        DetectMsg::MultiVerdict { id, verdict } => {
+            put_u64(out, *id);
+            match verdict {
+                Some(g) => {
+                    out.push(1);
+                    for &v in g {
+                        put_u64(out, v);
+                    }
+                }
+                None => out.push(0),
             }
         }
     }
@@ -461,6 +490,34 @@ pub fn decode_body(kind_byte: u8, aux: u64, body: &[u8]) -> Result<DetectMsg, Co
                 }
             }
             DetectMsg::GroupToken(t)
+        }
+        kind::MULTI_REGISTER => {
+            let id = r.u64()?;
+            if r.remaining() % 4 != 0 {
+                return Err(CodecError::BadLength(body.len()));
+            }
+            let scope = (0..r.remaining() / 4)
+                .map(|_| Ok(ProcessId::new(r.u32()?)))
+                .collect::<Result<Vec<_>, CodecError>>()?;
+            DetectMsg::MultiRegister { id, scope }
+        }
+        kind::MULTI_UNREGISTER => DetectMsg::MultiUnregister { id: r.u64()? },
+        kind::MULTI_VERDICT => {
+            let id = r.u64()?;
+            let flag = r.u8()?;
+            if r.remaining() % 8 != 0 || (flag == 0 && r.remaining() != 0) {
+                return Err(CodecError::BadLength(body.len()));
+            }
+            let verdict = if flag == 0 {
+                None
+            } else {
+                Some(
+                    (0..r.remaining() / 8)
+                        .map(|_| r.u64())
+                        .collect::<Result<Vec<_>, CodecError>>()?,
+                )
+            };
+            DetectMsg::MultiVerdict { id, verdict }
         }
         // Stateless v2 bodies: varint-packed, decodable without chain
         // state (early return — they use the bit reader, not `r`).

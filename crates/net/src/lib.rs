@@ -20,7 +20,11 @@
 //!   unmodified detection actors;
 //! - [`runner`] — end-to-end runs ([`run_vc_token_net`],
 //!   [`run_direct_net`], [`serve_vc_peer`]) reporting the same
-//!   `DetectionReport` as the simulator, plus wire-level [`NetStats`].
+//!   `DetectionReport` as the simulator, plus wire-level [`NetStats`];
+//! - [`multi`] — the multi-tenant session service on the same peers
+//!   ([`run_multi_net`], [`serve_multi_peer`], `wcp serve --multi`):
+//!   thousands of predicates registered over one shared snapshot stream,
+//!   each with verdict and metrics bit-identical to running it alone.
 //!
 //! The detection verdict is a function of the computation alone (the first
 //! consistent cut satisfying the predicate is unique), so a socket run —
@@ -32,6 +36,7 @@
 
 pub mod codec;
 pub mod fault;
+pub mod multi;
 pub mod peer;
 pub mod pool;
 pub mod runner;
@@ -43,6 +48,10 @@ pub mod wire2;
 
 pub use codec::{decode_frame, encode_frame, read_frame, CodecError, Frame, Payload};
 pub use fault::{link_seed, FaultyTransport};
+pub use multi::{
+    run_multi_net, run_multi_net_observed, run_multi_net_with, serve_multi_peer, MultiNetReport,
+    MultiPeerReport,
+};
 pub use peer::{Endpoint, HostedActor, PeerHost, RawFrame, TelemetrySidecar};
 pub use pool::{FramePool, PooledBuf};
 pub use runner::{

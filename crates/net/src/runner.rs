@@ -152,7 +152,7 @@ pub struct NetReport {
 /// Retry budget for dialling peers that have bound but not yet accepted.
 const DIAL_RETRIES: u32 = 20;
 /// Retry budget for reconnect-and-replay recovery after a link error.
-const RECOVERY_RETRIES: u32 = 10;
+pub(crate) const RECOVERY_RETRIES: u32 = 10;
 
 /// Telemetry ring capacity per peer. Rings are drained on every flush, so
 /// this only bounds bursts between event-loop iterations.
@@ -161,15 +161,15 @@ const TELEMETRY_RING: usize = 1 << 14;
 /// Per-run telemetry wiring: the shared collector plus one private ring
 /// recorder per peer. Peer 0 doubles as the collector peer — other peers
 /// frame their deltas to it, peer 0 ingests its own ring locally.
-struct TelemetryPlane {
-    collector: Arc<TelemetryCollector>,
+pub(crate) struct TelemetryPlane {
+    pub(crate) collector: Arc<TelemetryCollector>,
     rings: Vec<Arc<RingRecorder>>,
 }
 
 impl TelemetryPlane {
     /// Builds the plane, reusing `collector` when a live watcher supplied
     /// one (the `*_observed` entry points).
-    fn build(n_peers: usize, collector: Option<Arc<TelemetryCollector>>) -> Self {
+    pub(crate) fn build(n_peers: usize, collector: Option<Arc<TelemetryCollector>>) -> Self {
         TelemetryPlane {
             collector: collector.unwrap_or_else(TelemetryCollector::shared),
             rings: (0..n_peers)
@@ -183,7 +183,7 @@ impl TelemetryPlane {
     /// The sidecar leg sits behind [`SidecarFilter`] — per-frame wire
     /// events reach user recorders but are never shipped (the delta's
     /// `NetStats` snapshot already aggregates them).
-    fn recorder(&self, user: &Arc<dyn Recorder>, i: usize) -> Arc<dyn Recorder> {
+    pub(crate) fn recorder(&self, user: &Arc<dyn Recorder>, i: usize) -> Arc<dyn Recorder> {
         let sidecar = Arc::new(SidecarFilter::new(self.rings[i].clone()));
         Arc::new(TeeRecorder::new(user.clone(), sidecar))
     }
@@ -191,7 +191,7 @@ impl TelemetryPlane {
     /// The sidecar state handed to peer `i`'s host. Loopback delivery is
     /// synchronous, so the exit drain needs no grace there; sockets get a
     /// small window for the reader-thread race.
-    fn sidecar(&self, i: usize, transport: TransportKind) -> TelemetrySidecar {
+    pub(crate) fn sidecar(&self, i: usize, transport: TransportKind) -> TelemetrySidecar {
         let grace = match transport {
             TransportKind::Loopback => Duration::ZERO,
             TransportKind::Tcp => Duration::from_millis(2),
@@ -202,7 +202,7 @@ impl TelemetryPlane {
 
 /// The per-peer recorders for a run: teed through the telemetry plane
 /// when one is active, the caller's recorder unchanged otherwise.
-fn peer_recorders(
+pub(crate) fn peer_recorders(
     n_peers: usize,
     user: &Arc<dyn Recorder>,
     plane: &Option<TelemetryPlane>,
@@ -216,15 +216,15 @@ fn peer_recorders(
 }
 
 /// All outbound links plus the per-peer inboxes they deliver into.
-struct Fabric {
+pub(crate) struct Fabric {
     /// `links[i][j]` is the transport for the directed link `i → j`.
-    links: Vec<Vec<Option<Box<dyn Transport>>>>,
-    inboxes: Vec<Receiver<PooledBuf>>,
+    pub(crate) links: Vec<Vec<Option<Box<dyn Transport>>>>,
+    pub(crate) inboxes: Vec<Receiver<PooledBuf>>,
     /// TCP only: acceptor stop flag and join handles.
-    listeners: Option<(Arc<AtomicBool>, Vec<JoinHandle<()>>)>,
+    pub(crate) listeners: Option<(Arc<AtomicBool>, Vec<JoinHandle<()>>)>,
 }
 
-fn wrap_faults(
+pub(crate) fn wrap_faults(
     base: Box<dyn Transport>,
     config: &NetConfig,
     me: u32,
@@ -245,7 +245,7 @@ fn wrap_faults(
     }
 }
 
-fn build_fabric(
+pub(crate) fn build_fabric(
     n_peers: usize,
     config: &NetConfig,
     counters: &Arc<NetCounters>,
@@ -338,7 +338,10 @@ fn build_fabric(
 
 /// Spawns one thread per [`PeerHost`], joins them, and tears the TCP
 /// acceptors down.
-fn drive(hosts: Vec<PeerHost>, listeners: Option<(Arc<AtomicBool>, Vec<JoinHandle<()>>)>) {
+pub(crate) fn drive(
+    hosts: Vec<PeerHost>,
+    listeners: Option<(Arc<AtomicBool>, Vec<JoinHandle<()>>)>,
+) {
     std::thread::scope(|s| {
         for host in hosts {
             s.spawn(move || host.run());

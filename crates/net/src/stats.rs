@@ -53,6 +53,12 @@ pub struct NetCounters {
     pub delta_frames_sent: AtomicU64,
     /// Wire-v2 full-clock keyframes sent.
     pub keyframes_sent: AtomicU64,
+    /// Multi-tenant service: predicate sessions currently registered.
+    pub multi_sessions_active: AtomicU64,
+    /// Multi-tenant service: per-session event deliveries routed so far.
+    pub multi_routed_events: AtomicU64,
+    /// Multi-tenant service: sessions resolved `Detected`.
+    pub multi_detections: AtomicU64,
 }
 
 impl NetCounters {
@@ -85,6 +91,9 @@ impl NetCounters {
             wire_bytes_v1_equiv: self.wire_bytes_v1_equiv.load(Ordering::Relaxed),
             delta_frames_sent: self.delta_frames_sent.load(Ordering::Relaxed),
             keyframes_sent: self.keyframes_sent.load(Ordering::Relaxed),
+            multi_sessions_active: self.multi_sessions_active.load(Ordering::Relaxed),
+            multi_routed_events: self.multi_routed_events.load(Ordering::Relaxed),
+            multi_detections: self.multi_detections.load(Ordering::Relaxed),
         }
     }
 }
@@ -135,6 +144,12 @@ pub struct NetStats {
     pub delta_frames_sent: u64,
     /// Wire-v2 full-clock keyframes sent.
     pub keyframes_sent: u64,
+    /// Multi-tenant service: predicate sessions registered at snapshot.
+    pub multi_sessions_active: u64,
+    /// Multi-tenant service: per-session event deliveries routed.
+    pub multi_routed_events: u64,
+    /// Multi-tenant service: sessions resolved `Detected`.
+    pub multi_detections: u64,
 }
 
 impl std::fmt::Display for NetStats {
@@ -145,7 +160,8 @@ impl std::fmt::Display for NetStats {
              {} retransmits, {} reconnects, {} dups dropped, {} reordered, \
              {} flushes (max {} B), ready depth ≤ {}, {} acks out / {} in, \
              pool {} allocs / {} reuses, telemetry {} out / {} in ({} B), \
-             wire {} B v1-equiv ({} keyframes / {} deltas)",
+             wire {} B v1-equiv ({} keyframes / {} deltas), \
+             multi {} sessions / {} routed / {} detections",
             self.frames_sent,
             self.bytes_sent,
             self.frames_received,
@@ -166,7 +182,10 @@ impl std::fmt::Display for NetStats {
             self.telemetry_bytes,
             self.wire_bytes_v1_equiv,
             self.keyframes_sent,
-            self.delta_frames_sent
+            self.delta_frames_sent,
+            self.multi_sessions_active,
+            self.multi_routed_events,
+            self.multi_detections
         )
     }
 }

@@ -65,6 +65,9 @@ pub fn stats_to_json(s: &NetStats) -> Json {
         ("wire_bytes_v1_equiv", Json::from(s.wire_bytes_v1_equiv)),
         ("delta_frames_sent", Json::from(s.delta_frames_sent)),
         ("keyframes_sent", Json::from(s.keyframes_sent)),
+        ("multi_sessions_active", Json::from(s.multi_sessions_active)),
+        ("multi_routed_events", Json::from(s.multi_routed_events)),
+        ("multi_detections", Json::from(s.multi_detections)),
     ])
 }
 
@@ -103,6 +106,9 @@ pub fn stats_from_json(v: &Json) -> Result<NetStats, JsonError> {
         wire_bytes_v1_equiv: field("wire_bytes_v1_equiv")?,
         delta_frames_sent: field("delta_frames_sent")?,
         keyframes_sent: field("keyframes_sent")?,
+        multi_sessions_active: field("multi_sessions_active")?,
+        multi_routed_events: field("multi_routed_events")?,
+        multi_detections: field("multi_detections")?,
     })
 }
 
@@ -358,6 +364,21 @@ impl TelemetryCollector {
                 out.push_str(&format!("verdict: UNDETECTED (exhausted at t={t})\n"));
             }
             (None, None) => out.push_str("verdict: (running)\n"),
+        }
+        // Multi-tenant service counters, when any source is a session
+        // peer (the service mirrors its engine stats into `NetStats`, so
+        // they ride the existing telemetry deltas — no new frame kinds).
+        let (active, routed, detections) = sources.iter().fold((0, 0, 0), |acc, (_, s, _, _)| {
+            (
+                acc.0.max(s.multi_sessions_active),
+                acc.1 + s.multi_routed_events,
+                acc.2 + s.multi_detections,
+            )
+        });
+        if active > 0 || routed > 0 {
+            out.push_str(&format!(
+                "sessions: {active} active, {routed} routed events, {detections} detections\n"
+            ));
         }
         out
     }

@@ -13,7 +13,7 @@ use std::sync::mpsc::channel;
 use std::sync::Arc;
 use std::time::Duration;
 
-use wcp_clocks::VectorClock;
+use wcp_clocks::{ProcessId, VectorClock};
 use wcp_detect::offline::token::{Color, Token};
 use wcp_detect::online::{ClockTag, DetectMsg, GroupTokenMsg};
 use wcp_detect::VcSnapshot;
@@ -45,6 +45,19 @@ fn sample_frames() -> Vec<Frame> {
         })));
     }
     payloads.push(Payload::Detect(DetectMsg::DdToken));
+    payloads.push(Payload::Detect(DetectMsg::MultiRegister {
+        id: 7,
+        scope: vec![ProcessId::new(0), ProcessId::new(2)],
+    }));
+    payloads.push(Payload::Detect(DetectMsg::MultiUnregister { id: 7 }));
+    payloads.push(Payload::Detect(DetectMsg::MultiVerdict {
+        id: 9,
+        verdict: Some(vec![3, 1]),
+    }));
+    payloads.push(Payload::Detect(DetectMsg::MultiVerdict {
+        id: 10,
+        verdict: None,
+    }));
     payloads.push(Payload::Detect(DetectMsg::EndOfTrace));
     payloads.push(Payload::Verdict(None));
     payloads.push(Payload::Shutdown);

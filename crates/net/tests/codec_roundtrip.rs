@@ -86,6 +86,21 @@ fn random_messages(rng: &mut Rng) -> Vec<DetectMsg> {
             became_red: rng.gen_bool(0.5),
         },
         DetectMsg::GroupToken(group),
+        DetectMsg::MultiRegister {
+            id: rng.gen_range(0..10_000u64),
+            scope: (0..rng.gen_range(1..=8usize))
+                .map(|_| ProcessId::new(rng.gen_range(0..64u32)))
+                .collect(),
+        },
+        DetectMsg::MultiUnregister {
+            id: rng.gen_range(0..10_000u64),
+        },
+        DetectMsg::MultiVerdict {
+            id: rng.gen_range(0..10_000u64),
+            verdict: rng
+                .gen_bool(0.5)
+                .then(|| (0..n).map(|_| rng.gen_range(0..10_000u64)).collect()),
+        },
     ]
 }
 

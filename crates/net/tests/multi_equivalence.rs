@@ -1,0 +1,224 @@
+//! Acceptance tests for the multi-tenant service over real transport: a
+//! socket run serving `k` predicates at once yields per-predicate
+//! verdicts *and* paper-unit `DetectionMetrics` bit-identical to
+//!
+//! 1. the offline engine fed the annotated trace directly,
+//! 2. `k` independent single-predicate runs ("alone" baselines), and
+//! 3. the discrete-event simulator hosting the same actors,
+//!
+//! on loopback and TCP, on clean links and under tolerated
+//! drop + reset and delay + duplicate + reorder fault schedules. The
+//! engine's canonical routed log makes each session's entire observable
+//! behaviour a function of the computation alone — this suite pins that
+//! the transport cannot perturb it.
+
+use std::time::Duration;
+
+use wcp_clocks::ProcessId;
+use wcp_net::{run_multi_net, run_multi_net_with, NetConfig};
+use wcp_session::{run_multi_offline, run_multi_sim_with, run_single_offline, MultiReport};
+use wcp_sim::FaultConfig;
+use wcp_trace::generate::{generate, GeneratorConfig};
+use wcp_trace::{Computation, Wcp};
+
+fn workload(seed: u64, procs: usize, events: usize) -> Computation {
+    generate(
+        &GeneratorConfig::new(procs, events)
+            .with_seed(seed)
+            .with_predicate_density(0.3),
+    )
+    .computation
+}
+
+/// `k` deterministic predicates with diverse (non-prefix) scopes.
+fn derived_predicates(n: usize, k: usize) -> Vec<Wcp> {
+    (0..k)
+        .map(|j| {
+            let width = 1 + (j % n);
+            Wcp::over((0..width).map(|i| ProcessId::new(((j * 3 + i) % n) as u32)))
+        })
+        .collect()
+}
+
+fn deadline() -> Duration {
+    Duration::from_secs(30)
+}
+
+/// Pins a net report against the offline reference, the wire verdicts
+/// against the engine verdicts, and each outcome against its alone
+/// baseline.
+fn assert_multi_identical(
+    computation: &Computation,
+    got: &MultiReport,
+    reference: &MultiReport,
+    label: &str,
+) {
+    assert_eq!(got.outcomes.len(), reference.outcomes.len(), "{label}");
+    for (g, want) in got.outcomes.iter().zip(&reference.outcomes) {
+        assert_eq!(g.verdict, want.verdict, "{label} id {}", g.id);
+        assert_eq!(
+            g.metrics, want.metrics,
+            "{label} id {}: metrics diverged from offline",
+            g.id
+        );
+        let (alone_verdict, alone_metrics) = run_single_offline(computation, &g.wcp);
+        assert_eq!(g.verdict, alone_verdict, "{label} id {}", g.id);
+        assert_eq!(
+            g.metrics, alone_metrics,
+            "{label} id {}: metrics diverged from alone baseline",
+            g.id
+        );
+        assert_eq!(
+            got.wire_verdicts.get(&g.id),
+            Some(&g.verdict.cut().map(<[u64]>::to_vec)),
+            "{label} id {}: controller saw a different verdict on the wire",
+            g.id
+        );
+    }
+    assert_eq!(got.stats, reference.stats, "{label}: engine counters");
+    assert_eq!(got.stored_bytes, reference.stored_bytes, "{label}");
+}
+
+#[test]
+fn loopback_multi_matches_offline_and_alone() {
+    for seed in 0..6u64 {
+        let computation = workload(seed, 2 + (seed as usize % 4), 8);
+        let n = computation.process_count();
+        let predicates = derived_predicates(n, 6);
+        let offline = run_multi_offline(&computation, &predicates);
+        let net = run_multi_net(&computation, &predicates, NetConfig::loopback());
+        assert_multi_identical(&computation, &net.report, &offline, "loopback");
+        assert!(net.net.frames_sent > 0, "snapshots crossed the wire");
+        assert_eq!(
+            net.net.multi_sessions_active,
+            predicates.len() as u64,
+            "mirrored session counter"
+        );
+        assert_eq!(
+            net.net.multi_detections, net.report.stats.detections,
+            "mirrored detection counter"
+        );
+    }
+}
+
+#[test]
+fn tcp_multi_matches_offline_and_alone() {
+    for seed in 0..4u64 {
+        let computation = workload(seed, 3, 8);
+        let predicates = derived_predicates(3, 5);
+        let offline = run_multi_offline(&computation, &predicates);
+        let net = run_multi_net(
+            &computation,
+            &predicates,
+            NetConfig::tcp().with_deadline(deadline()),
+        );
+        assert_multi_identical(&computation, &net.report, &offline, "tcp");
+    }
+}
+
+#[test]
+fn multi_survives_drops_and_resets_via_recovery() {
+    for seed in 0..3u64 {
+        let computation = workload(seed, 4, 8);
+        let predicates = derived_predicates(4, 5);
+        let offline = run_multi_offline(&computation, &predicates);
+        let faults = FaultConfig::seeded(seed).with_drop(0.15).with_reset(0.05);
+        let net = run_multi_net(
+            &computation,
+            &predicates,
+            NetConfig::loopback()
+                .with_faults(faults)
+                .with_deadline(deadline()),
+        );
+        assert_multi_identical(&computation, &net.report, &offline, "drop+reset");
+    }
+}
+
+#[test]
+fn tcp_multi_survives_delay_duplicate_reorder() {
+    for seed in 0..3u64 {
+        let computation = workload(seed, 3, 8);
+        let predicates = derived_predicates(3, 5);
+        let offline = run_multi_offline(&computation, &predicates);
+        let faults = FaultConfig::delay_duplicate_reorder(200 + seed);
+        let net = run_multi_net(
+            &computation,
+            &predicates,
+            NetConfig::tcp()
+                .with_faults(faults)
+                .with_deadline(deadline()),
+        );
+        assert_multi_identical(&computation, &net.report, &offline, "ddr");
+    }
+}
+
+#[test]
+fn unregistration_is_transport_independent() {
+    // Registrations 0..5 with ids 10..15, then ids 11 and 13 unregister
+    // mid-run: the surviving sessions must be untouched, identically on
+    // the simulator and over sockets (clean and faulted).
+    for seed in 0..3u64 {
+        let computation = workload(seed, 4, 10);
+        let predicates = derived_predicates(4, 5);
+        let registrations: Vec<(u64, Wcp)> = predicates
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, w)| (10 + i as u64, w))
+            .collect();
+        let unregister = [11u64, 13];
+        let sim = run_multi_sim_with(&computation, &registrations, &unregister, seed);
+        let recorder: std::sync::Arc<dyn wcp_obs::Recorder> =
+            std::sync::Arc::new(wcp_obs::NullRecorder);
+        for (label, config) in [
+            ("loopback", NetConfig::loopback()),
+            (
+                "faulted",
+                NetConfig::loopback()
+                    .with_faults(FaultConfig::delay_duplicate_reorder(seed))
+                    .with_deadline(deadline()),
+            ),
+        ] {
+            let net = run_multi_net_with(
+                &computation,
+                &registrations,
+                &unregister,
+                config,
+                recorder.clone(),
+                None,
+            );
+            assert_eq!(
+                net.report.outcomes.len(),
+                3,
+                "{label} seed {seed}: two sessions unregistered"
+            );
+            for (g, want) in net.report.outcomes.iter().zip(&sim.outcomes) {
+                assert_eq!(g.id, want.id, "{label} seed {seed}");
+                assert_eq!(g.verdict, want.verdict, "{label} seed {seed} id {}", g.id);
+                assert_eq!(g.metrics, want.metrics, "{label} seed {seed} id {}", g.id);
+            }
+        }
+    }
+}
+
+#[test]
+fn wire_v1_and_v2_agree_on_every_session() {
+    // MULTI frames have v1-only bodies; they must ride a wire-v2
+    // connection unchanged and the verdicts must not care.
+    let computation = workload(11, 4, 10);
+    let predicates = derived_predicates(4, 6);
+    let v2 = run_multi_net(&computation, &predicates, NetConfig::loopback());
+    let v1 = run_multi_net(
+        &computation,
+        &predicates,
+        NetConfig::loopback().with_wire_v1(),
+    );
+    for (a, b) in v2.report.outcomes.iter().zip(&v1.report.outcomes) {
+        assert_eq!(a.verdict, b.verdict, "id {}", a.id);
+        assert_eq!(a.metrics, b.metrics, "id {}", a.id);
+    }
+    assert!(
+        v2.net.delta_frames_sent + v2.net.keyframes_sent > 0,
+        "v2 run actually compressed clocks"
+    );
+}

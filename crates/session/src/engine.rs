@@ -1,0 +1,501 @@
+//! The multi-tenant engine: shared ingest, deterministic routing, fan-out.
+//!
+//! One [`MultiEngine`] serves every registered predicate over a single
+//! event stream. Three design decisions make per-session verdicts *and*
+//! metrics independent of tenancy, timing and transport:
+//!
+//! 1. **Canonical routed log.** Per-process FIFO streams are merged by a
+//!    watermark rule: an event is routed only when every still-open
+//!    process has a pending event (so no unseen event can precede it),
+//!    and the pending event with the smallest `(interval, process)` key
+//!    is routed first. The resulting log is the unique `(interval,
+//!    process)`-sorted merge of the streams — a pure function of the
+//!    computation, whatever the arrival interleaving was.
+//! 2. **Shared rows, private cursors.** Snapshots are appended to the
+//!    [`SharedStore`] once at ingest; log entries and sessions reference
+//!    rows by index. Session state is `O(scope)` cursors + counters.
+//! 3. **Replay-from-origin registration.** A predicate registered
+//!    mid-stream first replays the routed log from entry 0 (cheap: rows
+//!    are already stored), so a late session is indistinguishable from
+//!    one registered before the first event.
+//!
+//! Fan-out is driven by [`pump`](MultiEngine::pump) (serial, the order the
+//! service actor uses) or [`pump_parallel`](MultiEngine::pump_parallel)
+//! (sessions partitioned across threads; per-session delivery order is
+//! unchanged, so results are bit-identical to serial).
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use wcp_clocks::ProcessId;
+use wcp_detect::DetectionMetrics;
+use wcp_trace::Wcp;
+
+use crate::registry::{PredicateId, Registry, SessionSlot};
+use crate::session::SessionVerdict;
+use crate::store::{SharedStore, StoreView};
+
+/// Why a registration was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegisterError {
+    /// The id is already registered.
+    Duplicate(PredicateId),
+    /// The predicate names a process outside `0..N`.
+    ScopeOutOfRange {
+        /// The offending process.
+        process: ProcessId,
+        /// The engine's process count.
+        n: usize,
+    },
+    /// The predicate scope is empty.
+    EmptyScope,
+}
+
+impl fmt::Display for RegisterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegisterError::Duplicate(id) => write!(f, "predicate {id} is already registered"),
+            RegisterError::ScopeOutOfRange { process, n } => {
+                write!(f, "scope process {process} out of range for N={n}")
+            }
+            RegisterError::EmptyScope => write!(f, "predicate scope is empty"),
+        }
+    }
+}
+
+impl std::error::Error for RegisterError {}
+
+/// Monotonic / gauge counters surfaced through `wcp stats` and `wcp top`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStats {
+    /// Currently registered sessions.
+    pub sessions_active: u64,
+    /// Routed-log entries delivered to (unresolved) sessions, total.
+    pub routed_events: u64,
+    /// Sessions that resolved `Detected`, total.
+    pub detections: u64,
+}
+
+#[derive(Debug, Default)]
+struct EngineCounters {
+    sessions_active: AtomicU64,
+    routed_events: AtomicU64,
+    detections: AtomicU64,
+    unresolved: AtomicU64,
+}
+
+/// One entry of the canonical routed log.
+#[derive(Debug, Clone, Copy)]
+struct RoutedEvent {
+    process: ProcessId,
+    /// `false`: the next dense arena row of `process`; `true`: end of
+    /// `process`'s stream.
+    close: bool,
+}
+
+/// Watermark-merge state over the per-process ingest queues.
+#[derive(Debug)]
+struct MergeState {
+    /// Intervals of appended-but-unrouted snapshots, per process (their
+    /// arena rows are implied by the routed count).
+    pending: Vec<VecDeque<u64>>,
+    /// End-of-stream submitted (the close is the queue's last item).
+    close_pending: Vec<bool>,
+    /// End-of-stream routed into the log.
+    close_routed: Vec<bool>,
+    /// Last ingested interval, for FIFO checking and the close sort key.
+    last_interval: Vec<u64>,
+}
+
+impl MergeState {
+    fn new(n: usize) -> Self {
+        MergeState {
+            pending: (0..n).map(|_| VecDeque::new()).collect(),
+            close_pending: vec![false; n],
+            close_routed: vec![false; n],
+            last_interval: vec![0; n],
+        }
+    }
+
+    /// Appends every currently-routable event to `log`, in canonical
+    /// `(interval, process)` order.
+    fn route_into(&mut self, log: &mut Vec<RoutedEvent>) {
+        let n = self.pending.len();
+        loop {
+            // (sort key, process, is_close) of the best routable head.
+            let mut best: Option<(u64, usize, bool)> = None;
+            for p in 0..n {
+                let head = if let Some(&interval) = self.pending[p].front() {
+                    (interval, p, false)
+                } else if self.close_pending[p] {
+                    if self.close_routed[p] {
+                        continue; // Fully routed; never blocks, never competes.
+                    }
+                    (self.last_interval[p] + 1, p, true)
+                } else {
+                    // Open process with nothing pending: a smaller-keyed
+                    // event may still arrive — nothing can be routed yet.
+                    return;
+                };
+                if best.is_none_or(|b| (head.0, head.1) < (b.0, b.1)) {
+                    best = Some(head);
+                }
+            }
+            let Some((_, p, close)) = best else { return };
+            if close {
+                self.close_routed[p] = true;
+            } else {
+                self.pending[p].pop_front();
+            }
+            log.push(RoutedEvent {
+                process: ProcessId::new(p as u32),
+                close,
+            });
+        }
+    }
+}
+
+/// Verdict and paper-unit metrics of one session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionReport {
+    /// Final verdict, or `None` while the stream is still open.
+    pub verdict: Option<SessionVerdict>,
+    /// Metrics so far (frozen once resolved).
+    pub metrics: DetectionMetrics,
+}
+
+/// The shared multi-tenant detection engine.
+#[derive(Debug)]
+pub struct MultiEngine {
+    n: usize,
+    store: SharedStore,
+    merge: Mutex<MergeState>,
+    log: RwLock<Vec<RoutedEvent>>,
+    registry: Registry,
+    /// Per-process subscriber lists (sessions whose scope names `p`).
+    subscribers: Vec<RwLock<Vec<Arc<SessionSlot>>>>,
+    /// Serializes fan-out and (un)registration; holds the log index every
+    /// registered session has been delivered up to.
+    pump_lock: Mutex<usize>,
+    counters: EngineCounters,
+}
+
+impl MultiEngine {
+    /// An empty engine over `n ≥ 1` application processes.
+    pub fn new(n: usize) -> Self {
+        MultiEngine {
+            n,
+            store: SharedStore::new(n),
+            merge: Mutex::new(MergeState::new(n)),
+            log: RwLock::new(Vec::new()),
+            registry: Registry::new(),
+            subscribers: (0..n).map(|_| RwLock::new(Vec::new())).collect(),
+            pump_lock: Mutex::new(0),
+            counters: EngineCounters::default(),
+        }
+    }
+
+    /// Number of application processes.
+    pub fn process_count(&self) -> usize {
+        self.n
+    }
+
+    /// The shared snapshot store (bytes stored once, whatever the tenant
+    /// count).
+    pub fn store(&self) -> &SharedStore {
+        &self.store
+    }
+
+    /// Registers predicate `id` over `wcp`'s scope. The new session first
+    /// replays the already-routed log from entry 0, so its verdict and
+    /// metrics are identical to having registered before the first event;
+    /// if that replay already resolves it, the verdict is returned.
+    pub fn register(
+        &self,
+        id: PredicateId,
+        wcp: &Wcp,
+    ) -> Result<Option<SessionVerdict>, RegisterError> {
+        if wcp.n() == 0 {
+            return Err(RegisterError::EmptyScope);
+        }
+        for &p in wcp.scope() {
+            if p.index() >= self.n {
+                return Err(RegisterError::ScopeOutOfRange {
+                    process: p,
+                    n: self.n,
+                });
+            }
+        }
+        let delivered = self.pump_lock.lock().expect("engine poisoned");
+        let slot = SessionSlot::new(id, wcp.scope().to_vec());
+        self.registry
+            .insert(Arc::clone(&slot))
+            .map_err(|()| RegisterError::Duplicate(id))?;
+        // Catch up on everything already routed.
+        let resolved = {
+            let log = self.log.read().expect("engine poisoned");
+            let view = self.store.read();
+            let mut state = slot.state.lock().expect("engine poisoned");
+            let mut verdict = None;
+            for entry in &log[..*delivered] {
+                if state.resolved() {
+                    break;
+                }
+                let Some(pos) = state.position(entry.process) else {
+                    continue;
+                };
+                self.counters.routed_events.fetch_add(1, Ordering::Relaxed);
+                verdict = if entry.close {
+                    state.on_close(pos, &view)
+                } else {
+                    state.on_snapshot(pos, &view)
+                };
+            }
+            verdict
+        };
+        for &p in &slot.scope {
+            self.subscribers[p.index()]
+                .write()
+                .expect("engine poisoned")
+                .push(Arc::clone(&slot));
+        }
+        self.counters
+            .sessions_active
+            .fetch_add(1, Ordering::Relaxed);
+        match &resolved {
+            Some(SessionVerdict::Detected(_)) => {
+                self.counters.detections.fetch_add(1, Ordering::Relaxed);
+            }
+            Some(SessionVerdict::Impossible) => {}
+            None => {
+                self.counters.unresolved.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        drop(delivered);
+        Ok(resolved)
+    }
+
+    /// Unregisters `id`, dropping its session state. Returns `false` if
+    /// the id was not registered.
+    pub fn unregister(&self, id: PredicateId) -> bool {
+        let _delivered = self.pump_lock.lock().expect("engine poisoned");
+        let Some(slot) = self.registry.remove(id) else {
+            return false;
+        };
+        slot.live.store(false, Ordering::Release);
+        for &p in &slot.scope {
+            self.subscribers[p.index()]
+                .write()
+                .expect("engine poisoned")
+                .retain(|s| s.id != id);
+        }
+        self.counters
+            .sessions_active
+            .fetch_sub(1, Ordering::Relaxed);
+        if !slot.state.lock().expect("engine poisoned").resolved() {
+            self.counters.unresolved.fetch_sub(1, Ordering::Relaxed);
+        }
+        true
+    }
+
+    /// Ingests the interval-`interval` snapshot of `p` (full-width clock).
+    /// Per-process calls must arrive in increasing interval order — the
+    /// FIFO channel discipline the paper's Figure 2 assumes.
+    pub fn ingest(&self, p: ProcessId, interval: u64, clock: &[u64]) {
+        assert!(p.index() < self.n, "process {p} out of range");
+        let mut merge = self.merge.lock().expect("engine poisoned");
+        assert!(
+            !merge.close_pending[p.index()],
+            "snapshot from {p} after end of stream"
+        );
+        assert!(
+            interval > merge.last_interval[p.index()],
+            "snapshots must arrive in increasing interval order"
+        );
+        merge.last_interval[p.index()] = interval;
+        merge.pending[p.index()].push_back(interval);
+        self.store.append(p, clock);
+    }
+
+    /// Declares `p`'s stream finished (end of trace).
+    pub fn close(&self, p: ProcessId) {
+        assert!(p.index() < self.n, "process {p} out of range");
+        let mut merge = self.merge.lock().expect("engine poisoned");
+        merge.close_pending[p.index()] = true;
+    }
+
+    /// Routes everything routable and fans it out to every session,
+    /// serially, in canonical order. Returns the sessions that resolved
+    /// during this pump, in resolution order.
+    pub fn pump(&self) -> Vec<(PredicateId, SessionVerdict)> {
+        let mut delivered = self.pump_lock.lock().expect("engine poisoned");
+        {
+            let mut log = self.log.write().expect("engine poisoned");
+            self.merge
+                .lock()
+                .expect("engine poisoned")
+                .route_into(&mut log);
+        }
+        let log = self.log.read().expect("engine poisoned");
+        let view = self.store.read();
+        // Registration holds the pump lock, so subscriber lists are frozen
+        // for the whole pass — take the read guards once, not per entry.
+        let subs: Vec<_> = self
+            .subscribers
+            .iter()
+            .map(|s| s.read().expect("engine poisoned"))
+            .collect();
+        let mut resolved = Vec::new();
+        for entry in &log[*delivered..] {
+            for slot in subs[entry.process.index()].iter() {
+                if let Some(v) = self.deliver(slot, entry, &view) {
+                    resolved.push((slot.id, v));
+                }
+            }
+        }
+        *delivered = log.len();
+        resolved
+    }
+
+    /// [`pump`](Self::pump) with sessions partitioned across `threads`
+    /// workers. Each session still sees its events in canonical order from
+    /// a single worker, so verdicts, metrics and counter totals are
+    /// bit-identical to the serial pump; only the resolution order differs,
+    /// so the result is sorted by id.
+    pub fn pump_parallel(&self, threads: usize) -> Vec<(PredicateId, SessionVerdict)> {
+        let threads = threads.max(1);
+        let mut delivered = self.pump_lock.lock().expect("engine poisoned");
+        {
+            let mut log = self.log.write().expect("engine poisoned");
+            self.merge
+                .lock()
+                .expect("engine poisoned")
+                .route_into(&mut log);
+        }
+        let log = self.log.read().expect("engine poisoned");
+        let view = self.store.read();
+        let subs: Vec<_> = self
+            .subscribers
+            .iter()
+            .map(|s| s.read().expect("engine poisoned"))
+            .collect();
+        let from = *delivered;
+        let mut resolved: Vec<(PredicateId, SessionVerdict)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|w| {
+                    let log = &log;
+                    let view = &view;
+                    let subs = &subs;
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        for entry in &log[from..] {
+                            for slot in subs[entry.process.index()].iter() {
+                                if slot.id.raw() % threads as u64 != w as u64 {
+                                    continue;
+                                }
+                                if let Some(v) = self.deliver(slot, entry, view) {
+                                    out.push((slot.id, v));
+                                }
+                            }
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("pump worker panicked"))
+                .collect()
+        });
+        resolved.sort_by_key(|(id, _)| *id);
+        *delivered = log.len();
+        resolved
+    }
+
+    /// Delivers one routed entry to one session; returns its verdict iff
+    /// this delivery resolved it.
+    fn deliver(
+        &self,
+        slot: &SessionSlot,
+        entry: &RoutedEvent,
+        view: &StoreView<'_>,
+    ) -> Option<SessionVerdict> {
+        if !slot.is_live() {
+            return None;
+        }
+        let mut state = slot.state.lock().expect("engine poisoned");
+        if state.resolved() {
+            return None;
+        }
+        let pos = state
+            .position(entry.process)
+            .expect("subscriber list routed a non-scope process");
+        self.counters.routed_events.fetch_add(1, Ordering::Relaxed);
+        let verdict = if entry.close {
+            state.on_close(pos, view)
+        } else {
+            state.on_snapshot(pos, view)
+        };
+        if let Some(v) = &verdict {
+            self.counters.unresolved.fetch_sub(1, Ordering::Relaxed);
+            if matches!(v, SessionVerdict::Detected(_)) {
+                self.counters.detections.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        verdict
+    }
+
+    /// Whether every registered session has a final verdict.
+    pub fn all_resolved(&self) -> bool {
+        self.counters.unresolved.load(Ordering::Relaxed) == 0
+    }
+
+    /// Number of registered sessions.
+    pub fn session_count(&self) -> usize {
+        self.registry.len()
+    }
+
+    /// Verdict + metrics of session `id`, if registered.
+    pub fn report(&self, id: PredicateId) -> Option<SessionReport> {
+        let slot = self.registry.get(id)?;
+        let state = slot.state.lock().expect("engine poisoned");
+        Some(SessionReport {
+            verdict: state.verdict().cloned(),
+            metrics: state.metrics(),
+        })
+    }
+
+    /// Every session's report, sorted by id.
+    pub fn reports(&self) -> Vec<(PredicateId, SessionReport)> {
+        self.registry
+            .all()
+            .into_iter()
+            .map(|slot| {
+                let state = slot.state.lock().expect("engine poisoned");
+                (
+                    slot.id,
+                    SessionReport {
+                        verdict: state.verdict().cloned(),
+                        metrics: state.metrics(),
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Current counter values.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            sessions_active: self.counters.sessions_active.load(Ordering::Relaxed),
+            routed_events: self.counters.routed_events.load(Ordering::Relaxed),
+            detections: self.counters.detections.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Length of the canonical routed log so far.
+    pub fn routed_log_len(&self) -> usize {
+        self.log.read().expect("engine poisoned").len()
+    }
+}

@@ -1,0 +1,116 @@
+//! The shared snapshot store: one arena per process, rows never move.
+//!
+//! Snapshots are immutable once produced, so the store is append-only:
+//! each process's full-width snapshot clocks land in a per-process
+//! [`ClockArena`] in FIFO (increasing-interval) order, and a row index is
+//! stable for the lifetime of the engine. Sessions reference rows by
+//! `(process, row)`; with `k` registered predicates a snapshot is stored
+//! once, not `k` times.
+
+use std::sync::{RwLock, RwLockReadGuard};
+
+use wcp_clocks::{ClockArena, ProcessId};
+
+/// Append-only per-process snapshot storage shared by every session.
+#[derive(Debug)]
+pub struct SharedStore {
+    n: usize,
+    arenas: Vec<RwLock<ClockArena>>,
+}
+
+impl SharedStore {
+    /// An empty store for `n ≥ 1` processes; every clock row has width `n`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "need at least one process");
+        SharedStore {
+            n,
+            arenas: (0..n).map(|_| RwLock::new(ClockArena::new(n))).collect(),
+        }
+    }
+
+    /// Number of processes (== clock width).
+    pub fn process_count(&self) -> usize {
+        self.n
+    }
+
+    /// Appends the full-width snapshot clock of `p`, returning its row
+    /// index within `p`'s arena (dense, starting at 0).
+    pub fn append(&self, p: ProcessId, clock: &[u64]) -> usize {
+        assert_eq!(clock.len(), self.n, "snapshot clock width must equal N");
+        self.arenas[p.index()]
+            .write()
+            .expect("store lock poisoned")
+            .push(clock)
+    }
+
+    /// Number of snapshots stored for `p`.
+    pub fn rows(&self, p: ProcessId) -> usize {
+        self.arenas[p.index()]
+            .read()
+            .expect("store lock poisoned")
+            .len()
+    }
+
+    /// Total bytes of stored clock data (the shared-ingest cost that does
+    /// *not* scale with the number of sessions).
+    pub fn stored_bytes(&self) -> u64 {
+        self.arenas
+            .iter()
+            .map(|a| {
+                let a = a.read().expect("store lock poisoned");
+                (a.len() * a.stride() * 8) as u64
+            })
+            .sum()
+    }
+
+    /// A read view over every arena, for one delivery pass. Appends block
+    /// while a view is live, so views are held only while fanning a routed
+    /// log range out to sessions.
+    pub fn read(&self) -> StoreView<'_> {
+        StoreView {
+            guards: self
+                .arenas
+                .iter()
+                .map(|a| a.read().expect("store lock poisoned"))
+                .collect(),
+        }
+    }
+}
+
+/// A consistent read view over the whole store.
+pub struct StoreView<'a> {
+    guards: Vec<RwLockReadGuard<'a, ClockArena>>,
+}
+
+impl StoreView<'_> {
+    /// The full-width clock of row `row` of process index `p`.
+    pub fn row(&self, p: usize, row: usize) -> &[u64] {
+        self.guards[p].row(row).as_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_are_stable_and_indexed_per_process() {
+        let store = SharedStore::new(3);
+        assert_eq!(store.append(ProcessId::new(0), &[1, 0, 0]), 0);
+        assert_eq!(store.append(ProcessId::new(1), &[0, 1, 0]), 0);
+        assert_eq!(store.append(ProcessId::new(0), &[2, 1, 0]), 1);
+        assert_eq!(store.rows(ProcessId::new(0)), 2);
+        assert_eq!(store.rows(ProcessId::new(2)), 0);
+        let view = store.read();
+        assert_eq!(view.row(0, 1), &[2, 1, 0]);
+        assert_eq!(view.row(1, 0), &[0, 1, 0]);
+        drop(view);
+        assert_eq!(store.stored_bytes(), 3 * 3 * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn append_rejects_wrong_width() {
+        SharedStore::new(2).append(ProcessId::new(0), &[1]);
+    }
+}

@@ -1,0 +1,286 @@
+//! The multi-tenant core correctness claim, property-tested:
+//!
+//! 1. per-predicate verdicts equal the Theorem 3.2 oracle
+//!    (`first_satisfying_cut`);
+//! 2. per-predicate `DetectionMetrics` are **bit-identical** to running
+//!    the same predicate alone on the same stream — whatever the tenant
+//!    count, registration time, pump parallelism, or substrate
+//!    (offline / simulator / threaded runtime);
+//! 3. the session elimination engine is a faithful re-expression of the
+//!    trusted `StreamingChecker` fed in the engine's canonical order.
+
+use wcp_clocks::ProcessId;
+use wcp_detect::{vc_snapshot_queues, StreamingChecker, StreamingStatus};
+use wcp_session::{
+    feed_annotated, run_multi_offline, run_multi_sim, run_multi_threaded, run_single_offline,
+    MultiEngine, PredicateId, SessionVerdict,
+};
+use wcp_trace::generate::{generate, GeneratorConfig};
+use wcp_trace::{AnnotatedComputation, Computation, Wcp};
+
+fn workload(seed: u64, procs: usize, events: usize) -> Computation {
+    let cfg = GeneratorConfig::new(procs, events)
+        .with_seed(seed)
+        .with_predicate_density(0.3);
+    generate(&cfg).computation
+}
+
+/// `k` deterministic predicates with diverse (non-prefix) scopes.
+fn derived_predicates(n: usize, k: usize) -> Vec<Wcp> {
+    (0..k)
+        .map(|j| {
+            let width = 1 + (j % n);
+            Wcp::over((0..width).map(|i| ProcessId::new(((j * 3 + i) % n) as u32)))
+        })
+        .collect()
+}
+
+/// The engine's canonical routed order, recomputed independently: all
+/// events sorted by `(interval, process)`, with each process's close
+/// keyed one past its last true interval. `None` marks a close.
+fn canonical_order(annotated: &AnnotatedComputation) -> Vec<(u64, u32, bool)> {
+    let mut evs = Vec::new();
+    for p in ProcessId::all(annotated.process_count()) {
+        let intervals = annotated.true_intervals(p);
+        for &k in intervals {
+            evs.push((k, p.index() as u32, false));
+        }
+        let last = intervals.last().copied().unwrap_or(0);
+        evs.push((last + 1, p.index() as u32, true));
+    }
+    evs.sort_unstable();
+    evs
+}
+
+#[test]
+fn verdicts_match_theorem_3_2_oracle() {
+    for seed in 0..40u64 {
+        let computation = workload(seed, 2 + (seed as usize % 5), 6 + (seed as usize % 10));
+        let n = computation.process_count();
+        let annotated = computation.annotate();
+        let predicates = derived_predicates(n, 6);
+        let report = run_multi_offline(&computation, &predicates);
+        assert_eq!(report.outcomes.len(), predicates.len());
+        for outcome in &report.outcomes {
+            match annotated.first_satisfying_cut(&outcome.wcp) {
+                Some(cut) => assert_eq!(
+                    outcome.verdict,
+                    SessionVerdict::Detected(outcome.wcp.project(&cut)),
+                    "seed {seed} predicate {}",
+                    outcome.id
+                ),
+                None => assert_eq!(
+                    outcome.verdict,
+                    SessionVerdict::Impossible,
+                    "seed {seed} predicate {}",
+                    outcome.id
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn multi_tenant_metrics_bit_identical_to_alone() {
+    for seed in 0..40u64 {
+        let computation = workload(seed, 2 + (seed as usize % 5), 6 + (seed as usize % 10));
+        let n = computation.process_count();
+        let predicates = derived_predicates(n, 7);
+        let report = run_multi_offline(&computation, &predicates);
+        for outcome in &report.outcomes {
+            let (alone_verdict, alone_metrics) = run_single_offline(&computation, &outcome.wcp);
+            assert_eq!(
+                outcome.verdict, alone_verdict,
+                "seed {seed} id {}",
+                outcome.id
+            );
+            assert_eq!(
+                outcome.metrics, alone_metrics,
+                "seed {seed} id {}: multi-tenant metrics must be bit-identical to alone",
+                outcome.id
+            );
+        }
+    }
+}
+
+#[test]
+fn session_engine_matches_streaming_checker_differentially() {
+    for seed in 0..40u64 {
+        let computation = workload(seed, 2 + (seed as usize % 5), 6 + (seed as usize % 10));
+        let n = computation.process_count();
+        let annotated = computation.annotate();
+        let order = canonical_order(&annotated);
+        for wcp in derived_predicates(n, 5) {
+            // Reference: the trusted StreamingChecker over scope-projected
+            // snapshot copies, fed in the canonical order, stopping at
+            // resolution (sessions freeze when resolved).
+            let queues = vc_snapshot_queues(&annotated, &wcp);
+            let mut checker = StreamingChecker::new(wcp.n());
+            let mut next = vec![0usize; wcp.n()];
+            let mut reference = None;
+            for &(_, p, close) in &order {
+                let Some(pos) = wcp.position(ProcessId::new(p)) else {
+                    continue;
+                };
+                let status = if close {
+                    checker.close(pos)
+                } else {
+                    let s = queues[pos][next[pos]].clone();
+                    next[pos] += 1;
+                    checker.push(pos, s)
+                };
+                match status {
+                    StreamingStatus::Detected(g) => {
+                        reference = Some(SessionVerdict::Detected(g));
+                        break;
+                    }
+                    StreamingStatus::Impossible => {
+                        reference = Some(SessionVerdict::Impossible);
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            let (verdict, metrics) = run_single_offline(&computation, &wcp);
+            assert_eq!(Some(&verdict), reference.as_ref(), "seed {seed} {wcp}");
+            assert_eq!(
+                metrics.per_process_work,
+                vec![checker.work()],
+                "seed {seed} {wcp}"
+            );
+            assert_eq!(
+                metrics.max_buffered_snapshots,
+                checker.peak_buffered(),
+                "seed {seed} {wcp}"
+            );
+        }
+    }
+}
+
+#[test]
+fn late_registration_replays_to_the_same_outcome() {
+    for seed in 0..20u64 {
+        let computation = workload(seed, 4, 10);
+        let annotated = computation.annotate();
+        let wcp = Wcp::over_first(3);
+        let engine = MultiEngine::new(4);
+        // First half of every process's stream, then a pump...
+        for p in ProcessId::all(4) {
+            let intervals = annotated.true_intervals(p);
+            for &k in &intervals[..intervals.len() / 2] {
+                engine.ingest(
+                    p,
+                    k,
+                    annotated.clock(wcp_clocks::StateId::new(p, k)).as_slice(),
+                );
+            }
+        }
+        engine.pump();
+        // ...then a late registration (replays the routed log from 0)...
+        let early = engine.register(PredicateId::new(1), &wcp).unwrap();
+        // ...then the rest of the stream.
+        for p in ProcessId::all(4) {
+            let intervals = annotated.true_intervals(p);
+            for &k in &intervals[intervals.len() / 2..] {
+                engine.ingest(
+                    p,
+                    k,
+                    annotated.clock(wcp_clocks::StateId::new(p, k)).as_slice(),
+                );
+            }
+            engine.close(p);
+        }
+        engine.pump();
+        let report = engine.report(PredicateId::new(1)).unwrap();
+        let verdict = report
+            .verdict
+            .or(early)
+            .expect("resolved after full stream");
+        let (alone_verdict, alone_metrics) = run_single_offline(&computation, &wcp);
+        assert_eq!(verdict, alone_verdict, "seed {seed}");
+        assert_eq!(report.metrics, alone_metrics, "seed {seed}");
+    }
+}
+
+#[test]
+fn unregister_drops_one_tenant_without_perturbing_the_rest() {
+    let computation = workload(7, 4, 12);
+    let predicates = derived_predicates(4, 3);
+    let engine = MultiEngine::new(4);
+    for (i, wcp) in predicates.iter().enumerate() {
+        engine.register(PredicateId::new(i as u64), wcp).unwrap();
+    }
+    assert_eq!(engine.session_count(), 3);
+    assert!(engine.unregister(PredicateId::new(1)));
+    assert!(!engine.unregister(PredicateId::new(1)), "double unregister");
+    assert_eq!(engine.session_count(), 2);
+    feed_annotated(&engine, &computation.annotate());
+    assert!(engine.report(PredicateId::new(1)).is_none());
+    for i in [0u64, 2] {
+        let report = engine.report(PredicateId::new(i)).unwrap();
+        let (alone_verdict, alone_metrics) =
+            run_single_offline(&computation, &predicates[i as usize]);
+        assert_eq!(report.verdict, Some(alone_verdict));
+        assert_eq!(report.metrics, alone_metrics);
+    }
+    assert_eq!(engine.stats().sessions_active, 2);
+}
+
+#[test]
+fn pump_parallel_is_bit_identical_to_serial_pump() {
+    for seed in 0..10u64 {
+        let computation = workload(seed, 5, 12);
+        let annotated = computation.annotate();
+        let predicates = derived_predicates(5, 40);
+        let serial = MultiEngine::new(5);
+        let parallel = MultiEngine::new(5);
+        for (i, wcp) in predicates.iter().enumerate() {
+            serial.register(PredicateId::new(i as u64), wcp).unwrap();
+            parallel.register(PredicateId::new(i as u64), wcp).unwrap();
+        }
+        for p in ProcessId::all(5) {
+            for &k in annotated.true_intervals(p) {
+                let clock = annotated.clock(wcp_clocks::StateId::new(p, k)).as_slice();
+                serial.ingest(p, k, clock);
+                parallel.ingest(p, k, clock);
+            }
+            serial.close(p);
+            parallel.close(p);
+            // Pump mid-stream too, to exercise incremental routing.
+            serial.pump();
+            parallel.pump_parallel(4);
+        }
+        let mut serial_reports = serial.reports();
+        let parallel_reports = parallel.reports();
+        serial_reports.sort_by_key(|(id, _)| *id);
+        assert_eq!(serial_reports, parallel_reports, "seed {seed}");
+        assert_eq!(serial.stats(), parallel.stats(), "seed {seed}");
+    }
+}
+
+#[test]
+fn simulator_and_threaded_runtime_match_offline() {
+    for seed in 0..8u64 {
+        let computation = workload(seed, 2 + (seed as usize % 4), 8);
+        let n = computation.process_count();
+        let predicates = derived_predicates(n, 5);
+        let offline = run_multi_offline(&computation, &predicates);
+        for report in [
+            run_multi_sim(&computation, &predicates, seed.wrapping_mul(31)),
+            run_multi_threaded(&computation, &predicates),
+        ] {
+            assert_eq!(report.outcomes.len(), offline.outcomes.len());
+            for (got, want) in report.outcomes.iter().zip(&offline.outcomes) {
+                assert_eq!(got.verdict, want.verdict, "seed {seed} id {}", got.id);
+                assert_eq!(got.metrics, want.metrics, "seed {seed} id {}", got.id);
+                // The controller saw the same verdict on the wire.
+                assert_eq!(
+                    report.wire_verdicts.get(&got.id),
+                    Some(&got.verdict.cut().map(<[u64]>::to_vec)),
+                    "seed {seed} id {}",
+                    got.id
+                );
+            }
+        }
+    }
+}

@@ -39,6 +39,9 @@ status=0
 # No --net-batch / --wire-v2 overrides here: each case draws its own
 # write mode and wire version, so the night covers every combination
 # (v1, delta-compressed v2, batched and per-frame) under fault schedules.
+# Each case also draws a multi-predicate session count (1–8): the
+# session-layer engine is cross-checked offline on every case, and net
+# cases additionally run the socket-backed multi service.
 ./target/release/wcp fuzz --seed "$seed" --cases "$cases" --shrink --audit-bounds \
     > "$log" 2>&1 || status=$?
 cat "$log"

@@ -29,6 +29,14 @@ echo "== fuzz smoke campaign (fixed seed, bounded) =="
 # (scripts/nightly-fuzz.sh) fuzzes all wire modes and versions.
 ./target/release/wcp fuzz --seed 1 --cases 50 --shrink --net-batch --wire-v2
 
+echo "== fuzz multi-tenant smoke slice =="
+# Session-layer conformance: the offline multi-predicate cross-check runs
+# on every case above already; --multi additionally forces the
+# socket-backed session service leg on each case, pinning every
+# session's verdict and metrics to the standalone detectors under the
+# case's fault schedule.
+./target/release/wcp fuzz --seed 3 --cases 25 --shrink --multi
+
 echo "== fuzz bound-audit smoke slice =="
 # Paper-bound auditing over the telemetry plane: every case's merged
 # timeline is checked against the §3.4 message/bit/latency bounds.

@@ -15,6 +15,9 @@
 //!   and the dependency-free JSON and RNG utilities the workspace shares,
 //! - [`net`] — real socket transport: wire codec, TCP/loopback links,
 //!   deterministic fault injection, and socket-connected detection peers,
+//! - [`session`] — the multi-tenant session layer: a predicate registry,
+//!   shared arena-backed snapshot store, and router serving thousands of
+//!   concurrent predicates over one event stream,
 //! - [`fuzz`] — the differential conformance fuzzer: seeded campaigns
 //!   over every detector family, deterministic shrinking, and the
 //!   `tests/corpus/` regression format.
@@ -49,5 +52,6 @@ pub use wcp_net as net;
 pub use wcp_obs as obs;
 pub use wcp_record as record;
 pub use wcp_runtime as runtime;
+pub use wcp_session as session;
 pub use wcp_sim as sim;
 pub use wcp_trace as trace;
