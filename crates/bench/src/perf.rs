@@ -434,8 +434,13 @@ const MULTI_SAT_WORKLOAD: WorkloadSpec = WorkloadSpec {
 };
 /// Concurrent sessions in the multi-tenant saturation run.
 const MULTI_SAT_SESSIONS: usize = 10_000;
-/// Worker threads of the parallel-pump leg.
+/// Worker threads of the headline parallel-pump leg.
 const MULTI_SAT_THREADS: usize = 8;
+/// Every pump width measured: serial, then the sharded parallel pump at
+/// 2/4/8 workers. Each width must resolve the identical verdict set.
+const MULTI_SAT_THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// Timed rounds per pump width; the entry records the fastest.
+const MULTI_SAT_ROUNDS: usize = 2;
 /// Sessions of the (slower, socket-backed) wire leg.
 const MULTI_SAT_NET_SESSIONS: usize = 64;
 
@@ -455,8 +460,10 @@ fn multi_predicates(n: usize, k: usize) -> Vec<Wcp> {
 /// Measures the multi-tenant session layer at saturation: `sessions`
 /// concurrent predicates with diverse scopes registered on one
 /// [`MultiEngine`], the whole event stream ingested once, and the engine
-/// pumped dry — serially and with the partitioned parallel pump (which
-/// must resolve the identical verdict set). The headline numbers are
+/// pumped dry — once per pump width in [`MULTI_SAT_THREAD_COUNTS`]
+/// (serial, then the sharded parallel pump at each worker count), every
+/// width required to resolve the identical verdict set, the fastest of
+/// [`MULTI_SAT_ROUNDS`] rounds recorded per width. The headline numbers are
 /// detections/sec and shared-store bytes/predicate; `naive_store_bytes`
 /// is what `sessions` standalone engines would have stored (each pays
 /// the full stream), so `stored_bytes` vs it is the sharing win. A
@@ -498,13 +505,46 @@ fn multi_saturation_stats_sized(spec: WorkloadSpec, sessions: usize, net_session
         );
         (engine, resolved, elapsed)
     };
-    let (_, mut serial_resolved, serial_elapsed) = run(1);
-    let (engine, parallel_resolved, parallel_elapsed) = run(MULTI_SAT_THREADS);
-    serial_resolved.sort_by_key(|(id, _)| *id);
-    assert_eq!(
-        serial_resolved, parallel_resolved,
-        "parallel pump diverged from the serial one"
-    );
+    // Every pump width, `MULTI_SAT_ROUNDS` timed rounds each (fastest
+    // kept): the scaling curve serial → 8 workers in one entry, with the
+    // verdict sets pinned identical across all widths.
+    let mut serial_elapsed = std::time::Duration::MAX;
+    let mut parallel_elapsed = std::time::Duration::MAX;
+    let mut baseline: Option<Vec<_>> = None;
+    let mut scaling = Vec::new();
+    let mut last = None;
+    for threads in MULTI_SAT_THREAD_COUNTS {
+        let mut best = std::time::Duration::MAX;
+        for _ in 0..MULTI_SAT_ROUNDS {
+            let (engine, mut resolved, elapsed) = run(threads);
+            best = best.min(elapsed);
+            resolved.sort_by_key(|(id, _)| *id);
+            match &baseline {
+                None => baseline = Some(resolved),
+                Some(want) => assert_eq!(
+                    want, &resolved,
+                    "{threads}-worker pump diverged from the serial one"
+                ),
+            }
+            last = Some(engine);
+        }
+        let routed = last.as_ref().map_or(0, |e| e.stats().routed_events);
+        scaling.push(Json::obj([
+            ("threads", Json::UInt(threads as u64)),
+            ("elapsed_ns", Json::UInt(best.as_nanos() as u64)),
+            (
+                "routed_events_per_sec",
+                Json::Float(routed as f64 / best.as_secs_f64().max(f64::MIN_POSITIVE)),
+            ),
+        ]));
+        if threads == 1 {
+            serial_elapsed = best;
+        }
+        if threads == MULTI_SAT_THREADS {
+            parallel_elapsed = best;
+        }
+    }
+    let engine = last.expect("at least one saturation run");
 
     // Socket leg: a sample of the same predicates (the derivation is
     // independent of k, so ids line up) through the full wire stack.
@@ -551,6 +591,7 @@ fn multi_saturation_stats_sized(spec: WorkloadSpec, sessions: usize, net_session
             "parallel_speedup",
             Json::Float(secs(serial_elapsed) / secs(parallel_elapsed)),
         ),
+        ("pump_scaling", Json::Arr(scaling)),
         ("detections", Json::UInt(stats.detections)),
         (
             "detections_per_sec",
@@ -816,6 +857,21 @@ mod tests {
             stats.get("naive_store_bytes").unwrap().as_u64(),
             Some(stored * 200)
         );
+        // The scaling curve covers every measured pump width.
+        let scaling = stats.get("pump_scaling").unwrap().as_array().unwrap();
+        assert_eq!(scaling.len(), MULTI_SAT_THREAD_COUNTS.len());
+        for (point, threads) in scaling.iter().zip(MULTI_SAT_THREAD_COUNTS) {
+            assert_eq!(point.get("threads").unwrap().as_u64(), Some(threads as u64));
+            assert!(point.get("elapsed_ns").unwrap().as_u64().unwrap() > 0);
+            assert!(
+                point
+                    .get("routed_events_per_sec")
+                    .unwrap()
+                    .as_f64()
+                    .unwrap()
+                    > 0.0
+            );
+        }
         assert!(
             stats
                 .get("net_bytes_per_session")

@@ -24,6 +24,7 @@ const SWITCHES: &[&str] = &[
     "audit-bounds",
     "telemetry",
     "multi",
+    "pump-parallel",
 ];
 
 impl Args {

@@ -637,6 +637,8 @@ fn outcome_row(outcome: &PredicateOutcome) -> String {
 /// verdict table and session counters, and cross-check every verdict and
 /// every [`DetectionMetrics`](wcp_detect::DetectionMetrics) against the
 /// simulator runner — Theorem 3.2 says transport must not matter.
+/// `--pump-threads T` fans deliveries out over `T` sharded pump workers
+/// (bit-identical to the serial pump either way).
 pub fn multi_demo(raw: &[String]) -> Result<String, CliError> {
     let args = Args::parse(raw)?;
     let path = args.require_positional(0, "FILE")?;
@@ -651,7 +653,8 @@ pub fn multi_demo(raw: &[String]) -> Result<String, CliError> {
         transport,
         ..NetConfig::default()
     }
-    .with_deadline(Duration::from_secs(args.get_or("deadline", 60)?));
+    .with_deadline(Duration::from_secs(args.get_or("deadline", 60)?))
+    .with_pump_threads(args.get_or("pump-threads", 1)?);
     if let Some(faults) = parse_fault_config(&args)? {
         config = config.with_faults(faults);
     }
@@ -805,7 +808,9 @@ fn serve_multi(args: &Args) -> Result<String, CliError> {
         return Err(CliError::usage("serve --multi needs --predicates ≥ 1"));
     }
     let (peer, addrs) = parse_peer_addrs(args, n + 1)?;
-    let config = NetConfig::tcp().with_deadline(Duration::from_secs(args.get_or("deadline", 60)?));
+    let config = NetConfig::tcp()
+        .with_deadline(Duration::from_secs(args.get_or("deadline", 60)?))
+        .with_pump_threads(args.get_or("pump-threads", 1)?);
     let registrations: Vec<(u64, Wcp)> = derived_predicates(n, k)
         .into_iter()
         .enumerate()
@@ -1026,6 +1031,8 @@ pub fn obs_report(raw: &[String]) -> Result<String, CliError> {
 /// case draws its wire version at random otherwise); `--multi` forces
 /// the socket-backed multi-tenant session leg on every case (the
 /// offline session cross-check runs on every case regardless);
+/// `--pump-parallel` forces the sharded parallel-pump cross-check on
+/// every case (each case otherwise draws that bit at random);
 /// `--audit-bounds` additionally audits every case's merged telemetry
 /// timeline against the paper's §3.4 message/bit/latency bounds.
 pub fn fuzz(raw: &[String]) -> Result<String, CliError> {
@@ -1041,6 +1048,7 @@ pub fn fuzz(raw: &[String]) -> Result<String, CliError> {
     config.check.force_net_batch = args.switch("net-batch");
     config.check.force_wire_v2 = args.switch("wire-v2");
     config.check.force_multi = args.switch("multi");
+    config.check.force_pump_parallel = args.switch("pump-parallel");
     config.check.audit_bounds = args.switch("audit-bounds");
     let report = wcp_fuzz::run_campaign(&config);
     let mut out = report.summary_table();
@@ -1534,6 +1542,18 @@ mod tests {
         }
         assert!(multi_demo(&argv(&[&path, "--predicates", "0"])).is_err());
         assert!(multi_demo(&argv(&[&path, "--transport", "smoke-signal"])).is_err());
+    }
+
+    #[test]
+    fn multi_demo_pump_threads_is_invisible_in_the_output() {
+        // The sharded parallel pump must not change a single verdict, so
+        // the serial and 4-worker runs print identical tables.
+        let path = generated_trace("multi_demo_pump.json");
+        let serial = multi_demo(&argv(&[&path, "--predicates", "6"])).unwrap();
+        let parallel =
+            multi_demo(&argv(&[&path, "--predicates", "6", "--pump-threads", "4"])).unwrap();
+        assert_eq!(serial, parallel);
+        assert!(multi_demo(&argv(&[&path, "--pump-threads", "lots"])).is_err());
     }
 
     #[test]

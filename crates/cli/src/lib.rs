@@ -131,12 +131,12 @@ USAGE:
                [--transport tcp|loopback] [--fault-seed S] [--drop P]
                [--delay P] [--duplicate P] [--reorder P] [--reset P] [--json]
   wcp multi-demo FILE [--predicates K] [--transport tcp|loopback] [--seed S]
-                 [--fault-seed S] [--drop P] [--delay P] [--duplicate P]
-                 [--reorder P] [--reset P] [--deadline SECS]
+                 [--pump-threads T] [--fault-seed S] [--drop P] [--delay P]
+                 [--duplicate P] [--reorder P] [--reset P] [--deadline SECS]
   wcp serve FILE --peer I --addrs HOST:PORT,HOST:PORT,...
             [--scope 0,1,2] [--deadline SECS] [--telemetry]
-            [--multi [--predicates K]]
+            [--multi [--predicates K] [--pump-threads T]]
   wcp fuzz [--seed S] [--cases K] [--shrink] [--no-net] [--net-batch]
-           [--multi] [--audit-bounds]
+           [--multi] [--pump-parallel] [--audit-bounds]
   wcp bound --n N --m M
   wcp help";

@@ -54,6 +54,11 @@ pub struct FuzzCase {
     /// Theorem 3.2 oracle and the alone-metrics identity. Corpus files
     /// written before this field existed default to `1`.
     pub multi_predicates: usize,
+    /// Whether the multi-tenant cross-check also drives the sharded
+    /// parallel pump and pins its report bit-identical to the serial
+    /// engine's. Corpus files written before this field existed default
+    /// to `false` (they pinned serial-pump behaviour).
+    pub pump_parallel: bool,
 }
 
 impl FuzzCase {
@@ -153,6 +158,9 @@ impl FuzzCase {
             wire_v2: (stream_seed >> 32).count_ones() % 2 == 0,
             // Also entropy already drawn: 1..=8 concurrent predicates.
             multi_predicates: 1 + ((stream_seed >> 16) % 8) as usize,
+            // One more derived bit: about half the cases cross-check the
+            // sharded parallel pump against the serial engine.
+            pump_parallel: (stream_seed >> 8) & 1 == 1,
         }
     }
 
@@ -199,6 +207,7 @@ impl ToJson for FuzzCase {
             ("net_batch", Json::Bool(self.net_batch)),
             ("wire_v2", Json::Bool(self.wire_v2)),
             ("multi_predicates", Json::UInt(self.multi_predicates as u64)),
+            ("pump_parallel", Json::Bool(self.pump_parallel)),
         ])
     }
 }
@@ -242,6 +251,14 @@ impl FromJson for FuzzCase {
             multi_predicates: match value.get("multi_predicates") {
                 Some(v) => v.expect_u64()? as usize,
                 None => 1,
+            },
+            // Absent in pre-sharding corpus files: those pinned
+            // serial-pump behaviour, so they keep replaying serially.
+            pump_parallel: match value.get("pump_parallel") {
+                Some(v) => v
+                    .as_bool()
+                    .ok_or_else(|| JsonError::shape("pump_parallel: expected a bool"))?,
+                None => false,
             },
         })
     }
@@ -309,6 +326,14 @@ mod tests {
         assert!(cases.iter().any(|c| !c.wire_v2));
         assert!(cases.iter().any(|c| c.multi_predicates == 1));
         assert!(cases.iter().any(|c| c.multi_predicates >= 4));
+        assert!(cases.iter().any(|c| c.pump_parallel));
+        assert!(cases.iter().any(|c| !c.pump_parallel));
+        assert!(
+            cases
+                .iter()
+                .any(|c| c.pump_parallel && c.multi_predicates >= 4),
+            "parallel pump with several tenants never sampled"
+        );
         assert!(
             cases
                 .iter()
@@ -360,6 +385,20 @@ mod tests {
             back.multi_predicates, 1,
             "missing field replays single-tenant"
         );
+    }
+
+    #[test]
+    fn pre_sharding_corpus_files_default_to_the_serial_pump() {
+        let mut rng = Rng::seed_from_u64(17);
+        let mut case = FuzzCase::random(&mut rng);
+        case.pump_parallel = true;
+        let mut json = case.to_json();
+        // An old corpus entry simply lacks the field.
+        if let Json::Obj(pairs) = &mut json {
+            pairs.retain(|(k, _)| k != "pump_parallel");
+        }
+        let back = FuzzCase::from_json(&json).unwrap();
+        assert!(!back.pump_parallel, "missing field replays serially");
     }
 
     #[test]

@@ -25,7 +25,7 @@ use wcp_detect::{
 use wcp_net::{run_direct_net, run_multi_net, run_vc_token_net, NetConfig};
 use wcp_obs::rng::Rng;
 use wcp_obs::{merge_streams, split_by_monitor, RingRecorder, StampedEvent};
-use wcp_session::{run_multi_offline, run_single_offline, SessionVerdict};
+use wcp_session::{run_multi_offline, run_multi_offline_with, run_single_offline, SessionVerdict};
 use wcp_sim::SimConfig;
 use wcp_trace::generate::generate;
 use wcp_trace::{AnnotatedComputation, Wcp};
@@ -43,6 +43,10 @@ const LATTICE_MAX_EVENTS: usize = 6;
 
 /// Wall-clock budget for one socket loopback run.
 const NET_DEADLINE: Duration = Duration::from_secs(20);
+
+/// Worker count the parallel-pump cross-check leg drives — enough to
+/// partition the shard space several ways while staying cheap per case.
+const PUMP_PARALLEL_WORKERS: usize = 4;
 
 /// How a detector deviated from the oracle.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -103,6 +107,10 @@ pub struct CheckOptions {
     /// `wcp fuzz --multi` smoke knob. (The offline engine cross-check
     /// runs on every case regardless.)
     pub force_multi: bool,
+    /// Force the sharded parallel-pump leg of the multi-tenant
+    /// cross-check even when the case's `pump_parallel` draw is false —
+    /// the `wcp fuzz --pump-parallel` smoke knob.
+    pub force_pump_parallel: bool,
     /// Audit the merged telemetry timeline of a recorded online vc-token
     /// run against the paper's §3.4 bounds (`wcp fuzz --audit-bounds`).
     pub audit_bounds: bool,
@@ -120,6 +128,7 @@ impl Default for CheckOptions {
             force_net_batch: false,
             force_wire_v2: false,
             force_multi: false,
+            force_pump_parallel: false,
             audit_bounds: false,
             sabotage_bounds: false,
         }
@@ -480,7 +489,7 @@ pub fn check_case(case: &FuzzCase, opts: &CheckOptions) -> Vec<Divergence> {
             })
             .collect();
         let mut engine_clean = true;
-        match guarded(|| run_multi_offline(computation, &predicates)) {
+        let serial_report = match guarded(|| run_multi_offline(computation, &predicates)) {
             Ok(report) => {
                 for outcome in &report.outcomes {
                     let session_truth = annotated
@@ -525,10 +534,55 @@ pub fn check_case(case: &FuzzCase, opts: &CheckOptions) -> Vec<Divergence> {
                         );
                     }
                 }
+                Some(report)
             }
             Err(p) => {
                 engine_clean = false;
                 diverge("multi:engine", DivergenceKind::Crash, p);
+                None
+            }
+        };
+        // Parallel-pump leg: the same predicates fanned out by the
+        // sharded parallel pump, when the case drew `pump_parallel` (or
+        // `--pump-parallel` forced it). The whole report — every verdict,
+        // every `DetectionMetrics`, the engine counters — must be
+        // bit-identical to the serial engine the offline leg just vetted.
+        if engine_clean && (case.pump_parallel || opts.force_pump_parallel) {
+            if let Some(serial) = &serial_report {
+                match guarded(|| {
+                    run_multi_offline_with(computation, &predicates, PUMP_PARALLEL_WORKERS)
+                }) {
+                    Ok(par) => {
+                        if par.stats != serial.stats {
+                            diverge(
+                                "multi:pump-par",
+                                DivergenceKind::Metrics,
+                                format!(
+                                    "parallel-pump engine counters diverged: serial {:?}, \
+                                     parallel {:?}",
+                                    serial.stats, par.stats
+                                ),
+                            );
+                        }
+                        for (p, s) in par.outcomes.iter().zip(&serial.outcomes) {
+                            if p.verdict != s.verdict {
+                                diverge(
+                                    &format!("multi:pump-par#{}", s.id),
+                                    DivergenceKind::Verdict,
+                                    format!("serial {}, parallel {}", s.verdict, p.verdict),
+                                );
+                            } else if p.metrics != s.metrics {
+                                diverge(
+                                    &format!("multi:pump-par#{}", s.id),
+                                    DivergenceKind::Metrics,
+                                    "parallel-pump metrics diverged from the serial pump's"
+                                        .to_string(),
+                                );
+                            }
+                        }
+                    }
+                    Err(p) => diverge("multi:pump-par", DivergenceKind::Crash, p),
+                }
             }
         }
         // Socket leg: the same predicates through loopback peers, when

@@ -232,7 +232,8 @@ pub fn run_multi_net_with(
                         controller_id,
                         registrations.len(),
                         unregister.len(),
-                    ),
+                    )
+                    .with_pump_threads(config.pump_threads),
                     counters: counters.clone(),
                 }),
             ));
@@ -385,7 +386,8 @@ pub fn serve_multi_peer(
                     controller_id,
                     registrations.len(),
                     0,
-                ),
+                )
+                .with_pump_threads(config.pump_threads),
                 counters: counters.clone(),
             }),
         ));

@@ -69,6 +69,11 @@ pub struct NetConfig {
     /// paper metrics are bit-identical across wire versions (the
     /// equivalence tests pin that).
     pub wire_v2: bool,
+    /// Fan-out workers the multi-tenant session service pumps with: `1`
+    /// (the default) is the serial pump, `> 1` the sharded parallel pump.
+    /// Verdicts and metrics are bit-identical either way (the equivalence
+    /// tests pin that).
+    pub pump_threads: usize,
 }
 
 impl Default for NetConfig {
@@ -80,6 +85,7 @@ impl Default for NetConfig {
             batch: true,
             telemetry: false,
             wire_v2: true,
+            pump_threads: 1,
         }
     }
 }
@@ -130,6 +136,13 @@ impl NetConfig {
     /// delta compression; verdicts are identical either way.
     pub fn with_wire_v1(mut self) -> Self {
         self.wire_v2 = false;
+        self
+    }
+
+    /// Replaces the session service's fan-out worker count (see
+    /// [`NetConfig::pump_threads`]); `≤ 1` keeps the serial pump.
+    pub fn with_pump_threads(mut self, pump_threads: usize) -> Self {
+        self.pump_threads = pump_threads.max(1);
         self
     }
 }

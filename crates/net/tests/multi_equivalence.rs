@@ -167,7 +167,9 @@ fn unregistration_is_transport_independent() {
             .map(|(i, w)| (10 + i as u64, w))
             .collect();
         let unregister = [11u64, 13];
-        let sim = run_multi_sim_with(&computation, &registrations, &unregister, seed);
+        // The sim leg pumps with the sharded parallel pump (2 workers):
+        // transport-independence must hold across pump modes too.
+        let sim = run_multi_sim_with(&computation, &registrations, &unregister, seed, 2);
         let recorder: std::sync::Arc<dyn wcp_obs::Recorder> =
             std::sync::Arc::new(wcp_obs::NullRecorder);
         for (label, config) in [
@@ -197,6 +199,31 @@ fn unregistration_is_transport_independent() {
                 assert_eq!(g.verdict, want.verdict, "{label} seed {seed} id {}", g.id);
                 assert_eq!(g.metrics, want.metrics, "{label} seed {seed} id {}", g.id);
             }
+        }
+    }
+}
+
+#[test]
+fn parallel_pump_service_is_bit_identical_over_sockets() {
+    // The socket service pumping with 4 sharded workers must be
+    // indistinguishable from the serial-pump socket run and from the
+    // offline reference — on clean and faulted links.
+    for seed in 0..3u64 {
+        let computation = workload(seed, 4, 10);
+        let predicates = derived_predicates(4, 6);
+        let offline = run_multi_offline(&computation, &predicates);
+        for (label, config) in [
+            ("parallel", NetConfig::loopback().with_pump_threads(4)),
+            (
+                "parallel+faults",
+                NetConfig::loopback()
+                    .with_pump_threads(4)
+                    .with_faults(FaultConfig::delay_duplicate_reorder(seed))
+                    .with_deadline(deadline()),
+            ),
+        ] {
+            let net = run_multi_net(&computation, &predicates, config);
+            assert_multi_identical(&computation, &net.report, &offline, label);
         }
     }
 }

@@ -39,6 +39,10 @@ pub struct MultiService {
     unregs: usize,
     closed: Vec<bool>,
     done: bool,
+    /// Fan-out workers per pump: `1` (the default) pumps serially on the
+    /// service thread, `> 1` uses the sharded parallel pump. Verdicts and
+    /// metrics are bit-identical either way.
+    pump_threads: usize,
 }
 
 impl MultiService {
@@ -61,7 +65,15 @@ impl MultiService {
             unregs: 0,
             closed: vec![false; n],
             done: false,
+            pump_threads: 1,
         }
+    }
+
+    /// Replaces the fan-out worker count (see
+    /// [`MultiEngine::pump_parallel`]); `≤ 1` keeps the serial pump.
+    pub fn with_pump_threads(mut self, pump_threads: usize) -> Self {
+        self.pump_threads = pump_threads.max(1);
+        self
     }
 
     /// The engine, e.g. for reading reports after the run.
@@ -82,7 +94,12 @@ impl MultiService {
     /// Pumps the engine, forwards fresh verdicts, and announces
     /// end-of-verdicts once the run is complete.
     fn drain(&mut self, ctx: &mut dyn Context<DetectMsg>) {
-        for (id, v) in self.engine.pump() {
+        let resolved = if self.pump_threads > 1 {
+            self.engine.pump_parallel(self.pump_threads)
+        } else {
+            self.engine.pump()
+        };
+        for (id, v) in resolved {
             self.send_verdict(ctx, id, &v);
         }
         if !self.done

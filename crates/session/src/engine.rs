@@ -23,6 +23,17 @@
 //! service actor uses) or [`pump_parallel`](MultiEngine::pump_parallel)
 //! (sessions partitioned across threads; per-session delivery order is
 //! unchanged, so results are bit-identical to serial).
+//!
+//! Fan-out is *sharded*: subscriber lists are kept per process **and per
+//! pump shard** ([`PUMP_SHARDS`] fixed shards, session → shard via a
+//! multiply-shift hash of its id, like `Registry::shard`). A parallel
+//! worker owns every `threads`-th shard and iterates only its own lists —
+//! work scales with the deliveries a worker owns, never with the whole
+//! subscriber population — and client-chosen id patterns with common
+//! factors (all even, multiples of 16, …) still spread evenly. Resolved
+//! and unregistered sessions are skipped on one atomic load (their state
+//! mutex is never locked again) and compacted out of the lists by a
+//! threshold-triggered sweep at pump start.
 
 use std::collections::VecDeque;
 use std::fmt;
@@ -84,6 +95,47 @@ struct EngineCounters {
     routed_events: AtomicU64,
     detections: AtomicU64,
     unresolved: AtomicU64,
+    /// Subscriber-list entries, one per (session, scope process).
+    total_subs: AtomicU64,
+    /// Entries whose session is resolved or unregistered — reclaimed by
+    /// the next pump's sweep once they cross the compaction threshold.
+    dead_subs: AtomicU64,
+}
+
+/// Per-worker delivery counters, folded into [`EngineCounters`] once per
+/// pump — the hot path touches no shared atomics.
+#[derive(Debug, Default, Clone, Copy)]
+struct PumpTally {
+    routed_events: u64,
+    detections: u64,
+    /// Sessions that reached a verdict during this pass.
+    resolved_sessions: u64,
+    /// Subscriber-list entries those sessions occupy (now dead).
+    dead_entries: u64,
+}
+
+impl PumpTally {
+    fn merge(&mut self, other: PumpTally) {
+        self.routed_events += other.routed_events;
+        self.detections += other.detections;
+        self.resolved_sessions += other.resolved_sessions;
+        self.dead_entries += other.dead_entries;
+    }
+}
+
+/// Number of pump shards: fixed and independent of the worker count, so
+/// the session → shard map never changes and any `threads ≤ PUMP_SHARDS`
+/// partitions the same lists.
+const PUMP_SHARD_BITS: u32 = 5;
+const PUMP_SHARDS: usize = 1 << PUMP_SHARD_BITS;
+
+/// Pump shard of a session id: multiply-shift hash (same scheme as
+/// `Registry::shard`), so adversarial client-chosen id patterns — all
+/// even, multiples of 16, one common factor — still spread across every
+/// shard. A plain `raw % threads` degenerates on exactly those patterns.
+fn pump_shard(id: PredicateId) -> usize {
+    let h = id.raw().wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    (h >> (64 - PUMP_SHARD_BITS)) as usize
 }
 
 /// One entry of the canonical routed log.
@@ -174,8 +226,10 @@ pub struct MultiEngine {
     merge: Mutex<MergeState>,
     log: RwLock<Vec<RoutedEvent>>,
     registry: Registry,
-    /// Per-process subscriber lists (sessions whose scope names `p`).
-    subscribers: Vec<RwLock<Vec<Arc<SessionSlot>>>>,
+    /// `subscribers[p][shard]` = sessions whose scope names process `p`
+    /// and whose id hashes to `shard` (see [`pump_shard`]). Only touched
+    /// under the pump lock, which freezes the lists for a whole pass.
+    subscribers: RwLock<Vec<Vec<Vec<Arc<SessionSlot>>>>>,
     /// Serializes fan-out and (un)registration; holds the log index every
     /// registered session has been delivered up to.
     pump_lock: Mutex<usize>,
@@ -191,7 +245,7 @@ impl MultiEngine {
             merge: Mutex::new(MergeState::new(n)),
             log: RwLock::new(Vec::new()),
             registry: Registry::new(),
-            subscribers: (0..n).map(|_| RwLock::new(Vec::new())).collect(),
+            subscribers: RwLock::new((0..n).map(|_| vec![Vec::new(); PUMP_SHARDS]).collect()),
             pump_lock: Mutex::new(0),
             counters: EngineCounters::default(),
         }
@@ -255,11 +309,19 @@ impl MultiEngine {
             }
             verdict
         };
-        for &p in &slot.scope {
-            self.subscribers[p.index()]
-                .write()
-                .expect("engine poisoned")
-                .push(Arc::clone(&slot));
+        if resolved.is_some() {
+            // Already resolved by the catch-up replay: never enters the
+            // subscriber lists, so no pump ever revisits it.
+            slot.mark_resolved();
+        } else {
+            let shard = pump_shard(id);
+            let mut subs = self.subscribers.write().expect("engine poisoned");
+            for &p in &slot.scope {
+                subs[p.index()][shard].push(Arc::clone(&slot));
+            }
+            self.counters
+                .total_subs
+                .fetch_add(slot.scope.len() as u64, Ordering::Relaxed);
         }
         self.counters
             .sessions_active
@@ -278,24 +340,25 @@ impl MultiEngine {
     }
 
     /// Unregisters `id`, dropping its session state. Returns `false` if
-    /// the id was not registered.
+    /// the id was not registered. `O(1)`: the slot is only marked dead
+    /// here; its subscriber-list entries are reclaimed by a later pump's
+    /// sweep (fan-out skips dead slots on an atomic load meanwhile).
     pub fn unregister(&self, id: PredicateId) -> bool {
         let _delivered = self.pump_lock.lock().expect("engine poisoned");
         let Some(slot) = self.registry.remove(id) else {
             return false;
         };
         slot.live.store(false, Ordering::Release);
-        for &p in &slot.scope {
-            self.subscribers[p.index()]
-                .write()
-                .expect("engine poisoned")
-                .retain(|s| s.id != id);
-        }
         self.counters
             .sessions_active
             .fetch_sub(1, Ordering::Relaxed);
-        if !slot.state.lock().expect("engine poisoned").resolved() {
+        if !slot.is_resolved() {
             self.counters.unresolved.fetch_sub(1, Ordering::Relaxed);
+            // Resolved slots already counted their entries dead when the
+            // verdict landed (or never entered the lists at all).
+            self.counters
+                .dead_subs
+                .fetch_add(slot.scope.len() as u64, Ordering::Relaxed);
         }
         true
     }
@@ -326,89 +389,141 @@ impl MultiEngine {
         merge.close_pending[p.index()] = true;
     }
 
+    /// Routes every routable event into the log and, if enough dead
+    /// (resolved or unregistered) entries accumulated, compacts them out
+    /// of the subscriber lists. Called at pump start under the pump lock.
+    /// Threshold-triggered (≥ a quarter of all entries) rather than
+    /// per-pump: the service actor pumps after every message, and an
+    /// unconditional sweep would rescan every list per event.
+    fn route_and_sweep(&self) {
+        {
+            let mut log = self.log.write().expect("engine poisoned");
+            self.merge
+                .lock()
+                .expect("engine poisoned")
+                .route_into(&mut log);
+        }
+        let dead = self.counters.dead_subs.load(Ordering::Relaxed);
+        if dead == 0 || dead * 4 < self.counters.total_subs.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut subs = self.subscribers.write().expect("engine poisoned");
+        let mut total = 0u64;
+        for per_process in subs.iter_mut() {
+            for shard in per_process.iter_mut() {
+                shard.retain(|s| s.is_live() && !s.is_resolved());
+                total += shard.len() as u64;
+            }
+        }
+        self.counters.total_subs.store(total, Ordering::Relaxed);
+        self.counters.dead_subs.store(0, Ordering::Relaxed);
+    }
+
+    /// Delivers `log[from..]` to every session in shards `first`,
+    /// `first + step`, `first + 2·step`, … — shard-major, so a shard's
+    /// sessions stay hot across the whole slice. Each session sees the
+    /// slice in log order whatever the shard schedule, which is all the
+    /// bit-identity invariant needs. Returns resolutions + this worker's
+    /// tally.
+    fn deliver_shards(
+        &self,
+        first: usize,
+        step: usize,
+        from: usize,
+        log: &[RoutedEvent],
+        subs: &[Vec<Vec<Arc<SessionSlot>>>],
+        view: &StoreView<'_>,
+    ) -> (Vec<(PredicateId, SessionVerdict)>, PumpTally) {
+        let mut out = Vec::new();
+        let mut tally = PumpTally::default();
+        let mut shard = first;
+        while shard < PUMP_SHARDS {
+            for entry in &log[from..] {
+                for slot in &subs[entry.process.index()][shard] {
+                    if let Some(v) = self.deliver(slot, entry, view, &mut tally) {
+                        out.push((slot.id, v));
+                    }
+                }
+            }
+            shard += step;
+        }
+        (out, tally)
+    }
+
+    /// Folds one worker's tally into the shared counters — once per pump,
+    /// so `all_resolved` and `stats` are exact at pump boundaries.
+    fn fold(&self, tally: PumpTally) {
+        self.counters
+            .routed_events
+            .fetch_add(tally.routed_events, Ordering::Relaxed);
+        self.counters
+            .detections
+            .fetch_add(tally.detections, Ordering::Relaxed);
+        self.counters
+            .unresolved
+            .fetch_sub(tally.resolved_sessions, Ordering::Relaxed);
+        self.counters
+            .dead_subs
+            .fetch_add(tally.dead_entries, Ordering::Relaxed);
+    }
+
     /// Routes everything routable and fans it out to every session,
     /// serially, in canonical order. Returns the sessions that resolved
     /// during this pump, in resolution order.
     pub fn pump(&self) -> Vec<(PredicateId, SessionVerdict)> {
         let mut delivered = self.pump_lock.lock().expect("engine poisoned");
-        {
-            let mut log = self.log.write().expect("engine poisoned");
-            self.merge
-                .lock()
-                .expect("engine poisoned")
-                .route_into(&mut log);
-        }
+        self.route_and_sweep();
         let log = self.log.read().expect("engine poisoned");
         let view = self.store.read();
         // Registration holds the pump lock, so subscriber lists are frozen
-        // for the whole pass — take the read guards once, not per entry.
-        let subs: Vec<_> = self
-            .subscribers
-            .iter()
-            .map(|s| s.read().expect("engine poisoned"))
-            .collect();
-        let mut resolved = Vec::new();
-        for entry in &log[*delivered..] {
-            for slot in subs[entry.process.index()].iter() {
-                if let Some(v) = self.deliver(slot, entry, &view) {
-                    resolved.push((slot.id, v));
-                }
-            }
-        }
+        // for the whole pass — take the read guard once, not per entry.
+        let subs = self.subscribers.read().expect("engine poisoned");
+        let (resolved, tally) = self.deliver_shards(0, 1, *delivered, &log, &subs, &view);
+        self.fold(tally);
         *delivered = log.len();
         resolved
     }
 
-    /// [`pump`](Self::pump) with sessions partitioned across `threads`
-    /// workers. Each session still sees its events in canonical order from
-    /// a single worker, so verdicts, metrics and counter totals are
-    /// bit-identical to the serial pump; only the resolution order differs,
-    /// so the result is sorted by id.
+    /// [`pump`](Self::pump) with the pump shards partitioned across
+    /// `threads` workers: worker `w` owns every `threads`-th shard and
+    /// iterates only its own subscriber lists — no scanning and skipping
+    /// other workers' sessions, so total work equals the serial pump's.
+    /// Each session still sees its events in canonical order from a
+    /// single worker, so verdicts, metrics and counter totals are
+    /// bit-identical to the serial pump; only the resolution order
+    /// differs, so the result is sorted by id.
     pub fn pump_parallel(&self, threads: usize) -> Vec<(PredicateId, SessionVerdict)> {
-        let threads = threads.max(1);
+        let threads = threads.clamp(1, PUMP_SHARDS);
         let mut delivered = self.pump_lock.lock().expect("engine poisoned");
-        {
-            let mut log = self.log.write().expect("engine poisoned");
-            self.merge
-                .lock()
-                .expect("engine poisoned")
-                .route_into(&mut log);
-        }
+        self.route_and_sweep();
         let log = self.log.read().expect("engine poisoned");
         let view = self.store.read();
-        let subs: Vec<_> = self
-            .subscribers
-            .iter()
-            .map(|s| s.read().expect("engine poisoned"))
-            .collect();
+        let subs = self.subscribers.read().expect("engine poisoned");
         let from = *delivered;
-        let mut resolved: Vec<(PredicateId, SessionVerdict)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|w| {
-                    let log = &log;
-                    let view = &view;
-                    let subs = &subs;
-                    scope.spawn(move || {
-                        let mut out = Vec::new();
-                        for entry in &log[from..] {
-                            for slot in subs[entry.process.index()].iter() {
-                                if slot.id.raw() % threads as u64 != w as u64 {
-                                    continue;
-                                }
-                                if let Some(v) = self.deliver(slot, entry, view) {
-                                    out.push((slot.id, v));
-                                }
-                            }
-                        }
-                        out
+        let (mut resolved, tally) = if threads == 1 || log.len() == from {
+            // Nothing to partition: run on the calling thread.
+            self.deliver_shards(0, 1, from, &log, &subs, &view)
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|w| {
+                        let log = &log;
+                        let view = &view;
+                        let subs = &subs;
+                        scope.spawn(move || self.deliver_shards(w, threads, from, log, subs, view))
                     })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("pump worker panicked"))
-                .collect()
-        });
+                    .collect();
+                let mut resolved = Vec::new();
+                let mut tally = PumpTally::default();
+                for h in handles {
+                    let (out, t) = h.join().expect("pump worker panicked");
+                    resolved.extend(out);
+                    tally.merge(t);
+                }
+                (resolved, tally)
+            })
+        };
+        self.fold(tally);
         resolved.sort_by_key(|(id, _)| *id);
         *delivered = log.len();
         resolved
@@ -421,27 +536,29 @@ impl MultiEngine {
         slot: &SessionSlot,
         entry: &RoutedEvent,
         view: &StoreView<'_>,
+        tally: &mut PumpTally,
     ) -> Option<SessionVerdict> {
-        if !slot.is_live() {
+        // Fast path: resolved or unregistered sessions are skipped on
+        // atomic loads alone — their state mutex is never locked again.
+        if slot.is_resolved() || !slot.is_live() {
             return None;
         }
         let mut state = slot.state.lock().expect("engine poisoned");
-        if state.resolved() {
-            return None;
-        }
         let pos = state
             .position(entry.process)
             .expect("subscriber list routed a non-scope process");
-        self.counters.routed_events.fetch_add(1, Ordering::Relaxed);
+        tally.routed_events += 1;
         let verdict = if entry.close {
             state.on_close(pos, view)
         } else {
             state.on_snapshot(pos, view)
         };
         if let Some(v) = &verdict {
-            self.counters.unresolved.fetch_sub(1, Ordering::Relaxed);
+            slot.mark_resolved();
+            tally.resolved_sessions += 1;
+            tally.dead_entries += slot.scope.len() as u64;
             if matches!(v, SessionVerdict::Detected(_)) {
-                self.counters.detections.fetch_add(1, Ordering::Relaxed);
+                tally.detections += 1;
             }
         }
         verdict
@@ -497,5 +614,101 @@ impl MultiEngine {
     /// Length of the canonical routed log so far.
     pub fn routed_log_len(&self) -> usize {
         self.log.read().expect("engine poisoned").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+    use std::time::Duration;
+    use wcp_trace::Wcp;
+
+    #[test]
+    fn pump_shard_spreads_adversarial_id_patterns() {
+        // Client-chosen ids sharing a common factor must still hit most
+        // shards — the regression `raw % threads` fails (all-even ids
+        // land every session on the even workers only).
+        for stride in [2u64, 16, 256, 4096] {
+            let mut used = [false; PUMP_SHARDS];
+            for i in 0..1000u64 {
+                used[pump_shard(PredicateId::new(i * stride))] = true;
+            }
+            let hit = used.iter().filter(|&&u| u).count();
+            assert!(
+                hit > PUMP_SHARDS / 2,
+                "stride {stride}: only {hit}/{PUMP_SHARDS} shards used"
+            );
+        }
+    }
+
+    /// The resolved fast-path: once a session has its verdict, subsequent
+    /// pumps (serial and parallel) must never lock its state mutex again.
+    /// The test *holds* the resolved session's mutex while pumping from
+    /// another thread; a regression deadlocks that thread and trips the
+    /// timeout instead of hanging the suite.
+    #[test]
+    fn resolved_sessions_mutex_is_never_locked_by_later_pumps() {
+        let engine = Arc::new(MultiEngine::new(2));
+        // Padding sessions that never resolve (p1's clock always claims
+        // to be ahead of p0, so scope position 0 is eliminated every
+        // round) — they keep the dead fraction under the sweep threshold,
+        // so the resolved slot genuinely stays in the subscriber lists.
+        for i in 0..8u64 {
+            engine
+                .register(PredicateId::new(i), &Wcp::over_first(2))
+                .unwrap();
+        }
+        let id = PredicateId::new(100);
+        engine.register(id, &Wcp::over_first(1)).unwrap();
+        engine.ingest(ProcessId::new(0), 1, &[1, 0]);
+        engine.ingest(ProcessId::new(1), 1, &[6, 1]);
+        let resolved = engine.pump();
+        assert_eq!(resolved.len(), 1, "only the singleton scope resolves");
+        assert_eq!(resolved[0].0, id);
+
+        let slot = engine.registry.get(id).expect("registered");
+        let guard = slot.state.lock().expect("state poisoned");
+        let (tx, rx) = mpsc::channel();
+        let pumper = Arc::clone(&engine);
+        std::thread::spawn(move || {
+            pumper.ingest(ProcessId::new(0), 2, &[2, 0]);
+            pumper.ingest(ProcessId::new(1), 2, &[7, 2]);
+            pumper.pump();
+            pumper.ingest(ProcessId::new(0), 3, &[3, 0]);
+            pumper.ingest(ProcessId::new(1), 3, &[8, 3]);
+            pumper.pump_parallel(4);
+            tx.send(()).expect("test receiver gone");
+        });
+        rx.recv_timeout(Duration::from_secs(30))
+            .expect("pump tried to lock a resolved session's state mutex");
+        drop(guard);
+    }
+
+    #[test]
+    fn sweep_reclaims_unregistered_and_resolved_subscriber_entries() {
+        let engine = MultiEngine::new(1);
+        for i in 0..100u64 {
+            engine
+                .register(PredicateId::new(i), &Wcp::over_first(1))
+                .unwrap();
+        }
+        assert_eq!(engine.counters.total_subs.load(Ordering::Relaxed), 100);
+        for i in 0..60u64 {
+            assert!(engine.unregister(PredicateId::new(i)));
+        }
+        assert_eq!(engine.counters.dead_subs.load(Ordering::Relaxed), 60);
+        // 60/100 dead crosses the quarter threshold: pump sweeps first.
+        engine.ingest(ProcessId::new(0), 1, &[1]);
+        let resolved = engine.pump();
+        assert_eq!(resolved.len(), 40, "survivors resolve on the snapshot");
+        assert_eq!(engine.counters.total_subs.load(Ordering::Relaxed), 40);
+        assert_eq!(engine.counters.dead_subs.load(Ordering::Relaxed), 40);
+        // All remaining entries are dead now; the next pump drains them.
+        engine.pump();
+        assert_eq!(engine.counters.total_subs.load(Ordering::Relaxed), 0);
+        assert_eq!(engine.counters.dead_subs.load(Ordering::Relaxed), 0);
+        assert!(engine.all_resolved());
+        assert_eq!(engine.stats().detections, 40);
     }
 }

@@ -47,8 +47,9 @@ pub use actors::{CollectedVerdicts, MultiController, MultiService};
 pub use engine::{EngineStats, MultiEngine, RegisterError, SessionReport};
 pub use registry::PredicateId;
 pub use runner::{
-    collect_multi_report, feed_annotated, run_multi_offline, run_multi_sim, run_multi_sim_with,
-    run_multi_threaded, run_single_offline, MultiReport, PredicateOutcome,
+    collect_multi_report, feed_annotated, feed_annotated_with, run_multi_offline,
+    run_multi_offline_with, run_multi_sim, run_multi_sim_with, run_multi_threaded,
+    run_multi_threaded_with, run_single_offline, MultiReport, PredicateOutcome,
 };
 pub use session::SessionVerdict;
 pub use store::SharedStore;

@@ -60,6 +60,11 @@ pub(crate) struct SessionSlot {
     /// Cleared by unregister; fan-out skips dead slots that a subscriber
     /// list still references.
     pub(crate) live: AtomicBool,
+    /// Mirrors `state.resolved()` so fan-out can skip a resolved session
+    /// without locking its state mutex (set exactly when the verdict is,
+    /// under the pump lock). Resolved and unregistered slots are swept
+    /// out of the subscriber lists lazily, so this is the hot check.
+    pub(crate) resolved: AtomicBool,
     pub(crate) state: Mutex<SessionState>,
 }
 
@@ -70,12 +75,21 @@ impl SessionSlot {
             id,
             scope,
             live: AtomicBool::new(true),
+            resolved: AtomicBool::new(false),
             state,
         })
     }
 
     pub(crate) fn is_live(&self) -> bool {
         self.live.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn mark_resolved(&self) {
+        self.resolved.store(true, Ordering::Release);
+    }
+
+    pub(crate) fn is_resolved(&self) -> bool {
+        self.resolved.load(Ordering::Acquire)
     }
 }
 

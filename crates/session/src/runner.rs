@@ -82,13 +82,28 @@ pub struct MultiReport {
 /// snapshot of every process, in per-process FIFO order, then the
 /// end-of-stream marks — and pumps it dry.
 pub fn feed_annotated(engine: &MultiEngine, annotated: &AnnotatedComputation) {
+    feed_annotated_with(engine, annotated, 1);
+}
+
+/// [`feed_annotated`] with an explicit fan-out worker count: `> 1` pumps
+/// with [`MultiEngine::pump_parallel`] (bit-identical outcomes, sharded
+/// fan-out), `1` with the serial [`MultiEngine::pump`].
+pub fn feed_annotated_with(
+    engine: &MultiEngine,
+    annotated: &AnnotatedComputation,
+    pump_threads: usize,
+) {
     for p in ProcessId::all(engine.process_count()) {
         for &k in annotated.true_intervals(p) {
             engine.ingest(p, k, annotated.clock(StateId::new(p, k)).as_slice());
         }
         engine.close(p);
     }
-    engine.pump();
+    if pump_threads > 1 {
+        engine.pump_parallel(pump_threads);
+    } else {
+        engine.pump();
+    }
 }
 
 /// Assembles a [`MultiReport`] out of a finished engine: one outcome per
@@ -133,6 +148,17 @@ pub fn collect_multi_report(
 /// Runs `predicates` (ids `0..k`) over `computation` directly — no actors,
 /// no transport; the reference the streamed runners are pinned against.
 pub fn run_multi_offline(computation: &Computation, predicates: &[Wcp]) -> MultiReport {
+    run_multi_offline_with(computation, predicates, 1)
+}
+
+/// [`run_multi_offline`] with an explicit fan-out worker count; `> 1`
+/// drives the sharded parallel pump, whose report must be bit-identical
+/// to the serial run's (the fuzz oracle cross-checks exactly this).
+pub fn run_multi_offline_with(
+    computation: &Computation,
+    predicates: &[Wcp],
+    pump_threads: usize,
+) -> MultiReport {
     let annotated = computation.annotate();
     let engine = MultiEngine::new(computation.process_count());
     let registrations: Vec<(u64, Wcp)> = predicates
@@ -146,7 +172,7 @@ pub fn run_multi_offline(computation: &Computation, predicates: &[Wcp]) -> Multi
             .register(PredicateId::new(*id), wcp)
             .expect("offline registration failed");
     }
-    feed_annotated(&engine, &annotated);
+    feed_annotated_with(&engine, &annotated, pump_threads);
     collect_multi_report(&engine, &registrations, &[], HashMap::new())
 }
 
@@ -167,6 +193,7 @@ fn build_actors(
     computation: &Computation,
     registrations: &[(u64, Wcp)],
     unregister: &[u64],
+    pump_threads: usize,
 ) -> (
     Vec<AppProcess>,
     MultiService,
@@ -196,7 +223,8 @@ fn build_actors(
         controller,
         registrations.len(),
         unregister.len(),
-    );
+    )
+    .with_pump_threads(pump_threads);
     let ctrl = MultiController::new(service, registrations.to_vec(), unregister.to_vec());
     (apps, svc, ctrl, engine)
 }
@@ -211,15 +239,17 @@ pub fn run_multi_sim(computation: &Computation, predicates: &[Wcp], seed: u64) -
         .enumerate()
         .map(|(i, w)| (i as u64, w))
         .collect();
-    run_multi_sim_with(computation, &registrations, &[], seed)
+    run_multi_sim_with(computation, &registrations, &[], seed, 1)
 }
 
-/// [`run_multi_sim`] with explicit ids and a mid-run unregistration list.
+/// [`run_multi_sim`] with explicit ids, a mid-run unregistration list,
+/// and a fan-out worker count (`> 1` = the sharded parallel pump).
 pub fn run_multi_sim_with(
     computation: &Computation,
     registrations: &[(u64, Wcp)],
     unregister: &[u64],
     seed: u64,
+    pump_threads: usize,
 ) -> MultiReport {
     let n_total = computation.process_count();
     let service = ActorId::new(n_total as u32);
@@ -231,7 +261,8 @@ pub fn run_multi_sim_with(
     config = config
         .with_fifo_channel(controller, service)
         .with_fifo_channel(service, controller);
-    let (apps, svc, ctrl, engine) = build_actors(computation, registrations, unregister);
+    let (apps, svc, ctrl, engine) =
+        build_actors(computation, registrations, unregister, pump_threads);
     let verdicts = ctrl.verdicts();
     let finished = ctrl.finished();
     let mut sim = Simulation::new(config);
@@ -252,13 +283,23 @@ pub fn run_multi_sim_with(
 /// Runs `predicates` (ids `0..k`) on the threaded actor runtime (one OS
 /// thread per app, service and controller).
 pub fn run_multi_threaded(computation: &Computation, predicates: &[Wcp]) -> MultiReport {
+    run_multi_threaded_with(computation, predicates, 1)
+}
+
+/// [`run_multi_threaded`] with a fan-out worker count (`> 1` = the
+/// sharded parallel pump on the service thread).
+pub fn run_multi_threaded_with(
+    computation: &Computation,
+    predicates: &[Wcp],
+    pump_threads: usize,
+) -> MultiReport {
     let registrations: Vec<(u64, Wcp)> = predicates
         .iter()
         .cloned()
         .enumerate()
         .map(|(i, w)| (i as u64, w))
         .collect();
-    let (apps, svc, ctrl, engine) = build_actors(computation, &registrations, &[]);
+    let (apps, svc, ctrl, engine) = build_actors(computation, &registrations, &[], pump_threads);
     let verdicts = ctrl.verdicts();
     let finished = ctrl.finished();
     let mut runtime = Runtime::new();

@@ -12,8 +12,9 @@
 use wcp_clocks::ProcessId;
 use wcp_detect::{vc_snapshot_queues, StreamingChecker, StreamingStatus};
 use wcp_session::{
-    feed_annotated, run_multi_offline, run_multi_sim, run_multi_threaded, run_single_offline,
-    MultiEngine, PredicateId, SessionVerdict,
+    feed_annotated, run_multi_offline, run_multi_offline_with, run_multi_sim, run_multi_sim_with,
+    run_multi_threaded, run_multi_threaded_with, run_single_offline, MultiEngine, PredicateId,
+    SessionVerdict,
 };
 use wcp_trace::generate::{generate, GeneratorConfig};
 use wcp_trace::{AnnotatedComputation, Computation, Wcp};
@@ -255,6 +256,184 @@ fn pump_parallel_is_bit_identical_to_serial_pump() {
         serial_reports.sort_by_key(|(id, _)| *id);
         assert_eq!(serial_reports, parallel_reports, "seed {seed}");
         assert_eq!(serial.stats(), parallel.stats(), "seed {seed}");
+    }
+}
+
+/// Regression for the partition-skew bug: workers used to be keyed by
+/// `id % threads`, so client-chosen ids with a common factor (all even,
+/// multiples of 16, of 4096…) piled every session onto few workers. The
+/// hashed shard map must keep adversarial id patterns bit-identical to
+/// serial — whatever the worker count.
+#[test]
+fn adversarial_id_patterns_stay_bit_identical_to_serial() {
+    for stride in [2u64, 16, 4096] {
+        for seed in 0..5u64 {
+            let computation = workload(seed, 5, 12);
+            let annotated = computation.annotate();
+            let predicates = derived_predicates(5, 48);
+            let serial = MultiEngine::new(5);
+            let parallel = MultiEngine::new(5);
+            for (i, wcp) in predicates.iter().enumerate() {
+                let id = PredicateId::new(i as u64 * stride);
+                serial.register(id, wcp).unwrap();
+                parallel.register(id, wcp).unwrap();
+            }
+            for p in ProcessId::all(5) {
+                for &k in annotated.true_intervals(p) {
+                    let clock = annotated.clock(wcp_clocks::StateId::new(p, k)).as_slice();
+                    serial.ingest(p, k, clock);
+                    parallel.ingest(p, k, clock);
+                }
+                serial.close(p);
+                parallel.close(p);
+                serial.pump();
+                parallel.pump_parallel(4);
+            }
+            let mut serial_reports = serial.reports();
+            serial_reports.sort_by_key(|(id, _)| *id);
+            assert_eq!(
+                serial_reports,
+                parallel.reports(),
+                "stride {stride} seed {seed}"
+            );
+            assert_eq!(
+                serial.stats(),
+                parallel.stats(),
+                "stride {stride} seed {seed}"
+            );
+        }
+    }
+}
+
+/// Unregistering between (and after) parallel pumps: the shard lists keep
+/// dead slots until a sweep, so the interleaving must neither perturb the
+/// survivors nor resurrect the removed session.
+#[test]
+fn unregister_during_parallel_pumps_leaves_survivors_identical() {
+    for seed in 0..10u64 {
+        let computation = workload(seed, 4, 12);
+        let annotated = computation.annotate();
+        let predicates = derived_predicates(4, 12);
+        let engine = MultiEngine::new(4);
+        for (i, wcp) in predicates.iter().enumerate() {
+            engine.register(PredicateId::new(i as u64), wcp).unwrap();
+        }
+        // First half of every stream, then a parallel pump...
+        for p in ProcessId::all(4) {
+            let intervals = annotated.true_intervals(p);
+            for &k in &intervals[..intervals.len() / 2] {
+                engine.ingest(
+                    p,
+                    k,
+                    annotated.clock(wcp_clocks::StateId::new(p, k)).as_slice(),
+                );
+            }
+        }
+        engine.pump_parallel(4);
+        // ...then unregistrations (one likely resolved by now, one not),
+        // then the rest of the stream through more parallel pumps.
+        for id in [1u64, 5] {
+            assert!(engine.unregister(PredicateId::new(id)), "seed {seed}");
+        }
+        for p in ProcessId::all(4) {
+            let intervals = annotated.true_intervals(p);
+            for &k in &intervals[intervals.len() / 2..] {
+                engine.ingest(
+                    p,
+                    k,
+                    annotated.clock(wcp_clocks::StateId::new(p, k)).as_slice(),
+                );
+            }
+            engine.close(p);
+            engine.pump_parallel(3);
+        }
+        assert!(engine.report(PredicateId::new(1)).is_none(), "seed {seed}");
+        assert!(engine.report(PredicateId::new(5)).is_none(), "seed {seed}");
+        for (i, wcp) in predicates.iter().enumerate() {
+            if i == 1 || i == 5 {
+                continue;
+            }
+            let report = engine.report(PredicateId::new(i as u64)).unwrap();
+            let (alone_verdict, alone_metrics) = run_single_offline(&computation, wcp);
+            assert_eq!(report.verdict, Some(alone_verdict), "seed {seed} id {i}");
+            assert_eq!(report.metrics, alone_metrics, "seed {seed} id {i}");
+        }
+        assert_eq!(engine.stats().sessions_active, 10, "seed {seed}");
+    }
+}
+
+/// A session registered after parallel pumps already fanned out part of
+/// the stream must replay the routed log to the same outcome as one
+/// registered up front — the shard lists' insert-under-pump-lock path.
+#[test]
+fn late_register_after_parallel_pumps_replays_identically() {
+    for seed in 0..10u64 {
+        let computation = workload(seed, 4, 10);
+        let annotated = computation.annotate();
+        let wcp = Wcp::over_first(3);
+        let engine = MultiEngine::new(4);
+        engine.register(PredicateId::new(9), &wcp).unwrap();
+        for p in ProcessId::all(4) {
+            let intervals = annotated.true_intervals(p);
+            for &k in &intervals[..intervals.len() / 2] {
+                engine.ingest(
+                    p,
+                    k,
+                    annotated.clock(wcp_clocks::StateId::new(p, k)).as_slice(),
+                );
+            }
+        }
+        engine.pump_parallel(4);
+        let early = engine.register(PredicateId::new(1), &wcp).unwrap();
+        for p in ProcessId::all(4) {
+            let intervals = annotated.true_intervals(p);
+            for &k in &intervals[intervals.len() / 2..] {
+                engine.ingest(
+                    p,
+                    k,
+                    annotated.clock(wcp_clocks::StateId::new(p, k)).as_slice(),
+                );
+            }
+            engine.close(p);
+        }
+        engine.pump_parallel(4);
+        let late = engine.report(PredicateId::new(1)).unwrap();
+        let up_front = engine.report(PredicateId::new(9)).unwrap();
+        let verdict = late.verdict.or(early).expect("resolved after full stream");
+        let (alone_verdict, alone_metrics) = run_single_offline(&computation, &wcp);
+        assert_eq!(verdict, alone_verdict, "seed {seed}");
+        assert_eq!(late.metrics, alone_metrics, "seed {seed}");
+        assert_eq!(up_front.verdict, Some(alone_verdict), "seed {seed}");
+        assert_eq!(up_front.metrics, alone_metrics, "seed {seed}");
+    }
+}
+
+/// The `pump_threads` knob threads through every runner without changing
+/// a single outcome bit.
+#[test]
+fn runners_honor_pump_threads_with_identical_outcomes() {
+    for seed in 0..4u64 {
+        let computation = workload(seed, 2 + (seed as usize % 4), 8);
+        let n = computation.process_count();
+        let predicates = derived_predicates(n, 6);
+        let registrations: Vec<(u64, Wcp)> = predicates
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, w)| (i as u64, w))
+            .collect();
+        let offline = run_multi_offline(&computation, &predicates);
+        for report in [
+            run_multi_offline_with(&computation, &predicates, 4),
+            run_multi_sim_with(&computation, &registrations, &[], seed, 4),
+            run_multi_threaded_with(&computation, &predicates, 4),
+        ] {
+            assert_eq!(report.outcomes.len(), offline.outcomes.len());
+            for (got, want) in report.outcomes.iter().zip(&offline.outcomes) {
+                assert_eq!(got.verdict, want.verdict, "seed {seed} id {}", got.id);
+                assert_eq!(got.metrics, want.metrics, "seed {seed} id {}", got.id);
+            }
+        }
     }
 }
 

@@ -16,10 +16,12 @@
 #
 # Entries also carry the `multi_saturation` section: 10k concurrent
 # predicate sessions over one shared 16×40 stream through the session
-# layer (serial vs parallel pump, detections/sec, shared-store
-# bytes/predicate vs the naive per-session store, and a 64-session
-# socket leg's wire bytes/predicate). `scripts/bench.sh multi` labels
-# an entry for that section; docs/multi-tenant.md quotes it.
+# layer (the `pump_scaling` curve — serial and the sharded parallel
+# pump at 2/4/8 workers, fastest of 2 rounds each, every width pinned
+# bit-identical — plus detections/sec, shared-store bytes/predicate vs
+# the naive per-session store, and a 64-session socket leg's wire
+# bytes/predicate). `scripts/bench.sh multi-pump` labels an entry for
+# that section; docs/multi-tenant.md quotes it.
 #
 # This is informational tooling, NOT part of tier-1 verification
 # (scripts/verify.sh); timings are machine-dependent and must never

@@ -41,7 +41,10 @@ status=0
 # (v1, delta-compressed v2, batched and per-frame) under fault schedules.
 # Each case also draws a multi-predicate session count (1–8): the
 # session-layer engine is cross-checked offline on every case, and net
-# cases additionally run the socket-backed multi service.
+# cases additionally run the socket-backed multi service. Each case
+# further draws a pump_parallel bit; drawn cases re-run the session leg
+# through the sharded parallel pump (4 workers) and require the report
+# bit-identical to the serial pump's.
 ./target/release/wcp fuzz --seed "$seed" --cases "$cases" --shrink --audit-bounds \
     > "$log" 2>&1 || status=$?
 cat "$log"

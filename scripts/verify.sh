@@ -34,8 +34,10 @@ echo "== fuzz multi-tenant smoke slice =="
 # on every case above already; --multi additionally forces the
 # socket-backed session service leg on each case, pinning every
 # session's verdict and metrics to the standalone detectors under the
-# case's fault schedule.
-./target/release/wcp fuzz --seed 3 --cases 25 --shrink --multi
+# case's fault schedule, and --pump-parallel forces the sharded
+# parallel-pump cross-check (4 workers, bit-identical report) on every
+# case instead of the random per-case draw.
+./target/release/wcp fuzz --seed 3 --cases 25 --shrink --multi --pump-parallel
 
 echo "== fuzz bound-audit smoke slice =="
 # Paper-bound auditing over the telemetry plane: every case's merged
