@@ -13,7 +13,7 @@ use wcp_clocks::{ProcessId, StateId};
 use wcp_detect::online::run_vc_token;
 use wcp_detect::{
     CentralizedChecker, Detector, DirectDependenceDetector, LatticeDetector, MultiTokenDetector,
-    TokenDetector, VcSnapshotQueues,
+    ParallelDetector, TokenDetector, VcSnapshotQueues,
 };
 use wcp_net::{
     run_multi_net, run_vc_token_net, saturate_loopback, saturate_loopback_observed,
@@ -73,6 +73,11 @@ pub fn detectors(scope_n: usize) -> Vec<(String, Box<dyn Detector>)> {
         (
             "multi:4/threads".into(),
             Box::new(MultiTokenDetector::new(4).with_parallel()),
+        ),
+        ("parallel".into(), Box::new(ParallelDetector::new())),
+        (
+            "parallel:4/threads".into(),
+            Box::new(ParallelDetector::new().with_threads(4)),
         ),
     ];
     if scope_n <= LATTICE_MAX_SCOPE {
@@ -618,6 +623,106 @@ fn multi_saturation_stats_sized(spec: WorkloadSpec, sessions: usize, net_session
     ])
 }
 
+/// Scope widths of the work-optimal parallel scaling grid — the `n` of
+/// the crossover claim (beat the sequential token walk at `n ≥ 32`).
+const PARALLEL_SCALING_SCOPES: [usize; 3] = [8, 32, 128];
+/// Events per process at each width of the scaling grid.
+const PARALLEL_SCALING_EVENTS: usize = 24;
+/// Worker counts measured at every width. Every width must produce a
+/// `Detection` and `DetectionMetrics` bit-identical to the 1-thread run.
+const PARALLEL_SCALING_THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Measures the work-optimal [`ParallelDetector`] against the sequential
+/// token walk on one workload per scope width: elapsed time for the
+/// sequential baseline and for the round-based detector at every worker
+/// count, plus the paper-unit work totals that carry the work-optimality
+/// claim (O(1) per elimination vs the token walk's O(n) per consumed
+/// candidate). Determinism is enforced, not sampled — every width is
+/// asserted bit-identical (`Detection` + `DetectionMetrics`) to the
+/// 1-thread reference before its timing is recorded.
+fn parallel_scaling_stats_sized(samples: usize, scopes: &[usize], events: usize) -> Json {
+    let per_scope = scopes
+        .iter()
+        .map(|&n| {
+            let computation = workloads::detectable(n, events, 7);
+            let annotated = computation.annotate();
+            let wcp = workloads::scope(n);
+
+            let sequential = TokenDetector::new().detect(&annotated, &wcp);
+            let seq_t = timing::run("parallel_scaling/token", samples, || {
+                std::hint::black_box(TokenDetector::new().detect(&annotated, &wcp));
+            });
+
+            let reference = ParallelDetector::new().detect(&annotated, &wcp);
+            assert_eq!(
+                reference.detection, sequential.detection,
+                "scope {n}: work-optimal verdict diverged from the token walk"
+            );
+
+            let mut widths = Vec::new();
+            for &threads in &PARALLEL_SCALING_THREAD_COUNTS {
+                let detector = ParallelDetector::new().with_threads(threads);
+                let report = detector.detect(&annotated, &wcp);
+                assert_eq!(
+                    report.detection, reference.detection,
+                    "scope {n}: {threads}-thread verdict diverged from 1-thread"
+                );
+                assert_eq!(
+                    report.metrics, reference.metrics,
+                    "scope {n}: {threads}-thread metrics diverged from 1-thread"
+                );
+                let t = timing::run(&format!("parallel_scaling/{n}x{threads}"), samples, || {
+                    std::hint::black_box(detector.detect(&annotated, &wcp));
+                });
+                widths.push(Json::obj([
+                    ("threads", Json::UInt(threads as u64)),
+                    ("median_ns", Json::UInt(t.median_ns)),
+                    ("min_ns", Json::UInt(t.min_ns)),
+                    (
+                        "speedup_vs_sequential",
+                        Json::Float(
+                            seq_t.median_ns as f64 / (t.median_ns as f64).max(f64::MIN_POSITIVE),
+                        ),
+                    ),
+                ]));
+            }
+
+            let seq_work = sequential.metrics.total_work();
+            let par_work = reference.metrics.total_work();
+            assert!(
+                par_work as f64 <= seq_work as f64 * 1.1,
+                "scope {n}: parallel work {par_work} exceeds 1.1× the token walk's {seq_work} — \
+                 the work-optimality claim regressed"
+            );
+            Json::obj([
+                ("scope", Json::UInt(n as u64)),
+                ("events", Json::UInt(events as u64)),
+                ("detected", Json::Bool(reference.detection.is_detected())),
+                ("sequential_median_ns", Json::UInt(seq_t.median_ns)),
+                ("sequential_min_ns", Json::UInt(seq_t.min_ns)),
+                ("sequential_total_work", Json::UInt(seq_work)),
+                ("parallel_total_work", Json::UInt(par_work)),
+                (
+                    "work_ratio",
+                    Json::Float(par_work as f64 / (seq_work as f64).max(f64::MIN_POSITIVE)),
+                ),
+                (
+                    "parallel_time_units",
+                    Json::UInt(reference.metrics.parallel_time),
+                ),
+                ("widths", Json::Arr(widths)),
+            ])
+        })
+        .collect();
+    Json::obj([("scopes", Json::Arr(per_scope))])
+}
+
+/// [`parallel_scaling_stats_sized`] at the standard grid:
+/// `n ∈ {8, 32, 128}` × `threads ∈ {1, 2, 4, 8}` over 24-event traces.
+fn parallel_scaling_stats(samples: usize) -> Json {
+    parallel_scaling_stats_sized(samples, &PARALLEL_SCALING_SCOPES, PARALLEL_SCALING_EVENTS)
+}
+
 /// [`multi_saturation_stats_sized`] at the standard shape: 10 000
 /// concurrent predicates over a 16×40 stream, 64 of them re-run through
 /// the socket stack.
@@ -646,6 +751,7 @@ pub fn entry(label: &str, samples: usize) -> Json {
         ("net_wire_v2", wire_v2_stats(SATURATION_FRAMES)),
         ("telemetry_overhead", telemetry_overhead_stats(samples)),
         ("multi_saturation", multi_saturation_stats()),
+        ("parallel_scaling", parallel_scaling_stats(samples)),
     ])
 }
 
@@ -880,6 +986,29 @@ mod tests {
                 .unwrap()
                 > 0.0
         );
+        let text = stats.pretty();
+        assert_eq!(Json::parse(&text).unwrap(), stats);
+    }
+
+    #[test]
+    fn parallel_scaling_stats_pin_every_width() {
+        // Tiny grid: the structure and the bit-identity guard, not the
+        // headline numbers (the full grid runs under `scripts/bench.sh`).
+        let stats = parallel_scaling_stats_sized(1, &[4, 6], 8);
+        let scopes = stats.get("scopes").unwrap().as_array().unwrap();
+        assert_eq!(scopes.len(), 2);
+        for s in scopes {
+            assert_eq!(s.get("detected").unwrap().as_bool(), Some(true));
+            assert!(s.get("sequential_total_work").unwrap().as_u64().unwrap() > 0);
+            assert!(s.get("parallel_total_work").unwrap().as_u64().unwrap() > 0);
+            assert!(s.get("work_ratio").unwrap().as_f64().unwrap() > 0.0);
+            let widths = s.get("widths").unwrap().as_array().unwrap();
+            assert_eq!(widths.len(), PARALLEL_SCALING_THREAD_COUNTS.len());
+            for (w, threads) in widths.iter().zip(PARALLEL_SCALING_THREAD_COUNTS) {
+                assert_eq!(w.get("threads").unwrap().as_u64(), Some(threads as u64));
+                assert!(w.get("median_ns").unwrap().as_u64().unwrap() > 0);
+            }
+        }
         let text = stats.pretty();
         assert_eq!(Json::parse(&text).unwrap(), stats);
     }

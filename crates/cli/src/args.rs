@@ -25,6 +25,7 @@ const SWITCHES: &[&str] = &[
     "telemetry",
     "multi",
     "pump-parallel",
+    "parallel-detect",
 ];
 
 impl Args {

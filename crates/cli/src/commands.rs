@@ -15,7 +15,7 @@ use wcp_detect::online::{run_direct, run_direct_recorded, run_vc_token, run_vc_t
 use wcp_detect::{
     audit_bounds, BoundLimits, CentralizedChecker, ChannelPredicate, ChannelTerm, Detection,
     DetectionReport, Detector, DirectDependenceDetector, Gcp, GcpChecker, LatticeDetector,
-    MultiTokenDetector, TokenDetector,
+    MultiTokenDetector, ParallelDetector, TokenDetector,
 };
 use wcp_net::{
     run_direct_net, run_multi_net, run_vc_token_net, run_vc_token_net_observed,
@@ -145,6 +145,23 @@ pub fn generate(raw: &[String]) -> Result<String, CliError> {
     generate_cmd(&Args::parse(raw)?)
 }
 
+/// Parses a `parallel` / `parallel:T` spec into a worker count.
+fn parse_parallel_threads(spec: &str) -> Result<Option<usize>, CliError> {
+    if spec == "parallel" {
+        return Ok(Some(1));
+    }
+    match spec.strip_prefix("parallel:") {
+        Some(t) => {
+            let threads: usize =
+                t.parse().ok().filter(|&t| t >= 1).ok_or_else(|| {
+                    CliError::usage("--algorithm parallel:T needs a thread count")
+                })?;
+            Ok(Some(threads))
+        }
+        None => Ok(None),
+    }
+}
+
 fn parse_detector(spec: &str) -> Result<Box<dyn Detector>, CliError> {
     Ok(match spec {
         "token" => Box::new(TokenDetector::new()),
@@ -157,9 +174,12 @@ fn parse_detector(spec: &str) -> Result<Box<dyn Detector>, CliError> {
                     .parse()
                     .map_err(|_| CliError::usage("--algorithm multi:G needs a group count"))?;
                 Box::new(MultiTokenDetector::new(groups))
+            } else if let Some(threads) = parse_parallel_threads(other)? {
+                Box::new(ParallelDetector::new().with_threads(threads))
             } else {
                 return Err(CliError::usage(format!(
-                    "unknown algorithm `{other}` (token|checker|direct|lattice|multi:G)"
+                    "unknown algorithm `{other}` \
+                     (token|checker|direct|lattice|multi:G|parallel[:T])"
                 )));
             }
         }
@@ -183,9 +203,16 @@ fn parse_recorded_detector(
                     .parse()
                     .map_err(|_| CliError::usage("--algorithm multi:G needs a group count"))?;
                 Box::new(MultiTokenDetector::new(groups).with_recorder(recorder))
+            } else if let Some(threads) = parse_parallel_threads(other)? {
+                Box::new(
+                    ParallelDetector::new()
+                        .with_threads(threads)
+                        .with_recorder(recorder),
+                )
             } else {
                 return Err(CliError::usage(format!(
-                    "unknown algorithm `{other}` (token|checker|direct|lattice|multi:G)"
+                    "unknown algorithm `{other}` \
+                     (token|checker|direct|lattice|multi:G|parallel[:T])"
                 )));
             }
         }
@@ -1033,6 +1060,8 @@ pub fn obs_report(raw: &[String]) -> Result<String, CliError> {
 /// offline session cross-check runs on every case regardless);
 /// `--pump-parallel` forces the sharded parallel-pump cross-check on
 /// every case (each case otherwise draws that bit at random);
+/// `--parallel-detect` forces the work-optimal detector's multi-thread
+/// bit-identity leg on every case (also drawn per case at random);
 /// `--audit-bounds` additionally audits every case's merged telemetry
 /// timeline against the paper's §3.4 message/bit/latency bounds.
 pub fn fuzz(raw: &[String]) -> Result<String, CliError> {
@@ -1049,6 +1078,7 @@ pub fn fuzz(raw: &[String]) -> Result<String, CliError> {
     config.check.force_wire_v2 = args.switch("wire-v2");
     config.check.force_multi = args.switch("multi");
     config.check.force_pump_parallel = args.switch("pump-parallel");
+    config.check.force_parallel_detect = args.switch("parallel-detect");
     config.check.audit_bounds = args.switch("audit-bounds");
     let report = wcp_fuzz::run_campaign(&config);
     let mut out = report.summary_table();
@@ -1126,7 +1156,15 @@ mod tests {
     fn detect_all_algorithms_agree() {
         let path = generated_trace("detect.json");
         let mut cuts = Vec::new();
-        for alg in ["token", "checker", "direct", "lattice", "multi:2"] {
+        for alg in [
+            "token",
+            "checker",
+            "direct",
+            "lattice",
+            "multi:2",
+            "parallel",
+            "parallel:4",
+        ] {
             let out = detect(&argv(&[&path, "--algorithm", alg])).unwrap();
             assert!(out.contains("DETECTED"), "{alg}: {out}");
             let cut_line = out
@@ -1136,9 +1174,11 @@ mod tests {
                 .to_string();
             cuts.push((alg, cut_line));
         }
-        // token / checker / multi report identical scope cuts.
+        // token / checker / multi / parallel report identical scope cuts.
         assert_eq!(cuts[0].1, cuts[1].1);
         assert_eq!(cuts[0].1, cuts[4].1);
+        assert_eq!(cuts[0].1, cuts[5].1);
+        assert_eq!(cuts[0].1, cuts[6].1);
     }
 
     #[test]
@@ -1227,7 +1267,14 @@ mod tests {
     #[test]
     fn trace_supports_every_offline_algorithm() {
         let path = generated_trace("trace_algos.json");
-        for alg in ["token", "checker", "direct", "lattice", "multi:2"] {
+        for alg in [
+            "token",
+            "checker",
+            "direct",
+            "lattice",
+            "multi:2",
+            "parallel:2",
+        ] {
             let events_path = tmpfile(&format!("trace_{}.jsonl", alg.replace(':', "_")));
             let out = trace(&argv(&[
                 &path,

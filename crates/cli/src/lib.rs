@@ -113,7 +113,7 @@ USAGE:
   wcp generate --processes N --events M [--seed S] [--density D]
                [--plant F] [--topology uniform|ring|cs:K|nb:K] -o FILE
   wcp info FILE
-  wcp detect FILE [--scope 0,1,2] [--algorithm token|checker|direct|lattice|multi:G]
+  wcp detect FILE [--scope 0,1,2] [--algorithm token|checker|direct|lattice|multi:G|parallel[:T]]
               [--diagram] [--json] [--slice OUT.json]
   wcp gcp FILE [--scope 0,1,2] [--channel FROM-TO:empty|atmost:K|atleast:K]...
   wcp render FILE [--dot] [--scope 0,1,2]
@@ -137,6 +137,6 @@ USAGE:
             [--scope 0,1,2] [--deadline SECS] [--telemetry]
             [--multi [--predicates K] [--pump-threads T]]
   wcp fuzz [--seed S] [--cases K] [--shrink] [--no-net] [--net-batch]
-           [--multi] [--pump-parallel] [--audit-bounds]
+           [--multi] [--pump-parallel] [--parallel-detect] [--audit-bounds]
   wcp bound --n N --m M
   wcp help";

@@ -15,7 +15,10 @@
 //!   direct-dependence records used by the direct-dependence algorithm
 //!   (Section 4),
 //! - [`Cut`] — a global cut: one interval index per process, with `0`
-//!   denoting "no state selected yet" exactly as in the paper's `G` vector.
+//!   denoting "no state selected yet" exactly as in the paper's `G` vector,
+//! - [`scoped_workers`] and [`strided`] ([`par`]) — the deterministic
+//!   scoped worker-pool / strided-partition recipe shared by every parallel
+//!   path built on this substrate.
 //!
 //! # Example
 //!
@@ -45,6 +48,7 @@
 mod arena;
 mod cut;
 mod dependence;
+pub mod par;
 mod process;
 mod scalar;
 mod vector;
@@ -52,6 +56,7 @@ mod vector;
 pub use arena::{slice_causal_order, ClockArena, ClockRow};
 pub use cut::Cut;
 pub use dependence::{Dependence, DependenceList};
+pub use par::{scoped_workers, strided};
 pub use process::{ProcessId, StateId};
 pub use scalar::ScalarClock;
 pub use vector::{CausalOrder, VectorClock};

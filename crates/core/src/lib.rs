@@ -14,6 +14,7 @@
 //! | [`CentralizedChecker`] | Garg–Waldecker baseline \[7\] | `O(n²m)` | `O(n²m)` at the checker |
 //! | [`TokenDetector`] | §3, Figures 2–3 | `O(n²m)` | `O(nm)` |
 //! | [`MultiTokenDetector`] | §3.5 | `O(n²m)` | `O(nm)`, `g`-way parallel |
+//! | [`ParallelDetector`] | work-optimal rounds \[arXiv:2008.12516\] | `O(nm)` | `t`-way parallel sweeps |
 //! | [`DirectDependenceDetector`] | §4, Figures 4–5 | `O(Nm)` | `O(m)` |
 //! | [`LatticeDetector`] | Cooper–Marzullo \[3\] | exponential | — |
 //!
@@ -79,6 +80,7 @@ pub use offline::direct::DirectDependenceDetector;
 pub use offline::hierarchical::HierarchicalChecker;
 pub use offline::lattice::LatticeDetector;
 pub use offline::multi_token::MultiTokenDetector;
+pub use offline::parallel::ParallelDetector;
 pub use offline::token::{NextRedStrategy, TokenDetector};
 pub use snapshot::{
     dd_snapshot_queues, vc_snapshot_queues, DdSnapshot, SnapshotBuffer, VcSnapshot,

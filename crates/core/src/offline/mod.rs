@@ -15,4 +15,5 @@ pub mod direct;
 pub mod hierarchical;
 pub mod lattice;
 pub mod multi_token;
+pub mod parallel;
 pub mod token;

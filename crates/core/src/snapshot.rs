@@ -126,25 +126,17 @@ impl VcSnapshotQueues {
         if n <= 1 {
             return Self::build(annotated, wcp);
         }
-        let per_process: Vec<ClockArena> = std::thread::scope(|s| {
-            let handles: Vec<_> = scope
-                .iter()
-                .map(|&p| {
-                    s.spawn(move || {
-                        let mut arena =
-                            ClockArena::with_capacity(n, annotated.true_intervals(p).len());
-                        for &k in annotated.true_intervals(p) {
-                            let full = annotated.clock(StateId::new(p, k));
-                            let row = arena.push_zeroed();
-                            for (slot, &q) in row.iter_mut().zip(scope) {
-                                *slot = full[q];
-                            }
-                        }
-                        arena
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        let per_process: Vec<ClockArena> = wcp_clocks::scoped_workers(n, |w| {
+            let p = scope[w];
+            let mut arena = ClockArena::with_capacity(n, annotated.true_intervals(p).len());
+            for &k in annotated.true_intervals(p) {
+                let full = annotated.clock(StateId::new(p, k));
+                let row = arena.push_zeroed();
+                for (slot, &q) in row.iter_mut().zip(scope) {
+                    *slot = full[q];
+                }
+            }
+            arena
         });
         let total: usize = per_process.iter().map(ClockArena::len).sum();
         let mut arena = ClockArena::with_capacity(n, total);

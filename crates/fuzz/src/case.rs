@@ -59,6 +59,12 @@ pub struct FuzzCase {
     /// engine's. Corpus files written before this field existed default
     /// to `false` (they pinned serial-pump behaviour).
     pub pump_parallel: bool,
+    /// Whether the offline battery also runs the work-optimal
+    /// `ParallelDetector` with a multi-thread worker pool and pins its
+    /// report (verdict, metrics, event stream) bit-identical to the
+    /// single-thread run. Corpus files written before this field existed
+    /// default to `false` (they pinned single-thread behaviour).
+    pub parallel_detect: bool,
 }
 
 impl FuzzCase {
@@ -161,6 +167,9 @@ impl FuzzCase {
             // One more derived bit: about half the cases cross-check the
             // sharded parallel pump against the serial engine.
             pump_parallel: (stream_seed >> 8) & 1 == 1,
+            // And another: about half the cases run the work-optimal
+            // detector's multi-thread leg against its sequential twin.
+            parallel_detect: (stream_seed >> 24) & 1 == 1,
         }
     }
 
@@ -208,6 +217,7 @@ impl ToJson for FuzzCase {
             ("wire_v2", Json::Bool(self.wire_v2)),
             ("multi_predicates", Json::UInt(self.multi_predicates as u64)),
             ("pump_parallel", Json::Bool(self.pump_parallel)),
+            ("parallel_detect", Json::Bool(self.parallel_detect)),
         ])
     }
 }
@@ -258,6 +268,14 @@ impl FromJson for FuzzCase {
                 Some(v) => v
                     .as_bool()
                     .ok_or_else(|| JsonError::shape("pump_parallel: expected a bool"))?,
+                None => false,
+            },
+            // Absent in pre-work-optimal corpus files: those pinned the
+            // single-thread detector, so they keep replaying sequentially.
+            parallel_detect: match value.get("parallel_detect") {
+                Some(v) => v
+                    .as_bool()
+                    .ok_or_else(|| JsonError::shape("parallel_detect: expected a bool"))?,
                 None => false,
             },
         })
@@ -328,6 +346,14 @@ mod tests {
         assert!(cases.iter().any(|c| c.multi_predicates >= 4));
         assert!(cases.iter().any(|c| c.pump_parallel));
         assert!(cases.iter().any(|c| !c.pump_parallel));
+        assert!(cases.iter().any(|c| c.parallel_detect));
+        assert!(cases.iter().any(|c| !c.parallel_detect));
+        assert!(
+            cases
+                .iter()
+                .any(|c| c.parallel_detect && c.gen.processes == 1),
+            "multi-thread detector leg on a single-process run never sampled"
+        );
         assert!(
             cases
                 .iter()
@@ -399,6 +425,20 @@ mod tests {
         }
         let back = FuzzCase::from_json(&json).unwrap();
         assert!(!back.pump_parallel, "missing field replays serially");
+    }
+
+    #[test]
+    fn pre_work_optimal_corpus_files_default_to_one_detector_thread() {
+        let mut rng = Rng::seed_from_u64(17);
+        let mut case = FuzzCase::random(&mut rng);
+        case.parallel_detect = true;
+        let mut json = case.to_json();
+        // An old corpus entry simply lacks the field.
+        if let Json::Obj(pairs) = &mut json {
+            pairs.retain(|(k, _)| k != "parallel_detect");
+        }
+        let back = FuzzCase::from_json(&json).unwrap();
+        assert!(!back.parallel_detect, "missing field replays sequentially");
     }
 
     #[test]

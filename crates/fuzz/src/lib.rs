@@ -124,6 +124,23 @@ mod tests {
         );
     }
 
+    /// The work-optimal detector's multi-thread leg is clean when forced
+    /// on every case of a fixed-seed sweep: its verdict, metrics and
+    /// event stream stay bit-identical to the single-thread run.
+    #[test]
+    fn forced_parallel_detect_is_clean_on_fixed_seed() {
+        let mut config = CampaignConfig::new(23, 15);
+        config.check.include_net = false;
+        config.check.force_parallel_detect = true;
+        let report = run_campaign(&config);
+        assert_eq!(
+            report.bugs.len(),
+            0,
+            "forced parallel-detect leg diverged:\n{}",
+            report.summary_table()
+        );
+    }
+
     /// A healthy battery produces a clean campaign: no divergences on a
     /// fixed-seed sweep (net stacks off to keep unit tests fast; the
     /// integration smoke campaign in `scripts/verify.sh` covers them).

@@ -20,7 +20,7 @@ use wcp_detect::online::{
 use wcp_detect::{
     audit_bounds, replay_metrics, vc_snapshot_queues, BoundLimits, CentralizedChecker, Detection,
     DetectionReport, Detector, DirectDependenceDetector, HierarchicalChecker, LatticeDetector,
-    MultiTokenDetector, StreamingChecker, StreamingStatus, TokenDetector,
+    MultiTokenDetector, ParallelDetector, StreamingChecker, StreamingStatus, TokenDetector,
 };
 use wcp_net::{run_direct_net, run_multi_net, run_vc_token_net, NetConfig};
 use wcp_obs::rng::Rng;
@@ -47,6 +47,10 @@ const NET_DEADLINE: Duration = Duration::from_secs(20);
 /// Worker count the parallel-pump cross-check leg drives — enough to
 /// partition the shard space several ways while staying cheap per case.
 const PUMP_PARALLEL_WORKERS: usize = 4;
+
+/// Worker count of the work-optimal detector's multi-thread cross-check
+/// leg — several strided shares per round without per-case thread spam.
+const PARALLEL_DETECT_WORKERS: usize = 4;
 
 /// How a detector deviated from the oracle.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -111,6 +115,11 @@ pub struct CheckOptions {
     /// cross-check even when the case's `pump_parallel` draw is false —
     /// the `wcp fuzz --pump-parallel` smoke knob.
     pub force_pump_parallel: bool,
+    /// Force the work-optimal detector's multi-thread bit-identity leg
+    /// even when the case's `parallel_detect` draw is false — the
+    /// `wcp fuzz --parallel-detect` smoke knob. (The single-thread
+    /// detector runs in the offline battery on every case regardless.)
+    pub force_parallel_detect: bool,
     /// Audit the merged telemetry timeline of a recorded online vc-token
     /// run against the paper's §3.4 bounds (`wcp fuzz --audit-bounds`).
     pub audit_bounds: bool,
@@ -129,6 +138,7 @@ impl Default for CheckOptions {
             force_wire_v2: false,
             force_multi: false,
             force_pump_parallel: false,
+            force_parallel_detect: false,
             audit_bounds: false,
             sabotage_bounds: false,
         }
@@ -263,6 +273,11 @@ pub fn check_case(case: &FuzzCase, opts: &CheckOptions) -> Vec<Divergence> {
             replay_exact: false,
         },
         Offline {
+            label: "parallel",
+            build: Box::new(|r| Box::new(ParallelDetector::new().with_recorder(r))),
+            replay_exact: true,
+        },
+        Offline {
             label: "direct",
             build: Box::new(|r| {
                 Box::new(
@@ -282,7 +297,7 @@ pub fn check_case(case: &FuzzCase, opts: &CheckOptions) -> Vec<Divergence> {
     if opts.sabotage {
         battery.push(Offline {
             label: "sabotaged",
-            build: Box::new(|_| Box::new(SabotagedDetector(TokenDetector::new()))),
+            build: Box::new(|_| Box::new(SabotagedDetector(ParallelDetector::new()))),
             replay_exact: false,
         });
     }
@@ -314,6 +329,63 @@ pub fn check_case(case: &FuzzCase, opts: &CheckOptions) -> Vec<Divergence> {
                 }
             }
             Err(p) => diverge(entry.label, DivergenceKind::Crash, p),
+        }
+    }
+
+    // ---- work-optimal detector: thread-count bit-identity --------------
+    // When the case drew `parallel_detect` (or `--parallel-detect` forced
+    // it), rerun the work-optimal detector with a real worker pool and pin
+    // the whole report — verdict, `DetectionMetrics`, recorded event
+    // stream — bit-identical to a fresh single-thread run. The oracle
+    // check itself already happened in the battery above.
+    if case.parallel_detect || opts.force_parallel_detect {
+        let seq_ring = Arc::new(RingRecorder::new(RING_CAPACITY));
+        let par_ring = Arc::new(RingRecorder::new(RING_CAPACITY));
+        let run = |threads: usize, ring: Arc<RingRecorder>| {
+            ParallelDetector::new()
+                .with_threads(threads)
+                .with_recorder(ring)
+                .detect(&annotated, &wcp)
+        };
+        match guarded(|| {
+            (
+                run(1, seq_ring.clone()),
+                run(PARALLEL_DETECT_WORKERS, par_ring.clone()),
+            )
+        }) {
+            Ok((seq, par)) => {
+                if par.detection != seq.detection {
+                    diverge(
+                        "parallel+par",
+                        DivergenceKind::Verdict,
+                        format!(
+                            "multi-thread verdict diverged from single-thread: \
+                             sequential {:?}, parallel {:?}",
+                            seq.detection, par.detection
+                        ),
+                    );
+                } else if par.metrics != seq.metrics {
+                    diverge(
+                        "parallel+par",
+                        DivergenceKind::Metrics,
+                        format!(
+                            "multi-thread metrics diverged from single-thread: \
+                             sequential [{}], parallel [{}]",
+                            seq.metrics, par.metrics
+                        ),
+                    );
+                } else if seq_ring.dropped() == 0
+                    && par_ring.dropped() == 0
+                    && par_ring.events() != seq_ring.events()
+                {
+                    diverge(
+                        "parallel+par",
+                        DivergenceKind::Metrics,
+                        "multi-thread event stream diverged from single-thread".to_string(),
+                    );
+                }
+            }
+            Err(p) => diverge("parallel+par", DivergenceKind::Crash, p),
         }
     }
 

@@ -40,7 +40,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
-use wcp_clocks::ProcessId;
+use wcp_clocks::{scoped_workers, strided, ProcessId};
 use wcp_detect::DetectionMetrics;
 use wcp_trace::Wcp;
 
@@ -436,8 +436,7 @@ impl MultiEngine {
     ) -> (Vec<(PredicateId, SessionVerdict)>, PumpTally) {
         let mut out = Vec::new();
         let mut tally = PumpTally::default();
-        let mut shard = first;
-        while shard < PUMP_SHARDS {
+        for shard in strided(first, step, PUMP_SHARDS) {
             for entry in &log[from..] {
                 for slot in &subs[entry.process.index()][shard] {
                     if let Some(v) = self.deliver(slot, entry, view, &mut tally) {
@@ -445,7 +444,6 @@ impl MultiEngine {
                     }
                 }
             }
-            shard += step;
         }
         (out, tally)
     }
@@ -504,24 +502,16 @@ impl MultiEngine {
             // Nothing to partition: run on the calling thread.
             self.deliver_shards(0, 1, from, &log, &subs, &view)
         } else {
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..threads)
-                    .map(|w| {
-                        let log = &log;
-                        let view = &view;
-                        let subs = &subs;
-                        scope.spawn(move || self.deliver_shards(w, threads, from, log, subs, view))
-                    })
-                    .collect();
-                let mut resolved = Vec::new();
-                let mut tally = PumpTally::default();
-                for h in handles {
-                    let (out, t) = h.join().expect("pump worker panicked");
-                    resolved.extend(out);
-                    tally.merge(t);
-                }
-                (resolved, tally)
-            })
+            let parts = scoped_workers(threads, |w| {
+                self.deliver_shards(w, threads, from, &log, &subs, &view)
+            });
+            let mut resolved = Vec::new();
+            let mut tally = PumpTally::default();
+            for (out, t) in parts {
+                resolved.extend(out);
+                tally.merge(t);
+            }
+            (resolved, tally)
         };
         self.fold(tally);
         resolved.sort_by_key(|(id, _)| *id);

@@ -23,6 +23,13 @@
 # bytes/predicate). `scripts/bench.sh multi-pump` labels an entry for
 # that section; docs/multi-tenant.md quotes it.
 #
+# The `parallel_scaling` section measures the work-optimal parallel
+# detector against the sequential token walk at n ∈ {8, 32, 128} ×
+# threads ∈ {1, 2, 4, 8} (every width asserted bit-identical to the
+# 1-thread run before its timing is recorded, work totals alongside).
+# `scripts/bench.sh parallel` labels an entry for that section;
+# docs/performance.md quotes its crossover table.
+#
 # This is informational tooling, NOT part of tier-1 verification
 # (scripts/verify.sh); timings are machine-dependent and must never
 # gate a build.

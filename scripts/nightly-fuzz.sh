@@ -44,7 +44,10 @@ status=0
 # cases additionally run the socket-backed multi service. Each case
 # further draws a pump_parallel bit; drawn cases re-run the session leg
 # through the sharded parallel pump (4 workers) and require the report
-# bit-identical to the serial pump's.
+# bit-identical to the serial pump's. A parallel_detect bit is drawn the
+# same way; drawn cases re-run the work-optimal detector at 1 and 4
+# worker threads and require verdict, metrics and event stream
+# bit-identical (the detector itself is in the battery on every case).
 ./target/release/wcp fuzz --seed "$seed" --cases "$cases" --shrink --audit-bounds \
     > "$log" 2>&1 || status=$?
 cat "$log"

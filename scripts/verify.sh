@@ -36,8 +36,12 @@ echo "== fuzz multi-tenant smoke slice =="
 # session's verdict and metrics to the standalone detectors under the
 # case's fault schedule, and --pump-parallel forces the sharded
 # parallel-pump cross-check (4 workers, bit-identical report) on every
-# case instead of the random per-case draw.
-./target/release/wcp fuzz --seed 3 --cases 25 --shrink --multi --pump-parallel
+# case instead of the random per-case draw. --parallel-detect likewise
+# forces the work-optimal detector's multi-thread leg (1 vs 4 workers,
+# verdict + metrics + event stream bit-identical) on every case — the
+# "parallel" battery detector itself already runs on every case above,
+# cross-checked against the Theorem 3.2 oracle.
+./target/release/wcp fuzz --seed 3 --cases 25 --shrink --multi --pump-parallel --parallel-detect
 
 echo "== fuzz bound-audit smoke slice =="
 # Paper-bound auditing over the telemetry plane: every case's merged
